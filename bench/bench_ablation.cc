@@ -1,0 +1,193 @@
+// Ablations for the design choices DESIGN.md calls out:
+//   A1: promotion rate limit — KeyDB (high locality) vs Spark (streaming);
+//   A2: fine-grained weighted-interleave ratio sweep (beyond 3:1/1:1/1:3);
+//   A3: queue-model knee sharpness — how sensitive end-to-end results are to
+//       the loaded-latency law;
+//   A4: static vs dynamic hot-page threshold.
+#include <cmath>
+#include <iostream>
+
+#include "src/core/cxl_explorer.h"
+
+namespace {
+
+using namespace cxl;
+
+// --- A1 helpers -------------------------------------------------------------
+
+apps::kv::KvServerSim::Result KeyDbWithRateLimit(double limit_mbps) {
+  core::KeyDbExperimentOptions opt;
+  opt.dataset_bytes = 8ull << 30;
+  opt.total_ops = 120'000;
+  opt.warmup_ops = 30'000;
+  topology::Platform platform = core::MakeHotPromotePlatform(opt.dataset_bytes);
+  os::PageAllocator allocator(platform, 16ull << 10);
+  os::TieringConfig tc = core::DefaultTieringConfig();
+  tc.promote_rate_limit_mbps = limit_mbps;
+  os::TieredMemory tiering(allocator, tc);
+  apps::kv::KvStoreConfig store_cfg;
+  store_cfg.record_count = opt.dataset_bytes / opt.value_bytes;
+  const auto setup = core::MakeCapacitySetup(core::CapacityConfig::kHotPromote, platform);
+  auto store = apps::kv::KvStore::Create(allocator, setup.policy, store_cfg, &tiering);
+  workload::YcsbGenerator gen(workload::YcsbWorkload::kB, store_cfg.record_count, 1);
+  apps::kv::KvServerConfig scfg;
+  scfg.total_ops = opt.total_ops;
+  scfg.warmup_ops = opt.warmup_ops;
+  apps::kv::KvServerSim sim(platform, *store, gen, scfg, &tiering);
+  auto result = sim.Run();
+  store->Free();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  // --- A1: rate limit, locality-dependent -----------------------------------
+  PrintSection(std::cout,
+               "A1: promotion rate limit x workload locality (the §4.1 vs §4.2 tension)");
+  Table a1({"rate limit MB/s", "KeyDB kops/s", "KeyDB migrated GB", "Spark Q7 norm time",
+            "Spark migrated GB"});
+  apps::spark::SparkCluster spark_base(apps::spark::SparkConfig::MmemOnly());
+  const auto& q7 = *apps::spark::FindQuery("Q7");
+  const double spark_baseline = spark_base.RunQuery(q7).total_seconds;
+  for (double limit : {64.0, 1024.0, 3000.0, 16384.0}) {
+    const auto kv = KeyDbWithRateLimit(limit);
+    apps::spark::SparkConfig cfg = apps::spark::SparkConfig::HotPromote();
+    cfg.promote_rate_limit_mbps = limit;
+    const auto sp = apps::spark::SparkCluster(cfg).RunQuery(q7);
+    a1.Row()
+        .Cell(limit, 0)
+        .Cell(kv.throughput_kops, 1)
+        .Cell(kv.migrated_bytes / 1e9, 2)
+        .Cell(sp.total_seconds / spark_baseline, 2)
+        .Cell(sp.migrated_bytes / 1e9, 1);
+  }
+  a1.Print(std::cout);
+  std::cout << "Reading: KeyDB saturates its benefit at a tiny budget (hot set is small and\n"
+               "stable); Spark burns whatever budget it gets without converging — raising the\n"
+               "limit raises churn, not performance. A single system-wide knob cannot serve\n"
+               "both (the paper's §4.2.3 caution).\n";
+
+  // --- A2: fine interleave sweep --------------------------------------------
+  PrintSection(std::cout, "A2: weighted-interleave ratio sweep (KeyDB YCSB-C)");
+  core::KeyDbExperimentOptions opt;
+  opt.dataset_bytes = 8ull << 30;
+  opt.total_ops = 120'000;
+  opt.warmup_ops = 30'000;
+  Table a2({"MMEM share %", "kops/s", "p99 us"});
+  const auto mmem_res =
+      core::RunKeyDbExperiment(core::CapacityConfig::kMmem, workload::YcsbWorkload::kC, opt);
+  struct Ratio {
+    int top;
+    int low;
+  };
+  for (const Ratio r : {Ratio{7, 1}, Ratio{3, 1}, Ratio{2, 1}, Ratio{1, 1}, Ratio{1, 2},
+                        Ratio{1, 3}, Ratio{1, 7}}) {
+    topology::Platform platform = topology::Platform::CxlServer(false);
+    os::PageAllocator allocator(platform, 16ull << 10);
+    apps::kv::KvStoreConfig store_cfg;
+    store_cfg.record_count = opt.dataset_bytes / opt.value_bytes;
+    auto store = apps::kv::KvStore::Create(
+        allocator,
+        os::NumaPolicy::WeightedInterleave(platform.DramNodes(), platform.CxlNodes(), r.top,
+                                           r.low),
+        store_cfg);
+    workload::YcsbGenerator gen(workload::YcsbWorkload::kC, store_cfg.record_count, 1);
+    apps::kv::KvServerConfig scfg;
+    scfg.total_ops = opt.total_ops;
+    scfg.warmup_ops = opt.warmup_ops;
+    apps::kv::KvServerSim sim(platform, *store, gen, scfg);
+    const auto result = sim.Run();
+    a2.Row()
+        .Cell(100.0 * r.top / (r.top + r.low), 1)
+        .Cell(result.throughput_kops, 1)
+        .Cell(result.all_latency_us.p99(), 0);
+    store->Free();
+  }
+  if (mmem_res.ok()) {
+    a2.Row().Cell(100.0, 1).Cell(mmem_res->server.throughput_kops, 1)
+        .Cell(mmem_res->server.all_latency_us.p99(), 0);
+  }
+  a2.Print(std::cout);
+
+  // --- A3: knee sharpness sensitivity ---------------------------------------
+  PrintSection(std::cout, "A3: loaded-latency knee sharpness vs LLM saturation behaviour");
+  Table a3({"knee sharpness", "knee util (1.5x)", "latency @94% util (ns)",
+            "MMEM decode quality @94%"});
+  for (double sharp : {3.0, 4.5, 6.0, 8.0}) {
+    // Rebuild the local-DRAM latency law with a different sharpness: where
+    // the knee lands directly sets how hard the MMEM-only LLM configuration
+    // collapses at its 60-thread operating point (u ~ 0.94, §5.2).
+    sim::QueueModel model(97.0, 0.25, sharp);
+    const double lat94 = model.LatencyAt(0.94);
+    a3.Row()
+        .Cell(sharp, 1)
+        .Cell(model.KneeUtilization(1.5), 2)
+        .Cell(lat94, 0)
+        .Cell(std::pow(97.0 / lat94, 0.45), 2);
+  }
+  a3.Print(std::cout);
+  std::cout << "Reading: sharper knees keep latency flat longer but collapse harder at the\n"
+               "94% operating point; the calibrated value (6.0) pins the knee in the paper's\n"
+               "75-83% band and yields the observed ~2x serving-rate gap.\n";
+
+  // --- A5: SNC-4 vs SNC-off for the LLM experiment ---------------------------
+  PrintSection(std::cout, "A5: why §5 binds to one SNC-4 domain (vs the whole SNC-off socket)");
+  Table a5({"threads", "SNC domain: MMEM tok/s", "SNC domain: 3:1 gain %",
+            "full socket: MMEM tok/s", "full socket: 3:1 gain %"});
+  apps::llm::LlmServingConfig domain_cfg;
+  apps::llm::LlmServingConfig socket_cfg;
+  socket_cfg.dram_bandwidth_scale = 4.0;  // 8 channels.
+  apps::llm::LlmInferenceSim domain_sim(domain_cfg);
+  apps::llm::LlmInferenceSim socket_sim(socket_cfg);
+  for (int threads : {24, 48, 60, 84}) {
+    const double dm = domain_sim.Solve(apps::llm::LlmPlacement::MmemOnly(), threads)
+                          .serving_rate_tokens_s;
+    const double di = domain_sim.Solve(apps::llm::LlmPlacement::Interleave(3, 1), threads)
+                          .serving_rate_tokens_s;
+    const double sm = socket_sim.Solve(apps::llm::LlmPlacement::MmemOnly(), threads)
+                          .serving_rate_tokens_s;
+    const double si = socket_sim.Solve(apps::llm::LlmPlacement::Interleave(3, 1), threads)
+                          .serving_rate_tokens_s;
+    a5.Row()
+        .Cell(static_cast<uint64_t>(threads))
+        .Cell(dm, 1)
+        .Cell(100.0 * (di / dm - 1.0), 1)
+        .Cell(sm, 1)
+        .Cell(100.0 * (si / sm - 1.0), 1);
+  }
+  a5.Print(std::cout);
+  std::cout << "Reading: on the full 268 GB/s socket these thread counts never saturate DRAM\n"
+               "and interleaving only costs (negative gain). Binding to one 67 GB/s domain is\n"
+               "what lets §5 show bandwidth contention at laptop-scale thread counts; the same\n"
+               "crossover would appear socket-wide at ~4x the threads.\n";
+
+  // --- A4: static vs dynamic hot threshold ----------------------------------
+  PrintSection(std::cout, "A4: hot-page threshold, static vs dynamic (KeyDB Hot-Promote)");
+  Table a4({"threshold mode", "kops/s", "migrated GB"});
+  for (const bool dynamic : {false, true}) {
+    core::KeyDbExperimentOptions o = opt;
+    topology::Platform platform = core::MakeHotPromotePlatform(o.dataset_bytes);
+    os::PageAllocator allocator(platform, 16ull << 10);
+    os::TieringConfig tc = core::DefaultTieringConfig();
+    tc.dynamic_threshold = dynamic;
+    os::TieredMemory tiering(allocator, tc);
+    apps::kv::KvStoreConfig store_cfg;
+    store_cfg.record_count = o.dataset_bytes / o.value_bytes;
+    const auto setup = core::MakeCapacitySetup(core::CapacityConfig::kHotPromote, platform);
+    auto store = apps::kv::KvStore::Create(allocator, setup.policy, store_cfg, &tiering);
+    workload::YcsbGenerator gen(workload::YcsbWorkload::kB, store_cfg.record_count, 1);
+    apps::kv::KvServerConfig scfg;
+    scfg.total_ops = o.total_ops;
+    scfg.warmup_ops = o.warmup_ops;
+    apps::kv::KvServerSim sim(platform, *store, gen, scfg, &tiering);
+    const auto result = sim.Run();
+    a4.Row()
+        .Cell(dynamic ? "dynamic" : "static")
+        .Cell(result.throughput_kops, 1)
+        .Cell(result.migrated_bytes / 1e9, 2);
+    store->Free();
+  }
+  a4.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Extension bench: tenant colocation and the §3.4 load-balancing insight at
+// application level.
+//
+// "Even if a substantial portion of memory bandwidth in MMEM remains
+//  unused, e.g., 30%, offloading a portion of the workload, e.g., 20%, to
+//  CXL memory can lead to overall performance improvements."
+//
+// Two tenants share a socket: a latency-sensitive KV tenant and a
+// bandwidth-hungry streaming tenant. We sweep the streamer's intensity and
+// compare (a) everything on DRAM vs (b) the planner-recommended split, and
+// report both tenants' outcomes.
+#include <iostream>
+
+#include "src/core/cxl_explorer.h"
+#include "src/os/bandwidth_aware.h"
+
+int main() {
+  using namespace cxl;
+  using mem::AccessMix;
+
+  const topology::Platform platform = topology::Platform::CxlServer(true);  // SNC-4.
+  const topology::NodeId dram = platform.DramNodes(0)[0];
+  const topology::NodeId cxl0 = platform.CxlNodes()[0];
+  const AccessMix mix = AccessMix::ReadOnly();
+  const double kv_gbps = 4.0;  // The KV tenant's modest, latency-critical traffic.
+
+  PrintSection(std::cout,
+               "Two tenants on one SNC domain: KV (4 GB/s, latency-bound) + streamer");
+  Table t({"streamer GB/s", "DRAM util (all-DRAM)", "KV latency ns (all-DRAM)",
+           "planner split (MMEM share)", "KV latency ns (split)", "streamer achieved GB/s (split)"});
+
+  os::BandwidthAwarePlanner planner(platform, 0, {dram});  // Scoped to the pinned domain.
+  for (double streamer_gbps : {20.0, 35.0, 45.0, 55.0, 62.0}) {
+    // (a) Everything on the domain's DRAM.
+    topology::TrafficModel all_dram(platform);
+    const auto kv_flow = all_dram.AddMemoryTraffic(0, dram, mix, kv_gbps);
+    all_dram.AddMemoryTraffic(0, dram, mix, streamer_gbps);
+    const auto sol_a = all_dram.Solve();
+
+    // (b) The planner chooses the streamer's DRAM/CXL split; the KV tenant
+    // stays on DRAM (its 4 GB/s is not the problem).
+    os::PlacementObjective obj;
+    obj.demand_gbps = streamer_gbps + kv_gbps;
+    obj.latency_sensitivity = 0.5;
+    // Planner sees the whole socket; rescale its view to this one domain by
+    // planning against the domain-level demand share.
+    const auto plan = planner.Recommend(obj);
+    topology::TrafficModel split(platform);
+    const auto kv_flow_b = split.AddMemoryTraffic(0, dram, mix, kv_gbps);
+    const double dram_share = plan.low_weight == 0 ? 1.0 : plan.mmem_share;
+    const auto streamer_dram = split.AddMemoryTraffic(0, dram, mix, streamer_gbps * dram_share);
+    topology::TrafficModel::FlowId streamer_cxl = -1;
+    if (dram_share < 1.0) {
+      streamer_cxl = split.AddMemoryTraffic(0, cxl0, mix, streamer_gbps * (1.0 - dram_share));
+    }
+    const auto sol_b = split.Solve();
+    double streamer_achieved = sol_b.flows[streamer_dram].achieved_gbps;
+    if (streamer_cxl >= 0) {
+      streamer_achieved += sol_b.flows[streamer_cxl].achieved_gbps;
+    }
+
+    t.Row()
+        .Cell(streamer_gbps, 0)
+        .Cell(sol_a.nodes[dram].utilization, 2)
+        .Cell(sol_a.flows[kv_flow].latency_ns, 1)
+        .Cell(dram_share, 2)
+        .Cell(sol_b.flows[kv_flow_b].latency_ns, 1)
+        .Cell(streamer_achieved, 1);
+  }
+  t.Print(std::cout);
+  std::cout << "Reading: once the streamer pushes the domain past its knee, shifting part of\n"
+               "it to CXL cuts the KV tenant's latency (and the streamer loses nothing) —\n"
+               "CXL as a load-balancing resource, not a second-class tier (§3.4).\n";
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Regenerates Fig. 3: loaded-latency curves (latency vs achieved bandwidth)
+// for the four memory distances under varied read:write mixes, using the
+// MLC-style benchmark (16 threads, 64 B accesses, §3.1).
+//
+// Expected anchors (§3.2): MMEM idle ~97 ns / peak 67 GB/s (read) and
+// 54.6 GB/s (write); MMEM-r read idle ~130 ns, NT-write 71.77 ns; CXL idle
+// 250.42 ns, max 56.7 GB/s at 2:1; CXL-r idle 485 ns, max 20.4 GB/s.
+#include <iostream>
+
+#include "src/core/cxl_explorer.h"
+
+int main() {
+  using namespace cxl;
+  using mem::AccessMix;
+
+  const struct {
+    mem::MemoryPath path;
+    const char* title;
+  } kPanels[] = {
+      {mem::MemoryPath::kLocalDram, "Fig 3(a): MMEM (local-socket DDR5, 2ch SNC domain)"},
+      {mem::MemoryPath::kRemoteDram, "Fig 3(b): MMEM-r (remote socket via UPI)"},
+      {mem::MemoryPath::kLocalCxl, "Fig 3(c): CXL (A1000 ASIC, local socket)"},
+      {mem::MemoryPath::kRemoteCxl, "Fig 3(d): CXL-r (remote socket, RSF-limited)"},
+  };
+  const AccessMix kMixes[] = {AccessMix::ReadOnly(), AccessMix::Ratio(2, 1),
+                              AccessMix::Ratio(1, 1), AccessMix::WriteOnly()};
+
+  for (const auto& panel : kPanels) {
+    PrintSection(std::cout, panel.title);
+    workload::MlcBenchmark mlc(mem::GetProfile(panel.path));
+    Table t({"mix", "idle ns", "peak GB/s", "knee util", "bw@50%load", "lat@50%", "bw@sat",
+             "lat@sat"});
+    for (const AccessMix& mix : kMixes) {
+      const auto sweep = mlc.LoadedLatencySweep(mix, 32);
+      const auto closed = mlc.ClosedLoopPoint(mix);
+      // Mid-load point: ~50% of peak.
+      const double peak = mlc.PeakBandwidthGBps(mix);
+      mem::SingleFlowPoint mid = mem::SolveSingleFlow(mlc.profile(), mix, 0.5 * peak);
+      t.Row()
+          .Cell(mem::MixLabel(mix))
+          .Cell(mlc.IdleLatencyNs(mix), 1)
+          .Cell(peak, 1)
+          .Cell(mlc.profile().MakeQueueModel(mix).KneeUtilization(1.5), 2)
+          .Cell(mid.achieved_gbps, 1)
+          .Cell(mid.latency_ns, 1)
+          .Cell(closed.achieved_gbps, 1)
+          .Cell(closed.latency_ns, 1);
+      (void)sweep;
+    }
+    t.Print(std::cout);
+
+    // Full curve for the read-only mix (the figure's plotted series).
+    Table curve({"offered GB/s", "achieved GB/s", "latency ns"});
+    for (const auto& pt : mlc.LoadedLatencySweep(AccessMix::ReadOnly(), 12)) {
+      curve.Row().Cell(pt.offered_gbps, 1).Cell(pt.achieved_gbps, 1).Cell(pt.latency_ns, 1);
+    }
+    curve.Print(std::cout);
+  }
+
+  PrintSection(std::cout, "Sanity anchors vs paper");
+  Table anchors({"quantity", "model", "paper"});
+  anchors.Row().Cell("MMEM idle (ns)")
+      .Cell(mem::GetProfile(mem::MemoryPath::kLocalDram).IdleLatencyNs(AccessMix::ReadOnly()), 1)
+      .Cell("97");
+  anchors.Row().Cell("MMEM read peak (GB/s)")
+      .Cell(mem::GetProfile(mem::MemoryPath::kLocalDram).PeakBandwidthGBps(AccessMix::ReadOnly()), 1)
+      .Cell("67");
+  anchors.Row().Cell("MMEM write peak (GB/s)")
+      .Cell(mem::GetProfile(mem::MemoryPath::kLocalDram).PeakBandwidthGBps(AccessMix::WriteOnly()), 1)
+      .Cell("54.6");
+  anchors.Row().Cell("MMEM-r NT-write idle (ns)")
+      .Cell(mem::GetProfile(mem::MemoryPath::kRemoteDram).IdleLatencyNs(AccessMix::WriteOnly()), 2)
+      .Cell("71.77");
+  anchors.Row().Cell("CXL idle (ns)")
+      .Cell(mem::GetProfile(mem::MemoryPath::kLocalCxl).IdleLatencyNs(AccessMix::ReadOnly()), 2)
+      .Cell("250.42");
+  anchors.Row().Cell("CXL peak @2:1 (GB/s)")
+      .Cell(mem::GetProfile(mem::MemoryPath::kLocalCxl).PeakBandwidthGBps(AccessMix::Ratio(2, 1)), 1)
+      .Cell("56.7");
+  anchors.Row().Cell("CXL-r idle (ns)")
+      .Cell(mem::GetProfile(mem::MemoryPath::kRemoteCxl).IdleLatencyNs(AccessMix::ReadOnly()), 1)
+      .Cell("485");
+  anchors.Row().Cell("CXL-r peak @2:1 (GB/s)")
+      .Cell(mem::GetProfile(mem::MemoryPath::kRemoteCxl).PeakBandwidthGBps(AccessMix::Ratio(2, 1)), 1)
+      .Cell("20.4");
+  anchors.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Regenerates Fig. 4: MMEM vs CXL across NUMA/socket distances, one panel
+// per read:write ratio (a-f), plus the random-access panels (g, h).
+//
+// Also prints the §3.3 latency-ratio table: local CXL is 2.4-2.6x local DDR
+// and 1.5-1.92x remote-socket DDR.
+#include <iostream>
+
+#include "src/core/cxl_explorer.h"
+
+int main() {
+  using namespace cxl;
+  using mem::AccessMix;
+  using mem::AccessPattern;
+
+  const AccessMix kMixes[] = {AccessMix::ReadOnly(),    AccessMix::Ratio(3, 1),
+                              AccessMix::Ratio(2, 1),   AccessMix::Ratio(1, 1),
+                              AccessMix::Ratio(1, 2),   AccessMix::WriteOnly()};
+  const mem::MemoryPath kPaths[] = {mem::MemoryPath::kLocalDram, mem::MemoryPath::kRemoteDram,
+                                    mem::MemoryPath::kLocalCxl, mem::MemoryPath::kRemoteCxl};
+
+  // Panels (a)-(f): sequential access, one panel per mix.
+  char panel = 'a';
+  for (const AccessMix& mix : kMixes) {
+    PrintSection(std::cout, std::string("Fig 4(") + panel++ + "): sequential, R:W=" +
+                                mem::MixLabel(mix));
+    Table t({"path", "idle ns", "sat GB/s", "sat lat ns"});
+    for (mem::MemoryPath path : kPaths) {
+      workload::MlcBenchmark mlc(mem::GetProfile(path));
+      const auto closed = mlc.ClosedLoopPoint(mix);
+      t.Row()
+          .Cell(mem::PathLabel(path))
+          .Cell(mlc.IdleLatencyNs(mix), 1)
+          .Cell(closed.achieved_gbps, 1)
+          .Cell(closed.latency_ns, 1);
+    }
+    t.Print(std::cout);
+  }
+
+  // Panels (g)(h): random pattern, read-only / write-only. §3.3: "we do not
+  // observe any significant performance disparities".
+  for (const AccessMix& mix : {AccessMix::ReadOnly(), AccessMix::WriteOnly()}) {
+    PrintSection(std::cout, std::string("Fig 4(") + panel++ + "): random, R:W=" +
+                                mem::MixLabel(mix));
+    Table t({"path", "seq sat GB/s", "rand sat GB/s", "rand/seq"});
+    for (mem::MemoryPath path : kPaths) {
+      workload::MlcConfig seq_cfg;
+      workload::MlcConfig rnd_cfg;
+      rnd_cfg.pattern = AccessPattern::kRandom;
+      workload::MlcBenchmark seq(mem::GetProfile(path), seq_cfg);
+      workload::MlcBenchmark rnd(mem::GetProfile(path), rnd_cfg);
+      const double s = seq.ClosedLoopPoint(mix).achieved_gbps;
+      const double r = rnd.ClosedLoopPoint(mix).achieved_gbps;
+      t.Row().Cell(mem::PathLabel(path)).Cell(s, 1).Cell(r, 1).Cell(r / s, 3);
+    }
+    t.Print(std::cout);
+  }
+
+  // §3.3 latency ratios.
+  PrintSection(std::cout, "Latency ratios (paper: CXL/MMEM 2.4-2.6x, CXL/MMEM-r 1.5-1.92x)");
+  Table ratios({"mix", "CXL/MMEM", "CXL/MMEM-r"});
+  for (const AccessMix& mix : kMixes) {
+    const double cxl = mem::GetProfile(mem::MemoryPath::kLocalCxl).IdleLatencyNs(mix);
+    const double local = mem::GetProfile(mem::MemoryPath::kLocalDram).IdleLatencyNs(mix);
+    const double remote = mem::GetProfile(mem::MemoryPath::kRemoteDram).IdleLatencyNs(mix);
+    ratios.Row().Cell(mem::MixLabel(mix)).Cell(cxl / local, 2).Cell(cxl / remote, 2);
+  }
+  ratios.Print(std::cout);
+  return 0;
+}

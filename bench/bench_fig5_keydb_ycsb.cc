@@ -1,0 +1,116 @@
+// Regenerates Fig. 5: KeyDB YCSB latency and throughput under the Table 1
+// configurations.
+//
+//   (a) average throughput of YCSB A-D per configuration;
+//   (b) tail latency of YCSB-A (p50/p95/p99/p999);
+//   (c) read-latency CDF of YCSB-C for selected configurations.
+//
+// Expected shape (§4.1.2): MMEM fastest; Hot-Promote nearly matches it;
+// interleaving 1.2-1.5x slower (worse with more CXL); MMEM-SSD-x slowest at
+// ~1.8x (software path + SSD misses).
+#include <algorithm>
+#include <iostream>
+
+#include "src/core/cxl_explorer.h"
+
+namespace {
+
+using namespace cxl;
+
+constexpr uint64_t kDatasetBytes = 32ull << 30;  // 1/16-scale 512 GB shape.
+
+core::KeyDbExperimentOptions Options() {
+  core::KeyDbExperimentOptions opt;
+  opt.dataset_bytes = kDatasetBytes;
+  opt.total_ops = 220'000;
+  opt.warmup_ops = 60'000;
+  return opt;
+}
+
+}  // namespace
+
+int main() {
+  const auto workloads = {workload::YcsbWorkload::kA, workload::YcsbWorkload::kB,
+                          workload::YcsbWorkload::kC, workload::YcsbWorkload::kD};
+
+  PrintSection(std::cout, "Fig 5(a): KeyDB average throughput (kops/s), by configuration");
+  Table thr({"config", "YCSB-A", "YCSB-B", "YCSB-C", "YCSB-D", "slowdown vs MMEM (C)"});
+  double mmem_c_kops = 0.0;
+  std::vector<std::pair<std::string, std::vector<double>>> rows;
+  for (core::CapacityConfig config : core::AllCapacityConfigs()) {
+    std::vector<double> kops;
+    for (workload::YcsbWorkload w : workloads) {
+      const auto res = core::RunKeyDbExperiment(config, w, Options());
+      if (!res.ok()) {
+        std::cerr << "FAILED " << core::ConfigLabel(config) << ": " << res.status().ToString()
+                  << "\n";
+        return 1;
+      }
+      kops.push_back(res->server.throughput_kops);
+    }
+    if (config == core::CapacityConfig::kMmem) {
+      mmem_c_kops = kops[2];
+    }
+    rows.emplace_back(core::ConfigLabel(config), kops);
+  }
+  for (const auto& [label, kops] : rows) {
+    thr.Row().Cell(label);
+    for (double k : kops) {
+      thr.Cell(k, 1);
+    }
+    thr.Cell(mmem_c_kops / kops[2], 2);
+  }
+  thr.Print(std::cout);
+
+  PrintSection(std::cout, "Fig 5(b): YCSB-A tail latency (us)");
+  Table tail({"config", "p50", "p95", "p99", "p999"});
+  for (core::CapacityConfig config : core::AllCapacityConfigs()) {
+    const auto res = core::RunKeyDbExperiment(config, workload::YcsbWorkload::kA, Options());
+    if (!res.ok()) {
+      return 1;
+    }
+    const auto& h = res->server.all_latency_us;
+    tail.Row().Cell(core::ConfigLabel(config)).Cell(h.p50(), 0).Cell(h.p95(), 0).Cell(h.p99(), 0)
+        .Cell(h.p999(), 0);
+  }
+  tail.Print(std::cout);
+
+  PrintSection(std::cout, "Fig 5(c): YCSB-C read latency CDF (us at quantile)");
+  Table cdf({"config", "q10", "q50", "q90", "q99", "q999"});
+  for (core::CapacityConfig config :
+       {core::CapacityConfig::kMmem, core::CapacityConfig::kInterleave11,
+        core::CapacityConfig::kHotPromote, core::CapacityConfig::kMmemSsd02}) {
+    const auto res = core::RunKeyDbExperiment(config, workload::YcsbWorkload::kC, Options());
+    if (!res.ok()) {
+      return 1;
+    }
+    const auto& h = res->server.read_latency_us;
+    cdf.Row().Cell(core::ConfigLabel(config));
+    for (double q : {0.1, 0.5, 0.9, 0.99, 0.999}) {
+      cdf.Cell(h.ValueAtQuantile(q), 0);
+    }
+  }
+  cdf.Print(std::cout);
+
+  PrintSection(std::cout,
+               "Hot-Promote convergence (YCSB-C): per-epoch throughput and migration");
+  const auto hp = core::RunKeyDbExperiment(core::CapacityConfig::kHotPromote,
+                                           workload::YcsbWorkload::kC, Options());
+  if (!hp.ok()) {
+    return 1;
+  }
+  Table conv({"epoch end ms", "kops in epoch", "migrated MB"});
+  const auto& timeline = hp->server.timeline;
+  for (size_t i = 0; i < timeline.size(); i += std::max<size_t>(1, timeline.size() / 10)) {
+    conv.Row()
+        .Cell(timeline[i].end_ms, 0)
+        .Cell(timeline[i].kops, 1)
+        .Cell(timeline[i].migrated_mb, 1);
+  }
+  conv.Print(std::cout);
+  std::cout << "Reading: the hot head promotes within the first epochs (throughput ramps\n"
+               "there) and a bounded trickle of warm-tail churn persists at the rate limit —\n"
+               "the cost the per-page stall accounting charges, and why Hot-Promote lands a\n"
+               "few percent shy of MMEM instead of matching it exactly.\n";
+  return 0;
+}

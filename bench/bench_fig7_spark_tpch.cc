@@ -1,0 +1,91 @@
+// Regenerates Fig. 7: Spark TPC-H execution time (normalized to MMEM-only)
+// and the shuffle share of execution, per Table-1-style configuration.
+//
+// Expected shape (§4.2.2): interleaving is 1.4x-9.8x slower than MMEM-only
+// (worse with more CXL share; worst for the shuffle-heaviest query), but
+// still much faster than spilling to SSD; Hot-Promote is >34% slower than
+// MMEM-only (kernel thrashing on low-locality access); shuffle time
+// dominates as spill grows.
+#include <iostream>
+#include <vector>
+
+#include "src/core/cxl_explorer.h"
+
+int main() {
+  using namespace cxl;
+  using apps::spark::QueryProfile;
+  using apps::spark::QueryResult;
+  using apps::spark::SparkCluster;
+  using apps::spark::SparkConfig;
+
+  const std::vector<QueryProfile> queries = apps::spark::TpchShuffleHeavyQueries();
+
+  struct ConfigRow {
+    std::string label;
+    SparkConfig config;
+  };
+  const std::vector<ConfigRow> configs = {
+      {"MMEM (3 servers)", SparkConfig::MmemOnly()},
+      {"3:1 (2 servers)", SparkConfig::Interleave(3, 1)},
+      {"1:1 (2 servers)", SparkConfig::Interleave(1, 1)},
+      {"1:3 (2 servers)", SparkConfig::Interleave(1, 3)},
+      {"MMEM-SSD-0.2 (3 srv)", SparkConfig::Spill(0.8)},
+      {"MMEM-SSD-0.4 (3 srv)", SparkConfig::Spill(0.6)},
+      {"Hot-Promote (2 srv)", SparkConfig::HotPromote()},
+  };
+
+  // Baseline times per query.
+  std::vector<double> baseline;
+  {
+    SparkCluster cluster(SparkConfig::MmemOnly());
+    for (const auto& q : queries) {
+      baseline.push_back(cluster.RunQuery(q).total_seconds);
+    }
+  }
+
+  PrintSection(std::cout, "Fig 7(a): execution time normalized to MMEM-only");
+  Table norm({"config", "Q5", "Q7", "Q8", "Q9"});
+  std::vector<std::vector<QueryResult>> all_results;
+  for (const auto& row : configs) {
+    SparkCluster cluster(row.config);
+    norm.Row().Cell(row.label);
+    std::vector<QueryResult> results;
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      const QueryResult r = cluster.RunQuery(queries[qi]);
+      norm.Cell(r.total_seconds / baseline[qi], 2);
+      results.push_back(r);
+    }
+    all_results.push_back(std::move(results));
+  }
+  norm.Print(std::cout);
+
+  PrintSection(std::cout, "Fig 7(b): share of execution time in shuffle (write/read)");
+  Table share({"config", "Q5 w/r %", "Q7 w/r %", "Q8 w/r %", "Q9 w/r %"});
+  for (size_t ci = 0; ci < configs.size(); ++ci) {
+    share.Row().Cell(configs[ci].label);
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      const QueryResult& r = all_results[ci][qi];
+      share.Cell(FormatDouble(100.0 * r.shuffle_write_seconds / r.total_seconds, 0) + "/" +
+                 FormatDouble(100.0 * r.shuffle_read_seconds / r.total_seconds, 0));
+    }
+  }
+  share.Print(std::cout);
+
+  PrintSection(std::cout, "Details: absolute seconds, spill and migration volumes (Q9)");
+  Table detail({"config", "total s", "compute s", "shufW s", "shufR s", "spilled GB",
+                "migrated GB", "CXL access share"});
+  for (size_t ci = 0; ci < configs.size(); ++ci) {
+    const QueryResult& r = all_results[ci].back();  // Q9.
+    detail.Row()
+        .Cell(configs[ci].label)
+        .Cell(r.total_seconds, 1)
+        .Cell(r.compute_seconds, 1)
+        .Cell(r.shuffle_write_seconds, 1)
+        .Cell(r.shuffle_read_seconds, 1)
+        .Cell(r.spilled_bytes / 1e9, 1)
+        .Cell(r.migrated_bytes / 1e9, 1)
+        .Cell(r.cxl_access_share, 2);
+  }
+  detail.Print(std::cout);
+  return 0;
+}

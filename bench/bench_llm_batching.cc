@@ -1,0 +1,67 @@
+// Extension bench: batched CPU decode and the capacity constraint CXL
+// relaxes (§5's motivating argument, quantified). One decode step streams
+// the weights once per batch, so tokens/s rises with batch size until the
+// per-sequence KV traffic dominates — and the batch itself is capped by how
+// much memory the KV caches can occupy. The CXL expander raises that cap.
+#include <iostream>
+
+#include "src/core/cxl_explorer.h"
+
+int main() {
+  using namespace cxl;
+  using apps::llm::LlmInferenceSim;
+  using apps::llm::LlmPlacement;
+
+  LlmInferenceSim sim;
+  constexpr int kThreads = 48;
+  constexpr int kContext = 2048;
+
+  PrintSection(std::cout, "Tokens/s vs batch size (48 threads, 2048-token context)");
+  Table batch_table({"batch", "bytes/token GB", "MMEM tok/s", "3:1 tok/s", "KV footprint GiB"});
+  for (int batch : {1, 2, 4, 8, 16, 32, 64, 128}) {
+    const auto mmem = sim.SolveBatched(LlmPlacement::MmemOnly(), kThreads, batch, kContext);
+    const auto i31 = sim.SolveBatched(LlmPlacement::Interleave(3, 1), kThreads, batch, kContext);
+    batch_table.Row()
+        .Cell(static_cast<uint64_t>(batch))
+        .Cell(mmem.bytes_per_token / 1e9, 2)
+        .Cell(mmem.tokens_per_second, 1)
+        .Cell(i31.tokens_per_second, 1)
+        .Cell(mmem.kv_cache_bytes_total / (1ull << 30), 1);
+  }
+  batch_table.Print(std::cout);
+
+  PrintSection(std::cout, "Capacity-limited batch: SNC domain DRAM vs DRAM+CXL");
+  // One SNC-4 domain owns 128 GiB of DRAM; the A1000 adds 256 GiB.
+  const double dram_bytes = 128.0 * (1ull << 30);
+  const double with_cxl = dram_bytes + 256.0 * (1ull << 30);
+  Table cap({"memory", "GiB", "max batch", "tok/s at max batch"});
+  for (const auto& [label, bytes, placement] :
+       {std::tuple{"DRAM only", dram_bytes, LlmPlacement::MmemOnly()},
+        std::tuple{"DRAM + CXL", with_cxl, LlmPlacement::Interleave(1, 2)}}) {
+    const int max_batch = sim.MaxBatchForCapacity(bytes, kContext);
+    const auto pt = sim.SolveBatched(placement, kThreads, max_batch, kContext);
+    cap.Row()
+        .Cell(label)
+        .Cell(bytes / (1ull << 30), 0)
+        .Cell(static_cast<uint64_t>(max_batch))
+        .Cell(pt.tokens_per_second, 1);
+  }
+  cap.Print(std::cout);
+  std::cout << "Reading: past ~batch 8 the KV stream dominates, so the capacity headroom\n"
+               "matters less for this 7B model than for the longer-context / larger-model\n"
+               "regimes the paper points at — the cap itself is what CXL lifts.\n";
+
+  PrintSection(std::cout, "Context-length sweep at batch 16 (MMEM vs 3:1, 48 threads)");
+  Table ctx({"context tokens", "bytes/token GB", "MMEM tok/s", "3:1 tok/s"});
+  for (int context : {256, 512, 1024, 2048, 4096, 8192}) {
+    const auto mmem = sim.SolveBatched(LlmPlacement::MmemOnly(), kThreads, 16, context);
+    const auto i31 = sim.SolveBatched(LlmPlacement::Interleave(3, 1), kThreads, 16, context);
+    ctx.Row()
+        .Cell(static_cast<uint64_t>(context))
+        .Cell(mmem.bytes_per_token / 1e9, 2)
+        .Cell(mmem.tokens_per_second, 1)
+        .Cell(i31.tokens_per_second, 1);
+  }
+  ctx.Print(std::cout);
+  return 0;
+}

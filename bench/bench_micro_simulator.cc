@@ -1,0 +1,92 @@
+// google-benchmark micro-benchmarks of the simulator's own hot paths:
+// event-queue throughput, Zipfian draws, page allocation, the bandwidth
+// solver, and a full (small) KeyDB experiment end to end.
+#include <benchmark/benchmark.h>
+
+#include "src/core/cxl_explorer.h"
+#include "src/sim/event_queue.h"
+
+namespace {
+
+using namespace cxl;
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue q;
+    int sink = 0;
+    for (int i = 0; i < n; ++i) {
+      q.ScheduleAt(static_cast<double>(i % 97), [&sink] { ++sink; });
+    }
+    q.Run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1024)->Arg(16384);
+
+void BM_ZipfianNext(benchmark::State& state) {
+  Rng rng(1);
+  ZipfianDistribution dist(static_cast<uint64_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dist.Next(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfianNext)->Arg(1 << 20)->Arg(1 << 26);
+
+void BM_PageAllocate(benchmark::State& state) {
+  const auto platform = topology::Platform::CxlServer(false);
+  const auto n = static_cast<uint64_t>(state.range(0));
+  for (auto _ : state) {
+    os::PageAllocator alloc(platform);
+    auto pages = alloc.Allocate(os::NumaPolicy::WeightedInterleave(
+                                    platform.DramNodes(), platform.CxlNodes(), 3, 1),
+                                n);
+    benchmark::DoNotOptimize(pages.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_PageAllocate)->Arg(4096)->Arg(65536);
+
+void BM_BandwidthSolve(benchmark::State& state) {
+  const auto platform = topology::Platform::CxlServer(true);
+  const int flows = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    topology::TrafficModel traffic(platform);
+    for (int i = 0; i < flows; ++i) {
+      const auto nodes = platform.nodes();
+      traffic.AddMemoryTraffic(i % 2, static_cast<topology::NodeId>(i % nodes.size()),
+                               mem::AccessMix::Ratio(2, 1), 5.0);
+    }
+    benchmark::DoNotOptimize(traffic.Solve().flows.size());
+  }
+  state.SetItemsProcessed(state.iterations() * flows);
+}
+BENCHMARK(BM_BandwidthSolve)->Arg(4)->Arg(64);
+
+void BM_MlcClosedLoop(benchmark::State& state) {
+  workload::MlcBenchmark mlc(mem::GetProfile(mem::MemoryPath::kLocalCxl));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mlc.ClosedLoopPoint(mem::AccessMix::Ratio(2, 1)).achieved_gbps);
+  }
+}
+BENCHMARK(BM_MlcClosedLoop);
+
+void BM_KeyDbExperimentEndToEnd(benchmark::State& state) {
+  core::KeyDbExperimentOptions opt;
+  opt.dataset_bytes = 2ull << 30;
+  opt.total_ops = 30'000;
+  opt.warmup_ops = 5'000;
+  for (auto _ : state) {
+    const auto res = core::RunKeyDbExperiment(core::CapacityConfig::kInterleave11,
+                                              workload::YcsbWorkload::kC, opt);
+    benchmark::DoNotOptimize(res.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(opt.total_ops));
+}
+BENCHMARK(BM_KeyDbExperimentEndToEnd)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

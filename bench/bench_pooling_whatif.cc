@@ -1,0 +1,80 @@
+// Extension bench (§7.1 future work — not a paper figure): CXL 2.0 memory
+// pooling. Quantifies the statistical-multiplexing capacity saving behind
+// the paper's disaggregation outlook, the latency cost of the switch hop,
+// and a lease-churn simulation of a 16-host pool.
+#include <iostream>
+
+#include "src/core/cxl_explorer.h"
+#include "src/pool/memory_pool.h"
+
+int main() {
+  using namespace cxl;
+
+  PrintSection(std::cout, "Pooled-CXL performance law (local CXL + switch hop)");
+  Table perf({"path", "idle ns", "read peak GB/s"});
+  const mem::AccessMix read = mem::AccessMix::ReadOnly();
+  perf.Row().Cell("CXL (direct, 1.1)")
+      .Cell(mem::GetProfile(mem::MemoryPath::kLocalCxl).IdleLatencyNs(read), 1)
+      .Cell(mem::GetProfile(mem::MemoryPath::kLocalCxl).PeakBandwidthGBps(read), 1);
+  perf.Row().Cell("CXL (pooled, 2.0)")
+      .Cell(pool::PooledCxlProfile().IdleLatencyNs(read), 1)
+      .Cell(pool::PooledCxlProfile().PeakBandwidthGBps(read), 1);
+  perf.Row().Cell("CXL-r (cross-socket)")
+      .Cell(mem::GetProfile(mem::MemoryPath::kRemoteCxl).IdleLatencyNs(read), 1)
+      .Cell(mem::GetProfile(mem::MemoryPath::kRemoteCxl).PeakBandwidthGBps(read), 1);
+  perf.Print(std::cout);
+
+  PrintSection(std::cout, "Capacity saving from pooling (p99 provisioning, CV=0.35)");
+  Table econ({"hosts", "per-host p99 GiB", "pooled p99 GiB", "saving %"});
+  for (int hosts : {2, 4, 8, 16}) {
+    pool::PoolingEconomicsConfig cfg;
+    cfg.hosts = hosts;
+    const auto r = pool::EstimatePoolingEconomics(cfg);
+    econ.Row()
+        .Cell(static_cast<uint64_t>(hosts))
+        .Cell(r.per_host_provision_gib, 1)
+        .Cell(r.pooled_provision_gib / hosts, 1)
+        .Cell(100.0 * r.capacity_saving, 1);
+  }
+  econ.Print(std::cout);
+
+  PrintSection(std::cout, "Saving vs demand burstiness (16 hosts)");
+  Table cv({"demand CV", "saving %"});
+  for (double v : {0.1, 0.2, 0.35, 0.5, 0.7}) {
+    pool::PoolingEconomicsConfig cfg;
+    cfg.demand_cv = v;
+    cv.Row().Cell(v, 2).Cell(100.0 * pool::EstimatePoolingEconomics(cfg).capacity_saving, 1);
+  }
+  cv.Print(std::cout);
+
+  PrintSection(std::cout, "Lease churn: 16 hosts on a 4 TiB pool, bursty demands");
+  pool::PoolConfig pcfg;
+  pcfg.capacity_bytes = 4ull << 40;
+  pool::CxlMemoryPool mem_pool(pcfg);
+  pool::PoolChurnConfig churn_cfg;
+  churn_cfg.steps = 3000;
+  const auto churn_result = pool::SimulatePoolChurn(mem_pool, churn_cfg);
+  Table churn({"metric", "value"});
+  churn.Row().Cell("mean pool utilization").Cell(churn_result.mean_utilization, 3);
+  churn.Row().Cell("peak pool utilization").Cell(churn_result.peak_utilization, 3);
+  churn.Row().Cell("grow-request denial rate").Cell(churn_result.denial_rate, 4);
+  churn.Row().Cell("active hosts at end").Cell(static_cast<uint64_t>(mem_pool.ActiveHosts()));
+  churn.Print(std::cout);
+
+  PrintSection(std::cout, "Combined: pooling saving folded into the Abstract Cost Model");
+  // Pooling reduces the CXL capacity each server must own; express it as a
+  // reduction in the fixed CXL adder of the extended model.
+  for (double adder : {0.10}) {
+    pool::PoolingEconomicsConfig cfg;
+    const double saving = pool::EstimatePoolingEconomics(cfg).capacity_saving;
+    cost::ExtendedCostModel without(
+        cost::ExtendedCostParams{cost::CostModelParams{10.0, 8.0, 2.0, 1.1}, adder});
+    cost::ExtendedCostModel with(cost::ExtendedCostParams{
+        cost::CostModelParams{10.0, 8.0, 2.0, 1.1}, adder * (1.0 - saving)});
+    std::cout << "fixed CXL adder " << FormatDouble(adder, 2) << ": TCO saving "
+              << FormatDouble(100.0 * without.TcoSaving(), 2) << "% -> "
+              << FormatDouble(100.0 * with.TcoSaving(), 2) << "% once the pool amortizes "
+              << FormatDouble(100.0 * saving, 1) << "% of the CXL capacity\n";
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Extension bench: the task-level DAG view of the Spark experiment — what
+// Fig. 7's fluid phases look like when decomposed into scheduled tasks with
+// stragglers and barriers.
+#include <iostream>
+
+#include "src/core/cxl_explorer.h"
+
+int main() {
+  using namespace cxl;
+  using apps::spark::BuildDag;
+  using apps::spark::DagScheduler;
+  using apps::spark::SparkCluster;
+  using apps::spark::SparkConfig;
+
+  const auto& q9 = *apps::spark::FindQuery("Q9");
+
+  PrintSection(std::cout, "Task-level vs fluid-phase model (Q9, deterministic tasks)");
+  Table agree({"config", "fluid s", "task-level s", "delta %"});
+  for (const auto& [label, cfg] :
+       {std::pair{"MMEM", SparkConfig::MmemOnly()}, {"3:1", SparkConfig::Interleave(3, 1)},
+        {"1:1", SparkConfig::Interleave(1, 1)}, {"1:3", SparkConfig::Interleave(1, 3)}}) {
+    SparkCluster fluid_cluster(cfg);
+    const double fluid = fluid_cluster.RunQuery(q9).total_seconds;
+    SparkCluster dag_cluster(cfg);
+    const double tasks = DagScheduler(dag_cluster).Run(BuildDag(q9, cfg), 0.0).makespan_seconds;
+    agree.Row().Cell(label).Cell(fluid, 1).Cell(tasks, 1).Cell(100.0 * (tasks / fluid - 1.0), 1);
+  }
+  agree.Print(std::cout);
+
+  PrintSection(std::cout, "Straggler sensitivity (Q9 on MMEM, task-duration jitter sweep)");
+  Table strag({"jitter", "makespan s", "executor util", "stage-3 max/mean task"});
+  SparkCluster cluster(SparkConfig::MmemOnly());
+  DagScheduler sched(cluster);
+  const auto dag = BuildDag(q9, cluster.config());
+  for (double jitter : {0.0, 0.1, 0.2, 0.3, 0.5}) {
+    const auto r = sched.Run(dag, jitter, 11);
+    strag.Row()
+        .Cell(jitter, 2)
+        .Cell(r.makespan_seconds, 1)
+        .Cell(r.executor_utilization, 3)
+        .Cell(r.stages[2].max_task_seconds / r.stages[2].mean_task_seconds, 2);
+  }
+  strag.Print(std::cout);
+
+  PrintSection(std::cout, "Task granularity (Q9 on MMEM, 30% jitter)");
+  Table gran({"task waves", "makespan s", "executor util"});
+  const int execs = cluster.config().total_executors / cluster.config().servers;
+  for (int waves : {1, 2, 4, 8}) {
+    const auto r = sched.Run(BuildDag(q9, cluster.config(), waves * execs), 0.3, 11);
+    gran.Row()
+        .Cell(static_cast<uint64_t>(waves))
+        .Cell(r.makespan_seconds, 1)
+        .Cell(r.executor_utilization, 3);
+  }
+  gran.Print(std::cout);
+  std::cout << "Reading: finer tasks smooth stragglers across the barrier — the standard\n"
+               "Spark tuning advice, emerging from the same memory model as Fig. 7.\n";
+  return 0;
+}

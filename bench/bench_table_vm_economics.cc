@@ -1,0 +1,55 @@
+// Regenerates Table 2 (Intel processor series: vCPU growth vs memory
+// capacity) and the §4.3 elastic-compute economics.
+#include <iostream>
+
+#include "src/core/cxl_explorer.h"
+
+int main() {
+  using namespace cxl;
+
+  PrintSection(std::cout, "Table 2: Intel processor series");
+  Table t2({"CPU", "year", "max vCPU", "channels/socket", "max mem TiB", "required (1:4) TiB",
+            "gap TiB"});
+  for (const auto& p : cost::IntelProcessorSeries()) {
+    t2.Row()
+        .Cell(p.name)
+        .Cell(p.year)
+        .Cell(static_cast<uint64_t>(p.max_vcpu_per_server))
+        .Cell(p.memory_channels)
+        .Cell(p.max_memory_tib, 1)
+        .Cell(p.required_memory_tib, 2)
+        .Cell(p.required_memory_tib - p.max_memory_tib, 2);
+  }
+  t2.Print(std::cout);
+  std::cout << "(Sierra Forest: 1152 vCPUs need "
+            << FormatDouble(cost::RequiredMemoryTiB(1152), 1)
+            << " TiB at 1:4 but the board tops out at 4 TiB -> stranded vCPUs)\n";
+
+  PrintSection(std::cout, "§4.3.2 worked example: 1:3 server, 20% discount on CXL instances");
+  cost::VmEconomics econ(cost::VmEconomicsParams{});
+  Table rev({"quantity", "value", "paper"});
+  rev.Row().Cell("stranded vCPUs %").Cell(100.0 * econ.StrandedVcpuFraction(), 1).Cell("25");
+  rev.Row().Cell("revenue improvement %").Cell(100.0 * econ.RevenueImprovement(), 2)
+      .Cell("26.77 (20/75)");
+  rev.Print(std::cout);
+
+  PrintSection(std::cout, "Sweep: revenue improvement vs provisioned GiB/vCPU");
+  Table sweep({"actual GiB/vCPU", "stranded %", "improvement %"});
+  for (double gib : {1.0, 2.0, 2.5, 3.0, 3.5, 4.0}) {
+    cost::VmEconomics e(cost::VmEconomicsParams{4.0, gib, 0.20, 0.125});
+    sweep.Row()
+        .Cell(gib, 1)
+        .Cell(100.0 * e.StrandedVcpuFraction(), 1)
+        .Cell(100.0 * e.RevenueImprovement(), 2);
+  }
+  sweep.Print(std::cout);
+
+  PrintSection(std::cout, "Sweep: revenue improvement vs CXL instance discount (1:3 server)");
+  Table disc({"discount %", "improvement %"});
+  for (double d : {0.0, 0.1, 0.125, 0.2, 0.3, 0.5}) {
+    cost::VmEconomics e(cost::VmEconomicsParams{4.0, 3.0, d, 0.125});
+    disc.Row().Cell(100.0 * d, 1).Cell(100.0 * e.RevenueImprovement(), 2);
+  }
+  disc.Print(std::cout);
+  return 0;
+}

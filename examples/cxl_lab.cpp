@@ -1,0 +1,237 @@
+// cxl_lab: config-file-driven experiment runner.
+//
+// Describe an experiment in a small `key = value` file and run it — the
+// glue that makes this repository usable the way the paper's artifact
+// repository is: checked-in configurations, reproducible runs.
+//
+//   $ cat keydb.lab
+//   experiment = keydb
+//   config     = 1:1          # Table 1 label
+//   workload   = YCSB-A
+//   dataset_gib = 16
+//   ops        = 150000
+//   $ ./build/examples/cxl_lab keydb.lab
+//
+// Experiments: keydb | vm | spark | llm | mlc | cost.
+// Run with no arguments to print a self-test using built-in specs.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "src/core/cxl_explorer.h"
+#include "src/util/config.h"
+
+namespace {
+
+using namespace cxl;
+
+Status RunKeyDbLab(const Config& cfg) {
+  const std::string label = cfg.GetString("config", "MMEM");
+  core::CapacityConfig which = core::CapacityConfig::kMmem;
+  bool found = false;
+  for (core::CapacityConfig c : core::AllCapacityConfigs()) {
+    if (core::ConfigLabel(c) == label) {
+      which = c;
+      found = true;
+    }
+  }
+  if (!found) {
+    return Status::InvalidArgument("unknown Table 1 config: " + label);
+  }
+  const std::string wl = cfg.GetString("workload", "YCSB-C");
+  workload::YcsbWorkload workload = workload::YcsbWorkload::kC;
+  for (auto w : {workload::YcsbWorkload::kA, workload::YcsbWorkload::kB,
+                 workload::YcsbWorkload::kC, workload::YcsbWorkload::kD}) {
+    if (workload::YcsbName(w) == wl) {
+      workload = w;
+    }
+  }
+  core::KeyDbExperimentOptions opt;
+  opt.dataset_bytes = static_cast<uint64_t>(cfg.GetDouble("dataset_gib", 16.0).value_or(16.0) *
+                                            static_cast<double>(1ull << 30));
+  opt.total_ops = static_cast<uint64_t>(cfg.GetInt("ops", 150'000).value_or(150'000));
+  opt.warmup_ops = opt.total_ops / 4;
+  opt.seed = static_cast<uint64_t>(cfg.GetInt("seed", 1).value_or(1));
+  const auto res = core::RunKeyDbExperiment(which, workload, opt);
+  if (!res.ok()) {
+    return res.status();
+  }
+  Table t({"config", "workload", "kops/s", "p50 us", "p99 us", "DRAM share"});
+  t.Row()
+      .Cell(res->config_label)
+      .Cell(res->workload_name)
+      .Cell(res->server.throughput_kops, 1)
+      .Cell(res->server.all_latency_us.p50(), 1)
+      .Cell(res->server.all_latency_us.p99(), 1)
+      .Cell(res->server.dram_share, 2);
+  t.Print(std::cout);
+  return Status::Ok();
+}
+
+Status RunVmLab(const Config& cfg) {
+  core::KeyDbExperimentOptions opt;
+  opt.dataset_bytes = static_cast<uint64_t>(cfg.GetDouble("dataset_gib", 12.0).value_or(12.0) *
+                                            static_cast<double>(1ull << 30));
+  opt.total_ops = static_cast<uint64_t>(cfg.GetInt("ops", 150'000).value_or(150'000));
+  opt.warmup_ops = opt.total_ops / 4;
+  const auto res = core::RunVmCxlOnlyExperiment(opt);
+  if (!res.ok()) {
+    return res.status();
+  }
+  std::cout << "MMEM " << FormatDouble(res->mmem.server.throughput_kops, 1) << " kops/s, CXL "
+            << FormatDouble(res->cxl.server.throughput_kops, 1) << " kops/s, penalty "
+            << FormatDouble(100.0 * res->throughput_penalty, 1) << "%\n";
+  return Status::Ok();
+}
+
+Status RunSparkLab(const Config& cfg) {
+  const std::string qname = cfg.GetString("query", "Q7");
+  const auto* query = apps::spark::FindQuery(qname);
+  if (query == nullptr) {
+    return Status::InvalidArgument("unknown query: " + qname);
+  }
+  const std::string mode = cfg.GetString("config", "MMEM");
+  apps::spark::SparkConfig scfg;
+  if (mode == "MMEM") {
+    scfg = apps::spark::SparkConfig::MmemOnly();
+  } else if (mode == "Hot-Promote") {
+    scfg = apps::spark::SparkConfig::HotPromote();
+  } else if (mode == "MMEM-SSD-0.2") {
+    scfg = apps::spark::SparkConfig::Spill(0.8);
+  } else if (mode == "MMEM-SSD-0.4") {
+    scfg = apps::spark::SparkConfig::Spill(0.6);
+  } else {
+    const size_t colon = mode.find(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("unknown spark config: " + mode);
+    }
+    scfg = apps::spark::SparkConfig::Interleave(std::atoi(mode.c_str()),
+                                                std::atoi(mode.c_str() + colon + 1));
+  }
+  apps::spark::SparkCluster cluster(scfg);
+  const auto r = cluster.RunQuery(*query);
+  Table t({"query", "config", "total s", "compute s", "shuffle s", "spilled GB"});
+  t.Row()
+      .Cell(qname)
+      .Cell(mode)
+      .Cell(r.total_seconds, 1)
+      .Cell(r.compute_seconds, 1)
+      .Cell(r.ShuffleSeconds(), 1)
+      .Cell(r.spilled_bytes / 1e9, 1);
+  t.Print(std::cout);
+  return Status::Ok();
+}
+
+Status RunLlmLab(const Config& cfg) {
+  apps::llm::LlmInferenceSim sim;
+  const std::string placement_str = cfg.GetString("placement", "MMEM");
+  apps::llm::LlmPlacement placement = apps::llm::LlmPlacement::MmemOnly();
+  const size_t colon = placement_str.find(':');
+  if (colon != std::string::npos) {
+    placement = apps::llm::LlmPlacement::Interleave(std::atoi(placement_str.c_str()),
+                                                    std::atoi(placement_str.c_str() + colon + 1));
+  }
+  const int threads = static_cast<int>(cfg.GetInt("threads", 48).value_or(48));
+  const auto pt = sim.Solve(placement, threads);
+  std::cout << placement.label << " @ " << threads
+            << " threads: " << FormatDouble(pt.serving_rate_tokens_s, 1) << " tokens/s, "
+            << FormatDouble(pt.mem_bandwidth_gbps, 1) << " GB/s\n";
+  return Status::Ok();
+}
+
+Status RunMlcLab(const Config& cfg) {
+  const std::string path_str = cfg.GetString("path", "CXL");
+  mem::MemoryPath path = mem::MemoryPath::kLocalCxl;
+  for (auto p : {mem::MemoryPath::kLocalDram, mem::MemoryPath::kRemoteDram,
+                 mem::MemoryPath::kLocalCxl, mem::MemoryPath::kRemoteCxl}) {
+    if (mem::PathLabel(p) == path_str) {
+      path = p;
+    }
+  }
+  workload::MlcBenchmark mlc(mem::GetProfile(path));
+  Table t({"offered GB/s", "achieved GB/s", "latency ns"});
+  for (const auto& pt : mlc.LoadedLatencySweep(mem::AccessMix::ReadOnly(), 10)) {
+    t.Row().Cell(pt.offered_gbps, 1).Cell(pt.achieved_gbps, 1).Cell(pt.latency_ns, 1);
+  }
+  t.Print(std::cout);
+  return Status::Ok();
+}
+
+Status RunCostLab(const Config& cfg) {
+  cost::CostModelParams params;
+  params.r_d = cfg.GetDouble("rd", 10.0).value_or(10.0);
+  params.r_c = cfg.GetDouble("rc", 8.0).value_or(8.0);
+  params.c = cfg.GetDouble("c", 2.0).value_or(2.0);
+  params.r_t = cfg.GetDouble("rt", 1.1).value_or(1.1);
+  cost::AbstractCostModel model(params);
+  if (const Status s = model.Validate(); !s.ok()) {
+    return s;
+  }
+  std::cout << "server ratio " << FormatDouble(100.0 * model.ServerRatio(), 2) << "%, TCO saving "
+            << FormatDouble(100.0 * model.TcoSaving(), 2) << "%\n";
+  return Status::Ok();
+}
+
+Status RunLab(const Config& cfg) {
+  const std::string experiment = cfg.GetString("experiment");
+  if (experiment == "keydb") {
+    return RunKeyDbLab(cfg);
+  }
+  if (experiment == "vm") {
+    return RunVmLab(cfg);
+  }
+  if (experiment == "spark") {
+    return RunSparkLab(cfg);
+  }
+  if (experiment == "llm") {
+    return RunLlmLab(cfg);
+  }
+  if (experiment == "mlc") {
+    return RunMlcLab(cfg);
+  }
+  if (experiment == "cost") {
+    return RunCostLab(cfg);
+  }
+  return Status::InvalidArgument("unknown experiment: '" + experiment +
+                                 "' (want keydb|vm|spark|llm|mlc|cost)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1) {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::cerr << "cannot open " << argv[1] << "\n";
+      return 2;
+    }
+    const auto cfg = Config::Parse(in);
+    if (!cfg.ok()) {
+      std::cerr << "bad spec: " << cfg.status().ToString() << "\n";
+      return 2;
+    }
+    if (const Status s = RunLab(*cfg); !s.ok()) {
+      std::cerr << "experiment failed: " << s.ToString() << "\n";
+      return 1;
+    }
+    return 0;
+  }
+
+  // Self-test: one built-in spec per experiment family.
+  const char* kSpecs[] = {
+      "experiment = keydb\nconfig = 1:1\nworkload = YCSB-B\ndataset_gib = 8\nops = 80000\n",
+      "experiment = spark\nquery = Q7\nconfig = 3:1\n",
+      "experiment = llm\nplacement = 3:1\nthreads = 60\n",
+      "experiment = mlc\npath = CXL\n",
+      "experiment = cost\nrd = 10\nrc = 8\nc = 2\nrt = 1.1\n",
+  };
+  for (const char* spec : kSpecs) {
+    std::cout << "--- spec ---\n" << spec;
+    const auto cfg = Config::ParseString(spec);
+    if (!cfg.ok() || !RunLab(*cfg).ok()) {
+      std::cerr << "self-test failed\n";
+      return 1;
+    }
+  }
+  return 0;
+}

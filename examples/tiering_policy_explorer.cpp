@@ -1,0 +1,89 @@
+// Tiering-policy explorer: how the kernel knobs from §2.3 change a KeyDB
+// workload's behaviour on tiered DRAM+CXL memory.
+//
+// Sweeps the promotion rate limit
+// (kernel.numa_balancing_promote_rate_limit_MBps) and the interleave ratio
+// for a Zipfian KV workload, printing throughput, migration volume and the
+// final DRAM share — the trade-off the paper's Hot-Promote results hinge on
+// (fast enough to capture the hot set, slow enough not to thrash).
+#include <iostream>
+
+#include "src/core/cxl_explorer.h"
+
+namespace {
+
+using namespace cxl;
+
+core::KeyDbExperimentOptions Options() {
+  core::KeyDbExperimentOptions opt;
+  opt.dataset_bytes = 8ull << 30;
+  opt.total_ops = 150'000;
+  opt.warmup_ops = 40'000;
+  return opt;
+}
+
+// Hot-Promote run with an explicit rate limit (MB/s).
+apps::kv::KvServerSim::Result RunWithRateLimit(double rate_limit_mbps) {
+  const auto opt = Options();
+  topology::Platform platform = core::MakeHotPromotePlatform(opt.dataset_bytes);
+  os::PageAllocator allocator(platform, 16ull << 10);
+  os::TieringConfig tc = core::DefaultTieringConfig();
+  tc.promote_rate_limit_mbps = rate_limit_mbps;
+  os::TieredMemory tiering(allocator, tc);
+
+  apps::kv::KvStoreConfig store_cfg;
+  store_cfg.record_count = opt.dataset_bytes / opt.value_bytes;
+  const auto setup = core::MakeCapacitySetup(core::CapacityConfig::kHotPromote, platform);
+  auto store = apps::kv::KvStore::Create(allocator, setup.policy, store_cfg, &tiering);
+  if (!store.ok()) {
+    std::cerr << "store creation failed: " << store.status().ToString() << "\n";
+    std::exit(1);
+  }
+  workload::YcsbGenerator gen(workload::YcsbWorkload::kB, store_cfg.record_count, opt.seed);
+  apps::kv::KvServerConfig scfg;
+  scfg.total_ops = opt.total_ops;
+  scfg.warmup_ops = opt.warmup_ops;
+  apps::kv::KvServerSim sim(platform, *store, gen, scfg, &tiering);
+  auto result = sim.Run();
+  store->Free();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  PrintSection(std::cout, "Promotion rate limit sweep (Hot-Promote, YCSB-B, DRAM = dataset/2)");
+  Table sweep({"rate limit MB/s", "kops/s", "p99 us", "migrated GB", "DRAM share"});
+  for (double limit : {1.0, 8.0, 64.0, 1024.0, 65536.0}) {
+    const auto r = RunWithRateLimit(limit);
+    sweep.Row()
+        .Cell(limit, 0)
+        .Cell(r.throughput_kops, 1)
+        .Cell(r.all_latency_us.p99(), 0)
+        .Cell(r.migrated_bytes / 1e9, 2)
+        .Cell(r.dram_share, 2);
+  }
+  sweep.Print(std::cout);
+  std::cout << "Reading: a starved limit (1-8 MB/s) cannot capture the Zipfian hot set and\n"
+               "throughput stays at 1:1-interleave levels; beyond ~64 MB/s the hot set\n"
+               "promotes within warmup and higher limits change nothing (§4.1.2).\n";
+
+  PrintSection(std::cout, "Static interleave ratio sweep (no daemon, YCSB-B)");
+  Table inter({"policy", "kops/s", "p99 us", "DRAM share"});
+  for (const auto config :
+       {core::CapacityConfig::kMmem, core::CapacityConfig::kInterleave31,
+        core::CapacityConfig::kInterleave11, core::CapacityConfig::kInterleave13}) {
+    const auto res = core::RunKeyDbExperiment(config, workload::YcsbWorkload::kB, Options());
+    if (!res.ok()) {
+      std::cerr << "experiment failed: " << res.status().ToString() << "\n";
+      return 1;
+    }
+    inter.Row()
+        .Cell(core::ConfigLabel(config))
+        .Cell(res->server.throughput_kops, 1)
+        .Cell(res->server.all_latency_us.p99(), 0)
+        .Cell(res->server.dram_share, 2);
+  }
+  inter.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,220 @@
+#include "src/apps/kv/server.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/mem/access.h"
+#include "src/mem/profiles.h"
+
+namespace cxl::apps::kv {
+
+using mem::AccessMix;
+using workload::YcsbOp;
+using EpochSample = KvServerSim::EpochSample;
+
+KvServerSim::KvServerSim(const topology::Platform& platform, KvStore& store,
+                         workload::OpSource& workload, KvServerConfig config,
+                         os::TieredMemory* tiering)
+    : platform_(platform),
+      store_(store),
+      workload_(workload),
+      config_(config),
+      tiering_(tiering),
+      rng_(config.seed) {
+  free_threads_ = config_.server_threads;
+  nodes_.resize(platform.nodes().size());
+  epoch_node_bytes_.assign(platform.nodes().size(), 0.0);
+  const AccessMix mix{1.0 - workload.WriteFraction(), true};
+  for (const auto& n : platform.nodes()) {
+    const auto& prof = platform.ProfileFor(config_.cpu_socket, n.id);
+    nodes_[static_cast<size_t>(n.id)].idle_latency_ns = prof.IdleLatencyNs(mix);
+    nodes_[static_cast<size_t>(n.id)].mean_latency_ns = prof.IdleLatencyNs(mix);
+  }
+  ssd_read_state_.idle_latency_ns = platform.SsdProfile().IdleLatencyNs(AccessMix::ReadOnly());
+  ssd_read_state_.mean_latency_ns = ssd_read_state_.idle_latency_ns;
+}
+
+double KvServerSim::ServiceTimeNs(const YcsbOp& op) {
+  const KvStore::OpCost cost = store_.Access(op);
+
+  // CPU component with mild heavy-tail jitter (parsing, allocation, the
+  // occasional expensive event-loop iteration).
+  double ns = rng_.NextPareto(store_.config().cpu_ns_per_op, 6.0);
+  ns += cost.software_ns;
+  // Kernel migration work (page copies, TLB shootdowns) steals CPU from the
+  // event loops while the daemon is churning.
+  ns += migration_stall_ns_per_op_;
+
+  // Memory stalls: `mem_lines` dependent accesses at the node's current
+  // loaded latency. The sum of many near-exponential stall times is
+  // approximately Gaussian: mean L*n, stddev ~ excess * sqrt(n).
+  if (cost.node >= 0 && cost.mem_lines > 0.0) {
+    const NodeState& st = nodes_[static_cast<size_t>(cost.node)];
+    const double mean = st.mean_latency_ns * cost.mem_lines;
+    const double excess = std::max(0.0, st.mean_latency_ns - st.idle_latency_ns) + 20.0;
+    const double sigma = excess * std::sqrt(cost.mem_lines);
+    const double floor_ns = st.idle_latency_ns * cost.mem_lines * 0.5;
+    ns += std::max(floor_ns, rng_.NextGaussian(mean, sigma));
+    epoch_node_bytes_[static_cast<size_t>(cost.node)] += cost.mem_lines * 64.0;
+  }
+
+  // Foreground SSD read (KeyDB-FLASH cache miss): idle latency plus
+  // exponential queueing excess at the current SSD utilization.
+  if (cost.ssd_read) {
+    const double mean_excess =
+        std::max(0.0, ssd_read_state_.mean_latency_ns - ssd_read_state_.idle_latency_ns);
+    ns += ssd_read_state_.idle_latency_ns +
+          (mean_excess > 0.0 ? rng_.NextExponential(mean_excess) : 0.0);
+    epoch_ssd_read_bytes_ += static_cast<double>(cost.ssd_read_bytes);
+  }
+  // Background persistence traffic (WAL / flush / compaction): charged to
+  // SSD bandwidth, not to this op's latency.
+  epoch_ssd_write_bytes_ += static_cast<double>(cost.ssd_write_bytes);
+  return ns;
+}
+
+void KvServerSim::RefreshContention(double epoch_dt_ns) {
+  if (epoch_dt_ns <= 0.0) {
+    return;
+  }
+  const double dt_sec = epoch_dt_ns / 1e9;
+  topology::TrafficModel traffic(platform_);
+  const AccessMix mix{1.0 - workload_.WriteFraction(), true};
+
+  std::vector<topology::TrafficModel::FlowId> node_flow(platform_.nodes().size(), -1);
+  for (const auto& n : platform_.nodes()) {
+    const double gbps = epoch_node_bytes_[static_cast<size_t>(n.id)] / epoch_dt_ns;
+    if (gbps > 0.0) {
+      node_flow[static_cast<size_t>(n.id)] =
+          traffic.AddMemoryTraffic(config_.cpu_socket, n.id, mix, gbps);
+    }
+  }
+  // Migration traffic from the previous daemon tick: a read stream on the
+  // CXL side and a write stream on the DRAM side (promotion direction
+  // dominates; demotion is symmetric enough for this accounting).
+  if (epoch_migrated_bytes_ > 0.0) {
+    const double mig_gbps = epoch_migrated_bytes_ / epoch_dt_ns;
+    for (const auto& n : platform_.nodes()) {
+      const bool is_cxl = n.kind == topology::NodeKind::kCxl;
+      traffic.AddMemoryTraffic(config_.cpu_socket, n.id,
+                               is_cxl ? AccessMix::ReadOnly() : AccessMix::WriteOnly(),
+                               mig_gbps / static_cast<double>(platform_.nodes().size()));
+    }
+  }
+
+  topology::TrafficModel::FlowId ssd_read_flow = -1;
+  const double ssd_read_gbps = epoch_ssd_read_bytes_ / epoch_dt_ns;
+  const double ssd_write_gbps = epoch_ssd_write_bytes_ / epoch_dt_ns;
+  if (ssd_read_gbps > 0.0) {
+    ssd_read_flow = traffic.AddSsdTraffic(AccessMix::ReadOnly(), ssd_read_gbps);
+  }
+  if (ssd_write_gbps > 0.0) {
+    traffic.AddSsdTraffic(AccessMix::WriteOnly(), ssd_write_gbps);
+  }
+
+  const auto sol = traffic.Solve();
+  for (const auto& n : platform_.nodes()) {
+    const auto flow = node_flow[static_cast<size_t>(n.id)];
+    if (flow >= 0) {
+      nodes_[static_cast<size_t>(n.id)].mean_latency_ns = sol.flows[flow].latency_ns;
+    }
+  }
+  if (ssd_read_flow >= 0) {
+    ssd_read_state_.mean_latency_ns = sol.flows[ssd_read_flow].latency_ns;
+  }
+
+  // Telemetry (last epoch wins; the run ends in steady state).
+  result_.mem_traffic_gbps = 0.0;
+  for (double b : epoch_node_bytes_) {
+    result_.mem_traffic_gbps += b / epoch_dt_ns;
+  }
+  result_.ssd_read_gbps = ssd_read_gbps;
+  result_.ssd_write_gbps = ssd_write_gbps;
+
+  std::fill(epoch_node_bytes_.begin(), epoch_node_bytes_.end(), 0.0);
+  epoch_ssd_read_bytes_ = 0.0;
+  epoch_ssd_write_bytes_ = 0.0;
+  epoch_migrated_bytes_ = 0.0;
+
+  // Timeline sample for this epoch.
+  EpochSample sample;
+  sample.end_ms = events_.Now() / 1e6;
+  sample.kops = static_cast<double>(config_.epoch_ops) / epoch_dt_ns * 1e6;
+
+  // Promotion daemon runs on the same cadence.
+  migration_stall_ns_per_op_ = 0.0;
+  if (tiering_ != nullptr) {
+    const auto tick = tiering_->Tick(dt_sec);
+    epoch_migrated_bytes_ = tick.migrated_bytes;
+    result_.migrated_bytes += tick.migrated_bytes;
+    // ~15 us of kernel work per migrated 16 KiB page (copy + unmap + TLB
+    // shootdown), amortized over the coming epoch's ops.
+    constexpr double kStallNsPerPage = 8'000.0;
+    const double pages = static_cast<double>(tick.promoted_pages + tick.demoted_pages);
+    migration_stall_ns_per_op_ = pages * kStallNsPerPage / static_cast<double>(config_.epoch_ops);
+    sample.migrated_mb = tick.migrated_bytes / 1e6;
+  }
+  result_.timeline.push_back(sample);
+}
+
+void KvServerSim::SubmitOne() {
+  if (issued_ >= config_.total_ops) {
+    return;
+  }
+  ++issued_;
+  pending_.emplace_back(events_.Now(), workload_.Next());
+  Dispatch();
+}
+
+void KvServerSim::Dispatch() {
+  while (free_threads_ > 0 && !pending_.empty()) {
+    auto [submit_time, op] = pending_.front();
+    pending_.pop_front();
+    --free_threads_;
+    const double service_ns = ServiceTimeNs(op);
+    service_stats_.Add(service_ns);
+    const bool is_write = op.type != YcsbOp::Type::kRead;
+    events_.ScheduleAfter(service_ns,
+                          [this, submit_time, is_write] { OnComplete(submit_time, is_write); });
+  }
+}
+
+void KvServerSim::OnComplete(double submit_time, bool is_write) {
+  ++free_threads_;
+  ++completed_;
+  const double latency_us = (events_.Now() - submit_time) / 1e3;
+  if (completed_ > config_.warmup_ops) {
+    if (measured_ops_ == 0) {
+      measure_start_ns_ = events_.Now();
+    }
+    ++measured_ops_;
+    result_.all_latency_us.Record(latency_us);
+    if (is_write) {
+      result_.update_latency_us.Record(latency_us);
+    } else {
+      result_.read_latency_us.Record(latency_us);
+    }
+  }
+  if (completed_ % config_.epoch_ops == 0) {
+    RefreshContention(events_.Now() - epoch_start_ns_);
+    epoch_start_ns_ = events_.Now();
+  }
+  SubmitOne();   // Closed loop: this client issues its next request.
+  Dispatch();
+}
+
+KvServerSim::Result KvServerSim::Run() {
+  for (int c = 0; c < config_.client_connections; ++c) {
+    SubmitOne();
+  }
+  events_.Run();
+  const double measured_ns = events_.Now() - measure_start_ns_;
+  if (measured_ns > 0.0 && measured_ops_ > 1) {
+    result_.throughput_kops = static_cast<double>(measured_ops_) / measured_ns * 1e6;
+  }
+  result_.dram_share = store_.DramShare();
+  result_.avg_service_us = service_stats_.mean() / 1e3;
+  return result_;
+}
+
+}  // namespace cxl::apps::kv

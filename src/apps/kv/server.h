@@ -1,0 +1,130 @@
+// Event-driven KeyDB server simulation.
+//
+// Reproduces the paper's KeyDB methodology (§4.1.1): one store instance with
+// seven server threads, driven closed-loop by YCSB clients. The discrete-
+// event engine models request queueing at the event loops (tail latency!),
+// while memory-stall and SSD costs come from the platform's contention
+// model, refreshed every epoch from the traffic the simulation itself
+// generated — a fluid feedback loop:
+//
+//   ops drive bytes/s per NUMA node -> BandwidthSolver -> loaded latency ->
+//   per-op service time -> ops/s ...
+//
+// The optional tiering daemon runs on simulated time and its migration
+// traffic is charged against memory bandwidth (Hot-Promote is not free).
+#ifndef CXL_EXPLORER_SRC_APPS_KV_SERVER_H_
+#define CXL_EXPLORER_SRC_APPS_KV_SERVER_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+#include <vector>
+
+#include "src/apps/kv/kvstore.h"
+#include "src/os/tiering.h"
+#include "src/sim/event_queue.h"
+#include "src/topology/platform.h"
+#include "src/util/histogram.h"
+#include "src/util/rng.h"
+#include "src/workload/ycsb.h"
+
+namespace cxl::apps::kv {
+
+struct KvServerConfig {
+  // KeyDB server threads (§4.1.1 deploys seven).
+  int server_threads = 7;
+  // Closed-loop client connections.
+  int client_connections = 64;
+  uint64_t total_ops = 300'000;
+  // Ops ignored for statistics while the feedback loop settles.
+  uint64_t warmup_ops = 50'000;
+  // Contention model refresh cadence.
+  uint64_t epoch_ops = 10'000;
+  uint64_t seed = 1;
+  // CPU socket the server threads are pinned to.
+  int cpu_socket = 0;
+};
+
+class KvServerSim {
+ public:
+  // `tiering` may be null (no promotion daemon). The daemon, when present,
+  // ticks once per epoch on simulated time.
+  KvServerSim(const topology::Platform& platform, KvStore& store, workload::OpSource& workload,
+              KvServerConfig config, os::TieredMemory* tiering = nullptr);
+
+  // One row per contention epoch: the time series behind convergence plots
+  // (Hot-Promote warm-up, SSD cache fill, ...).
+  struct EpochSample {
+    double end_ms = 0.0;        // Simulated time at the epoch boundary.
+    double kops = 0.0;          // Throughput within the epoch.
+    double migrated_mb = 0.0;   // Migration traffic the daemon generated.
+  };
+
+  struct Result {
+    double throughput_kops = 0.0;
+    Histogram read_latency_us{0.1, 1e7, 96};
+    Histogram update_latency_us{0.1, 1e7, 96};
+    Histogram all_latency_us{0.1, 1e7, 96};
+    // Telemetry at the end of the run.
+    double dram_share = 0.0;          // Store pages on DRAM.
+    double mem_traffic_gbps = 0.0;    // Aggregate memory traffic.
+    double ssd_read_gbps = 0.0;
+    double ssd_write_gbps = 0.0;
+    double migrated_bytes = 0.0;      // Total promotion/demotion volume.
+    double avg_service_us = 0.0;
+    std::vector<EpochSample> timeline;
+  };
+
+  Result Run();
+
+ private:
+  struct NodeState {
+    double mean_latency_ns = 0.0;
+    double idle_latency_ns = 0.0;
+  };
+
+  // Computes one op's service time (ns) and charges its traffic.
+  double ServiceTimeNs(const workload::YcsbOp& op);
+  // Refreshes loaded latencies from the traffic measured in the last epoch.
+  void RefreshContention(double epoch_dt_ns);
+  void Dispatch();
+  void OnComplete(double submit_time, bool is_write);
+  void SubmitOne();
+
+  const topology::Platform& platform_;
+  KvStore& store_;
+  workload::OpSource& workload_;
+  KvServerConfig config_;
+  os::TieredMemory* tiering_;
+  Rng rng_;
+
+  sim::EventQueue events_;
+  std::deque<std::pair<double, workload::YcsbOp>> pending_;  // (submit time, op).
+  int free_threads_ = 0;
+  uint64_t completed_ = 0;
+  uint64_t issued_ = 0;
+
+  // Per-node contention state (indexed by NodeId).
+  std::vector<NodeState> nodes_;
+  NodeState ssd_read_state_;
+
+  // Kernel-side cost of last epoch's migrations (page copies + TLB
+  // shootdowns), amortized over the next epoch's operations.
+  double migration_stall_ns_per_op_ = 0.0;
+
+  // Epoch accumulators.
+  std::vector<double> epoch_node_bytes_;
+  double epoch_ssd_read_bytes_ = 0.0;
+  double epoch_ssd_write_bytes_ = 0.0;
+  double epoch_start_ns_ = 0.0;
+  double epoch_migrated_bytes_ = 0.0;  // Charged next epoch.
+
+  Result result_;
+  RunningStats service_stats_;
+  double measure_start_ns_ = 0.0;
+  uint64_t measured_ops_ = 0;
+};
+
+}  // namespace cxl::apps::kv
+
+#endif  // CXL_EXPLORER_SRC_APPS_KV_SERVER_H_

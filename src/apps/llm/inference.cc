@@ -1,0 +1,113 @@
+#include "src/apps/llm/inference.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/mem/access.h"
+#include "src/mem/profiles.h"
+
+namespace cxl::apps::llm {
+
+using mem::AccessMix;
+using mem::GetProfile;
+using mem::MemoryPath;
+
+LlmPlacement LlmPlacement::Interleave(int top, int low) {
+  LlmPlacement p;
+  p.mmem_share = static_cast<double>(top) / (top + low);
+  p.label = std::to_string(top) + ":" + std::to_string(low);
+  return p;
+}
+
+double LlmInferenceSim::TotalDemandGBps(int total_threads) const {
+  // Backends of `threads_per_backend` threads; partially-filled last backend
+  // allowed. Each backend's demand ramps linearly and clips at the plateau.
+  double demand = 0.0;
+  int remaining = total_threads;
+  while (remaining > 0) {
+    const int t = std::min(remaining, config_.threads_per_backend);
+    demand += std::min(t * config_.per_thread_demand_gbps, config_.backend_plateau_gbps);
+    remaining -= t;
+  }
+  return demand;
+}
+
+double LlmInferenceSim::SingleBackendBandwidthGBps(int threads) const {
+  return std::min(threads * config_.per_thread_demand_gbps, config_.backend_plateau_gbps);
+}
+
+double LlmInferenceSim::KvCacheBandwidthGBps(double kv_cache_bytes) const {
+  // With an unbounded prompt the decoder re-reads the whole KV cache each
+  // token. The token rate falls as attention grows with the context
+  // (rate ~ r0 / (1 + kv/kv0)), so KV traffic kv * rate(kv) saturates at
+  // r0 * kv0 — the ~9 GB/s increment that tops Fig. 10(c) out near 21 GB/s
+  // over the 12 GB/s model-load floor.
+  const double r0 = 30.0;        // tokens/s at negligible context.
+  const double kv0 = 0.3e9;      // context bytes that halve the rate.
+  const double rate = r0 / (1.0 + kv_cache_bytes / kv0);
+  return config_.model_io_floor_gbps + kv_cache_bytes * rate / 1e9;
+}
+
+LlmBatchPoint LlmInferenceSim::SolveBatched(const LlmPlacement& placement, int total_threads,
+                                            int batch, int context_tokens) const {
+  LlmBatchPoint pt;
+  pt.batch = std::max(1, batch);
+  const double kv_context_bytes = config_.model.kv_bytes_per_token * context_tokens;
+  pt.kv_cache_bytes_total = kv_context_bytes * pt.batch;
+  // Per decode step: weights once + every sequence's KV cache; the step
+  // yields `batch` tokens.
+  pt.bytes_per_token = config_.model.weight_bytes / pt.batch + kv_context_bytes;
+  // Bandwidth supply and queueing quality are those of the unbatched solve
+  // (same threads, same placement); only the byte cost per token changes.
+  const LlmServingPoint base = Solve(placement, total_threads);
+  const double effective_gbps =
+      base.serving_rate_tokens_s * config_.model.bytes_per_token_per_thread / 1e9;
+  pt.tokens_per_second = effective_gbps * 1e9 / pt.bytes_per_token;
+  return pt;
+}
+
+int LlmInferenceSim::MaxBatchForCapacity(double available_bytes, int context_tokens) const {
+  const double kv_context_bytes = config_.model.kv_bytes_per_token * context_tokens;
+  const double for_kv = available_bytes - config_.model.weight_bytes;
+  if (for_kv < kv_context_bytes) {
+    return 0;
+  }
+  return static_cast<int>(for_kv / kv_context_bytes);
+}
+
+LlmServingPoint LlmInferenceSim::Solve(const LlmPlacement& placement, int total_threads) const {
+  LlmServingPoint pt;
+  pt.threads = total_threads;
+  const AccessMix mix{config_.read_fraction, true};
+  const auto& dram = GetProfile(MemoryPath::kLocalDram);   // One SNC domain.
+  const auto& cxl = GetProfile(MemoryPath::kLocalCxl);
+
+  const double demand = TotalDemandGBps(total_threads);
+  const double d_m = demand * placement.mmem_share;
+  const double d_c = demand * (1.0 - placement.mmem_share);
+
+  const double peak_m = dram.PeakBandwidthGBps(mix) * config_.dram_bandwidth_scale;
+  const double peak_c = cxl.PeakBandwidthGBps(mix);
+
+  // Delivered bytes (open loop: prefetchers and the token pipeline keep the
+  // links busy even past the knee — PCM sees this number).
+  const double b_m = std::min(d_m, 0.98 * peak_m);
+  const double b_c = std::min(d_c, 0.98 * peak_c);
+  pt.mem_bandwidth_gbps = b_m + b_c;
+  pt.mmem_utilization = peak_m > 0.0 ? std::min(d_m / peak_m, 0.98) : 0.0;
+  pt.cxl_utilization = peak_c > 0.0 ? std::min(d_c / peak_c, 0.98) : 0.0;
+  pt.mmem_latency_ns = dram.MakeQueueModel(mix).LatencyAt(pt.mmem_utilization);
+  pt.cxl_latency_ns = cxl.MakeQueueModel(mix).LatencyAt(pt.cxl_utilization);
+
+  // Token rate: delivered bytes discounted by queueing quality per pool.
+  const double q_m =
+      std::pow(dram.IdleLatencyNs(mix) / pt.mmem_latency_ns, config_.gamma_dram);
+  const double q_c = std::pow(cxl.IdleLatencyNs(mix) / pt.cxl_latency_ns, config_.gamma_cxl) *
+                     config_.cxl_intrinsic_efficiency;
+  const double effective_gbps = b_m * q_m + b_c * q_c;
+  pt.serving_rate_tokens_s =
+      effective_gbps * 1e9 / config_.model.bytes_per_token_per_thread;
+  return pt;
+}
+
+}  // namespace cxl::apps::llm

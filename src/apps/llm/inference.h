@@ -1,0 +1,132 @@
+// CPU LLM inference serving model (§5).
+//
+// The paper's setup: a LightLLM-style frontend dispatches requests to CPU
+// inference backends of 12 threads each, all bound to a single SNC-4 domain
+// (2 x DDR5-4800, ~67 GB/s read peak) plus a 256 GB A1000 CXL expander.
+// Decode is memory-bound: each generated token streams the (Alpaca-7B,
+// 4.1 GB) weights and the growing KV cache. Backends are added to raise the
+// serving rate until memory bandwidth saturates; weighted interleaving
+// (3:1 / 1:1 / 1:3) spills part of the traffic onto the CXL expander.
+//
+// Model mechanics:
+//  - each thread demands `per_thread_demand_gbps` of memory traffic when
+//    unthrottled (Fig. 10(b): ~1.05 GB/s/thread, plateauing per backend);
+//  - traffic splits across DRAM / CXL by the interleave share;
+//  - each pool delivers min(demand, ~peak) and runs at a utilization with a
+//    loaded latency from the calibrated queue model;
+//  - serving quality degrades with queueing ((idle/loaded)^gamma): past the
+//    knee, latency spikes destroy token rate even though PCM-style byte
+//    counters still show high bandwidth — the §5.2/§5.3 observation;
+//  - CXL-served traffic carries an intrinsic-latency efficiency factor
+//    (~0.80), so at low load more-DRAM placements win.
+#ifndef CXL_EXPLORER_SRC_APPS_LLM_INFERENCE_H_
+#define CXL_EXPLORER_SRC_APPS_LLM_INFERENCE_H_
+
+#include <string>
+
+namespace cxl::apps::llm {
+
+struct LlmModelConfig {
+  // Alpaca-7B (§5.1): 4.1 GB of weights.
+  double weight_bytes = 4.1e9;
+  // KV-cache bytes appended per generated token (2 tensors x 32 layers x
+  // 4096 hidden x fp16).
+  double kv_bytes_per_token = 0.5e6;
+  // Effective bytes streamed per token per thread (weights slice + KV).
+  double bytes_per_token_per_thread = 0.35e9;
+};
+
+struct LlmServingConfig {
+  LlmModelConfig model;
+  int threads_per_backend = 12;
+  // Fig. 10(b): per-thread demand slope and per-backend plateau.
+  double per_thread_demand_gbps = 1.05;
+  double backend_plateau_gbps = 24.2;
+  // Quality exponents: token rate scales with (idle/loaded)^gamma on each
+  // pool. CXL queueing hurts more (deeper pipeline behind the controller).
+  double gamma_dram = 0.45;
+  double gamma_cxl = 1.3;
+  // Intrinsic efficiency of CXL-served decode traffic at idle.
+  double cxl_intrinsic_efficiency = 0.80;
+  // Fig. 10(c): model-load I/O floor.
+  double model_io_floor_gbps = 12.0;
+  // Read fraction of decode traffic (weights reads dominate; KV appends
+  // write).
+  double read_fraction = 0.875;
+  // DRAM channel pairs available to the backends: 1 = one SNC-4 domain
+  // (the paper's §5.1 binding, which saturates early by design), 4 = the
+  // whole SNC-off socket.
+  double dram_bandwidth_scale = 1.0;
+};
+
+// Batched decode (§5's motivation: "The limited capacity of GPU memory
+// restricts the batch size of the LLM inference job"; CXL supplies both the
+// bandwidth and the capacity to raise it). One decode step streams the
+// weights once for the whole batch but each sequence's KV cache separately:
+//   bytes/token(B) = weights/B + kv_context_bytes.
+struct LlmBatchPoint {
+  int batch = 1;
+  double tokens_per_second = 0.0;
+  double bytes_per_token = 0.0;
+  double kv_cache_bytes_total = 0.0;  // batch x context KV footprint.
+};
+
+// Placement of inference memory across the SNC domain's DRAM and the CXL
+// expander (Table 1 interleave ratios; mmem_share = N/(N+M)).
+struct LlmPlacement {
+  double mmem_share = 1.0;
+  std::string label = "MMEM";
+
+  static LlmPlacement MmemOnly() { return {1.0, "MMEM"}; }
+  static LlmPlacement Interleave(int top, int low);
+};
+
+struct LlmServingPoint {
+  int threads = 0;
+  double serving_rate_tokens_s = 0.0;
+  double mem_bandwidth_gbps = 0.0;  // Byte-counter view (PCM-style).
+  double mmem_utilization = 0.0;
+  double cxl_utilization = 0.0;
+  double mmem_latency_ns = 0.0;
+  double cxl_latency_ns = 0.0;
+};
+
+class LlmInferenceSim {
+ public:
+  explicit LlmInferenceSim(LlmServingConfig config = {}) : config_(config) {}
+
+  // Serving rate with `total_threads` inference threads under `placement`
+  // (Fig. 10(a) series).
+  LlmServingPoint Solve(const LlmPlacement& placement, int total_threads) const;
+
+  // Fig. 10(b): memory bandwidth of a single backend as its thread count
+  // grows (linear, then the 24.2 GB/s plateau).
+  double SingleBackendBandwidthGBps(int threads) const;
+
+  // Fig. 10(c): bandwidth vs KV-cache size with an unbounded prompt: the
+  // model-load floor plus KV traffic that saturates as longer contexts slow
+  // the token rate (kv_bytes * rate(kv) -> plateau).
+  double KvCacheBandwidthGBps(double kv_cache_bytes) const;
+
+  // Extension: serving rate of batched decode at `batch` sequences of
+  // `context_tokens` context. Same bandwidth supply as Solve(); the batch
+  // amortizes the weight stream across tokens.
+  LlmBatchPoint SolveBatched(const LlmPlacement& placement, int total_threads, int batch,
+                             int context_tokens = 2048) const;
+
+  // Largest batch whose KV caches fit in `available_bytes` alongside the
+  // weights (the capacity constraint CXL relaxes).
+  int MaxBatchForCapacity(double available_bytes, int context_tokens = 2048) const;
+
+  const LlmServingConfig& config() const { return config_; }
+
+ private:
+  // Demand offered by `total_threads`, accounting for per-backend plateaus.
+  double TotalDemandGBps(int total_threads) const;
+
+  LlmServingConfig config_;
+};
+
+}  // namespace cxl::apps::llm
+
+#endif  // CXL_EXPLORER_SRC_APPS_LLM_INFERENCE_H_

@@ -1,0 +1,65 @@
+#include "src/apps/llm/serving.h"
+
+#include <algorithm>
+
+namespace cxl::apps::llm {
+
+ServingStack::ServingStack(ServingStackConfig config)
+    : config_(std::move(config)), sim_(config_.inference) {}
+
+ServingStack::Stats ServingStack::SteadyState(const ServingRequest& request) const {
+  Stats stats;
+  const int threads = config_.backends * config_.inference.threads_per_backend;
+  const LlmServingPoint pt = sim_.Solve(config_.placement, threads);
+  stats.tokens_per_second = pt.serving_rate_tokens_s;
+  stats.mem_bandwidth_gbps = pt.mem_bandwidth_gbps;
+  const int tokens_per_request = request.output_tokens;
+  if (tokens_per_request > 0 && stats.tokens_per_second > 0.0) {
+    stats.requests_per_second = stats.tokens_per_second / tokens_per_request;
+    // One request decodes on one backend at the per-backend share of rate.
+    const double backend_rate = stats.tokens_per_second / config_.backends;
+    stats.mean_request_seconds = tokens_per_request / backend_rate;
+  }
+  stats.kv_cache_bytes_per_backend =
+      (request.prompt_tokens + request.output_tokens) *
+      config_.inference.model.kv_bytes_per_token * config_.max_inflight_per_backend;
+  return stats;
+}
+
+ServingStack::Stats ServingStack::Drive(const ServingRequest& request, int n,
+                                        Histogram* latency_s, uint64_t seed) const {
+  Stats steady = SteadyState(request);
+  if (n <= 0 || steady.mean_request_seconds <= 0.0) {
+    return steady;
+  }
+  Rng rng(seed);
+  // Backends drain a shared arrival queue; with back-to-back arrivals every
+  // backend stays busy and each request sees its decode time plus queueing
+  // for a free backend slot. Output lengths jitter around the nominal size.
+  std::vector<double> backend_free_at(static_cast<size_t>(config_.backends), 0.0);
+  double now = 0.0;
+  double total_busy = 0.0;
+  for (int i = 0; i < n; ++i) {
+    auto slot = std::min_element(backend_free_at.begin(), backend_free_at.end());
+    const double start = std::max(now, *slot);
+    const double tokens = std::max(1.0, rng.NextGaussian(request.output_tokens,
+                                                         0.15 * request.output_tokens));
+    const double decode = steady.mean_request_seconds * tokens / request.output_tokens;
+    *slot = start + decode;
+    total_busy += decode;
+    if (latency_s != nullptr) {
+      latency_s->Record(*slot - now);
+    }
+    // Single-threaded client (§5.1): it fires the next request immediately.
+  }
+  const double makespan = *std::max_element(backend_free_at.begin(), backend_free_at.end());
+  Stats stats = steady;
+  if (makespan > 0.0) {
+    stats.requests_per_second = n / makespan;
+    stats.tokens_per_second = stats.requests_per_second * request.output_tokens;
+    stats.mean_request_seconds = total_busy / n;
+  }
+  return stats;
+}
+
+}  // namespace cxl::apps::llm

@@ -1,0 +1,67 @@
+// LLM serving stack plumbing (Fig. 9): HTTP frontend -> router -> CPU
+// inference backends with per-backend KV caches.
+//
+// The paper replaces LightLLM's GPU backend with a CPU backend; requests are
+// tokenized at the HTTP server, routed round-robin to backends, and each
+// backend decodes with its private KV cache. This module models the serving
+// pipeline around LlmInferenceSim so the examples/benches exercise the full
+// request path: arrival -> queue at router -> decode (token loop) -> reply.
+#ifndef CXL_EXPLORER_SRC_APPS_LLM_SERVING_H_
+#define CXL_EXPLORER_SRC_APPS_LLM_SERVING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/apps/llm/inference.h"
+#include "src/util/histogram.h"
+#include "src/util/rng.h"
+
+namespace cxl::apps::llm {
+
+struct ServingRequest {
+  uint64_t id = 0;
+  int prompt_tokens = 512;     // 2048-byte prompt context (§5.1).
+  int output_tokens = 128;     // Tokens to generate.
+};
+
+struct ServingStackConfig {
+  LlmServingConfig inference;
+  LlmPlacement placement = LlmPlacement::MmemOnly();
+  int backends = 4;
+  // Router queue capacity per backend; beyond this, requests wait.
+  int max_inflight_per_backend = 1;
+};
+
+// Closed-form serving pipeline: computes steady-state request latency and
+// throughput given continuous client pressure (the paper's single-threaded
+// client keeps every backend busy).
+class ServingStack {
+ public:
+  explicit ServingStack(ServingStackConfig config);
+
+  struct Stats {
+    double tokens_per_second = 0.0;       // Aggregate decode rate.
+    double requests_per_second = 0.0;     // Completed requests.
+    double mean_request_seconds = 0.0;    // Decode time per request.
+    double mem_bandwidth_gbps = 0.0;
+    double kv_cache_bytes_per_backend = 0.0;
+  };
+
+  // Steady state with every backend saturated by `request` -shaped work.
+  Stats SteadyState(const ServingRequest& request) const;
+
+  // Simulates `n` requests arriving back-to-back (per the paper's client)
+  // and records per-request latency. Deterministic given the seed.
+  Stats Drive(const ServingRequest& request, int n, Histogram* latency_s,
+              uint64_t seed = 1) const;
+
+  const ServingStackConfig& config() const { return config_; }
+
+ private:
+  ServingStackConfig config_;
+  LlmInferenceSim sim_;
+};
+
+}  // namespace cxl::apps::llm
+
+#endif  // CXL_EXPLORER_SRC_APPS_LLM_SERVING_H_

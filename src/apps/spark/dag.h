@@ -1,0 +1,81 @@
+// Task-level Spark DAG scheduler.
+//
+// The analytic model in cluster.h treats each query as three fluid phases.
+// This module descends one level: a query is a DAG of stages, each stage a
+// set of tasks scheduled onto executor slots by an event-driven scheduler
+// (FIFO within a stage, stages gated by their dependencies, straggler
+// jitter per task). Task durations come from the same contention-solved
+// per-executor rates as the analytic model — so the two models must agree
+// in aggregate (a validation test enforces it) while the DAG view exposes
+// what the fluid view cannot: stragglers, barrier stalls, and executor
+// utilization.
+#ifndef CXL_EXPLORER_SRC_APPS_SPARK_DAG_H_
+#define CXL_EXPLORER_SRC_APPS_SPARK_DAG_H_
+
+#include <string>
+#include <vector>
+
+#include "src/apps/spark/cluster.h"
+#include "src/apps/spark/query.h"
+
+namespace cxl::apps::spark {
+
+struct StageSpec {
+  std::string name;
+  int tasks = 0;
+  double bytes_per_task = 0.0;
+  double read_fraction = 1.0;
+  // Stage ids (indices into DagQuery::stages) that must finish first.
+  std::vector<int> depends_on;
+  // Shuffle-read stages also move their bytes across the network.
+  bool crosses_network = false;
+  // Latency sensitivity of this stage's processing (shuffle row processing
+  // is super-linear, scan/compute much milder). < 0 means "use the
+  // cluster's configured shuffle sensitivity".
+  double latency_sensitivity = -1.0;
+};
+
+struct DagQuery {
+  std::string name;
+  std::vector<StageSpec> stages;
+};
+
+// Standard 3-stage DAG (scan/compute -> shuffle write -> shuffle read) from
+// a TPC-H query profile. `tasks_per_stage` defaults to 2 waves per executor.
+DagQuery BuildDag(const QueryProfile& profile, const SparkConfig& config,
+                  int tasks_per_stage = 0);
+
+struct StageResult {
+  std::string name;
+  double start_seconds = 0.0;
+  double end_seconds = 0.0;
+  // Mean / max task duration: max >> mean means stragglers dominated.
+  double mean_task_seconds = 0.0;
+  double max_task_seconds = 0.0;
+};
+
+struct DagResult {
+  double makespan_seconds = 0.0;
+  std::vector<StageResult> stages;
+  // Fraction of executor-time spent running tasks (vs barrier idling).
+  double executor_utilization = 0.0;
+};
+
+class DagScheduler {
+ public:
+  // Rates are solved once per (cluster, mix) through the same contention
+  // model the analytic phases use.
+  explicit DagScheduler(SparkCluster& cluster) : cluster_(cluster) {}
+
+  // Runs the DAG on one modelled server's executors (as the analytic model
+  // does; servers are symmetric). `jitter` adds multiplicative lognormal-ish
+  // task-duration noise (0 = deterministic tasks).
+  DagResult Run(const DagQuery& query, double jitter = 0.15, uint64_t seed = 1);
+
+ private:
+  SparkCluster& cluster_;
+};
+
+}  // namespace cxl::apps::spark
+
+#endif  // CXL_EXPLORER_SRC_APPS_SPARK_DAG_H_

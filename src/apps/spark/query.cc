@@ -1,0 +1,27 @@
+#include "src/apps/spark/query.h"
+
+namespace cxl::apps::spark {
+
+std::vector<QueryProfile> TpchShuffleHeavyQueries() {
+  // Shuffle volumes scale with the 7 TB initial dataset; Q9 (the
+  // part/supplier/lineitem join over all years) is notoriously the
+  // heaviest shuffler of the suite.
+  return {
+      QueryProfile{"Q5", 60.0, 250e9, 500e9},
+      QueryProfile{"Q7", 55.0, 350e9, 550e9},
+      QueryProfile{"Q8", 50.0, 450e9, 600e9},
+      QueryProfile{"Q9", 45.0, 600e9, 650e9},
+  };
+}
+
+const QueryProfile* FindQuery(const std::string& name) {
+  static const std::vector<QueryProfile> queries = TpchShuffleHeavyQueries();
+  for (const auto& q : queries) {
+    if (q.name == name) {
+      return &q;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace cxl::apps::spark

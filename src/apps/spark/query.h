@@ -1,0 +1,39 @@
+// TPC-H query profiles for the Spark SQL experiment (§4.2).
+//
+// The paper runs the four shuffle-heavy TPC-H queries (Q5, Q7, Q8, Q9,
+// selected per prior shuffle-acceleration work) over a 7 TB dataset with 150
+// executors of 1 core / 8 GB each. A query is modelled as a scan/compute
+// component plus a shuffle volume that must be written by map tasks and read
+// back by reduce tasks; the shuffle volumes below are calibrated so the
+// MMEM-only run spends the Fig. 7(b) share of its time in shuffle and the
+// all-in-memory footprint stays within the 1.2 TB of executor memory (the
+// paper observes no spill in the MMEM-only configuration).
+#ifndef CXL_EXPLORER_SRC_APPS_SPARK_QUERY_H_
+#define CXL_EXPLORER_SRC_APPS_SPARK_QUERY_H_
+
+#include <string>
+#include <vector>
+
+namespace cxl::apps::spark {
+
+struct QueryProfile {
+  std::string name;
+  // Pure scan/filter/join CPU time of the whole query on the 150-executor
+  // cluster, excluding shuffle data movement (seconds).
+  double compute_seconds = 0.0;
+  // Bytes exchanged through the shuffle (written by map side, read by
+  // reduce side).
+  double shuffle_bytes = 0.0;
+  // Input working set kept hot in executor storage memory during the query.
+  double input_working_set_bytes = 0.0;
+};
+
+// The four shuffle-intensive queries the paper evaluates.
+std::vector<QueryProfile> TpchShuffleHeavyQueries();
+
+// Look up one of them by name ("Q5", "Q7", "Q8", "Q9").
+const QueryProfile* FindQuery(const std::string& name);
+
+}  // namespace cxl::apps::spark
+
+#endif  // CXL_EXPLORER_SRC_APPS_SPARK_QUERY_H_

@@ -1,0 +1,60 @@
+// Table 1: the system configurations used throughout the capacity
+// experiments (§4), plus factories that realize them against a Platform.
+#ifndef CXL_EXPLORER_SRC_CORE_CONFIGS_H_
+#define CXL_EXPLORER_SRC_CORE_CONFIGS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/os/numa_policy.h"
+#include "src/os/tiering.h"
+#include "src/topology/platform.h"
+
+namespace cxl::core {
+
+// Table 1 rows.
+enum class CapacityConfig {
+  kMmem,          // Entire working set in main memory.
+  kMmemSsd02,     // 20% of the working set spilled to SSD.
+  kMmemSsd04,     // 40% spilled to SSD.
+  kInterleave31,  // 75% MMEM + 25% CXL, 3:1 interleaved.
+  kInterleave11,  // 50% MMEM + 50% CXL, 1:1 interleaved.
+  kInterleave13,  // 25% MMEM + 75% CXL, 1:3 interleaved.
+  kHotPromote,    // 50/50 start + hot-page promotion daemon.
+};
+
+// "MMEM", "MMEM-SSD-0.2", "3:1", "1:1", "1:3", "Hot-Promote" (the labels
+// used in Fig. 5 / Fig. 7).
+std::string ConfigLabel(CapacityConfig config);
+
+// All Table 1 configurations in figure order.
+std::vector<CapacityConfig> AllCapacityConfigs();
+
+// Realization of a Table 1 row against a platform.
+struct CapacitySetup {
+  os::NumaPolicy policy;
+  // KeyDB-FLASH mode with maxmemory = this fraction of the dataset
+  // (1.0 = plain in-memory store).
+  double maxmemory_fraction = 1.0;
+  bool flash = false;
+  // Run the promotion daemon.
+  bool hot_promote = false;
+};
+
+// Builds the placement policy / flash settings for `config`. DRAM nodes and
+// CXL nodes are taken from `platform`. For kHotPromote the caller must build
+// the platform with DRAM capacity capped at half the dataset (the paper uses
+// numactl + a main-memory cap; MakeHotPromotePlatform below does this).
+CapacitySetup MakeCapacitySetup(CapacityConfig config, const topology::Platform& platform);
+
+// Platform for the Hot-Promote row: DRAM sized to hold only half the
+// dataset, so promotion pressure is real.
+topology::Platform MakeHotPromotePlatform(uint64_t dataset_bytes);
+
+// Default tiering knobs for the Hot-Promote experiments (§2.3's post-v6.1
+// hot-page-selection settings).
+os::TieringConfig DefaultTieringConfig();
+
+}  // namespace cxl::core
+
+#endif  // CXL_EXPLORER_SRC_CORE_CONFIGS_H_

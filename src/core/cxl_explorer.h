@@ -1,0 +1,40 @@
+// Umbrella header: the public API surface of cxl-explorer.
+//
+// Include this to get the whole toolkit:
+//   - calibrated device models and loaded-latency curves   (src/mem)
+//   - platform topologies and the bandwidth solver          (src/topology)
+//   - page placement policies and the tiering daemon        (src/os)
+//   - MLC-style and YCSB workload generators                (src/workload)
+//   - the KeyDB / Spark / LLM application models            (src/apps)
+//   - the Abstract Cost Model and VM economics              (src/cost)
+//   - Table 1 configurations and experiment runners         (src/core)
+#ifndef CXL_EXPLORER_SRC_CORE_CXL_EXPLORER_H_
+#define CXL_EXPLORER_SRC_CORE_CXL_EXPLORER_H_
+
+#include "src/apps/kv/kvstore.h"
+#include "src/apps/kv/server.h"
+#include "src/apps/llm/inference.h"
+#include "src/apps/llm/serving.h"
+#include "src/apps/spark/cluster.h"
+#include "src/apps/spark/dag.h"
+#include "src/apps/spark/query.h"
+#include "src/core/configs.h"
+#include "src/core/experiment.h"
+#include "src/cost/cost_model.h"
+#include "src/cost/multi_app.h"
+#include "src/cost/vm_economics.h"
+#include "src/mem/access.h"
+#include "src/mem/bandwidth_solver.h"
+#include "src/mem/cxl_link.h"
+#include "src/mem/profiles.h"
+#include "src/os/numa_policy.h"
+#include "src/os/page_allocator.h"
+#include "src/os/region.h"
+#include "src/os/tiering.h"
+#include "src/topology/platform.h"
+#include "src/util/histogram.h"
+#include "src/util/table.h"
+#include "src/workload/mlc.h"
+#include "src/workload/ycsb.h"
+
+#endif  // CXL_EXPLORER_SRC_CORE_CXL_EXPLORER_H_

@@ -1,0 +1,59 @@
+// End-to-end experiment runner: the public API that assembles platform +
+// allocator + tiering + KvStore + server simulation for one Table 1
+// configuration and one YCSB workload — the unit of work behind Fig. 5 and
+// Fig. 8 (and the quickstart example).
+#ifndef CXL_EXPLORER_SRC_CORE_EXPERIMENT_H_
+#define CXL_EXPLORER_SRC_CORE_EXPERIMENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/apps/kv/server.h"
+#include "src/core/configs.h"
+#include "src/util/status.h"
+#include "src/workload/ycsb.h"
+
+namespace cxl::core {
+
+struct KeyDbExperimentOptions {
+  // The paper's capacity experiments use a 512 GB working set of 1 KiB
+  // records (§4.1.1); the default here is the same *shape* at 1/8 scale so a
+  // full Fig. 5 sweep runs in seconds. Scale effects (fractions, ratios,
+  // contention) are size-invariant in the model; pass 512 GiB to reproduce
+  // at full scale.
+  uint64_t dataset_bytes = 64ull << 30;
+  uint64_t value_bytes = 1024;
+  uint64_t total_ops = 250'000;
+  uint64_t warmup_ops = 50'000;
+  int server_threads = 7;
+  int client_connections = 64;
+  uint64_t seed = 1;
+  // Override the KvStore cost preset (null = Fig. 5 defaults).
+  const apps::kv::KvStoreConfig* store_preset = nullptr;
+};
+
+struct KeyDbExperimentResult {
+  std::string config_label;
+  std::string workload_name;
+  apps::kv::KvServerSim::Result server;
+  // Relative throughput vs a caller-supplied baseline (filled by helpers).
+  double slowdown_vs_baseline = 0.0;
+};
+
+// Runs one (configuration, workload) cell of Fig. 5.
+StatusOr<KeyDbExperimentResult> RunKeyDbExperiment(CapacityConfig config,
+                                                   workload::YcsbWorkload workload,
+                                                   const KeyDbExperimentOptions& options = {});
+
+// Fig. 8 / §4.3: KeyDB bound entirely to MMEM or entirely to CXL via
+// numactl-style bind (100 GB YCSB-C by default, at 1/8 scale).
+struct VmExperimentResult {
+  KeyDbExperimentResult mmem;
+  KeyDbExperimentResult cxl;
+  double throughput_penalty = 0.0;  // 1 - cxl/mmem.
+};
+StatusOr<VmExperimentResult> RunVmCxlOnlyExperiment(KeyDbExperimentOptions options = {});
+
+}  // namespace cxl::core
+
+#endif  // CXL_EXPLORER_SRC_CORE_EXPERIMENT_H_

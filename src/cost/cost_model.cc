@@ -1,0 +1,48 @@
+#include "src/cost/cost_model.h"
+
+namespace cxl::cost {
+
+Status AbstractCostModel::Validate() const {
+  if (params_.r_d <= 1.0) {
+    return Status::InvalidArgument("R_d must exceed 1 (MMEM must beat SSD)");
+  }
+  if (params_.r_c <= 1.0 || params_.r_c > params_.r_d) {
+    return Status::InvalidArgument("R_c must lie in (1, R_d]");
+  }
+  if (params_.c <= 0.0) {
+    return Status::InvalidArgument("C must be positive");
+  }
+  if (params_.r_t <= 0.0) {
+    return Status::InvalidArgument("R_t must be positive");
+  }
+  return Status::Ok();
+}
+
+double AbstractCostModel::ServerRatio() const {
+  const double rd = params_.r_d;
+  const double rc = params_.r_c;
+  const double c = params_.c;
+  return c * rc * (rd - 1.0) / (rc * rd * (c + 1.0) - c * rc - rd);
+}
+
+double AbstractCostModel::TcoSaving() const { return 1.0 - ServerRatio() * params_.r_t; }
+
+double AbstractCostModel::BaselineTime(double working_set, double servers,
+                                       double mmem_per_server) const {
+  const double in_mem = servers * mmem_per_server;
+  return in_mem / params_.r_d + (working_set - in_mem);
+}
+
+double AbstractCostModel::CxlTime(double working_set, double servers,
+                                  double mmem_per_server) const {
+  const double in_mem = servers * mmem_per_server;
+  const double in_cxl = in_mem / params_.c;
+  return in_mem / params_.r_d + in_cxl / params_.r_c + (working_set - in_mem - in_cxl);
+}
+
+ExtendedCostModel::ExtendedCostModel(ExtendedCostParams params)
+    : inner_(params.base), effective_r_t_(params.base.r_t + params.fixed_overhead_fraction) {}
+
+double ExtendedCostModel::TcoSaving() const { return 1.0 - ServerRatio() * effective_r_t_; }
+
+}  // namespace cxl::cost

@@ -1,0 +1,94 @@
+// The Abstract Cost Model (§6, Table 3).
+//
+// Estimates the TCO saving of provisioning a cluster with CXL-expanded
+// servers instead of adding baseline servers, from three microbenchmark-
+// derived throughput ratios and one relative-cost figure — no internal or
+// sensitive data required:
+//
+//   P_s  throughput with (almost) the whole working set spilled to SSD
+//        (normalized to 1);
+//   R_d  relative throughput, working set entirely in main memory;
+//   R_c  relative throughput, working set entirely in CXL memory;
+//   C    MMEM : CXL capacity ratio of a CXL server;
+//   R_t  relative TCO of a CXL server vs a baseline server.
+//
+// Execution time is approximated by splitting the working set W into the
+// segments processed from MMEM, CXL, and SSD (the paper's Spark SQL
+// example):
+//
+//   T_baseline = N_b * D / R_d + (W - N_b * D)
+//   T_cxl      = N_c * D / R_d + N_c * D / (C * R_c)
+//              + (W - N_c * D - N_c * D / C)
+//
+// Setting T_baseline = T_cxl yields the server-count ratio
+//
+//   N_c / N_b = C * R_c * (R_d - 1) / (R_c * R_d * (C+1) - C * R_c - R_d)
+//
+// and TCO saving 1 - (N_c / N_b) * R_t. The worked example in §6
+// (R_d = 10, R_c = 8, C = 2, R_t = 1.1) gives 67.29% and 25.98%.
+#ifndef CXL_EXPLORER_SRC_COST_COST_MODEL_H_
+#define CXL_EXPLORER_SRC_COST_COST_MODEL_H_
+
+#include "src/util/status.h"
+
+namespace cxl::cost {
+
+struct CostModelParams {
+  double r_d = 10.0;  // Table 3 example value.
+  double r_c = 8.0;
+  double c = 2.0;
+  double r_t = 1.1;
+};
+
+class AbstractCostModel {
+ public:
+  explicit AbstractCostModel(CostModelParams params) : params_(params) {}
+
+  // Parameter sanity: R_d > 1 (memory beats SSD), 1 < R_c <= R_d (CXL beats
+  // SSD but not MMEM), C > 0, R_t > 0.
+  Status Validate() const;
+
+  // N_cxl / N_baseline to meet the same performance target.
+  double ServerRatio() const;
+
+  // 1 - ServerRatio() * R_t.
+  double TcoSaving() const;
+
+  // Execution-time helpers (per unit working set; D = MMEM per server, W =
+  // working set size, n = server count). Exposed for tests and for the
+  // what-if tooling in the examples.
+  double BaselineTime(double working_set, double servers, double mmem_per_server) const;
+  double CxlTime(double working_set, double servers, double mmem_per_server) const;
+
+  const CostModelParams& params() const { return params_; }
+
+ private:
+  CostModelParams params_;
+};
+
+// §6 "Extending Cost Model for more realistic scenarios": fixed per-server
+// infrastructure adders (CXL controllers, switches for 2.0/3.0 fabrics,
+// PCBs, cables) folded into the relative TCO.
+struct ExtendedCostParams {
+  CostModelParams base;
+  // Extra fixed cost of CXL plumbing as a fraction of a baseline server's
+  // TCO (added on top of base.r_t).
+  double fixed_overhead_fraction = 0.0;
+};
+
+class ExtendedCostModel {
+ public:
+  explicit ExtendedCostModel(ExtendedCostParams params);
+
+  double ServerRatio() const { return inner_.ServerRatio(); }
+  double TcoSaving() const;
+  double EffectiveRelativeTco() const { return effective_r_t_; }
+
+ private:
+  AbstractCostModel inner_;
+  double effective_r_t_;
+};
+
+}  // namespace cxl::cost
+
+#endif  // CXL_EXPLORER_SRC_COST_COST_MODEL_H_

@@ -1,0 +1,67 @@
+#include "src/cost/multi_app.h"
+
+#include <cassert>
+
+namespace cxl::cost {
+
+MultiAppCostModel::MultiAppCostModel(std::vector<AppClass> apps, double r_t,
+                                     double shared_cxl_discount)
+    : apps_(std::move(apps)), r_t_(r_t) {
+  assert(shared_cxl_discount >= 0.0 && shared_cxl_discount <= 1.0);
+  // Pooling discounts only the CXL *adder*, not the base server cost.
+  effective_r_t_ = 1.0 + (r_t_ - 1.0) * (1.0 - shared_cxl_discount);
+}
+
+Status MultiAppCostModel::Validate() const {
+  if (apps_.empty()) {
+    return Status::InvalidArgument("no application classes");
+  }
+  for (const AppClass& app : apps_) {
+    CostModelParams p = app.params;
+    p.r_t = effective_r_t_;
+    if (const Status s = AbstractCostModel(p).Validate(); !s.ok()) {
+      return Status::InvalidArgument(app.name + ": " + s.message());
+    }
+    if (app.baseline_servers <= 0.0) {
+      return Status::InvalidArgument(app.name + ": baseline_servers must be positive");
+    }
+  }
+  return Status::Ok();
+}
+
+MultiAppPlan MultiAppCostModel::PlanInternal(bool selective) const {
+  MultiAppPlan plan;
+  double baseline_cost = 0.0;
+  double cxl_cost = 0.0;
+  for (const AppClass& app : apps_) {
+    CostModelParams p = app.params;
+    p.r_t = effective_r_t_;
+    AbstractCostModel model(p);
+    MultiAppPlan::PerApp row;
+    row.name = app.name;
+    row.baseline_servers = app.baseline_servers;
+    const double saving = model.TcoSaving();
+    if (selective && saving <= 0.0) {
+      // This class stays on baseline hardware.
+      row.cxl_servers = app.baseline_servers;
+      row.tco_saving = 0.0;
+      cxl_cost += app.baseline_servers;  // Paid at baseline rate.
+    } else {
+      row.cxl_servers = model.ServerRatio() * app.baseline_servers;
+      row.tco_saving = saving;
+      cxl_cost += row.cxl_servers * effective_r_t_;
+    }
+    baseline_cost += app.baseline_servers;
+    plan.total_baseline_servers += row.baseline_servers;
+    plan.total_cxl_servers += row.cxl_servers;
+    plan.apps.push_back(std::move(row));
+  }
+  plan.fleet_tco_saving = baseline_cost > 0.0 ? 1.0 - cxl_cost / baseline_cost : 0.0;
+  return plan;
+}
+
+MultiAppPlan MultiAppCostModel::Plan() const { return PlanInternal(/*selective=*/false); }
+
+MultiAppPlan MultiAppCostModel::PlanSelective() const { return PlanInternal(/*selective=*/true); }
+
+}  // namespace cxl::cost

@@ -1,0 +1,79 @@
+// Multi-application cost model — the extension §6 explicitly leaves open:
+// "a notable constraint of our current model is its focus on only one type
+//  of application at a time. This becomes a challenge when a data center
+//  provider seeks to evaluate cost savings for multiple distinct
+//  applications ... especially in environments where resources are shared."
+//
+// Model: a fleet runs several application classes, each with its own
+// single-app cost-model parameters (R_d, R_c) and a share of the fleet's
+// servers. CXL capacity is provisioned per server (ratio C) and shared:
+// classes that benefit more can be weighted toward CXL-equipped servers.
+//
+//  - Segregated deployment: each class gets its own (baseline or CXL)
+//    sub-cluster sized by the single-app model — a direct composition.
+//  - Shared deployment: every server carries CXL and classes are packed
+//    onto the same fleet; the pooled CXL (see src/pool) lowers the
+//    effective per-server CXL cost by the multiplexing saving.
+#ifndef CXL_EXPLORER_SRC_COST_MULTI_APP_H_
+#define CXL_EXPLORER_SRC_COST_MULTI_APP_H_
+
+#include <string>
+#include <vector>
+
+#include "src/cost/cost_model.h"
+#include "src/util/status.h"
+
+namespace cxl::cost {
+
+struct AppClass {
+  std::string name;
+  CostModelParams params;       // Single-app microbenchmark ratios.
+  double baseline_servers = 1;  // Servers this class uses today.
+};
+
+struct MultiAppPlan {
+  struct PerApp {
+    std::string name;
+    double baseline_servers = 0.0;
+    double cxl_servers = 0.0;   // Servers needed with CXL.
+    double tco_saving = 0.0;    // This class's saving.
+  };
+  std::vector<PerApp> apps;
+  double total_baseline_servers = 0.0;
+  double total_cxl_servers = 0.0;
+  // Fleet-level TCO saving (server-count weighted).
+  double fleet_tco_saving = 0.0;
+};
+
+class MultiAppCostModel {
+ public:
+  // `r_t` is the relative TCO of a CXL server; `shared_cxl_discount` scales
+  // the CXL *adder* (r_t - 1) down when capacity is pooled across the fleet
+  // (0 = no pooling benefit, 0.34 = the 16-host multiplexing saving from
+  // src/pool's economics).
+  MultiAppCostModel(std::vector<AppClass> apps, double r_t, double shared_cxl_discount = 0.0);
+
+  // Validates every class's parameters.
+  Status Validate() const;
+
+  // Sizes the fleet: each class keeps its own servers (single-app model per
+  // class), all CXL-equipped, with the shared discount applied to R_t.
+  MultiAppPlan Plan() const;
+
+  // Which classes should adopt CXL at all: classes whose single-app saving
+  // at the (discounted) R_t is negative stay on baseline servers.
+  MultiAppPlan PlanSelective() const;
+
+  double effective_r_t() const { return effective_r_t_; }
+
+ private:
+  MultiAppPlan PlanInternal(bool selective) const;
+
+  std::vector<AppClass> apps_;
+  double r_t_;
+  double effective_r_t_;
+};
+
+}  // namespace cxl::cost
+
+#endif  // CXL_EXPLORER_SRC_COST_MULTI_APP_H_

@@ -1,0 +1,37 @@
+#include "src/cost/vm_economics.h"
+
+namespace cxl::cost {
+
+std::vector<ProcessorSpec> IntelProcessorSeries() {
+  // Table 2 verbatim.
+  return {
+      ProcessorSpec{"IceLake-SP", "2021", 160, "8xDDR4-3200", 4.0, 0.64},
+      ProcessorSpec{"Sapphire Rapids", "2022 (delayed)", 192, "8xDDR5-4800", 4.0, 0.768},
+      ProcessorSpec{"Emerald Rapids", "2023 (delayed)", 256, "8xDDR5-6400", 4.0, 1.0},
+      ProcessorSpec{"Sierra Forest", "2024+", 1152, "12", 4.0, 4.5},
+      ProcessorSpec{"Clearwater Forest", "2025+", 1152, "TBD", 4.0, 4.5},
+  };
+}
+
+double RequiredMemoryTiB(int vcpus, double gib_per_vcpu) {
+  return vcpus * gib_per_vcpu / 1024.0;
+}
+
+double VmEconomics::StrandedVcpuFraction() const {
+  const double f = 1.0 - params_.actual_gib_per_vcpu / params_.optimal_gib_per_vcpu;
+  return f < 0.0 ? 0.0 : f;
+}
+
+double VmEconomics::CxlRevenue() const {
+  // Stranded vCPUs become sellable via CXL-backed memory, priced at a
+  // discount. (The 12.5% performance penalty is what motivates the discount
+  // level; revenue follows price.)
+  return BaselineRevenue() + StrandedVcpuFraction() * (1.0 - params_.cxl_discount);
+}
+
+double VmEconomics::RevenueImprovement() const {
+  const double base = BaselineRevenue();
+  return base > 0.0 ? (CxlRevenue() - base) / base : 0.0;
+}
+
+}  // namespace cxl::cost

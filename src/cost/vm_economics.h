@@ -1,0 +1,74 @@
+// Elastic-compute economics of CXL memory expansion (§4.3) and the Intel
+// processor-series capacity data (Table 2).
+//
+// CSPs sell vCPUs against a target vCPU:memory ratio (canonically 1 vCPU :
+// 4 GiB). Core counts are growing faster than per-server memory capacity
+// (DDR slots, DRAM density, high-density DIMM cost), stranding vCPUs that
+// cannot be sold at the target ratio. CXL expansion supplies the missing
+// memory; instances backed by CXL run ~12.5% slower (Fig. 8) and are sold
+// at a discount, recovering most of the stranded revenue.
+#ifndef CXL_EXPLORER_SRC_COST_VM_ECONOMICS_H_
+#define CXL_EXPLORER_SRC_COST_VM_ECONOMICS_H_
+
+#include <string>
+#include <vector>
+
+namespace cxl::cost {
+
+// One row of Table 2.
+struct ProcessorSpec {
+  std::string name;
+  std::string year;               // "2021", "2024+", ...
+  int max_vcpu_per_server = 0;
+  std::string memory_channels;    // Per socket.
+  double max_memory_tib = 0.0;    // Motherboard limit.
+  double required_memory_tib = 0.0;  // At the 1:4 vCPU:GiB ratio.
+};
+
+// Table 2: IceLake-SP through Clearwater Forest.
+std::vector<ProcessorSpec> IntelProcessorSeries();
+
+// Memory (TiB) needed to sell `vcpus` at `gib_per_vcpu` (default 4, the 1:4
+// rule).
+double RequiredMemoryTiB(int vcpus, double gib_per_vcpu = 4.0);
+
+struct VmEconomicsParams {
+  // Target (optimal) GiB of memory per vCPU.
+  double optimal_gib_per_vcpu = 4.0;
+  // What the server can actually provision per vCPU (memory-constrained);
+  // the §4.3.2 example uses 3 (a 1:3 server).
+  double actual_gib_per_vcpu = 3.0;
+  // Price discount on CXL-backed instances.
+  double cxl_discount = 0.20;
+  // Throughput penalty of CXL-backed instances (Fig. 8: ~12.5%).
+  double cxl_performance_penalty = 0.125;
+};
+
+class VmEconomics {
+ public:
+  explicit VmEconomics(VmEconomicsParams params) : params_(params) {}
+
+  // Fraction of vCPUs that cannot be sold at the optimal ratio
+  // (1 - actual/optimal; 25% in the worked example).
+  double StrandedVcpuFraction() const;
+
+  // Revenue (relative to the fully-sellable baseline) without CXL: only the
+  // non-stranded vCPUs sell.
+  double BaselineRevenue() const { return 1.0 - StrandedVcpuFraction(); }
+
+  // Revenue with CXL expansion: stranded vCPUs sell at the discount.
+  double CxlRevenue() const;
+
+  // Relative improvement of CxlRevenue over BaselineRevenue — the paper's
+  // "20/75 = 26.77%" (exactly 20/75 = 26.67%).
+  double RevenueImprovement() const;
+
+  const VmEconomicsParams& params() const { return params_; }
+
+ private:
+  VmEconomicsParams params_;
+};
+
+}  // namespace cxl::cost
+
+#endif  // CXL_EXPLORER_SRC_COST_VM_ECONOMICS_H_

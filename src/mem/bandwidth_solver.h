@@ -1,0 +1,108 @@
+// Multi-flow bandwidth contention solver.
+//
+// Applications offer concurrent access streams ("flows") to shared memory
+// resources (a NUMA node's DDR channels, a CXL expander's PCIe link + ASIC
+// controller, a UPI direction, an SSD). The solver computes, at steady
+// state, how much bandwidth each flow actually achieves and what loaded
+// latency it observes — the mechanism behind every end-to-end result in the
+// paper: DDR-channel bandwidth contention (§3.4), interleaving wins for
+// LLM inference (§5), and spill-to-SSD collapse (§4).
+//
+// Model: each flow crosses an ordered set of capacitated resources. Resource
+// capacity is mix-dependent (taken from the resource's PathProfile at the
+// demand-weighted read fraction). Over-subscribed resources scale their
+// flows down proportionally (iterated to a fixed point, which is the
+// proportional-fair allocation for this topology class). A flow's loaded
+// latency follows its path's queue model evaluated at the utilization of its
+// most-congested resource.
+#ifndef CXL_EXPLORER_SRC_MEM_BANDWIDTH_SOLVER_H_
+#define CXL_EXPLORER_SRC_MEM_BANDWIDTH_SOLVER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/mem/access.h"
+#include "src/mem/profiles.h"
+
+namespace cxl::mem {
+
+class BandwidthSolver {
+ public:
+  using ResourceId = int;
+  using FlowId = int;
+
+  // Registers a capacitated resource whose capacity law is `capacity_profile`
+  // (not owned; must outlive the solver). Returns its id.
+  ResourceId AddResource(std::string name, const PathProfile* capacity_profile);
+
+  // Registers a flow offering `offered_gbps` of `mix` across `resources`.
+  // `latency_profile` supplies the end-to-end queue model (typically the
+  // path profile of the flow's distance class).
+  FlowId AddFlow(const PathProfile* latency_profile, const AccessMix& mix, double offered_gbps,
+                 std::vector<ResourceId> resources,
+                 AccessPattern pattern = AccessPattern::kSequential);
+
+  struct FlowResult {
+    double achieved_gbps = 0.0;
+    double latency_ns = 0.0;
+    // Utilization of the flow's most-congested resource.
+    double bottleneck_utilization = 0.0;
+  };
+  struct ResourceResult {
+    std::string name;
+    double demand_gbps = 0.0;    // Sum of original offered loads.
+    double achieved_gbps = 0.0;  // Sum of delivered loads.
+    double capacity_gbps = 0.0;  // Mix-dependent capacity at the solution.
+    double utilization = 0.0;    // achieved / capacity.
+  };
+  struct Solution {
+    std::vector<FlowResult> flows;
+    std::vector<ResourceResult> resources;
+  };
+
+  // Runs the fixed-point computation. The solver can be re-solved after
+  // adding more flows; Clear() resets flows but keeps resources.
+  Solution Solve() const;
+
+  // Removes all flows (resources are kept so topologies can be reused).
+  void ClearFlows();
+
+  size_t flow_count() const { return flows_.size(); }
+  size_t resource_count() const { return resources_.size(); }
+
+  // Fraction of nominal capacity the solver hands out before queueing makes
+  // further load counterproductive. Utilization is computed against the full
+  // capacity, so values near the queue-model knee are reachable.
+  static constexpr double kCapacityShare = 0.98;
+
+ private:
+  struct Resource {
+    std::string name;
+    const PathProfile* profile;
+  };
+  struct Flow {
+    const PathProfile* profile;
+    AccessMix mix;
+    AccessPattern pattern;
+    double offered_gbps;
+    std::vector<ResourceId> resources;
+  };
+
+  std::vector<Resource> resources_;
+  std::vector<Flow> flows_;
+};
+
+// Convenience for the single-flow case (microbenchmarks): offered load on
+// one path with no cross-traffic.
+struct SingleFlowPoint {
+  double achieved_gbps;
+  double latency_ns;
+  double utilization;
+};
+SingleFlowPoint SolveSingleFlow(const PathProfile& profile, const AccessMix& mix,
+                                double offered_gbps,
+                                AccessPattern pattern = AccessPattern::kSequential);
+
+}  // namespace cxl::mem
+
+#endif  // CXL_EXPLORER_SRC_MEM_BANDWIDTH_SOLVER_H_

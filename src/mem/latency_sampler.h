@@ -1,0 +1,43 @@
+// Per-access latency sampling for tail-latency simulations.
+//
+// The queue models give *mean* loaded latency. Request-level simulations
+// (KeyDB tail-latency CDFs, Fig. 5(b)(c) and Fig. 8(a)) need per-access
+// draws: idle latency is near-deterministic, while the queueing excess is
+// approximately exponential (M/M/1 waiting time is exponential conditioned
+// on queueing). LatencySampler draws accordingly so the simulated CDFs have
+// realistic tails.
+#ifndef CXL_EXPLORER_SRC_MEM_LATENCY_SAMPLER_H_
+#define CXL_EXPLORER_SRC_MEM_LATENCY_SAMPLER_H_
+
+#include "src/sim/queueing.h"
+#include "src/util/rng.h"
+
+namespace cxl::mem {
+
+class LatencySampler {
+ public:
+  // `model` is the path's latency law; `utilization` the operating point.
+  LatencySampler(const sim::QueueModel& model, double utilization)
+      : idle_ns_(model.idle_ns()),
+        mean_excess_ns_(model.LatencyAt(utilization) - model.idle_ns()) {}
+
+  // Draws one access latency: deterministic idle + exponential queue excess.
+  double Sample(Rng& rng) const {
+    if (mean_excess_ns_ <= 0.0) {
+      return idle_ns_;
+    }
+    return idle_ns_ + rng.NextExponential(mean_excess_ns_);
+  }
+
+  // Mean of the sampled distribution (= the queue model's loaded latency).
+  double mean_ns() const { return idle_ns_ + mean_excess_ns_; }
+  double idle_ns() const { return idle_ns_; }
+
+ private:
+  double idle_ns_;
+  double mean_excess_ns_;
+};
+
+}  // namespace cxl::mem
+
+#endif  // CXL_EXPLORER_SRC_MEM_LATENCY_SAMPLER_H_

@@ -1,0 +1,131 @@
+// Calibrated performance profiles for every memory path the paper measures.
+//
+// Each PathProfile answers three questions as a function of the read/write
+// mix and access pattern:
+//   1. idle latency (ns)                       -> IdleLatencyNs()
+//   2. peak achievable bandwidth (GB/s)        -> PeakBandwidthGBps()
+//   3. loaded latency at a given offered load  -> LoadedLatencyNs()
+//
+// Every constant is traced to a measurement in §3 of the paper; see
+// profiles.cc for the calibration table with citations.
+#ifndef CXL_EXPLORER_SRC_MEM_PROFILES_H_
+#define CXL_EXPLORER_SRC_MEM_PROFILES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/mem/access.h"
+#include "src/sim/queueing.h"
+
+namespace cxl::mem {
+
+// Monotone piecewise-linear interpolation over (x, y) control points with
+// clamping outside the covered x-range. Used to express mix-dependent peaks
+// and idle latencies from the handful of measured points in the paper.
+class PiecewiseLinear {
+ public:
+  struct Point {
+    double x;
+    double y;
+  };
+
+  PiecewiseLinear() = default;
+  // Points must be strictly increasing in x.
+  explicit PiecewiseLinear(std::vector<Point> points);
+
+  double Eval(double x) const;
+  bool empty() const { return points_.empty(); }
+
+  // Returns a copy with every y multiplied by `y_factor` (used to scale a
+  // 2-channel bandwidth curve up to 8 channels when SNC is disabled).
+  PiecewiseLinear ScaledY(double y_factor) const;
+
+ private:
+  std::vector<Point> points_;
+};
+
+// Performance law of one memory path (see file comment).
+class PathProfile {
+ public:
+  struct Params {
+    std::string name;
+    // Idle latency (ns) as a function of read_fraction.
+    PiecewiseLinear idle_ns_by_read_fraction;
+    // Peak bandwidth (GB/s) as a function of read_fraction.
+    PiecewiseLinear peak_gbps_by_read_fraction;
+    // Queueing-term magnitude (see sim::QueueModel).
+    double queue_scale = 0.2;
+    // Knee sharpness for write-only / read-only streams; mixes interpolate.
+    double knee_sharpness_write = 3.0;
+    double knee_sharpness_read = 6.0;
+    // Fraction of peak bandwidth *lost* per unit of overload (offered/peak-1),
+    // scaled by write fraction. Models Fig. 3(b)'s "bandwidth decreases and
+    // latency increases with heavier loads" on write-heavy remote streams.
+    double overload_droop = 0.0;
+    // Multiplier (<= 1) applied to peak bandwidth under random access.
+    // §3.3: "no significant performance disparities" -> values near 1.
+    double random_bandwidth_factor = 1.0;
+    // Additive idle-latency factor under random access (>= 1).
+    double random_latency_factor = 1.0;
+  };
+
+  explicit PathProfile(Params params);
+
+  // Latency of an unloaded access stream.
+  double IdleLatencyNs(const AccessMix& mix,
+                       AccessPattern pattern = AccessPattern::kSequential) const;
+
+  // Peak achievable bandwidth for the mix (the plateau of the loaded-latency
+  // curve).
+  double PeakBandwidthGBps(const AccessMix& mix,
+                           AccessPattern pattern = AccessPattern::kSequential) const;
+
+  // Queue model (latency-vs-utilization law) for the mix.
+  sim::QueueModel MakeQueueModel(const AccessMix& mix,
+                                 AccessPattern pattern = AccessPattern::kSequential) const;
+
+  // Loaded latency when `offered_gbps` of the mix is offered to the path.
+  double LoadedLatencyNs(const AccessMix& mix, double offered_gbps,
+                         AccessPattern pattern = AccessPattern::kSequential) const;
+
+  // Bandwidth actually delivered for the offered load: min(offered, peak)
+  // minus overload droop when offered exceeds peak.
+  double AchievedBandwidthGBps(const AccessMix& mix, double offered_gbps,
+                               AccessPattern pattern = AccessPattern::kSequential) const;
+
+  // Returns a copy with the peak-bandwidth curve scaled by `factor` (latency
+  // laws unchanged). Used for channel-count scaling: the calibrated profiles
+  // describe a 2-channel SNC domain; a full SNC-off socket has 8 channels
+  // (factor 4), and a whole 2-socket baseline server 16 (factor 8).
+  PathProfile WithBandwidthScale(double factor, std::string new_name) const;
+
+  const std::string& name() const { return params_.name; }
+  double overload_droop() const { return params_.overload_droop; }
+
+ private:
+  double KneeSharpness(const AccessMix& mix) const;
+
+  Params params_;
+};
+
+// Returns the calibrated profile for a path. CXL paths select between the
+// ASIC (AsteraLabs A1000) and FPGA (Intel prototype) controller profiles.
+// References are valid for the program lifetime.
+const PathProfile& GetProfile(MemoryPath path, CxlController controller = CxlController::kAsic);
+
+// Theoretical peak bandwidth of one DDR5-4800 channel (38.4 GB/s, §3.1) and
+// of the 2-channel SNC-domain configuration used throughout the paper.
+inline constexpr double kDdr5ChannelPeakGBps = 38.4;
+inline constexpr double kSncDomainPeakGBps = 2 * kDdr5ChannelPeakGBps;  // 76.8
+
+// Raw PCIe Gen5 x16 payload bandwidth per direction (GB/s) used for the
+// ASIC-vs-FPGA efficiency comparison (§3.4).
+inline constexpr double kPcieGen5x16GBps = 64.0;
+
+// Bandwidth efficiencies reported in §3.4.
+inline constexpr double kAsicPcieEfficiency = 0.736;
+inline constexpr double kFpgaPcieEfficiency = 0.60;
+
+}  // namespace cxl::mem
+
+#endif  // CXL_EXPLORER_SRC_MEM_PROFILES_H_

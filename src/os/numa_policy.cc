@@ -1,0 +1,130 @@
+#include "src/os/numa_policy.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace cxl::os {
+
+NumaPolicy::NumaPolicy(PolicyMode mode, std::vector<topology::NodeId> nodes,
+                       std::vector<topology::NodeId> low_nodes, int top_weight, int low_weight)
+    : mode_(mode),
+      nodes_(std::move(nodes)),
+      low_nodes_(std::move(low_nodes)),
+      top_weight_(top_weight),
+      low_weight_(low_weight) {
+  assert(!nodes_.empty());
+  if (mode_ == PolicyMode::kWeightedInterleave) {
+    assert(!low_nodes_.empty());
+    assert(top_weight_ >= 1 && low_weight_ >= 1);
+  }
+}
+
+NumaPolicy NumaPolicy::Bind(std::vector<topology::NodeId> nodes) {
+  return NumaPolicy(PolicyMode::kBind, std::move(nodes), {}, 1, 0);
+}
+
+NumaPolicy NumaPolicy::Preferred(std::vector<topology::NodeId> nodes) {
+  return NumaPolicy(PolicyMode::kPreferred, std::move(nodes), {}, 1, 0);
+}
+
+NumaPolicy NumaPolicy::Interleave(std::vector<topology::NodeId> nodes) {
+  return NumaPolicy(PolicyMode::kInterleave, std::move(nodes), {}, 1, 0);
+}
+
+NumaPolicy NumaPolicy::WeightedInterleave(std::vector<topology::NodeId> top_nodes,
+                                          std::vector<topology::NodeId> low_nodes, int top_weight,
+                                          int low_weight) {
+  return NumaPolicy(PolicyMode::kWeightedInterleave, std::move(top_nodes), std::move(low_nodes),
+                    top_weight, low_weight);
+}
+
+topology::NodeId NumaPolicy::NodeForIndex(uint64_t index) const {
+  switch (mode_) {
+    case PolicyMode::kBind:
+    case PolicyMode::kPreferred:
+      // Round-robin within the bound set to balance capacity use.
+      return nodes_[index % nodes_.size()];
+    case PolicyMode::kInterleave:
+      return nodes_[index % nodes_.size()];
+    case PolicyMode::kWeightedInterleave: {
+      // Cycle of length top_weight + low_weight: the first `top_weight`
+      // slots go to top-tier nodes, the rest to low-tier nodes. Within each
+      // tier, successive cycle iterations round-robin across the tier's
+      // nodes (this matches the N:M patch's page-allocation order).
+      const uint64_t cycle_len = static_cast<uint64_t>(top_weight_ + low_weight_);
+      const uint64_t cycle = index / cycle_len;
+      const uint64_t slot = index % cycle_len;
+      if (slot < static_cast<uint64_t>(top_weight_)) {
+        const uint64_t k = cycle * static_cast<uint64_t>(top_weight_) + slot;
+        return nodes_[k % nodes_.size()];
+      }
+      const uint64_t k =
+          cycle * static_cast<uint64_t>(low_weight_) + (slot - static_cast<uint64_t>(top_weight_));
+      return low_nodes_[k % low_nodes_.size()];
+    }
+  }
+  return nodes_[0];
+}
+
+double NumaPolicy::SteadyStateShare(topology::NodeId node) const {
+  auto count_in = [&](const std::vector<topology::NodeId>& v) {
+    return static_cast<double>(std::count(v.begin(), v.end(), node));
+  };
+  switch (mode_) {
+    case PolicyMode::kBind:
+    case PolicyMode::kPreferred:
+    case PolicyMode::kInterleave:
+      return count_in(nodes_) / static_cast<double>(nodes_.size());
+    case PolicyMode::kWeightedInterleave: {
+      const double total = top_weight_ + low_weight_;
+      const double top_share = top_weight_ / total;
+      const double low_share = low_weight_ / total;
+      double share = 0.0;
+      if (count_in(nodes_) > 0) {
+        share += top_share * count_in(nodes_) / static_cast<double>(nodes_.size());
+      }
+      if (count_in(low_nodes_) > 0) {
+        share += low_share * count_in(low_nodes_) / static_cast<double>(low_nodes_.size());
+      }
+      return share;
+    }
+  }
+  return 0.0;
+}
+
+std::string NumaPolicy::ToString() const {
+  std::ostringstream os;
+  auto list = [&](const std::vector<topology::NodeId>& v) {
+    for (size_t i = 0; i < v.size(); ++i) {
+      os << (i ? "," : "") << v[i];
+    }
+  };
+  switch (mode_) {
+    case PolicyMode::kBind:
+      os << "bind{";
+      list(nodes_);
+      os << "}";
+      break;
+    case PolicyMode::kPreferred:
+      os << "preferred{";
+      list(nodes_);
+      os << "}";
+      break;
+    case PolicyMode::kInterleave:
+      os << "interleave{";
+      list(nodes_);
+      os << "}";
+      break;
+    case PolicyMode::kWeightedInterleave:
+      os << "weighted-interleave{top=";
+      list(nodes_);
+      os << " low=";
+      list(low_nodes_);
+      os << " " << top_weight_ << ":" << low_weight_ << "}";
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace cxl::os

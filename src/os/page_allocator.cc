@@ -1,0 +1,144 @@
+#include "src/os/page_allocator.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cxl::os {
+
+PageAllocator::PageAllocator(const topology::Platform& platform, uint64_t page_bytes)
+    : platform_(platform), page_bytes_(page_bytes) {
+  assert(page_bytes > 0);
+  node_used_.resize(platform.nodes().size(), 0);
+  node_capacity_.resize(platform.nodes().size(), 0);
+  for (const auto& n : platform.nodes()) {
+    node_capacity_[static_cast<size_t>(n.id)] = n.capacity_bytes / page_bytes;
+  }
+}
+
+uint64_t PageAllocator::FreePages(topology::NodeId node) const {
+  return node_capacity_[static_cast<size_t>(node)] - node_used_[static_cast<size_t>(node)];
+}
+
+uint64_t PageAllocator::TotalPages(topology::NodeId node) const {
+  return node_capacity_[static_cast<size_t>(node)];
+}
+
+uint64_t PageAllocator::UsedPages(topology::NodeId node) const {
+  return node_used_[static_cast<size_t>(node)];
+}
+
+double PageAllocator::DramFreeFraction() const {
+  uint64_t free = 0;
+  uint64_t total = 0;
+  for (const auto& n : platform_.nodes()) {
+    if (n.kind == topology::NodeKind::kDram) {
+      free += FreePages(n.id);
+      total += TotalPages(n.id);
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(free) / static_cast<double>(total);
+}
+
+topology::NodeId PageAllocator::FallbackNode() const {
+  // Prefer the DRAM node with the most free pages; fall back to CXL.
+  topology::NodeId best = -1;
+  uint64_t best_free = 0;
+  for (const auto& n : platform_.nodes()) {
+    if (n.kind != topology::NodeKind::kDram) {
+      continue;
+    }
+    const uint64_t f = FreePages(n.id);
+    if (f > best_free) {
+      best_free = f;
+      best = n.id;
+    }
+  }
+  if (best >= 0) {
+    return best;
+  }
+  for (const auto& n : platform_.nodes()) {
+    if (n.kind == topology::NodeKind::kCxl && FreePages(n.id) > 0) {
+      return n.id;
+    }
+  }
+  return -1;
+}
+
+StatusOr<std::vector<PageId>> PageAllocator::Allocate(const NumaPolicy& policy, uint64_t count) {
+  std::vector<PageId> out;
+  out.reserve(count);
+  // Per-call allocation index drives the policy's round-robin; continuing a
+  // global index would skew small allocations, and the kernel's interleave
+  // counter is per-task anyway.
+  for (uint64_t i = 0; i < count; ++i) {
+    topology::NodeId target = policy.NodeForIndex(i);
+    if (FreePages(target) == 0) {
+      if (policy.mode() == PolicyMode::kBind) {
+        // Try the other bound nodes before failing.
+        target = -1;
+        for (topology::NodeId n : policy.nodes()) {
+          if (FreePages(n) > 0) {
+            target = n;
+            break;
+          }
+        }
+        if (target < 0) {
+          Free(out);
+          return Status::ResourceExhausted("bind policy: bound nodes are full");
+        }
+      } else {
+        target = FallbackNode();
+        if (target < 0) {
+          Free(out);
+          return Status::ResourceExhausted("machine out of memory");
+        }
+      }
+    }
+    PageId id;
+    if (!free_list_.empty()) {
+      id = free_list_.back();
+      free_list_.pop_back();
+    } else {
+      id = pages_.size();
+      pages_.emplace_back();
+    }
+    Page& page = pages_[id];
+    page.node = target;
+    page.heat = 0.0f;
+    ++node_used_[static_cast<size_t>(target)];
+    ++allocated_;
+    ++counters_.pgalloc;
+    out.push_back(id);
+  }
+  return out;
+}
+
+void PageAllocator::Free(const std::vector<PageId>& pages) {
+  for (PageId id : pages) {
+    Page& page = pages_[id];
+    assert(page.node >= 0 && "double free");
+    --node_used_[static_cast<size_t>(page.node)];
+    page.node = -1;
+    free_list_.push_back(id);
+    --allocated_;
+    ++counters_.pgfree;
+  }
+}
+
+Status PageAllocator::MovePage(PageId id, topology::NodeId target) {
+  Page& page = pages_[id];
+  assert(page.node >= 0 && "moving a free page");
+  if (page.node == target) {
+    return Status::Ok();
+  }
+  if (FreePages(target) == 0) {
+    ++counters_.migrate_failed;
+    return Status::ResourceExhausted("target node full");
+  }
+  --node_used_[static_cast<size_t>(page.node)];
+  ++node_used_[static_cast<size_t>(target)];
+  page.node = target;
+  return Status::Ok();
+}
+
+}  // namespace cxl::os

@@ -1,0 +1,78 @@
+// Page allocator over a Platform's NUMA nodes.
+//
+// Tracks free capacity per node and places pages according to a NumaPolicy,
+// with kernel-zonelist-style fallback: when the policy's target node is
+// full, kPreferred / kInterleave / kWeightedInterleave allocations fall back
+// to the node with the most free pages (same-socket DRAM first, then remote
+// DRAM, then CXL), while kBind allocations fail.
+#ifndef CXL_EXPLORER_SRC_OS_PAGE_ALLOCATOR_H_
+#define CXL_EXPLORER_SRC_OS_PAGE_ALLOCATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/os/numa_policy.h"
+#include "src/os/page.h"
+#include "src/topology/platform.h"
+#include "src/util/status.h"
+
+namespace cxl::os {
+
+class PageAllocator {
+ public:
+  // `page_bytes` sets the placement granularity (default 2 MiB).
+  explicit PageAllocator(const topology::Platform& platform,
+                         uint64_t page_bytes = kDefaultPageBytes);
+
+  // Allocates `count` pages under `policy`. Returns the page ids, or
+  // RESOURCE_EXHAUSTED if the policy cannot be satisfied (kBind with full
+  // nodes, or the whole machine is full).
+  StatusOr<std::vector<PageId>> Allocate(const NumaPolicy& policy, uint64_t count);
+
+  // Frees previously allocated pages.
+  void Free(const std::vector<PageId>& pages);
+
+  // Moves a page to `target`. Returns RESOURCE_EXHAUSTED when the target
+  // node is full (the caller — usually MigrationEngine — decides whether to
+  // demote something first).
+  Status MovePage(PageId page, topology::NodeId target);
+
+  // Current placement of a page.
+  topology::NodeId NodeOf(PageId page) const { return pages_[page].node; }
+
+  Page& page(PageId id) { return pages_[id]; }
+  const Page& page(PageId id) const { return pages_[id]; }
+
+  uint64_t page_bytes() const { return page_bytes_; }
+  uint64_t FreePages(topology::NodeId node) const;
+  uint64_t TotalPages(topology::NodeId node) const;
+  uint64_t UsedPages(topology::NodeId node) const;
+  // Free fraction across all DRAM nodes (used by demotion watermarks).
+  double DramFreeFraction() const;
+
+  uint64_t allocated_pages() const { return allocated_; }
+  // Total page slots ever created (freed slots included); PageIds are dense
+  // in [0, page_count()), so daemons scan this range and skip node < 0.
+  uint64_t page_count() const { return pages_.size(); }
+  const VmCounters& counters() const { return counters_; }
+  VmCounters& mutable_counters() { return counters_; }
+
+  const topology::Platform& platform() const { return platform_; }
+
+ private:
+  // Picks a fallback node with space, preferring DRAM over CXL.
+  topology::NodeId FallbackNode() const;
+
+  const topology::Platform& platform_;
+  uint64_t page_bytes_;
+  std::vector<Page> pages_;          // Indexed by PageId; grows monotonically.
+  std::vector<PageId> free_list_;    // Recycled ids.
+  std::vector<uint64_t> node_used_;  // Pages in use per node.
+  std::vector<uint64_t> node_capacity_;
+  uint64_t allocated_ = 0;
+  VmCounters counters_;
+};
+
+}  // namespace cxl::os
+
+#endif  // CXL_EXPLORER_SRC_OS_PAGE_ALLOCATOR_H_

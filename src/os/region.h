@@ -1,0 +1,60 @@
+// MemoryRegion: an application-visible virtual memory range backed by pages
+// placed under a NumaPolicy. Applications address it by byte offset; the
+// region resolves offsets to pages so access streams can be attributed to
+// NUMA nodes and fed to the hotness tracker.
+#ifndef CXL_EXPLORER_SRC_OS_REGION_H_
+#define CXL_EXPLORER_SRC_OS_REGION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/os/numa_policy.h"
+#include "src/os/page_allocator.h"
+#include "src/util/status.h"
+
+namespace cxl::os {
+
+class MemoryRegion {
+ public:
+  // Allocates ceil(bytes / page_bytes) pages under `policy`.
+  static StatusOr<MemoryRegion> Allocate(PageAllocator& allocator, const NumaPolicy& policy,
+                                         uint64_t bytes);
+
+  MemoryRegion(MemoryRegion&&) = default;
+  MemoryRegion& operator=(MemoryRegion&&) = default;
+  MemoryRegion(const MemoryRegion&) = delete;
+  MemoryRegion& operator=(const MemoryRegion&) = delete;
+  // Regions must be Free()d explicitly (they reference the allocator).
+  ~MemoryRegion() = default;
+
+  uint64_t bytes() const { return bytes_; }
+  size_t page_count() const { return pages_.size(); }
+  const std::vector<PageId>& pages() const { return pages_; }
+
+  // Page backing a byte offset.
+  PageId PageAtOffset(uint64_t offset) const;
+  // Page by index in [0, page_count()).
+  PageId PageAtIndex(size_t index) const { return pages_[index]; }
+
+  // Fraction of the region's pages currently resident on each node
+  // (indexed by NodeId; sums to 1).
+  std::vector<double> NodeShares() const;
+
+  // Fraction currently on DRAM (top tier).
+  double DramShare() const;
+
+  // Releases the pages back to the allocator.
+  void Free();
+
+ private:
+  MemoryRegion(PageAllocator* allocator, std::vector<PageId> pages, uint64_t bytes)
+      : allocator_(allocator), pages_(std::move(pages)), bytes_(bytes) {}
+
+  PageAllocator* allocator_;
+  std::vector<PageId> pages_;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace cxl::os
+
+#endif  // CXL_EXPLORER_SRC_OS_REGION_H_

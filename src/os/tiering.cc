@@ -1,0 +1,237 @@
+#include "src/os/tiering.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace cxl::os {
+
+TieredMemory::TieredMemory(PageAllocator& allocator, TieringConfig config)
+    : allocator_(allocator), config_(config), hot_threshold_(config.initial_hot_threshold) {}
+
+bool TieredMemory::IsTopTier(topology::NodeId node) const {
+  return allocator_.platform().node(node).kind == topology::NodeKind::kDram;
+}
+
+void TieredMemory::RecordAccess(PageId page, uint64_t accesses) {
+  // Hint-fault sampling: only a fraction of real accesses are observed.
+  const double sampled = static_cast<double>(accesses) * config_.hint_fault_sample_rate;
+  Page& p = allocator_.page(page);
+  p.heat += static_cast<float>(sampled);
+  p.last_decay_epoch = epoch_;  // Recency stamp for the MRU-balancing mode.
+  allocator_.mutable_counters().numa_hint_faults += static_cast<uint64_t>(std::ceil(sampled));
+}
+
+uint64_t TieredMemory::LowTierPages() const {
+  uint64_t total = 0;
+  for (const auto& n : allocator_.platform().nodes()) {
+    if (n.kind == topology::NodeKind::kCxl) {
+      total += allocator_.UsedPages(n.id);
+    }
+  }
+  return total;
+}
+
+uint64_t TieredMemory::DemoteColdPages(uint64_t count) {
+  // Find a demotion target (CXL node with space).
+  const auto& platform = allocator_.platform();
+  auto pick_cxl = [&]() -> topology::NodeId {
+    topology::NodeId best = -1;
+    uint64_t best_free = 0;
+    for (const auto& n : platform.nodes()) {
+      if (n.kind == topology::NodeKind::kCxl && allocator_.FreePages(n.id) > best_free) {
+        best_free = allocator_.FreePages(n.id);
+        best = n.id;
+      }
+    }
+    return best;
+  };
+
+  // Collect the coldest DRAM pages.
+  std::vector<std::pair<float, PageId>> cold;
+  const uint64_t page_count = allocator_.allocated_pages();
+  cold.reserve(page_count / 4);
+  for (PageId id = 0; id < allocator_.page_count(); ++id) {
+    const Page& p = allocator_.page(id);
+    if (p.node >= 0 && IsTopTier(p.node)) {
+      cold.emplace_back(p.heat, id);
+    }
+  }
+  const uint64_t want = std::min<uint64_t>(count, cold.size());
+  std::partial_sort(cold.begin(), cold.begin() + static_cast<long>(want), cold.end());
+
+  uint64_t demoted = 0;
+  for (uint64_t i = 0; i < want; ++i) {
+    const topology::NodeId target = pick_cxl();
+    if (target < 0) {
+      ++allocator_.mutable_counters().migrate_failed;
+      break;
+    }
+    if (allocator_.MovePage(cold[i].second, target).ok()) {
+      ++demoted;
+      ++allocator_.mutable_counters().pgdemote;
+    }
+  }
+  return demoted;
+}
+
+TieredMemory::TickResult TieredMemory::Tick(double dt_seconds) {
+  TickResult result;
+  const auto& platform = allocator_.platform();
+  const double page_bytes = static_cast<double>(allocator_.page_bytes());
+
+  // Promotion budget from the rate limit (MB/s, decimal, as in the kernel).
+  // TPP predates the rate-limit mechanism: it promotes unboundedly.
+  const double budget_bytes = config_.promote_rate_limit_mbps * 1e6 * dt_seconds;
+  const auto budget_pages = config_.mode == PromotionMode::kTppLike
+                                ? std::numeric_limits<uint64_t>::max()
+                                : static_cast<uint64_t>(budget_bytes / page_bytes);
+
+  // Gather promotion candidates on the low tier.
+  std::vector<std::pair<float, PageId>> hot;
+  if (config_.mode == PromotionMode::kHotPageSelection) {
+    for (PageId id = 0; id < allocator_.page_count(); ++id) {
+      const Page& p = allocator_.page(id);
+      if (p.node >= 0 && !IsTopTier(p.node) && p.heat >= hot_threshold_) {
+        hot.emplace_back(p.heat, id);
+      }
+    }
+    // Hottest first.
+    std::sort(hot.begin(), hot.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+  } else if (config_.mode == PromotionMode::kMruBalancing) {
+    // MRU balancing: everything touched since the last scan qualifies, in
+    // scan order — no hotness ranking. This is precisely why the earlier
+    // patch "may not accurately identify high-demand pages" (§2.3): the
+    // budget is spent on recently-touched pages regardless of their heat.
+    for (PageId id = 0; id < allocator_.page_count(); ++id) {
+      const Page& p = allocator_.page(id);
+      if (p.node >= 0 && !IsTopTier(p.node) && p.last_decay_epoch == epoch_ && p.heat > 0.0f) {
+        hot.emplace_back(p.heat, id);
+      }
+    }
+  } else {
+    // TPP-like: second observed access promotes. With the default sampling
+    // rate a page needs ~2 sampled hits; accumulated heat >= 2 approximates
+    // the active-list check. No ordering, no rate limiting (see below).
+    for (PageId id = 0; id < allocator_.page_count(); ++id) {
+      const Page& p = allocator_.page(id);
+      if (p.node >= 0 && !IsTopTier(p.node) && p.heat >= 2.0f) {
+        hot.emplace_back(p.heat, id);
+      }
+    }
+  }
+  result.candidates = hot.size();
+  allocator_.mutable_counters().pgpromote_candidate += hot.size();
+
+  auto pick_dram = [&]() -> topology::NodeId {
+    topology::NodeId best = -1;
+    uint64_t best_free = 0;
+    for (const auto& n : platform.nodes()) {
+      if (n.kind == topology::NodeKind::kDram && allocator_.FreePages(n.id) > best_free) {
+        best_free = allocator_.FreePages(n.id);
+        best = n.id;
+      }
+    }
+    return best;
+  };
+
+  uint64_t promoted = 0;
+  for (const auto& [heat, id] : hot) {
+    if (promoted >= budget_pages) {
+      allocator_.mutable_counters().promote_rate_limited += hot.size() - promoted;
+      break;
+    }
+    topology::NodeId target = pick_dram();
+    if (target < 0) {
+      // DRAM full: demote cold pages to make room (kswapd-style), which
+      // consumes migration bandwidth too. Demote in small batches.
+      const uint64_t batch = std::clamp<uint64_t>(budget_pages / 8, 16, 4096);
+      const uint64_t freed = DemoteColdPages(batch);
+      result.demoted_pages += freed;
+      result.migrated_bytes += static_cast<double>(freed) * page_bytes;
+      target = pick_dram();
+      if (target < 0) {
+        break;  // Machine genuinely full.
+      }
+    }
+    if (allocator_.MovePage(id, target).ok()) {
+      ++promoted;
+      ++allocator_.mutable_counters().pgpromote_success;
+      result.migrated_bytes += page_bytes;
+    }
+  }
+  result.promoted_pages = promoted;
+
+  // Demotion under DRAM pressure even without promotions (watermark).
+  if (allocator_.DramFreeFraction() < config_.demotion_free_watermark) {
+    const uint64_t freed = DemoteColdPages(std::clamp<uint64_t>(budget_pages / 8, 16, 4096));
+    result.demoted_pages += freed;
+    result.migrated_bytes += static_cast<double>(freed) * page_bytes;
+  }
+
+  // Dynamic threshold adjustment: aim the candidate volume at the rate
+  // limit (the hot-page-selection patch). Too many candidates -> raise the
+  // bar; too few -> lower it (floor at 1 sampled access).
+  if (config_.mode == PromotionMode::kHotPageSelection && config_.dynamic_threshold &&
+      budget_pages > 0) {
+    if (result.candidates > 2 * budget_pages) {
+      hot_threshold_ *= 1.3;
+    } else if (result.candidates < budget_pages / 2) {
+      // Lower the bar to find more candidates, but not below a quarter of
+      // the configured threshold: pages with a single sampled hit must not
+      // churn (the kernel's adjustment is similarly bounded).
+      hot_threshold_ =
+          std::max(std::max(1.0, 0.25 * config_.initial_hot_threshold), hot_threshold_ * 0.8);
+    }
+  }
+  result.hot_threshold = hot_threshold_;
+
+  // Decay heat for the next interval.
+  for (PageId id = 0; id < allocator_.page_count(); ++id) {
+    Page& p = allocator_.page(id);
+    if (p.node >= 0) {
+      p.heat *= static_cast<float>(config_.heat_decay);
+    }
+  }
+  ++epoch_;
+  return result;
+}
+
+void DeclareTieringKnobs(KnobSet& knobs) {
+  const TieringConfig defaults;
+  knobs.Declare("kernel.numa_balancing_promote_rate_limit_MBps",
+                defaults.promote_rate_limit_mbps,
+                "maximum page promotion/demotion throughput (MB/s)");
+  knobs.Declare("vm.hot_page_threshold", defaults.initial_hot_threshold,
+                "sampled accesses per interval for a page to count as hot");
+  knobs.Declare("vm.hot_threshold_auto_adjust", defaults.dynamic_threshold ? 1.0 : 0.0,
+                "1 = adapt the hot threshold to the promotion rate limit");
+  knobs.Declare("vm.numa_balancing_mode", 0.0,
+                "0 = hot page selection (v6.1+), 1 = MRU NUMA balancing, 2 = TPP-like");
+  knobs.Declare("vm.demotion_free_watermark", defaults.demotion_free_watermark,
+                "DRAM free fraction below which cold pages demote");
+  knobs.Declare("vm.hint_fault_sample_rate", defaults.hint_fault_sample_rate,
+                "fraction of real accesses observed by page-table scanning");
+}
+
+TieringConfig TieringConfigFromKnobs(const KnobSet& knobs) {
+  TieringConfig cfg;
+  auto get = [&](const char* key, double fallback) {
+    return knobs.IsDeclared(key) ? knobs.Get(key) : fallback;
+  };
+  cfg.promote_rate_limit_mbps =
+      get("kernel.numa_balancing_promote_rate_limit_MBps", cfg.promote_rate_limit_mbps);
+  cfg.initial_hot_threshold = get("vm.hot_page_threshold", cfg.initial_hot_threshold);
+  cfg.dynamic_threshold = get("vm.hot_threshold_auto_adjust", 1.0) != 0.0;
+  const double mode = get("vm.numa_balancing_mode", 0.0);
+  cfg.mode = mode >= 2.0   ? PromotionMode::kTppLike
+             : mode >= 1.0 ? PromotionMode::kMruBalancing
+                           : PromotionMode::kHotPageSelection;
+  cfg.demotion_free_watermark = get("vm.demotion_free_watermark", cfg.demotion_free_watermark);
+  cfg.hint_fault_sample_rate = get("vm.hint_fault_sample_rate", cfg.hint_fault_sample_rate);
+  return cfg;
+}
+
+}  // namespace cxl::os

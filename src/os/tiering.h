@@ -1,0 +1,116 @@
+// Tiered-memory management: hotness tracking + hot-page promotion daemon.
+//
+// Models the two kernel mechanisms the paper evaluates (§2.3):
+//
+//  1. NUMA balancing / hint-fault sampling: accesses are *sampled* (page
+//     table scans + hint faults observe a fraction of real accesses) into a
+//     per-page decayed heat counter.
+//  2. Hot page selection with a Promotion Rate Limit
+//     (kernel.numa_balancing_promote_rate_limit_MBps): each daemon tick
+//     promotes the hottest low-tier (CXL) pages into DRAM, bounded by the
+//     rate limit, demoting cold DRAM pages when DRAM is near-full. The hot
+//     threshold can be adjusted dynamically to aim the candidate rate at the
+//     rate limit — the very mechanism whose mis-adaptation causes the Spark
+//     thrashing regression the paper reports (§4.2.2).
+#ifndef CXL_EXPLORER_SRC_OS_TIERING_H_
+#define CXL_EXPLORER_SRC_OS_TIERING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/os/page.h"
+#include "src/os/page_allocator.h"
+#include "src/util/knobs.h"
+#include "src/topology/platform.h"
+
+namespace cxl::os {
+
+// Which kernel promotion mechanism the daemon emulates (§2.3):
+//  - kHotPageSelection: the post-v6.1 patch — heat threshold (optionally
+//    dynamic) + promotion rate limit. What the paper's experiments use.
+//  - kMruBalancing: the earlier NUMA-balancing patch — promotes *recently
+//    accessed* pages (MRU) with no hotness threshold. "It may not
+//    accurately identify high-demand pages due to extended scanning
+//    intervals, potentially causing latency issues for some workloads."
+enum class PromotionMode {
+  kHotPageSelection,
+  kMruBalancing,
+  // TPP-like (Meta's Transparent Page Placement, §2.3/§8): promote a page on
+  // its *second* observed access ("active list" promotion) with NO rate
+  // limit. Responsive on stable hot sets, but under bandwidth-intensive or
+  // streaming workloads it migrates without bound — the paper "faced
+  // challenges with TPP when running memory-bandwidth-intensive
+  // applications, resulting in unexplained performance degradation".
+  kTppLike,
+};
+
+struct TieringConfig {
+  PromotionMode mode = PromotionMode::kHotPageSelection;
+  // kernel.numa_balancing_promote_rate_limit_MBps. The kernel default is
+  // 65536 (64 GiB/s, effectively unlimited); the paper's experiments ran the
+  // post-v6.1 dynamic-threshold variant.
+  double promote_rate_limit_mbps = 65536.0;
+  // Initial hot threshold in (sampled) accesses per daemon interval.
+  double initial_hot_threshold = 4.0;
+  // Dynamically adjust the threshold to match promotion candidates to the
+  // rate limit (the "hot page selection" patch behaviour).
+  bool dynamic_threshold = true;
+  // Exponential decay applied to page heat each tick.
+  double heat_decay = 0.5;
+  // Demote cold DRAM pages when DRAM free fraction falls below this.
+  double demotion_free_watermark = 0.02;
+  // Fraction of real accesses observed by hint-fault sampling.
+  double hint_fault_sample_rate = 0.05;
+};
+
+// Declares the sysctl-style knobs that mirror this config in `knobs`
+// (kernel.numa_balancing_promote_rate_limit_MBps, vm.hot_threshold, ...).
+void DeclareTieringKnobs(KnobSet& knobs);
+
+// Builds a TieringConfig from declared knob values (knobs not declared fall
+// back to TieringConfig defaults).
+TieringConfig TieringConfigFromKnobs(const KnobSet& knobs);
+
+class TieredMemory {
+ public:
+  TieredMemory(PageAllocator& allocator, TieringConfig config);
+
+  // Feeds `accesses` real accesses to `page` into the (sampled) heat
+  // counter. Called by application models once per simulation step per page
+  // group.
+  void RecordAccess(PageId page, uint64_t accesses);
+
+  // Runs one daemon interval covering `dt_seconds` of simulated time.
+  struct TickResult {
+    uint64_t promoted_pages = 0;
+    uint64_t demoted_pages = 0;
+    double migrated_bytes = 0.0;   // Promotion + demotion traffic.
+    double hot_threshold = 0.0;    // Threshold in effect after adjustment.
+    uint64_t candidates = 0;       // Hot low-tier pages seen this tick.
+  };
+  TickResult Tick(double dt_seconds);
+
+  // DRAM nodes are the top tier; CXL nodes the low tier (§2.3).
+  bool IsTopTier(topology::NodeId node) const;
+
+  double hot_threshold() const { return hot_threshold_; }
+  const TieringConfig& config() const { return config_; }
+  PageAllocator& allocator() { return allocator_; }
+
+  // Pages currently resident on low-tier nodes (for tests/telemetry).
+  uint64_t LowTierPages() const;
+
+ private:
+  // Demotes up to `count` of the coldest DRAM pages to make room. Returns
+  // pages actually demoted.
+  uint64_t DemoteColdPages(uint64_t count);
+
+  PageAllocator& allocator_;
+  TieringConfig config_;
+  double hot_threshold_;
+  uint32_t epoch_ = 0;  // Scan interval counter (recency stamps).
+};
+
+}  // namespace cxl::os
+
+#endif  // CXL_EXPLORER_SRC_OS_TIERING_H_

@@ -1,0 +1,42 @@
+#include "src/os/vmstat.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace cxl::os {
+
+void PrintVmCounters(std::ostream& os, const VmCounters& counters) {
+  os << "pgalloc " << counters.pgalloc << "\n";
+  os << "pgfree " << counters.pgfree << "\n";
+  os << "pgpromote_success " << counters.pgpromote_success << "\n";
+  os << "pgpromote_candidate " << counters.pgpromote_candidate << "\n";
+  os << "pgdemote " << counters.pgdemote << "\n";
+  os << "numa_hint_faults " << counters.numa_hint_faults << "\n";
+  os << "migrate_failed " << counters.migrate_failed << "\n";
+  os << "promote_rate_limited " << counters.promote_rate_limited << "\n";
+}
+
+void PrintNodeOccupancy(std::ostream& os, const PageAllocator& allocator) {
+  const auto& platform = allocator.platform();
+  for (const auto& n : platform.nodes()) {
+    const uint64_t total = allocator.TotalPages(n.id);
+    const uint64_t used = allocator.UsedPages(n.id);
+    const double used_gib = static_cast<double>(used * allocator.page_bytes()) /
+                            static_cast<double>(1ull << 30);
+    const double total_gib = static_cast<double>(total * allocator.page_bytes()) /
+                             static_cast<double>(1ull << 30);
+    os << "node " << n.id << " (" << n.name << "): " << std::fixed << std::setprecision(1)
+       << used_gib << " / " << total_gib << " GiB used ("
+       << (total == 0 ? 0.0 : 100.0 * static_cast<double>(used) / static_cast<double>(total))
+       << "%)\n";
+  }
+}
+
+std::string VmstatReport(const PageAllocator& allocator) {
+  std::ostringstream os;
+  PrintVmCounters(os, allocator.counters());
+  PrintNodeOccupancy(os, allocator);
+  return os.str();
+}
+
+}  // namespace cxl::os

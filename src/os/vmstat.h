@@ -1,0 +1,26 @@
+// /proc/vmstat-style reporting for the tiering counters: renders VmCounters
+// (and per-node occupancy) the way an operator would read them on a real
+// tiered-memory host.
+#ifndef CXL_EXPLORER_SRC_OS_VMSTAT_H_
+#define CXL_EXPLORER_SRC_OS_VMSTAT_H_
+
+#include <ostream>
+#include <string>
+
+#include "src/os/page_allocator.h"
+
+namespace cxl::os {
+
+// Writes "pgpromote_success 123"-style lines for every counter.
+void PrintVmCounters(std::ostream& os, const VmCounters& counters);
+
+// Writes a numactl --hardware-style per-node occupancy table for the
+// allocator's platform.
+void PrintNodeOccupancy(std::ostream& os, const PageAllocator& allocator);
+
+// Both of the above as one string (convenient for logs and tests).
+std::string VmstatReport(const PageAllocator& allocator);
+
+}  // namespace cxl::os
+
+#endif  // CXL_EXPLORER_SRC_OS_VMSTAT_H_

@@ -1,0 +1,47 @@
+#include "src/sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace cxl::sim {
+
+void EventQueue::ScheduleAt(SimTime when, Callback cb) {
+  assert(when >= now_ && "cannot schedule into the past");
+  heap_.push(Event{when, next_seq_++, std::move(cb)});
+}
+
+bool EventQueue::Step() {
+  if (heap_.empty()) {
+    return false;
+  }
+  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+  // so copy the closure handle instead (shared closures are cheap enough for
+  // our event volumes).
+  Event ev = heap_.top();
+  heap_.pop();
+  now_ = ev.time;
+  ev.cb();
+  return true;
+}
+
+uint64_t EventQueue::Run() {
+  uint64_t executed = 0;
+  while (Step()) {
+    ++executed;
+  }
+  return executed;
+}
+
+uint64_t EventQueue::RunUntil(SimTime until) {
+  uint64_t executed = 0;
+  while (!heap_.empty() && heap_.top().time <= until) {
+    Step();
+    ++executed;
+  }
+  if (now_ < until) {
+    now_ = until;
+  }
+  return executed;
+}
+
+}  // namespace cxl::sim

@@ -1,0 +1,68 @@
+// Discrete-event simulation kernel.
+//
+// A minimal, deterministic event loop: events are (time, sequence, closure)
+// triples ordered by time with FIFO tie-breaking, executed until the queue
+// drains or a time/count limit is hit. The request-level application
+// simulations (KeyDB server event loops, Spark stage barriers) run on top of
+// this kernel.
+#ifndef CXL_EXPLORER_SRC_SIM_EVENT_QUEUE_H_
+#define CXL_EXPLORER_SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace cxl::sim {
+
+// Simulated time in nanoseconds.
+using SimTime = double;
+
+// Deterministic discrete-event executor.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  // Schedules `cb` at absolute time `when` (must be >= Now()).
+  void ScheduleAt(SimTime when, Callback cb);
+
+  // Schedules `cb` `delay` ns after the current time.
+  void ScheduleAfter(SimTime delay, Callback cb) { ScheduleAt(now_ + delay, std::move(cb)); }
+
+  // Runs until the queue is empty. Returns the number of events executed.
+  uint64_t Run();
+
+  // Runs until simulated time exceeds `until` (events at exactly `until`
+  // still run) or the queue drains. Returns events executed.
+  uint64_t RunUntil(SimTime until);
+
+  // Executes exactly one event if available. Returns false if empty.
+  bool Step();
+
+  SimTime Now() const { return now_; }
+  bool empty() const { return heap_.empty(); }
+  size_t pending() const { return heap_.size(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  SimTime now_ = 0.0;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace cxl::sim
+
+#endif  // CXL_EXPLORER_SRC_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,55 @@
+#include "src/topology/pcm.h"
+
+#include <algorithm>
+#include <iomanip>
+
+namespace cxl::topology {
+
+double PcmSnapshot::MaxUpiUtilization() const {
+  double max_util = 0.0;
+  for (const auto& u : upi) {
+    max_util = std::max(max_util, u.utilization);
+  }
+  return max_util;
+}
+
+PcmSnapshot TakePcmSnapshot(const Platform& platform, const TrafficModel::Solution& solution) {
+  PcmSnapshot snap;
+  snap.sockets.resize(static_cast<size_t>(platform.socket_count()));
+  for (int s = 0; s < platform.socket_count(); ++s) {
+    snap.sockets[static_cast<size_t>(s)].socket = s;
+  }
+  for (const auto& n : platform.nodes()) {
+    const auto& stats = solution.nodes[static_cast<size_t>(n.id)];
+    if (n.kind == NodeKind::kDram) {
+      auto& sock = snap.sockets[static_cast<size_t>(n.socket)];
+      sock.dram_read_write_gbps += stats.achieved_gbps;
+      // Utilization aggregates conservatively: the max over the socket's
+      // domains (one saturated SNC domain is a saturated socket for the
+      // workload pinned to it).
+      sock.dram_utilization = std::max(sock.dram_utilization, stats.utilization);
+    } else {
+      snap.cxl_cards.push_back(stats);
+    }
+  }
+  snap.upi = solution.upi;
+  return snap;
+}
+
+void PrintPcmSnapshot(std::ostream& os, const PcmSnapshot& snapshot) {
+  os << std::fixed << std::setprecision(1);
+  for (const auto& s : snapshot.sockets) {
+    os << "SKT" << s.socket << " DRAM: " << s.dram_read_write_gbps << " GB/s ("
+       << 100.0 * s.dram_utilization << "% util)\n";
+  }
+  for (size_t i = 0; i < snapshot.upi.size(); ++i) {
+    os << "UPI->SKT" << i << ": " << snapshot.upi[i].achieved_gbps << " GB/s ("
+       << 100.0 * snapshot.upi[i].utilization << "% util)\n";
+  }
+  for (size_t i = 0; i < snapshot.cxl_cards.size(); ++i) {
+    os << "CXL" << i << ": " << snapshot.cxl_cards[i].achieved_gbps << " GB/s ("
+       << 100.0 * snapshot.cxl_cards[i].utilization << "% util)\n";
+  }
+}
+
+}  // namespace cxl::topology

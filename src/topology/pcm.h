@@ -1,0 +1,45 @@
+// Intel PCM-style counter facade.
+//
+// The paper instruments its testbed with the Intel Performance Counter
+// Monitor: socket DRAM bandwidth for Fig. 10(b)(c), and UPI utilization to
+// diagnose the remote-CXL bottleneck ("the UPI utilization is consistently
+// below 30%", §3.2 — proving the Remote Snoop Filter, not the interconnect,
+// caps remote CXL). PcmSnapshot renders a TrafficModel solution the way an
+// operator would read `pcm` / `pcm-memory` output, so experiments can make
+// the same diagnosis.
+#ifndef CXL_EXPLORER_SRC_TOPOLOGY_PCM_H_
+#define CXL_EXPLORER_SRC_TOPOLOGY_PCM_H_
+
+#include <ostream>
+#include <vector>
+
+#include "src/topology/platform.h"
+
+namespace cxl::topology {
+
+struct PcmSocketCounters {
+  int socket = 0;
+  double dram_read_write_gbps = 0.0;  // Aggregate DRAM traffic on the socket.
+  double dram_utilization = 0.0;      // Against the socket's channel capacity.
+};
+
+struct PcmSnapshot {
+  std::vector<PcmSocketCounters> sockets;
+  // Per-destination-socket UPI traffic and utilization.
+  std::vector<TrafficModel::NodeStats> upi;
+  // Per-CXL-card traffic (as a CXL.mem "device counter" would report).
+  std::vector<TrafficModel::NodeStats> cxl_cards;
+
+  // Highest UPI utilization across directions (the §3.2 diagnostic).
+  double MaxUpiUtilization() const;
+};
+
+// Builds a snapshot from a solved traffic model.
+PcmSnapshot TakePcmSnapshot(const Platform& platform, const TrafficModel::Solution& solution);
+
+// pcm-memory-style rendering.
+void PrintPcmSnapshot(std::ostream& os, const PcmSnapshot& snapshot);
+
+}  // namespace cxl::topology
+
+#endif  // CXL_EXPLORER_SRC_TOPOLOGY_PCM_H_

@@ -1,0 +1,41 @@
+// Minimal experiment-spec parser: `key = value` lines (also `key value`),
+// '#' comments, no sections. Used by the cxl_lab example so experiments can
+// be described in checked-in files, mirroring how the paper's artifact
+// repository ships testing configurations.
+#ifndef CXL_EXPLORER_SRC_UTIL_CONFIG_H_
+#define CXL_EXPLORER_SRC_UTIL_CONFIG_H_
+
+#include <istream>
+#include <map>
+#include <string>
+
+#include "src/util/status.h"
+
+namespace cxl {
+
+class Config {
+ public:
+  // Parses a stream; returns INVALID_ARGUMENT (with a line number) for
+  // malformed rows or duplicate keys.
+  static StatusOr<Config> Parse(std::istream& is);
+  static StatusOr<Config> ParseString(const std::string& text);
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+  // Typed getters; return `fallback` for missing keys, an error Status (via
+  // assert-free StatusOr) only for present-but-unparsable values.
+  std::string GetString(const std::string& key, const std::string& fallback = "") const;
+  StatusOr<double> GetDouble(const std::string& key, double fallback) const;
+  StatusOr<int64_t> GetInt(const std::string& key, int64_t fallback) const;
+  // Accepts true/false/1/0/yes/no (case-sensitive lowercase).
+  StatusOr<bool> GetBool(const std::string& key, bool fallback) const;
+
+  const std::map<std::string, std::string>& values() const { return values_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace cxl
+
+#endif  // CXL_EXPLORER_SRC_UTIL_CONFIG_H_

@@ -1,0 +1,93 @@
+#include "src/util/distribution.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace cxl {
+
+namespace {
+
+// zeta(n, theta) = sum_{i=1..n} 1/i^theta, computed incrementally from a
+// previous prefix when possible.
+double ZetaIncremental(uint64_t from, uint64_t to, double theta, double base) {
+  double z = base;
+  for (uint64_t i = from + 1; i <= to; ++i) {
+    z += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return z;
+}
+
+}  // namespace
+
+ZipfianDistribution::ZipfianDistribution(uint64_t n, double theta) : n_(n), theta_(theta) {
+  assert(n >= 1);
+  assert(theta > 0.0 && theta < 1.0);
+  zeta_two_ = ZetaIncremental(0, 2, theta_, 0.0);
+  zeta_n_ = ZetaIncremental(0, n_, theta_, 0.0);
+  Recompute();
+}
+
+void ZipfianDistribution::Recompute() {
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta_two_ / zeta_n_);
+}
+
+void ZipfianDistribution::GrowTo(uint64_t new_count) {
+  if (new_count <= n_) {
+    return;
+  }
+  zeta_n_ = ZetaIncremental(n_, new_count, theta_, zeta_n_);
+  n_ = new_count;
+  Recompute();
+}
+
+uint64_t ZipfianDistribution::Next(Rng& rng) {
+  const double u = rng.NextDouble();
+  const double uz = u * zeta_n_;
+  if (uz < 1.0) {
+    return 0;
+  }
+  if (uz < 1.0 + std::pow(0.5, theta_)) {
+    return 1;
+  }
+  const auto rank = static_cast<uint64_t>(static_cast<double>(n_) *
+                                          std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank >= n_ ? n_ - 1 : rank;
+}
+
+double ZipfianDistribution::ProbabilityOfRank(uint64_t k) const {
+  assert(k < n_);
+  return (1.0 / std::pow(static_cast<double>(k + 1), theta_)) / zeta_n_;
+}
+
+uint64_t HotSpotDistribution::Next(Rng& rng) {
+  const auto hot_items = static_cast<uint64_t>(hot_set_fraction_ * static_cast<double>(n_));
+  const uint64_t hot_n = hot_items == 0 ? 1 : hot_items;
+  if (rng.NextBool(hot_fraction_)) {
+    return rng.NextBounded(hot_n);
+  }
+  const uint64_t cold_n = n_ - hot_n;
+  if (cold_n == 0) {
+    return rng.NextBounded(hot_n);
+  }
+  return hot_n + rng.NextBounded(cold_n);
+}
+
+std::unique_ptr<KeyDistribution> MakeUniform(uint64_t n) {
+  return std::make_unique<UniformDistribution>(n);
+}
+
+std::unique_ptr<KeyDistribution> MakeZipfian(uint64_t n, double theta) {
+  return std::make_unique<ZipfianDistribution>(n, theta);
+}
+
+std::unique_ptr<KeyDistribution> MakeScrambledZipfian(uint64_t n, double theta) {
+  return std::make_unique<ScrambledZipfianDistribution>(n, theta);
+}
+
+std::unique_ptr<KeyDistribution> MakeLatest(uint64_t n, double theta) {
+  return std::make_unique<LatestDistribution>(n, theta);
+}
+
+}  // namespace cxl

@@ -1,0 +1,124 @@
+#include "src/util/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace cxl {
+
+Histogram::Histogram(double min_value, double max_value, int buckets_per_decade)
+    : min_value_(min_value), max_value_(max_value) {
+  assert(min_value > 0.0 && max_value > min_value && buckets_per_decade > 0);
+  log_min_ = std::log10(min_value_);
+  const double decades = std::log10(max_value_) - log_min_;
+  const int n_buckets = static_cast<int>(std::ceil(decades * buckets_per_decade)) + 1;
+  log_step_ = 1.0 / buckets_per_decade;
+  inv_log_step_ = static_cast<double>(buckets_per_decade);
+  buckets_.assign(static_cast<size_t>(n_buckets), 0);
+}
+
+int Histogram::BucketIndex(double value) const {
+  if (value <= min_value_) {
+    return 0;
+  }
+  if (value >= max_value_) {
+    return static_cast<int>(buckets_.size()) - 1;
+  }
+  const int idx = static_cast<int>((std::log10(value) - log_min_) * inv_log_step_);
+  return std::clamp(idx, 0, static_cast<int>(buckets_.size()) - 1);
+}
+
+double Histogram::BucketUpperBound(int index) const {
+  return std::pow(10.0, log_min_ + (index + 1) * log_step_);
+}
+
+void Histogram::Record(double value) { RecordMany(value, 1); }
+
+void Histogram::RecordMany(double value, uint64_t n) {
+  if (n == 0) {
+    return;
+  }
+  buckets_[static_cast<size_t>(BucketIndex(value))] += n;
+  if (count_ == 0 || value < min_seen_) {
+    min_seen_ = value;
+  }
+  if (count_ == 0 || value > max_seen_) {
+    max_seen_ = value;
+  }
+  count_ += n;
+  sum_ += value * static_cast<double>(n);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  assert(buckets_.size() == other.buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (other.count_ > 0) {
+    if (count_ == 0 || other.min_seen_ < min_seen_) {
+      min_seen_ = other.min_seen_;
+    }
+    if (count_ == 0 || other.max_seen_ > max_seen_) {
+      max_seen_ = other.max_seen_;
+    }
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double Histogram::ValueAtQuantile(double q) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<uint64_t>(std::ceil(q * static_cast<double>(count_)));
+  uint64_t cum = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    cum += buckets_[i];
+    if (cum >= target && buckets_[i] > 0) {
+      // Report the bucket's geometric midpoint, clamped to observed extremes.
+      const double hi = BucketUpperBound(static_cast<int>(i));
+      const double lo = hi * std::pow(10.0, -log_step_);
+      return std::clamp(std::sqrt(lo * hi), min_seen_, max_seen_);
+    }
+  }
+  return max_seen_;
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_seen_ = 0.0;
+  max_seen_ = 0.0;
+}
+
+std::vector<Histogram::CdfPoint> Histogram::Cdf() const {
+  std::vector<CdfPoint> points;
+  if (count_ == 0) {
+    return points;
+  }
+  uint64_t cum = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) {
+      continue;
+    }
+    cum += buckets_[i];
+    points.push_back(CdfPoint{BucketUpperBound(static_cast<int>(i)),
+                              static_cast<double>(cum) / static_cast<double>(count_)});
+  }
+  return points;
+}
+
+std::string Histogram::Summary(const std::string& unit) const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "n=%llu mean=%.1f%s p50=%.1f%s p99=%.1f%s p999=%.1f%s max=%.1f%s",
+                static_cast<unsigned long long>(count_), mean(), unit.c_str(), p50(), unit.c_str(),
+                p99(), unit.c_str(), p999(), unit.c_str(), max(), unit.c_str());
+  return buf;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace cxl

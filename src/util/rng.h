@@ -1,0 +1,123 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// All stochastic components of the simulator draw from Rng so that every
+// experiment is reproducible from a single seed. xoshiro256** is used for the
+// stream (fast, high quality) and SplitMix64 for seeding / hashing.
+#ifndef CXL_EXPLORER_SRC_UTIL_RNG_H_
+#define CXL_EXPLORER_SRC_UTIL_RNG_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+namespace cxl {
+
+// SplitMix64 step: maps any 64-bit value to a well-mixed 64-bit value.
+// Useful standalone as a cheap integer hash.
+constexpr uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// xoshiro256** generator with convenience draws for the distributions the
+// simulator needs. Copyable: copies continue independent identical streams.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    uint64_t s = seed;
+    for (auto& word : state_) {
+      s = SplitMix64(s);
+      word = s;
+      // Defensively avoid the all-zero state (SplitMix64 cannot produce four
+      // zero outputs from distinct inputs, but keep the invariant explicit).
+      if (word == 0) {
+        word = 0x2545f4914f6cdd1dull;
+      }
+    }
+  }
+
+  // Uniform 64-bit draw.
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be > 0. Uses Lemire's multiply-shift
+  // with rejection for unbiased results.
+  uint64_t NextBounded(uint64_t bound) {
+    assert(bound > 0);
+    // 128-bit multiply-high partition of the 64-bit space into `bound` slots.
+    unsigned __int128 m = static_cast<unsigned __int128>(NextU64()) * bound;
+    auto low = static_cast<uint64_t>(m);
+    if (low < bound) {
+      const uint64_t threshold = (0ull - bound) % bound;
+      while (low < threshold) {
+        m = static_cast<unsigned __int128>(NextU64()) * bound;
+        low = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * (1.0 / 9007199254740992.0);  // 2^-53.
+  }
+
+  // Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+  // Bernoulli draw with probability p of returning true.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  // Exponential draw with the given mean (inverse-CDF method).
+  double NextExponential(double mean) {
+    // 1 - u in (0, 1] avoids log(0).
+    return -mean * std::log(1.0 - NextDouble());
+  }
+
+  // Standard normal via Marsaglia polar method (no cached spare: simple and
+  // branch-predictable enough for our volumes).
+  double NextGaussian(double mean = 0.0, double stddev = 1.0) {
+    double u;
+    double v;
+    double s;
+    do {
+      u = NextDouble(-1.0, 1.0);
+      v = NextDouble(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    return mean + stddev * u * std::sqrt(-2.0 * std::log(s) / s);
+  }
+
+  // Pareto-ish heavy tail used for service-time jitter: mean `mean`, shape
+  // alpha > 1 (smaller alpha = heavier tail).
+  double NextPareto(double mean, double alpha) {
+    assert(alpha > 1.0);
+    const double xm = mean * (alpha - 1.0) / alpha;  // Scale for the target mean.
+    return xm / std::pow(1.0 - NextDouble(), 1.0 / alpha);
+  }
+
+  // Derives an independent child generator; `stream` distinguishes children.
+  Rng Fork(uint64_t stream) const {
+    return Rng(SplitMix64(state_[0] ^ SplitMix64(stream + 0x632be59bd9b4e019ull)));
+  }
+
+ private:
+  static constexpr uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4] = {};
+};
+
+}  // namespace cxl
+
+#endif  // CXL_EXPLORER_SRC_UTIL_RNG_H_

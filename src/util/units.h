@@ -1,0 +1,65 @@
+// Units and unit-safe helpers used across the simulator.
+//
+// Conventions:
+//  - Time is carried in double *nanoseconds* inside device models (latencies)
+//    and in double *seconds* at application level. Conversion helpers below.
+//  - Bandwidth is carried in double GB/s (decimal gigabytes: 1e9 bytes/s),
+//    matching the units the paper reports (e.g. 67 GB/s, 56.7 GB/s).
+//  - Capacities are carried in uint64_t bytes.
+#ifndef CXL_EXPLORER_SRC_UTIL_UNITS_H_
+#define CXL_EXPLORER_SRC_UTIL_UNITS_H_
+
+#include <cstdint>
+
+namespace cxl {
+
+inline constexpr uint64_t kKiB = 1024ull;
+inline constexpr uint64_t kMiB = 1024ull * kKiB;
+inline constexpr uint64_t kGiB = 1024ull * kMiB;
+inline constexpr uint64_t kTiB = 1024ull * kGiB;
+
+inline constexpr uint64_t kKB = 1000ull;
+inline constexpr uint64_t kMB = 1000ull * kKB;
+inline constexpr uint64_t kGB = 1000ull * kMB;
+inline constexpr uint64_t kTB = 1000ull * kGB;
+
+inline constexpr double kNsPerUs = 1e3;
+inline constexpr double kNsPerMs = 1e6;
+inline constexpr double kNsPerSec = 1e9;
+
+// Cache-line granularity of a CXL.mem / DDR access (the paper uses 64 B
+// accesses throughout its MLC experiments).
+inline constexpr uint64_t kCacheLineBytes = 64;
+
+// Converts a bandwidth in GB/s and a transfer size in bytes to nanoseconds of
+// pure transfer time (no queueing).
+constexpr double TransferNs(uint64_t bytes, double gb_per_sec) {
+  return static_cast<double>(bytes) / gb_per_sec;  // bytes / (GB/s) == ns.
+}
+
+// Converts nanoseconds to seconds.
+constexpr double NsToSec(double ns) { return ns / kNsPerSec; }
+
+// Converts seconds to nanoseconds.
+constexpr double SecToNs(double sec) { return sec * kNsPerSec; }
+
+// Converts a byte count to decimal gigabytes.
+constexpr double BytesToGB(uint64_t bytes) { return static_cast<double>(bytes) / 1e9; }
+
+// Converts a byte count to binary gibibytes.
+constexpr double BytesToGiB(uint64_t bytes) {
+  return static_cast<double>(bytes) / static_cast<double>(kGiB);
+}
+
+namespace literals {
+
+constexpr uint64_t operator""_KiB(unsigned long long v) { return v * kKiB; }
+constexpr uint64_t operator""_MiB(unsigned long long v) { return v * kMiB; }
+constexpr uint64_t operator""_GiB(unsigned long long v) { return v * kGiB; }
+constexpr uint64_t operator""_TiB(unsigned long long v) { return v * kTiB; }
+
+}  // namespace literals
+
+}  // namespace cxl
+
+#endif  // CXL_EXPLORER_SRC_UTIL_UNITS_H_

@@ -1,0 +1,67 @@
+#include "src/workload/mlc.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cxl::workload {
+
+using mem::AccessMix;
+
+std::vector<LoadedLatencyPoint> MlcBenchmark::LoadedLatencySweep(const AccessMix& mix,
+                                                                 int points) const {
+  std::vector<LoadedLatencyPoint> out;
+  out.reserve(static_cast<size_t>(points));
+  const double peak = profile_.PeakBandwidthGBps(mix, config_.pattern);
+  const LoadedLatencyPoint closed = ClosedLoopPoint(mix);
+  for (int i = 0; i < points; ++i) {
+    // Quadratic spacing concentrates points near saturation, where the
+    // interesting latency behaviour lives (like MLC's own delay ladder).
+    const double frac = 0.02 + 1.23 * std::pow(static_cast<double>(i) / (points - 1), 2.0);
+    LoadedLatencyPoint pt;
+    pt.offered_gbps = frac * peak;
+    // Concurrency-limited: the threads cannot offer more than the
+    // closed-loop bound regardless of injection rate.
+    const double offered = std::min(pt.offered_gbps, closed.achieved_gbps);
+    pt.achieved_gbps = profile_.AchievedBandwidthGBps(mix, offered, config_.pattern);
+    pt.latency_ns = profile_.LoadedLatencyNs(mix, offered, config_.pattern);
+    pt.utilization = peak > 0.0 ? std::min(offered / peak, 1.0) : 0.0;
+    out.push_back(pt);
+  }
+  return out;
+}
+
+LoadedLatencyPoint MlcBenchmark::ClosedLoopPoint(const AccessMix& mix) const {
+  const double peak = profile_.PeakBandwidthGBps(mix, config_.pattern);
+  const double inflight_bytes =
+      config_.threads * config_.outstanding_per_thread * config_.access_bytes;
+  // Fixed point of B = inflight_bytes / L(B). g(B) = inflight/L(B) - B is
+  // strictly decreasing (L is nondecreasing), so bisection on [0, peak]
+  // converges unconditionally. (bytes / ns == GB/s: no unit conversion.)
+  auto g = [&](double b) {
+    return inflight_bytes / profile_.LoadedLatencyNs(mix, b, config_.pattern) - b;
+  };
+  double bw;
+  if (g(peak) >= 0.0) {
+    bw = peak;  // Threads can drive the device to its clamped saturation.
+  } else {
+    double lo = 0.0;
+    double hi = peak;
+    for (int iter = 0; iter < 80; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      if (g(mid) > 0.0) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    bw = 0.5 * (lo + hi);
+  }
+  LoadedLatencyPoint pt;
+  pt.offered_gbps = bw;
+  pt.achieved_gbps = profile_.AchievedBandwidthGBps(mix, bw, config_.pattern);
+  pt.latency_ns = profile_.LoadedLatencyNs(mix, bw, config_.pattern);
+  pt.utilization = peak > 0.0 ? std::min(bw / peak, 1.0) : 0.0;
+  return pt;
+}
+
+}  // namespace cxl::workload

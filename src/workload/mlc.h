@@ -1,0 +1,75 @@
+// Intel MLC-style loaded-latency benchmark (§3.1 methodology).
+//
+// MLC measures the latency-vs-bandwidth curve by running worker threads that
+// issue 64 B accesses with a configurable read:write mix, incrementally
+// raising the per-thread operation rate ("injection rate") until bandwidth
+// saturates. We reproduce that procedure against a PathProfile:
+//
+//  - the open-loop sweep offers increasing load and records
+//    (achieved bandwidth, loaded latency) points — the Fig. 3/4 curves;
+//  - the closed-loop point applies Little's law with a bounded number of
+//    outstanding requests per thread, which is what ultimately saturates the
+//    device when the thread count is small.
+#ifndef CXL_EXPLORER_SRC_WORKLOAD_MLC_H_
+#define CXL_EXPLORER_SRC_WORKLOAD_MLC_H_
+
+#include <vector>
+
+#include "src/mem/access.h"
+#include "src/mem/profiles.h"
+
+namespace cxl::workload {
+
+struct MlcConfig {
+  // The paper deploys 16 MLC threads (§3.1).
+  int threads = 16;
+  // 64 B accesses, matching prior work.
+  double access_bytes = 64.0;
+  // Outstanding requests sustained per thread (MSHRs + prefetch + NT-store
+  // write combining). 32 lets 16 threads saturate every device in §3.
+  double outstanding_per_thread = 32.0;
+  mem::AccessPattern pattern = mem::AccessPattern::kSequential;
+};
+
+struct LoadedLatencyPoint {
+  double offered_gbps = 0.0;
+  double achieved_gbps = 0.0;
+  double latency_ns = 0.0;
+  double utilization = 0.0;
+};
+
+class MlcBenchmark {
+ public:
+  MlcBenchmark(const mem::PathProfile& profile, MlcConfig config = {})
+      : profile_(profile), config_(config) {}
+
+  // Open-loop sweep: `points` injection rates from near-idle to ~1.25x peak.
+  // The tail points show the saturation plateau (and, for droopy paths, the
+  // bandwidth fall-back of Fig. 3(b)).
+  std::vector<LoadedLatencyPoint> LoadedLatencySweep(const mem::AccessMix& mix,
+                                                     int points = 24) const;
+
+  // Closed-loop operating point: the bandwidth/latency pair where
+  //   bandwidth = threads * outstanding * access_bytes / latency(bandwidth)
+  // i.e. where Little's law meets the device's loaded-latency curve.
+  LoadedLatencyPoint ClosedLoopPoint(const mem::AccessMix& mix) const;
+
+  // Shorthands for the table columns the paper quotes.
+  double IdleLatencyNs(const mem::AccessMix& mix) const {
+    return profile_.IdleLatencyNs(mix, config_.pattern);
+  }
+  double PeakBandwidthGBps(const mem::AccessMix& mix) const {
+    return profile_.PeakBandwidthGBps(mix, config_.pattern);
+  }
+
+  const mem::PathProfile& profile() const { return profile_; }
+  const MlcConfig& config() const { return config_; }
+
+ private:
+  const mem::PathProfile& profile_;
+  MlcConfig config_;
+};
+
+}  // namespace cxl::workload
+
+#endif  // CXL_EXPLORER_SRC_WORKLOAD_MLC_H_

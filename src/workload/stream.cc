@@ -1,0 +1,68 @@
+#include "src/workload/stream.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/util/units.h"
+
+namespace cxl::workload {
+
+using mem::AccessMix;
+
+StreamResult RunStreamTriad(const mem::PathProfile& profile, const StreamConfig& config) {
+  // Triad's byte mix: reads_per_element : writes_per_element (2:1).
+  const double rf = config.reads_per_element /
+                    (config.reads_per_element + config.writes_per_element);
+  const AccessMix mix{rf, true};
+  const double peak = profile.PeakBandwidthGBps(mix);
+
+  // Closed loop under prefetch concurrency (Little's law), as in MLC:
+  // B = inflight_bytes / L(B), bisected on the decreasing residual.
+  const double inflight_bytes =
+      config.threads * config.prefetch_depth * static_cast<double>(kCacheLineBytes);
+  auto residual = [&](double b) {
+    return inflight_bytes / profile.LoadedLatencyNs(mix, b) - b;
+  };
+  double bw;
+  if (residual(peak) >= 0.0) {
+    bw = peak;
+  } else {
+    double lo = 0.0;
+    double hi = peak;
+    for (int i = 0; i < 80; ++i) {
+      const double mid = 0.5 * (lo + hi);
+      (residual(mid) > 0.0 ? lo : hi) = mid;
+    }
+    bw = 0.5 * (lo + hi);
+  }
+
+  StreamResult result;
+  result.triad_gbps = profile.AchievedBandwidthGBps(mix, bw);
+  result.loaded_latency_ns = profile.LoadedLatencyNs(mix, bw);
+  result.utilization = peak > 0.0 ? bw / peak : 0.0;
+  return result;
+}
+
+PointerChaseResult RunPointerChase(const mem::PathProfile& profile,
+                                   const PointerChaseConfig& config) {
+  assert(config.chain_length > 0 && config.parallel_chains > 0);
+  const AccessMix mix = AccessMix::ReadOnly();
+  const mem::AccessPattern pattern = mem::AccessPattern::kRandom;  // Chases jump randomly.
+  const double peak = profile.PeakBandwidthGBps(mix, pattern);
+
+  // Each chain keeps exactly one load outstanding; N chains offer
+  // N * 64 B / L of load. Solve the (tiny) fixed point.
+  double latency = profile.IdleLatencyNs(mix, pattern);
+  for (int iter = 0; iter < 50; ++iter) {
+    const double offered = config.parallel_chains *
+                           static_cast<double>(kCacheLineBytes) / latency;
+    latency = profile.LoadedLatencyNs(mix, std::min(offered, peak), pattern);
+  }
+  PointerChaseResult result;
+  result.ns_per_hop = latency;
+  result.achieved_gbps =
+      config.parallel_chains * static_cast<double>(kCacheLineBytes) / latency;
+  return result;
+}
+
+}  // namespace cxl::workload

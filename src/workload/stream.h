@@ -1,0 +1,59 @@
+// STREAM-style and pointer-chase microbenchmarks.
+//
+// MLC (src/workload/mlc.h) measures loaded latency under an injection-rate
+// sweep. The two classic complements are:
+//  - STREAM triad (a[i] = b[i] + q*c[i]): pure streaming bandwidth with a
+//    2:1 read:write byte mix and deep prefetch concurrency;
+//  - pointer chase: a dependent-load chain with zero memory-level
+//    parallelism, measuring *pure* latency (each load must finish before
+//    the next can issue).
+// Running both against every path reproduces the standard CXL
+// characterization table: CXL loses ~2.5x on the chase, far less on triad.
+#ifndef CXL_EXPLORER_SRC_WORKLOAD_STREAM_H_
+#define CXL_EXPLORER_SRC_WORKLOAD_STREAM_H_
+
+#include "src/mem/access.h"
+#include "src/mem/profiles.h"
+
+namespace cxl::workload {
+
+struct StreamConfig {
+  int threads = 16;
+  // Triad moves 3 operands per element: 2 reads + 1 write.
+  double reads_per_element = 2.0;
+  double writes_per_element = 1.0;
+  double element_bytes = 8.0;
+  // Hardware prefetchers keep this many cache lines in flight per thread on
+  // a streaming kernel.
+  double prefetch_depth = 24.0;
+};
+
+struct StreamResult {
+  double triad_gbps = 0.0;       // Achieved STREAM triad bandwidth.
+  double loaded_latency_ns = 0.0;  // Latency at the triad operating point.
+  double utilization = 0.0;
+};
+
+// Closed-loop STREAM triad against one path.
+StreamResult RunStreamTriad(const mem::PathProfile& profile, const StreamConfig& config = {});
+
+struct PointerChaseConfig {
+  // Chain length (number of dependent loads measured).
+  int chain_length = 1 << 20;
+  // Concurrent independent chains (1 = the classic latency benchmark).
+  int parallel_chains = 1;
+};
+
+struct PointerChaseResult {
+  double ns_per_hop = 0.0;     // Average dependent-load latency.
+  double achieved_gbps = 0.0;  // Trivially small for one chain.
+};
+
+// Dependent-load chain against one path. With one chain the result is the
+// path's idle latency; many chains approach the MLC closed loop.
+PointerChaseResult RunPointerChase(const mem::PathProfile& profile,
+                                   const PointerChaseConfig& config = {});
+
+}  // namespace cxl::workload
+
+#endif  // CXL_EXPLORER_SRC_WORKLOAD_STREAM_H_

@@ -1,0 +1,64 @@
+#include "src/workload/ycsb.h"
+
+#include <cassert>
+
+namespace cxl::workload {
+
+std::string YcsbName(YcsbWorkload w) {
+  switch (w) {
+    case YcsbWorkload::kA:
+      return "YCSB-A";
+    case YcsbWorkload::kB:
+      return "YCSB-B";
+    case YcsbWorkload::kC:
+      return "YCSB-C";
+    case YcsbWorkload::kD:
+      return "YCSB-D";
+  }
+  return "YCSB-?";
+}
+
+YcsbMix MixFor(YcsbWorkload w) {
+  switch (w) {
+    case YcsbWorkload::kA:
+      return YcsbMix{0.5, 0.5, 0.0};
+    case YcsbWorkload::kB:
+      return YcsbMix{0.95, 0.05, 0.0};
+    case YcsbWorkload::kC:
+      return YcsbMix{1.0, 0.0, 0.0};
+    case YcsbWorkload::kD:
+      return YcsbMix{0.95, 0.0, 0.05};
+  }
+  return YcsbMix{};
+}
+
+YcsbGenerator::YcsbGenerator(YcsbWorkload workload, uint64_t record_count, uint64_t seed)
+    : workload_(workload), record_count_(record_count), mix_(MixFor(workload)), rng_(seed) {
+  assert(record_count > 0);
+  // Plain (rank-ordered) Zipfian: the most popular keys are the low key ids.
+  // Real allocators co-locate temporally correlated allocations, which is
+  // what gives the kernel page-level hotness to exploit; rank-ordered keys
+  // model that clustering at our 2 MiB page granularity.
+  if (workload == YcsbWorkload::kD) {
+    key_chooser_ = MakeLatest(record_count);
+  } else {
+    key_chooser_ = MakeZipfian(record_count);
+  }
+}
+
+YcsbOp YcsbGenerator::Next() {
+  YcsbOp op;
+  const double roll = rng_.NextDouble();
+  if (roll < mix_.insert_fraction) {
+    op.type = YcsbOp::Type::kInsert;
+    op.key = record_count_++;
+    key_chooser_->GrowTo(record_count_);
+    return op;
+  }
+  op.type = roll < mix_.insert_fraction + mix_.update_fraction ? YcsbOp::Type::kUpdate
+                                                               : YcsbOp::Type::kRead;
+  op.key = key_chooser_->Next(rng_);
+  return op;
+}
+
+}  // namespace cxl::workload

@@ -1,0 +1,77 @@
+// YCSB workload generator (Cooper et al., SoCC'10), covering the four
+// workloads the paper runs against KeyDB (§4.1.1):
+//   A: 50% read / 50% update, Zipfian
+//   B: 95% read /  5% update, Zipfian
+//   C: 100% read,             Zipfian
+//   D: 95% read /  5% insert, Latest (reads favour recent inserts)
+#ifndef CXL_EXPLORER_SRC_WORKLOAD_YCSB_H_
+#define CXL_EXPLORER_SRC_WORKLOAD_YCSB_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/util/distribution.h"
+#include "src/util/rng.h"
+
+namespace cxl::workload {
+
+enum class YcsbWorkload { kA, kB, kC, kD };
+
+// "YCSB-A" ... "YCSB-D".
+std::string YcsbName(YcsbWorkload w);
+
+struct YcsbOp {
+  enum class Type { kRead, kUpdate, kInsert };
+  Type type = Type::kRead;
+  uint64_t key = 0;
+};
+
+struct YcsbMix {
+  double read_fraction = 1.0;
+  double update_fraction = 0.0;
+  double insert_fraction = 0.0;
+};
+
+// Anything that yields a stream of operations: live generators (YCSB) and
+// recorded traces both implement this, so request-level simulations can run
+// from either.
+class OpSource {
+ public:
+  virtual ~OpSource() = default;
+  virtual YcsbOp Next() = 0;
+  // Fraction of operations that write (drives the AccessMix of the
+  // bandwidth model).
+  virtual double WriteFraction() const = 0;
+};
+
+// Standard operation mix for a workload.
+YcsbMix MixFor(YcsbWorkload w);
+
+class YcsbGenerator final : public OpSource {
+ public:
+  // `record_count` initial records; the paper uses 1 KiB records and a
+  // Zipfian request distribution for A-C, Latest for D.
+  YcsbGenerator(YcsbWorkload workload, uint64_t record_count, uint64_t seed = 1);
+
+  YcsbOp Next() override;
+
+  YcsbWorkload workload() const { return workload_; }
+  uint64_t record_count() const { return record_count_; }
+  const YcsbMix& mix() const { return mix_; }
+
+  // Fraction of memory operations that are writes (updates + inserts); used
+  // to pick the AccessMix for bandwidth modelling.
+  double WriteFraction() const override { return mix_.update_fraction + mix_.insert_fraction; }
+
+ private:
+  YcsbWorkload workload_;
+  uint64_t record_count_;
+  YcsbMix mix_;
+  Rng rng_;
+  std::unique_ptr<KeyDistribution> key_chooser_;
+};
+
+}  // namespace cxl::workload
+
+#endif  // CXL_EXPLORER_SRC_WORKLOAD_YCSB_H_

@@ -1,0 +1,194 @@
+#include "src/apps/llm/inference.h"
+
+#include <gtest/gtest.h>
+
+#include "src/apps/llm/serving.h"
+
+namespace cxl::apps::llm {
+namespace {
+
+TEST(LlmPlacementTest, InterleaveShares) {
+  EXPECT_DOUBLE_EQ(LlmPlacement::MmemOnly().mmem_share, 1.0);
+  EXPECT_DOUBLE_EQ(LlmPlacement::Interleave(3, 1).mmem_share, 0.75);
+  EXPECT_DOUBLE_EQ(LlmPlacement::Interleave(1, 3).mmem_share, 0.25);
+  EXPECT_EQ(LlmPlacement::Interleave(3, 1).label, "3:1");
+}
+
+TEST(LlmInferenceTest, LinearScalingAtLowThreads) {
+  LlmInferenceSim sim;
+  const auto p12 = sim.Solve(LlmPlacement::MmemOnly(), 12);
+  const auto p24 = sim.Solve(LlmPlacement::MmemOnly(), 24);
+  EXPECT_NEAR(p24.serving_rate_tokens_s / p12.serving_rate_tokens_s, 2.0, 0.05);
+}
+
+TEST(LlmInferenceTest, MmemSaturatesAround48Threads) {
+  // §5.2: "at 48 threads, MMEM bandwidth saturation limits the serving rate".
+  LlmInferenceSim sim;
+  const double r36 = sim.Solve(LlmPlacement::MmemOnly(), 36).serving_rate_tokens_s;
+  const double r48 = sim.Solve(LlmPlacement::MmemOnly(), 48).serving_rate_tokens_s;
+  const double r60 = sim.Solve(LlmPlacement::MmemOnly(), 60).serving_rate_tokens_s;
+  EXPECT_LT(r48 / r36, 48.0 / 36.0 * 0.97);  // Sub-linear by 48.
+  EXPECT_LT(r60, r48);                        // Degrades past saturation.
+}
+
+TEST(LlmInferenceTest, ThreeToOneBeatsMmemByNinetyFivePercentAt60) {
+  LlmInferenceSim sim;
+  const double mmem = sim.Solve(LlmPlacement::MmemOnly(), 60).serving_rate_tokens_s;
+  const double i31 = sim.Solve(LlmPlacement::Interleave(3, 1), 60).serving_rate_tokens_s;
+  const double gain = i31 / mmem - 1.0;
+  EXPECT_GT(gain, 0.75);  // Paper: ~0.95.
+  EXPECT_LT(gain, 1.25);
+}
+
+TEST(LlmInferenceTest, OneToThreeBeatsMmemBeyond64Threads) {
+  // §5.2: "operating entirely on main memory is 14% less effective than a
+  // MMEM:CXL ratio of 1:3 beyond 64 threads".
+  LlmInferenceSim sim;
+  const double mmem = sim.Solve(LlmPlacement::MmemOnly(), 72).serving_rate_tokens_s;
+  const double i13 = sim.Solve(LlmPlacement::Interleave(1, 3), 72).serving_rate_tokens_s;
+  const double gain = i13 / mmem - 1.0;
+  EXPECT_GT(gain, 0.05);
+  EXPECT_LT(gain, 0.35);
+}
+
+TEST(LlmInferenceTest, MoreMmemWinsAmongInterleavesAt60) {
+  // §5.2: "configurations with a higher proportion of data in main memory
+  // demonstrate superior inference performance".
+  LlmInferenceSim sim;
+  const double i31 = sim.Solve(LlmPlacement::Interleave(3, 1), 60).serving_rate_tokens_s;
+  const double i11 = sim.Solve(LlmPlacement::Interleave(1, 1), 60).serving_rate_tokens_s;
+  const double i13 = sim.Solve(LlmPlacement::Interleave(1, 3), 60).serving_rate_tokens_s;
+  EXPECT_GT(i31, i11);
+  EXPECT_GT(i11, i13);
+}
+
+TEST(LlmInferenceTest, MmemBestAtLowLoad) {
+  LlmInferenceSim sim;
+  const double mmem = sim.Solve(LlmPlacement::MmemOnly(), 24).serving_rate_tokens_s;
+  for (auto [t, l] : {std::pair{3, 1}, {1, 1}, {1, 3}}) {
+    EXPECT_GT(mmem, sim.Solve(LlmPlacement::Interleave(t, l), 24).serving_rate_tokens_s);
+  }
+}
+
+TEST(LlmInferenceTest, SingleBackendPlateau) {
+  // Fig. 10(b): linear ramp (~1.05 GB/s/thread), plateau 24.2 GB/s at 24.
+  LlmInferenceSim sim;
+  EXPECT_NEAR(sim.SingleBackendBandwidthGBps(12), 12.6, 0.1);
+  EXPECT_NEAR(sim.SingleBackendBandwidthGBps(24), 24.2, 0.3);
+  EXPECT_DOUBLE_EQ(sim.SingleBackendBandwidthGBps(32), sim.SingleBackendBandwidthGBps(40));
+}
+
+TEST(LlmInferenceTest, KvCacheBandwidthFloorAndPlateau) {
+  // Fig. 10(c): ~12 GB/s model-load floor, plateau ~21 GB/s.
+  LlmInferenceSim sim;
+  EXPECT_NEAR(sim.KvCacheBandwidthGBps(0.0), 12.0, 0.1);
+  const double plateau = sim.KvCacheBandwidthGBps(64e9);
+  EXPECT_NEAR(plateau, 21.0, 1.5);
+  // Monotone growth toward the plateau.
+  double prev = 0.0;
+  for (double kv : {0.0, 0.5e9, 1e9, 4e9, 16e9}) {
+    const double bw = sim.KvCacheBandwidthGBps(kv);
+    EXPECT_GT(bw, prev);
+    prev = bw;
+  }
+}
+
+TEST(LlmInferenceTest, SncOffSocketDefersSaturation) {
+  // A5 ablation: with the full 8-channel socket (scale 4) the same thread
+  // counts never saturate DRAM, so MMEM-only keeps scaling and interleaving
+  // only costs — why §5 binds to one SNC-4 domain.
+  LlmServingConfig socket_cfg;
+  socket_cfg.dram_bandwidth_scale = 4.0;
+  LlmInferenceSim domain;
+  LlmInferenceSim socket(socket_cfg);
+  const double domain_60 = domain.Solve(LlmPlacement::MmemOnly(), 60).serving_rate_tokens_s;
+  const double socket_60 = socket.Solve(LlmPlacement::MmemOnly(), 60).serving_rate_tokens_s;
+  EXPECT_GT(socket_60, 1.5 * domain_60);  // No collapse at 60 threads.
+  const double socket_31 =
+      socket.Solve(LlmPlacement::Interleave(3, 1), 60).serving_rate_tokens_s;
+  EXPECT_LT(socket_31, socket_60);  // Interleaving only hurts when unsaturated.
+}
+
+TEST(LlmBatchingTest, BatchAmortizesWeightStream) {
+  LlmInferenceSim sim;
+  const auto b1 = sim.SolveBatched(LlmPlacement::MmemOnly(), 48, 1);
+  const auto b8 = sim.SolveBatched(LlmPlacement::MmemOnly(), 48, 8);
+  EXPECT_GT(b8.tokens_per_second, 2.5 * b1.tokens_per_second);
+  EXPECT_LT(b8.bytes_per_token, b1.bytes_per_token);
+}
+
+TEST(LlmBatchingTest, DiminishingReturnsOnceKvDominates) {
+  LlmInferenceSim sim;
+  const auto b16 = sim.SolveBatched(LlmPlacement::MmemOnly(), 48, 16);
+  const auto b128 = sim.SolveBatched(LlmPlacement::MmemOnly(), 48, 128);
+  // 8x more batch buys well under 2x once the KV stream dominates.
+  EXPECT_LT(b128.tokens_per_second / b16.tokens_per_second, 1.5);
+}
+
+TEST(LlmBatchingTest, BytesPerTokenApproachesKvFloor) {
+  LlmInferenceSim sim;
+  const double kv_ctx = sim.config().model.kv_bytes_per_token * 2048;
+  const auto big = sim.SolveBatched(LlmPlacement::MmemOnly(), 48, 1024);
+  EXPECT_NEAR(big.bytes_per_token, kv_ctx, 0.01 * kv_ctx);
+}
+
+TEST(LlmBatchingTest, CapacityCapsBatch) {
+  LlmInferenceSim sim;
+  const double kv_ctx = sim.config().model.kv_bytes_per_token * 2048;
+  const double weights = sim.config().model.weight_bytes;
+  EXPECT_EQ(sim.MaxBatchForCapacity(weights + 10.5 * kv_ctx), 10);
+  EXPECT_EQ(sim.MaxBatchForCapacity(weights + 0.5 * kv_ctx), 0);
+  EXPECT_EQ(sim.MaxBatchForCapacity(0.0), 0);
+}
+
+TEST(LlmBatchingTest, CxlRaisesTheCap) {
+  // The §5 motivation in one assertion: more memory, bigger batch.
+  LlmInferenceSim sim;
+  const double dram = 128.0 * (1ull << 30);
+  const double dram_cxl = dram + 256.0 * (1ull << 30);
+  EXPECT_GT(sim.MaxBatchForCapacity(dram_cxl), 2 * sim.MaxBatchForCapacity(dram));
+}
+
+TEST(LlmBatchingTest, LongerContextCostsMore) {
+  LlmInferenceSim sim;
+  const auto short_ctx = sim.SolveBatched(LlmPlacement::MmemOnly(), 48, 16, 512);
+  const auto long_ctx = sim.SolveBatched(LlmPlacement::MmemOnly(), 48, 16, 8192);
+  EXPECT_GT(short_ctx.tokens_per_second, long_ctx.tokens_per_second);
+}
+
+TEST(ServingStackTest, SteadyStateConsistency) {
+  ServingStackConfig cfg;
+  cfg.backends = 4;
+  ServingStack stack(cfg);
+  const ServingRequest req{1, 512, 128};
+  const auto stats = stack.SteadyState(req);
+  EXPECT_GT(stats.tokens_per_second, 0.0);
+  EXPECT_NEAR(stats.requests_per_second * req.output_tokens, stats.tokens_per_second, 1e-9);
+  EXPECT_GT(stats.kv_cache_bytes_per_backend, 0.0);
+}
+
+TEST(ServingStackTest, DriveApproachesSteadyState) {
+  ServingStackConfig cfg;
+  cfg.backends = 4;
+  ServingStack stack(cfg);
+  const ServingRequest req{1, 512, 128};
+  Histogram latency(1e-3, 1e5, 64);
+  const auto stats = stack.Drive(req, 400, &latency);
+  const auto steady = stack.SteadyState(req);
+  EXPECT_NEAR(stats.requests_per_second, steady.requests_per_second,
+              steady.requests_per_second * 0.1);
+  EXPECT_EQ(latency.count(), 400u);
+}
+
+TEST(ServingStackTest, MorePlacementOnCxlSlowsLowLoadServing) {
+  ServingStackConfig a;
+  a.backends = 2;
+  ServingStackConfig b = a;
+  b.placement = LlmPlacement::Interleave(1, 3);
+  const ServingRequest req{1, 512, 128};
+  EXPECT_GT(ServingStack(a).SteadyState(req).tokens_per_second,
+            ServingStack(b).SteadyState(req).tokens_per_second);
+}
+
+}  // namespace
+}  // namespace cxl::apps::llm

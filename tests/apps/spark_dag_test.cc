@@ -1,0 +1,99 @@
+#include "src/apps/spark/dag.h"
+
+#include <gtest/gtest.h>
+
+#include "src/apps/spark/cluster.h"
+#include "src/apps/spark/query.h"
+
+namespace cxl::apps::spark {
+namespace {
+
+TEST(BuildDagTest, ThreeStagesWithDependencies) {
+  const auto dag = BuildDag(*FindQuery("Q7"), SparkConfig::MmemOnly());
+  ASSERT_EQ(dag.stages.size(), 3u);
+  EXPECT_EQ(dag.stages[0].name, "scan-compute");
+  EXPECT_TRUE(dag.stages[0].depends_on.empty());
+  EXPECT_EQ(dag.stages[1].depends_on, std::vector<int>{0});
+  EXPECT_EQ(dag.stages[2].depends_on, std::vector<int>{1});
+  EXPECT_TRUE(dag.stages[2].crosses_network);
+  EXPECT_GT(dag.stages[0].tasks, 0);
+}
+
+TEST(DagSchedulerTest, StagesRunInOrder) {
+  SparkCluster cluster(SparkConfig::MmemOnly());
+  DagScheduler sched(cluster);
+  const auto r = sched.Run(BuildDag(*FindQuery("Q5"), cluster.config()), 0.0);
+  ASSERT_EQ(r.stages.size(), 3u);
+  EXPECT_LE(r.stages[0].end_seconds, r.stages[1].start_seconds + 1e-9);
+  EXPECT_LE(r.stages[1].end_seconds, r.stages[2].start_seconds + 1e-9);
+  EXPECT_NEAR(r.makespan_seconds, r.stages[2].end_seconds, 1e-9);
+}
+
+TEST(DagSchedulerTest, AgreesWithAnalyticModel) {
+  // The headline validation: without jitter, the task-level makespan must
+  // track the fluid 3-phase model within scheduling quantization (~15%).
+  for (const SparkConfig& cfg : {SparkConfig::MmemOnly(), SparkConfig::Interleave(1, 1)}) {
+    SparkCluster analytic_cluster(cfg);
+    const auto& q7 = *FindQuery("Q7");
+    const double analytic = analytic_cluster.RunQuery(q7).total_seconds;
+    SparkCluster dag_cluster(cfg);
+    DagScheduler sched(dag_cluster);
+    const double task_level = sched.Run(BuildDag(q7, cfg), 0.0).makespan_seconds;
+    EXPECT_NEAR(task_level, analytic, 0.15 * analytic) << ModeLabel(cfg.mode);
+  }
+}
+
+TEST(DagSchedulerTest, JitterCreatesStragglers) {
+  SparkCluster cluster(SparkConfig::MmemOnly());
+  DagScheduler sched(cluster);
+  const auto dag = BuildDag(*FindQuery("Q9"), cluster.config());
+  const auto smooth = sched.Run(dag, 0.0, 1);
+  const auto noisy = sched.Run(dag, 0.3, 1);
+  // Stragglers stretch the makespan and widen the per-stage max/mean gap.
+  EXPECT_GT(noisy.makespan_seconds, smooth.makespan_seconds);
+  EXPECT_GT(noisy.stages[2].max_task_seconds / noisy.stages[2].mean_task_seconds,
+            smooth.stages[2].max_task_seconds / smooth.stages[2].mean_task_seconds);
+}
+
+TEST(DagSchedulerTest, UtilizationBelowOneWithBarriers) {
+  SparkCluster cluster(SparkConfig::MmemOnly());
+  DagScheduler sched(cluster);
+  const auto r = sched.Run(BuildDag(*FindQuery("Q7"), cluster.config()), 0.2);
+  EXPECT_GT(r.executor_utilization, 0.5);
+  EXPECT_LT(r.executor_utilization, 1.0);  // Barrier stalls cost something.
+}
+
+TEST(DagSchedulerTest, MoreTasksSmoothStragglers) {
+  // Finer task granularity lets the scheduler fill straggler gaps: makespan
+  // with 8 waves <= makespan with 1 wave (same jitter, same work).
+  SparkCluster cluster(SparkConfig::MmemOnly());
+  DagScheduler sched(cluster);
+  const auto& q = *FindQuery("Q8");
+  const int execs = cluster.config().total_executors / cluster.config().servers;
+  const double coarse =
+      sched.Run(BuildDag(q, cluster.config(), execs), 0.3, 7).makespan_seconds;
+  const double fine =
+      sched.Run(BuildDag(q, cluster.config(), 8 * execs), 0.3, 7).makespan_seconds;
+  EXPECT_LT(fine, coarse);
+}
+
+TEST(DagSchedulerTest, InterleaveSlowsTaskLevelToo) {
+  const auto& q9 = *FindQuery("Q9");
+  SparkCluster mmem(SparkConfig::MmemOnly());
+  SparkCluster inter(SparkConfig::Interleave(1, 3));
+  const double base = DagScheduler(mmem).Run(BuildDag(q9, mmem.config()), 0.0).makespan_seconds;
+  const double slow =
+      DagScheduler(inter).Run(BuildDag(q9, inter.config()), 0.0).makespan_seconds;
+  EXPECT_GT(slow / base, 1.5);
+}
+
+TEST(DagSchedulerTest, DeterministicUnderSeed) {
+  SparkCluster cluster(SparkConfig::MmemOnly());
+  DagScheduler sched(cluster);
+  const auto dag = BuildDag(*FindQuery("Q5"), cluster.config());
+  EXPECT_DOUBLE_EQ(sched.Run(dag, 0.2, 9).makespan_seconds,
+                   sched.Run(dag, 0.2, 9).makespan_seconds);
+}
+
+}  // namespace
+}  // namespace cxl::apps::spark

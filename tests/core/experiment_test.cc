@@ -1,0 +1,122 @@
+#include "src/core/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace cxl::core {
+namespace {
+
+KeyDbExperimentOptions FastOptions() {
+  KeyDbExperimentOptions opt;
+  opt.dataset_bytes = 4ull << 30;
+  opt.total_ops = 60'000;
+  opt.warmup_ops = 15'000;
+  return opt;
+}
+
+TEST(ExperimentTest, MmemRunSucceeds) {
+  const auto res = RunKeyDbExperiment(CapacityConfig::kMmem, workload::YcsbWorkload::kC,
+                                      FastOptions());
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->config_label, "MMEM");
+  EXPECT_EQ(res->workload_name, "YCSB-C");
+  EXPECT_GT(res->server.throughput_kops, 10.0);
+  EXPECT_GT(res->server.all_latency_us.count(), 0u);
+  EXPECT_DOUBLE_EQ(res->server.dram_share, 1.0);
+}
+
+TEST(ExperimentTest, DeterministicUnderSeed) {
+  const auto a = RunKeyDbExperiment(CapacityConfig::kInterleave11, workload::YcsbWorkload::kA,
+                                    FastOptions());
+  const auto b = RunKeyDbExperiment(CapacityConfig::kInterleave11, workload::YcsbWorkload::kA,
+                                    FastOptions());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->server.throughput_kops, b->server.throughput_kops);
+}
+
+TEST(ExperimentTest, InterleaveIsSlowerThanMmem) {
+  const auto mmem =
+      RunKeyDbExperiment(CapacityConfig::kMmem, workload::YcsbWorkload::kB, FastOptions());
+  const auto inter = RunKeyDbExperiment(CapacityConfig::kInterleave13, workload::YcsbWorkload::kB,
+                                        FastOptions());
+  ASSERT_TRUE(mmem.ok());
+  ASSERT_TRUE(inter.ok());
+  const double slowdown = mmem->server.throughput_kops / inter->server.throughput_kops;
+  EXPECT_GT(slowdown, 1.15);
+  EXPECT_LT(slowdown, 1.7);
+  EXPECT_NEAR(inter->server.dram_share, 0.25, 0.01);
+}
+
+TEST(ExperimentTest, FlashConfigUsesSsd) {
+  const auto res = RunKeyDbExperiment(CapacityConfig::kMmemSsd04, workload::YcsbWorkload::kA,
+                                      FastOptions());
+  ASSERT_TRUE(res.ok());
+  EXPECT_GT(res->server.ssd_write_gbps, 0.0);  // WAL traffic at minimum.
+}
+
+TEST(ExperimentTest, HotPromoteMigratesAndRecovers) {
+  KeyDbExperimentOptions opt = FastOptions();
+  opt.total_ops = 120'000;
+  const auto hp = RunKeyDbExperiment(CapacityConfig::kHotPromote, workload::YcsbWorkload::kC, opt);
+  const auto inter =
+      RunKeyDbExperiment(CapacityConfig::kInterleave11, workload::YcsbWorkload::kC, opt);
+  ASSERT_TRUE(hp.ok());
+  ASSERT_TRUE(inter.ok());
+  EXPECT_GT(hp->server.migrated_bytes, 0.0);
+  // Promotion pulls the Zipfian-hot pages into DRAM: beats static 1:1.
+  EXPECT_GT(hp->server.throughput_kops, inter->server.throughput_kops);
+}
+
+TEST(ExperimentTest, VmExperimentPenaltyInBand) {
+  KeyDbExperimentOptions opt;
+  opt.dataset_bytes = 4ull << 30;
+  opt.total_ops = 80'000;
+  opt.warmup_ops = 20'000;
+  const auto res = RunVmCxlOnlyExperiment(opt);
+  ASSERT_TRUE(res.ok());
+  // Paper: ~12.5% throughput penalty; latency penalty 9-27%.
+  EXPECT_GT(res->throughput_penalty, 0.05);
+  EXPECT_LT(res->throughput_penalty, 0.25);
+  const double lat_penalty = res->cxl.server.read_latency_us.p50() /
+                                 res->mmem.server.read_latency_us.p50() -
+                             1.0;
+  EXPECT_GT(lat_penalty, 0.05);
+  EXPECT_LT(lat_penalty, 0.30);
+}
+
+TEST(ExperimentTest, TimelineCoversEpochs) {
+  KeyDbExperimentOptions opt = FastOptions();
+  const auto res = RunKeyDbExperiment(CapacityConfig::kMmem, workload::YcsbWorkload::kC, opt);
+  ASSERT_TRUE(res.ok());
+  // total_ops / epoch_ops(10k) boundaries, minus perhaps a partial tail.
+  EXPECT_GE(res->server.timeline.size(), 5u);
+  double prev_ms = 0.0;
+  for (const auto& s : res->server.timeline) {
+    EXPECT_GT(s.end_ms, prev_ms);
+    EXPECT_GT(s.kops, 0.0);
+    prev_ms = s.end_ms;
+  }
+}
+
+TEST(ExperimentTest, HotPromoteTimelineShowsRampAndBoundedChurn) {
+  KeyDbExperimentOptions opt = FastOptions();
+  opt.total_ops = 120'000;
+  const auto res =
+      RunKeyDbExperiment(CapacityConfig::kHotPromote, workload::YcsbWorkload::kC, opt);
+  ASSERT_TRUE(res.ok());
+  const auto& tl = res->server.timeline;
+  ASSERT_GE(tl.size(), 6u);
+  // Throughput ramps from the cold 1:1 start toward steady state.
+  EXPECT_GT(tl.back().kops, tl.front().kops);
+  // Migration happened, and each epoch's volume respects the rate limit
+  // (1024 MB/s over a << 1 s epoch): the daemon trickles, never floods.
+  double total_mb = 0.0;
+  for (const auto& s : tl) {
+    total_mb += s.migrated_mb;
+    EXPECT_LT(s.migrated_mb, 150.0) << "epoch at " << s.end_ms << " ms";
+  }
+  EXPECT_GT(total_mb, 1.0);
+}
+
+}  // namespace
+}  // namespace cxl::core

@@ -1,0 +1,113 @@
+#include "src/cost/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace cxl::cost {
+namespace {
+
+TEST(CostModelTest, PaperWorkedExample) {
+  // §6: R_d=10, R_c=8, C=2 -> N_cxl/N_baseline = 67.29%; with R_t=1.1 the
+  // TCO saving is 25.98%.
+  AbstractCostModel model(CostModelParams{10.0, 8.0, 2.0, 1.1});
+  EXPECT_NEAR(model.ServerRatio(), 0.6729, 0.0001);
+  EXPECT_NEAR(model.TcoSaving(), 0.2598, 0.0001);
+}
+
+TEST(CostModelTest, ValidateAcceptsPaperParams) {
+  EXPECT_TRUE(AbstractCostModel(CostModelParams{10.0, 8.0, 2.0, 1.1}).Validate().ok());
+}
+
+TEST(CostModelTest, ValidateRejectsBadParams) {
+  EXPECT_FALSE(AbstractCostModel(CostModelParams{0.9, 8.0, 2.0, 1.1}).Validate().ok());
+  EXPECT_FALSE(AbstractCostModel(CostModelParams{10.0, 0.5, 2.0, 1.1}).Validate().ok());
+  EXPECT_FALSE(AbstractCostModel(CostModelParams{10.0, 12.0, 2.0, 1.1}).Validate().ok());
+  EXPECT_FALSE(AbstractCostModel(CostModelParams{10.0, 8.0, -1.0, 1.1}).Validate().ok());
+  EXPECT_FALSE(AbstractCostModel(CostModelParams{10.0, 8.0, 2.0, 0.0}).Validate().ok());
+}
+
+TEST(CostModelTest, DerivationIdentity) {
+  // The server ratio is exactly the point where T_baseline == T_cxl — the
+  // algebra in §6 — independent of W and D.
+  const CostModelParams params{7.0, 5.0, 3.0, 1.2};
+  AbstractCostModel model(params);
+  const double ratio = model.ServerRatio();
+  for (double w : {100.0, 1000.0}) {
+    for (double d : {1.0, 3.7}) {
+      const double n_baseline = 10.0;
+      const double n_cxl = ratio * n_baseline;
+      EXPECT_NEAR(model.BaselineTime(w, n_baseline, d), model.CxlTime(w, n_cxl, d), 1e-9)
+          << "W=" << w << " D=" << d;
+    }
+  }
+}
+
+TEST(CostModelTest, FasterCxlNeedsFewerServers) {
+  double prev = 1.0;
+  for (double rc : {2.0, 4.0, 8.0, 10.0}) {
+    AbstractCostModel m(CostModelParams{10.0, rc, 2.0, 1.1});
+    EXPECT_LT(m.ServerRatio(), prev);
+    prev = m.ServerRatio();
+  }
+}
+
+TEST(CostModelTest, MoreCxlCapacityHelps) {
+  // Larger CXL share (smaller C) means more of the working set avoids SSD.
+  AbstractCostModel big_cxl(CostModelParams{10.0, 8.0, 1.0, 1.1});
+  AbstractCostModel small_cxl(CostModelParams{10.0, 8.0, 8.0, 1.1});
+  EXPECT_LT(big_cxl.ServerRatio(), small_cxl.ServerRatio());
+}
+
+TEST(CostModelTest, SavingLinearInRelativeTco) {
+  AbstractCostModel cheap(CostModelParams{10.0, 8.0, 2.0, 1.0});
+  AbstractCostModel pricey(CostModelParams{10.0, 8.0, 2.0, 1.3});
+  EXPECT_GT(cheap.TcoSaving(), pricey.TcoSaving());
+  EXPECT_NEAR(cheap.TcoSaving() - pricey.TcoSaving(), 0.3 * cheap.ServerRatio(), 1e-9);
+}
+
+TEST(CostModelTest, BreakEvenTco) {
+  AbstractCostModel m(CostModelParams{10.0, 8.0, 2.0, 1.1});
+  const double breakeven = 1.0 / m.ServerRatio();
+  AbstractCostModel at_breakeven(CostModelParams{10.0, 8.0, 2.0, breakeven});
+  EXPECT_NEAR(at_breakeven.TcoSaving(), 0.0, 1e-9);
+}
+
+TEST(CostModelTest, BaselineTimeSplitsSegments) {
+  AbstractCostModel m(CostModelParams{10.0, 8.0, 2.0, 1.1});
+  // W=100, 4 servers x D=10 -> 40 in memory at speed 10, 60 on SSD at 1.
+  EXPECT_NEAR(m.BaselineTime(100.0, 4.0, 10.0), 40.0 / 10.0 + 60.0, 1e-9);
+}
+
+TEST(CostModelTest, CxlTimeAddsCxlSegment) {
+  AbstractCostModel m(CostModelParams{10.0, 8.0, 2.0, 1.1});
+  // W=100, 4 servers x D=10 -> 40 MMEM + 20 CXL + 40 SSD.
+  EXPECT_NEAR(m.CxlTime(100.0, 4.0, 10.0), 4.0 + 20.0 / 8.0 + 40.0, 1e-9);
+}
+
+TEST(ExtendedCostModelTest, FixedOverheadReducesSaving) {
+  const CostModelParams base{10.0, 8.0, 2.0, 1.1};
+  ExtendedCostModel no_extra(ExtendedCostParams{base, 0.0});
+  ExtendedCostModel with_extra(ExtendedCostParams{base, 0.1});
+  EXPECT_NEAR(no_extra.TcoSaving(), AbstractCostModel(base).TcoSaving(), 1e-12);
+  EXPECT_LT(with_extra.TcoSaving(), no_extra.TcoSaving());
+  EXPECT_NEAR(with_extra.EffectiveRelativeTco(), 1.2, 1e-12);
+}
+
+// Property sweep: the ratio stays in (0, 1) across the sane parameter space
+// (CXL deployments never need *more* servers under these assumptions).
+class CostModelSweep : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(CostModelSweep, RatioInUnitInterval) {
+  const auto [rd, rc_frac, c] = GetParam();
+  AbstractCostModel m(CostModelParams{rd, 1.0 + rc_frac * (rd - 1.0), c, 1.1});
+  ASSERT_TRUE(m.Validate().ok());
+  EXPECT_GT(m.ServerRatio(), 0.0);
+  EXPECT_LT(m.ServerRatio(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, CostModelSweep,
+                         ::testing::Combine(::testing::Values(2.0, 5.0, 10.0, 50.0),
+                                            ::testing::Values(0.2, 0.5, 0.8, 1.0),
+                                            ::testing::Values(0.5, 1.0, 2.0, 8.0)));
+
+}  // namespace
+}  // namespace cxl::cost

@@ -1,0 +1,87 @@
+#include "src/cost/multi_app.h"
+
+#include <gtest/gtest.h>
+
+namespace cxl::cost {
+namespace {
+
+std::vector<AppClass> PaperishFleet() {
+  return {
+      AppClass{"spark-sql", CostModelParams{10.0, 8.0, 2.0, 1.1}, 100.0},
+      AppClass{"keydb", CostModelParams{1.9, 1.45, 2.0, 1.1}, 50.0},
+      AppClass{"batch-etl", CostModelParams{4.0, 3.0, 2.0, 1.1}, 30.0},
+  };
+}
+
+TEST(MultiAppTest, SingleClassMatchesSingleAppModel) {
+  MultiAppCostModel model({AppClass{"spark", CostModelParams{10.0, 8.0, 2.0, 1.1}, 10.0}}, 1.1);
+  ASSERT_TRUE(model.Validate().ok());
+  const auto plan = model.Plan();
+  AbstractCostModel single(CostModelParams{10.0, 8.0, 2.0, 1.1});
+  EXPECT_NEAR(plan.total_cxl_servers, 10.0 * single.ServerRatio(), 1e-9);
+  EXPECT_NEAR(plan.fleet_tco_saving, single.TcoSaving(), 1e-9);
+}
+
+TEST(MultiAppTest, FleetSavingIsServerWeighted) {
+  MultiAppCostModel model(PaperishFleet(), 1.1);
+  ASSERT_TRUE(model.Validate().ok());
+  const auto plan = model.Plan();
+  EXPECT_EQ(plan.apps.size(), 3u);
+  EXPECT_NEAR(plan.total_baseline_servers, 180.0, 1e-9);
+  // Fleet saving sits between the best and worst per-class savings.
+  double best = -1.0;
+  double worst = 2.0;
+  for (const auto& a : plan.apps) {
+    best = std::max(best, a.tco_saving);
+    worst = std::min(worst, a.tco_saving);
+  }
+  EXPECT_GE(plan.fleet_tco_saving, worst - 1e-9);
+  EXPECT_LE(plan.fleet_tco_saving, best + 1e-9);
+}
+
+TEST(MultiAppTest, PoolingDiscountImprovesSaving) {
+  MultiAppCostModel undiscounted(PaperishFleet(), 1.1, 0.0);
+  MultiAppCostModel pooled(PaperishFleet(), 1.1, 0.34);  // 16-host multiplexing.
+  EXPECT_GT(pooled.Plan().fleet_tco_saving, undiscounted.Plan().fleet_tco_saving);
+  EXPECT_NEAR(pooled.effective_r_t(), 1.0 + 0.1 * 0.66, 1e-12);
+}
+
+TEST(MultiAppTest, SelectivePlanKeepsLosersOnBaseline) {
+  // A class with a tiny memory speedup and a pricey CXL server would *lose*
+  // money on CXL; the selective plan leaves it alone.
+  std::vector<AppClass> fleet = {
+      AppClass{"winner", CostModelParams{10.0, 8.0, 2.0, 1.1}, 10.0},
+      AppClass{"loser", CostModelParams{1.2, 1.1, 8.0, 1.1}, 10.0},
+  };
+  MultiAppCostModel model(fleet, 1.4);  // Expensive CXL servers.
+  ASSERT_TRUE(model.Validate().ok());
+  const auto all_in = model.Plan();
+  const auto selective = model.PlanSelective();
+  EXPECT_GT(selective.fleet_tco_saving, all_in.fleet_tco_saving);
+  // The loser kept its baseline server count and zero saving.
+  EXPECT_DOUBLE_EQ(selective.apps[1].cxl_servers, 10.0);
+  EXPECT_DOUBLE_EQ(selective.apps[1].tco_saving, 0.0);
+}
+
+TEST(MultiAppTest, SelectiveNeverWorseThanAllIn) {
+  for (double rt : {1.0, 1.1, 1.3, 1.48}) {
+    MultiAppCostModel model(PaperishFleet(), rt);
+    EXPECT_GE(model.PlanSelective().fleet_tco_saving, model.Plan().fleet_tco_saving - 1e-9)
+        << "rt=" << rt;
+  }
+}
+
+TEST(MultiAppTest, ValidateRejectsBadInputs) {
+  EXPECT_FALSE(MultiAppCostModel({}, 1.1).Validate().ok());
+  EXPECT_FALSE(
+      MultiAppCostModel({AppClass{"bad", CostModelParams{0.5, 0.4, 2.0, 1.1}, 1.0}}, 1.1)
+          .Validate()
+          .ok());
+  EXPECT_FALSE(
+      MultiAppCostModel({AppClass{"none", CostModelParams{10.0, 8.0, 2.0, 1.1}, 0.0}}, 1.1)
+          .Validate()
+          .ok());
+}
+
+}  // namespace
+}  // namespace cxl::cost

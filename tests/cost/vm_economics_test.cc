@@ -1,0 +1,69 @@
+#include "src/cost/vm_economics.h"
+
+#include <gtest/gtest.h>
+
+namespace cxl::cost {
+namespace {
+
+TEST(ProcessorSeriesTest, TableTwoRows) {
+  const auto series = IntelProcessorSeries();
+  ASSERT_EQ(series.size(), 5u);
+  EXPECT_EQ(series[0].name, "IceLake-SP");
+  EXPECT_EQ(series[0].max_vcpu_per_server, 160);
+  EXPECT_EQ(series[3].name, "Sierra Forest");
+  EXPECT_EQ(series[3].max_vcpu_per_server, 1152);
+  EXPECT_DOUBLE_EQ(series[3].required_memory_tib, 4.5);
+}
+
+TEST(ProcessorSeriesTest, VcpuGrowthOutpacesMemory) {
+  // The §4.3 motivation: core counts grow, the 4 TiB board limit does not.
+  const auto series = IntelProcessorSeries();
+  EXPECT_GT(series.back().max_vcpu_per_server, 4 * series.front().max_vcpu_per_server);
+  for (const auto& p : series) {
+    EXPECT_DOUBLE_EQ(p.max_memory_tib, 4.0);
+  }
+  // Only the latest parts are memory-starved at 1:4.
+  EXPECT_LT(series[0].required_memory_tib, series[0].max_memory_tib);
+  EXPECT_GT(series[3].required_memory_tib, series[3].max_memory_tib);
+}
+
+TEST(RequiredMemoryTest, OneToFourRule) {
+  EXPECT_NEAR(RequiredMemoryTiB(1152), 4.5, 1e-9);
+  EXPECT_NEAR(RequiredMemoryTiB(128), 0.5, 1e-9);
+  EXPECT_NEAR(RequiredMemoryTiB(256, 8.0), 2.0, 1e-9);  // 1:8 ratio.
+}
+
+TEST(VmEconomicsTest, PaperWorkedExample) {
+  // §4.3.2: 1:3 server -> 25% stranded; 20% discount -> 20/75 improvement.
+  VmEconomics econ(VmEconomicsParams{4.0, 3.0, 0.20, 0.125});
+  EXPECT_DOUBLE_EQ(econ.StrandedVcpuFraction(), 0.25);
+  EXPECT_DOUBLE_EQ(econ.BaselineRevenue(), 0.75);
+  EXPECT_DOUBLE_EQ(econ.CxlRevenue(), 0.95);
+  EXPECT_NEAR(econ.RevenueImprovement(), 20.0 / 75.0, 1e-9);
+}
+
+TEST(VmEconomicsTest, NoStrandingNoGain) {
+  VmEconomics econ(VmEconomicsParams{4.0, 4.0, 0.20, 0.125});
+  EXPECT_DOUBLE_EQ(econ.StrandedVcpuFraction(), 0.0);
+  EXPECT_DOUBLE_EQ(econ.RevenueImprovement(), 0.0);
+}
+
+TEST(VmEconomicsTest, OverProvisionedClampsToZero) {
+  VmEconomics econ(VmEconomicsParams{4.0, 6.0, 0.20, 0.125});
+  EXPECT_DOUBLE_EQ(econ.StrandedVcpuFraction(), 0.0);
+}
+
+TEST(VmEconomicsTest, BiggerDiscountSmallerGain) {
+  VmEconomics small(VmEconomicsParams{4.0, 3.0, 0.10, 0.125});
+  VmEconomics large(VmEconomicsParams{4.0, 3.0, 0.40, 0.125});
+  EXPECT_GT(small.RevenueImprovement(), large.RevenueImprovement());
+}
+
+TEST(VmEconomicsTest, MoreStrandingBiggerRelativeGain) {
+  VmEconomics mild(VmEconomicsParams{4.0, 3.5, 0.20, 0.125});
+  VmEconomics severe(VmEconomicsParams{4.0, 2.0, 0.20, 0.125});
+  EXPECT_GT(severe.RevenueImprovement(), mild.RevenueImprovement());
+}
+
+}  // namespace
+}  // namespace cxl::cost

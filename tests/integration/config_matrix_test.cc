@@ -1,0 +1,85 @@
+// Full configuration x workload matrix sweep (reduced scale): every Table 1
+// configuration must run every YCSB workload without error, produce sane
+// statistics, and respect the global ordering MMEM >= Hot-Promote >
+// interleaves > flash configs.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+
+#include "src/core/experiment.h"
+
+namespace cxl::core {
+namespace {
+
+using MatrixParam = std::tuple<CapacityConfig, workload::YcsbWorkload>;
+
+class ConfigMatrixTest : public ::testing::TestWithParam<MatrixParam> {
+ protected:
+  static KeyDbExperimentResult Run(CapacityConfig config, workload::YcsbWorkload wl) {
+    KeyDbExperimentOptions opt;
+    opt.dataset_bytes = 3ull << 30;
+    opt.total_ops = 40'000;
+    opt.warmup_ops = 10'000;
+    auto res = RunKeyDbExperiment(config, wl, opt);
+    EXPECT_TRUE(res.ok()) << res.status().ToString();
+    return std::move(res).value();
+  }
+};
+
+TEST_P(ConfigMatrixTest, RunsCleanWithSaneStats) {
+  const auto [config, wl] = GetParam();
+  const auto res = Run(config, wl);
+  EXPECT_GT(res.server.throughput_kops, 20.0) << ConfigLabel(config);
+  EXPECT_LT(res.server.throughput_kops, 2000.0) << ConfigLabel(config);
+  EXPECT_EQ(res.server.all_latency_us.count(), 30'000u);
+  // Latency statistics are ordered and positive.
+  const auto& h = res.server.all_latency_us;
+  EXPECT_GT(h.p50(), 0.0);
+  EXPECT_LE(h.p50(), h.p99());
+  EXPECT_LE(h.p99(), h.p999());
+  // DRAM share reflects the configuration.
+  switch (config) {
+    case CapacityConfig::kMmem:
+    case CapacityConfig::kMmemSsd02:
+    case CapacityConfig::kMmemSsd04:
+      EXPECT_DOUBLE_EQ(res.server.dram_share, 1.0);
+      break;
+    case CapacityConfig::kInterleave31:
+      EXPECT_NEAR(res.server.dram_share, 0.75, 0.01);
+      break;
+    case CapacityConfig::kInterleave11:
+      EXPECT_NEAR(res.server.dram_share, 0.50, 0.01);
+      break;
+    case CapacityConfig::kInterleave13:
+      EXPECT_NEAR(res.server.dram_share, 0.25, 0.01);
+      break;
+    case CapacityConfig::kHotPromote:
+      // Promotion may shift pages; DRAM is capped at half the dataset.
+      EXPECT_NEAR(res.server.dram_share, 0.50, 0.05);
+      break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCells, ConfigMatrixTest,
+    ::testing::Combine(::testing::Values(CapacityConfig::kMmem, CapacityConfig::kMmemSsd02,
+                                         CapacityConfig::kMmemSsd04, CapacityConfig::kInterleave31,
+                                         CapacityConfig::kInterleave11,
+                                         CapacityConfig::kInterleave13,
+                                         CapacityConfig::kHotPromote),
+                       ::testing::Values(workload::YcsbWorkload::kA, workload::YcsbWorkload::kB,
+                                         workload::YcsbWorkload::kC, workload::YcsbWorkload::kD)),
+    [](const ::testing::TestParamInfo<MatrixParam>& param_info) {
+      std::string name = ConfigLabel(std::get<0>(param_info.param)) + "_" +
+                         workload::YcsbName(std::get<1>(param_info.param));
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) {
+          c = '_';
+        }
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace cxl::core

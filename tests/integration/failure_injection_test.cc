@@ -1,0 +1,144 @@
+// Failure injection: the system must degrade with Status errors or
+// documented fallbacks — never crash or silently corrupt — when pushed past
+// capacity or configured strangely.
+#include <gtest/gtest.h>
+
+#include "src/apps/kv/kvstore.h"
+#include "src/apps/kv/server.h"
+#include "src/core/experiment.h"
+#include "src/os/page_allocator.h"
+#include "src/os/region.h"
+#include "src/topology/platform.h"
+#include "src/util/units.h"
+#include "src/workload/ycsb.h"
+
+namespace cxl {
+namespace {
+
+using namespace cxl::literals;
+using topology::Platform;
+
+TEST(FailureInjectionTest, DatasetLargerThanMachineFails) {
+  Platform platform = Platform::CxlServer(false);  // 1 TiB DRAM + 0.5 TiB CXL.
+  os::PageAllocator alloc(platform);
+  apps::kv::KvStoreConfig cfg;
+  cfg.record_count = (4_TiB) / 1024;  // 4 TiB of records.
+  auto store = apps::kv::KvStore::Create(alloc, os::NumaPolicy::Bind(platform.DramNodes()), cfg);
+  ASSERT_FALSE(store.ok());
+  EXPECT_EQ(store.status().code(), StatusCode::kResourceExhausted);
+  // Nothing leaked: the machine is empty again.
+  EXPECT_EQ(alloc.allocated_pages(), 0u);
+}
+
+TEST(FailureInjectionTest, InterleaveOverflowFallsBackGracefully) {
+  // 1:3 wants 75% on CXL; with a dataset bigger than 4/3 x CXL capacity the
+  // CXL share cannot fit and the allocator falls back to DRAM.
+  Platform platform = Platform::CxlServer(false);
+  os::PageAllocator alloc(platform);
+  auto region = os::MemoryRegion::Allocate(
+      alloc,
+      os::NumaPolicy::WeightedInterleave(platform.DramNodes(), platform.CxlNodes(), 1, 3),
+      900_GiB);  // Needs 675 GiB of CXL; only 512 GiB exists.
+  ASSERT_TRUE(region.ok());
+  // CXL is saturated; the overflow went to DRAM.
+  uint64_t cxl_used = 0;
+  for (auto n : platform.CxlNodes()) {
+    cxl_used += alloc.UsedPages(n) * alloc.page_bytes();
+  }
+  EXPECT_EQ(cxl_used, 512_GiB);
+  EXPECT_LT(region->DramShare(), 0.5);   // Still mostly CXL...
+  EXPECT_GT(region->DramShare(), 0.25);  // ...but more DRAM than requested.
+  region->Free();
+}
+
+TEST(FailureInjectionTest, ExperimentSurfacesAllocationFailure) {
+  core::KeyDbExperimentOptions opt;
+  opt.dataset_bytes = 8_TiB;  // Impossible.
+  opt.total_ops = 1000;
+  const auto res =
+      core::RunKeyDbExperiment(core::CapacityConfig::kMmem, workload::YcsbWorkload::kC, opt);
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(FailureInjectionTest, ServerSimWithMoreClientsThanOps) {
+  Platform platform = Platform::CxlServer(false);
+  os::PageAllocator alloc(platform, 16ull << 10);
+  apps::kv::KvStoreConfig cfg;
+  cfg.record_count = 100'000;
+  auto store = apps::kv::KvStore::Create(alloc, os::NumaPolicy::Bind(platform.DramNodes()), cfg);
+  ASSERT_TRUE(store.ok());
+  workload::YcsbGenerator gen(workload::YcsbWorkload::kC, cfg.record_count);
+  apps::kv::KvServerConfig scfg;
+  scfg.client_connections = 512;
+  scfg.total_ops = 100;  // Fewer ops than clients.
+  scfg.warmup_ops = 0;
+  apps::kv::KvServerSim sim(platform, *store, gen, scfg);
+  const auto result = sim.Run();
+  EXPECT_EQ(result.all_latency_us.count(), 100u);
+  store->Free();
+}
+
+TEST(FailureInjectionTest, ServerSimZeroWarmup) {
+  Platform platform = Platform::CxlServer(false);
+  os::PageAllocator alloc(platform, 16ull << 10);
+  apps::kv::KvStoreConfig cfg;
+  cfg.record_count = 100'000;
+  auto store = apps::kv::KvStore::Create(alloc, os::NumaPolicy::Bind(platform.DramNodes()), cfg);
+  ASSERT_TRUE(store.ok());
+  workload::YcsbGenerator gen(workload::YcsbWorkload::kA, cfg.record_count);
+  apps::kv::KvServerConfig scfg;
+  scfg.total_ops = 5'000;
+  scfg.warmup_ops = 0;
+  apps::kv::KvServerSim sim(platform, *store, gen, scfg);
+  const auto result = sim.Run();
+  EXPECT_GT(result.throughput_kops, 0.0);
+  EXPECT_EQ(result.all_latency_us.count(), 5'000u);
+  store->Free();
+}
+
+TEST(FailureInjectionTest, FlashStoreUnderUniformKeysHitsSsdHard) {
+  // §4.1.2's caveat: "If the keys were distributed uniformly, we anticipate
+  // worse performance due to increased SSD access times." Inject a uniform
+  // stream against the flash store and verify the degradation direction.
+  Platform platform = Platform::CxlServer(false);
+  auto run = [&](workload::OpSource& source) {
+    os::PageAllocator alloc(platform, 16ull << 10);
+    apps::kv::KvStoreConfig cfg;
+    cfg.record_count = 4'000'000;
+    cfg.flash = true;
+    cfg.maxmemory_bytes = cfg.DatasetBytes() * 8 / 10;
+    auto store = apps::kv::KvStore::Create(alloc, os::NumaPolicy::Bind(platform.DramNodes()), cfg);
+    EXPECT_TRUE(store.ok());
+    apps::kv::KvServerConfig scfg;
+    scfg.total_ops = 30'000;
+    scfg.warmup_ops = 5'000;
+    apps::kv::KvServerSim sim(platform, *store, source, scfg);
+    const auto result = sim.Run();
+    store->Free();
+    return result.throughput_kops;
+  };
+
+  // Zipfian (hot head cached) vs uniform (20% of reads miss to SSD).
+  class UniformSource final : public workload::OpSource {
+   public:
+    workload::YcsbOp Next() override {
+      return workload::YcsbOp{workload::YcsbOp::Type::kRead, rng_.NextBounded(4'000'000)};
+    }
+    double WriteFraction() const override { return 0.0; }
+
+   private:
+    Rng rng_{5};
+  };
+
+  workload::YcsbGenerator zipf(workload::YcsbWorkload::kC, 4'000'000);
+  UniformSource uniform;
+  const double zipf_kops = run(zipf);
+  const double uniform_kops = run(uniform);
+  // ~14% of uniform reads fall outside both the cached prefix and the
+  // recency window and pay an SSD round trip.
+  EXPECT_LT(uniform_kops, zipf_kops * 0.90);
+}
+
+}  // namespace
+}  // namespace cxl

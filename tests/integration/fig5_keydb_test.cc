@@ -1,0 +1,102 @@
+// Integration: the Fig. 5 orderings (§4.1.2), run end-to-end through the
+// experiment API at reduced scale. These pin the paper's qualitative claims:
+//   - MMEM is fastest everywhere;
+//   - Hot-Promote performs "nearly as well" as MMEM;
+//   - interleaving costs 1.2-1.5x;
+//   - KeyDB-FLASH (SSD spill) costs ~1.8x and is worse than interleaving;
+//   - tail latencies order the same way.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/core/experiment.h"
+
+namespace cxl::core {
+namespace {
+
+class Fig5Test : public ::testing::Test {
+ protected:
+  static const std::map<CapacityConfig, KeyDbExperimentResult>& Results() {
+    static const auto* results = [] {
+      auto* map = new std::map<CapacityConfig, KeyDbExperimentResult>();
+      KeyDbExperimentOptions opt;
+      opt.dataset_bytes = 8ull << 30;
+      opt.total_ops = 120'000;
+      opt.warmup_ops = 30'000;
+      for (CapacityConfig config : AllCapacityConfigs()) {
+        auto res = RunKeyDbExperiment(config, workload::YcsbWorkload::kA, opt);
+        EXPECT_TRUE(res.ok());
+        map->emplace(config, std::move(res).value());
+      }
+      return map;
+    }();
+    return *results;
+  }
+
+  static double Kops(CapacityConfig c) { return Results().at(c).server.throughput_kops; }
+  static double P99(CapacityConfig c) { return Results().at(c).server.all_latency_us.p99(); }
+};
+
+TEST_F(Fig5Test, MmemIsFastest) {
+  for (CapacityConfig c : AllCapacityConfigs()) {
+    if (c != CapacityConfig::kMmem) {
+      EXPECT_GT(Kops(CapacityConfig::kMmem), Kops(c)) << ConfigLabel(c);
+    }
+  }
+}
+
+TEST_F(Fig5Test, HotPromoteNearlyMatchesMmem) {
+  // "performs nearly as well as running the workload entirely on MMEM"
+  // (§4.1.2). The residual gap is migration stall + the un-promoted warm
+  // tail; well under the 1.2x where the static interleaves start.
+  const double slowdown = Kops(CapacityConfig::kMmem) / Kops(CapacityConfig::kHotPromote);
+  EXPECT_LT(slowdown, 1.20);
+}
+
+TEST_F(Fig5Test, HotPromoteBeatsStaticInterleave) {
+  EXPECT_GT(Kops(CapacityConfig::kHotPromote), Kops(CapacityConfig::kInterleave11));
+}
+
+TEST_F(Fig5Test, InterleaveSlowdownInPaperBand) {
+  const double mmem = Kops(CapacityConfig::kMmem);
+  for (CapacityConfig c : {CapacityConfig::kInterleave31, CapacityConfig::kInterleave11,
+                           CapacityConfig::kInterleave13}) {
+    const double slowdown = mmem / Kops(c);
+    EXPECT_GT(slowdown, 1.10) << ConfigLabel(c);
+    EXPECT_LT(slowdown, 1.60) << ConfigLabel(c);
+  }
+}
+
+TEST_F(Fig5Test, MoreCxlShareIsSlower) {
+  EXPECT_GT(Kops(CapacityConfig::kInterleave31), Kops(CapacityConfig::kInterleave11));
+  EXPECT_GT(Kops(CapacityConfig::kInterleave11), Kops(CapacityConfig::kInterleave13));
+}
+
+TEST_F(Fig5Test, SsdConfigsAreSlowest) {
+  // ~1.8x vs MMEM and worse than every interleave (§4.1.2).
+  const double mmem = Kops(CapacityConfig::kMmem);
+  for (CapacityConfig ssd : {CapacityConfig::kMmemSsd02, CapacityConfig::kMmemSsd04}) {
+    const double slowdown = mmem / Kops(ssd);
+    EXPECT_GT(slowdown, 1.6) << ConfigLabel(ssd);
+    EXPECT_LT(slowdown, 2.3) << ConfigLabel(ssd);
+    EXPECT_LT(Kops(ssd), Kops(CapacityConfig::kInterleave13));
+  }
+}
+
+TEST_F(Fig5Test, MoreSpillIsSlower) {
+  EXPECT_GE(Kops(CapacityConfig::kMmemSsd02), Kops(CapacityConfig::kMmemSsd04));
+}
+
+TEST_F(Fig5Test, TailLatencyOrdersLikeThroughput) {
+  EXPECT_LT(P99(CapacityConfig::kMmem), P99(CapacityConfig::kInterleave11));
+  EXPECT_LT(P99(CapacityConfig::kInterleave11), P99(CapacityConfig::kMmemSsd02));
+  EXPECT_LT(P99(CapacityConfig::kHotPromote), P99(CapacityConfig::kInterleave11));
+}
+
+TEST_F(Fig5Test, HotPromoteActuallyMigrated) {
+  EXPECT_GT(Results().at(CapacityConfig::kHotPromote).server.migrated_bytes, 0.0);
+  EXPECT_GT(Results().at(CapacityConfig::kHotPromote).server.dram_share, 0.45);
+}
+
+}  // namespace
+}  // namespace cxl::core

@@ -1,0 +1,131 @@
+// Integration: Fig. 7 orderings (§4.2.2) across all Spark configurations.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/apps/spark/cluster.h"
+#include "src/apps/spark/query.h"
+
+namespace cxl::apps::spark {
+namespace {
+
+class Fig7Test : public ::testing::Test {
+ protected:
+  struct Row {
+    std::map<std::string, QueryResult> by_query;
+  };
+
+  static const std::map<std::string, Row>& Results() {
+    static const auto* results = [] {
+      auto* map = new std::map<std::string, Row>();
+      const std::map<std::string, SparkConfig> configs = {
+          {"MMEM", SparkConfig::MmemOnly()},
+          {"3:1", SparkConfig::Interleave(3, 1)},
+          {"1:1", SparkConfig::Interleave(1, 1)},
+          {"1:3", SparkConfig::Interleave(1, 3)},
+          {"spill-0.8", SparkConfig::Spill(0.8)},
+          {"spill-0.6", SparkConfig::Spill(0.6)},
+          {"hot-promote", SparkConfig::HotPromote()},
+      };
+      for (const auto& [name, cfg] : configs) {
+        SparkCluster cluster(cfg);
+        Row row;
+        for (const auto& q : TpchShuffleHeavyQueries()) {
+          row.by_query.emplace(q.name, cluster.RunQuery(q));
+        }
+        map->emplace(name, std::move(row));
+      }
+      return map;
+    }();
+    return *results;
+  }
+
+  static double Norm(const std::string& config, const std::string& query) {
+    return Results().at(config).by_query.at(query).total_seconds /
+           Results().at("MMEM").by_query.at(query).total_seconds;
+  }
+};
+
+TEST_F(Fig7Test, MmemOnlyIsFastestEverywhere) {
+  for (const auto& [name, row] : Results()) {
+    if (name == "MMEM") {
+      continue;
+    }
+    for (const auto& q : TpchShuffleHeavyQueries()) {
+      EXPECT_GT(Norm(name, q.name), 1.0) << name << "/" << q.name;
+    }
+  }
+}
+
+TEST_F(Fig7Test, InterleaveSlowdownInPaperBand) {
+  // §4.2.2: 1.4x-9.8x across interleave ratios and queries.
+  for (const std::string config : {"3:1", "1:1", "1:3"}) {
+    for (const auto& q : TpchShuffleHeavyQueries()) {
+      const double norm = Norm(config, q.name);
+      EXPECT_GT(norm, 1.4) << config << "/" << q.name;
+      EXPECT_LT(norm, 9.8) << config << "/" << q.name;
+    }
+  }
+}
+
+TEST_F(Fig7Test, DegradationGrowsWithCxlShare) {
+  for (const auto& q : TpchShuffleHeavyQueries()) {
+    EXPECT_LT(Norm("3:1", q.name), Norm("1:1", q.name)) << q.name;
+    EXPECT_LT(Norm("1:1", q.name), Norm("1:3", q.name)) << q.name;
+  }
+}
+
+TEST_F(Fig7Test, HeavierShufflersDegradeMore) {
+  for (const std::string config : {"3:1", "1:1", "1:3"}) {
+    EXPECT_LT(Norm(config, "Q5"), Norm(config, "Q9")) << config;
+  }
+}
+
+TEST_F(Fig7Test, SpillIsWorseThanModerateInterleave) {
+  // "the interleaving approach remains significantly faster than spilling".
+  for (const auto& q : TpchShuffleHeavyQueries()) {
+    EXPECT_GT(Norm("spill-0.6", q.name), Norm("1:1", q.name)) << q.name;
+  }
+}
+
+TEST_F(Fig7Test, MoreSpillIsSlower) {
+  for (const auto& q : TpchShuffleHeavyQueries()) {
+    EXPECT_GT(Norm("spill-0.6", q.name), Norm("spill-0.8", q.name)) << q.name;
+  }
+}
+
+TEST_F(Fig7Test, HotPromoteSlowdownExceedsThirtyFourPercent) {
+  // §4.2.2: "more than 34% slowdown compared to MMEM".
+  for (const auto& q : TpchShuffleHeavyQueries()) {
+    EXPECT_GT(Norm("hot-promote", q.name), 1.34) << q.name;
+  }
+}
+
+TEST_F(Fig7Test, HotPromoteThrashes) {
+  for (const auto& q : TpchShuffleHeavyQueries()) {
+    EXPECT_GT(Results().at("hot-promote").by_query.at(q.name).migrated_bytes, 1e9) << q.name;
+  }
+}
+
+TEST_F(Fig7Test, ShuffleShareGrowsUnderSpill) {
+  // Fig. 7(b): "shuffling overshadows the total execution time due to the
+  // intensification of data spill".
+  for (const auto& q : TpchShuffleHeavyQueries()) {
+    EXPECT_GT(Results().at("spill-0.6").by_query.at(q.name).ShuffleShare(),
+              Results().at("MMEM").by_query.at(q.name).ShuffleShare())
+        << q.name;
+  }
+}
+
+TEST_F(Fig7Test, SpilledVolumesInPaperOrderOfMagnitude) {
+  // Paper: ~320 GB at 0.8, ~500 GB at 0.6.
+  const double s08 = Results().at("spill-0.8").by_query.at("Q7").spilled_bytes;
+  const double s06 = Results().at("spill-0.6").by_query.at("Q7").spilled_bytes;
+  EXPECT_GT(s08, 150e9);
+  EXPECT_LT(s08, 450e9);
+  EXPECT_GT(s06, 350e9);
+  EXPECT_LT(s06, 800e9);
+}
+
+}  // namespace
+}  // namespace cxl::apps::spark

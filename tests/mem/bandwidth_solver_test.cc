@@ -1,0 +1,144 @@
+#include "src/mem/bandwidth_solver.h"
+
+#include <gtest/gtest.h>
+
+#include "src/mem/access.h"
+#include "src/mem/profiles.h"
+
+namespace cxl::mem {
+namespace {
+
+const AccessMix kRead = AccessMix::ReadOnly();
+
+TEST(SingleFlowTest, UnderloadedFlowGetsWhatItOffers) {
+  const PathProfile& p = GetProfile(MemoryPath::kLocalDram);
+  const SingleFlowPoint pt = SolveSingleFlow(p, kRead, 10.0);
+  EXPECT_DOUBLE_EQ(pt.achieved_gbps, 10.0);
+  EXPECT_LT(pt.latency_ns, 100.0);  // Near idle.
+}
+
+TEST(SingleFlowTest, OverloadedFlowCapsAtPeak) {
+  const PathProfile& p = GetProfile(MemoryPath::kLocalDram);
+  const SingleFlowPoint pt = SolveSingleFlow(p, kRead, 100.0);
+  EXPECT_LE(pt.achieved_gbps, p.PeakBandwidthGBps(kRead));
+  EXPECT_GT(pt.latency_ns, 200.0);  // Deep in the contention regime.
+}
+
+TEST(SolverTest, SingleFlowMatchesConvenienceApi) {
+  const PathProfile& p = GetProfile(MemoryPath::kLocalDram);
+  BandwidthSolver solver;
+  const auto r = solver.AddResource("dram", &p);
+  solver.AddFlow(&p, kRead, 30.0, {r});
+  const auto sol = solver.Solve();
+  EXPECT_NEAR(sol.flows[0].achieved_gbps, 30.0, 1e-9);
+  EXPECT_NEAR(sol.flows[0].latency_ns, p.LoadedLatencyNs(kRead, 30.0), 5.0);
+}
+
+TEST(SolverTest, TwoFlowsShareCapacityProportionally) {
+  const PathProfile& p = GetProfile(MemoryPath::kLocalDram);
+  BandwidthSolver solver;
+  const auto r = solver.AddResource("dram", &p);
+  solver.AddFlow(&p, kRead, 60.0, {r});
+  solver.AddFlow(&p, kRead, 30.0, {r});
+  const auto sol = solver.Solve();
+  const double total = sol.flows[0].achieved_gbps + sol.flows[1].achieved_gbps;
+  EXPECT_LE(total, p.PeakBandwidthGBps(kRead) + 1e-6);
+  EXPECT_GT(total, p.PeakBandwidthGBps(kRead) * 0.9);
+  // Proportional sharing preserves the offered-load ratio.
+  EXPECT_NEAR(sol.flows[0].achieved_gbps / sol.flows[1].achieved_gbps, 2.0, 0.01);
+}
+
+TEST(SolverTest, UncontendedResourceLeavesFlowsAlone) {
+  const PathProfile& dram = GetProfile(MemoryPath::kLocalDram);
+  const PathProfile& cxl = GetProfile(MemoryPath::kLocalCxl);
+  BandwidthSolver solver;
+  const auto r_dram = solver.AddResource("dram", &dram);
+  const auto r_cxl = solver.AddResource("cxl", &cxl);
+  solver.AddFlow(&dram, kRead, 20.0, {r_dram});
+  solver.AddFlow(&cxl, kRead, 20.0, {r_cxl});
+  const auto sol = solver.Solve();
+  EXPECT_NEAR(sol.flows[0].achieved_gbps, 20.0, 1e-9);
+  EXPECT_NEAR(sol.flows[1].achieved_gbps, 20.0, 1e-9);
+  // CXL latency higher than DRAM at equal load (the §3 "2.4-2.6x" gap).
+  EXPECT_GT(sol.flows[1].latency_ns, 2.0 * sol.flows[0].latency_ns);
+}
+
+TEST(SolverTest, FlowThroughTwoResourcesTakesBottleneck) {
+  // A remote-CXL-like chain: generous device resource, tight RSF resource.
+  const PathProfile& local_cxl = GetProfile(MemoryPath::kLocalCxl);
+  const PathProfile& remote_cxl = GetProfile(MemoryPath::kRemoteCxl);
+  BandwidthSolver solver;
+  const auto dev = solver.AddResource("cxl-dev", &local_cxl);
+  const auto rsf = solver.AddResource("rsf", &remote_cxl);
+  solver.AddFlow(&remote_cxl, kRead, 40.0, {dev, rsf});
+  const auto sol = solver.Solve();
+  // Achieved is capped near the RSF read-only limit (~17 GB/s), well below
+  // both the offered 40 and the device's ~47.
+  EXPECT_LT(sol.flows[0].achieved_gbps, 18.0);
+  EXPECT_GT(sol.flows[0].achieved_gbps, 14.0);
+}
+
+TEST(SolverTest, MixedReadWriteFlowsBlendCapacity) {
+  const PathProfile& p = GetProfile(MemoryPath::kLocalDram);
+  BandwidthSolver solver;
+  const auto r = solver.AddResource("dram", &p);
+  solver.AddFlow(&p, AccessMix::ReadOnly(), 60.0, {r});
+  solver.AddFlow(&p, AccessMix::WriteOnly(), 60.0, {r});
+  const auto sol = solver.Solve();
+  const double total = sol.flows[0].achieved_gbps + sol.flows[1].achieved_gbps;
+  // Blended 1:1 capacity (~61.5) bounds the total, not the read-only peak.
+  EXPECT_LT(total, 62.0);
+  EXPECT_GT(total, 55.0);
+}
+
+TEST(SolverTest, LatencyRisesWithCongestion) {
+  const PathProfile& p = GetProfile(MemoryPath::kLocalDram);
+  BandwidthSolver solver;
+  const auto r = solver.AddResource("dram", &p);
+  solver.AddFlow(&p, kRead, 10.0, {r});
+  const double lat_light = solver.Solve().flows[0].latency_ns;
+  solver.AddFlow(&p, kRead, 55.0, {r});
+  const double lat_heavy = solver.Solve().flows[0].latency_ns;
+  EXPECT_GT(lat_heavy, lat_light * 1.5);
+}
+
+TEST(SolverTest, ClearFlowsKeepsResources) {
+  const PathProfile& p = GetProfile(MemoryPath::kLocalDram);
+  BandwidthSolver solver;
+  const auto r = solver.AddResource("dram", &p);
+  solver.AddFlow(&p, kRead, 10.0, {r});
+  solver.ClearFlows();
+  EXPECT_EQ(solver.flow_count(), 0u);
+  EXPECT_EQ(solver.resource_count(), 1u);
+  solver.AddFlow(&p, kRead, 10.0, {r});
+  EXPECT_EQ(solver.Solve().flows.size(), 1u);
+}
+
+TEST(SolverTest, ZeroOfferedLoadIsValid) {
+  const PathProfile& p = GetProfile(MemoryPath::kLocalDram);
+  BandwidthSolver solver;
+  const auto r = solver.AddResource("dram", &p);
+  solver.AddFlow(&p, kRead, 0.0, {r});
+  const auto sol = solver.Solve();
+  EXPECT_DOUBLE_EQ(sol.flows[0].achieved_gbps, 0.0);
+  EXPECT_NEAR(sol.flows[0].latency_ns, p.IdleLatencyNs(kRead), 1.0);
+}
+
+TEST(SolverTest, ManySmallFlowsFillCapacity) {
+  const PathProfile& p = GetProfile(MemoryPath::kLocalDram);
+  BandwidthSolver solver;
+  const auto r = solver.AddResource("dram", &p);
+  for (int i = 0; i < 32; ++i) {
+    solver.AddFlow(&p, kRead, 5.0, {r});
+  }
+  const auto sol = solver.Solve();
+  double total = 0.0;
+  for (const auto& f : sol.flows) {
+    total += f.achieved_gbps;
+  }
+  EXPECT_NEAR(total, p.PeakBandwidthGBps(kRead) * BandwidthSolver::kCapacityShare, 0.5);
+  EXPECT_GT(sol.resources[0].utilization, 0.9);
+}
+
+}  // namespace
+}  // namespace cxl::mem

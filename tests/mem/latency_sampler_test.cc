@@ -1,0 +1,58 @@
+#include "src/mem/latency_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/queueing.h"
+#include "src/util/rng.h"
+
+namespace cxl::mem {
+namespace {
+
+TEST(LatencySamplerTest, ZeroUtilizationIsDeterministicIdle) {
+  sim::QueueModel model(250.0, 0.1, 5.0);
+  LatencySampler sampler(model, 0.0);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(sampler.Sample(rng), 250.0);
+  }
+}
+
+TEST(LatencySamplerTest, MeanMatchesQueueModel) {
+  sim::QueueModel model(97.0, 0.25, 6.0);
+  const double u = 0.85;
+  LatencySampler sampler(model, u);
+  Rng rng(2);
+  double sum = 0.0;
+  constexpr int kN = 300000;
+  for (int i = 0; i < kN; ++i) {
+    sum += sampler.Sample(rng);
+  }
+  EXPECT_NEAR(sum / kN, model.LatencyAt(u), model.LatencyAt(u) * 0.01);
+}
+
+TEST(LatencySamplerTest, SamplesNeverBelowIdle) {
+  sim::QueueModel model(130.0, 0.4, 4.0);
+  LatencySampler sampler(model, 0.7);
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(sampler.Sample(rng), 130.0);
+  }
+}
+
+TEST(LatencySamplerTest, HigherUtilizationFattensTail) {
+  sim::QueueModel model(97.0, 0.25, 6.0);
+  Rng rng(4);
+  auto p99 = [&](double u) {
+    LatencySampler sampler(model, u);
+    std::vector<double> xs(20000);
+    for (auto& x : xs) {
+      x = sampler.Sample(rng);
+    }
+    std::sort(xs.begin(), xs.end());
+    return xs[static_cast<size_t>(0.99 * xs.size())];
+  };
+  EXPECT_GT(p99(0.9), 2.0 * p99(0.3));
+}
+
+}  // namespace
+}  // namespace cxl::mem

@@ -1,0 +1,160 @@
+#include "src/os/page_allocator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/os/numa_policy.h"
+#include "src/os/region.h"
+#include "src/topology/platform.h"
+#include "src/util/units.h"
+
+namespace cxl::os {
+namespace {
+
+using namespace cxl::literals;
+using topology::Platform;
+
+class AllocatorTest : public ::testing::Test {
+ protected:
+  AllocatorTest() : platform_(Platform::CxlServer(false)), alloc_(platform_) {}
+
+  Platform platform_;
+  PageAllocator alloc_;
+};
+
+TEST_F(AllocatorTest, CapacityFromPlatform) {
+  // Socket 0 DRAM: 512 GiB at 2 MiB pages.
+  const auto dram0 = platform_.DramNodes(0)[0];
+  EXPECT_EQ(alloc_.TotalPages(dram0), (512_GiB) / (2_MiB));
+  const auto cxl0 = platform_.CxlNodes()[0];
+  EXPECT_EQ(alloc_.TotalPages(cxl0), (256_GiB) / (2_MiB));
+}
+
+TEST_F(AllocatorTest, BindAllocatesOnBoundNode) {
+  const auto cxl0 = platform_.CxlNodes()[0];
+  auto pages = alloc_.Allocate(NumaPolicy::Bind({cxl0}), 100);
+  ASSERT_TRUE(pages.ok());
+  for (PageId id : *pages) {
+    EXPECT_EQ(alloc_.NodeOf(id), cxl0);
+  }
+  EXPECT_EQ(alloc_.UsedPages(cxl0), 100u);
+}
+
+TEST_F(AllocatorTest, BindFailsWhenFull) {
+  const auto cxl0 = platform_.CxlNodes()[0];
+  const uint64_t cap = alloc_.TotalPages(cxl0);
+  auto all = alloc_.Allocate(NumaPolicy::Bind({cxl0}), cap);
+  ASSERT_TRUE(all.ok());
+  auto more = alloc_.Allocate(NumaPolicy::Bind({cxl0}), 1);
+  EXPECT_FALSE(more.ok());
+  EXPECT_EQ(more.status().code(), StatusCode::kResourceExhausted);
+  // Failure must not leak pages.
+  EXPECT_EQ(alloc_.FreePages(cxl0), 0u);
+  alloc_.Free(*all);
+  EXPECT_EQ(alloc_.FreePages(cxl0), cap);
+}
+
+TEST_F(AllocatorTest, PreferredFallsBackWhenFull) {
+  const auto cxl0 = platform_.CxlNodes()[0];
+  const uint64_t cap = alloc_.TotalPages(cxl0);
+  auto fill = alloc_.Allocate(NumaPolicy::Bind({cxl0}), cap);
+  ASSERT_TRUE(fill.ok());
+  auto extra = alloc_.Allocate(NumaPolicy::Preferred({cxl0}), 10);
+  ASSERT_TRUE(extra.ok());
+  for (PageId id : *extra) {
+    EXPECT_NE(alloc_.NodeOf(id), cxl0);  // Fell back elsewhere.
+  }
+}
+
+TEST_F(AllocatorTest, WeightedInterleaveShares) {
+  const auto dram0 = platform_.DramNodes(0)[0];
+  const auto cxl0 = platform_.CxlNodes()[0];
+  auto pages = alloc_.Allocate(NumaPolicy::WeightedInterleave({dram0}, {cxl0}, 3, 1), 4000);
+  ASSERT_TRUE(pages.ok());
+  EXPECT_EQ(alloc_.UsedPages(dram0), 3000u);
+  EXPECT_EQ(alloc_.UsedPages(cxl0), 1000u);
+}
+
+TEST_F(AllocatorTest, FreeRecyclesIds) {
+  auto a = alloc_.Allocate(NumaPolicy::Bind({0}), 10);
+  ASSERT_TRUE(a.ok());
+  alloc_.Free(*a);
+  auto b = alloc_.Allocate(NumaPolicy::Bind({0}), 10);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(alloc_.allocated_pages(), 10u);
+  EXPECT_EQ(alloc_.page_count(), 10u);  // Slots recycled, not grown.
+}
+
+TEST_F(AllocatorTest, MovePageUpdatesAccounting) {
+  const auto dram0 = platform_.DramNodes(0)[0];
+  const auto cxl0 = platform_.CxlNodes()[0];
+  auto pages = alloc_.Allocate(NumaPolicy::Bind({dram0}), 1);
+  ASSERT_TRUE(pages.ok());
+  ASSERT_TRUE(alloc_.MovePage((*pages)[0], cxl0).ok());
+  EXPECT_EQ(alloc_.NodeOf((*pages)[0]), cxl0);
+  EXPECT_EQ(alloc_.UsedPages(dram0), 0u);
+  EXPECT_EQ(alloc_.UsedPages(cxl0), 1u);
+}
+
+TEST_F(AllocatorTest, MoveToFullNodeFails) {
+  const auto cxl0 = platform_.CxlNodes()[0];
+  auto fill = alloc_.Allocate(NumaPolicy::Bind({cxl0}), alloc_.TotalPages(cxl0));
+  ASSERT_TRUE(fill.ok());
+  auto one = alloc_.Allocate(NumaPolicy::Bind({0}), 1);
+  ASSERT_TRUE(one.ok());
+  EXPECT_FALSE(alloc_.MovePage((*one)[0], cxl0).ok());
+  EXPECT_EQ(alloc_.counters().migrate_failed, 1u);
+}
+
+TEST_F(AllocatorTest, CountersTrackAllocFree) {
+  auto pages = alloc_.Allocate(NumaPolicy::Bind({0}), 5);
+  ASSERT_TRUE(pages.ok());
+  alloc_.Free(*pages);
+  EXPECT_EQ(alloc_.counters().pgalloc, 5u);
+  EXPECT_EQ(alloc_.counters().pgfree, 5u);
+}
+
+TEST_F(AllocatorTest, DramFreeFraction) {
+  EXPECT_NEAR(alloc_.DramFreeFraction(), 1.0, 1e-12);
+  const auto dram0 = platform_.DramNodes(0)[0];
+  auto pages = alloc_.Allocate(NumaPolicy::Bind({dram0}), alloc_.TotalPages(dram0));
+  ASSERT_TRUE(pages.ok());
+  EXPECT_NEAR(alloc_.DramFreeFraction(), 0.5, 1e-12);  // One of two sockets full.
+}
+
+TEST(RegionTest, AllocateAndShares) {
+  Platform platform = Platform::CxlServer(false);
+  PageAllocator alloc(platform);
+  const auto dram0 = platform.DramNodes(0)[0];
+  const auto cxl0 = platform.CxlNodes()[0];
+  auto region = MemoryRegion::Allocate(
+      alloc, NumaPolicy::WeightedInterleave({dram0}, {cxl0}, 1, 1), 1_GiB);
+  ASSERT_TRUE(region.ok());
+  EXPECT_EQ(region->page_count(), 512u);
+  EXPECT_NEAR(region->DramShare(), 0.5, 1e-12);
+  const auto shares = region->NodeShares();
+  EXPECT_NEAR(shares[static_cast<size_t>(dram0)], 0.5, 1e-12);
+  EXPECT_NEAR(shares[static_cast<size_t>(cxl0)], 0.5, 1e-12);
+  region->Free();
+  EXPECT_EQ(alloc.allocated_pages(), 0u);
+}
+
+TEST(RegionTest, PageAtOffset) {
+  Platform platform = Platform::CxlServer(false);
+  PageAllocator alloc(platform);
+  auto region = MemoryRegion::Allocate(alloc, NumaPolicy::Bind({0}), 10_MiB);
+  ASSERT_TRUE(region.ok());
+  EXPECT_EQ(region->PageAtOffset(0), region->PageAtIndex(0));
+  EXPECT_EQ(region->PageAtOffset(2_MiB), region->PageAtIndex(1));
+  EXPECT_EQ(region->PageAtOffset(2_MiB - 1), region->PageAtIndex(0));
+}
+
+TEST(RegionTest, RoundsUpPartialPage) {
+  Platform platform = Platform::CxlServer(false);
+  PageAllocator alloc(platform);
+  auto region = MemoryRegion::Allocate(alloc, NumaPolicy::Bind({0}), 3_MiB);
+  ASSERT_TRUE(region.ok());
+  EXPECT_EQ(region->page_count(), 2u);
+}
+
+}  // namespace
+}  // namespace cxl::os

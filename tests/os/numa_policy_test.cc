@@ -1,0 +1,84 @@
+#include "src/os/numa_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace cxl::os {
+namespace {
+
+TEST(NumaPolicyTest, BindAlwaysTargetsBoundNodes) {
+  const NumaPolicy p = NumaPolicy::Bind({3});
+  for (uint64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(p.NodeForIndex(i), 3);
+  }
+  EXPECT_DOUBLE_EQ(p.SteadyStateShare(3), 1.0);
+  EXPECT_DOUBLE_EQ(p.SteadyStateShare(0), 0.0);
+}
+
+TEST(NumaPolicyTest, InterleaveRoundRobins) {
+  const NumaPolicy p = NumaPolicy::Interleave({0, 1});
+  EXPECT_EQ(p.NodeForIndex(0), 0);
+  EXPECT_EQ(p.NodeForIndex(1), 1);
+  EXPECT_EQ(p.NodeForIndex(2), 0);
+  EXPECT_DOUBLE_EQ(p.SteadyStateShare(0), 0.5);
+}
+
+TEST(NumaPolicyTest, WeightedInterleave3To1) {
+  // Table 1's "3:1": 75% of pages to MMEM, 25% to CXL.
+  const NumaPolicy p = NumaPolicy::WeightedInterleave({0}, {1}, 3, 1);
+  std::map<topology::NodeId, int> counts;
+  for (uint64_t i = 0; i < 4000; ++i) {
+    ++counts[p.NodeForIndex(i)];
+  }
+  EXPECT_EQ(counts[0], 3000);
+  EXPECT_EQ(counts[1], 1000);
+  EXPECT_DOUBLE_EQ(p.SteadyStateShare(0), 0.75);
+  EXPECT_DOUBLE_EQ(p.SteadyStateShare(1), 0.25);
+}
+
+TEST(NumaPolicyTest, WeightedInterleave1To3) {
+  const NumaPolicy p = NumaPolicy::WeightedInterleave({0}, {1}, 1, 3);
+  EXPECT_DOUBLE_EQ(p.SteadyStateShare(0), 0.25);
+  EXPECT_DOUBLE_EQ(p.SteadyStateShare(1), 0.75);
+}
+
+TEST(NumaPolicyTest, WeightedInterleaveCycleOrder) {
+  // The N:M patch allocates N top pages then M low pages per cycle.
+  const NumaPolicy p = NumaPolicy::WeightedInterleave({0}, {9}, 2, 1);
+  EXPECT_EQ(p.NodeForIndex(0), 0);
+  EXPECT_EQ(p.NodeForIndex(1), 0);
+  EXPECT_EQ(p.NodeForIndex(2), 9);
+  EXPECT_EQ(p.NodeForIndex(3), 0);
+}
+
+TEST(NumaPolicyTest, WeightedInterleaveMultipleNodesPerTier) {
+  // Two DRAM nodes and two CXL cards at 1:1 -> each node gets 25%.
+  const NumaPolicy p = NumaPolicy::WeightedInterleave({0, 1}, {2, 3}, 1, 1);
+  std::map<topology::NodeId, int> counts;
+  for (uint64_t i = 0; i < 4000; ++i) {
+    ++counts[p.NodeForIndex(i)];
+  }
+  for (topology::NodeId n : {0, 1, 2, 3}) {
+    EXPECT_EQ(counts[n], 1000) << "node " << n;
+    EXPECT_DOUBLE_EQ(p.SteadyStateShare(n), 0.25);
+  }
+}
+
+TEST(NumaPolicyTest, SharesSumToOne) {
+  const NumaPolicy p = NumaPolicy::WeightedInterleave({0, 1}, {2}, 3, 2);
+  double total = 0.0;
+  for (topology::NodeId n : {0, 1, 2, 3}) {
+    total += p.SteadyStateShare(n);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(NumaPolicyTest, ToStringIsDescriptive) {
+  EXPECT_EQ(NumaPolicy::Bind({2}).ToString(), "bind{2}");
+  EXPECT_EQ(NumaPolicy::WeightedInterleave({0, 1}, {2}, 3, 1).ToString(),
+            "weighted-interleave{top=0,1 low=2 3:1}");
+}
+
+}  // namespace
+}  // namespace cxl::os

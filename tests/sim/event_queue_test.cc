@@ -1,0 +1,94 @@
+#include "src/sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cxl::sim {
+namespace {
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(30.0, [&] { order.push_back(3); });
+  q.ScheduleAt(10.0, [&] { order.push_back(1); });
+  q.ScheduleAt(20.0, [&] { order.push_back(2); });
+  EXPECT_EQ(q.Run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.Now(), 30.0);
+}
+
+TEST(EventQueueTest, FifoTieBreaking) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(5.0, [&] { order.push_back(1); });
+  q.ScheduleAt(5.0, [&] { order.push_back(2); });
+  q.ScheduleAt(5.0, [&] { order.push_back(3); });
+  q.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, ScheduleAfterUsesCurrentTime) {
+  EventQueue q;
+  double fired_at = -1.0;
+  q.ScheduleAt(100.0, [&] {
+    q.ScheduleAfter(50.0, [&] { fired_at = q.Now(); });
+  });
+  q.Run();
+  EXPECT_EQ(fired_at, 150.0);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    q.ScheduleAt(i * 10.0, [&] { ++count; });
+  }
+  EXPECT_EQ(q.RunUntil(50.0), 5u);
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(q.Now(), 50.0);
+  EXPECT_EQ(q.pending(), 5u);
+}
+
+TEST(EventQueueTest, RunUntilAdvancesClockWhenIdle) {
+  EventQueue q;
+  q.RunUntil(1000.0);
+  EXPECT_EQ(q.Now(), 1000.0);
+}
+
+TEST(EventQueueTest, EventsCanScheduleEvents) {
+  // A self-perpetuating chain of events (the pattern used by the KeyDB
+  // server-thread loop).
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) {
+      q.ScheduleAfter(1.0, chain);
+    }
+  };
+  q.ScheduleAt(0.0, chain);
+  q.Run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(q.Now(), 99.0);
+}
+
+TEST(EventQueueTest, StepExecutesOne) {
+  EventQueue q;
+  int count = 0;
+  q.ScheduleAt(1.0, [&] { ++count; });
+  q.ScheduleAt(2.0, [&] { ++count; });
+  EXPECT_TRUE(q.Step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(q.Step());
+  EXPECT_FALSE(q.Step());
+}
+
+TEST(EventQueueTest, EmptyQueue) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.Run(), 0u);
+  EXPECT_EQ(q.Now(), 0.0);
+}
+
+}  // namespace
+}  // namespace cxl::sim

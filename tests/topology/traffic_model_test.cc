@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "src/mem/access.h"
+#include "src/topology/platform.h"
+
+namespace cxl::topology {
+namespace {
+
+using mem::AccessMix;
+
+const AccessMix kRead = AccessMix::ReadOnly();
+
+TEST(TrafficModelTest, LocalDramFlowNearIdleWhenLight) {
+  const Platform p = Platform::CxlServer(true);
+  TrafficModel tm(p);
+  const auto f = tm.AddMemoryTraffic(0, p.DramNodes(0)[0], kRead, 5.0);
+  const auto sol = tm.Solve();
+  EXPECT_NEAR(sol.flows[f].achieved_gbps, 5.0, 1e-9);
+  EXPECT_NEAR(sol.flows[f].latency_ns, 97.0, 3.0);
+}
+
+TEST(TrafficModelTest, CxlFlowHasCxlLatency) {
+  const Platform p = Platform::CxlServer(true);
+  TrafficModel tm(p);
+  const auto f = tm.AddMemoryTraffic(0, p.CxlNodes()[0], kRead, 5.0);
+  const auto sol = tm.Solve();
+  EXPECT_NEAR(sol.flows[f].latency_ns, 250.42, 5.0);
+}
+
+TEST(TrafficModelTest, RemoteCxlFlowIsRsfCapped) {
+  const Platform p = Platform::CxlServer(true);
+  TrafficModel tm(p);
+  const auto f = tm.AddMemoryTraffic(1, p.CxlNodes()[0], AccessMix::Ratio(2, 1), 50.0);
+  const auto sol = tm.Solve();
+  EXPECT_LT(sol.flows[f].achieved_gbps, 21.0);
+  EXPECT_GT(sol.flows[f].latency_ns, 450.0);
+}
+
+TEST(TrafficModelTest, DramNodeSaturation) {
+  const Platform p = Platform::CxlServer(true);
+  TrafficModel tm(p);
+  const NodeId dom = p.DramNodes(0)[0];
+  // Offer 2x the domain's read peak.
+  const auto f1 = tm.AddMemoryTraffic(0, dom, kRead, 67.0);
+  const auto f2 = tm.AddMemoryTraffic(0, dom, kRead, 67.0);
+  const auto sol = tm.Solve();
+  const double total = sol.flows[f1].achieved_gbps + sol.flows[f2].achieved_gbps;
+  EXPECT_LE(total, 67.0);
+  EXPECT_GT(total, 60.0);
+  EXPECT_GT(sol.nodes[dom].utilization, 0.9);
+  // Latency deep in the contention regime (the §3.4 insight's trigger).
+  EXPECT_GT(sol.flows[f1].latency_ns, 150.0);
+}
+
+TEST(TrafficModelTest, OffloadingToCxlRelievesDramContention) {
+  // The paper's central §3.4 insight: moving ~20% of traffic to CXL lowers
+  // MMEM latency even when MMEM is not fully saturated.
+  const Platform p = Platform::CxlServer(true);
+  const NodeId dom = p.DramNodes(0)[0];
+  const NodeId cxl = p.CxlNodes()[0];
+
+  TrafficModel all_dram(p);
+  const auto f_all = all_dram.AddMemoryTraffic(0, dom, kRead, 60.0);
+  const double lat_all = all_dram.Solve().flows[f_all].latency_ns;
+
+  TrafficModel split(p);
+  const auto f_dram = split.AddMemoryTraffic(0, dom, kRead, 48.0);  // 80%.
+  const auto f_cxl = split.AddMemoryTraffic(0, cxl, kRead, 12.0);   // 20%.
+  const auto sol = split.Solve();
+
+  // DRAM latency falls substantially once the top of the queueing curve is
+  // avoided; the blended average beats the all-DRAM case.
+  EXPECT_LT(sol.flows[f_dram].latency_ns, lat_all);
+  const double blended =
+      0.8 * sol.flows[f_dram].latency_ns + 0.2 * sol.flows[f_cxl].latency_ns;
+  EXPECT_LT(blended, lat_all);
+}
+
+TEST(TrafficModelTest, SsdTrafficSeparateFromMemory) {
+  const Platform p = Platform::CxlServer(false);
+  TrafficModel tm(p);
+  const auto f_mem = tm.AddMemoryTraffic(0, p.DramNodes(0)[0], kRead, 20.0);
+  const auto f_ssd = tm.AddSsdTraffic(kRead, 10.0);
+  const auto sol = tm.Solve();
+  EXPECT_NEAR(sol.flows[f_mem].achieved_gbps, 20.0, 1e-9);
+  // Offered 10 GB/s vastly exceeds the 2-drive array (~6.4 GB/s): capped.
+  EXPECT_LT(sol.flows[f_ssd].achieved_gbps, 6.5);
+  EXPECT_GT(sol.flows[f_ssd].latency_ns, 80'000.0);
+  EXPECT_GT(sol.ssd.utilization, 0.9);
+}
+
+TEST(TrafficModelTest, RemoteDramCrossesUpi) {
+  const Platform p = Platform::CxlServer(false);
+  TrafficModel tm(p);
+  // Remote reads from socket 1 into socket 0's DRAM: single-stream peak is
+  // UPI-limited (~64 GB/s at read-only for the remote path), even though the
+  // socket node itself could deliver 268 GB/s.
+  const auto f = tm.AddMemoryTraffic(1, p.DramNodes(0)[0], kRead, 200.0);
+  const auto sol = tm.Solve();
+  EXPECT_LT(sol.flows[f].achieved_gbps, 130.0);  // UPI aggregate (2x64).
+  EXPECT_GT(sol.flows[f].latency_ns, 130.0);
+}
+
+TEST(TrafficModelTest, ClearTrafficResets) {
+  const Platform p = Platform::CxlServer(false);
+  TrafficModel tm(p);
+  tm.AddMemoryTraffic(0, p.DramNodes(0)[0], kRead, 5.0);
+  tm.ClearTraffic();
+  const auto sol = tm.Solve();
+  EXPECT_TRUE(sol.flows.empty());
+  EXPECT_DOUBLE_EQ(sol.nodes[0].achieved_gbps, 0.0);
+}
+
+}  // namespace
+}  // namespace cxl::topology

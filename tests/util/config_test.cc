@@ -1,0 +1,69 @@
+#include "src/util/config.h"
+
+#include <gtest/gtest.h>
+
+namespace cxl {
+namespace {
+
+TEST(ConfigTest, ParsesEqualsAndSpaceForms) {
+  const auto cfg = Config::ParseString("a = 1\nb 2\nc=hello\n");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_EQ(cfg->GetString("a"), "1");
+  EXPECT_EQ(cfg->GetString("b"), "2");
+  EXPECT_EQ(cfg->GetString("c"), "hello");
+}
+
+TEST(ConfigTest, CommentsAndBlanksIgnored) {
+  const auto cfg = Config::ParseString("# header\n\na = 1  # trailing\n   \n");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_EQ(cfg->GetString("a"), "1");
+  EXPECT_EQ(cfg->values().size(), 1u);
+}
+
+TEST(ConfigTest, TypedGetters) {
+  const auto cfg = Config::ParseString("d = 2.5\ni = -7\nb1 = yes\nb2 = 0\n");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_DOUBLE_EQ(cfg->GetDouble("d", 0.0).value(), 2.5);
+  EXPECT_EQ(cfg->GetInt("i", 0).value(), -7);
+  EXPECT_TRUE(cfg->GetBool("b1", false).value());
+  EXPECT_FALSE(cfg->GetBool("b2", true).value());
+}
+
+TEST(ConfigTest, FallbacksForMissingKeys) {
+  const auto cfg = Config::ParseString("a = 1\n");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_EQ(cfg->GetString("missing", "dflt"), "dflt");
+  EXPECT_DOUBLE_EQ(cfg->GetDouble("missing", 9.5).value(), 9.5);
+  EXPECT_EQ(cfg->GetInt("missing", 42).value(), 42);
+  EXPECT_TRUE(cfg->GetBool("missing", true).value());
+  EXPECT_FALSE(cfg->Has("missing"));
+}
+
+TEST(ConfigTest, BadValuesAreErrorsNotFallbacks) {
+  const auto cfg = Config::ParseString("d = soup\nb = maybe\ni = 1.5\n");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_FALSE(cfg->GetDouble("d", 0.0).ok());
+  EXPECT_FALSE(cfg->GetBool("b", false).ok());
+  EXPECT_FALSE(cfg->GetInt("i", 0).ok());
+}
+
+TEST(ConfigTest, RejectsMalformedRows) {
+  EXPECT_FALSE(Config::ParseString("loneword\n").ok());
+  EXPECT_FALSE(Config::ParseString("= value\n").ok());
+  EXPECT_FALSE(Config::ParseString("key =\n").ok());
+}
+
+TEST(ConfigTest, RejectsDuplicateKeys) {
+  const auto cfg = Config::ParseString("a = 1\na = 2\n");
+  ASSERT_FALSE(cfg.ok());
+  EXPECT_NE(cfg.status().message().find("duplicate"), std::string::npos);
+}
+
+TEST(ConfigTest, ErrorsCarryLineNumbers) {
+  const auto cfg = Config::ParseString("a = 1\nbad\n");
+  ASSERT_FALSE(cfg.ok());
+  EXPECT_NE(cfg.status().message().find("line 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cxl

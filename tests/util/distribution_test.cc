@@ -1,0 +1,167 @@
+#include "src/util/distribution.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace cxl {
+namespace {
+
+TEST(UniformDistributionTest, CoversRangeEvenly) {
+  Rng rng(1);
+  UniformDistribution dist(10);
+  std::vector<int> counts(10, 0);
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    ++counts[dist.Next(rng)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kN, 0.1, 0.01);
+  }
+}
+
+TEST(ZipfianDistributionTest, RankZeroIsMostPopular) {
+  Rng rng(2);
+  ZipfianDistribution dist(1000);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 100000; ++i) {
+    ++counts[dist.Next(rng)];
+  }
+  // Rank 0 strictly more popular than rank 10, which beats rank 100.
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[100]);
+}
+
+TEST(ZipfianDistributionTest, EmpiricalFrequencyMatchesTheory) {
+  Rng rng(3);
+  ZipfianDistribution dist(10000);
+  constexpr int kN = 500000;
+  int rank0 = 0;
+  for (int i = 0; i < kN; ++i) {
+    rank0 += dist.Next(rng) == 0 ? 1 : 0;
+  }
+  const double expected = dist.ProbabilityOfRank(0);
+  EXPECT_NEAR(static_cast<double>(rank0) / kN, expected, expected * 0.1);
+}
+
+TEST(ZipfianDistributionTest, StaysInRange) {
+  Rng rng(4);
+  ZipfianDistribution dist(100);
+  for (int i = 0; i < 100000; ++i) {
+    EXPECT_LT(dist.Next(rng), 100u);
+  }
+}
+
+TEST(ZipfianDistributionTest, HotSetConcentration) {
+  // With theta=0.99 and 1M items, the hottest ~10% of items should receive
+  // the large majority of accesses — this locality is what makes the paper's
+  // Hot-Promote policy effective for KeyDB (§4.1.2).
+  Rng rng(5);
+  ZipfianDistribution dist(1000000);
+  constexpr int kN = 200000;
+  int in_hot_tenth = 0;
+  for (int i = 0; i < kN; ++i) {
+    in_hot_tenth += dist.Next(rng) < 100000 ? 1 : 0;
+  }
+  EXPECT_GT(static_cast<double>(in_hot_tenth) / kN, 0.7);
+}
+
+TEST(ZipfianDistributionTest, GrowToExtendsRange) {
+  Rng rng(6);
+  ZipfianDistribution dist(10);
+  dist.GrowTo(1000);
+  EXPECT_EQ(dist.item_count(), 1000u);
+  bool saw_big = false;
+  for (int i = 0; i < 100000; ++i) {
+    if (dist.Next(rng) >= 10) {
+      saw_big = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(saw_big);
+}
+
+TEST(ScrambledZipfianTest, PopularItemsAreScattered) {
+  Rng rng(7);
+  ScrambledZipfianDistribution dist(100000);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 200000; ++i) {
+    ++counts[dist.Next(rng)];
+  }
+  // Find the most popular item; it should (with overwhelming probability)
+  // not be item 0 once scrambled.
+  uint64_t best_key = 0;
+  int best = 0;
+  for (const auto& [k, c] : counts) {
+    if (c > best) {
+      best = c;
+      best_key = k;
+    }
+  }
+  EXPECT_GT(best, 1000);  // Still skewed.
+  EXPECT_NE(best_key, 0u);
+}
+
+TEST(LatestDistributionTest, NewestItemsAreHot) {
+  Rng rng(8);
+  LatestDistribution dist(10000);
+  int newest_quarter = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    newest_quarter += dist.Next(rng) >= 7500 ? 1 : 0;
+  }
+  EXPECT_GT(static_cast<double>(newest_quarter) / kN, 0.8);
+}
+
+TEST(LatestDistributionTest, GrowShiftsHotSpot) {
+  Rng rng(9);
+  LatestDistribution dist(1000);
+  dist.GrowTo(2000);
+  int new_half = 0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    new_half += dist.Next(rng) >= 1000 ? 1 : 0;
+  }
+  // After growth the hottest items are the newly inserted ones.
+  EXPECT_GT(static_cast<double>(new_half) / kN, 0.8);
+}
+
+TEST(HotSpotDistributionTest, HonorsHotFraction) {
+  Rng rng(10);
+  HotSpotDistribution dist(1000, 0.1, 0.9);
+  int hot = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    hot += dist.Next(rng) < 100 ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hot) / kN, 0.9, 0.01);
+}
+
+// Parameterized sweep: every distribution must stay within [0, n) for a
+// variety of sizes.
+class DistributionRangeTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DistributionRangeTest, AllFactoriesStayInRange) {
+  const uint64_t n = GetParam();
+  Rng rng(11);
+  std::vector<std::unique_ptr<KeyDistribution>> dists;
+  dists.push_back(MakeUniform(n));
+  dists.push_back(MakeZipfian(n));
+  dists.push_back(MakeScrambledZipfian(n));
+  dists.push_back(MakeLatest(n));
+  for (auto& d : dists) {
+    for (int i = 0; i < 2000; ++i) {
+      EXPECT_LT(d->Next(rng), n);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DistributionRangeTest,
+                         ::testing::Values(1, 2, 3, 10, 100, 12345, 1000000));
+
+}  // namespace
+}  // namespace cxl

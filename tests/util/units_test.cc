@@ -1,0 +1,45 @@
+#include "src/util/units.h"
+
+#include <gtest/gtest.h>
+
+namespace cxl {
+namespace {
+
+using namespace cxl::literals;
+
+TEST(UnitsTest, BinaryConstants) {
+  EXPECT_EQ(kKiB, 1024u);
+  EXPECT_EQ(kMiB, 1024u * 1024u);
+  EXPECT_EQ(kGiB, 1024ull * 1024 * 1024);
+  EXPECT_EQ(kTiB, 1024ull * kGiB);
+}
+
+TEST(UnitsTest, Literals) {
+  EXPECT_EQ(2_KiB, 2048u);
+  EXPECT_EQ(1_GiB, kGiB);
+  EXPECT_EQ(3_TiB, 3 * kTiB);
+}
+
+TEST(UnitsTest, TransferNs) {
+  // 64 B at 64 GB/s = 1 ns.
+  EXPECT_DOUBLE_EQ(TransferNs(64, 64.0), 1.0);
+  // 1 GB at 1 GB/s = 1 second = 1e9 ns.
+  EXPECT_DOUBLE_EQ(TransferNs(1'000'000'000, 1.0), 1e9);
+}
+
+TEST(UnitsTest, TimeConversions) {
+  EXPECT_DOUBLE_EQ(NsToSec(1e9), 1.0);
+  EXPECT_DOUBLE_EQ(SecToNs(2.5), 2.5e9);
+  EXPECT_DOUBLE_EQ(NsToSec(SecToNs(0.123)), 0.123);
+}
+
+TEST(UnitsTest, ByteConversions) {
+  EXPECT_DOUBLE_EQ(BytesToGB(1'000'000'000), 1.0);
+  EXPECT_DOUBLE_EQ(BytesToGiB(kGiB), 1.0);
+  EXPECT_LT(BytesToGB(kGiB), BytesToGiB(kGiB) * 1.08);
+}
+
+TEST(UnitsTest, CacheLine) { EXPECT_EQ(kCacheLineBytes, 64u); }
+
+}  // namespace
+}  // namespace cxl

@@ -1,0 +1,112 @@
+#include "src/workload/mlc.h"
+
+#include <gtest/gtest.h>
+
+#include "src/mem/access.h"
+#include "src/mem/profiles.h"
+
+namespace cxl::workload {
+namespace {
+
+using mem::AccessMix;
+using mem::GetProfile;
+using mem::MemoryPath;
+
+const AccessMix kRead = AccessMix::ReadOnly();
+
+TEST(MlcTest, SweepStartsNearIdleLatency) {
+  MlcBenchmark mlc(GetProfile(MemoryPath::kLocalDram));
+  const auto pts = mlc.LoadedLatencySweep(kRead);
+  ASSERT_FALSE(pts.empty());
+  EXPECT_NEAR(pts.front().latency_ns, 97.0, 3.0);
+  EXPECT_LT(pts.front().utilization, 0.1);
+}
+
+TEST(MlcTest, SweepReachesSaturation) {
+  MlcBenchmark mlc(GetProfile(MemoryPath::kLocalDram));
+  const auto pts = mlc.LoadedLatencySweep(kRead);
+  // Final point: ~peak bandwidth, latency well above idle.
+  EXPECT_GT(pts.back().achieved_gbps, 60.0);
+  EXPECT_GT(pts.back().latency_ns, 2.0 * 97.0);
+}
+
+TEST(MlcTest, AchievedBandwidthIsMonotoneUntilPeak) {
+  MlcBenchmark mlc(GetProfile(MemoryPath::kLocalCxl));
+  const auto pts = mlc.LoadedLatencySweep(AccessMix::Ratio(2, 1), 32);
+  double max_seen = 0.0;
+  for (const auto& p : pts) {
+    max_seen = std::max(max_seen, p.achieved_gbps);
+  }
+  // The closed-loop ceiling sits a few percent under the device plateau
+  // (finite outstanding requests against loaded latency); the plateau
+  // itself (56.7) is pinned exactly in profiles_test.
+  EXPECT_NEAR(max_seen, 56.7, 3.0);
+}
+
+TEST(MlcTest, LatencyIsMonotoneAlongSweep) {
+  for (MemoryPath path : {MemoryPath::kLocalDram, MemoryPath::kLocalCxl,
+                          MemoryPath::kRemoteDram, MemoryPath::kRemoteCxl}) {
+    MlcBenchmark mlc(GetProfile(path));
+    const auto pts = mlc.LoadedLatencySweep(kRead);
+    for (size_t i = 1; i < pts.size(); ++i) {
+      EXPECT_GE(pts[i].latency_ns, pts[i - 1].latency_ns - 1e-9) << "path " << static_cast<int>(path);
+    }
+  }
+}
+
+TEST(MlcTest, SixteenThreadsSaturateEveryPaperDevice) {
+  // §3.1: "employing 16 threads with MLC precisely measures both the idle
+  // and loaded latency and the point at which bandwidth becomes saturated".
+  for (MemoryPath path : {MemoryPath::kLocalDram, MemoryPath::kRemoteDram,
+                          MemoryPath::kLocalCxl, MemoryPath::kRemoteCxl}) {
+    MlcBenchmark mlc(GetProfile(path));
+    const auto closed = mlc.ClosedLoopPoint(kRead);
+    EXPECT_GT(closed.utilization, 0.85) << "path " << static_cast<int>(path);
+  }
+}
+
+TEST(MlcTest, SingleThreadCannotSaturateCxl)
+{
+  // One thread's outstanding requests against 250 ns latency bound its
+  // bandwidth far below the device peak (Little's law).
+  MlcConfig cfg;
+  cfg.threads = 1;
+  MlcBenchmark mlc(GetProfile(MemoryPath::kLocalCxl), cfg);
+  const auto closed = mlc.ClosedLoopPoint(kRead);
+  EXPECT_LT(closed.achieved_gbps, 10.0);
+  EXPECT_LT(closed.utilization, 0.25);
+}
+
+TEST(MlcTest, HigherLatencyPathSaturatesAtFewerGbPerThread) {
+  MlcConfig cfg;
+  cfg.threads = 2;
+  MlcBenchmark dram(GetProfile(MemoryPath::kLocalDram), cfg);
+  MlcBenchmark cxl(GetProfile(MemoryPath::kLocalCxl), cfg);
+  EXPECT_GT(dram.ClosedLoopPoint(kRead).achieved_gbps, cxl.ClosedLoopPoint(kRead).achieved_gbps);
+}
+
+TEST(MlcTest, RandomPatternCloseToSequential) {
+  // Fig. 4(g)(h): random vs sequential shows no significant disparity.
+  MlcConfig seq;
+  MlcConfig rnd;
+  rnd.pattern = mem::AccessPattern::kRandom;
+  MlcBenchmark a(GetProfile(MemoryPath::kLocalCxl), seq);
+  MlcBenchmark b(GetProfile(MemoryPath::kLocalCxl), rnd);
+  const double seq_peak = a.ClosedLoopPoint(kRead).achieved_gbps;
+  const double rnd_peak = b.ClosedLoopPoint(kRead).achieved_gbps;
+  EXPECT_GT(rnd_peak / seq_peak, 0.95);
+}
+
+TEST(MlcTest, WriteHeavySweepDroopsUnderOverload) {
+  // Fig. 3(b) write-only: terminal sweep points lose bandwidth.
+  MlcBenchmark mlc(GetProfile(MemoryPath::kRemoteDram));
+  const auto pts = mlc.LoadedLatencySweep(AccessMix::WriteOnly(), 32);
+  double max_seen = 0.0;
+  for (const auto& p : pts) {
+    max_seen = std::max(max_seen, p.achieved_gbps);
+  }
+  EXPECT_LE(pts.back().achieved_gbps, max_seen);
+}
+
+}  // namespace
+}  // namespace cxl::workload

@@ -1,0 +1,106 @@
+#include "src/workload/ycsb.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace cxl::workload {
+namespace {
+
+TEST(YcsbMixTest, StandardMixes) {
+  EXPECT_DOUBLE_EQ(MixFor(YcsbWorkload::kA).read_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(MixFor(YcsbWorkload::kA).update_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(MixFor(YcsbWorkload::kB).read_fraction, 0.95);
+  EXPECT_DOUBLE_EQ(MixFor(YcsbWorkload::kC).read_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(MixFor(YcsbWorkload::kD).insert_fraction, 0.05);
+}
+
+TEST(YcsbNameTest, Names) {
+  EXPECT_EQ(YcsbName(YcsbWorkload::kA), "YCSB-A");
+  EXPECT_EQ(YcsbName(YcsbWorkload::kD), "YCSB-D");
+}
+
+TEST(YcsbGeneratorTest, WorkloadCIsReadOnly) {
+  YcsbGenerator gen(YcsbWorkload::kC, 1000);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_EQ(gen.Next().type, YcsbOp::Type::kRead);
+  }
+}
+
+TEST(YcsbGeneratorTest, WorkloadAOpMix) {
+  YcsbGenerator gen(YcsbWorkload::kA, 1000);
+  int reads = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    reads += gen.Next().type == YcsbOp::Type::kRead ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(reads) / kN, 0.5, 0.01);
+}
+
+TEST(YcsbGeneratorTest, WorkloadDInsertsGrowKeyspace) {
+  YcsbGenerator gen(YcsbWorkload::kD, 1000);
+  int inserts = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    inserts += gen.Next().type == YcsbOp::Type::kInsert ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(inserts) / kN, 0.05, 0.005);
+  EXPECT_EQ(gen.record_count(), 1000u + static_cast<uint64_t>(inserts));
+}
+
+TEST(YcsbGeneratorTest, WorkloadDReadsFavorRecentKeys) {
+  YcsbGenerator gen(YcsbWorkload::kD, 100000);
+  int recent = 0;
+  int reads = 0;
+  for (int i = 0; i < 100000; ++i) {
+    const YcsbOp op = gen.Next();
+    if (op.type != YcsbOp::Type::kRead) {
+      continue;
+    }
+    ++reads;
+    recent += op.key >= gen.record_count() - 25000 ? 1 : 0;  // Newest quarter.
+  }
+  EXPECT_GT(static_cast<double>(recent) / reads, 0.7);
+}
+
+TEST(YcsbGeneratorTest, ZipfianSkewOnWorkloadB) {
+  YcsbGenerator gen(YcsbWorkload::kB, 100000);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 200000; ++i) {
+    ++counts[gen.Next().key];
+  }
+  // Hot low-id keys dominate (rank-ordered Zipfian).
+  int head = 0;
+  for (uint64_t k = 0; k < 1000; ++k) {
+    auto it = counts.find(k);
+    head += it == counts.end() ? 0 : it->second;
+  }
+  EXPECT_GT(static_cast<double>(head) / 200000.0, 0.35);
+}
+
+TEST(YcsbGeneratorTest, KeysStayInRange) {
+  YcsbGenerator gen(YcsbWorkload::kA, 500);
+  for (int i = 0; i < 50000; ++i) {
+    EXPECT_LT(gen.Next().key, gen.record_count());
+  }
+}
+
+TEST(YcsbGeneratorTest, DeterministicUnderSeed) {
+  YcsbGenerator a(YcsbWorkload::kA, 1000, 99);
+  YcsbGenerator b(YcsbWorkload::kA, 1000, 99);
+  for (int i = 0; i < 1000; ++i) {
+    const YcsbOp oa = a.Next();
+    const YcsbOp ob = b.Next();
+    EXPECT_EQ(oa.key, ob.key);
+    EXPECT_EQ(static_cast<int>(oa.type), static_cast<int>(ob.type));
+  }
+}
+
+TEST(YcsbGeneratorTest, WriteFraction) {
+  EXPECT_DOUBLE_EQ(YcsbGenerator(YcsbWorkload::kA, 10).WriteFraction(), 0.5);
+  EXPECT_DOUBLE_EQ(YcsbGenerator(YcsbWorkload::kC, 10).WriteFraction(), 0.0);
+  EXPECT_DOUBLE_EQ(YcsbGenerator(YcsbWorkload::kD, 10).WriteFraction(), 0.05);
+}
+
+}  // namespace
+}  // namespace cxl::workload
