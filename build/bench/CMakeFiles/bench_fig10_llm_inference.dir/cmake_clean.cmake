@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_llm_inference.dir/bench_fig10_llm_inference.cc.o"
+  "CMakeFiles/bench_fig10_llm_inference.dir/bench_fig10_llm_inference.cc.o.d"
+  "bench_fig10_llm_inference"
+  "bench_fig10_llm_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_llm_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

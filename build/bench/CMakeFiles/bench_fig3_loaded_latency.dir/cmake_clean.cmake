@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_loaded_latency.dir/bench_fig3_loaded_latency.cc.o"
+  "CMakeFiles/bench_fig3_loaded_latency.dir/bench_fig3_loaded_latency.cc.o.d"
+  "bench_fig3_loaded_latency"
+  "bench_fig3_loaded_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_loaded_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_keydb_ycsb.dir/bench_fig5_keydb_ycsb.cc.o"
+  "CMakeFiles/bench_fig5_keydb_ycsb.dir/bench_fig5_keydb_ycsb.cc.o.d"
+  "bench_fig5_keydb_ycsb"
+  "bench_fig5_keydb_ycsb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_keydb_ycsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_vm_cxl_only.dir/bench_fig8_vm_cxl_only.cc.o"
+  "CMakeFiles/bench_fig8_vm_cxl_only.dir/bench_fig8_vm_cxl_only.cc.o.d"
+  "bench_fig8_vm_cxl_only"
+  "bench_fig8_vm_cxl_only.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_vm_cxl_only.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

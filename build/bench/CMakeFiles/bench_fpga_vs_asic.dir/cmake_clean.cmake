@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fpga_vs_asic.dir/bench_fpga_vs_asic.cc.o"
+  "CMakeFiles/bench_fpga_vs_asic.dir/bench_fpga_vs_asic.cc.o.d"
+  "bench_fpga_vs_asic"
+  "bench_fpga_vs_asic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fpga_vs_asic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

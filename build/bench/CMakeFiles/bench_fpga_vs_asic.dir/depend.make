@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fpga_vs_asic.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_llm_batching.dir/bench_llm_batching.cc.o"
+  "CMakeFiles/bench_llm_batching.dir/bench_llm_batching.cc.o.d"
+  "bench_llm_batching"
+  "bench_llm_batching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_llm_batching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pooling_whatif.dir/bench_pooling_whatif.cc.o"
+  "CMakeFiles/bench_pooling_whatif.dir/bench_pooling_whatif.cc.o.d"
+  "bench_pooling_whatif"
+  "bench_pooling_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pooling_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

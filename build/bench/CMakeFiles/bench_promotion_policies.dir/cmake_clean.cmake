@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_promotion_policies.dir/bench_promotion_policies.cc.o"
+  "CMakeFiles/bench_promotion_policies.dir/bench_promotion_policies.cc.o.d"
+  "bench_promotion_policies"
+  "bench_promotion_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_promotion_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spark_dag.dir/bench_spark_dag.cc.o"
+  "CMakeFiles/bench_spark_dag.dir/bench_spark_dag.cc.o.d"
+  "bench_spark_dag"
+  "bench_spark_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spark_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stream_chase.dir/bench_stream_chase.cc.o"
+  "CMakeFiles/bench_stream_chase.dir/bench_stream_chase.cc.o.d"
+  "bench_stream_chase"
+  "bench_stream_chase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stream_chase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

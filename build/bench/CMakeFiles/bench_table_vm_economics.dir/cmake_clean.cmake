@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table_vm_economics.dir/bench_table_vm_economics.cc.o"
+  "CMakeFiles/bench_table_vm_economics.dir/bench_table_vm_economics.cc.o.d"
+  "bench_table_vm_economics"
+  "bench_table_vm_economics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table_vm_economics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table_vm_economics.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cxl_lab.dir/cxl_lab.cpp.o"
+  "CMakeFiles/cxl_lab.dir/cxl_lab.cpp.o.d"
+  "cxl_lab"
+  "cxl_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cxl_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

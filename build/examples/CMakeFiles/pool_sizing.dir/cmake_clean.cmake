@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pool_sizing.dir/pool_sizing.cpp.o"
+  "CMakeFiles/pool_sizing.dir/pool_sizing.cpp.o.d"
+  "pool_sizing"
+  "pool_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pool_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

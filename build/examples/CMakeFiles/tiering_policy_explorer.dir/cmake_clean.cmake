@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiering_policy_explorer.dir/tiering_policy_explorer.cpp.o"
+  "CMakeFiles/tiering_policy_explorer.dir/tiering_policy_explorer.cpp.o.d"
+  "tiering_policy_explorer"
+  "tiering_policy_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiering_policy_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/kv/flash_tier.cc" "src/apps/kv/CMakeFiles/cxl_apps_kv.dir/flash_tier.cc.o" "gcc" "src/apps/kv/CMakeFiles/cxl_apps_kv.dir/flash_tier.cc.o.d"
+  "/root/repo/src/apps/kv/kvstore.cc" "src/apps/kv/CMakeFiles/cxl_apps_kv.dir/kvstore.cc.o" "gcc" "src/apps/kv/CMakeFiles/cxl_apps_kv.dir/kvstore.cc.o.d"
+  "/root/repo/src/apps/kv/server.cc" "src/apps/kv/CMakeFiles/cxl_apps_kv.dir/server.cc.o" "gcc" "src/apps/kv/CMakeFiles/cxl_apps_kv.dir/server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/cxl_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cxl_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/cxl_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cxl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cxl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cxl_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cxl_apps_kv.dir/flash_tier.cc.o"
+  "CMakeFiles/cxl_apps_kv.dir/flash_tier.cc.o.d"
+  "CMakeFiles/cxl_apps_kv.dir/kvstore.cc.o"
+  "CMakeFiles/cxl_apps_kv.dir/kvstore.cc.o.d"
+  "CMakeFiles/cxl_apps_kv.dir/server.cc.o"
+  "CMakeFiles/cxl_apps_kv.dir/server.cc.o.d"
+  "libcxl_apps_kv.a"
+  "libcxl_apps_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cxl_apps_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

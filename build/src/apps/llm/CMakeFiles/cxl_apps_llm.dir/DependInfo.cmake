@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/llm/inference.cc" "src/apps/llm/CMakeFiles/cxl_apps_llm.dir/inference.cc.o" "gcc" "src/apps/llm/CMakeFiles/cxl_apps_llm.dir/inference.cc.o.d"
+  "/root/repo/src/apps/llm/serving.cc" "src/apps/llm/CMakeFiles/cxl_apps_llm.dir/serving.cc.o" "gcc" "src/apps/llm/CMakeFiles/cxl_apps_llm.dir/serving.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/cxl_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cxl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cxl_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

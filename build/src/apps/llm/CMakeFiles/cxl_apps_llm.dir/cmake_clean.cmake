@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cxl_apps_llm.dir/inference.cc.o"
+  "CMakeFiles/cxl_apps_llm.dir/inference.cc.o.d"
+  "CMakeFiles/cxl_apps_llm.dir/serving.cc.o"
+  "CMakeFiles/cxl_apps_llm.dir/serving.cc.o.d"
+  "libcxl_apps_llm.a"
+  "libcxl_apps_llm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cxl_apps_llm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cxl_apps_spark.dir/cluster.cc.o"
+  "CMakeFiles/cxl_apps_spark.dir/cluster.cc.o.d"
+  "CMakeFiles/cxl_apps_spark.dir/dag.cc.o"
+  "CMakeFiles/cxl_apps_spark.dir/dag.cc.o.d"
+  "CMakeFiles/cxl_apps_spark.dir/query.cc.o"
+  "CMakeFiles/cxl_apps_spark.dir/query.cc.o.d"
+  "libcxl_apps_spark.a"
+  "libcxl_apps_spark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cxl_apps_spark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

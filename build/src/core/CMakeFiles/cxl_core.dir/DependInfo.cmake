@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/configs.cc" "src/core/CMakeFiles/cxl_core.dir/configs.cc.o" "gcc" "src/core/CMakeFiles/cxl_core.dir/configs.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/core/CMakeFiles/cxl_core.dir/experiment.cc.o" "gcc" "src/core/CMakeFiles/cxl_core.dir/experiment.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/kv/CMakeFiles/cxl_apps_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/cxl_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/cxl_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cxl_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cxl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cxl_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cxl_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

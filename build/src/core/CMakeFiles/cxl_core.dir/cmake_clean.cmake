@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cxl_core.dir/configs.cc.o"
+  "CMakeFiles/cxl_core.dir/configs.cc.o.d"
+  "CMakeFiles/cxl_core.dir/experiment.cc.o"
+  "CMakeFiles/cxl_core.dir/experiment.cc.o.d"
+  "libcxl_core.a"
+  "libcxl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cxl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

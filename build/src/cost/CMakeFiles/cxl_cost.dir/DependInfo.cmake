@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cost/cost_model.cc" "src/cost/CMakeFiles/cxl_cost.dir/cost_model.cc.o" "gcc" "src/cost/CMakeFiles/cxl_cost.dir/cost_model.cc.o.d"
+  "/root/repo/src/cost/multi_app.cc" "src/cost/CMakeFiles/cxl_cost.dir/multi_app.cc.o" "gcc" "src/cost/CMakeFiles/cxl_cost.dir/multi_app.cc.o.d"
+  "/root/repo/src/cost/vm_economics.cc" "src/cost/CMakeFiles/cxl_cost.dir/vm_economics.cc.o" "gcc" "src/cost/CMakeFiles/cxl_cost.dir/vm_economics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cxl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cxl_cost.dir/cost_model.cc.o"
+  "CMakeFiles/cxl_cost.dir/cost_model.cc.o.d"
+  "CMakeFiles/cxl_cost.dir/multi_app.cc.o"
+  "CMakeFiles/cxl_cost.dir/multi_app.cc.o.d"
+  "CMakeFiles/cxl_cost.dir/vm_economics.cc.o"
+  "CMakeFiles/cxl_cost.dir/vm_economics.cc.o.d"
+  "libcxl_cost.a"
+  "libcxl_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cxl_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

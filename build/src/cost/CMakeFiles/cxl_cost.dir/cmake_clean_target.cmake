@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcxl_cost.a"
+)

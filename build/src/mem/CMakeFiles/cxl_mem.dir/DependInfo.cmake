@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/access.cc" "src/mem/CMakeFiles/cxl_mem.dir/access.cc.o" "gcc" "src/mem/CMakeFiles/cxl_mem.dir/access.cc.o.d"
+  "/root/repo/src/mem/bandwidth_solver.cc" "src/mem/CMakeFiles/cxl_mem.dir/bandwidth_solver.cc.o" "gcc" "src/mem/CMakeFiles/cxl_mem.dir/bandwidth_solver.cc.o.d"
+  "/root/repo/src/mem/cxl_link.cc" "src/mem/CMakeFiles/cxl_mem.dir/cxl_link.cc.o" "gcc" "src/mem/CMakeFiles/cxl_mem.dir/cxl_link.cc.o.d"
+  "/root/repo/src/mem/profiles.cc" "src/mem/CMakeFiles/cxl_mem.dir/profiles.cc.o" "gcc" "src/mem/CMakeFiles/cxl_mem.dir/profiles.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/cxl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cxl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cxl_mem.dir/access.cc.o"
+  "CMakeFiles/cxl_mem.dir/access.cc.o.d"
+  "CMakeFiles/cxl_mem.dir/bandwidth_solver.cc.o"
+  "CMakeFiles/cxl_mem.dir/bandwidth_solver.cc.o.d"
+  "CMakeFiles/cxl_mem.dir/cxl_link.cc.o"
+  "CMakeFiles/cxl_mem.dir/cxl_link.cc.o.d"
+  "CMakeFiles/cxl_mem.dir/profiles.cc.o"
+  "CMakeFiles/cxl_mem.dir/profiles.cc.o.d"
+  "libcxl_mem.a"
+  "libcxl_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cxl_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

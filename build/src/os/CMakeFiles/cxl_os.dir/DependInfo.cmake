@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/bandwidth_aware.cc" "src/os/CMakeFiles/cxl_os.dir/bandwidth_aware.cc.o" "gcc" "src/os/CMakeFiles/cxl_os.dir/bandwidth_aware.cc.o.d"
+  "/root/repo/src/os/numa_policy.cc" "src/os/CMakeFiles/cxl_os.dir/numa_policy.cc.o" "gcc" "src/os/CMakeFiles/cxl_os.dir/numa_policy.cc.o.d"
+  "/root/repo/src/os/page_allocator.cc" "src/os/CMakeFiles/cxl_os.dir/page_allocator.cc.o" "gcc" "src/os/CMakeFiles/cxl_os.dir/page_allocator.cc.o.d"
+  "/root/repo/src/os/region.cc" "src/os/CMakeFiles/cxl_os.dir/region.cc.o" "gcc" "src/os/CMakeFiles/cxl_os.dir/region.cc.o.d"
+  "/root/repo/src/os/tiering.cc" "src/os/CMakeFiles/cxl_os.dir/tiering.cc.o" "gcc" "src/os/CMakeFiles/cxl_os.dir/tiering.cc.o.d"
+  "/root/repo/src/os/vmstat.cc" "src/os/CMakeFiles/cxl_os.dir/vmstat.cc.o" "gcc" "src/os/CMakeFiles/cxl_os.dir/vmstat.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topology/CMakeFiles/cxl_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cxl_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cxl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cxl_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cxl_os.dir/bandwidth_aware.cc.o"
+  "CMakeFiles/cxl_os.dir/bandwidth_aware.cc.o.d"
+  "CMakeFiles/cxl_os.dir/numa_policy.cc.o"
+  "CMakeFiles/cxl_os.dir/numa_policy.cc.o.d"
+  "CMakeFiles/cxl_os.dir/page_allocator.cc.o"
+  "CMakeFiles/cxl_os.dir/page_allocator.cc.o.d"
+  "CMakeFiles/cxl_os.dir/region.cc.o"
+  "CMakeFiles/cxl_os.dir/region.cc.o.d"
+  "CMakeFiles/cxl_os.dir/tiering.cc.o"
+  "CMakeFiles/cxl_os.dir/tiering.cc.o.d"
+  "CMakeFiles/cxl_os.dir/vmstat.cc.o"
+  "CMakeFiles/cxl_os.dir/vmstat.cc.o.d"
+  "libcxl_os.a"
+  "libcxl_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cxl_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

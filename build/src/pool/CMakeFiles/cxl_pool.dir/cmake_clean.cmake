@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cxl_pool.dir/memory_pool.cc.o"
+  "CMakeFiles/cxl_pool.dir/memory_pool.cc.o.d"
+  "libcxl_pool.a"
+  "libcxl_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cxl_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cxl_sim.dir/channel_sim.cc.o"
+  "CMakeFiles/cxl_sim.dir/channel_sim.cc.o.d"
+  "CMakeFiles/cxl_sim.dir/event_queue.cc.o"
+  "CMakeFiles/cxl_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/cxl_sim.dir/queueing.cc.o"
+  "CMakeFiles/cxl_sim.dir/queueing.cc.o.d"
+  "libcxl_sim.a"
+  "libcxl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cxl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cxl_topology.dir/pcm.cc.o"
+  "CMakeFiles/cxl_topology.dir/pcm.cc.o.d"
+  "CMakeFiles/cxl_topology.dir/platform.cc.o"
+  "CMakeFiles/cxl_topology.dir/platform.cc.o.d"
+  "libcxl_topology.a"
+  "libcxl_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cxl_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

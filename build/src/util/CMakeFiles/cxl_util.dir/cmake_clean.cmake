@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cxl_util.dir/config.cc.o"
+  "CMakeFiles/cxl_util.dir/config.cc.o.d"
+  "CMakeFiles/cxl_util.dir/distribution.cc.o"
+  "CMakeFiles/cxl_util.dir/distribution.cc.o.d"
+  "CMakeFiles/cxl_util.dir/histogram.cc.o"
+  "CMakeFiles/cxl_util.dir/histogram.cc.o.d"
+  "CMakeFiles/cxl_util.dir/knobs.cc.o"
+  "CMakeFiles/cxl_util.dir/knobs.cc.o.d"
+  "CMakeFiles/cxl_util.dir/table.cc.o"
+  "CMakeFiles/cxl_util.dir/table.cc.o.d"
+  "libcxl_util.a"
+  "libcxl_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cxl_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

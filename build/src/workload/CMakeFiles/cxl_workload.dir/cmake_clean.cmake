@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cxl_workload.dir/mlc.cc.o"
+  "CMakeFiles/cxl_workload.dir/mlc.cc.o.d"
+  "CMakeFiles/cxl_workload.dir/stream.cc.o"
+  "CMakeFiles/cxl_workload.dir/stream.cc.o.d"
+  "CMakeFiles/cxl_workload.dir/trace.cc.o"
+  "CMakeFiles/cxl_workload.dir/trace.cc.o.d"
+  "CMakeFiles/cxl_workload.dir/ycsb.cc.o"
+  "CMakeFiles/cxl_workload.dir/ycsb.cc.o.d"
+  "libcxl_workload.a"
+  "libcxl_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cxl_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_test.dir/integration/config_matrix_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/config_matrix_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/failure_injection_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/failure_injection_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/fig3_fig4_shapes_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/fig3_fig4_shapes_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/fig5_keydb_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/fig5_keydb_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/fig7_spark_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/fig7_spark_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/fig8_fig10_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/fig8_fig10_test.cc.o.d"
+  "integration_test"
+  "integration_test.pdb"
+  "integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_test.dir/mem/access_test.cc.o"
+  "CMakeFiles/mem_test.dir/mem/access_test.cc.o.d"
+  "CMakeFiles/mem_test.dir/mem/bandwidth_solver_test.cc.o"
+  "CMakeFiles/mem_test.dir/mem/bandwidth_solver_test.cc.o.d"
+  "CMakeFiles/mem_test.dir/mem/cxl_link_test.cc.o"
+  "CMakeFiles/mem_test.dir/mem/cxl_link_test.cc.o.d"
+  "CMakeFiles/mem_test.dir/mem/latency_sampler_test.cc.o"
+  "CMakeFiles/mem_test.dir/mem/latency_sampler_test.cc.o.d"
+  "CMakeFiles/mem_test.dir/mem/profile_properties_test.cc.o"
+  "CMakeFiles/mem_test.dir/mem/profile_properties_test.cc.o.d"
+  "CMakeFiles/mem_test.dir/mem/profiles_test.cc.o"
+  "CMakeFiles/mem_test.dir/mem/profiles_test.cc.o.d"
+  "mem_test"
+  "mem_test.pdb"
+  "mem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_test.dir/os/allocator_test.cc.o"
+  "CMakeFiles/os_test.dir/os/allocator_test.cc.o.d"
+  "CMakeFiles/os_test.dir/os/bandwidth_aware_test.cc.o"
+  "CMakeFiles/os_test.dir/os/bandwidth_aware_test.cc.o.d"
+  "CMakeFiles/os_test.dir/os/hotness_test.cc.o"
+  "CMakeFiles/os_test.dir/os/hotness_test.cc.o.d"
+  "CMakeFiles/os_test.dir/os/migration_test.cc.o"
+  "CMakeFiles/os_test.dir/os/migration_test.cc.o.d"
+  "CMakeFiles/os_test.dir/os/numa_policy_test.cc.o"
+  "CMakeFiles/os_test.dir/os/numa_policy_test.cc.o.d"
+  "CMakeFiles/os_test.dir/os/promotion_test.cc.o"
+  "CMakeFiles/os_test.dir/os/promotion_test.cc.o.d"
+  "CMakeFiles/os_test.dir/os/tiering_modes_test.cc.o"
+  "CMakeFiles/os_test.dir/os/tiering_modes_test.cc.o.d"
+  "CMakeFiles/os_test.dir/os/vmstat_test.cc.o"
+  "CMakeFiles/os_test.dir/os/vmstat_test.cc.o.d"
+  "os_test"
+  "os_test.pdb"
+  "os_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workload/mlc_test.cc" "tests/CMakeFiles/workload_test.dir/workload/mlc_test.cc.o" "gcc" "tests/CMakeFiles/workload_test.dir/workload/mlc_test.cc.o.d"
+  "/root/repo/tests/workload/stream_test.cc" "tests/CMakeFiles/workload_test.dir/workload/stream_test.cc.o" "gcc" "tests/CMakeFiles/workload_test.dir/workload/stream_test.cc.o.d"
+  "/root/repo/tests/workload/trace_test.cc" "tests/CMakeFiles/workload_test.dir/workload/trace_test.cc.o" "gcc" "tests/CMakeFiles/workload_test.dir/workload/trace_test.cc.o.d"
+  "/root/repo/tests/workload/ycsb_test.cc" "tests/CMakeFiles/workload_test.dir/workload/ycsb_test.cc.o" "gcc" "tests/CMakeFiles/workload_test.dir/workload/ycsb_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cxl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pool/CMakeFiles/cxl_pool.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/cxl_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/kv/CMakeFiles/cxl_apps_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/spark/CMakeFiles/cxl_apps_spark.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/llm/CMakeFiles/cxl_apps_llm.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cxl_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/cxl_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/cxl_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cxl_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cxl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cxl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
