@@ -4,6 +4,11 @@
 //   A3: queue-model knee sharpness — how sensitive end-to-end results are to
 //       the loaded-latency law;
 //   A4: static vs dynamic hot-page threshold.
+//
+// Each ablation grid runs through the parallel SweepRunner (--jobs /
+// CXL_JOBS). Cells deliberately keep a fixed workload seed (not the derived
+// sweep seed): every ablation compares rows against each other, so all rows
+// must replay the same op stream.
 #include <cmath>
 #include <iostream>
 
@@ -41,26 +46,46 @@ apps::kv::KvServerSim::Result KeyDbWithRateLimit(double limit_mbps) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  runner::SweepOptions sweep_options;
+  sweep_options.jobs = runner::JobsFromArgs(&argc, argv);
+
   // --- A1: rate limit, locality-dependent -----------------------------------
   PrintSection(std::cout,
                "A1: promotion rate limit x workload locality (the §4.1 vs §4.2 tension)");
   Table a1({"rate limit MB/s", "KeyDB kops/s", "KeyDB migrated GB", "Spark Q7 norm time",
             "Spark migrated GB"});
-  apps::spark::SparkCluster spark_base(apps::spark::SparkConfig::MmemOnly());
   const auto& q7 = *apps::spark::FindQuery("Q7");
-  const double spark_baseline = spark_base.RunQuery(q7).total_seconds;
-  for (double limit : {64.0, 1024.0, 3000.0, 16384.0}) {
-    const auto kv = KeyDbWithRateLimit(limit);
-    apps::spark::SparkConfig cfg = apps::spark::SparkConfig::HotPromote();
-    cfg.promote_rate_limit_mbps = limit;
-    const auto sp = apps::spark::SparkCluster(cfg).RunQuery(q7);
+  const double spark_baseline =
+      apps::spark::SparkCluster(apps::spark::SparkConfig::MmemOnly()).RunQuery(q7).total_seconds;
+  struct A1Row {
+    apps::kv::KvServerSim::Result kv;
+    apps::spark::QueryResult spark;
+  };
+  const std::vector<double> limits = {64.0, 1024.0, 3000.0, 16384.0};
+  const auto a1_rows = runner::RunSweep(
+      limits,
+      [&q7](const double& limit, uint64_t /*seed*/) -> StatusOr<A1Row> {
+        A1Row row;
+        row.kv = KeyDbWithRateLimit(limit);
+        apps::spark::SparkConfig cfg = apps::spark::SparkConfig::HotPromote();
+        cfg.promote_rate_limit_mbps = limit;
+        row.spark = apps::spark::SparkCluster(cfg).RunQuery(q7);
+        return row;
+      },
+      sweep_options);
+  if (!a1_rows.ok()) {
+    std::cerr << "A1 failed: " << a1_rows.status().ToString() << "\n";
+    return 1;
+  }
+  for (size_t i = 0; i < limits.size(); ++i) {
+    const A1Row& row = (*a1_rows)[i];
     a1.Row()
-        .Cell(limit, 0)
-        .Cell(kv.throughput_kops, 1)
-        .Cell(kv.migrated_bytes / 1e9, 2)
-        .Cell(sp.total_seconds / spark_baseline, 2)
-        .Cell(sp.migrated_bytes / 1e9, 1);
+        .Cell(limits[i], 0)
+        .Cell(row.kv.throughput_kops, 1)
+        .Cell(row.kv.migrated_bytes / 1e9, 2)
+        .Cell(row.spark.total_seconds / spark_baseline, 2)
+        .Cell(row.spark.migrated_bytes / 1e9, 1);
   }
   a1.Print(std::cout);
   std::cout << "Reading: KeyDB saturates its benefit at a tiny budget (hot set is small and\n"
@@ -81,28 +106,42 @@ int main() {
     int top;
     int low;
   };
-  for (const Ratio r : {Ratio{7, 1}, Ratio{3, 1}, Ratio{2, 1}, Ratio{1, 1}, Ratio{1, 2},
-                        Ratio{1, 3}, Ratio{1, 7}}) {
-    topology::Platform platform = topology::Platform::CxlServer(false);
-    os::PageAllocator allocator(platform, 16ull << 10);
-    apps::kv::KvStoreConfig store_cfg;
-    store_cfg.record_count = opt.dataset_bytes / opt.value_bytes;
-    auto store = apps::kv::KvStore::Create(
-        allocator,
-        os::NumaPolicy::WeightedInterleave(platform.DramNodes(), platform.CxlNodes(), r.top,
-                                           r.low),
-        store_cfg);
-    workload::YcsbGenerator gen(workload::YcsbWorkload::kC, store_cfg.record_count, 1);
-    apps::kv::KvServerConfig scfg;
-    scfg.total_ops = opt.total_ops;
-    scfg.warmup_ops = opt.warmup_ops;
-    apps::kv::KvServerSim sim(platform, *store, gen, scfg);
-    const auto result = sim.Run();
+  const std::vector<Ratio> ratios = {Ratio{7, 1}, Ratio{3, 1}, Ratio{2, 1}, Ratio{1, 1},
+                                     Ratio{1, 2}, Ratio{1, 3}, Ratio{1, 7}};
+  const auto a2_rows = runner::RunSweep(
+      ratios,
+      [&opt](const Ratio& r, uint64_t /*seed*/) -> StatusOr<apps::kv::KvServerSim::Result> {
+        topology::Platform platform = topology::Platform::CxlServer(false);
+        os::PageAllocator allocator(platform, 16ull << 10);
+        apps::kv::KvStoreConfig store_cfg;
+        store_cfg.record_count = opt.dataset_bytes / opt.value_bytes;
+        auto store = apps::kv::KvStore::Create(
+            allocator,
+            os::NumaPolicy::WeightedInterleave(platform.DramNodes(), platform.CxlNodes(), r.top,
+                                               r.low),
+            store_cfg);
+        if (!store.ok()) {
+          return store.status();
+        }
+        workload::YcsbGenerator gen(workload::YcsbWorkload::kC, store_cfg.record_count, 1);
+        apps::kv::KvServerConfig scfg;
+        scfg.total_ops = opt.total_ops;
+        scfg.warmup_ops = opt.warmup_ops;
+        apps::kv::KvServerSim sim(platform, *store, gen, scfg);
+        auto result = sim.Run();
+        store->Free();
+        return result;
+      },
+      sweep_options);
+  if (!a2_rows.ok()) {
+    std::cerr << "A2 failed: " << a2_rows.status().ToString() << "\n";
+    return 1;
+  }
+  for (size_t i = 0; i < ratios.size(); ++i) {
     a2.Row()
-        .Cell(100.0 * r.top / (r.top + r.low), 1)
-        .Cell(result.throughput_kops, 1)
-        .Cell(result.all_latency_us.p99(), 0);
-    store->Free();
+        .Cell(100.0 * ratios[i].top / (ratios[i].top + ratios[i].low), 1)
+        .Cell((*a2_rows)[i].throughput_kops, 1)
+        .Cell((*a2_rows)[i].all_latency_us.p99(), 0);
   }
   if (mmem_res.ok()) {
     a2.Row().Cell(100.0, 1).Cell(mmem_res->server.throughput_kops, 1)
@@ -135,26 +174,47 @@ int main() {
   PrintSection(std::cout, "A5: why §5 binds to one SNC-4 domain (vs the whole SNC-off socket)");
   Table a5({"threads", "SNC domain: MMEM tok/s", "SNC domain: 3:1 gain %",
             "full socket: MMEM tok/s", "full socket: 3:1 gain %"});
-  apps::llm::LlmServingConfig domain_cfg;
-  apps::llm::LlmServingConfig socket_cfg;
-  socket_cfg.dram_bandwidth_scale = 4.0;  // 8 channels.
-  apps::llm::LlmInferenceSim domain_sim(domain_cfg);
-  apps::llm::LlmInferenceSim socket_sim(socket_cfg);
-  for (int threads : {24, 48, 60, 84}) {
-    const double dm = domain_sim.Solve(apps::llm::LlmPlacement::MmemOnly(), threads)
-                          .serving_rate_tokens_s;
-    const double di = domain_sim.Solve(apps::llm::LlmPlacement::Interleave(3, 1), threads)
-                          .serving_rate_tokens_s;
-    const double sm = socket_sim.Solve(apps::llm::LlmPlacement::MmemOnly(), threads)
-                          .serving_rate_tokens_s;
-    const double si = socket_sim.Solve(apps::llm::LlmPlacement::Interleave(3, 1), threads)
-                          .serving_rate_tokens_s;
+  struct A5Row {
+    double domain_mmem;
+    double domain_interleave;
+    double socket_mmem;
+    double socket_interleave;
+  };
+  const std::vector<int> thread_counts = {24, 48, 60, 84};
+  const auto a5_rows = runner::RunSweep(
+      thread_counts,
+      [](const int& threads, uint64_t /*seed*/) -> StatusOr<A5Row> {
+        // Per-cell sims: Solve() adapts internal state, so sharing one sim
+        // across concurrent cells would race.
+        apps::llm::LlmServingConfig domain_cfg;
+        apps::llm::LlmServingConfig socket_cfg;
+        socket_cfg.dram_bandwidth_scale = 4.0;  // 8 channels.
+        apps::llm::LlmInferenceSim domain_sim(domain_cfg);
+        apps::llm::LlmInferenceSim socket_sim(socket_cfg);
+        A5Row row;
+        row.domain_mmem = domain_sim.Solve(apps::llm::LlmPlacement::MmemOnly(), threads)
+                              .serving_rate_tokens_s;
+        row.domain_interleave = domain_sim.Solve(apps::llm::LlmPlacement::Interleave(3, 1), threads)
+                                    .serving_rate_tokens_s;
+        row.socket_mmem = socket_sim.Solve(apps::llm::LlmPlacement::MmemOnly(), threads)
+                              .serving_rate_tokens_s;
+        row.socket_interleave = socket_sim.Solve(apps::llm::LlmPlacement::Interleave(3, 1), threads)
+                                    .serving_rate_tokens_s;
+        return row;
+      },
+      sweep_options);
+  if (!a5_rows.ok()) {
+    std::cerr << "A5 failed: " << a5_rows.status().ToString() << "\n";
+    return 1;
+  }
+  for (size_t i = 0; i < thread_counts.size(); ++i) {
+    const A5Row& row = (*a5_rows)[i];
     a5.Row()
-        .Cell(static_cast<uint64_t>(threads))
-        .Cell(dm, 1)
-        .Cell(100.0 * (di / dm - 1.0), 1)
-        .Cell(sm, 1)
-        .Cell(100.0 * (si / sm - 1.0), 1);
+        .Cell(static_cast<uint64_t>(thread_counts[i]))
+        .Cell(row.domain_mmem, 1)
+        .Cell(100.0 * (row.domain_interleave / row.domain_mmem - 1.0), 1)
+        .Cell(row.socket_mmem, 1)
+        .Cell(100.0 * (row.socket_interleave / row.socket_mmem - 1.0), 1);
   }
   a5.Print(std::cout);
   std::cout << "Reading: on the full 268 GB/s socket these thread counts never saturate DRAM\n"
@@ -165,28 +225,41 @@ int main() {
   // --- A4: static vs dynamic hot threshold ----------------------------------
   PrintSection(std::cout, "A4: hot-page threshold, static vs dynamic (KeyDB Hot-Promote)");
   Table a4({"threshold mode", "kops/s", "migrated GB"});
-  for (const bool dynamic : {false, true}) {
-    core::KeyDbExperimentOptions o = opt;
-    topology::Platform platform = core::MakeHotPromotePlatform(o.dataset_bytes);
-    os::PageAllocator allocator(platform, 16ull << 10);
-    os::TieringConfig tc = core::DefaultTieringConfig();
-    tc.dynamic_threshold = dynamic;
-    os::TieredMemory tiering(allocator, tc);
-    apps::kv::KvStoreConfig store_cfg;
-    store_cfg.record_count = o.dataset_bytes / o.value_bytes;
-    const auto setup = core::MakeCapacitySetup(core::CapacityConfig::kHotPromote, platform);
-    auto store = apps::kv::KvStore::Create(allocator, setup.policy, store_cfg, &tiering);
-    workload::YcsbGenerator gen(workload::YcsbWorkload::kB, store_cfg.record_count, 1);
-    apps::kv::KvServerConfig scfg;
-    scfg.total_ops = o.total_ops;
-    scfg.warmup_ops = o.warmup_ops;
-    apps::kv::KvServerSim sim(platform, *store, gen, scfg, &tiering);
-    const auto result = sim.Run();
+  const std::vector<int> modes = {0, 1};
+  const auto a4_rows = runner::RunSweep(
+      modes,
+      [&opt](const int& dynamic, uint64_t /*seed*/) -> StatusOr<apps::kv::KvServerSim::Result> {
+        topology::Platform platform = core::MakeHotPromotePlatform(opt.dataset_bytes);
+        os::PageAllocator allocator(platform, 16ull << 10);
+        os::TieringConfig tc = core::DefaultTieringConfig();
+        tc.dynamic_threshold = dynamic != 0;
+        os::TieredMemory tiering(allocator, tc);
+        apps::kv::KvStoreConfig store_cfg;
+        store_cfg.record_count = opt.dataset_bytes / opt.value_bytes;
+        const auto setup = core::MakeCapacitySetup(core::CapacityConfig::kHotPromote, platform);
+        auto store = apps::kv::KvStore::Create(allocator, setup.policy, store_cfg, &tiering);
+        if (!store.ok()) {
+          return store.status();
+        }
+        workload::YcsbGenerator gen(workload::YcsbWorkload::kB, store_cfg.record_count, 1);
+        apps::kv::KvServerConfig scfg;
+        scfg.total_ops = opt.total_ops;
+        scfg.warmup_ops = opt.warmup_ops;
+        apps::kv::KvServerSim sim(platform, *store, gen, scfg, &tiering);
+        auto result = sim.Run();
+        store->Free();
+        return result;
+      },
+      sweep_options);
+  if (!a4_rows.ok()) {
+    std::cerr << "A4 failed: " << a4_rows.status().ToString() << "\n";
+    return 1;
+  }
+  for (size_t i = 0; i < modes.size(); ++i) {
     a4.Row()
-        .Cell(dynamic ? "dynamic" : "static")
-        .Cell(result.throughput_kops, 1)
-        .Cell(result.migrated_bytes / 1e9, 2);
-    store->Free();
+        .Cell(modes[i] != 0 ? "dynamic" : "static")
+        .Cell((*a4_rows)[i].throughput_kops, 1)
+        .Cell((*a4_rows)[i].migrated_bytes / 1e9, 2);
   }
   a4.Print(std::cout);
   return 0;

@@ -8,6 +8,12 @@
 // Expected shape (§4.1.2): MMEM fastest; Hot-Promote nearly matches it;
 // interleaving 1.2-1.5x slower (worse with more CXL); MMEM-SSD-x slowest at
 // ~1.8x (software path + SSD misses).
+//
+// The full 7-configuration x 4-workload grid runs once through the parallel
+// SweepRunner (--jobs N / CXL_JOBS, default hardware_concurrency); every
+// table below reads from that single grid. Results are bit-identical for any
+// thread count; the sweep timing summary goes to stderr so stdout stays
+// byte-comparable across runs.
 #include <algorithm>
 #include <iostream>
 
@@ -27,51 +33,71 @@ core::KeyDbExperimentOptions Options() {
   return opt;
 }
 
+struct Cell {
+  core::CapacityConfig config;
+  workload::YcsbWorkload workload;
+};
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = runner::JobsFromArgs(&argc, argv);
   const auto workloads = {workload::YcsbWorkload::kA, workload::YcsbWorkload::kB,
                           workload::YcsbWorkload::kC, workload::YcsbWorkload::kD};
+  const auto configs = core::AllCapacityConfigs();
+
+  std::vector<Cell> cells;
+  for (core::CapacityConfig config : configs) {
+    for (workload::YcsbWorkload w : workloads) {
+      cells.push_back(Cell{config, w});
+    }
+  }
+
+  runner::SweepOptions sweep_options;
+  sweep_options.jobs = jobs;
+  runner::SweepStats stats;
+  const auto grid = runner::RunSweep(
+      cells,
+      [](const Cell& cell, uint64_t seed) {
+        core::KeyDbExperimentOptions opt = Options();
+        opt.seed = seed;
+        return core::RunKeyDbExperiment(cell.config, cell.workload, opt);
+      },
+      sweep_options, &stats);
+  if (!grid.ok()) {
+    std::cerr << "FAILED: " << grid.status().ToString() << "\n";
+    return 1;
+  }
+  std::cerr << "[sweep] " << stats.Summary() << "\n";
+
+  // Cell (config index ci, workload index wi) lives at grid slot ci * 4 + wi.
+  const auto cell = [&](size_t ci, size_t wi) -> const core::KeyDbExperimentResult& {
+    return (*grid)[ci * workloads.size() + wi];
+  };
+  const auto config_index = [&](core::CapacityConfig config) -> size_t {
+    return static_cast<size_t>(std::find(configs.begin(), configs.end(), config) -
+                               configs.begin());
+  };
 
   PrintSection(std::cout, "Fig 5(a): KeyDB average throughput (kops/s), by configuration");
   Table thr({"config", "YCSB-A", "YCSB-B", "YCSB-C", "YCSB-D", "slowdown vs MMEM (C)"});
-  double mmem_c_kops = 0.0;
-  std::vector<std::pair<std::string, std::vector<double>>> rows;
-  for (core::CapacityConfig config : core::AllCapacityConfigs()) {
-    std::vector<double> kops;
-    for (workload::YcsbWorkload w : workloads) {
-      const auto res = core::RunKeyDbExperiment(config, w, Options());
-      if (!res.ok()) {
-        std::cerr << "FAILED " << core::ConfigLabel(config) << ": " << res.status().ToString()
-                  << "\n";
-        return 1;
-      }
-      kops.push_back(res->server.throughput_kops);
+  const double mmem_c_kops =
+      cell(config_index(core::CapacityConfig::kMmem), 2).server.throughput_kops;
+  for (size_t ci = 0; ci < configs.size(); ++ci) {
+    thr.Row().Cell(core::ConfigLabel(configs[ci]));
+    for (size_t wi = 0; wi < workloads.size(); ++wi) {
+      thr.Cell(cell(ci, wi).server.throughput_kops, 1);
     }
-    if (config == core::CapacityConfig::kMmem) {
-      mmem_c_kops = kops[2];
-    }
-    rows.emplace_back(core::ConfigLabel(config), kops);
-  }
-  for (const auto& [label, kops] : rows) {
-    thr.Row().Cell(label);
-    for (double k : kops) {
-      thr.Cell(k, 1);
-    }
-    thr.Cell(mmem_c_kops / kops[2], 2);
+    thr.Cell(mmem_c_kops / cell(ci, 2).server.throughput_kops, 2);
   }
   thr.Print(std::cout);
 
   PrintSection(std::cout, "Fig 5(b): YCSB-A tail latency (us)");
   Table tail({"config", "p50", "p95", "p99", "p999"});
-  for (core::CapacityConfig config : core::AllCapacityConfigs()) {
-    const auto res = core::RunKeyDbExperiment(config, workload::YcsbWorkload::kA, Options());
-    if (!res.ok()) {
-      return 1;
-    }
-    const auto& h = res->server.all_latency_us;
-    tail.Row().Cell(core::ConfigLabel(config)).Cell(h.p50(), 0).Cell(h.p95(), 0).Cell(h.p99(), 0)
-        .Cell(h.p999(), 0);
+  for (size_t ci = 0; ci < configs.size(); ++ci) {
+    const auto& h = cell(ci, 0).server.all_latency_us;
+    tail.Row().Cell(core::ConfigLabel(configs[ci])).Cell(h.p50(), 0).Cell(h.p95(), 0)
+        .Cell(h.p99(), 0).Cell(h.p999(), 0);
   }
   tail.Print(std::cout);
 
@@ -80,11 +106,7 @@ int main() {
   for (core::CapacityConfig config :
        {core::CapacityConfig::kMmem, core::CapacityConfig::kInterleave11,
         core::CapacityConfig::kHotPromote, core::CapacityConfig::kMmemSsd02}) {
-    const auto res = core::RunKeyDbExperiment(config, workload::YcsbWorkload::kC, Options());
-    if (!res.ok()) {
-      return 1;
-    }
-    const auto& h = res->server.read_latency_us;
+    const auto& h = cell(config_index(config), 2).server.read_latency_us;
     cdf.Row().Cell(core::ConfigLabel(config));
     for (double q : {0.1, 0.5, 0.9, 0.99, 0.999}) {
       cdf.Cell(h.ValueAtQuantile(q), 0);
@@ -94,13 +116,9 @@ int main() {
 
   PrintSection(std::cout,
                "Hot-Promote convergence (YCSB-C): per-epoch throughput and migration");
-  const auto hp = core::RunKeyDbExperiment(core::CapacityConfig::kHotPromote,
-                                           workload::YcsbWorkload::kC, Options());
-  if (!hp.ok()) {
-    return 1;
-  }
+  const auto& hp = cell(config_index(core::CapacityConfig::kHotPromote), 2);
   Table conv({"epoch end ms", "kops in epoch", "migrated MB"});
-  const auto& timeline = hp->server.timeline;
+  const auto& timeline = hp.server.timeline;
   for (size_t i = 0; i < timeline.size(); i += std::max<size_t>(1, timeline.size() / 10)) {
     conv.Row()
         .Cell(timeline[i].end_ms, 0)

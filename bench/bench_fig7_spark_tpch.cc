@@ -6,18 +6,23 @@
 // still much faster than spilling to SSD; Hot-Promote is >34% slower than
 // MMEM-only (kernel thrashing on low-locality access); shuffle time
 // dominates as spill grows.
+//
+// The 7-configuration x 4-query grid runs through the parallel SweepRunner
+// (--jobs / CXL_JOBS); each cell builds its own SparkCluster, and the
+// MMEM-only row doubles as the normalization baseline.
 #include <iostream>
 #include <vector>
 
 #include "src/core/cxl_explorer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cxl;
   using apps::spark::QueryProfile;
   using apps::spark::QueryResult;
   using apps::spark::SparkCluster;
   using apps::spark::SparkConfig;
 
+  const int jobs = runner::JobsFromArgs(&argc, argv);
   const std::vector<QueryProfile> queries = apps::spark::TpchShuffleHeavyQueries();
 
   struct ConfigRow {
@@ -34,28 +39,49 @@ int main() {
       {"Hot-Promote (2 srv)", SparkConfig::HotPromote()},
   };
 
-  // Baseline times per query.
-  std::vector<double> baseline;
-  {
-    SparkCluster cluster(SparkConfig::MmemOnly());
-    for (const auto& q : queries) {
-      baseline.push_back(cluster.RunQuery(q).total_seconds);
+  struct Cell {
+    size_t config_index;
+    size_t query_index;
+  };
+  std::vector<Cell> cells;
+  for (size_t ci = 0; ci < configs.size(); ++ci) {
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      cells.push_back(Cell{ci, qi});
     }
+  }
+
+  runner::SweepOptions sweep_options;
+  sweep_options.jobs = jobs;
+  runner::SweepStats stats;
+  const auto grid = runner::RunSweep(
+      cells,
+      [&configs, &queries](const Cell& cell, uint64_t /*seed*/) -> StatusOr<QueryResult> {
+        SparkCluster cluster(configs[cell.config_index].config);
+        return cluster.RunQuery(queries[cell.query_index]);
+      },
+      sweep_options, &stats);
+  if (!grid.ok()) {
+    std::cerr << "FAILED: " << grid.status().ToString() << "\n";
+    return 1;
+  }
+  std::cerr << "[sweep] " << stats.Summary() << "\n";
+  const auto result_at = [&](size_t ci, size_t qi) -> const QueryResult& {
+    return (*grid)[ci * queries.size() + qi];
+  };
+
+  // Baseline times per query: the MMEM-only row (configs[0]).
+  std::vector<double> baseline;
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    baseline.push_back(result_at(0, qi).total_seconds);
   }
 
   PrintSection(std::cout, "Fig 7(a): execution time normalized to MMEM-only");
   Table norm({"config", "Q5", "Q7", "Q8", "Q9"});
-  std::vector<std::vector<QueryResult>> all_results;
-  for (const auto& row : configs) {
-    SparkCluster cluster(row.config);
-    norm.Row().Cell(row.label);
-    std::vector<QueryResult> results;
+  for (size_t ci = 0; ci < configs.size(); ++ci) {
+    norm.Row().Cell(configs[ci].label);
     for (size_t qi = 0; qi < queries.size(); ++qi) {
-      const QueryResult r = cluster.RunQuery(queries[qi]);
-      norm.Cell(r.total_seconds / baseline[qi], 2);
-      results.push_back(r);
+      norm.Cell(result_at(ci, qi).total_seconds / baseline[qi], 2);
     }
-    all_results.push_back(std::move(results));
   }
   norm.Print(std::cout);
 
@@ -64,7 +90,7 @@ int main() {
   for (size_t ci = 0; ci < configs.size(); ++ci) {
     share.Row().Cell(configs[ci].label);
     for (size_t qi = 0; qi < queries.size(); ++qi) {
-      const QueryResult& r = all_results[ci][qi];
+      const QueryResult& r = result_at(ci, qi);
       share.Cell(FormatDouble(100.0 * r.shuffle_write_seconds / r.total_seconds, 0) + "/" +
                  FormatDouble(100.0 * r.shuffle_read_seconds / r.total_seconds, 0));
     }
@@ -75,7 +101,7 @@ int main() {
   Table detail({"config", "total s", "compute s", "shufW s", "shufR s", "spilled GB",
                 "migrated GB", "CXL access share"});
   for (size_t ci = 0; ci < configs.size(); ++ci) {
-    const QueryResult& r = all_results[ci].back();  // Q9.
+    const QueryResult& r = result_at(ci, queries.size() - 1);  // Q9.
     detail.Row()
         .Cell(configs[ci].label)
         .Cell(r.total_seconds, 1)

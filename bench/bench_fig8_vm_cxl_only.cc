@@ -9,13 +9,16 @@
 
 #include "src/core/cxl_explorer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cxl;
 
   core::KeyDbExperimentOptions opt;
   opt.dataset_bytes = 12ull << 30;  // 1/8-scale 100 GB shape.
   opt.total_ops = 220'000;
   opt.warmup_ops = 60'000;
+  // The MMEM and CXL placements are independent cells; the experiment runs
+  // them concurrently through the SweepRunner when jobs > 1.
+  opt.jobs = runner::JobsFromArgs(&argc, argv);
   const auto res = core::RunVmCxlOnlyExperiment(opt);
   if (!res.ok()) {
     std::cerr << "experiment failed: " << res.status().ToString() << "\n";

@@ -73,6 +73,31 @@ void BM_MlcClosedLoop(benchmark::State& state) {
 }
 BENCHMARK(BM_MlcClosedLoop);
 
+// Histogram::Record hot path. Arg is the number of distinct values cycled
+// through: Arg(1) always hits the last-(value -> bucket) cache (the
+// optimized path); a large Arg defeats the cache on every sample, which is
+// exactly the pre-cache cost (one log10 per Record) — so the two arguments
+// read as after/before throughput for the common repeated-latency case.
+void BM_HistogramRecord(benchmark::State& state) {
+  const int distinct = static_cast<int>(state.range(0));
+  std::vector<double> values(static_cast<size_t>(distinct));
+  Rng rng(7);
+  for (auto& v : values) {
+    v = rng.NextDouble(10.0, 1e6);
+  }
+  Histogram hist;
+  size_t i = 0;
+  for (auto _ : state) {
+    hist.Record(values[i]);
+    if (++i == values.size()) {
+      i = 0;
+    }
+  }
+  benchmark::DoNotOptimize(hist.count());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord)->Arg(1)->Arg(4)->Arg(4096);
+
 void BM_KeyDbExperimentEndToEnd(benchmark::State& state) {
   core::KeyDbExperimentOptions opt;
   opt.dataset_bytes = 2ull << 30;

@@ -18,7 +18,8 @@ struct PolicyRun {
   os::VmCounters counters;
 };
 
-PolicyRun RunKeyDb(os::PromotionMode mode, workload::OpSource& source, uint64_t dataset_bytes) {
+StatusOr<PolicyRun> RunKeyDb(os::PromotionMode mode, workload::OpSource& source,
+                             uint64_t dataset_bytes) {
   topology::Platform platform = core::MakeHotPromotePlatform(dataset_bytes);
   os::PageAllocator allocator(platform, 16ull << 10);
   os::TieringConfig tc = core::DefaultTieringConfig();
@@ -31,8 +32,7 @@ PolicyRun RunKeyDb(os::PromotionMode mode, workload::OpSource& source, uint64_t 
   const auto setup = core::MakeCapacitySetup(core::CapacityConfig::kHotPromote, platform);
   auto store = apps::kv::KvStore::Create(allocator, setup.policy, store_cfg, &tiering);
   if (!store.ok()) {
-    std::cerr << "store: " << store.status().ToString() << "\n";
-    std::exit(1);
+    return store.status();
   }
   apps::kv::KvServerConfig scfg;
   scfg.total_ops = 150'000;
@@ -74,18 +74,33 @@ class ScanSource final : public workload::OpSource {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   constexpr uint64_t kDataset = 8ull << 30;
-  const auto modes = {os::PromotionMode::kHotPageSelection, os::PromotionMode::kMruBalancing,
-                      os::PromotionMode::kTppLike};
+  const std::vector<os::PromotionMode> modes = {os::PromotionMode::kHotPageSelection,
+                                                os::PromotionMode::kMruBalancing,
+                                                os::PromotionMode::kTppLike};
+  runner::SweepOptions sweep_options;
+  sweep_options.jobs = runner::JobsFromArgs(&argc, argv);
 
+  // One policy per cell; each cell owns its op source (they are stateful
+  // cursors, so sharing one across threads would skew the comparison).
   PrintSection(std::cout, "Zipfian KeyDB (YCSB-B): stable hot set — all policies should work");
   Table zipf({"policy", "kops/s", "p99 us", "promoted", "demoted", "migrated GB"});
-  for (const auto mode : modes) {
-    workload::YcsbGenerator gen(workload::YcsbWorkload::kB, kDataset / 1024, 1);
-    const auto run = RunKeyDb(mode, gen, kDataset);
+  const auto zipf_runs = runner::RunSweep(
+      modes,
+      [](const os::PromotionMode& mode, uint64_t /*seed*/) {
+        workload::YcsbGenerator gen(workload::YcsbWorkload::kB, kDataset / 1024, 1);
+        return RunKeyDb(mode, gen, kDataset);
+      },
+      sweep_options);
+  if (!zipf_runs.ok()) {
+    std::cerr << "store: " << zipf_runs.status().ToString() << "\n";
+    return 1;
+  }
+  for (size_t i = 0; i < modes.size(); ++i) {
+    const PolicyRun& run = (*zipf_runs)[i];
     zipf.Row()
-        .Cell(ModeName(mode))
+        .Cell(ModeName(modes[i]))
         .Cell(run.result.throughput_kops, 1)
         .Cell(run.result.all_latency_us.p99(), 0)
         .Cell(run.counters.pgpromote_success)
@@ -97,11 +112,21 @@ int main() {
   PrintSection(std::cout,
                "Streaming scan: the bandwidth-intensive pattern that degraded TPP (§2.3)");
   Table scan({"policy", "kops/s", "p99 us", "promoted", "demoted", "migrated GB"});
-  for (const auto mode : modes) {
-    ScanSource source(kDataset / 1024);
-    const auto run = RunKeyDb(mode, source, kDataset);
+  const auto scan_runs = runner::RunSweep(
+      modes,
+      [](const os::PromotionMode& mode, uint64_t /*seed*/) {
+        ScanSource source(kDataset / 1024);
+        return RunKeyDb(mode, source, kDataset);
+      },
+      sweep_options);
+  if (!scan_runs.ok()) {
+    std::cerr << "store: " << scan_runs.status().ToString() << "\n";
+    return 1;
+  }
+  for (size_t i = 0; i < modes.size(); ++i) {
+    const PolicyRun& run = (*scan_runs)[i];
     scan.Row()
-        .Cell(ModeName(mode))
+        .Cell(ModeName(modes[i]))
         .Cell(run.result.throughput_kops, 1)
         .Cell(run.result.all_latency_us.p99(), 0)
         .Cell(run.counters.pgpromote_success)

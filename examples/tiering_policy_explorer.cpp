@@ -23,7 +23,7 @@ core::KeyDbExperimentOptions Options() {
 }
 
 // Hot-Promote run with an explicit rate limit (MB/s).
-apps::kv::KvServerSim::Result RunWithRateLimit(double rate_limit_mbps) {
+StatusOr<apps::kv::KvServerSim::Result> RunWithRateLimit(double rate_limit_mbps) {
   const auto opt = Options();
   topology::Platform platform = core::MakeHotPromotePlatform(opt.dataset_bytes);
   os::PageAllocator allocator(platform, 16ull << 10);
@@ -36,8 +36,7 @@ apps::kv::KvServerSim::Result RunWithRateLimit(double rate_limit_mbps) {
   const auto setup = core::MakeCapacitySetup(core::CapacityConfig::kHotPromote, platform);
   auto store = apps::kv::KvStore::Create(allocator, setup.policy, store_cfg, &tiering);
   if (!store.ok()) {
-    std::cerr << "store creation failed: " << store.status().ToString() << "\n";
-    std::exit(1);
+    return store.status();
   }
   workload::YcsbGenerator gen(workload::YcsbWorkload::kB, store_cfg.record_count, opt.seed);
   apps::kv::KvServerConfig scfg;
@@ -51,13 +50,25 @@ apps::kv::KvServerSim::Result RunWithRateLimit(double rate_limit_mbps) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  runner::SweepOptions sweep_options;
+  sweep_options.jobs = runner::JobsFromArgs(&argc, argv);
+
   PrintSection(std::cout, "Promotion rate limit sweep (Hot-Promote, YCSB-B, DRAM = dataset/2)");
   Table sweep({"rate limit MB/s", "kops/s", "p99 us", "migrated GB", "DRAM share"});
-  for (double limit : {1.0, 8.0, 64.0, 1024.0, 65536.0}) {
-    const auto r = RunWithRateLimit(limit);
+  const std::vector<double> limits = {1.0, 8.0, 64.0, 1024.0, 65536.0};
+  const auto limit_rows = runner::RunSweep(
+      limits,
+      [](const double& limit, uint64_t /*seed*/) { return RunWithRateLimit(limit); },
+      sweep_options);
+  if (!limit_rows.ok()) {
+    std::cerr << "sweep failed: " << limit_rows.status().ToString() << "\n";
+    return 1;
+  }
+  for (size_t i = 0; i < limits.size(); ++i) {
+    const auto& r = (*limit_rows)[i];
     sweep.Row()
-        .Cell(limit, 0)
+        .Cell(limits[i], 0)
         .Cell(r.throughput_kops, 1)
         .Cell(r.all_latency_us.p99(), 0)
         .Cell(r.migrated_bytes / 1e9, 2)
@@ -70,19 +81,25 @@ int main() {
 
   PrintSection(std::cout, "Static interleave ratio sweep (no daemon, YCSB-B)");
   Table inter({"policy", "kops/s", "p99 us", "DRAM share"});
-  for (const auto config :
-       {core::CapacityConfig::kMmem, core::CapacityConfig::kInterleave31,
-        core::CapacityConfig::kInterleave11, core::CapacityConfig::kInterleave13}) {
-    const auto res = core::RunKeyDbExperiment(config, workload::YcsbWorkload::kB, Options());
-    if (!res.ok()) {
-      std::cerr << "experiment failed: " << res.status().ToString() << "\n";
-      return 1;
-    }
+  const std::vector<core::CapacityConfig> configs = {
+      core::CapacityConfig::kMmem, core::CapacityConfig::kInterleave31,
+      core::CapacityConfig::kInterleave11, core::CapacityConfig::kInterleave13};
+  const auto inter_rows = runner::RunSweep(
+      configs,
+      [](const core::CapacityConfig& config, uint64_t /*seed*/) {
+        return core::RunKeyDbExperiment(config, workload::YcsbWorkload::kB, Options());
+      },
+      sweep_options);
+  if (!inter_rows.ok()) {
+    std::cerr << "experiment failed: " << inter_rows.status().ToString() << "\n";
+    return 1;
+  }
+  for (const auto& res : *inter_rows) {
     inter.Row()
-        .Cell(core::ConfigLabel(config))
-        .Cell(res->server.throughput_kops, 1)
-        .Cell(res->server.all_latency_us.p99(), 0)
-        .Cell(res->server.dram_share, 2);
+        .Cell(res.config_label)
+        .Cell(res.server.throughput_kops, 1)
+        .Cell(res.server.all_latency_us.p99(), 0)
+        .Cell(res.server.dram_share, 2);
   }
   inter.Print(std::cout);
   return 0;

@@ -8,6 +8,7 @@
 //   - the KeyDB / Spark / LLM application models            (src/apps)
 //   - the Abstract Cost Model and VM economics              (src/cost)
 //   - Table 1 configurations and experiment runners         (src/core)
+//   - the deterministic parallel sweep engine               (src/runner)
 #ifndef CXL_EXPLORER_SRC_CORE_CXL_EXPLORER_H_
 #define CXL_EXPLORER_SRC_CORE_CXL_EXPLORER_H_
 
@@ -31,6 +32,7 @@
 #include "src/os/page_allocator.h"
 #include "src/os/region.h"
 #include "src/os/tiering.h"
+#include "src/runner/sweep.h"
 #include "src/topology/platform.h"
 #include "src/util/histogram.h"
 #include "src/util/table.h"

@@ -1,8 +1,11 @@
 #include "src/core/experiment.h"
 
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "src/os/page_allocator.h"
+#include "src/runner/sweep.h"
 #include "src/topology/platform.h"
 
 namespace cxl::core {
@@ -74,21 +77,25 @@ StatusOr<KeyDbExperimentResult> RunKeyDbExperiment(CapacityConfig config,
 StatusOr<VmExperimentResult> RunVmCxlOnlyExperiment(KeyDbExperimentOptions options) {
   // §4.3.1: 100 GB YCSB-C dataset (default here: 1/8 scale), SNC disabled,
   // numactl-bound to MMEM or to CXL. The lighter Fig. 8 store preset applies
-  // unless the caller overrides it.
-  static const KvStoreConfig fig8 = KvStoreConfig::Fig8Preset(0);
-  if (options.store_preset == nullptr) {
-    options.store_preset = &fig8;
-  }
+  // unless the caller overrides it. The preset is copied by value — a
+  // function-local static here would be a shared-init hazard when several
+  // sweep cells enter concurrently.
+  const KvStoreConfig preset = options.store_preset != nullptr ? *options.store_preset
+                                                               : KvStoreConfig::Fig8Preset(0);
 
-  VmExperimentResult out;
-  for (const bool use_cxl : {false, true}) {
+  // Both placements replay the same op stream (options.seed, not the derived
+  // sweep seed) so the MMEM/CXL comparison is apples to apples.
+  const std::vector<int> cells = {0, 1};
+  auto run_cell = [&options, &preset](const int& cell,
+                                      uint64_t /*seed*/) -> StatusOr<KeyDbExperimentResult> {
+    const bool use_cxl = cell != 0;
     Platform platform = Platform::CxlServer(false);
     os::PageAllocator allocator(platform, kKvPageBytes);
     const os::NumaPolicy policy =
         use_cxl ? os::NumaPolicy::Bind(platform.CxlNodes())
                 : os::NumaPolicy::Bind(platform.DramNodes(/*socket=*/0));
 
-    KvStoreConfig store_cfg = *options.store_preset;
+    KvStoreConfig store_cfg = preset;
     store_cfg.record_count = options.dataset_bytes / options.value_bytes;
     store_cfg.value_bytes = options.value_bytes;
 
@@ -110,8 +117,20 @@ StatusOr<VmExperimentResult> RunVmCxlOnlyExperiment(KeyDbExperimentOptions optio
     res.workload_name = "YCSB-C";
     res.server = sim.Run();
     store->Free();
-    (use_cxl ? out.cxl : out.mmem) = std::move(res);
+    return res;
+  };
+
+  runner::SweepOptions sweep_options;
+  sweep_options.jobs = options.jobs;
+  sweep_options.base_seed = options.seed;
+  auto results = runner::RunSweep(cells, run_cell, sweep_options);
+  if (!results.ok()) {
+    return results.status();
   }
+
+  VmExperimentResult out;
+  out.mmem = std::move((*results)[0]);
+  out.cxl = std::move((*results)[1]);
   if (out.mmem.server.throughput_kops > 0.0) {
     out.throughput_penalty =
         1.0 - out.cxl.server.throughput_kops / out.mmem.server.throughput_kops;

@@ -28,6 +28,9 @@ struct KeyDbExperimentOptions {
   int server_threads = 7;
   int client_connections = 64;
   uint64_t seed = 1;
+  // Worker threads for multi-cell experiments (Fig. 8 runs its two
+  // placements concurrently). 0 = auto (CXL_JOBS env, then hardware).
+  int jobs = 0;
   // Override the KvStore cost preset (null = Fig. 5 defaults).
   const apps::kv::KvStoreConfig* store_preset = nullptr;
 };

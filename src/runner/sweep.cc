@@ -1,0 +1,67 @@
+#include "src/runner/sweep.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+namespace cxl::runner {
+
+namespace {
+
+// Parses a strictly positive integer; returns 0 on any malformed input.
+int ParsePositiveInt(const char* text) {
+  if (text == nullptr || *text == '\0') {
+    return 0;
+  }
+  char* end = nullptr;
+  const long value = std::strtol(text, &end, 10);
+  if (end == nullptr || *end != '\0' || value <= 0 || value > 1 << 20) {
+    return 0;
+  }
+  return static_cast<int>(value);
+}
+
+}  // namespace
+
+int ResolveJobs(int requested) {
+  if (requested > 0) {
+    return requested;
+  }
+  if (const int from_env = ParsePositiveInt(std::getenv("CXL_JOBS")); from_env > 0) {
+    return from_env;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int JobsFromArgs(int* argc, char** argv) {
+  int jobs = 0;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--jobs") == 0 || std::strcmp(arg, "-j") == 0) {
+      if (i + 1 < *argc) {
+        jobs = ParsePositiveInt(argv[++i]);
+      }
+      continue;
+    }
+    if (std::strncmp(arg, "--jobs=", 7) == 0) {
+      jobs = ParsePositiveInt(arg + 7);
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  return jobs;
+}
+
+std::string SweepStats::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "cells=%zu jobs=%d wall=%.0fms serial-est=%.0fms max-cell=%.0fms speedup=%.1fx",
+                cells, jobs, wall_ms, serial_ms, max_cell_ms, Speedup());
+  return buf;
+}
+
+}  // namespace cxl::runner

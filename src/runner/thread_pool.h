@@ -1,0 +1,52 @@
+// Fixed-size work-queue thread pool for CPU-bound sweep cells.
+//
+// Tasks are opaque closures; the pool makes no fairness or ordering promises
+// beyond FIFO dispatch. Determinism of sweep *results* is the SweepRunner's
+// job (per-cell seeds, order-preserving output slots) — the pool only
+// provides the parallelism.
+#ifndef CXL_EXPLORER_SRC_RUNNER_THREAD_POOL_H_
+#define CXL_EXPLORER_SRC_RUNNER_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cxl::runner {
+
+// Spawns `threads` workers on construction; joins them on destruction. Submit
+// is thread-safe. Wait() blocks until every submitted task has finished, and
+// the pool is reusable afterwards (Submit/Wait cycles).
+class ThreadPool {
+ public:
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task. Must not be called after Shutdown (destruction).
+  void Submit(std::function<void()> task);
+
+  // Blocks until the queue is empty and no task is in flight.
+  void Wait();
+
+  int thread_count() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_idle_;
+  int in_flight_ = 0;  // Tasks popped but not yet finished.
+  bool stop_ = false;
+};
+
+}  // namespace cxl::runner
+
+#endif  // CXL_EXPLORER_SRC_RUNNER_THREAD_POOL_H_

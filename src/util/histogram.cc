@@ -39,7 +39,11 @@ void Histogram::RecordMany(double value, uint64_t n) {
   if (n == 0) {
     return;
   }
-  buckets_[static_cast<size_t>(BucketIndex(value))] += n;
+  if (last_bucket_ < 0 || value != last_value_) {
+    last_bucket_ = BucketIndex(value);
+    last_value_ = value;
+  }
+  buckets_[static_cast<size_t>(last_bucket_)] += n;
   if (count_ == 0 || value < min_seen_) {
     min_seen_ = value;
   }

@@ -67,6 +67,12 @@ class Histogram {
   double log_min_;
   double inv_log_step_;  // buckets per log10 unit.
   double log_step_;
+  // Last (value -> bucket) mapping. Identical consecutive latencies are
+  // common in the simulator (quantized service times, RecordMany batches),
+  // and the cache turns the log10() in BucketIndex into a compare. The
+  // mapping depends only on the bucket layout, so Reset() keeps it.
+  double last_value_ = 0.0;
+  int last_bucket_ = -1;
   std::vector<uint64_t> buckets_;
   uint64_t count_ = 0;
   double sum_ = 0.0;

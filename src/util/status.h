@@ -102,6 +102,8 @@ class Status {
 template <typename T>
 class StatusOr {
  public:
+  using value_type = T;
+
   StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
     assert(!status_.ok() && "OK StatusOr must carry a value");
   }

@@ -2,84 +2,131 @@
 // configuration must run every YCSB workload without error, produce sane
 // statistics, and respect the global ordering MMEM >= Hot-Promote >
 // interleaves > flash configs.
+//
+// The 28-cell grid runs through the parallel SweepRunner — both a real
+// consumer of the runner at integration scale and the fastest way to cover
+// the matrix on a many-core host.
 #include <gtest/gtest.h>
 
-#include <map>
-#include <tuple>
+#include <vector>
 
 #include "src/core/experiment.h"
+#include "src/runner/sweep.h"
 
 namespace cxl::core {
 namespace {
 
-using MatrixParam = std::tuple<CapacityConfig, workload::YcsbWorkload>;
-
-class ConfigMatrixTest : public ::testing::TestWithParam<MatrixParam> {
- protected:
-  static KeyDbExperimentResult Run(CapacityConfig config, workload::YcsbWorkload wl) {
-    KeyDbExperimentOptions opt;
-    opt.dataset_bytes = 3ull << 30;
-    opt.total_ops = 40'000;
-    opt.warmup_ops = 10'000;
-    auto res = RunKeyDbExperiment(config, wl, opt);
-    EXPECT_TRUE(res.ok()) << res.status().ToString();
-    return std::move(res).value();
-  }
+struct MatrixCell {
+  CapacityConfig config;
+  workload::YcsbWorkload workload;
 };
 
-TEST_P(ConfigMatrixTest, RunsCleanWithSaneStats) {
-  const auto [config, wl] = GetParam();
-  const auto res = Run(config, wl);
-  EXPECT_GT(res.server.throughput_kops, 20.0) << ConfigLabel(config);
-  EXPECT_LT(res.server.throughput_kops, 2000.0) << ConfigLabel(config);
-  EXPECT_EQ(res.server.all_latency_us.count(), 30'000u);
-  // Latency statistics are ordered and positive.
-  const auto& h = res.server.all_latency_us;
-  EXPECT_GT(h.p50(), 0.0);
-  EXPECT_LE(h.p50(), h.p99());
-  EXPECT_LE(h.p99(), h.p999());
-  // DRAM share reflects the configuration.
-  switch (config) {
-    case CapacityConfig::kMmem:
-    case CapacityConfig::kMmemSsd02:
-    case CapacityConfig::kMmemSsd04:
-      EXPECT_DOUBLE_EQ(res.server.dram_share, 1.0);
-      break;
-    case CapacityConfig::kInterleave31:
-      EXPECT_NEAR(res.server.dram_share, 0.75, 0.01);
-      break;
-    case CapacityConfig::kInterleave11:
-      EXPECT_NEAR(res.server.dram_share, 0.50, 0.01);
-      break;
-    case CapacityConfig::kInterleave13:
-      EXPECT_NEAR(res.server.dram_share, 0.25, 0.01);
-      break;
-    case CapacityConfig::kHotPromote:
-      // Promotion may shift pages; DRAM is capped at half the dataset.
-      EXPECT_NEAR(res.server.dram_share, 0.50, 0.05);
-      break;
+std::vector<MatrixCell> AllCells() {
+  std::vector<MatrixCell> cells;
+  for (CapacityConfig config :
+       {CapacityConfig::kMmem, CapacityConfig::kMmemSsd02, CapacityConfig::kMmemSsd04,
+        CapacityConfig::kInterleave31, CapacityConfig::kInterleave11,
+        CapacityConfig::kInterleave13, CapacityConfig::kHotPromote}) {
+    for (workload::YcsbWorkload wl : {workload::YcsbWorkload::kA, workload::YcsbWorkload::kB,
+                                      workload::YcsbWorkload::kC, workload::YcsbWorkload::kD}) {
+      cells.push_back(MatrixCell{config, wl});
+    }
+  }
+  return cells;
+}
+
+TEST(ConfigMatrixTest, AllCellsRunCleanWithSaneStats) {
+  const std::vector<MatrixCell> cells = AllCells();
+  // Fixed workload seed (not the derived sweep seed): these assertions were
+  // calibrated against the seed-1 runs and per-cell streams are not needed
+  // for a pass/fail matrix.
+  const auto grid = runner::RunSweep(
+      cells,
+      [](const MatrixCell& cell, uint64_t /*seed*/) {
+        KeyDbExperimentOptions opt;
+        opt.dataset_bytes = 3ull << 30;
+        opt.total_ops = 40'000;
+        opt.warmup_ops = 10'000;
+        return RunKeyDbExperiment(cell.config, cell.workload, opt);
+      });
+  ASSERT_TRUE(grid.ok()) << grid.status().ToString();
+  ASSERT_EQ(grid->size(), cells.size());
+
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const auto& [config, wl] = cells[i];
+    const KeyDbExperimentResult& res = (*grid)[i];
+    SCOPED_TRACE(ConfigLabel(config) + " / " + workload::YcsbName(wl));
+    EXPECT_EQ(res.config_label, ConfigLabel(config));
+    EXPECT_EQ(res.workload_name, workload::YcsbName(wl));
+    EXPECT_GT(res.server.throughput_kops, 20.0);
+    EXPECT_LT(res.server.throughput_kops, 2000.0);
+    EXPECT_EQ(res.server.all_latency_us.count(), 30'000u);
+    // Latency statistics are ordered and positive.
+    const auto& h = res.server.all_latency_us;
+    EXPECT_GT(h.p50(), 0.0);
+    EXPECT_LE(h.p50(), h.p99());
+    EXPECT_LE(h.p99(), h.p999());
+    // DRAM share reflects the configuration.
+    switch (config) {
+      case CapacityConfig::kMmem:
+      case CapacityConfig::kMmemSsd02:
+      case CapacityConfig::kMmemSsd04:
+        EXPECT_DOUBLE_EQ(res.server.dram_share, 1.0);
+        break;
+      case CapacityConfig::kInterleave31:
+        EXPECT_NEAR(res.server.dram_share, 0.75, 0.01);
+        break;
+      case CapacityConfig::kInterleave11:
+        EXPECT_NEAR(res.server.dram_share, 0.50, 0.01);
+        break;
+      case CapacityConfig::kInterleave13:
+        EXPECT_NEAR(res.server.dram_share, 0.25, 0.01);
+        break;
+      case CapacityConfig::kHotPromote:
+        // Promotion may shift pages; DRAM is capped at half the dataset.
+        EXPECT_NEAR(res.server.dram_share, 0.50, 0.05);
+        break;
+    }
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(
-    AllCells, ConfigMatrixTest,
-    ::testing::Combine(::testing::Values(CapacityConfig::kMmem, CapacityConfig::kMmemSsd02,
-                                         CapacityConfig::kMmemSsd04, CapacityConfig::kInterleave31,
-                                         CapacityConfig::kInterleave11,
-                                         CapacityConfig::kInterleave13,
-                                         CapacityConfig::kHotPromote),
-                       ::testing::Values(workload::YcsbWorkload::kA, workload::YcsbWorkload::kB,
-                                         workload::YcsbWorkload::kC, workload::YcsbWorkload::kD)),
-    [](const ::testing::TestParamInfo<MatrixParam>& param_info) {
-      std::string name = ConfigLabel(std::get<0>(param_info.param)) + "_" +
-                         workload::YcsbName(std::get<1>(param_info.param));
-      for (char& c : name) {
-        if (!std::isalnum(static_cast<unsigned char>(c))) {
-          c = '_';
-        }
-      }
-      return name;
-    });
+// The parallel grid must be bit-identical to a serial run of the same grid —
+// the determinism contract the figure benches rely on.
+TEST(ConfigMatrixTest, ParallelMatrixMatchesSerial) {
+  // A 2x2 corner of the matrix keeps this fast; the full-grid equivalence is
+  // covered statistically by the runner unit tests.
+  const std::vector<MatrixCell> cells = {
+      {CapacityConfig::kMmem, workload::YcsbWorkload::kA},
+      {CapacityConfig::kInterleave11, workload::YcsbWorkload::kC},
+      {CapacityConfig::kHotPromote, workload::YcsbWorkload::kB},
+      {CapacityConfig::kMmemSsd02, workload::YcsbWorkload::kD},
+  };
+  const auto run_cell = [](const MatrixCell& cell, uint64_t seed) {
+    KeyDbExperimentOptions opt;
+    opt.dataset_bytes = 1ull << 30;
+    opt.total_ops = 20'000;
+    opt.warmup_ops = 5'000;
+    opt.seed = seed;
+    return RunKeyDbExperiment(cell.config, cell.workload, opt);
+  };
+  runner::SweepOptions serial;
+  serial.jobs = 1;
+  runner::SweepOptions parallel;
+  parallel.jobs = 4;
+  const auto a = runner::RunSweep(cells, run_cell, serial);
+  const auto b = runner::RunSweep(cells, run_cell, parallel);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ((*a)[i].config_label, (*b)[i].config_label);
+    EXPECT_DOUBLE_EQ((*a)[i].server.throughput_kops, (*b)[i].server.throughput_kops);
+    EXPECT_DOUBLE_EQ((*a)[i].server.all_latency_us.p999(), (*b)[i].server.all_latency_us.p999());
+    EXPECT_DOUBLE_EQ((*a)[i].server.dram_share, (*b)[i].server.dram_share);
+    EXPECT_DOUBLE_EQ((*a)[i].server.migrated_bytes, (*b)[i].server.migrated_bytes);
+  }
+}
 
 }  // namespace
 }  // namespace cxl::core

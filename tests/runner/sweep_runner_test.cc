@@ -1,0 +1,228 @@
+#include "src/runner/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace cxl::runner {
+namespace {
+
+// A deterministic, seed-sensitive cell: hashes `draws` Rng outputs. Any
+// difference in the seed a cell receives (e.g. from a racy seed derivation)
+// changes the result.
+uint64_t SeedFingerprint(uint64_t seed, int draws) {
+  Rng rng(seed);
+  uint64_t h = 0;
+  for (int i = 0; i < draws; ++i) {
+    h = SplitMix64(h ^ rng.NextU64());
+  }
+  return h;
+}
+
+TEST(SweepRunnerTest, SerialAndEightThreadSweepsProduceIdenticalResults) {
+  std::vector<int> cells(64);
+  for (size_t i = 0; i < cells.size(); ++i) {
+    cells[i] = static_cast<int>(i);
+  }
+  const auto fn = [](const int& cell, uint64_t seed) -> StatusOr<uint64_t> {
+    // Adversarial durations: early cells are slow, late cells fast, so under
+    // 8 workers completion order inverts the submission order.
+    std::this_thread::sleep_for(std::chrono::microseconds(cell < 8 ? 2000 : 10));
+    return SeedFingerprint(seed, 100 + cell);
+  };
+  SweepOptions serial;
+  serial.jobs = 1;
+  serial.base_seed = 42;
+  SweepOptions parallel;
+  parallel.jobs = 8;
+  parallel.base_seed = 42;
+
+  const auto a = RunSweep(cells, fn, serial);
+  const auto b = RunSweep(cells, fn, parallel);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(SweepRunnerTest, OutputOrderMatchesInputOrderUnderAdversarialDurations) {
+  std::vector<int> cells(32);
+  for (size_t i = 0; i < cells.size(); ++i) {
+    cells[i] = static_cast<int>(i);
+  }
+  SweepOptions options;
+  options.jobs = 8;
+  const auto out = RunSweep(
+      cells,
+      [&cells](const int& cell, uint64_t) -> StatusOr<int> {
+        // Later cells finish first.
+        const auto rank = static_cast<int>(cells.size()) - cell;
+        std::this_thread::sleep_for(std::chrono::microseconds(rank * 100));
+        return cell * 7;
+      },
+      options);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), cells.size());
+  for (size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ((*out)[i], static_cast<int>(i) * 7) << "slot " << i;
+  }
+}
+
+TEST(SweepRunnerTest, ErrorFromAnyCellPropagates) {
+  const std::vector<int> cells = {0, 1, 2, 3, 4, 5, 6, 7};
+  SweepOptions options;
+  options.jobs = 4;
+  const auto out = RunSweep(
+      cells,
+      [](const int& cell, uint64_t) -> StatusOr<int> {
+        if (cell == 5) {
+          return Status::Internal("cell 5 exploded");
+        }
+        return cell;
+      },
+      options);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(out.status().message(), "cell 5 exploded");
+}
+
+TEST(SweepRunnerTest, FirstErrorByInputOrderWinsRegardlessOfCompletionOrder) {
+  const std::vector<int> cells = {0, 1, 2, 3, 4, 5, 6, 7};
+  SweepOptions options;
+  options.jobs = 8;
+  const auto out = RunSweep(
+      cells,
+      [](const int& cell, uint64_t) -> StatusOr<int> {
+        if (cell == 2) {
+          // The later-indexed error finishes first.
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+          return Status::InvalidArgument("cell 2");
+        }
+        if (cell == 6) {
+          return Status::Internal("cell 6");
+        }
+        return cell;
+      },
+      options);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().message(), "cell 2");
+}
+
+TEST(SweepRunnerTest, EmptySweepSucceeds) {
+  const std::vector<int> cells;
+  const auto out =
+      RunSweep(cells, [](const int& cell, uint64_t) -> StatusOr<int> { return cell; });
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->empty());
+}
+
+TEST(SweepRunnerTest, StatsAccountForEveryCell) {
+  const std::vector<int> cells = {0, 1, 2, 3};
+  SweepOptions options;
+  options.jobs = 2;
+  SweepStats stats;
+  const auto out = RunSweep(
+      cells,
+      [](const int& cell, uint64_t) -> StatusOr<int> {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        return cell;
+      },
+      options, &stats);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(stats.cells, 4u);
+  EXPECT_EQ(stats.jobs, 2);
+  EXPECT_GT(stats.wall_ms, 0.0);
+  EXPECT_GE(stats.serial_ms, stats.max_cell_ms);
+  EXPECT_GT(stats.max_cell_ms, 0.0);
+  EXPECT_GT(stats.Speedup(), 0.0);
+  EXPECT_NE(stats.Summary().find("cells=4"), std::string::npos);
+}
+
+TEST(SweepRunnerTest, CellSeedsAreDistinctAndStable) {
+  std::set<uint64_t> seeds;
+  for (size_t i = 0; i < 1000; ++i) {
+    seeds.insert(CellSeed(1, i));
+  }
+  EXPECT_EQ(seeds.size(), 1000u);  // No collisions across a large grid.
+  EXPECT_EQ(CellSeed(1, 7), CellSeed(1, 7));
+  EXPECT_NE(CellSeed(1, 7), CellSeed(2, 7));  // Base seed matters.
+}
+
+TEST(SweepRunnerTest, ResolveJobsPrecedence) {
+  unsetenv("CXL_JOBS");
+  EXPECT_EQ(ResolveJobs(5), 5);
+  EXPECT_GE(ResolveJobs(0), 1);  // hardware_concurrency fallback.
+  setenv("CXL_JOBS", "3", 1);
+  EXPECT_EQ(ResolveJobs(0), 3);
+  EXPECT_EQ(ResolveJobs(7), 7);  // Explicit request beats the env.
+  setenv("CXL_JOBS", "garbage", 1);
+  EXPECT_GE(ResolveJobs(0), 1);  // Malformed env degrades to auto.
+  unsetenv("CXL_JOBS");
+}
+
+TEST(SweepRunnerTest, JobsFromArgsParsesAndStripsTheFlag) {
+  {
+    const char* raw[] = {"bench", "--jobs", "4", "positional"};
+    char* argv[4];
+    for (int i = 0; i < 4; ++i) {
+      argv[i] = const_cast<char*>(raw[i]);
+    }
+    int argc = 4;
+    EXPECT_EQ(JobsFromArgs(&argc, argv), 4);
+    ASSERT_EQ(argc, 2);
+    EXPECT_STREQ(argv[1], "positional");
+  }
+  {
+    const char* raw[] = {"bench", "--jobs=8"};
+    char* argv[2];
+    for (int i = 0; i < 2; ++i) {
+      argv[i] = const_cast<char*>(raw[i]);
+    }
+    int argc = 2;
+    EXPECT_EQ(JobsFromArgs(&argc, argv), 8);
+    EXPECT_EQ(argc, 1);
+  }
+  {
+    const char* raw[] = {"bench", "-j", "2"};
+    char* argv[3];
+    for (int i = 0; i < 3; ++i) {
+      argv[i] = const_cast<char*>(raw[i]);
+    }
+    int argc = 3;
+    EXPECT_EQ(JobsFromArgs(&argc, argv), 2);
+    EXPECT_EQ(argc, 1);
+  }
+  {
+    const char* raw[] = {"bench", "Rd", "Rc"};
+    char* argv[3];
+    for (int i = 0; i < 3; ++i) {
+      argv[i] = const_cast<char*>(raw[i]);
+    }
+    int argc = 3;
+    EXPECT_EQ(JobsFromArgs(&argc, argv), 0);  // Absent -> auto.
+    EXPECT_EQ(argc, 3);                       // Positional args untouched.
+  }
+}
+
+TEST(SweepRunnerTest, MoreJobsThanCellsIsClamped) {
+  const std::vector<int> cells = {1, 2};
+  SweepOptions options;
+  options.jobs = 64;
+  SweepStats stats;
+  const auto out = RunSweep(
+      cells, [](const int& cell, uint64_t) -> StatusOr<int> { return cell * 2; }, options,
+      &stats);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(stats.jobs, 2);  // Never more workers than cells.
+  EXPECT_EQ((*out)[0], 2);
+  EXPECT_EQ((*out)[1], 4);
+}
+
+}  // namespace
+}  // namespace cxl::runner

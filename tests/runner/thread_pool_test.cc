@@ -1,0 +1,83 @@
+#include "src/runner/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace cxl::runner {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossWaitCycles) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.Wait();
+    EXPECT_EQ(counter.load(), (round + 1) * 50);
+  }
+}
+
+TEST(ThreadPoolTest, WaitBlocksUntilSlowTasksFinish) {
+  ThreadPool pool(3);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 6; ++i) {
+    pool.Submit([&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      done.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), 6);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&counter] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        counter.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    // No Wait(): destruction must still run everything already queued.
+  }
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPoolTest, ParallelismActuallyOverlapsTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> live{0};
+  std::atomic<int> peak{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&live, &peak] {
+      const int now = live.fetch_add(1, std::memory_order_relaxed) + 1;
+      int prev = peak.load(std::memory_order_relaxed);
+      while (prev < now && !peak.compare_exchange_weak(prev, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      live.fetch_sub(1, std::memory_order_relaxed);
+    });
+  }
+  pool.Wait();
+  // With 4 workers and 10 ms tasks at least two must have been in flight at
+  // once (even a 1-core host timeslices within the sleep).
+  EXPECT_GE(peak.load(), 2);
+}
+
+}  // namespace
+}  // namespace cxl::runner
