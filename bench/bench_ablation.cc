@@ -47,8 +47,10 @@ apps::kv::KvServerSim::Result KeyDbWithRateLimit(double limit_mbps) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  auto bench_telemetry = cxl::telemetry::BenchTelemetry::FromArgs(&argc, argv);
   runner::SweepOptions sweep_options;
   sweep_options.jobs = runner::JobsFromArgs(&argc, argv);
+  runner::SweepStats stats;
 
   // --- A1: rate limit, locality-dependent -----------------------------------
   PrintSection(std::cout,
@@ -73,7 +75,8 @@ int main(int argc, char** argv) {
         row.spark = apps::spark::SparkCluster(cfg).RunQuery(q7);
         return row;
       },
-      sweep_options);
+      sweep_options, &stats);
+  bench_telemetry.RecordSweep("a1", stats);
   if (!a1_rows.ok()) {
     std::cerr << "A1 failed: " << a1_rows.status().ToString() << "\n";
     return 1;
@@ -132,7 +135,8 @@ int main(int argc, char** argv) {
         store->Free();
         return result;
       },
-      sweep_options);
+      sweep_options, &stats);
+  bench_telemetry.RecordSweep("a2", stats);
   if (!a2_rows.ok()) {
     std::cerr << "A2 failed: " << a2_rows.status().ToString() << "\n";
     return 1;
@@ -202,7 +206,8 @@ int main(int argc, char** argv) {
                                     .serving_rate_tokens_s;
         return row;
       },
-      sweep_options);
+      sweep_options, &stats);
+  bench_telemetry.RecordSweep("a5", stats);
   if (!a5_rows.ok()) {
     std::cerr << "A5 failed: " << a5_rows.status().ToString() << "\n";
     return 1;
@@ -250,7 +255,8 @@ int main(int argc, char** argv) {
         store->Free();
         return result;
       },
-      sweep_options);
+      sweep_options, &stats);
+  bench_telemetry.RecordSweep("a4", stats);
   if (!a4_rows.ok()) {
     std::cerr << "A4 failed: " << a4_rows.status().ToString() << "\n";
     return 1;
@@ -262,5 +268,8 @@ int main(int argc, char** argv) {
         .Cell((*a4_rows)[i].migrated_bytes / 1e9, 2);
   }
   a4.Print(std::cout);
+  if (!bench_telemetry.Write("bench_ablation")) {
+    return 1;
+  }
   return 0;
 }

@@ -14,7 +14,9 @@
 #include "src/core/cxl_explorer.h"
 #include "src/os/bandwidth_aware.h"
 
-int main() {
+int main(int argc, char** argv) {
+  auto bench_telemetry = cxl::telemetry::BenchTelemetry::FromArgs(&argc, argv);
+
   using namespace cxl;
   using mem::AccessMix;
 
@@ -71,5 +73,8 @@ int main() {
   std::cout << "Reading: once the streamer pushes the domain past its knee, shifting part of\n"
                "it to CXL cuts the KV tenant's latency (and the streamer loses nothing) —\n"
                "CXL as a load-balancing resource, not a second-class tier (§3.4).\n";
+  if (!bench_telemetry.Write("bench_colocation")) {
+    return 1;
+  }
   return 0;
 }

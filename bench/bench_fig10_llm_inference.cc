@@ -14,11 +14,13 @@
 
 #include "src/core/cxl_explorer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cxl;
   using apps::llm::LlmInferenceSim;
   using apps::llm::LlmPlacement;
 
+  auto bench_telemetry = telemetry::BenchTelemetry::FromArgs(&argc, argv);
+  telemetry::MetricRegistry* sink = bench_telemetry.sink();
   LlmInferenceSim sim;
   const std::vector<LlmPlacement> placements = {
       LlmPlacement::MmemOnly(), LlmPlacement::Interleave(3, 1), LlmPlacement::Interleave(1, 1),
@@ -33,7 +35,12 @@ int main() {
   for (int threads = 12; threads <= 84; threads += 12) {
     rate.Row().Cell(static_cast<uint64_t>(threads));
     for (const auto& p : placements) {
-      rate.Cell(sim.Solve(p, threads).serving_rate_tokens_s, 1);
+      const double tokens_s = sim.Solve(p, threads).serving_rate_tokens_s;
+      rate.Cell(tokens_s, 1);
+      if (sink != nullptr) {
+        // x-axis is the thread count, not time: Fig 10(a) is a scaling curve.
+        sink->timeline().Sample("llm.tokens_per_second/" + p.label, threads, tokens_s);
+      }
     }
   }
   rate.Print(std::cout);
@@ -52,7 +59,11 @@ int main() {
   PrintSection(std::cout, "Fig 10(b): single-backend memory bandwidth vs threads");
   Table bw({"threads", "GB/s"});
   for (int t = 2; t <= 32; t += 2) {
-    bw.Row().Cell(static_cast<uint64_t>(t)).Cell(sim.SingleBackendBandwidthGBps(t), 1);
+    const double gbps = sim.SingleBackendBandwidthGBps(t);
+    bw.Row().Cell(static_cast<uint64_t>(t)).Cell(gbps, 1);
+    if (sink != nullptr) {
+      sink->timeline().Sample("llm.backend_bandwidth_gbps", t, gbps);
+    }
   }
   bw.Print(std::cout);
   std::cout << "plateau: " << FormatDouble(sim.SingleBackendBandwidthGBps(32), 1)
@@ -61,10 +72,21 @@ int main() {
   PrintSection(std::cout, "Fig 10(c): memory bandwidth vs KV-cache size");
   Table kv({"KV cache GB", "GB/s"});
   for (double gb : {0.0, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0}) {
-    kv.Row().Cell(gb, 2).Cell(sim.KvCacheBandwidthGBps(gb * 1e9), 1);
+    const double gbps = sim.KvCacheBandwidthGBps(gb * 1e9);
+    kv.Row().Cell(gb, 2).Cell(gbps, 1);
+    if (sink != nullptr) {
+      sink->timeline().Sample("llm.kvcache_bandwidth_gbps", gb, gbps);
+    }
   }
   kv.Print(std::cout);
   std::cout << "floor: " << FormatDouble(sim.KvCacheBandwidthGBps(0.0), 1)
             << " GB/s (paper: ~12, model-load I/O); plateau ~21 GB/s\n";
+  if (sink != nullptr) {
+    sink->GetGauge("llm.backend_bandwidth_plateau_gbps").Set(sim.SingleBackendBandwidthGBps(32));
+    sink->GetGauge("llm.kvcache_floor_gbps").Set(sim.KvCacheBandwidthGBps(0.0));
+  }
+  if (!bench_telemetry.Write("bench_fig10_llm_inference")) {
+    return 1;
+  }
   return 0;
 }

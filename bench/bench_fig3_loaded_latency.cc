@@ -9,7 +9,9 @@
 
 #include "src/core/cxl_explorer.h"
 
-int main() {
+int main(int argc, char** argv) {
+  auto bench_telemetry = cxl::telemetry::BenchTelemetry::FromArgs(&argc, argv);
+
   using namespace cxl;
   using mem::AccessMix;
 
@@ -84,5 +86,8 @@ int main() {
       .Cell(mem::GetProfile(mem::MemoryPath::kRemoteCxl).PeakBandwidthGBps(AccessMix::Ratio(2, 1)), 1)
       .Cell("20.4");
   anchors.Print(std::cout);
+  if (!bench_telemetry.Write("bench_fig3_loaded_latency")) {
+    return 1;
+  }
   return 0;
 }

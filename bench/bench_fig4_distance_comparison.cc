@@ -7,7 +7,9 @@
 
 #include "src/core/cxl_explorer.h"
 
-int main() {
+int main(int argc, char** argv) {
+  auto bench_telemetry = cxl::telemetry::BenchTelemetry::FromArgs(&argc, argv);
+
   using namespace cxl;
   using mem::AccessMix;
   using mem::AccessPattern;
@@ -65,5 +67,8 @@ int main() {
     ratios.Row().Cell(mem::MixLabel(mix)).Cell(cxl / local, 2).Cell(cxl / remote, 2);
   }
   ratios.Print(std::cout);
+  if (!bench_telemetry.Write("bench_fig4_distance_comparison")) {
+    return 1;
+  }
   return 0;
 }

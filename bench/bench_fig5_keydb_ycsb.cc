@@ -41,26 +41,36 @@ struct Cell {
 }  // namespace
 
 int main(int argc, char** argv) {
+  auto bench_telemetry = telemetry::BenchTelemetry::FromArgs(&argc, argv);
   const int jobs = runner::JobsFromArgs(&argc, argv);
   const auto workloads = {workload::YcsbWorkload::kA, workload::YcsbWorkload::kB,
                           workload::YcsbWorkload::kC, workload::YcsbWorkload::kD};
   const auto configs = core::AllCapacityConfigs();
 
   std::vector<Cell> cells;
+  std::vector<std::string> labels;
   for (core::CapacityConfig config : configs) {
     for (workload::YcsbWorkload w : workloads) {
       cells.push_back(Cell{config, w});
+      labels.push_back(core::ConfigLabel(config) + "/" + workload::YcsbName(w));
     }
   }
 
   runner::SweepOptions sweep_options;
   sweep_options.jobs = jobs;
+  sweep_options.cell_labels = labels;
   runner::SweepStats stats;
+  // Each sweep cell writes its own registry; they merge in cell-index order
+  // below, so the telemetry output is identical for any --jobs value.
+  std::vector<telemetry::MetricRegistry> cell_sinks(bench_telemetry.enabled() ? cells.size() : 0);
   const auto grid = runner::RunSweep(
       cells,
-      [](const Cell& cell, uint64_t seed) {
+      [&cells, &cell_sinks](const Cell& cell, uint64_t seed) {
         core::KeyDbExperimentOptions opt = Options();
         opt.seed = seed;
+        if (!cell_sinks.empty()) {
+          opt.telemetry = &cell_sinks[static_cast<size_t>(&cell - cells.data())];
+        }
         return core::RunKeyDbExperiment(cell.config, cell.workload, opt);
       },
       sweep_options, &stats);
@@ -69,6 +79,10 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::cerr << "[sweep] " << stats.Summary() << "\n";
+  bench_telemetry.RecordSweep("fig5", stats);
+  for (size_t i = 0; i < cell_sinks.size(); ++i) {
+    bench_telemetry.registry().MergeFrom(cell_sinks[i], labels[i] + "/");
+  }
 
   // Cell (config index ci, workload index wi) lives at grid slot ci * 4 + wi.
   const auto cell = [&](size_t ci, size_t wi) -> const core::KeyDbExperimentResult& {
@@ -130,5 +144,8 @@ int main(int argc, char** argv) {
                "there) and a bounded trickle of warm-tail churn persists at the rate limit —\n"
                "the cost the per-page stall accounting charges, and why Hot-Promote lands a\n"
                "few percent shy of MMEM instead of matching it exactly.\n";
+  if (!bench_telemetry.Write("bench_fig5_keydb_ycsb")) {
+    return 1;
+  }
   return 0;
 }

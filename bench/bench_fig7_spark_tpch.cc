@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   using apps::spark::SparkCluster;
   using apps::spark::SparkConfig;
 
+  auto bench_telemetry = telemetry::BenchTelemetry::FromArgs(&argc, argv);
   const int jobs = runner::JobsFromArgs(&argc, argv);
   const std::vector<QueryProfile> queries = apps::spark::TpchShuffleHeavyQueries();
 
@@ -44,19 +45,29 @@ int main(int argc, char** argv) {
     size_t query_index;
   };
   std::vector<Cell> cells;
+  std::vector<std::string> labels;
   for (size_t ci = 0; ci < configs.size(); ++ci) {
     for (size_t qi = 0; qi < queries.size(); ++qi) {
       cells.push_back(Cell{ci, qi});
+      labels.push_back(configs[ci].label + "/" + queries[qi].name);
     }
   }
 
   runner::SweepOptions sweep_options;
   sweep_options.jobs = jobs;
+  sweep_options.cell_labels = labels;
   runner::SweepStats stats;
+  // One registry per cell (single-writer under the parallel sweep), merged in
+  // cell-index order below so the telemetry output is --jobs-independent.
+  std::vector<telemetry::MetricRegistry> cell_sinks(bench_telemetry.enabled() ? cells.size() : 0);
   const auto grid = runner::RunSweep(
       cells,
-      [&configs, &queries](const Cell& cell, uint64_t /*seed*/) -> StatusOr<QueryResult> {
+      [&configs, &queries, &cells, &cell_sinks](const Cell& cell,
+                                                uint64_t /*seed*/) -> StatusOr<QueryResult> {
         SparkCluster cluster(configs[cell.config_index].config);
+        if (!cell_sinks.empty()) {
+          cluster.AttachTelemetry(&cell_sinks[static_cast<size_t>(&cell - cells.data())]);
+        }
         return cluster.RunQuery(queries[cell.query_index]);
       },
       sweep_options, &stats);
@@ -65,6 +76,10 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::cerr << "[sweep] " << stats.Summary() << "\n";
+  bench_telemetry.RecordSweep("fig7", stats);
+  for (size_t i = 0; i < cell_sinks.size(); ++i) {
+    bench_telemetry.registry().MergeFrom(cell_sinks[i], labels[i] + "/");
+  }
   const auto result_at = [&](size_t ci, size_t qi) -> const QueryResult& {
     return (*grid)[ci * queries.size() + qi];
   };
@@ -113,5 +128,8 @@ int main(int argc, char** argv) {
         .Cell(r.cxl_access_share, 2);
   }
   detail.Print(std::cout);
+  if (!bench_telemetry.Write("bench_fig7_spark_tpch")) {
+    return 1;
+  }
   return 0;
 }

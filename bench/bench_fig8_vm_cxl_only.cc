@@ -12,6 +12,7 @@
 int main(int argc, char** argv) {
   using namespace cxl;
 
+  auto bench_telemetry = telemetry::BenchTelemetry::FromArgs(&argc, argv);
   core::KeyDbExperimentOptions opt;
   opt.dataset_bytes = 12ull << 30;  // 1/8-scale 100 GB shape.
   opt.total_ops = 220'000;
@@ -19,6 +20,8 @@ int main(int argc, char** argv) {
   // The MMEM and CXL placements are independent cells; the experiment runs
   // them concurrently through the SweepRunner when jobs > 1.
   opt.jobs = runner::JobsFromArgs(&argc, argv);
+  // The experiment merges its two placements under "mmem." / "cxl." here.
+  opt.telemetry = bench_telemetry.sink();
   const auto res = core::RunVmCxlOnlyExperiment(opt);
   if (!res.ok()) {
     std::cerr << "experiment failed: " << res.status().ToString() << "\n";
@@ -53,5 +56,12 @@ int main(int argc, char** argv) {
   rev.Row().Cell("revenue improvement").Cell(econ.RevenueImprovement(), 4);
   rev.Print(std::cout);
   std::cout << "(paper: 25% stranded; ~27% improvement, 20/75)\n";
+  if (bench_telemetry.sink() != nullptr) {
+    bench_telemetry.registry().GetGauge("fig8.throughput_penalty").Set(res->throughput_penalty);
+    bench_telemetry.registry().GetGauge("fig8.revenue_improvement").Set(econ.RevenueImprovement());
+  }
+  if (!bench_telemetry.Write("bench_fig8_vm_cxl_only")) {
+    return 1;
+  }
   return 0;
 }

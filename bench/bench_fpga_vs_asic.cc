@@ -5,7 +5,9 @@
 
 #include "src/core/cxl_explorer.h"
 
-int main() {
+int main(int argc, char** argv) {
+  auto bench_telemetry = cxl::telemetry::BenchTelemetry::FromArgs(&argc, argv);
+
   using namespace cxl;
   using mem::AccessMix;
   using mem::CxlController;
@@ -40,5 +42,8 @@ int main() {
         .Cell(pt.latency_ns, 1);
   }
   loaded.Print(std::cout);
+  if (!bench_telemetry.Write("bench_fpga_vs_asic")) {
+    return 1;
+  }
   return 0;
 }

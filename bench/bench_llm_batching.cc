@@ -7,7 +7,9 @@
 
 #include "src/core/cxl_explorer.h"
 
-int main() {
+int main(int argc, char** argv) {
+  auto bench_telemetry = cxl::telemetry::BenchTelemetry::FromArgs(&argc, argv);
+
   using namespace cxl;
   using apps::llm::LlmInferenceSim;
   using apps::llm::LlmPlacement;
@@ -63,5 +65,8 @@ int main() {
         .Cell(i31.tokens_per_second, 1);
   }
   ctx.Print(std::cout);
+  if (!bench_telemetry.Write("bench_llm_batching")) {
+    return 1;
+  }
   return 0;
 }

@@ -114,4 +114,18 @@ BENCHMARK(BM_KeyDbExperimentEndToEnd)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() so the telemetry flags are stripped before
+// google-benchmark sees (and rejects) them.
+int main(int argc, char** argv) {
+  auto bench_telemetry = cxl::telemetry::BenchTelemetry::FromArgs(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!bench_telemetry.Write("bench_micro_simulator")) {
+    return 1;
+  }
+  return 0;
+}

@@ -7,7 +7,9 @@
 #include "src/core/cxl_explorer.h"
 #include "src/pool/memory_pool.h"
 
-int main() {
+int main(int argc, char** argv) {
+  auto bench_telemetry = cxl::telemetry::BenchTelemetry::FromArgs(&argc, argv);
+
   using namespace cxl;
 
   PrintSection(std::cout, "Pooled-CXL performance law (local CXL + switch hop)");
@@ -75,6 +77,9 @@ int main() {
               << FormatDouble(100.0 * without.TcoSaving(), 2) << "% -> "
               << FormatDouble(100.0 * with.TcoSaving(), 2) << "% once the pool amortizes "
               << FormatDouble(100.0 * saving, 1) << "% of the CXL capacity\n";
+  }
+  if (!bench_telemetry.Write("bench_pooling_whatif")) {
+    return 1;
   }
   return 0;
 }

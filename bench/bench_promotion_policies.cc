@@ -19,7 +19,7 @@ struct PolicyRun {
 };
 
 StatusOr<PolicyRun> RunKeyDb(os::PromotionMode mode, workload::OpSource& source,
-                             uint64_t dataset_bytes) {
+                             uint64_t dataset_bytes, telemetry::MetricRegistry* sink = nullptr) {
   topology::Platform platform = core::MakeHotPromotePlatform(dataset_bytes);
   os::PageAllocator allocator(platform, 16ull << 10);
   os::TieringConfig tc = core::DefaultTieringConfig();
@@ -27,6 +27,7 @@ StatusOr<PolicyRun> RunKeyDb(os::PromotionMode mode, workload::OpSource& source,
   // A realistic production cap — which TPP predates and ignores.
   tc.promote_rate_limit_mbps = 256.0;
   os::TieredMemory tiering(allocator, tc);
+  tiering.AttachTelemetry(sink);
   apps::kv::KvStoreConfig store_cfg;
   store_cfg.record_count = dataset_bytes / 1024;
   const auto setup = core::MakeCapacitySetup(core::CapacityConfig::kHotPromote, platform);
@@ -37,7 +38,7 @@ StatusOr<PolicyRun> RunKeyDb(os::PromotionMode mode, workload::OpSource& source,
   apps::kv::KvServerConfig scfg;
   scfg.total_ops = 150'000;
   scfg.warmup_ops = 40'000;
-  apps::kv::KvServerSim sim(platform, *store, source, scfg, &tiering);
+  apps::kv::KvServerSim sim(platform, *store, source, scfg, &tiering, sink);
   PolicyRun run{sim.Run(), allocator.counters()};
   store->Free();
   return run;
@@ -75,12 +76,23 @@ class ScanSource final : public workload::OpSource {
 }  // namespace
 
 int main(int argc, char** argv) {
+  auto bench_telemetry = telemetry::BenchTelemetry::FromArgs(&argc, argv);
   constexpr uint64_t kDataset = 8ull << 30;
   const std::vector<os::PromotionMode> modes = {os::PromotionMode::kHotPageSelection,
                                                 os::PromotionMode::kMruBalancing,
                                                 os::PromotionMode::kTppLike};
   runner::SweepOptions sweep_options;
   sweep_options.jobs = runner::JobsFromArgs(&argc, argv);
+  for (os::PromotionMode mode : modes) {
+    sweep_options.cell_labels.push_back(ModeName(mode));
+  }
+  runner::SweepStats stats;
+  // Per-cell registries (single-writer under the sweep), merged in index
+  // order after each sweep so output is --jobs-independent.
+  std::vector<telemetry::MetricRegistry> zipf_sinks(
+      bench_telemetry.enabled() ? modes.size() : 0);
+  std::vector<telemetry::MetricRegistry> scan_sinks(
+      bench_telemetry.enabled() ? modes.size() : 0);
 
   // One policy per cell; each cell owns its op source (they are stateful
   // cursors, so sharing one across threads would skew the comparison).
@@ -88,14 +100,22 @@ int main(int argc, char** argv) {
   Table zipf({"policy", "kops/s", "p99 us", "promoted", "demoted", "migrated GB"});
   const auto zipf_runs = runner::RunSweep(
       modes,
-      [](const os::PromotionMode& mode, uint64_t /*seed*/) {
+      [&modes, &zipf_sinks](const os::PromotionMode& mode, uint64_t /*seed*/) {
         workload::YcsbGenerator gen(workload::YcsbWorkload::kB, kDataset / 1024, 1);
-        return RunKeyDb(mode, gen, kDataset);
+        telemetry::MetricRegistry* sink =
+            zipf_sinks.empty() ? nullptr
+                               : &zipf_sinks[static_cast<size_t>(&mode - modes.data())];
+        return RunKeyDb(mode, gen, kDataset, sink);
       },
-      sweep_options);
+      sweep_options, &stats);
+  bench_telemetry.RecordSweep("zipf", stats);
   if (!zipf_runs.ok()) {
     std::cerr << "store: " << zipf_runs.status().ToString() << "\n";
     return 1;
+  }
+  for (size_t i = 0; i < zipf_sinks.size(); ++i) {
+    bench_telemetry.registry().MergeFrom(zipf_sinks[i],
+                                         std::string("zipf/") + ModeName(modes[i]) + "/");
   }
   for (size_t i = 0; i < modes.size(); ++i) {
     const PolicyRun& run = (*zipf_runs)[i];
@@ -114,14 +134,22 @@ int main(int argc, char** argv) {
   Table scan({"policy", "kops/s", "p99 us", "promoted", "demoted", "migrated GB"});
   const auto scan_runs = runner::RunSweep(
       modes,
-      [](const os::PromotionMode& mode, uint64_t /*seed*/) {
+      [&modes, &scan_sinks](const os::PromotionMode& mode, uint64_t /*seed*/) {
         ScanSource source(kDataset / 1024);
-        return RunKeyDb(mode, source, kDataset);
+        telemetry::MetricRegistry* sink =
+            scan_sinks.empty() ? nullptr
+                               : &scan_sinks[static_cast<size_t>(&mode - modes.data())];
+        return RunKeyDb(mode, source, kDataset, sink);
       },
-      sweep_options);
+      sweep_options, &stats);
+  bench_telemetry.RecordSweep("scan", stats);
   if (!scan_runs.ok()) {
     std::cerr << "store: " << scan_runs.status().ToString() << "\n";
     return 1;
+  }
+  for (size_t i = 0; i < scan_sinks.size(); ++i) {
+    bench_telemetry.registry().MergeFrom(scan_sinks[i],
+                                         std::string("scan/") + ModeName(modes[i]) + "/");
   }
   for (size_t i = 0; i < modes.size(); ++i) {
     const PolicyRun& run = (*scan_runs)[i];
@@ -137,5 +165,8 @@ int main(int argc, char** argv) {
   std::cout << "Reading: on the scan, TPP promotes everything it touches (no rate limit, no\n"
                "threshold) and the migration traffic + demotion churn eat into throughput —\n"
                "the paper's reason for using \"the well-tested kernel patches\" instead.\n";
+  if (!bench_telemetry.Write("bench_promotion_policies")) {
+    return 1;
+  }
   return 0;
 }

@@ -5,7 +5,9 @@
 
 #include "src/core/cxl_explorer.h"
 
-int main() {
+int main(int argc, char** argv) {
+  auto bench_telemetry = cxl::telemetry::BenchTelemetry::FromArgs(&argc, argv);
+
   using namespace cxl;
   using apps::spark::BuildDag;
   using apps::spark::DagScheduler;
@@ -55,5 +57,8 @@ int main() {
   gran.Print(std::cout);
   std::cout << "Reading: finer tasks smooth stragglers across the barrier — the standard\n"
                "Spark tuning advice, emerging from the same memory model as Fig. 7.\n";
+  if (!bench_telemetry.Write("bench_spark_dag")) {
+    return 1;
+  }
   return 0;
 }

@@ -8,7 +8,9 @@
 #include "src/core/cxl_explorer.h"
 #include "src/workload/stream.h"
 
-int main() {
+int main(int argc, char** argv) {
+  auto bench_telemetry = cxl::telemetry::BenchTelemetry::FromArgs(&argc, argv);
+
   using namespace cxl;
 
   PrintSection(std::cout, "STREAM triad (16 threads) and pointer chase, per path");
@@ -59,5 +61,8 @@ int main() {
     }
   }
   scale.Print(std::cout);
+  if (!bench_telemetry.Write("bench_stream_chase")) {
+    return 1;
+  }
   return 0;
 }

@@ -7,7 +7,9 @@
 
 #include "src/core/cxl_explorer.h"
 
-int main() {
+int main(int argc, char** argv) {
+  auto bench_telemetry = cxl::telemetry::BenchTelemetry::FromArgs(&argc, argv);
+
   using namespace cxl;
   using cost::AbstractCostModel;
   using cost::CostModelParams;
@@ -92,5 +94,8 @@ int main() {
   AbstractCostModel measured(CostModelParams{1.90, 1.45, 2.0, 1.1});
   std::cout << "server ratio: " << FormatDouble(100.0 * measured.ServerRatio(), 1)
             << "%, TCO saving: " << FormatDouble(100.0 * measured.TcoSaving(), 1) << "%\n";
+  if (!bench_telemetry.Write("bench_table3_cost_model")) {
+    return 1;
+  }
   return 0;
 }

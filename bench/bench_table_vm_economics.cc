@@ -4,7 +4,9 @@
 
 #include "src/core/cxl_explorer.h"
 
-int main() {
+int main(int argc, char** argv) {
+  auto bench_telemetry = cxl::telemetry::BenchTelemetry::FromArgs(&argc, argv);
+
   using namespace cxl;
 
   PrintSection(std::cout, "Table 2: Intel processor series");
@@ -51,5 +53,8 @@ int main() {
     disc.Row().Cell(100.0 * d, 1).Cell(100.0 * e.RevenueImprovement(), 2);
   }
   disc.Print(std::cout);
+  if (!bench_telemetry.Write("bench_table_vm_economics")) {
+    return 1;
+  }
   return 0;
 }

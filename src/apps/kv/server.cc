@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "src/mem/access.h"
 #include "src/mem/profiles.h"
+#include "src/topology/pcm.h"
 
 namespace cxl::apps::kv {
 
@@ -14,13 +16,17 @@ using EpochSample = KvServerSim::EpochSample;
 
 KvServerSim::KvServerSim(const topology::Platform& platform, KvStore& store,
                          workload::OpSource& workload, KvServerConfig config,
-                         os::TieredMemory* tiering)
+                         os::TieredMemory* tiering, telemetry::MetricRegistry* telemetry)
     : platform_(platform),
       store_(store),
       workload_(workload),
       config_(config),
       tiering_(tiering),
+      telemetry_(telemetry),
       rng_(config.seed) {
+  if (telemetry_ != nullptr) {
+    kv_track_ = telemetry_->trace().Track("kv-server");
+  }
   free_threads_ = config_.server_threads;
   nodes_.resize(platform.nodes().size());
   epoch_node_bytes_.assign(platform.nodes().size(), 0.0);
@@ -140,6 +146,30 @@ void KvServerSim::RefreshContention(double epoch_dt_ns) {
   EpochSample sample;
   sample.end_ms = events_.Now() / 1e6;
   sample.kops = static_cast<double>(config_.epoch_ops) / epoch_dt_ns * 1e6;
+
+  if (telemetry_ != nullptr) {
+    const double t_ms = sample.end_ms;
+    const auto snap = topology::TakePcmSnapshot(platform_, sol);
+    topology::SamplePcmSnapshot(telemetry_->timeline(), t_ms, snap);
+    // Per-path bandwidth gauges: the latest epoch wins, and the run ends in
+    // steady state, so these read like the final pcm-memory screen.
+    for (const auto& s : snap.sockets) {
+      telemetry_->GetGauge("pcm.skt" + std::to_string(s.socket) + ".dram_gbps")
+          .Set(s.dram_read_write_gbps);
+    }
+    for (size_t i = 0; i < snap.upi.size(); ++i) {
+      telemetry_->GetGauge("pcm.upi" + std::to_string(i) + ".gbps").Set(snap.upi[i].achieved_gbps);
+    }
+    for (size_t i = 0; i < snap.cxl_cards.size(); ++i) {
+      telemetry_->GetGauge("pcm.cxl" + std::to_string(i) + ".gbps")
+          .Set(snap.cxl_cards[i].achieved_gbps);
+    }
+    telemetry_->GetGauge("pcm.max_upi_utilization").Set(snap.MaxUpiUtilization());
+    telemetry_->timeline().Sample("kv.kops", t_ms, sample.kops);
+    telemetry_->trace().Span(kv_track_, "epoch " + std::to_string(epoch_index_),
+                             t_ms - epoch_dt_ns / 1e6, epoch_dt_ns / 1e6, {{"kops", sample.kops}});
+  }
+  ++epoch_index_;
 
   // Promotion daemon runs on the same cadence.
   migration_stall_ns_per_op_ = 0.0;

@@ -23,6 +23,7 @@
 #include "src/apps/kv/kvstore.h"
 #include "src/os/tiering.h"
 #include "src/sim/event_queue.h"
+#include "src/telemetry/metrics.h"
 #include "src/topology/platform.h"
 #include "src/util/histogram.h"
 #include "src/util/rng.h"
@@ -48,9 +49,14 @@ struct KvServerConfig {
 class KvServerSim {
  public:
   // `tiering` may be null (no promotion daemon). The daemon, when present,
-  // ticks once per epoch on simulated time.
+  // ticks once per epoch on simulated time. `telemetry` may be null too;
+  // when set, every contention epoch appends PCM-style per-path bandwidth
+  // series and throughput into it, plus one span per epoch on the
+  // "kv-server" trace track. Observational only — attaching a sink must not
+  // change the simulation.
   KvServerSim(const topology::Platform& platform, KvStore& store, workload::OpSource& workload,
-              KvServerConfig config, os::TieredMemory* tiering = nullptr);
+              KvServerConfig config, os::TieredMemory* tiering = nullptr,
+              telemetry::MetricRegistry* telemetry = nullptr);
 
   // One row per contention epoch: the time series behind convergence plots
   // (Hot-Promote warm-up, SSD cache fill, ...).
@@ -96,6 +102,9 @@ class KvServerSim {
   workload::OpSource& workload_;
   KvServerConfig config_;
   os::TieredMemory* tiering_;
+  telemetry::MetricRegistry* telemetry_;
+  telemetry::TraceBuffer::TrackId kv_track_ = 0;
+  uint64_t epoch_index_ = 0;
   Rng rng_;
 
   sim::EventQueue events_;

@@ -1,6 +1,7 @@
 #include "src/apps/llm/serving.h"
 
 #include <algorithm>
+#include <string>
 
 namespace cxl::apps::llm {
 
@@ -27,10 +28,18 @@ ServingStack::Stats ServingStack::SteadyState(const ServingRequest& request) con
 }
 
 ServingStack::Stats ServingStack::Drive(const ServingRequest& request, int n,
-                                        Histogram* latency_s, uint64_t seed) const {
+                                        Histogram* latency_s, uint64_t seed,
+                                        telemetry::MetricRegistry* sink) const {
   Stats steady = SteadyState(request);
   if (n <= 0 || steady.mean_request_seconds <= 0.0) {
     return steady;
+  }
+  std::vector<telemetry::TraceBuffer::TrackId> backend_tracks;
+  if (sink != nullptr) {
+    backend_tracks.reserve(static_cast<size_t>(config_.backends));
+    for (int b = 0; b < config_.backends; ++b) {
+      backend_tracks.push_back(sink->trace().Track("llm/backend" + std::to_string(b)));
+    }
   }
   Rng rng(seed);
   // Backends drain a shared arrival queue; with back-to-back arrivals every
@@ -50,6 +59,14 @@ ServingStack::Stats ServingStack::Drive(const ServingRequest& request, int n,
     if (latency_s != nullptr) {
       latency_s->Record(*slot - now);
     }
+    if (sink != nullptr) {
+      const auto backend = static_cast<size_t>(slot - backend_free_at.begin());
+      sink->trace().Span(backend_tracks[backend], "request " + std::to_string(i),
+                         start * 1e3, decode * 1e3, {{"tokens", tokens}});
+      sink->timeline().Sample("llm.request_seconds", *slot * 1e3, *slot - now);
+      sink->GetCounter("llm.requests").Increment();
+      sink->GetCounter("llm.tokens").Add(static_cast<uint64_t>(tokens));
+    }
     // Single-threaded client (§5.1): it fires the next request immediately.
   }
   const double makespan = *std::max_element(backend_free_at.begin(), backend_free_at.end());
@@ -58,6 +75,12 @@ ServingStack::Stats ServingStack::Drive(const ServingRequest& request, int n,
     stats.requests_per_second = n / makespan;
     stats.tokens_per_second = stats.requests_per_second * request.output_tokens;
     stats.mean_request_seconds = total_busy / n;
+  }
+  if (sink != nullptr) {
+    sink->GetGauge("llm.tokens_per_second").Set(stats.tokens_per_second);
+    sink->GetGauge("llm.requests_per_second").Set(stats.requests_per_second);
+    sink->GetGauge("llm.mean_request_seconds").Set(stats.mean_request_seconds);
+    sink->GetGauge("llm.mem_bandwidth_gbps").Set(stats.mem_bandwidth_gbps);
   }
   return stats;
 }

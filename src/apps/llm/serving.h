@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/apps/llm/inference.h"
+#include "src/telemetry/metrics.h"
 #include "src/util/histogram.h"
 #include "src/util/rng.h"
 
@@ -51,9 +52,13 @@ class ServingStack {
   Stats SteadyState(const ServingRequest& request) const;
 
   // Simulates `n` requests arriving back-to-back (per the paper's client)
-  // and records per-request latency. Deterministic given the seed.
+  // and records per-request latency. Deterministic given the seed. When a
+  // telemetry sink is given, every request becomes a span on its backend's
+  // "llm/backend<i>" trace track (simulated seconds -> trace ms) and the run
+  // leaves llm.* gauges, counters, and a llm.request_seconds series behind.
+  // Purely observational: results are identical with or without the sink.
   Stats Drive(const ServingRequest& request, int n, Histogram* latency_s,
-              uint64_t seed = 1) const;
+              uint64_t seed = 1, telemetry::MetricRegistry* sink = nullptr) const;
 
   const ServingStackConfig& config() const { return config_; }
 

@@ -237,6 +237,16 @@ double SparkCluster::SolvePhaseSeconds(double payload_bytes_per_server, double r
   return phase_seconds;
 }
 
+void SparkCluster::AttachTelemetry(telemetry::MetricRegistry* sink) {
+  telemetry_ = sink;
+  if (telemetry_ != nullptr) {
+    spark_track_ = telemetry_->trace().Track("spark/" + ModeLabel(config_.mode));
+  }
+  if (tiering_ != nullptr) {
+    tiering_->AttachTelemetry(sink);
+  }
+}
+
 void SparkCluster::ResetHotPromoteState() {
   if (region_ == nullptr) {
     return;
@@ -255,6 +265,7 @@ void SparkCluster::ResetHotPromoteState() {
   stream_cursor_ = 0;
   const os::TieringConfig tc = tiering_->config();
   tiering_ = std::make_unique<os::TieredMemory>(*allocator_, tc);
+  tiering_->AttachTelemetry(telemetry_);
   const auto shares = region_->NodeShares();
   for (auto& g : groups_) {
     g.node_shares = shares;
@@ -390,6 +401,32 @@ QueryResult SparkCluster::RunQuery(const QueryProfile& query) {
 
   result.total_seconds =
       result.compute_seconds + result.shuffle_write_seconds + result.shuffle_read_seconds;
+
+  if (telemetry_ != nullptr) {
+    // One span per stage, laid end to end on the cluster's query clock.
+    const double base_ms = trace_clock_s_ * 1e3;
+    telemetry::TraceBuffer& trace = telemetry_->trace();
+    trace.Span(spark_track_, query.name + " compute", base_ms, result.compute_seconds * 1e3);
+    trace.Span(spark_track_, query.name + " shuffle-write",
+               base_ms + result.compute_seconds * 1e3, result.shuffle_write_seconds * 1e3,
+               {{"spilled_gb", result.spilled_bytes / 1e9}});
+    trace.Span(spark_track_, query.name + " shuffle-read",
+               base_ms + (result.compute_seconds + result.shuffle_write_seconds) * 1e3,
+               result.shuffle_read_seconds * 1e3,
+               {{"cxl_access_share", result.cxl_access_share}});
+    const double end_ms = base_ms + result.total_seconds * 1e3;
+    telemetry::Timeline& timeline = telemetry_->timeline();
+    timeline.Sample("spark.query_seconds", end_ms, result.total_seconds);
+    timeline.Sample("spark.shuffle_share", end_ms, result.ShuffleShare());
+    timeline.Sample("spark.cxl_access_share", end_ms, result.cxl_access_share);
+    timeline.Sample("spark.spilled_gb", end_ms, result.spilled_bytes / 1e9);
+    timeline.Sample("spark.migrated_gb", end_ms, result.migrated_bytes / 1e9);
+    telemetry_->GetCounter("spark.queries").Increment();
+    telemetry_->GetCounter("spark.spilled_bytes")
+        .Add(static_cast<uint64_t>(result.spilled_bytes));
+  }
+  trace_clock_s_ += result.total_seconds;
+  ++query_index_;
   return result;
 }
 

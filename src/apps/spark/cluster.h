@@ -29,6 +29,7 @@
 #include "src/os/page_allocator.h"
 #include "src/os/region.h"
 #include "src/os/tiering.h"
+#include "src/telemetry/metrics.h"
 #include "src/topology/platform.h"
 
 namespace cxl::apps::spark {
@@ -102,6 +103,15 @@ class SparkCluster {
 
   QueryResult RunQuery(const QueryProfile& query);
 
+  // Attaches a telemetry sink (nullable). Each RunQuery then emits one span
+  // per stage (compute / shuffle-write / shuffle-read) on the
+  // "spark/<mode>" trace track, per-query series (spark.query_seconds,
+  // spark.cxl_access_share, spark.spilled_gb), and — in Hot-Promote mode —
+  // forwards the sink to the tiering daemon for its tick series. Spans are
+  // laid out on a per-cluster simulated clock that advances by each query's
+  // duration, so consecutive queries form a contiguous timeline.
+  void AttachTelemetry(telemetry::MetricRegistry* sink);
+
   // Steady-state per-executor processing rate (GB/s of shuffle payload) for
   // each executor group under the current placement — the fixed point the
   // phase model uses, exposed for the task-level DAG scheduler.
@@ -148,6 +158,12 @@ class SparkCluster {
   std::unique_ptr<os::MemoryRegion> region_;
   uint64_t stream_cursor_ = 0;  // Streaming-hotness window position.
   std::vector<double> last_group_rates_;  // Rates from the latest phase solve.
+
+  // Telemetry (observational only).
+  telemetry::MetricRegistry* telemetry_ = nullptr;
+  telemetry::TraceBuffer::TrackId spark_track_ = 0;
+  double trace_clock_s_ = 0.0;  // Accumulated query time for span layout.
+  uint64_t query_index_ = 0;
 };
 
 }  // namespace cxl::apps::spark

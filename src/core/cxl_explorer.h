@@ -33,6 +33,8 @@
 #include "src/os/region.h"
 #include "src/os/tiering.h"
 #include "src/runner/sweep.h"
+#include "src/telemetry/bench_io.h"
+#include "src/telemetry/export.h"
 #include "src/topology/platform.h"
 #include "src/util/histogram.h"
 #include "src/util/table.h"

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/os/page_allocator.h"
+#include "src/os/vmstat.h"
 #include "src/runner/sweep.h"
 #include "src/topology/platform.h"
 
@@ -24,6 +25,38 @@ using topology::Platform;
 // no change in behaviour.
 constexpr uint64_t kKvPageBytes = 16ull << 10;
 
+namespace {
+
+// End-of-run metrics: the figures' headline numbers plus the latency
+// distributions, so --metrics-out captures what the stdout tables print.
+void EmitKeyDbResultTelemetry(telemetry::MetricRegistry* sink,
+                              const KeyDbExperimentResult& result,
+                              const os::PageAllocator& allocator) {
+  if (sink == nullptr) {
+    return;
+  }
+  sink->GetGauge("kv.throughput_kops").Set(result.server.throughput_kops);
+  sink->GetGauge("kv.dram_share").Set(result.server.dram_share);
+  sink->GetGauge("kv.mem_traffic_gbps").Set(result.server.mem_traffic_gbps);
+  sink->GetGauge("kv.ssd_read_gbps").Set(result.server.ssd_read_gbps);
+  sink->GetGauge("kv.ssd_write_gbps").Set(result.server.ssd_write_gbps);
+  sink->GetGauge("kv.avg_service_us").Set(result.server.avg_service_us);
+  sink->GetCounter("kv.migrated_bytes")
+      .Add(static_cast<uint64_t>(result.server.migrated_bytes));
+  sink->RecordHistogram("kv.read_latency_us", result.server.read_latency_us);
+  sink->RecordHistogram("kv.update_latency_us", result.server.update_latency_us);
+  sink->RecordHistogram("kv.all_latency_us", result.server.all_latency_us);
+  // End-state /proc/vmstat reading (t = last epoch for the series; the
+  // counters here are the run totals).
+  const os::VmCounters& counters = allocator.counters();
+  sink->GetCounter("vmstat.pgpromote_success.total").Add(counters.pgpromote_success);
+  sink->GetCounter("vmstat.pgdemote.total").Add(counters.pgdemote);
+  sink->GetCounter("vmstat.numa_hint_faults.total").Add(counters.numa_hint_faults);
+  sink->GetCounter("vmstat.promote_rate_limited.total").Add(counters.promote_rate_limited);
+}
+
+}  // namespace
+
 StatusOr<KeyDbExperimentResult> RunKeyDbExperiment(CapacityConfig config,
                                                    workload::YcsbWorkload workload,
                                                    const KeyDbExperimentOptions& options) {
@@ -38,6 +71,7 @@ StatusOr<KeyDbExperimentResult> RunKeyDbExperiment(CapacityConfig config,
   std::unique_ptr<os::TieredMemory> tiering;
   if (setup.hot_promote) {
     tiering = std::make_unique<os::TieredMemory>(allocator, DefaultTieringConfig());
+    tiering->AttachTelemetry(options.telemetry);
   }
 
   KvStoreConfig store_cfg;
@@ -65,11 +99,12 @@ StatusOr<KeyDbExperimentResult> RunKeyDbExperiment(CapacityConfig config,
   server_cfg.warmup_ops = options.warmup_ops;
   server_cfg.seed = options.seed;
 
-  KvServerSim sim(platform, *store, gen, server_cfg, tiering.get());
+  KvServerSim sim(platform, *store, gen, server_cfg, tiering.get(), options.telemetry);
   KeyDbExperimentResult result;
   result.config_label = ConfigLabel(config);
   result.workload_name = workload::YcsbName(workload);
   result.server = sim.Run();
+  EmitKeyDbResultTelemetry(options.telemetry, result, allocator);
   store->Free();
   return result;
 }
@@ -86,8 +121,12 @@ StatusOr<VmExperimentResult> RunVmCxlOnlyExperiment(KeyDbExperimentOptions optio
   // Both placements replay the same op stream (options.seed, not the derived
   // sweep seed) so the MMEM/CXL comparison is apples to apples.
   const std::vector<int> cells = {0, 1};
-  auto run_cell = [&options, &preset](const int& cell,
-                                      uint64_t /*seed*/) -> StatusOr<KeyDbExperimentResult> {
+  // The cells may run concurrently: each writes its own registry, merged
+  // below in cell order under the "mmem." / "cxl." prefixes.
+  std::vector<telemetry::MetricRegistry> cell_telemetry(
+      options.telemetry != nullptr ? cells.size() : 0);
+  auto run_cell = [&options, &preset, &cell_telemetry](
+                      const int& cell, uint64_t /*seed*/) -> StatusOr<KeyDbExperimentResult> {
     const bool use_cxl = cell != 0;
     Platform platform = Platform::CxlServer(false);
     os::PageAllocator allocator(platform, kKvPageBytes);
@@ -111,11 +150,14 @@ StatusOr<VmExperimentResult> RunVmCxlOnlyExperiment(KeyDbExperimentOptions optio
     server_cfg.warmup_ops = options.warmup_ops;
     server_cfg.seed = options.seed;
 
-    KvServerSim sim(platform, *store, gen, server_cfg);
+    telemetry::MetricRegistry* sink =
+        cell_telemetry.empty() ? nullptr : &cell_telemetry[static_cast<size_t>(cell)];
+    KvServerSim sim(platform, *store, gen, server_cfg, nullptr, sink);
     KeyDbExperimentResult res;
     res.config_label = use_cxl ? "CXL" : "MMEM";
     res.workload_name = "YCSB-C";
     res.server = sim.Run();
+    EmitKeyDbResultTelemetry(sink, res, allocator);
     store->Free();
     return res;
   };
@@ -126,6 +168,10 @@ StatusOr<VmExperimentResult> RunVmCxlOnlyExperiment(KeyDbExperimentOptions optio
   auto results = runner::RunSweep(cells, run_cell, sweep_options);
   if (!results.ok()) {
     return results.status();
+  }
+  if (options.telemetry != nullptr) {
+    options.telemetry->MergeFrom(cell_telemetry[0], "mmem.");
+    options.telemetry->MergeFrom(cell_telemetry[1], "cxl.");
   }
 
   VmExperimentResult out;

@@ -10,6 +10,7 @@
 
 #include "src/apps/kv/server.h"
 #include "src/core/configs.h"
+#include "src/telemetry/metrics.h"
 #include "src/util/status.h"
 #include "src/workload/ycsb.h"
 
@@ -33,6 +34,13 @@ struct KeyDbExperimentOptions {
   int jobs = 0;
   // Override the KvStore cost preset (null = Fig. 5 defaults).
   const apps::kv::KvStoreConfig* store_preset = nullptr;
+  // Optional telemetry sink. When set, the run emits per-epoch PCM/vmstat/
+  // tiering time series, trace spans, end-state gauges (kv.*) and latency
+  // histograms into it. Purely additive: results and stdout are unchanged.
+  // Single-writer — for sweeps, give every cell its own registry and merge
+  // by cell index afterwards. (RunVmCxlOnlyExperiment does this internally:
+  // its two placements land under "mmem." / "cxl." prefixes.)
+  telemetry::MetricRegistry* telemetry = nullptr;
 };
 
 struct KeyDbExperimentResult {

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <limits>
 
+#include "src/os/vmstat.h"
+
 namespace cxl::os {
 
 TieredMemory::TieredMemory(PageAllocator& allocator, TieringConfig config)
@@ -196,7 +198,56 @@ TieredMemory::TickResult TieredMemory::Tick(double dt_seconds) {
     }
   }
   ++epoch_;
+
+  sim_seconds_ += dt_seconds;
+  EmitTickTelemetry(result, dt_seconds);
   return result;
+}
+
+void TieredMemory::AttachTelemetry(telemetry::MetricRegistry* sink) {
+  telemetry_ = sink;
+  if (telemetry_ != nullptr) {
+    telemetry_track_ = telemetry_->trace().Track("promotion-daemon");
+  }
+}
+
+void TieredMemory::EmitTickTelemetry(const TickResult& result, double dt_seconds) {
+  if (telemetry_ == nullptr || dt_seconds <= 0.0) {
+    return;
+  }
+  const double t_ms = sim_seconds_ * 1e3;
+  const double page_bytes = static_cast<double>(allocator_.page_bytes());
+  const double promote_mbps =
+      static_cast<double>(result.promoted_pages) * page_bytes / 1e6 / dt_seconds;
+  const double demote_mbps =
+      static_cast<double>(result.demoted_pages) * page_bytes / 1e6 / dt_seconds;
+
+  telemetry::Timeline& timeline = telemetry_->timeline();
+  timeline.Sample("tiering.hot_threshold", t_ms, result.hot_threshold);
+  timeline.Sample("tiering.candidates", t_ms, static_cast<double>(result.candidates));
+  timeline.Sample("tiering.promote_mbps", t_ms, promote_mbps);
+  timeline.Sample("tiering.demote_mbps", t_ms, demote_mbps);
+  // How much of the kernel.numa_balancing_promote_rate_limit_MBps budget the
+  // daemon consumed this tick (>= ~1.0 means it is promotion-rate bound —
+  // the §4.2.2 thrashing precondition).
+  const double saturation =
+      config_.promote_rate_limit_mbps > 0.0 ? promote_mbps / config_.promote_rate_limit_mbps : 0.0;
+  timeline.Sample("tiering.rate_limit_saturation", t_ms, saturation);
+  timeline.Sample("tiering.low_tier_pages", t_ms, static_cast<double>(LowTierPages()));
+  SampleVmCounters(timeline, t_ms, allocator_.counters());
+
+  telemetry_->GetCounter("tiering.ticks").Increment();
+  telemetry_->GetCounter("tiering.promoted_pages").Add(result.promoted_pages);
+  telemetry_->GetCounter("tiering.demoted_pages").Add(result.demoted_pages);
+  telemetry_->GetGauge("tiering.hot_threshold").Set(result.hot_threshold);
+  telemetry_->GetGauge("tiering.rate_limit_saturation").Set(saturation);
+
+  telemetry_->trace().Span(
+      telemetry_track_, "tick", t_ms - dt_seconds * 1e3, dt_seconds * 1e3,
+      {{"promoted_pages", static_cast<double>(result.promoted_pages)},
+       {"demoted_pages", static_cast<double>(result.demoted_pages)},
+       {"hot_threshold", result.hot_threshold},
+       {"migrated_mb", result.migrated_bytes / 1e6}});
 }
 
 void DeclareTieringKnobs(KnobSet& knobs) {

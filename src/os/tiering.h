@@ -20,6 +20,7 @@
 
 #include "src/os/page.h"
 #include "src/os/page_allocator.h"
+#include "src/telemetry/metrics.h"
 #include "src/util/knobs.h"
 #include "src/topology/platform.h"
 
@@ -90,6 +91,16 @@ class TieredMemory {
   };
   TickResult Tick(double dt_seconds);
 
+  // Attaches a telemetry sink (nullable; detach with nullptr). Every
+  // subsequent Tick() appends the daemon's state into the sink — time series
+  // (tiering.hot_threshold, promote/demote rates, rate-limit saturation,
+  // vmstat.* counters), counters/gauges, and one span per tick on the
+  // "promotion-daemon" trace track. Ticks are stamped on an internal
+  // simulated clock (the sum of dt_seconds), so the series align with the
+  // caller's epoch timeline. Purely observational: attaching must not change
+  // promotion behaviour.
+  void AttachTelemetry(telemetry::MetricRegistry* sink);
+
   // DRAM nodes are the top tier; CXL nodes the low tier (§2.3).
   bool IsTopTier(topology::NodeId node) const;
 
@@ -105,10 +116,18 @@ class TieredMemory {
   // pages actually demoted.
   uint64_t DemoteColdPages(uint64_t count);
 
+  // Appends one tick's worth of telemetry (no-op without a sink).
+  void EmitTickTelemetry(const TickResult& result, double dt_seconds);
+
   PageAllocator& allocator_;
   TieringConfig config_;
   double hot_threshold_;
   uint32_t epoch_ = 0;  // Scan interval counter (recency stamps).
+
+  // Telemetry (observational only).
+  telemetry::MetricRegistry* telemetry_ = nullptr;
+  telemetry::TraceBuffer::TrackId telemetry_track_ = 0;
+  double sim_seconds_ = 0.0;  // Sum of Tick() dt_seconds.
 };
 
 }  // namespace cxl::os

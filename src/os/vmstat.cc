@@ -39,4 +39,18 @@ std::string VmstatReport(const PageAllocator& allocator) {
   return os.str();
 }
 
+void SampleVmCounters(telemetry::Timeline& timeline, double t_ms, const VmCounters& counters) {
+  const auto sample = [&](const char* name, uint64_t value) {
+    timeline.Sample(std::string("vmstat.") + name, t_ms, static_cast<double>(value));
+  };
+  sample("pgalloc", counters.pgalloc);
+  sample("pgfree", counters.pgfree);
+  sample("pgpromote_success", counters.pgpromote_success);
+  sample("pgpromote_candidate", counters.pgpromote_candidate);
+  sample("pgdemote", counters.pgdemote);
+  sample("numa_hint_faults", counters.numa_hint_faults);
+  sample("migrate_failed", counters.migrate_failed);
+  sample("promote_rate_limited", counters.promote_rate_limited);
+}
+
 }  // namespace cxl::os

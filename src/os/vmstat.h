@@ -8,6 +8,7 @@
 #include <string>
 
 #include "src/os/page_allocator.h"
+#include "src/telemetry/timeline.h"
 
 namespace cxl::os {
 
@@ -20,6 +21,12 @@ void PrintNodeOccupancy(std::ostream& os, const PageAllocator& allocator);
 
 // Both of the above as one string (convenient for logs and tests).
 std::string VmstatReport(const PageAllocator& allocator);
+
+// Machine-readable companion of PrintVmCounters: appends every counter into
+// `timeline` at simulated time `t_ms` as series "vmstat.<counter>". Sampled
+// at daemon ticks, these are the promotion time series the paper reads off
+// /proc/vmstat to explain the Spark thrashing regression (§4.2.2).
+void SampleVmCounters(telemetry::Timeline& timeline, double t_ms, const VmCounters& counters);
 
 }  // namespace cxl::os
 

@@ -50,6 +50,14 @@ int JobsFromArgs(int* argc, char** argv) {
       jobs = ParsePositiveInt(arg + 7);
       continue;
     }
+    // Compact -jN form (as in make -j8). Only a well-formed value is
+    // consumed; anything else (-junk) stays in argv for the bench.
+    if (std::strncmp(arg, "-j", 2) == 0 && arg[2] != '\0') {
+      if (const int compact = ParsePositiveInt(arg + 2); compact > 0) {
+        jobs = compact;
+        continue;
+      }
+    }
     argv[out++] = argv[i];
   }
   *argc = out;

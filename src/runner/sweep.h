@@ -36,9 +36,10 @@ namespace cxl::runner {
 // (minimum 1).
 int ResolveJobs(int requested);
 
-// Strips a `--jobs N`, `--jobs=N` or `-j N` argument from argv (compacting
-// argc) and returns the value, or 0 (auto) when absent. Malformed values
-// also return 0 so benches degrade to the default instead of erroring.
+// Strips a `--jobs N`, `--jobs=N`, `-j N` or compact `-jN` argument from
+// argv (compacting argc) and returns the value, or 0 (auto) when absent.
+// Malformed values also return 0 so benches degrade to the default instead
+// of erroring.
 int JobsFromArgs(int* argc, char** argv);
 
 // The seed cell `index` of a sweep draws from. Pure function of
@@ -54,6 +55,9 @@ struct SweepOptions {
   int jobs = 0;
   // Root of the per-cell seed derivation.
   uint64_t base_seed = 1;
+  // Optional labels, parallel to the cell vector; SweepStats cell records
+  // fall back to "cell<i>" when absent (or when the vector is short).
+  std::vector<std::string> cell_labels;
 };
 
 // Timing summary of one sweep. serial_ms is the sum of per-cell wall times —
@@ -64,6 +68,17 @@ struct SweepStats {
   double wall_ms = 0.0;
   double serial_ms = 0.0;
   double max_cell_ms = 0.0;
+
+  // One record per cell, in cell-index order: where the cell's wall time
+  // went. start_ms is the cell's start offset from the sweep start, so the
+  // records reconstruct the parallel schedule (telemetry renders them as one
+  // span per cell). Summary() does not read these.
+  struct CellRecord {
+    std::string label;
+    double start_ms = 0.0;
+    double ms = 0.0;
+  };
+  std::vector<CellRecord> cell_records;
 
   double Speedup() const { return wall_ms > 0.0 ? serial_ms / wall_ms : 0.0; }
 
@@ -93,9 +108,12 @@ auto RunSweep(const std::vector<Cell>& cells, Fn&& fn, const SweepOptions& optio
   std::vector<std::optional<Result>> slots(n);
   std::vector<Status> statuses(n, Status::Ok());
   std::vector<double> cell_ms(n, 0.0);
+  std::vector<double> cell_start_ms(n, 0.0);
 
+  const auto sweep_start = Clock::now();
   auto run_cell = [&](size_t i) {
     const auto start = Clock::now();
+    cell_start_ms[i] = std::chrono::duration<double, std::milli>(start - sweep_start).count();
     CellReturn cell_result = fn(cells[i], CellSeed(options.base_seed, i));
     cell_ms[i] = std::chrono::duration<double, std::milli>(Clock::now() - start).count();
     if (cell_result.ok()) {
@@ -105,7 +123,6 @@ auto RunSweep(const std::vector<Cell>& cells, Fn&& fn, const SweepOptions& optio
     }
   };
 
-  const auto sweep_start = Clock::now();
   if (jobs <= 1 || n <= 1) {
     for (size_t i = 0; i < n; ++i) {
       run_cell(i);
@@ -124,9 +141,17 @@ auto RunSweep(const std::vector<Cell>& cells, Fn&& fn, const SweepOptions& optio
     stats->wall_ms = std::chrono::duration<double, std::milli>(Clock::now() - sweep_start).count();
     stats->serial_ms = 0.0;
     stats->max_cell_ms = 0.0;
-    for (double ms : cell_ms) {
-      stats->serial_ms += ms;
-      stats->max_cell_ms = std::max(stats->max_cell_ms, ms);
+    stats->cell_records.clear();
+    stats->cell_records.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      stats->serial_ms += cell_ms[i];
+      stats->max_cell_ms = std::max(stats->max_cell_ms, cell_ms[i]);
+      SweepStats::CellRecord record;
+      record.label = i < options.cell_labels.size() ? options.cell_labels[i]
+                                                    : "cell" + std::to_string(i);
+      record.start_ms = cell_start_ms[i];
+      record.ms = cell_ms[i];
+      stats->cell_records.push_back(std::move(record));
     }
   }
 

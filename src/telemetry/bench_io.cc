@@ -1,0 +1,117 @@
+#include "src/telemetry/bench_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "src/telemetry/export.h"
+
+namespace cxl::telemetry {
+
+namespace {
+
+// Matches `--flag=VALUE` or `--flag VALUE`; advances *i past a consumed
+// separate value. Returns true when `out` was filled.
+bool TakeFlag(const char* flag, int* i, int argc, char** argv, std::string* out) {
+  const char* arg = argv[*i];
+  const size_t flag_len = std::strlen(flag);
+  if (std::strncmp(arg, flag, flag_len) != 0) {
+    return false;
+  }
+  if (arg[flag_len] == '=') {
+    *out = arg + flag_len + 1;
+    return true;
+  }
+  if (arg[flag_len] == '\0') {
+    if (*i + 1 < argc) {
+      *out = argv[++*i];
+    }
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+BenchTelemetry BenchTelemetry::FromArgs(int* argc, char** argv) {
+  BenchTelemetry out;
+  int kept = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (TakeFlag("--metrics-out", &i, *argc, argv, &out.metrics_path_) ||
+        TakeFlag("--trace-out", &i, *argc, argv, &out.trace_path_) ||
+        TakeFlag("--bench-json", &i, *argc, argv, &out.bench_json_path_)) {
+      continue;
+    }
+    argv[kept++] = argv[i];
+  }
+  *argc = kept;
+  return out;
+}
+
+void BenchTelemetry::RecordSweep(const std::string& name, const runner::SweepStats& stats) {
+  last_sweep_ = stats;
+  have_sweep_ = true;
+  if (!enabled()) {
+    return;
+  }
+  const std::string prefix = "sweep." + name + ".";
+  registry_.GetGauge(prefix + "cells").Set(static_cast<double>(stats.cells));
+  registry_.GetGauge(prefix + "jobs").Set(stats.jobs);
+  registry_.GetGauge(prefix + "wall_ms").Set(stats.wall_ms);
+  registry_.GetGauge(prefix + "serial_ms").Set(stats.serial_ms);
+  registry_.GetGauge(prefix + "max_cell_ms").Set(stats.max_cell_ms);
+  registry_.GetGauge(prefix + "speedup").Set(stats.Speedup());
+  const TraceBuffer::TrackId track = registry_.trace().Track("sweep/" + name);
+  for (const auto& record : stats.cell_records) {
+    registry_.trace().Span(track, record.label, record.start_ms, record.ms);
+  }
+}
+
+bool BenchTelemetry::Write(const std::string& bench_name) {
+  auto write_file = [&](const std::string& path, auto&& writer) {
+    std::ofstream os(path);
+    if (!os) {
+      std::cerr << "telemetry: cannot open " << path << "\n";
+      return false;
+    }
+    writer(os);
+    os.flush();
+    if (!os) {
+      std::cerr << "telemetry: write failed for " << path << "\n";
+      return false;
+    }
+    return true;
+  };
+
+  bool ok = true;
+  if (!metrics_path_.empty()) {
+    const bool csv = metrics_path_.size() >= 4 &&
+                     metrics_path_.compare(metrics_path_.size() - 4, 4, ".csv") == 0;
+    ok &= write_file(metrics_path_, [&](std::ostream& os) {
+      csv ? WriteMetricsCsv(os, registry_) : WriteMetricsJson(os, registry_);
+    });
+  }
+  if (!trace_path_.empty()) {
+    ok &= write_file(trace_path_, [&](std::ostream& os) { WriteChromeTrace(os, registry_); });
+  }
+  if (!bench_json_path_.empty()) {
+    const double wall_ms =
+        have_sweep_ ? last_sweep_.wall_ms
+                    : std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                                created_)
+                          .count();
+    const size_t cells = have_sweep_ ? last_sweep_.cells : 0;
+    const double speedup = have_sweep_ ? last_sweep_.Speedup() : 1.0;
+    ok &= write_file(bench_json_path_, [&](std::ostream& os) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.1f", wall_ms);
+      os << "{\"bench\": \"" << JsonEscape(bench_name) << "\", \"cells\": " << cells
+         << ", \"wall_ms\": " << buf;
+      std::snprintf(buf, sizeof(buf), "%.2f", speedup);
+      os << ", \"speedup\": " << buf << "}\n";
+    });
+  }
+  return ok;
+}
+
+}  // namespace cxl::telemetry

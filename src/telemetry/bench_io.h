@@ -1,0 +1,73 @@
+// Bench-side telemetry plumbing: the --metrics-out / --trace-out /
+// --bench-json flags every bench_* binary grows, plus sweep-stat recording.
+//
+// Usage in a bench main:
+//
+//   auto telemetry = telemetry::BenchTelemetry::FromArgs(&argc, argv);
+//   ...
+//   runner::SweepStats stats;
+//   auto grid = runner::RunSweep(cells, fn, sweep_options, &stats);
+//   telemetry.RecordSweep("fig5", stats);
+//   ... merge per-cell registries into telemetry.registry() ...
+//   if (!telemetry.Write("bench_fig5_keydb_ycsb")) return 1;
+//
+// Telemetry is additive: with no flags given, sink() is null, nothing is
+// recorded, and nothing is written — stdout stays byte-identical.
+#ifndef CXL_EXPLORER_SRC_TELEMETRY_BENCH_IO_H_
+#define CXL_EXPLORER_SRC_TELEMETRY_BENCH_IO_H_
+
+#include <chrono>
+#include <string>
+
+#include "src/runner/sweep.h"
+#include "src/telemetry/metrics.h"
+
+namespace cxl::telemetry {
+
+class BenchTelemetry {
+ public:
+  // Strips `--metrics-out FILE` / `--metrics-out=FILE`, `--trace-out ...`
+  // and `--bench-json ...` from argv, compacting argc (same contract as
+  // runner::JobsFromArgs, so the two parsers compose in either order).
+  static BenchTelemetry FromArgs(int* argc, char** argv);
+
+  // True when any output flag was given.
+  bool enabled() const {
+    return !metrics_path_.empty() || !trace_path_.empty() || !bench_json_path_.empty();
+  }
+
+  // The registry to emit into, or nullptr when telemetry is off — pass
+  // straight to the nullable sinks the simulation layers take.
+  MetricRegistry* sink() { return enabled() ? &registry_ : nullptr; }
+  MetricRegistry& registry() { return registry_; }
+
+  // Records one sweep: gauges sweep.<name>.{cells,jobs,wall_ms,serial_ms,
+  // max_cell_ms,speedup} plus one span per cell record on track
+  // "sweep/<name>" (wall-clock offsets — the parallel schedule). Also feeds
+  // the --bench-json summary. No-op when telemetry is off.
+  void RecordSweep(const std::string& name, const runner::SweepStats& stats);
+
+  // Writes whichever outputs were requested. --metrics-out writes CSV when
+  // the path ends in ".csv", JSON otherwise; --trace-out writes Chrome
+  // trace-event JSON; --bench-json writes {bench,cells,wall_ms,speedup}
+  // (wall_ms falls back to this object's lifetime when no sweep was
+  // recorded). Returns false (after printing to stderr) on I/O failure.
+  bool Write(const std::string& bench_name);
+
+  const std::string& metrics_path() const { return metrics_path_; }
+  const std::string& trace_path() const { return trace_path_; }
+  const std::string& bench_json_path() const { return bench_json_path_; }
+
+ private:
+  std::string metrics_path_;
+  std::string trace_path_;
+  std::string bench_json_path_;
+  MetricRegistry registry_;
+  runner::SweepStats last_sweep_;
+  bool have_sweep_ = false;
+  std::chrono::steady_clock::time_point created_ = std::chrono::steady_clock::now();
+};
+
+}  // namespace cxl::telemetry
+
+#endif  // CXL_EXPLORER_SRC_TELEMETRY_BENCH_IO_H_

@@ -1,0 +1,174 @@
+#include "src/telemetry/export.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace cxl::telemetry {
+
+namespace {
+
+// Formats a double as a JSON-safe number token (JSON has no inf/nan).
+std::string Num(double v) {
+  if (!std::isfinite(v)) {
+    return "0";
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+void WriteHistogramJson(std::ostream& os, const Histogram& h) {
+  os << "{\"count\":" << h.count() << ",\"mean\":" << Num(h.mean()) << ",\"min\":" << Num(h.min())
+     << ",\"max\":" << Num(h.max()) << ",\"p50\":" << Num(h.p50()) << ",\"p90\":" << Num(h.p90())
+     << ",\"p95\":" << Num(h.p95()) << ",\"p99\":" << Num(h.p99())
+     << ",\"p999\":" << Num(h.p999()) << "}";
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void WriteMetricsJson(std::ostream& os, const MetricRegistry& registry) {
+  os << "{\n  \"schema\": \"cxl-telemetry-v1\",\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : registry.counters()) {
+    os << (first ? "" : ",") << "\n    \"" << JsonEscape(name) << "\": " << counter->value();
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : registry.gauges()) {
+    if (!gauge->set()) {
+      continue;
+    }
+    os << (first ? "" : ",") << "\n    \"" << JsonEscape(name) << "\": " << Num(gauge->value());
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : registry.histograms()) {
+    os << (first ? "" : ",") << "\n    \"" << JsonEscape(name) << "\": ";
+    WriteHistogramJson(os, hist);
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"series\": {";
+  first = true;
+  for (const auto& [name, series] : registry.timeline().series()) {
+    os << (first ? "" : ",") << "\n    \"" << JsonEscape(name) << "\": [";
+    bool first_point = true;
+    for (const TimePoint& p : series.points()) {
+      os << (first_point ? "" : ",") << "[" << Num(p.t_ms) << "," << Num(p.value) << "]";
+      first_point = false;
+    }
+    os << "]";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}\n}\n";
+}
+
+void WriteMetricsCsv(std::ostream& os, const MetricRegistry& registry) {
+  os << "kind,name,t_ms,value\n";
+  for (const auto& [name, counter] : registry.counters()) {
+    os << "counter," << name << ",," << counter->value() << "\n";
+  }
+  for (const auto& [name, gauge] : registry.gauges()) {
+    if (gauge->set()) {
+      os << "gauge," << name << ",," << Num(gauge->value()) << "\n";
+    }
+  }
+  for (const auto& [name, hist] : registry.histograms()) {
+    os << "histogram," << name << ".count,," << hist.count() << "\n";
+    os << "histogram," << name << ".mean,," << Num(hist.mean()) << "\n";
+    os << "histogram," << name << ".p50,," << Num(hist.p50()) << "\n";
+    os << "histogram," << name << ".p99,," << Num(hist.p99()) << "\n";
+    os << "histogram," << name << ".p999,," << Num(hist.p999()) << "\n";
+    os << "histogram," << name << ".max,," << Num(hist.max()) << "\n";
+  }
+  for (const auto& [name, series] : registry.timeline().series()) {
+    for (const TimePoint& p : series.points()) {
+      os << "series," << name << "," << Num(p.t_ms) << "," << Num(p.value) << "\n";
+    }
+  }
+}
+
+void WriteChromeTrace(std::ostream& os, const MetricRegistry& registry) {
+  // tid 0 is reserved for counter tracks; spans/instants start at tid 1.
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    os << (first ? "\n" : ",\n");
+    first = false;
+  };
+  sep();
+  os << R"({"ph":"M","pid":1,"tid":0,"name":"process_name","args":{"name":"cxl-explorer"}})";
+  const TraceBuffer& trace = registry.trace();
+  for (size_t i = 0; i < trace.tracks().size(); ++i) {
+    sep();
+    os << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << i + 1
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\"" << JsonEscape(trace.tracks()[i])
+       << "\"}}";
+  }
+  for (const TraceBuffer::Event& e : trace.events()) {
+    sep();
+    os << "{\"ph\":\"" << e.phase << "\",\"pid\":1,\"tid\":" << e.track + 1 << ",\"name\":\""
+       << JsonEscape(e.name) << "\",\"ts\":" << Num(e.ts_ms * 1e3);
+    if (e.phase == 'X') {
+      os << ",\"dur\":" << Num(e.dur_ms * 1e3);
+    }
+    if (e.phase == 'i') {
+      os << ",\"s\":\"t\"";
+    }
+    if (!e.args.empty()) {
+      os << ",\"args\":{";
+      bool first_arg = true;
+      for (const auto& [key, value] : e.args) {
+        os << (first_arg ? "" : ",") << "\"" << JsonEscape(key) << "\":" << Num(value);
+        first_arg = false;
+      }
+      os << "}";
+    }
+    os << "}";
+  }
+  // Timeline series render as Perfetto counter tracks.
+  for (const auto& [name, series] : registry.timeline().series()) {
+    for (const TimePoint& p : series.points()) {
+      sep();
+      os << "{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"name\":\"" << JsonEscape(name)
+         << "\",\"ts\":" << Num(p.t_ms * 1e3) << ",\"args\":{\"value\":" << Num(p.value) << "}}";
+    }
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace cxl::telemetry

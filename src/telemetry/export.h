@@ -1,0 +1,33 @@
+// Exporters: metrics to JSON / CSV, spans + series to Chrome trace-event
+// JSON (loadable in Perfetto or chrome://tracing). Output is deterministic
+// for a deterministic registry: maps iterate in name order, series keep
+// append order. See docs/telemetry.md for the schemas.
+#ifndef CXL_EXPLORER_SRC_TELEMETRY_EXPORT_H_
+#define CXL_EXPLORER_SRC_TELEMETRY_EXPORT_H_
+
+#include <ostream>
+#include <string>
+
+#include "src/telemetry/metrics.h"
+
+namespace cxl::telemetry {
+
+// {"schema":"cxl-telemetry-v1","counters":{...},"gauges":{...},
+//  "histograms":{name:{count,mean,min,max,p50,p90,p95,p99,p999}},
+//  "series":{name:[[t_ms,value],...]}}
+void WriteMetricsJson(std::ostream& os, const MetricRegistry& registry);
+
+// Long format, one row per datum: kind,name,t_ms,value (t_ms empty for
+// counters/gauges/histogram stats).
+void WriteMetricsCsv(std::ostream& os, const MetricRegistry& registry);
+
+// Chrome trace-event JSON: spans/instants on one tid per track (with
+// thread_name metadata), timeline series as "C" counter events.
+void WriteChromeTrace(std::ostream& os, const MetricRegistry& registry);
+
+// Minimal JSON string escaping (quotes, backslash, control chars).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace cxl::telemetry
+
+#endif  // CXL_EXPLORER_SRC_TELEMETRY_EXPORT_H_

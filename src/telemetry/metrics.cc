@@ -1,0 +1,46 @@
+#include "src/telemetry/metrics.h"
+
+namespace cxl::telemetry {
+
+Counter& MetricRegistry::GetCounter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+  }
+  return *slot;
+}
+
+Gauge& MetricRegistry::GetGauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Gauge>();
+  }
+  return *slot;
+}
+
+void MetricRegistry::RecordHistogram(const std::string& name, const Histogram& h) {
+  const auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    histograms_.emplace(name, h);
+  } else {
+    it->second.Merge(h);
+  }
+}
+
+void MetricRegistry::MergeFrom(const MetricRegistry& other, const std::string& prefix) {
+  for (const auto& [name, counter] : other.counters_) {
+    GetCounter(prefix + name).Add(counter->value());
+  }
+  for (const auto& [name, gauge] : other.gauges_) {
+    if (gauge->set()) {
+      GetGauge(prefix + name).Set(gauge->value());
+    }
+  }
+  for (const auto& [name, hist] : other.histograms_) {
+    RecordHistogram(prefix + name, hist);
+  }
+  timeline_.MergeFrom(other.timeline_, prefix);
+  trace_.MergeFrom(other.trace_, prefix);
+}
+
+}  // namespace cxl::telemetry

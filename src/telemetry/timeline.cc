@@ -1,0 +1,14 @@
+#include "src/telemetry/timeline.h"
+
+namespace cxl::telemetry {
+
+void Timeline::MergeFrom(const Timeline& other, const std::string& prefix) {
+  for (const auto& [name, src] : other.series_) {
+    TimeSeries& dst = series_[prefix + name];
+    for (const TimePoint& p : src.points()) {
+      dst.Sample(p.t_ms, p.value);
+    }
+  }
+}
+
+}  // namespace cxl::telemetry

@@ -1,0 +1,61 @@
+// In-memory time series for simulation probes.
+//
+// A Timeline holds named series of (t_ms, value) samples appended by probes
+// at daemon ticks / contention epochs: PCM-style per-path bandwidth, vmstat
+// counters, tiering-daemon state. Series handles are pointer-stable (std::map
+// nodes), so hot paths resolve the name once and append through the handle.
+// Samples use *simulated* milliseconds so a merged sweep stays deterministic.
+#ifndef CXL_EXPLORER_SRC_TELEMETRY_TIMELINE_H_
+#define CXL_EXPLORER_SRC_TELEMETRY_TIMELINE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cxl::telemetry {
+
+struct TimePoint {
+  double t_ms = 0.0;
+  double value = 0.0;
+};
+
+class TimeSeries {
+ public:
+  void Sample(double t_ms, double value) { points_.push_back({t_ms, value}); }
+
+  const std::vector<TimePoint>& points() const { return points_; }
+  size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+  // Last appended value (0 when empty) — the "current" reading of a probe.
+  double Latest() const { return points_.empty() ? 0.0 : points_.back().value; }
+
+ private:
+  std::vector<TimePoint> points_;
+};
+
+class Timeline {
+ public:
+  // Returns the series named `name`, creating it if needed. The reference
+  // stays valid for the lifetime of the Timeline.
+  TimeSeries& Series(const std::string& name) { return series_[name]; }
+
+  // Convenience one-shot append (registration + lookup per call; probes that
+  // sample every tick should hold the Series handle instead).
+  void Sample(const std::string& name, double t_ms, double value) {
+    series_[name].Sample(t_ms, value);
+  }
+
+  const std::map<std::string, TimeSeries>& series() const { return series_; }
+  bool empty() const { return series_.empty(); }
+
+  // Appends every series of `other` under `prefix + name`. Deterministic:
+  // iteration is in name order and appends preserve sample order.
+  void MergeFrom(const Timeline& other, const std::string& prefix = "");
+
+ private:
+  std::map<std::string, TimeSeries> series_;
+};
+
+}  // namespace cxl::telemetry
+
+#endif  // CXL_EXPLORER_SRC_TELEMETRY_TIMELINE_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <iomanip>
+#include <string>
 
 namespace cxl::topology {
 
@@ -49,6 +50,24 @@ void PrintPcmSnapshot(std::ostream& os, const PcmSnapshot& snapshot) {
   for (size_t i = 0; i < snapshot.cxl_cards.size(); ++i) {
     os << "CXL" << i << ": " << snapshot.cxl_cards[i].achieved_gbps << " GB/s ("
        << 100.0 * snapshot.cxl_cards[i].utilization << "% util)\n";
+  }
+}
+
+void SamplePcmSnapshot(telemetry::Timeline& timeline, double t_ms, const PcmSnapshot& snapshot) {
+  for (const auto& s : snapshot.sockets) {
+    const std::string base = "pcm.skt" + std::to_string(s.socket);
+    timeline.Sample(base + ".dram_gbps", t_ms, s.dram_read_write_gbps);
+    timeline.Sample(base + ".dram_util", t_ms, s.dram_utilization);
+  }
+  for (size_t i = 0; i < snapshot.upi.size(); ++i) {
+    const std::string base = "pcm.upi" + std::to_string(i);
+    timeline.Sample(base + ".gbps", t_ms, snapshot.upi[i].achieved_gbps);
+    timeline.Sample(base + ".util", t_ms, snapshot.upi[i].utilization);
+  }
+  for (size_t i = 0; i < snapshot.cxl_cards.size(); ++i) {
+    const std::string base = "pcm.cxl" + std::to_string(i);
+    timeline.Sample(base + ".gbps", t_ms, snapshot.cxl_cards[i].achieved_gbps);
+    timeline.Sample(base + ".util", t_ms, snapshot.cxl_cards[i].utilization);
   }
 }
 

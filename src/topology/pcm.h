@@ -13,6 +13,7 @@
 #include <ostream>
 #include <vector>
 
+#include "src/telemetry/timeline.h"
 #include "src/topology/platform.h"
 
 namespace cxl::topology {
@@ -39,6 +40,13 @@ PcmSnapshot TakePcmSnapshot(const Platform& platform, const TrafficModel::Soluti
 
 // pcm-memory-style rendering.
 void PrintPcmSnapshot(std::ostream& os, const PcmSnapshot& snapshot);
+
+// Machine-readable companion of PrintPcmSnapshot: appends the snapshot into
+// `timeline` at simulated time `t_ms`, one series per path —
+// pcm.skt<i>.dram_gbps / .dram_util, pcm.upi<i>.gbps / .util,
+// pcm.cxl<i>.gbps / .util. Sampled every contention epoch, these are the
+// bandwidth-over-time plots behind Fig. 10(b)(c) and the §3.2 UPI diagnosis.
+void SamplePcmSnapshot(telemetry::Timeline& timeline, double t_ms, const PcmSnapshot& snapshot);
 
 }  // namespace cxl::topology
 

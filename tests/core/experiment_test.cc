@@ -118,5 +118,50 @@ TEST(ExperimentTest, HotPromoteTimelineShowsRampAndBoundedChurn) {
   EXPECT_GT(total_mb, 1.0);
 }
 
+TEST(ExperimentTest, TelemetryIsObservationalAndCapturesDaemonSeries) {
+  KeyDbExperimentOptions opt = FastOptions();
+  opt.total_ops = 120'000;
+  const auto plain =
+      RunKeyDbExperiment(CapacityConfig::kHotPromote, workload::YcsbWorkload::kC, opt);
+  telemetry::MetricRegistry reg;
+  opt.telemetry = &reg;
+  const auto traced =
+      RunKeyDbExperiment(CapacityConfig::kHotPromote, workload::YcsbWorkload::kC, opt);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(traced.ok());
+
+  // Attaching a sink must not change the simulation.
+  EXPECT_DOUBLE_EQ(plain->server.throughput_kops, traced->server.throughput_kops);
+  EXPECT_DOUBLE_EQ(plain->server.migrated_bytes, traced->server.migrated_bytes);
+
+  // The promotion daemon leaves one sample per tick; the end-state gauges and
+  // per-path bandwidth readings are filled in.
+  const auto& series = reg.timeline().series();
+  ASSERT_GT(series.count("tiering.promote_mbps"), 0u);
+  EXPECT_GE(series.at("tiering.promote_mbps").size(), 10u);
+  EXPECT_EQ(series.at("tiering.hot_threshold").size(),
+            series.at("tiering.promote_mbps").size());
+  ASSERT_GT(series.count("vmstat.pgpromote_success"), 0u);
+  EXPECT_GT(reg.GetCounter("tiering.ticks").value(), 0u);
+  EXPECT_TRUE(reg.GetGauge("kv.throughput_kops").set());
+  EXPECT_TRUE(reg.GetGauge("pcm.skt0.dram_gbps").set());
+  EXPECT_GT(reg.histograms().count("kv.read_latency_us"), 0u);
+  EXPECT_FALSE(reg.trace().empty());
+}
+
+TEST(ExperimentTest, VmExperimentMergesPlacementPrefixes) {
+  KeyDbExperimentOptions opt = FastOptions();
+  opt.total_ops = 40'000;
+  opt.warmup_ops = 10'000;
+  telemetry::MetricRegistry reg;
+  opt.telemetry = &reg;
+  const auto res = RunVmCxlOnlyExperiment(opt);
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(reg.GetGauge("mmem.kv.throughput_kops").set());
+  EXPECT_TRUE(reg.GetGauge("cxl.kv.throughput_kops").set());
+  EXPECT_NEAR(reg.GetGauge("mmem.kv.throughput_kops").value(),
+              res->mmem.server.throughput_kops, 1e-9);
+}
+
 }  // namespace
 }  // namespace cxl::core

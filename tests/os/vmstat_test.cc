@@ -46,5 +46,37 @@ TEST(VmstatTest, ReportCombinesBoth) {
   EXPECT_NE(report.find("node 0"), std::string::npos);
 }
 
+TEST(VmstatTest, ReportRendersEndStateAfterActivity) {
+  // After real allocator activity the report reads like /proc/vmstat at the
+  // end of a run: allocation counters up, occupancy non-zero.
+  const auto platform = topology::Platform::CxlServer(false);
+  PageAllocator alloc(platform);
+  auto pages = alloc.Allocate(NumaPolicy::Bind(platform.DramNodes(/*socket=*/0)), 256);
+  ASSERT_TRUE(pages.ok());
+  const std::string report = VmstatReport(alloc);
+  EXPECT_NE(report.find("pgalloc 256"), std::string::npos);
+  EXPECT_NE(report.find("pgfree 0"), std::string::npos);
+}
+
+TEST(VmstatTest, SampleVmCountersFillsTimelineSeries) {
+  VmCounters c;
+  c.pgpromote_success = 11;
+  c.pgdemote = 4;
+  c.promote_rate_limited = 2;
+  telemetry::Timeline timeline;
+  SampleVmCounters(timeline, 250.0, c);
+  c.pgpromote_success = 17;
+  SampleVmCounters(timeline, 500.0, c);
+  // Every counter becomes a "vmstat.<name>" series with one point per call.
+  EXPECT_EQ(timeline.series().size(), 8u);
+  const auto& promote = timeline.series().at("vmstat.pgpromote_success");
+  ASSERT_EQ(promote.size(), 2u);
+  EXPECT_DOUBLE_EQ(promote.points()[0].t_ms, 250.0);
+  EXPECT_DOUBLE_EQ(promote.points()[0].value, 11.0);
+  EXPECT_DOUBLE_EQ(promote.Latest(), 17.0);
+  EXPECT_DOUBLE_EQ(timeline.series().at("vmstat.pgdemote").Latest(), 4.0);
+  EXPECT_DOUBLE_EQ(timeline.series().at("vmstat.promote_rate_limited").Latest(), 2.0);
+}
+
 }  // namespace
 }  // namespace cxl::os

@@ -210,6 +210,62 @@ TEST(SweepRunnerTest, JobsFromArgsParsesAndStripsTheFlag) {
   }
 }
 
+TEST(SweepRunnerTest, JobsFromArgsCompactForm) {
+  {
+    const char* raw[] = {"bench", "-j6", "positional"};
+    char* argv[3];
+    for (int i = 0; i < 3; ++i) {
+      argv[i] = const_cast<char*>(raw[i]);
+    }
+    int argc = 3;
+    EXPECT_EQ(JobsFromArgs(&argc, argv), 6);
+    ASSERT_EQ(argc, 2);
+    EXPECT_STREQ(argv[1], "positional");
+  }
+  {
+    // Malformed compacts are not consumed — they pass through untouched.
+    const char* raw[] = {"bench", "-junk"};
+    char* argv[2];
+    for (int i = 0; i < 2; ++i) {
+      argv[i] = const_cast<char*>(raw[i]);
+    }
+    int argc = 2;
+    EXPECT_EQ(JobsFromArgs(&argc, argv), 0);
+    ASSERT_EQ(argc, 2);
+    EXPECT_STREQ(argv[1], "-junk");
+  }
+}
+
+TEST(SweepRunnerTest, CellRecordsCarryLabelsAndTimings) {
+  const std::vector<int> cells = {0, 1, 2};
+  SweepOptions options;
+  options.jobs = 1;
+  options.cell_labels = {"alpha", "beta"};  // Deliberately short by one.
+  SweepStats stats;
+  const auto out = RunSweep(
+      cells,
+      [](const int& cell, uint64_t) -> StatusOr<int> {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        return cell;
+      },
+      options, &stats);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(stats.cell_records.size(), 3u);
+  EXPECT_EQ(stats.cell_records[0].label, "alpha");
+  EXPECT_EQ(stats.cell_records[1].label, "beta");
+  EXPECT_EQ(stats.cell_records[2].label, "cell2");  // Fallback label.
+  double serial = 0.0;
+  for (const auto& record : stats.cell_records) {
+    EXPECT_GT(record.ms, 0.0);
+    EXPECT_GE(record.start_ms, 0.0);
+    serial += record.ms;
+  }
+  EXPECT_DOUBLE_EQ(serial, stats.serial_ms);
+  // Serial execution: cells start in order.
+  EXPECT_LE(stats.cell_records[0].start_ms, stats.cell_records[1].start_ms);
+  EXPECT_LE(stats.cell_records[1].start_ms, stats.cell_records[2].start_ms);
+}
+
 TEST(SweepRunnerTest, MoreJobsThanCellsIsClamped) {
   const std::vector<int> cells = {1, 2};
   SweepOptions options;

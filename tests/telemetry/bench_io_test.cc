@@ -1,0 +1,117 @@
+#include "src/telemetry/bench_io.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace cxl::telemetry {
+namespace {
+
+// argv helper mirroring the JobsFromArgs tests: owns mutable copies.
+struct Argv {
+  explicit Argv(std::vector<std::string> args) : storage(std::move(args)) {
+    for (std::string& s : storage) {
+      ptrs.push_back(s.data());
+    }
+    ptrs.push_back(nullptr);
+    argc = static_cast<int>(storage.size());
+  }
+  std::vector<std::string> storage;
+  std::vector<char*> ptrs;
+  int argc = 0;
+};
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(BenchTelemetryTest, NoFlagsMeansDisabledNullSink) {
+  Argv a({"bench", "--jobs", "4"});
+  auto t = BenchTelemetry::FromArgs(&a.argc, a.ptrs.data());
+  EXPECT_FALSE(t.enabled());
+  EXPECT_EQ(t.sink(), nullptr);
+  EXPECT_EQ(a.argc, 3);  // Untouched: --jobs is not ours to strip.
+}
+
+TEST(BenchTelemetryTest, StripsEqualsAndSeparateForms) {
+  Argv a({"bench", "--metrics-out=m.json", "--trace-out", "t.json", "--bench-json=b.json",
+          "--jobs", "2"});
+  auto t = BenchTelemetry::FromArgs(&a.argc, a.ptrs.data());
+  EXPECT_TRUE(t.enabled());
+  EXPECT_NE(t.sink(), nullptr);
+  EXPECT_EQ(t.metrics_path(), "m.json");
+  EXPECT_EQ(t.trace_path(), "t.json");
+  EXPECT_EQ(t.bench_json_path(), "b.json");
+  // Only the telemetry flags are stripped; "--jobs 2" survives for the next
+  // parser (the composition the benches rely on).
+  ASSERT_EQ(a.argc, 3);
+  EXPECT_STREQ(a.ptrs[1], "--jobs");
+  EXPECT_STREQ(a.ptrs[2], "2");
+}
+
+TEST(BenchTelemetryTest, RecordSweepFillsGaugesAndScheduleSpans) {
+  Argv a({"bench", "--metrics-out=unused.json"});
+  auto t = BenchTelemetry::FromArgs(&a.argc, a.ptrs.data());
+  runner::SweepStats stats;
+  stats.cells = 2;
+  stats.jobs = 2;
+  stats.wall_ms = 100.0;
+  stats.serial_ms = 180.0;
+  stats.max_cell_ms = 90.0;
+  stats.cell_records = {{"MMEM/YCSB-A", 0.0, 90.0}, {"CXL/YCSB-A", 1.0, 90.0}};
+  t.RecordSweep("fig", stats);
+  EXPECT_DOUBLE_EQ(t.registry().GetGauge("sweep.fig.cells").value(), 2.0);
+  EXPECT_DOUBLE_EQ(t.registry().GetGauge("sweep.fig.speedup").value(), 1.8);
+  // One span per cell on the sweep schedule track.
+  ASSERT_EQ(t.registry().trace().events().size(), 2u);
+  EXPECT_EQ(t.registry().trace().events()[0].name, "MMEM/YCSB-A");
+  EXPECT_DOUBLE_EQ(t.registry().trace().events()[1].ts_ms, 1.0);
+}
+
+TEST(BenchTelemetryTest, WriteProducesRequestedFiles) {
+  const std::string dir = testing::TempDir();
+  const std::string metrics = dir + "/bench_io_test_m.json";
+  const std::string csv = dir + "/bench_io_test_m.csv";
+  const std::string trace = dir + "/bench_io_test_t.json";
+  const std::string bench = dir + "/bench_io_test_b.json";
+  {
+    Argv a({"bench", "--metrics-out", metrics, "--trace-out", trace, "--bench-json", bench});
+    auto t = BenchTelemetry::FromArgs(&a.argc, a.ptrs.data());
+    t.registry().GetCounter("ops").Add(9);
+    ASSERT_TRUE(t.Write("bench_unit"));
+    EXPECT_NE(Slurp(metrics).find("\"ops\": 9"), std::string::npos);
+    EXPECT_NE(Slurp(trace).find("traceEvents"), std::string::npos);
+    const std::string b = Slurp(bench);
+    EXPECT_NE(b.find("\"bench\": \"bench_unit\""), std::string::npos);
+    EXPECT_NE(b.find("\"wall_ms\""), std::string::npos);
+  }
+  {
+    // A .csv metrics path selects the CSV exporter.
+    Argv a({"bench", "--metrics-out", csv});
+    auto t = BenchTelemetry::FromArgs(&a.argc, a.ptrs.data());
+    t.registry().GetCounter("ops").Add(1);
+    ASSERT_TRUE(t.Write("bench_unit"));
+    EXPECT_NE(Slurp(csv).find("kind,name,t_ms,value"), std::string::npos);
+  }
+}
+
+TEST(BenchTelemetryTest, WriteFailsOnUnwritablePath) {
+  Argv a({"bench", "--metrics-out=/nonexistent-dir/x/y.json"});
+  auto t = BenchTelemetry::FromArgs(&a.argc, a.ptrs.data());
+  EXPECT_FALSE(t.Write("bench_unit"));
+}
+
+TEST(BenchTelemetryTest, DisabledWriteIsANoOp) {
+  Argv a({"bench"});
+  auto t = BenchTelemetry::FromArgs(&a.argc, a.ptrs.data());
+  EXPECT_TRUE(t.Write("bench_unit"));
+}
+
+}  // namespace
+}  // namespace cxl::telemetry

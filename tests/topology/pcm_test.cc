@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 #include "src/mem/access.h"
+#include "src/telemetry/timeline.h"
 
 namespace cxl::topology {
 namespace {
@@ -49,6 +51,46 @@ TEST(PcmTest, RemoteDramDoesLoadUpi) {
   tm.AddMemoryTraffic(1, p.DramNodes(0)[0], AccessMix::ReadOnly(), 120.0);
   const auto snap = TakePcmSnapshot(p, tm.Solve());
   EXPECT_GT(snap.MaxUpiUtilization(), 0.8);
+}
+
+TEST(PcmTest, MaxUpiUtilizationIsTheHottestLink) {
+  const Platform p = Platform::CxlServer(false);
+  TrafficModel tm(p);
+  tm.AddMemoryTraffic(1, p.DramNodes(0)[0], AccessMix::ReadOnly(), 120.0);
+  const auto snap = TakePcmSnapshot(p, tm.Solve());
+  double expected = 0.0;
+  for (const auto& link : snap.upi) {
+    expected = std::max(expected, link.utilization);
+  }
+  EXPECT_DOUBLE_EQ(snap.MaxUpiUtilization(), expected);
+  EXPECT_GT(expected, 0.0);
+  // An idle platform reads zero, not garbage.
+  TrafficModel idle(p);
+  EXPECT_DOUBLE_EQ(TakePcmSnapshot(p, idle.Solve()).MaxUpiUtilization(), 0.0);
+}
+
+TEST(PcmTest, SampleSnapshotFillsPerPathSeries) {
+  const Platform p = Platform::CxlServer(false);
+  TrafficModel tm(p);
+  tm.AddMemoryTraffic(0, p.DramNodes(0)[0], AccessMix::ReadOnly(), 20.0);
+  tm.AddMemoryTraffic(0, p.CxlNodes()[0], AccessMix::ReadOnly(), 10.0);
+  const auto snap = TakePcmSnapshot(p, tm.Solve());
+
+  telemetry::Timeline timeline;
+  SamplePcmSnapshot(timeline, 100.0, snap);
+  SamplePcmSnapshot(timeline, 200.0, snap);
+
+  // One bandwidth + one utilization series per socket, UPI link, and card.
+  const size_t expected =
+      2 * (snap.sockets.size() + snap.upi.size() + snap.cxl_cards.size());
+  EXPECT_EQ(timeline.series().size(), expected);
+  const auto& skt0 = timeline.series().at("pcm.skt0.dram_gbps");
+  ASSERT_EQ(skt0.size(), 2u);
+  EXPECT_DOUBLE_EQ(skt0.points()[0].t_ms, 100.0);
+  EXPECT_NEAR(skt0.Latest(), snap.sockets[0].dram_read_write_gbps, 1e-12);
+  EXPECT_NEAR(timeline.series().at("pcm.cxl0.gbps").Latest(),
+              snap.cxl_cards[0].achieved_gbps, 1e-12);
+  EXPECT_NEAR(timeline.series().at("pcm.upi0.util").Latest(), snap.upi[0].utilization, 1e-12);
 }
 
 TEST(PcmTest, PrintRendersAllCounters) {
