@@ -12,6 +12,7 @@
 #include <cmath>
 #include <iostream>
 
+#include "src/bench/context.h"
 #include "src/core/cxl_explorer.h"
 
 namespace {
@@ -47,9 +48,9 @@ apps::kv::KvServerSim::Result KeyDbWithRateLimit(double limit_mbps) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  auto bench_telemetry = cxl::telemetry::BenchTelemetry::FromArgs(&argc, argv);
-  runner::SweepOptions sweep_options;
-  sweep_options.jobs = runner::JobsFromArgs(&argc, argv);
+  auto ctx = cxl::bench::Context::FromArgs(&argc, argv);
+  auto& bench_telemetry = ctx.telemetry();
+  runner::SweepOptions sweep_options = ctx.Sweep();
   runner::SweepStats stats;
 
   // --- A1: rate limit, locality-dependent -----------------------------------

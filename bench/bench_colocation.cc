@@ -11,11 +11,13 @@
 // report both tenants' outcomes.
 #include <iostream>
 
+#include "src/bench/context.h"
 #include "src/core/cxl_explorer.h"
 #include "src/os/bandwidth_aware.h"
 
 int main(int argc, char** argv) {
-  auto bench_telemetry = cxl::telemetry::BenchTelemetry::FromArgs(&argc, argv);
+  auto ctx = cxl::bench::Context::FromArgs(&argc, argv);
+  auto& bench_telemetry = ctx.telemetry();
 
   using namespace cxl;
   using mem::AccessMix;

@@ -12,6 +12,7 @@
 #include <iostream>
 #include <vector>
 
+#include "src/bench/context.h"
 #include "src/core/cxl_explorer.h"
 
 int main(int argc, char** argv) {
@@ -19,7 +20,8 @@ int main(int argc, char** argv) {
   using apps::llm::LlmInferenceSim;
   using apps::llm::LlmPlacement;
 
-  auto bench_telemetry = telemetry::BenchTelemetry::FromArgs(&argc, argv);
+  auto ctx = bench::Context::FromArgs(&argc, argv);
+  auto& bench_telemetry = ctx.telemetry();
   telemetry::MetricRegistry* sink = bench_telemetry.sink();
   LlmInferenceSim sim;
   const std::vector<LlmPlacement> placements = {

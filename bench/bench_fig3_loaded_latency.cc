@@ -7,10 +7,12 @@
 // 250.42 ns, max 56.7 GB/s at 2:1; CXL-r idle 485 ns, max 20.4 GB/s.
 #include <iostream>
 
+#include "src/bench/context.h"
 #include "src/core/cxl_explorer.h"
 
 int main(int argc, char** argv) {
-  auto bench_telemetry = cxl::telemetry::BenchTelemetry::FromArgs(&argc, argv);
+  auto ctx = cxl::bench::Context::FromArgs(&argc, argv);
+  auto& bench_telemetry = ctx.telemetry();
 
   using namespace cxl;
   using mem::AccessMix;

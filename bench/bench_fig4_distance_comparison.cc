@@ -5,10 +5,12 @@
 // and 1.5-1.92x remote-socket DDR.
 #include <iostream>
 
+#include "src/bench/context.h"
 #include "src/core/cxl_explorer.h"
 
 int main(int argc, char** argv) {
-  auto bench_telemetry = cxl::telemetry::BenchTelemetry::FromArgs(&argc, argv);
+  auto ctx = cxl::bench::Context::FromArgs(&argc, argv);
+  auto& bench_telemetry = ctx.telemetry();
 
   using namespace cxl;
   using mem::AccessMix;

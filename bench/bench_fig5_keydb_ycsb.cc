@@ -17,6 +17,7 @@
 #include <algorithm>
 #include <iostream>
 
+#include "src/bench/context.h"
 #include "src/core/cxl_explorer.h"
 
 namespace {
@@ -41,8 +42,9 @@ struct Cell {
 }  // namespace
 
 int main(int argc, char** argv) {
-  auto bench_telemetry = telemetry::BenchTelemetry::FromArgs(&argc, argv);
-  const int jobs = runner::JobsFromArgs(&argc, argv);
+  auto ctx = bench::Context::FromArgs(&argc, argv);
+  auto& bench_telemetry = ctx.telemetry();
+  const int jobs = ctx.jobs();
   const auto workloads = {workload::YcsbWorkload::kA, workload::YcsbWorkload::kB,
                           workload::YcsbWorkload::kC, workload::YcsbWorkload::kD};
   const auto configs = core::AllCapacityConfigs();
@@ -65,11 +67,13 @@ int main(int argc, char** argv) {
   std::vector<telemetry::MetricRegistry> cell_sinks(bench_telemetry.enabled() ? cells.size() : 0);
   const auto grid = runner::RunSweep(
       cells,
-      [&cells, &cell_sinks](const Cell& cell, uint64_t seed) {
+      [&cells, &cell_sinks, &ctx](const Cell& cell, uint64_t seed) {
+        const size_t index = static_cast<size_t>(&cell - cells.data());
         core::KeyDbExperimentOptions opt = Options();
-        opt.seed = seed;
+        opt.env = ctx.Env(seed);
+        opt.env.fault_seed = runner::CellSeed(ctx.fault_seed(), index);
         if (!cell_sinks.empty()) {
-          opt.telemetry = &cell_sinks[static_cast<size_t>(&cell - cells.data())];
+          opt.env.telemetry = &cell_sinks[index];
         }
         return core::RunKeyDbExperiment(cell.config, cell.workload, opt);
       },

@@ -13,6 +13,7 @@
 #include <iostream>
 #include <vector>
 
+#include "src/bench/context.h"
 #include "src/core/cxl_explorer.h"
 
 int main(int argc, char** argv) {
@@ -22,8 +23,9 @@ int main(int argc, char** argv) {
   using apps::spark::SparkCluster;
   using apps::spark::SparkConfig;
 
-  auto bench_telemetry = telemetry::BenchTelemetry::FromArgs(&argc, argv);
-  const int jobs = runner::JobsFromArgs(&argc, argv);
+  auto ctx = bench::Context::FromArgs(&argc, argv);
+  auto& bench_telemetry = ctx.telemetry();
+  const int jobs = ctx.jobs();
   const std::vector<QueryProfile> queries = apps::spark::TpchShuffleHeavyQueries();
 
   struct ConfigRow {
@@ -62,12 +64,17 @@ int main(int argc, char** argv) {
   std::vector<telemetry::MetricRegistry> cell_sinks(bench_telemetry.enabled() ? cells.size() : 0);
   const auto grid = runner::RunSweep(
       cells,
-      [&configs, &queries, &cells, &cell_sinks](const Cell& cell,
-                                                uint64_t /*seed*/) -> StatusOr<QueryResult> {
+      [&configs, &queries, &cells, &cell_sinks, &ctx](const Cell& cell,
+                                                      uint64_t /*seed*/) -> StatusOr<QueryResult> {
+        const size_t index = static_cast<size_t>(&cell - cells.data());
         SparkCluster cluster(configs[cell.config_index].config);
         if (!cell_sinks.empty()) {
-          cluster.AttachTelemetry(&cell_sinks[static_cast<size_t>(&cell - cells.data())]);
+          cluster.AttachTelemetry(&cell_sinks[index]);
         }
+        // Per-cell fault injector (inert when --faults was not given).
+        fault::FaultInjector injector(ctx.faults(), runner::CellSeed(ctx.fault_seed(), index),
+                                      ctx.fault_tunables());
+        cluster.AttachFaults(&injector);
         return cluster.RunQuery(queries[cell.query_index]);
       },
       sweep_options, &stats);

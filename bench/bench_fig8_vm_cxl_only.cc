@@ -7,21 +7,23 @@
 // discount recovers ~27% revenue.
 #include <iostream>
 
+#include "src/bench/context.h"
 #include "src/core/cxl_explorer.h"
 
 int main(int argc, char** argv) {
   using namespace cxl;
 
-  auto bench_telemetry = telemetry::BenchTelemetry::FromArgs(&argc, argv);
+  auto ctx = bench::Context::FromArgs(&argc, argv);
+  auto& bench_telemetry = ctx.telemetry();
   core::KeyDbExperimentOptions opt;
   opt.dataset_bytes = 12ull << 30;  // 1/8-scale 100 GB shape.
   opt.total_ops = 220'000;
   opt.warmup_ops = 60'000;
   // The MMEM and CXL placements are independent cells; the experiment runs
-  // them concurrently through the SweepRunner when jobs > 1.
-  opt.jobs = runner::JobsFromArgs(&argc, argv);
-  // The experiment merges its two placements under "mmem." / "cxl." here.
-  opt.telemetry = bench_telemetry.sink();
+  // them concurrently through the SweepRunner when jobs > 1. Env() also
+  // carries the telemetry sink (merged under "mmem." / "cxl.") and any
+  // --faults plan into the experiment.
+  opt.env = ctx.Env();
   const auto res = core::RunVmCxlOnlyExperiment(opt);
   if (!res.ok()) {
     std::cerr << "experiment failed: " << res.status().ToString() << "\n";

@@ -5,10 +5,12 @@
 // much memory the KV caches can occupy. The CXL expander raises that cap.
 #include <iostream>
 
+#include "src/bench/context.h"
 #include "src/core/cxl_explorer.h"
 
 int main(int argc, char** argv) {
-  auto bench_telemetry = cxl::telemetry::BenchTelemetry::FromArgs(&argc, argv);
+  auto ctx = cxl::bench::Context::FromArgs(&argc, argv);
+  auto& bench_telemetry = ctx.telemetry();
 
   using namespace cxl;
   using apps::llm::LlmInferenceSim;
@@ -54,17 +56,17 @@ int main(int argc, char** argv) {
                "regimes the paper points at — the cap itself is what CXL lifts.\n";
 
   PrintSection(std::cout, "Context-length sweep at batch 16 (MMEM vs 3:1, 48 threads)");
-  Table ctx({"context tokens", "bytes/token GB", "MMEM tok/s", "3:1 tok/s"});
+  Table ctx_table({"context tokens", "bytes/token GB", "MMEM tok/s", "3:1 tok/s"});
   for (int context : {256, 512, 1024, 2048, 4096, 8192}) {
     const auto mmem = sim.SolveBatched(LlmPlacement::MmemOnly(), kThreads, 16, context);
     const auto i31 = sim.SolveBatched(LlmPlacement::Interleave(3, 1), kThreads, 16, context);
-    ctx.Row()
+    ctx_table.Row()
         .Cell(static_cast<uint64_t>(context))
         .Cell(mmem.bytes_per_token / 1e9, 2)
         .Cell(mmem.tokens_per_second, 1)
         .Cell(i31.tokens_per_second, 1);
   }
-  ctx.Print(std::cout);
+  ctx_table.Print(std::cout);
   if (!bench_telemetry.Write("bench_llm_batching")) {
     return 1;
   }

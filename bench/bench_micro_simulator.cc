@@ -3,6 +3,7 @@
 // solver, and a full (small) KeyDB experiment end to end.
 #include <benchmark/benchmark.h>
 
+#include "src/bench/context.h"
 #include "src/core/cxl_explorer.h"
 #include "src/sim/event_queue.h"
 
@@ -117,7 +118,8 @@ BENCHMARK(BM_KeyDbExperimentEndToEnd)->Unit(benchmark::kMillisecond);
 // Expanded BENCHMARK_MAIN() so the telemetry flags are stripped before
 // google-benchmark sees (and rejects) them.
 int main(int argc, char** argv) {
-  auto bench_telemetry = cxl::telemetry::BenchTelemetry::FromArgs(&argc, argv);
+  auto ctx = cxl::bench::Context::FromArgs(&argc, argv);
+  auto& bench_telemetry = ctx.telemetry();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
     return 1;

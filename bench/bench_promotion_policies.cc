@@ -7,6 +7,7 @@
 //     on bandwidth-intensive workloads).
 #include <iostream>
 
+#include "src/bench/context.h"
 #include "src/core/cxl_explorer.h"
 
 namespace {
@@ -76,13 +77,14 @@ class ScanSource final : public workload::OpSource {
 }  // namespace
 
 int main(int argc, char** argv) {
-  auto bench_telemetry = telemetry::BenchTelemetry::FromArgs(&argc, argv);
+  auto ctx = bench::Context::FromArgs(&argc, argv);
+  auto& bench_telemetry = ctx.telemetry();
   constexpr uint64_t kDataset = 8ull << 30;
   const std::vector<os::PromotionMode> modes = {os::PromotionMode::kHotPageSelection,
                                                 os::PromotionMode::kMruBalancing,
                                                 os::PromotionMode::kTppLike};
   runner::SweepOptions sweep_options;
-  sweep_options.jobs = runner::JobsFromArgs(&argc, argv);
+  sweep_options.jobs = ctx.jobs();
   for (os::PromotionMode mode : modes) {
     sweep_options.cell_labels.push_back(ModeName(mode));
   }

@@ -5,11 +5,13 @@
 // between.
 #include <iostream>
 
+#include "src/bench/context.h"
 #include "src/core/cxl_explorer.h"
 #include "src/workload/stream.h"
 
 int main(int argc, char** argv) {
-  auto bench_telemetry = cxl::telemetry::BenchTelemetry::FromArgs(&argc, argv);
+  auto ctx = cxl::bench::Context::FromArgs(&argc, argv);
+  auto& bench_telemetry = ctx.telemetry();
 
   using namespace cxl;
 

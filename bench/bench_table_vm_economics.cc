@@ -2,10 +2,12 @@
 // capacity) and the §4.3 elastic-compute economics.
 #include <iostream>
 
+#include "src/bench/context.h"
 #include "src/core/cxl_explorer.h"
 
 int main(int argc, char** argv) {
-  auto bench_telemetry = cxl::telemetry::BenchTelemetry::FromArgs(&argc, argv);
+  auto ctx = cxl::bench::Context::FromArgs(&argc, argv);
+  auto& bench_telemetry = ctx.telemetry();
 
   using namespace cxl;
 

@@ -51,7 +51,7 @@ Status RunKeyDbLab(const Config& cfg) {
                                             static_cast<double>(1ull << 30));
   opt.total_ops = static_cast<uint64_t>(cfg.GetInt("ops", 150'000).value_or(150'000));
   opt.warmup_ops = opt.total_ops / 4;
-  opt.seed = static_cast<uint64_t>(cfg.GetInt("seed", 1).value_or(1));
+  opt.env.seed = static_cast<uint64_t>(cfg.GetInt("seed", 1).value_or(1));
   const auto res = core::RunKeyDbExperiment(which, workload, opt);
   if (!res.ok()) {
     return res.status();

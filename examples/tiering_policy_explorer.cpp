@@ -38,7 +38,7 @@ StatusOr<apps::kv::KvServerSim::Result> RunWithRateLimit(double rate_limit_mbps)
   if (!store.ok()) {
     return store.status();
   }
-  workload::YcsbGenerator gen(workload::YcsbWorkload::kB, store_cfg.record_count, opt.seed);
+  workload::YcsbGenerator gen(workload::YcsbWorkload::kB, store_cfg.record_count, opt.env.seed);
   apps::kv::KvServerConfig scfg;
   scfg.total_ops = opt.total_ops;
   scfg.warmup_ops = opt.warmup_ops;

@@ -79,6 +79,7 @@ KvStore::OpCost KvStore::Access(const workload::YcsbOp& op) {
       static_cast<size_t>(SplitMix64(band) % std::max<size_t>(region_.page_count(), 1));
   const os::PageId page = region_.PageAtIndex(page_index);
   cost.node = region_.pages().empty() ? -1 : allocator_->NodeOf(page);
+  cost.page = region_.pages().empty() ? os::kInvalidPage : page;
 
   if (tiering_ != nullptr) {
     tiering_->RecordAccess(page, static_cast<uint64_t>(cost.mem_lines));

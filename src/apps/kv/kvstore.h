@@ -68,6 +68,7 @@ class KvStore {
   // Cost descriptor of one operation.
   struct OpCost {
     topology::NodeId node = -1;     // Node of the touched record page (-1 if none).
+    os::PageId page = os::kInvalidPage;  // Touched record page (for quarantine).
     double mem_lines = 0.0;         // 64 B lines touched in memory.
     double software_ns = 0.0;       // Flash software path, if taken.
     bool ssd_read = false;          // Foreground SSD read (cache miss).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <string>
 
 #include "src/mem/access.h"
@@ -16,14 +17,25 @@ using EpochSample = KvServerSim::EpochSample;
 
 KvServerSim::KvServerSim(const topology::Platform& platform, KvStore& store,
                          workload::OpSource& workload, KvServerConfig config,
-                         os::TieredMemory* tiering, telemetry::MetricRegistry* telemetry)
+                         os::TieredMemory* tiering, telemetry::MetricRegistry* telemetry,
+                         fault::FaultInjector* faults)
     : platform_(platform),
       store_(store),
       workload_(workload),
       config_(config),
       tiering_(tiering),
       telemetry_(telemetry),
+      faults_(faults),
       rng_(config.seed) {
+  if (faults_ != nullptr && faults_->enabled()) {
+    const double shed_fraction = faults_->tunables().shed_fraction;
+    shed_every_ = shed_fraction > 0.0
+                      ? std::max<uint64_t>(2, static_cast<uint64_t>(1.0 / shed_fraction + 0.5))
+                      : std::numeric_limits<uint64_t>::max();
+    if (tiering_ != nullptr) {
+      tiering_->AttachFaults(faults_);
+    }
+  }
   if (telemetry_ != nullptr) {
     kv_track_ = telemetry_->trace().Track("kv-server");
   }
@@ -40,8 +52,17 @@ KvServerSim::KvServerSim(const topology::Platform& platform, KvStore& store,
   ssd_read_state_.mean_latency_ns = ssd_read_state_.idle_latency_ns;
 }
 
+double KvServerSim::FaultLatencyFactor(topology::NodeId node) const {
+  if (faults_ == nullptr || !faults_->enabled() || node < 0) {
+    return 1.0;
+  }
+  const bool is_cxl = platform_.node(node).kind == topology::NodeKind::kCxl;
+  return is_cxl ? faults_->CxlLatencyFactor() : faults_->DramLatencyFactor();
+}
+
 double KvServerSim::ServiceTimeNs(const YcsbOp& op) {
   const KvStore::OpCost cost = store_.Access(op);
+  const bool faulty = faults_ != nullptr && faults_->enabled();
 
   // CPU component with mild heavy-tail jitter (parsing, allocation, the
   // occasional expensive event-loop iteration).
@@ -53,15 +74,38 @@ double KvServerSim::ServiceTimeNs(const YcsbOp& op) {
 
   // Memory stalls: `mem_lines` dependent accesses at the node's current
   // loaded latency. The sum of many near-exponential stall times is
-  // approximately Gaussian: mean L*n, stddev ~ excess * sqrt(n).
+  // approximately Gaussian: mean L*n, stddev ~ excess * sqrt(n). Active
+  // faults (lane down-training, CRC storms, DRAM throttle) inflate the
+  // loaded latency by their derived factor; the factor is exactly 1.0 on a
+  // healthy run so the arithmetic below is unchanged.
   if (cost.node >= 0 && cost.mem_lines > 0.0) {
     const NodeState& st = nodes_[static_cast<size_t>(cost.node)];
-    const double mean = st.mean_latency_ns * cost.mem_lines;
-    const double excess = std::max(0.0, st.mean_latency_ns - st.idle_latency_ns) + 20.0;
+    const double lat_factor = FaultLatencyFactor(cost.node);
+    const double loaded_ns = st.mean_latency_ns * lat_factor;
+    const double mean = loaded_ns * cost.mem_lines;
+    const double excess = std::max(0.0, loaded_ns - st.idle_latency_ns) + 20.0;
     const double sigma = excess * std::sqrt(cost.mem_lines);
     const double floor_ns = st.idle_latency_ns * cost.mem_lines * 0.5;
     ns += std::max(floor_ns, rng_.NextGaussian(mean, sigma));
     epoch_node_bytes_[static_cast<size_t>(cost.node)] += cost.mem_lines * 64.0;
+
+    // Poisoned cacheline: the read observes a poison indication and the
+    // server rereads the line a bounded number of times (the retries cost
+    // full memory stalls, charged deterministically), then quarantines the
+    // page through the tiering daemon so it cannot be promoted back into
+    // the hot set. The sample draws from the injector's private RNG, and
+    // only while a poison event is active — never on healthy runs.
+    if (faulty && !cost.is_write && faults_->SamplePoisonedRead()) {
+      const int retries = std::max(1, faults_->tunables().poison_read_retries);
+      ns += loaded_ns * cost.mem_lines * retries;
+      epoch_node_bytes_[static_cast<size_t>(cost.node)] += cost.mem_lines * 64.0 * retries;
+      ++result_.poisoned_reads;
+      result_.poison_retries += static_cast<uint64_t>(retries);
+      if (tiering_ != nullptr && cost.page != os::kInvalidPage &&
+          tiering_->QuarantinePage(cost.page)) {
+        ++result_.quarantined_pages;
+      }
+    }
   }
 
   // Foreground SSD read (KeyDB-FLASH cache miss): idle latency plus
@@ -72,6 +116,14 @@ double KvServerSim::ServiceTimeNs(const YcsbOp& op) {
     ns += ssd_read_state_.idle_latency_ns +
           (mean_excess > 0.0 ? rng_.NextExponential(mean_excess) : 0.0);
     epoch_ssd_read_bytes_ += static_cast<double>(cost.ssd_read_bytes);
+    // Flash-tier IO error: the read times out (a multiple of the idle
+    // latency) and is retried once against a healthy replica/path.
+    if (faulty && faults_->SampleFlashError()) {
+      ns += ssd_read_state_.idle_latency_ns * faults_->tunables().flash_timeout_factor +
+            ssd_read_state_.idle_latency_ns;
+      epoch_ssd_read_bytes_ += static_cast<double>(cost.ssd_read_bytes);
+      ++result_.flash_errors;
+    }
   }
   // Background persistence traffic (WAL / flush / compaction): charged to
   // SSD bandwidth, not to this op's latency.
@@ -84,6 +136,9 @@ void KvServerSim::RefreshContention(double epoch_dt_ns) {
     return;
   }
   const double dt_sec = epoch_dt_ns / 1e9;
+  if (faults_ != nullptr) {
+    faults_->AdvanceTo(events_.Now() / 1e9);
+  }
   topology::TrafficModel traffic(platform_);
   const AccessMix mix{1.0 - workload_.WriteFraction(), true};
 
@@ -147,6 +202,32 @@ void KvServerSim::RefreshContention(double epoch_dt_ns) {
   sample.end_ms = events_.Now() / 1e6;
   sample.kops = static_cast<double>(config_.epoch_ops) / epoch_dt_ns * 1e6;
 
+  // Shed arming: the first epoch's throughput is the healthy bar; after
+  // `shed_arm_epochs` consecutive epochs below bar/shed_latency_factor the
+  // server starts shedding, and it recovers the moment an epoch clears the
+  // bar again. Only evaluated with an enabled injector — healthy runs never
+  // touch this state.
+  if (faults_ != nullptr && faults_->enabled()) {
+    const auto& tun = faults_->tunables();
+    if (baseline_epoch_kops_ <= 0.0) {
+      baseline_epoch_kops_ = sample.kops;
+    } else if (sample.kops * tun.shed_latency_factor < baseline_epoch_kops_) {
+      ++degraded_epochs_;
+      if (degraded_epochs_ >= tun.shed_arm_epochs) {
+        shedding_ = true;
+      }
+    } else {
+      degraded_epochs_ = 0;
+      shedding_ = false;
+    }
+    if (shedding_) {
+      ++result_.shed_epochs;
+      if (telemetry_ != nullptr) {
+        telemetry_->GetCounter("kv.shed_epochs").Add(1);
+      }
+    }
+  }
+
   if (telemetry_ != nullptr) {
     const double t_ms = sample.end_ms;
     const auto snap = topology::TakePcmSnapshot(platform_, sol);
@@ -201,6 +282,19 @@ void KvServerSim::Dispatch() {
     auto [submit_time, op] = pending_.front();
     pending_.pop_front();
     --free_threads_;
+    // Load shedding: after sustained degradation the server rejects a
+    // deterministic 1-in-k of arrivals with a fast error reply — no store
+    // access, no RNG draw — trading availability of a slice of requests for
+    // bounded latency on the rest.
+    ++dispatch_counter_;
+    if (shedding_ && dispatch_counter_ % shed_every_ == 0) {
+      ++result_.shed_ops;
+      constexpr double kShedReplyNs = 2'000.0;
+      const bool is_write = op.type != YcsbOp::Type::kRead;
+      events_.ScheduleAfter(kShedReplyNs,
+                            [this, submit_time, is_write] { OnComplete(submit_time, is_write); });
+      continue;
+    }
     const double service_ns = ServiceTimeNs(op);
     service_stats_.Add(service_ns);
     const bool is_write = op.type != YcsbOp::Type::kRead;

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "src/apps/kv/kvstore.h"
+#include "src/fault/fault.h"
 #include "src/os/tiering.h"
 #include "src/sim/event_queue.h"
 #include "src/telemetry/metrics.h"
@@ -54,9 +55,18 @@ class KvServerSim {
   // series and throughput into it, plus one span per epoch on the
   // "kv-server" trace track. Observational only — attaching a sink must not
   // change the simulation.
+  // `faults` (nullable) is the per-run fault injector. The server advances
+  // its clock at every contention epoch and reacts to active faults:
+  // degraded-link latency inflation on CXL-resident accesses, poisoned-read
+  // retries (retried ops pay extra memory stalls; the touched page is
+  // quarantined through `tiering`), flash IO-error timeouts + retries, and
+  // load shedding after sustained degradation (a deterministic 1-in-k of
+  // arrivals is rejected with a fast error reply). With a null or disabled
+  // injector every run is byte-identical to a faultless build.
   KvServerSim(const topology::Platform& platform, KvStore& store, workload::OpSource& workload,
               KvServerConfig config, os::TieredMemory* tiering = nullptr,
-              telemetry::MetricRegistry* telemetry = nullptr);
+              telemetry::MetricRegistry* telemetry = nullptr,
+              fault::FaultInjector* faults = nullptr);
 
   // One row per contention epoch: the time series behind convergence plots
   // (Hot-Promote warm-up, SSD cache fill, ...).
@@ -79,6 +89,13 @@ class KvServerSim {
     double migrated_bytes = 0.0;      // Total promotion/demotion volume.
     double avg_service_us = 0.0;
     std::vector<EpochSample> timeline;
+    // Fault accounting (all zero on healthy runs).
+    uint64_t poisoned_reads = 0;      // Reads that hit a poisoned cacheline.
+    uint64_t poison_retries = 0;      // Rereads issued for poisoned lines.
+    uint64_t quarantined_pages = 0;   // Pages quarantined via the daemon.
+    uint64_t flash_errors = 0;        // SSD reads that timed out and retried.
+    uint64_t shed_ops = 0;            // Arrivals rejected while shedding.
+    uint64_t shed_epochs = 0;         // Epochs spent in shedding mode.
   };
 
   Result Run();
@@ -91,6 +108,9 @@ class KvServerSim {
 
   // Computes one op's service time (ns) and charges its traffic.
   double ServiceTimeNs(const workload::YcsbOp& op);
+  // Loaded-latency inflation the active faults impose on `node` (1.0 when
+  // faults are off — the healthy arithmetic is untouched).
+  double FaultLatencyFactor(topology::NodeId node) const;
   // Refreshes loaded latencies from the traffic measured in the last epoch.
   void RefreshContention(double epoch_dt_ns);
   void Dispatch();
@@ -103,6 +123,7 @@ class KvServerSim {
   KvServerConfig config_;
   os::TieredMemory* tiering_;
   telemetry::MetricRegistry* telemetry_;
+  fault::FaultInjector* faults_;
   telemetry::TraceBuffer::TrackId kv_track_ = 0;
   uint64_t epoch_index_ = 0;
   Rng rng_;
@@ -132,6 +153,13 @@ class KvServerSim {
   RunningStats service_stats_;
   double measure_start_ns_ = 0.0;
   uint64_t measured_ops_ = 0;
+
+  // Load-shedding state (only mutated when an enabled injector is present).
+  bool shedding_ = false;
+  int degraded_epochs_ = 0;
+  double baseline_epoch_kops_ = 0.0;  // First epoch's throughput, the healthy bar.
+  uint64_t shed_every_ = 4;           // Reject every k-th arrival while shedding.
+  uint64_t dispatch_counter_ = 0;     // Deterministic shed selector.
 };
 
 }  // namespace cxl::apps::kv

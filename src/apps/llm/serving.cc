@@ -29,11 +29,15 @@ ServingStack::Stats ServingStack::SteadyState(const ServingRequest& request) con
 
 ServingStack::Stats ServingStack::Drive(const ServingRequest& request, int n,
                                         Histogram* latency_s, uint64_t seed,
-                                        telemetry::MetricRegistry* sink) const {
+                                        telemetry::MetricRegistry* sink,
+                                        fault::FaultInjector* faults) const {
   Stats steady = SteadyState(request);
   if (n <= 0 || steady.mean_request_seconds <= 0.0) {
     return steady;
   }
+  const bool faulty = faults != nullptr && faults->enabled();
+  uint64_t batch_shrinks = 0;
+  int min_batch = std::max(1, config_.decode_batch);
   std::vector<telemetry::TraceBuffer::TrackId> backend_tracks;
   if (sink != nullptr) {
     backend_tracks.reserve(static_cast<size_t>(config_.backends));
@@ -54,15 +58,44 @@ ServingStack::Stats ServingStack::Drive(const ServingRequest& request, int n,
     const double tokens = std::max(1.0, rng.NextGaussian(request.output_tokens,
                                                          0.15 * request.output_tokens));
     const double decode = steady.mean_request_seconds * tokens / request.output_tokens;
-    *slot = start + decode;
-    total_busy += decode;
+    // Degradation response: during a CXL bandwidth collapse, halve the
+    // decode batch until per-request latency clears the SLO. A batch of B
+    // streams the weights once plus B KV caches, so latency inflates by
+    // ((W + B*K) / (W + B0*K)) / bw relative to healthy full-batch decode,
+    // while occupancy per request grows by B0/B (fewer requests share the
+    // weight pass). Both factors are exactly 1.0 on healthy runs.
+    double lat_inflation = 1.0;
+    double occupancy = 1.0;
+    if (faulty) {
+      faults->AdvanceTo(start);
+      const double bw = faults->CxlBandwidthFactor();
+      const auto& tun = faults->tunables();
+      if (bw < tun.llm_batch_shrink_threshold) {
+        const double w = config_.inference.model.weight_bytes;
+        const double kv = (request.prompt_tokens + request.output_tokens) *
+                          config_.inference.model.kv_bytes_per_token;
+        const int full = std::max(1, config_.decode_batch);
+        int batch = full;
+        const auto inflation_at = [&](int b) { return ((w + b * kv) / (w + full * kv)) / bw; };
+        lat_inflation = inflation_at(batch);
+        while (batch > 1 && lat_inflation > tun.llm_latency_slo_factor) {
+          batch /= 2;
+          lat_inflation = inflation_at(batch);
+          ++batch_shrinks;
+        }
+        occupancy = (static_cast<double>(full) / batch) * lat_inflation;
+        min_batch = std::min(min_batch, batch);
+      }
+    }
+    *slot = start + decode * occupancy;
+    total_busy += decode * lat_inflation;
     if (latency_s != nullptr) {
-      latency_s->Record(*slot - now);
+      latency_s->Record(start + decode * lat_inflation - now);
     }
     if (sink != nullptr) {
       const auto backend = static_cast<size_t>(slot - backend_free_at.begin());
       sink->trace().Span(backend_tracks[backend], "request " + std::to_string(i),
-                         start * 1e3, decode * 1e3, {{"tokens", tokens}});
+                         start * 1e3, decode * occupancy * 1e3, {{"tokens", tokens}});
       sink->timeline().Sample("llm.request_seconds", *slot * 1e3, *slot - now);
       sink->GetCounter("llm.requests").Increment();
       sink->GetCounter("llm.tokens").Add(static_cast<uint64_t>(tokens));
@@ -75,6 +108,11 @@ ServingStack::Stats ServingStack::Drive(const ServingRequest& request, int n,
     stats.requests_per_second = n / makespan;
     stats.tokens_per_second = stats.requests_per_second * request.output_tokens;
     stats.mean_request_seconds = total_busy / n;
+  }
+  stats.batch_shrinks = batch_shrinks;
+  stats.min_batch = batch_shrinks > 0 ? min_batch : 0;
+  if (sink != nullptr && batch_shrinks > 0) {
+    sink->GetCounter("llm.batch_shrinks").Add(batch_shrinks);
   }
   if (sink != nullptr) {
     sink->GetGauge("llm.tokens_per_second").Set(stats.tokens_per_second);

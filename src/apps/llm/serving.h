@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/apps/llm/inference.h"
+#include "src/fault/fault.h"
 #include "src/telemetry/metrics.h"
 #include "src/util/histogram.h"
 #include "src/util/rng.h"
@@ -31,6 +32,11 @@ struct ServingStackConfig {
   int backends = 4;
   // Router queue capacity per backend; beyond this, requests wait.
   int max_inflight_per_backend = 1;
+  // Decode batch size per backend under healthy conditions. The degradation
+  // response halves it while a CXL bandwidth collapse is active: a smaller
+  // batch streams less KV-cache per weight pass, trading throughput for
+  // per-request latency that stays inside the SLO.
+  int decode_batch = 8;
 };
 
 // Closed-form serving pipeline: computes steady-state request latency and
@@ -46,6 +52,9 @@ class ServingStack {
     double mean_request_seconds = 0.0;    // Decode time per request.
     double mem_bandwidth_gbps = 0.0;
     double kv_cache_bytes_per_backend = 0.0;
+    // Fault accounting (zero on healthy runs).
+    uint64_t batch_shrinks = 0;  // Batch halvings taken during degradation.
+    int min_batch = 0;           // Smallest decode batch used (0 = never shrunk).
   };
 
   // Steady state with every backend saturated by `request` -shaped work.
@@ -57,8 +66,15 @@ class ServingStack {
   // "llm/backend<i>" trace track (simulated seconds -> trace ms) and the run
   // leaves llm.* gauges, counters, and a llm.request_seconds series behind.
   // Purely observational: results are identical with or without the sink.
+  // `faults` (nullable) is advanced along the simulated request timeline;
+  // while the CXL bandwidth factor sits below the shrink threshold, the
+  // router halves the decode batch until per-request latency clears the SLO
+  // factor — smaller batches mean less KV streaming per weight pass (lower
+  // latency) but lower backend occupancy efficiency (lower throughput).
+  // A null or disabled injector leaves the run byte-identical.
   Stats Drive(const ServingRequest& request, int n, Histogram* latency_s,
-              uint64_t seed = 1, telemetry::MetricRegistry* sink = nullptr) const;
+              uint64_t seed = 1, telemetry::MetricRegistry* sink = nullptr,
+              fault::FaultInjector* faults = nullptr) const;
 
   const ServingStackConfig& config() const { return config_; }
 

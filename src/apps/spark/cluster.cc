@@ -247,6 +247,13 @@ void SparkCluster::AttachTelemetry(telemetry::MetricRegistry* sink) {
   }
 }
 
+void SparkCluster::AttachFaults(fault::FaultInjector* faults) {
+  faults_ = faults;
+  if (tiering_ != nullptr && faults_ != nullptr && faults_->enabled()) {
+    tiering_->AttachFaults(faults_);
+  }
+}
+
 void SparkCluster::ResetHotPromoteState() {
   if (region_ == nullptr) {
     return;
@@ -266,6 +273,9 @@ void SparkCluster::ResetHotPromoteState() {
   const os::TieringConfig tc = tiering_->config();
   tiering_ = std::make_unique<os::TieredMemory>(*allocator_, tc);
   tiering_->AttachTelemetry(telemetry_);
+  if (faults_ != nullptr && faults_->enabled()) {
+    tiering_->AttachFaults(faults_);
+  }
   const auto shares = region_->NodeShares();
   for (auto& g : groups_) {
     g.node_shares = shares;
@@ -290,6 +300,9 @@ std::vector<SparkCluster::GroupRate> SparkCluster::SolveGroupRates(double read_f
 
 QueryResult SparkCluster::RunQuery(const QueryProfile& query) {
   ResetHotPromoteState();
+  if (faults_ != nullptr) {
+    faults_->AdvanceTo(trace_clock_s_);
+  }
   QueryResult result;
   const double payload_per_server = query.shuffle_bytes / config_.servers;
   std::vector<double> extra(platform_->nodes().size(), 0.0);
@@ -380,6 +393,32 @@ QueryResult SparkCluster::RunQuery(const QueryProfile& query) {
   result.shuffle_read_seconds =
       SolvePhaseSeconds(payload_per_server, 2.0 / 3.0, extra, &cxl_share);
   result.cxl_access_share = cxl_share;
+
+  // --- Shuffle-fetch failures (fault injection): while a CXL-link fault is
+  // active, fetches time out with the configured probability; Spark detects
+  // the FetchFailedException on the reduce side and re-executes the failed
+  // partitions, serialized after the healthy read wave (stage retry). ------
+  if (faults_ != nullptr && faults_->enabled()) {
+    faults_->AdvanceTo(trace_clock_s_ + result.compute_seconds + result.shuffle_write_seconds);
+    const auto& tun = faults_->tunables();
+    const int partitions = std::max(1, tun.spark_shuffle_partitions);
+    int failed = 0;
+    for (int p = 0; p < partitions; ++p) {
+      if (faults_->SampleShuffleFailure(tun.spark_fetch_failure_probability)) {
+        ++failed;
+      }
+    }
+    if (failed > 0) {
+      result.reexecuted_partitions = failed;
+      result.retry_seconds =
+          result.shuffle_read_seconds * static_cast<double>(failed) / partitions;
+      result.shuffle_read_seconds += result.retry_seconds;
+      if (telemetry_ != nullptr) {
+        telemetry_->GetCounter("spark.reexecuted_partitions")
+            .Add(static_cast<uint64_t>(failed));
+      }
+    }
+  }
 
   // --- Spill traffic (kSpill): shuffle overflow written to and re-read from
   // the NVMe array, serialized with the shuffle phases (Fig. 6). ------------

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "src/apps/spark/query.h"
+#include "src/fault/fault.h"
 #include "src/os/page_allocator.h"
 #include "src/os/region.h"
 #include "src/os/tiering.h"
@@ -90,6 +91,10 @@ struct QueryResult {
   double spilled_bytes = 0.0;
   double migrated_bytes = 0.0;      // Hot-Promote daemon traffic.
   double cxl_access_share = 0.0;    // Share of memory accesses served by CXL.
+  // Fault accounting (zero on healthy runs): shuffle-fetch failures detected
+  // on the reduce side and the re-execution time they cost.
+  int reexecuted_partitions = 0;
+  double retry_seconds = 0.0;
 
   double ShuffleSeconds() const { return shuffle_write_seconds + shuffle_read_seconds; }
   double ShuffleShare() const {
@@ -111,6 +116,14 @@ class SparkCluster {
   // laid out on a per-cluster simulated clock that advances by each query's
   // duration, so consecutive queries form a contiguous timeline.
   void AttachTelemetry(telemetry::MetricRegistry* sink);
+
+  // Attaches a fault injector (nullable). The cluster advances the
+  // injector's clock along its query timeline; while a CXL-link fault is
+  // active, shuffle fetches fail with the configured probability and the
+  // reduce side re-executes the failed partitions (Spark's stage-retry
+  // semantics), charged as extra shuffle-read time. A null or disabled
+  // injector leaves every query byte-identical to a faultless build.
+  void AttachFaults(fault::FaultInjector* faults);
 
   // Steady-state per-executor processing rate (GB/s of shuffle payload) for
   // each executor group under the current placement — the fixed point the
@@ -158,6 +171,9 @@ class SparkCluster {
   std::unique_ptr<os::MemoryRegion> region_;
   uint64_t stream_cursor_ = 0;  // Streaming-hotness window position.
   std::vector<double> last_group_rates_;  // Rates from the latest phase solve.
+
+  // Fault injector (nullable; observational clock advance + failure draws).
+  fault::FaultInjector* faults_ = nullptr;
 
   // Telemetry (observational only).
   telemetry::MetricRegistry* telemetry_ = nullptr;

@@ -1,0 +1,85 @@
+// Unified bench context: the flag surface every bench_* binary shares.
+//
+// One FromArgs call replaces the previous per-bench composition of
+// runner::JobsFromArgs + telemetry::BenchTelemetry::FromArgs and adds the
+// fault-injection flags, so all benches accept the same contract:
+//
+//   --jobs N | -jN | -j N     worker threads for sweeps (0 = auto)
+//   --metrics-out FILE        metrics JSON (or CSV when FILE ends in .csv)
+//   --trace-out FILE          Chrome trace-event JSON
+//   --bench-json FILE         one-line machine-readable bench summary
+//   --faults SPEC             fault plan: "storm" or an event list, e.g.
+//                             "downtrain@2+3=8,poison=1e-4"
+//                             (see fault::FaultPlan::Parse / docs/faults.md)
+//   --fault-seed N            fault injector seed (default 1)
+//   --fault-knob K=V          override a fault.* tunable (repeatable; keys
+//                             from fault::DeclareFaultKnobs)
+//
+// All flags are stripped from argv. With none given the context is inert:
+// no telemetry sink, empty fault plan, stdout byte-identical to a bench
+// that never parsed these flags.
+//
+// Usage in a bench main:
+//
+//   auto ctx = bench::Context::FromArgs(&argc, argv);
+//   auto& bench_telemetry = ctx.telemetry();
+//   ...
+//   auto grid = runner::RunSweep(cells, fn, ctx.Sweep(seed), &stats);
+//   ...
+//   if (!ctx.Write("bench_fig5_keydb_ycsb")) return 1;
+#ifndef CXL_EXPLORER_SRC_BENCH_CONTEXT_H_
+#define CXL_EXPLORER_SRC_BENCH_CONTEXT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/core/experiment.h"
+#include "src/fault/fault.h"
+#include "src/runner/sweep.h"
+#include "src/telemetry/bench_io.h"
+#include "src/util/knobs.h"
+
+namespace cxl::bench {
+
+class Context {
+ public:
+  // Parses and strips the shared bench flags. A malformed --faults spec or
+  // --fault-knob prints the error to stderr and exits with status 2 — a
+  // bench must not run a half-understood fault plan.
+  static Context FromArgs(int* argc, char** argv);
+
+  // Worker threads requested via --jobs/-j (0 = auto).
+  int jobs() const { return jobs_; }
+
+  // Telemetry outputs (--metrics-out/--trace-out/--bench-json).
+  telemetry::BenchTelemetry& telemetry() { return telemetry_; }
+  telemetry::MetricRegistry* sink() { return telemetry_.sink(); }
+  bool Write(const std::string& bench_name) { return telemetry_.Write(bench_name); }
+
+  // Fault-injection surface (--faults/--fault-seed/--fault-knob).
+  const fault::FaultPlan& faults() const { return faults_; }
+  uint64_t fault_seed() const { return fault_seed_; }
+  const fault::FaultTunables& fault_tunables() const { return fault_tunables_; }
+  bool faults_enabled() const { return !faults_.empty(); }
+  // The declared fault.* knobs after --fault-knob overrides (for listings).
+  const KnobSet& knobs() const { return knobs_; }
+
+  // Shared experiment environment carrying this context's jobs, sink and
+  // fault plan (plus the caller's base seed) into a Run*Experiment call.
+  core::ExperimentEnv Env(uint64_t seed = 1);
+
+  // Sweep options pre-filled with the parsed --jobs value.
+  runner::SweepOptions Sweep(uint64_t base_seed = 1) const;
+
+ private:
+  int jobs_ = 0;
+  telemetry::BenchTelemetry telemetry_;
+  fault::FaultPlan faults_;
+  uint64_t fault_seed_ = 1;
+  fault::FaultTunables fault_tunables_;
+  KnobSet knobs_;
+};
+
+}  // namespace cxl::bench
+
+#endif  // CXL_EXPLORER_SRC_BENCH_CONTEXT_H_

@@ -9,6 +9,7 @@
 //   - the Abstract Cost Model and VM economics              (src/cost)
 //   - Table 1 configurations and experiment runners         (src/core)
 //   - the deterministic parallel sweep engine               (src/runner)
+//   - seeded fault injection and degradation responses      (src/fault)
 #ifndef CXL_EXPLORER_SRC_CORE_CXL_EXPLORER_H_
 #define CXL_EXPLORER_SRC_CORE_CXL_EXPLORER_H_
 
@@ -24,6 +25,7 @@
 #include "src/cost/cost_model.h"
 #include "src/cost/multi_app.h"
 #include "src/cost/vm_economics.h"
+#include "src/fault/fault.h"
 #include "src/mem/access.h"
 #include "src/mem/bandwidth_solver.h"
 #include "src/mem/cxl_link.h"

@@ -55,11 +55,27 @@ void EmitKeyDbResultTelemetry(telemetry::MetricRegistry* sink,
   sink->GetCounter("vmstat.promote_rate_limited.total").Add(counters.promote_rate_limited);
 }
 
+// Builds the per-run fault injector described by `env` (nullptr when the
+// plan is empty — the healthy path never constructs one). `fault_seed`
+// overrides env.fault_seed for per-cell seeding in sweeps.
+std::unique_ptr<fault::FaultInjector> MakeInjector(const ExperimentEnv& env,
+                                                   telemetry::MetricRegistry* sink,
+                                                   uint64_t fault_seed) {
+  if (!env.faults_enabled()) {
+    return nullptr;
+  }
+  auto injector =
+      std::make_unique<fault::FaultInjector>(env.faults, fault_seed, env.fault_tunables);
+  injector->AttachTelemetry(sink);
+  return injector;
+}
+
 }  // namespace
 
 StatusOr<KeyDbExperimentResult> RunKeyDbExperiment(CapacityConfig config,
                                                    workload::YcsbWorkload workload,
                                                    const KeyDbExperimentOptions& options) {
+  const ExperimentEnv& env = options.env;
   // Platform: the CXL experiment server, SNC disabled (§4.1.1). Hot-Promote
   // runs with DRAM capped at half the dataset.
   Platform platform = config == CapacityConfig::kHotPromote
@@ -71,11 +87,11 @@ StatusOr<KeyDbExperimentResult> RunKeyDbExperiment(CapacityConfig config,
   std::unique_ptr<os::TieredMemory> tiering;
   if (setup.hot_promote) {
     tiering = std::make_unique<os::TieredMemory>(allocator, DefaultTieringConfig());
-    tiering->AttachTelemetry(options.telemetry);
+    tiering->AttachTelemetry(env.telemetry);
   }
 
   KvStoreConfig store_cfg;
-  if (options.store_preset != nullptr) {
+  if (options.store_preset.has_value()) {
     store_cfg = *options.store_preset;
   }
   store_cfg.record_count = options.dataset_bytes / options.value_bytes;
@@ -91,41 +107,44 @@ StatusOr<KeyDbExperimentResult> RunKeyDbExperiment(CapacityConfig config,
     return store.status();
   }
 
-  workload::YcsbGenerator gen(workload, store_cfg.record_count, options.seed);
+  workload::YcsbGenerator gen(workload, store_cfg.record_count, env.seed);
   KvServerConfig server_cfg;
   server_cfg.server_threads = options.server_threads;
   server_cfg.client_connections = options.client_connections;
   server_cfg.total_ops = options.total_ops;
   server_cfg.warmup_ops = options.warmup_ops;
-  server_cfg.seed = options.seed;
+  server_cfg.seed = env.seed;
 
-  KvServerSim sim(platform, *store, gen, server_cfg, tiering.get(), options.telemetry);
+  auto injector = MakeInjector(env, env.telemetry, env.fault_seed);
+  KvServerSim sim(platform, *store, gen, server_cfg, tiering.get(), env.telemetry,
+                  injector.get());
   KeyDbExperimentResult result;
   result.config_label = ConfigLabel(config);
   result.workload_name = workload::YcsbName(workload);
   result.server = sim.Run();
-  EmitKeyDbResultTelemetry(options.telemetry, result, allocator);
+  EmitKeyDbResultTelemetry(env.telemetry, result, allocator);
   store->Free();
   return result;
 }
 
 StatusOr<VmExperimentResult> RunVmCxlOnlyExperiment(KeyDbExperimentOptions options) {
+  const ExperimentEnv& env = options.env;
   // §4.3.1: 100 GB YCSB-C dataset (default here: 1/8 scale), SNC disabled,
   // numactl-bound to MMEM or to CXL. The lighter Fig. 8 store preset applies
   // unless the caller overrides it. The preset is copied by value — a
   // function-local static here would be a shared-init hazard when several
   // sweep cells enter concurrently.
-  const KvStoreConfig preset = options.store_preset != nullptr ? *options.store_preset
-                                                               : KvStoreConfig::Fig8Preset(0);
+  const KvStoreConfig preset = options.store_preset.has_value() ? *options.store_preset
+                                                                : KvStoreConfig::Fig8Preset(0);
 
-  // Both placements replay the same op stream (options.seed, not the derived
+  // Both placements replay the same op stream (env.seed, not the derived
   // sweep seed) so the MMEM/CXL comparison is apples to apples.
   const std::vector<int> cells = {0, 1};
   // The cells may run concurrently: each writes its own registry, merged
   // below in cell order under the "mmem." / "cxl." prefixes.
   std::vector<telemetry::MetricRegistry> cell_telemetry(
-      options.telemetry != nullptr ? cells.size() : 0);
-  auto run_cell = [&options, &preset, &cell_telemetry](
+      env.telemetry != nullptr ? cells.size() : 0);
+  auto run_cell = [&options, &env, &preset, &cell_telemetry](
                       const int& cell, uint64_t /*seed*/) -> StatusOr<KeyDbExperimentResult> {
     const bool use_cxl = cell != 0;
     Platform platform = Platform::CxlServer(false);
@@ -142,17 +161,22 @@ StatusOr<VmExperimentResult> RunVmCxlOnlyExperiment(KeyDbExperimentOptions optio
     if (!store.ok()) {
       return store.status();
     }
-    workload::YcsbGenerator gen(workload::YcsbWorkload::kC, store_cfg.record_count, options.seed);
+    workload::YcsbGenerator gen(workload::YcsbWorkload::kC, store_cfg.record_count, env.seed);
     KvServerConfig server_cfg;
     server_cfg.server_threads = options.server_threads;
     server_cfg.client_connections = options.client_connections;
     server_cfg.total_ops = options.total_ops;
     server_cfg.warmup_ops = options.warmup_ops;
-    server_cfg.seed = options.seed;
+    server_cfg.seed = env.seed;
 
     telemetry::MetricRegistry* sink =
         cell_telemetry.empty() ? nullptr : &cell_telemetry[static_cast<size_t>(cell)];
-    KvServerSim sim(platform, *store, gen, server_cfg, nullptr, sink);
+    // Per-cell injector seed: derived with CellSeed so the two placements
+    // draw independent fault streams yet the pair is reproducible at any
+    // --jobs setting.
+    auto injector = MakeInjector(
+        env, sink, runner::CellSeed(env.fault_seed, static_cast<size_t>(cell)));
+    KvServerSim sim(platform, *store, gen, server_cfg, nullptr, sink, injector.get());
     KeyDbExperimentResult res;
     res.config_label = use_cxl ? "CXL" : "MMEM";
     res.workload_name = "YCSB-C";
@@ -163,15 +187,15 @@ StatusOr<VmExperimentResult> RunVmCxlOnlyExperiment(KeyDbExperimentOptions optio
   };
 
   runner::SweepOptions sweep_options;
-  sweep_options.jobs = options.jobs;
-  sweep_options.base_seed = options.seed;
+  sweep_options.jobs = env.jobs;
+  sweep_options.base_seed = env.seed;
   auto results = runner::RunSweep(cells, run_cell, sweep_options);
   if (!results.ok()) {
     return results.status();
   }
-  if (options.telemetry != nullptr) {
-    options.telemetry->MergeFrom(cell_telemetry[0], "mmem.");
-    options.telemetry->MergeFrom(cell_telemetry[1], "cxl.");
+  if (env.telemetry != nullptr) {
+    env.telemetry->MergeFrom(cell_telemetry[0], "mmem.");
+    env.telemetry->MergeFrom(cell_telemetry[1], "cxl.");
   }
 
   VmExperimentResult out;
@@ -183,6 +207,39 @@ StatusOr<VmExperimentResult> RunVmCxlOnlyExperiment(KeyDbExperimentOptions optio
     out.cxl.slowdown_vs_baseline =
         out.mmem.server.throughput_kops / out.cxl.server.throughput_kops;
   }
+  return out;
+}
+
+StatusOr<SparkExperimentResult> RunSparkExperiment(const SparkExperimentOptions& options) {
+  const ExperimentEnv& env = options.env;
+  apps::spark::SparkCluster cluster(options.cluster);
+  cluster.AttachTelemetry(env.telemetry);
+  auto injector = MakeInjector(env, env.telemetry, env.fault_seed);
+  cluster.AttachFaults(injector.get());
+
+  const std::vector<apps::spark::QueryProfile> queries =
+      options.queries.empty() ? apps::spark::TpchShuffleHeavyQueries() : options.queries;
+  SparkExperimentResult out;
+  out.queries.reserve(queries.size());
+  for (const auto& q : queries) {
+    const auto res = cluster.RunQuery(q);
+    out.total_seconds += res.total_seconds;
+    out.reexecuted_partitions += res.reexecuted_partitions;
+    out.queries.push_back(res);
+  }
+  return out;
+}
+
+StatusOr<LlmExperimentResult> RunLlmExperiment(const LlmExperimentOptions& options) {
+  const ExperimentEnv& env = options.env;
+  if (options.requests <= 0) {
+    return Status::InvalidArgument("LlmExperimentOptions.requests must be positive");
+  }
+  apps::llm::ServingStack stack(options.stack);
+  auto injector = MakeInjector(env, env.telemetry, env.fault_seed);
+  LlmExperimentResult out;
+  out.stats = stack.Drive(options.request, options.requests, &out.latency_s, env.seed,
+                          env.telemetry, injector.get());
   return out;
 }
 

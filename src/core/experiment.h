@@ -6,15 +6,52 @@
 #define CXL_EXPLORER_SRC_CORE_EXPERIMENT_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "src/apps/kv/server.h"
+#include "src/apps/llm/serving.h"
+#include "src/apps/spark/cluster.h"
+#include "src/apps/spark/query.h"
 #include "src/core/configs.h"
+#include "src/fault/fault.h"
 #include "src/telemetry/metrics.h"
+#include "src/util/histogram.h"
 #include "src/util/status.h"
 #include "src/workload/ycsb.h"
 
 namespace cxl::core {
+
+// Cross-cutting execution environment shared by every Run*Experiment entry
+// point: where randomness comes from, how wide multi-cell experiments fan
+// out, where observability lands, and which faults (if any) are injected.
+// Embedded by value in each experiment's options struct so these concerns
+// are plumbed once instead of re-declared per experiment.
+struct ExperimentEnv {
+  // Base seed for workload generation and service-time jitter. Multi-cell
+  // experiments derive per-cell seeds with runner::CellSeed.
+  uint64_t seed = 1;
+  // Worker threads for multi-cell experiments (Fig. 8 runs its two
+  // placements concurrently). 0 = auto (CXL_JOBS env, then hardware).
+  int jobs = 0;
+  // Optional telemetry sink. When set, the run emits per-epoch PCM/vmstat/
+  // tiering time series, trace spans, end-state gauges and latency
+  // histograms into it. Purely additive: results and stdout are unchanged.
+  // Single-writer — for sweeps, give every cell its own registry and merge
+  // by cell index afterwards. (RunVmCxlOnlyExperiment does this internally:
+  // its two placements land under "mmem." / "cxl." prefixes.)
+  telemetry::MetricRegistry* telemetry = nullptr;
+  // Fault plan injected into the run (empty = healthy; the default). The
+  // experiment constructs one fault::FaultInjector per simulation, seeded
+  // from `fault_seed` (per-cell via runner::CellSeed in sweeps) — never from
+  // `seed`, so toggling faults cannot perturb the healthy RNG streams.
+  fault::FaultPlan faults;
+  uint64_t fault_seed = 1;
+  fault::FaultTunables fault_tunables;
+
+  bool faults_enabled() const { return !faults.empty(); }
+};
 
 struct KeyDbExperimentOptions {
   // The paper's capacity experiments use a 512 GB working set of 1 KiB
@@ -28,19 +65,12 @@ struct KeyDbExperimentOptions {
   uint64_t warmup_ops = 50'000;
   int server_threads = 7;
   int client_connections = 64;
-  uint64_t seed = 1;
-  // Worker threads for multi-cell experiments (Fig. 8 runs its two
-  // placements concurrently). 0 = auto (CXL_JOBS env, then hardware).
-  int jobs = 0;
-  // Override the KvStore cost preset (null = Fig. 5 defaults).
-  const apps::kv::KvStoreConfig* store_preset = nullptr;
-  // Optional telemetry sink. When set, the run emits per-epoch PCM/vmstat/
-  // tiering time series, trace spans, end-state gauges (kv.*) and latency
-  // histograms into it. Purely additive: results and stdout are unchanged.
-  // Single-writer — for sweeps, give every cell its own registry and merge
-  // by cell index afterwards. (RunVmCxlOnlyExperiment does this internally:
-  // its two placements land under "mmem." / "cxl." prefixes.)
-  telemetry::MetricRegistry* telemetry = nullptr;
+  // Shared execution environment (seed, jobs, telemetry, fault plan).
+  ExperimentEnv env;
+  // Override the KvStore cost preset (nullopt = Fig. 5 defaults). Held by
+  // value: the options struct owns its preset, so there is no dangling-
+  // pointer hazard when options outlive the scope that configured them.
+  std::optional<apps::kv::KvStoreConfig> store_preset;
 };
 
 struct KeyDbExperimentResult {
@@ -64,6 +94,40 @@ struct VmExperimentResult {
   double throughput_penalty = 0.0;  // 1 - cxl/mmem.
 };
 StatusOr<VmExperimentResult> RunVmCxlOnlyExperiment(KeyDbExperimentOptions options = {});
+
+// §4.2: one Spark cluster configuration over a set of TPC-H queries.
+// Thin orchestration over apps::spark::SparkCluster that wires the shared
+// environment (telemetry sink, fault injector) through the cluster.
+struct SparkExperimentOptions {
+  apps::spark::SparkConfig cluster = apps::spark::SparkConfig::MmemOnly();
+  // Queries to run back to back (empty = the paper's four shuffle-heavy
+  // TPC-H queries, Q5/Q7/Q8/Q9).
+  std::vector<apps::spark::QueryProfile> queries;
+  ExperimentEnv env;
+};
+
+struct SparkExperimentResult {
+  std::vector<apps::spark::QueryResult> queries;
+  double total_seconds = 0.0;
+  int reexecuted_partitions = 0;  // Shuffle partitions re-run after fetch failures.
+};
+
+StatusOr<SparkExperimentResult> RunSparkExperiment(const SparkExperimentOptions& options = {});
+
+// §5: LLM serving pipeline driven with back-to-back requests.
+struct LlmExperimentOptions {
+  apps::llm::ServingStackConfig stack;
+  apps::llm::ServingRequest request;
+  int requests = 64;
+  ExperimentEnv env;
+};
+
+struct LlmExperimentResult {
+  apps::llm::ServingStack::Stats stats;
+  Histogram latency_s{1e-4, 1e5, 96};  // Per-request latency (seconds).
+};
+
+StatusOr<LlmExperimentResult> RunLlmExperiment(const LlmExperimentOptions& options = {});
 
 }  // namespace cxl::core
 

@@ -34,6 +34,18 @@ CxlLinkConfig FpgaLinkConfig() {
   return cfg;
 }
 
+CxlLinkConfig DegradeLink(const CxlLinkConfig& base, int active_lanes, double extra_maintenance) {
+  CxlLinkConfig degraded = base;
+  const int lanes = active_lanes < 1 ? 1 : (active_lanes > 16 ? 16 : active_lanes);
+  degraded.raw_gbps_per_direction = base.raw_gbps_per_direction * lanes / 16.0;
+  double maintenance = base.maintenance_fraction + (extra_maintenance > 0.0 ? extra_maintenance : 0.0);
+  if (maintenance > 0.95) {
+    maintenance = 0.95;
+  }
+  degraded.maintenance_fraction = maintenance;
+  return degraded;
+}
+
 double WireBytesForReads(const CxlLinkConfig& config, double payload_bytes) {
   // Downstream: data flits at the framing + slot overhead derived above.
   const CxlLinkEfficiency eff = ComputeLinkEfficiency(config);

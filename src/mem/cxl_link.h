@@ -58,6 +58,14 @@ CxlLinkConfig FpgaLinkConfig();
 // + data downstream), for traffic accounting.
 double WireBytesForReads(const CxlLinkConfig& config, double payload_bytes);
 
+// A degraded copy of `base`: the physical link re-trained down to
+// `active_lanes` (of 16) and `extra_maintenance` added to the flit
+// maintenance fraction (CRC retry storms replay flits from the retry
+// buffer, which shows up exactly as extra maintenance slots). Lanes clamp
+// to [1, 16]; the combined maintenance fraction clamps below 0.95 so the
+// link never models negative throughput.
+CxlLinkConfig DegradeLink(const CxlLinkConfig& base, int active_lanes, double extra_maintenance);
+
 }  // namespace cxl::mem
 
 #endif  // CXL_EXPLORER_SRC_MEM_CXL_LINK_H_

@@ -80,6 +80,32 @@ uint64_t TieredMemory::DemoteColdPages(uint64_t count) {
 
 TieredMemory::TickResult TieredMemory::Tick(double dt_seconds) {
   TickResult result;
+  result.hot_threshold = hot_threshold_;
+
+  // Degraded-path gates. Both branches leave page state untouched: a wedged
+  // daemon thread neither scans nor decays, and a backed-off daemon sits out
+  // the tick after repeated promotion failures. Unreachable without an
+  // enabled injector, so healthy runs are bit-for-bit unchanged.
+  if (faults_ != nullptr && faults_->enabled()) {
+    if (faults_->DaemonStalled()) {
+      sim_seconds_ += dt_seconds;
+      ++epoch_;
+      if (telemetry_ != nullptr) {
+        telemetry_->GetCounter("tiering.stalled_ticks").Increment();
+      }
+      return result;
+    }
+    if (backoff_ticks_remaining_ > 0) {
+      --backoff_ticks_remaining_;
+      sim_seconds_ += dt_seconds;
+      ++epoch_;
+      if (telemetry_ != nullptr) {
+        telemetry_->GetCounter("tiering.backoff_ticks").Increment();
+      }
+      return result;
+    }
+  }
+
   const auto& platform = allocator_.platform();
   const double page_bytes = static_cast<double>(allocator_.page_bytes());
 
@@ -90,12 +116,17 @@ TieredMemory::TickResult TieredMemory::Tick(double dt_seconds) {
                                 ? std::numeric_limits<uint64_t>::max()
                                 : static_cast<uint64_t>(budget_bytes / page_bytes);
 
-  // Gather promotion candidates on the low tier.
+  // Gather promotion candidates on the low tier. Quarantined pages are
+  // never candidates; the set is empty unless fault paths populated it, so
+  // the extra check is one `empty()` load on healthy runs.
+  const auto quarantined = [this](PageId id) {
+    return !quarantined_.empty() && quarantined_.count(id) != 0;
+  };
   std::vector<std::pair<float, PageId>> hot;
   if (config_.mode == PromotionMode::kHotPageSelection) {
     for (PageId id = 0; id < allocator_.page_count(); ++id) {
       const Page& p = allocator_.page(id);
-      if (p.node >= 0 && !IsTopTier(p.node) && p.heat >= hot_threshold_) {
+      if (p.node >= 0 && !IsTopTier(p.node) && p.heat >= hot_threshold_ && !quarantined(id)) {
         hot.emplace_back(p.heat, id);
       }
     }
@@ -109,7 +140,8 @@ TieredMemory::TickResult TieredMemory::Tick(double dt_seconds) {
     // budget is spent on recently-touched pages regardless of their heat.
     for (PageId id = 0; id < allocator_.page_count(); ++id) {
       const Page& p = allocator_.page(id);
-      if (p.node >= 0 && !IsTopTier(p.node) && p.last_decay_epoch == epoch_ && p.heat > 0.0f) {
+      if (p.node >= 0 && !IsTopTier(p.node) && p.last_decay_epoch == epoch_ && p.heat > 0.0f &&
+          !quarantined(id)) {
         hot.emplace_back(p.heat, id);
       }
     }
@@ -119,7 +151,7 @@ TieredMemory::TickResult TieredMemory::Tick(double dt_seconds) {
     // the active-list check. No ordering, no rate limiting (see below).
     for (PageId id = 0; id < allocator_.page_count(); ++id) {
       const Page& p = allocator_.page(id);
-      if (p.node >= 0 && !IsTopTier(p.node) && p.heat >= 2.0f) {
+      if (p.node >= 0 && !IsTopTier(p.node) && p.heat >= 2.0f && !quarantined(id)) {
         hot.emplace_back(p.heat, id);
       }
     }
@@ -140,6 +172,7 @@ TieredMemory::TickResult TieredMemory::Tick(double dt_seconds) {
   };
 
   uint64_t promoted = 0;
+  bool promotion_failed = false;
   for (const auto& [heat, id] : hot) {
     if (promoted >= budget_pages) {
       allocator_.mutable_counters().promote_rate_limited += hot.size() - promoted;
@@ -155,6 +188,7 @@ TieredMemory::TickResult TieredMemory::Tick(double dt_seconds) {
       result.migrated_bytes += static_cast<double>(freed) * page_bytes;
       target = pick_dram();
       if (target < 0) {
+        promotion_failed = true;
         break;  // Machine genuinely full.
       }
     }
@@ -162,9 +196,29 @@ TieredMemory::TickResult TieredMemory::Tick(double dt_seconds) {
       ++promoted;
       ++allocator_.mutable_counters().pgpromote_success;
       result.migrated_bytes += page_bytes;
+    } else {
+      promotion_failed = true;
     }
   }
   result.promoted_pages = promoted;
+
+  // Repeated promotion failure on the degraded path arms exponential
+  // backoff: 2, 4, 8, ... skipped ticks up to the tunable cap, so a daemon
+  // that cannot make progress stops burning scan cycles and migration
+  // bandwidth against a full or failing tier.
+  if (faults_ != nullptr && faults_->enabled()) {
+    if (promotion_failed) {
+      ++promotion_failure_streak_;
+      const int cap = std::max(1, faults_->tunables().backoff_max_ticks);
+      const int shift = std::min(promotion_failure_streak_, 16);
+      backoff_ticks_remaining_ = std::min(cap, 1 << shift);
+      if (telemetry_ != nullptr) {
+        telemetry_->GetCounter("tiering.promotion_failures").Increment();
+      }
+    } else {
+      promotion_failure_streak_ = 0;
+    }
+  }
 
   // Demotion under DRAM pressure even without promotions (watermark).
   if (allocator_.DramFreeFraction() < config_.demotion_free_watermark) {
@@ -209,6 +263,39 @@ void TieredMemory::AttachTelemetry(telemetry::MetricRegistry* sink) {
   if (telemetry_ != nullptr) {
     telemetry_track_ = telemetry_->trace().Track("promotion-daemon");
   }
+}
+
+void TieredMemory::AttachFaults(const fault::FaultInjector* faults) { faults_ = faults; }
+
+bool TieredMemory::QuarantinePage(PageId page) {
+  if (page == kInvalidPage || page >= allocator_.page_count()) {
+    return false;
+  }
+  if (!quarantined_.insert(page).second) {
+    return false;  // Already quarantined.
+  }
+  Page& p = allocator_.page(page);
+  p.heat = 0.0f;
+  if (p.node >= 0 && IsTopTier(p.node)) {
+    // Evict the poisoned page from the hot tier: it must not occupy DRAM
+    // the daemon would otherwise give to healthy hot pages.
+    const auto& platform = allocator_.platform();
+    topology::NodeId target = -1;
+    uint64_t best_free = 0;
+    for (const auto& n : platform.nodes()) {
+      if (n.kind == topology::NodeKind::kCxl && allocator_.FreePages(n.id) > best_free) {
+        best_free = allocator_.FreePages(n.id);
+        target = n.id;
+      }
+    }
+    if (target >= 0 && allocator_.MovePage(page, target).ok()) {
+      ++allocator_.mutable_counters().pgdemote;
+    }
+  }
+  if (telemetry_ != nullptr) {
+    telemetry_->GetCounter("tiering.quarantined_pages").Increment();
+  }
+  return true;
 }
 
 void TieredMemory::EmitTickTelemetry(const TickResult& result, double dt_seconds) {

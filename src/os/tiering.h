@@ -16,8 +16,10 @@
 #define CXL_EXPLORER_SRC_OS_TIERING_H_
 
 #include <cstdint>
+#include <unordered_set>
 #include <vector>
 
+#include "src/fault/fault.h"
 #include "src/os/page.h"
 #include "src/os/page_allocator.h"
 #include "src/telemetry/metrics.h"
@@ -101,6 +103,26 @@ class TieredMemory {
   // promotion behaviour.
   void AttachTelemetry(telemetry::MetricRegistry* sink);
 
+  // Connects the fault injector (nullable; detach with nullptr). The daemon
+  // reads it at each Tick(): while a kDaemonStall event covers the
+  // injector's clock the tick does no scanning, promotion, or decay (the
+  // kernel thread is wedged), and repeated promotion failures on the
+  // degraded path arm an exponential backoff of skipped ticks (capped by
+  // FaultTunables::backoff_max_ticks). With a null or disabled injector
+  // every tick behaves exactly as before — byte-identical runs.
+  void AttachFaults(const fault::FaultInjector* faults);
+
+  // Degraded-path quarantine: takes `page` out of promotion consideration
+  // permanently and demotes it to the low tier if it currently sits in
+  // DRAM (a poisoned cacheline must not be re-promoted into the hot set).
+  // Returns true when the page was newly quarantined. Only the fault paths
+  // call this; healthy runs keep the set empty.
+  bool QuarantinePage(PageId page);
+  uint64_t QuarantinedPages() const { return quarantined_.size(); }
+
+  // Remaining ticks of promotion-failure backoff (tests/telemetry).
+  int BackoffTicksRemaining() const { return backoff_ticks_remaining_; }
+
   // DRAM nodes are the top tier; CXL nodes the low tier (§2.3).
   bool IsTopTier(topology::NodeId node) const;
 
@@ -128,6 +150,12 @@ class TieredMemory {
   telemetry::MetricRegistry* telemetry_ = nullptr;
   telemetry::TraceBuffer::TrackId telemetry_track_ = 0;
   double sim_seconds_ = 0.0;  // Sum of Tick() dt_seconds.
+
+  // Fault handling (inert unless an enabled injector is attached).
+  const fault::FaultInjector* faults_ = nullptr;
+  std::unordered_set<PageId> quarantined_;
+  int promotion_failure_streak_ = 0;
+  int backoff_ticks_remaining_ = 0;
 };
 
 }  // namespace cxl::os

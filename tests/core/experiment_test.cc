@@ -124,7 +124,7 @@ TEST(ExperimentTest, TelemetryIsObservationalAndCapturesDaemonSeries) {
   const auto plain =
       RunKeyDbExperiment(CapacityConfig::kHotPromote, workload::YcsbWorkload::kC, opt);
   telemetry::MetricRegistry reg;
-  opt.telemetry = &reg;
+  opt.env.telemetry = &reg;
   const auto traced =
       RunKeyDbExperiment(CapacityConfig::kHotPromote, workload::YcsbWorkload::kC, opt);
   ASSERT_TRUE(plain.ok());
@@ -154,7 +154,7 @@ TEST(ExperimentTest, VmExperimentMergesPlacementPrefixes) {
   opt.total_ops = 40'000;
   opt.warmup_ops = 10'000;
   telemetry::MetricRegistry reg;
-  opt.telemetry = &reg;
+  opt.env.telemetry = &reg;
   const auto res = RunVmCxlOnlyExperiment(opt);
   ASSERT_TRUE(res.ok());
   EXPECT_TRUE(reg.GetGauge("mmem.kv.throughput_kops").set());

@@ -106,7 +106,7 @@ TEST(ConfigMatrixTest, ParallelMatrixMatchesSerial) {
     opt.dataset_bytes = 1ull << 30;
     opt.total_ops = 20'000;
     opt.warmup_ops = 5'000;
-    opt.seed = seed;
+    opt.env.seed = seed;
     return RunKeyDbExperiment(cell.config, cell.workload, opt);
   };
   runner::SweepOptions serial;
