@@ -1,0 +1,482 @@
+#include "src/check/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/check/invariants.h"
+#include "src/mem/access.h"
+#include "src/mem/bandwidth_solver.h"
+#include "src/mem/cxl_link.h"
+#include "src/mem/profiles.h"
+#include "src/sim/queueing.h"
+#include "src/topology/platform.h"
+#include "src/util/table.h"
+
+namespace cxl::check {
+
+namespace {
+
+using mem::AccessMix;
+using mem::CxlController;
+using mem::GetProfile;
+using mem::MemoryPath;
+using mem::PathProfile;
+
+const AccessMix kRead = AccessMix::ReadOnly();
+const AccessMix kWrite = AccessMix::WriteOnly();
+const AccessMix kTwoToOne = AccessMix::Ratio(2, 1);
+
+// Read fraction at which a profile's peak-bandwidth curve maxes out,
+// located by a fine sweep (the paper reports the location, not the law).
+double PeakArgmaxReadFraction(const PathProfile& profile) {
+  double best_rf = 0.0;
+  double best = -1.0;
+  for (int i = 0; i <= 128; ++i) {
+    const double rf = static_cast<double>(i) / 128.0;
+    const double peak = profile.PeakBandwidthGBps(AccessMix{rf, true});
+    if (peak > best) {
+      best = peak;
+      best_rf = rf;
+    }
+  }
+  return best_rf;
+}
+
+// Read fraction at which the curve bottoms out.
+double PeakArgminReadFraction(const PathProfile& profile) {
+  double worst_rf = 0.0;
+  double worst = std::numeric_limits<double>::infinity();
+  for (int i = 0; i <= 128; ++i) {
+    const double rf = static_cast<double>(i) / 128.0;
+    const double peak = profile.PeakBandwidthGBps(AccessMix{rf, true});
+    if (peak < worst) {
+      worst = peak;
+      worst_rf = rf;
+    }
+  }
+  return worst_rf;
+}
+
+// Fraction of sweep steps on which the peak curve is non-decreasing in the
+// read fraction (1.0 = monotone).
+double PeakMonotoneFraction(const PathProfile& profile) {
+  int ok = 0;
+  int steps = 0;
+  double prev = profile.PeakBandwidthGBps(AccessMix{0.0, true});
+  for (int i = 1; i <= 64; ++i) {
+    const double rf = static_cast<double>(i) / 64.0;
+    const double peak = profile.PeakBandwidthGBps(AccessMix{rf, true});
+    ok += peak >= prev - 1e-12 ? 1 : 0;
+    ++steps;
+    prev = peak;
+  }
+  return static_cast<double>(ok) / static_cast<double>(steps);
+}
+
+}  // namespace
+
+CalibrationBand CalibrationBand::Frac(std::string name, double expect, double fraction,
+                                      std::string paper_ref) {
+  CalibrationBand band;
+  band.name = std::move(name);
+  band.expect = expect;
+  band.lo = expect * (1.0 - fraction);
+  band.hi = expect * (1.0 + fraction);
+  band.paper_ref = std::move(paper_ref);
+  return band;
+}
+
+CalibrationBand CalibrationBand::Range(std::string name, double expect, double lo, double hi,
+                                       std::string paper_ref) {
+  CalibrationBand band;
+  band.name = std::move(name);
+  band.expect = expect;
+  band.lo = lo;
+  band.hi = hi;
+  band.paper_ref = std::move(paper_ref);
+  return band;
+}
+
+void CalibrationReport::Check(const CalibrationBand& band, double measured) {
+  CalibrationResult result;
+  result.band = band;
+  result.measured = measured;
+  result.pass = band.Contains(measured);
+  results_.push_back(std::move(result));
+}
+
+int CalibrationReport::failures() const {
+  int n = 0;
+  for (const auto& r : results_) {
+    n += r.pass ? 0 : 1;
+  }
+  return n;
+}
+
+int CalibrationReport::PrintTable(std::ostream& os) const {
+  Table table({"band", "paper ref", "expect", "lo", "hi", "measured", "status"});
+  for (const auto& r : results_) {
+    table.Row()
+        .Cell(r.band.name)
+        .Cell(r.band.paper_ref)
+        .Cell(r.band.expect, 4)
+        .Cell(r.band.lo, 4)
+        .Cell(r.band.hi, 4)
+        .Cell(r.measured, 4)
+        .Cell(r.pass ? "PASS" : "FAIL");
+  }
+  table.Print(os);
+  const int failed = failures();
+  os << "calibration: " << (results_.size() - static_cast<size_t>(failed)) << "/"
+     << results_.size() << " bands in tolerance";
+  if (failed > 0) {
+    os << " — " << failed << " FAILED (model drifted off the paper's measurements)";
+  }
+  os << "\n";
+  return failed;
+}
+
+void CheckIdleLatencyBands(CalibrationReport* report) {
+  const PathProfile& mmem = GetProfile(MemoryPath::kLocalDram);
+  const PathProfile& mmem_r = GetProfile(MemoryPath::kRemoteDram);
+  const PathProfile& cxl = GetProfile(MemoryPath::kLocalCxl);
+  const PathProfile& cxl_r = GetProfile(MemoryPath::kRemoteCxl);
+  const PathProfile& fpga = GetProfile(MemoryPath::kLocalCxl, CxlController::kFpga);
+  const PathProfile& ssd = GetProfile(MemoryPath::kSsd);
+
+  report->Check(CalibrationBand::Frac("mmem.idle_ns.read", 97.0, 0.03, "Fig. 3(a) / §3.2"),
+                mmem.IdleLatencyNs(kRead));
+  report->Check(CalibrationBand::Frac("mmem_r.idle_ns.read", 130.0, 0.05, "Fig. 3(b) / §3.2"),
+                mmem_r.IdleLatencyNs(kRead));
+  report->Check(
+      CalibrationBand::Frac("mmem_r.idle_ns.write_nt", 71.77, 0.03, "Fig. 3(b) / §3.2 (NT stores)"),
+      mmem_r.IdleLatencyNs(kWrite));
+  report->Check(CalibrationBand::Frac("cxl.idle_ns.read", 250.42, 0.02, "Fig. 3(c) / §3.2"),
+                cxl.IdleLatencyNs(kRead));
+  report->Check(CalibrationBand::Frac("cxl_r.idle_ns.read", 485.0, 0.03, "Fig. 3(d) / §3.2"),
+                cxl_r.IdleLatencyNs(kRead));
+  report->Check(
+      CalibrationBand::Range("cxl_over_mmem.idle_ratio", 2.5, 2.4, 2.6, "§3.3 (2.4–2.6x local DDR)"),
+      cxl.IdleLatencyNs(kRead) / mmem.IdleLatencyNs(kRead));
+  report->Check(CalibrationBand::Range("cxl_over_mmem_r.idle_ratio", 1.92, 1.5, 1.95,
+                                       "§3.3 (1.5–1.92x remote DDR)"),
+                cxl.IdleLatencyNs(kRead) / mmem_r.IdleLatencyNs(kRead));
+  report->Check(CalibrationBand::Range("fpga_over_asic.idle_ratio", 1.58, 1.2, 2.0,
+                                       "§3.4 (FPGA higher access latency)"),
+                fpga.IdleLatencyNs(kRead) / cxl.IdleLatencyNs(kRead));
+  report->Check(CalibrationBand::Frac("ssd.idle_ns.read", 80'000.0, 0.06, "§2.4 (NVMe read)"),
+                ssd.IdleLatencyNs(kRead));
+  // Random access shows "no significant performance disparities" (§3.3):
+  // the randomness penalty on idle latency must stay within a few percent.
+  for (MemoryPath path : {MemoryPath::kLocalDram, MemoryPath::kRemoteDram, MemoryPath::kLocalCxl,
+                          MemoryPath::kRemoteCxl}) {
+    const PathProfile& p = GetProfile(path);
+    report->Check(CalibrationBand::Range(p.name() + ".idle_random_penalty", 1.01, 1.0, 1.05,
+                                         "§3.3 / Fig. 4(g)(h)"),
+                  p.IdleLatencyNs(kRead, mem::AccessPattern::kRandom) / p.IdleLatencyNs(kRead));
+  }
+}
+
+void CheckPeakBandwidthBands(CalibrationReport* report) {
+  const PathProfile& mmem = GetProfile(MemoryPath::kLocalDram);
+  const PathProfile& mmem_r = GetProfile(MemoryPath::kRemoteDram);
+  const PathProfile& cxl = GetProfile(MemoryPath::kLocalCxl);
+  const PathProfile& cxl_r = GetProfile(MemoryPath::kRemoteCxl);
+  const PathProfile& fpga = GetProfile(MemoryPath::kLocalCxl, CxlController::kFpga);
+  const PathProfile& ssd = GetProfile(MemoryPath::kSsd);
+
+  report->Check(CalibrationBand::Frac("mmem.peak_gbps.read", 67.0, 0.03, "Fig. 3(a)"),
+                mmem.PeakBandwidthGBps(kRead));
+  report->Check(CalibrationBand::Frac("mmem.peak_gbps.write", 54.6, 0.03, "Fig. 3(a)"),
+                mmem.PeakBandwidthGBps(kWrite));
+  report->Check(CalibrationBand::Range("mmem.peak_over_theoretical", 0.87, 0.84, 0.90,
+                                       "Fig. 3(a) (87% of 76.8 GB/s)"),
+                mmem.PeakBandwidthGBps(kRead) / mem::kSncDomainPeakGBps);
+  report->Check(CalibrationBand::Frac("mmem_r.peak_gbps.read", 64.0, 0.03, "Fig. 3(b)"),
+                mmem_r.PeakBandwidthGBps(kRead));
+  report->Check(
+      CalibrationBand::Frac("mmem_r.peak_gbps.write", 27.0, 0.04, "Fig. 3(b) (one UPI direction)"),
+      mmem_r.PeakBandwidthGBps(kWrite));
+  report->Check(CalibrationBand::Frac("cxl.peak_gbps.mix_2to1", 56.7, 0.025, "Fig. 3(c) / §3.2"),
+                cxl.PeakBandwidthGBps(kTwoToOne));
+  report->Check(CalibrationBand::Frac("cxl.peak_gbps.read", mem::kAsicPcieEfficiency * 64.0, 0.025,
+                                      "§3.4 (73.6% of PCIe Gen5 x16)"),
+                cxl.PeakBandwidthGBps(kRead));
+  report->Check(CalibrationBand::Frac("cxl_r.peak_gbps.mix_2to1", 20.4, 0.025, "Fig. 3(d) (RSF cap)"),
+                cxl_r.PeakBandwidthGBps(kTwoToOne));
+  report->Check(CalibrationBand::Range("cxl_r_over_cxl.peak_ratio", 0.36, 0.33, 0.40, "Fig. 3(d)"),
+                cxl_r.PeakBandwidthGBps(kTwoToOne) / cxl.PeakBandwidthGBps(kTwoToOne));
+  report->Check(CalibrationBand::Frac("cxl_fpga.peak_gbps.read", mem::kFpgaPcieEfficiency * 64.0,
+                                      0.03, "§3.4 (60% of PCIe Gen5 x16)"),
+                fpga.PeakBandwidthGBps(kRead));
+  report->Check(CalibrationBand::Frac("ssd.peak_gbps.read", 3.2, 0.07, "§2.4 (NVMe streaming read)"),
+                ssd.PeakBandwidthGBps(kRead));
+  report->Check(CalibrationBand::Frac("ssd.peak_gbps.write", 2.4, 0.09, "§2.4 (NVMe streaming write)"),
+                ssd.PeakBandwidthGBps(kWrite));
+}
+
+void CheckMixCurveBands(CalibrationReport* report) {
+  const PathProfile& mmem = GetProfile(MemoryPath::kLocalDram);
+  const PathProfile& mmem_r = GetProfile(MemoryPath::kRemoteDram);
+  const PathProfile& cxl = GetProfile(MemoryPath::kLocalCxl);
+  const PathProfile& cxl_r = GetProfile(MemoryPath::kRemoteCxl);
+
+  // The CXL curve's global max sits at the 2:1 R:W mix, not read-only —
+  // PCIe bi-directionality lets a blended stream beat pure reads.
+  report->Check(CalibrationBand::Range("cxl.peak_argmax_read_fraction", 2.0 / 3.0, 0.60, 0.72,
+                                       "Fig. 3(c) (max at 2:1)"),
+                PeakArgmaxReadFraction(cxl));
+  report->Check(CalibrationBand::Range("cxl_r.peak_argmax_read_fraction", 2.0 / 3.0, 0.60, 0.72,
+                                       "Fig. 3(d) (scaled CXL curve)"),
+                PeakArgmaxReadFraction(cxl_r));
+  report->Check(CalibrationBand::Range("cxl.read_over_mix_2to1", 0.83, 0.78, 0.88,
+                                       "Fig. 3(c) (read-only below 2:1 peak)"),
+                cxl.PeakBandwidthGBps(kRead) / cxl.PeakBandwidthGBps(kTwoToOne));
+  // DRAM paths climb monotonically toward read-only (writes only cost).
+  report->Check(CalibrationBand::Range("mmem.peak_monotone_in_read_fraction", 1.0, 1.0, 1.0,
+                                       "Fig. 3(a) shape"),
+                PeakMonotoneFraction(mmem));
+  report->Check(CalibrationBand::Range("mmem_r.peak_monotone_in_read_fraction", 1.0, 1.0, 1.0,
+                                       "Fig. 3(b) shape"),
+                PeakMonotoneFraction(mmem_r));
+  report->Check(CalibrationBand::Range("mmem_r.peak_argmin_read_fraction", 0.0, 0.0, 0.05,
+                                       "Fig. 3(b) (write-only lowest)"),
+                PeakArgminReadFraction(mmem_r));
+}
+
+void CheckKneeBands(CalibrationReport* report) {
+  const PathProfile& mmem = GetProfile(MemoryPath::kLocalDram);
+  const PathProfile& mmem_r = GetProfile(MemoryPath::kRemoteDram);
+  const PathProfile& cxl = GetProfile(MemoryPath::kLocalCxl);
+  const PathProfile& cxl_r = GetProfile(MemoryPath::kRemoteCxl);
+  const PathProfile& ssd = GetProfile(MemoryPath::kSsd);
+
+  const double mmem_read_knee = mmem.MakeQueueModel(kRead).KneeUtilization();
+  const double mmem_write_knee = mmem.MakeQueueModel(kWrite).KneeUtilization();
+  report->Check(CalibrationBand::Range("mmem.knee_utilization.read", 0.83, 0.75, 0.84,
+                                       "§3.2 (knee at 75–83%, above prior 60% estimates)"),
+                mmem_read_knee);
+  report->Check(CalibrationBand::Range("mmem.knee_utilization.write", 0.78, 0.70, 0.82,
+                                       "§3.3 (knee shifts left with writes)"),
+                mmem_write_knee);
+  report->Check(CalibrationBand::Range("mmem.knee_write_over_read", 0.94, 0.85, 0.995,
+                                       "§3.3 (write knee strictly earlier)"),
+                mmem_write_knee / mmem_read_knee);
+  report->Check(CalibrationBand::Range("mmem_r.knee_utilization.read", 0.75, 0.65, 0.78,
+                                       "Fig. 3(b) (remote knee earlier than local)"),
+                mmem_r.MakeQueueModel(kRead).KneeUtilization());
+  report->Check(CalibrationBand::Range("cxl.knee_utilization.read", 0.90, 0.85, 0.96,
+                                       "Fig. 3(c) (latency stable until very high load)"),
+                cxl.MakeQueueModel(kRead).KneeUtilization());
+  report->Check(CalibrationBand::Range("cxl_r.knee_utilization.read", 0.70, 0.60, 0.75,
+                                       "Fig. 3(d) (RSF-limited path congests early)"),
+                cxl_r.MakeQueueModel(kRead).KneeUtilization());
+  report->Check(CalibrationBand::Range("ssd.knee_utilization.read", 0.45, 0.35, 0.55,
+                                       "§2.4 (NVMe queues congest well before peak)"),
+                ssd.MakeQueueModel(kRead).KneeUtilization());
+}
+
+void CheckEfficiencyBands(CalibrationReport* report) {
+  const mem::CxlLinkEfficiency asic = mem::ComputeLinkEfficiency(mem::AsicLinkConfig());
+  const mem::CxlLinkEfficiency fpga = mem::ComputeLinkEfficiency(mem::FpgaLinkConfig());
+
+  report->Check(CalibrationBand::Range("cxl_link.flit_framing", 64.0 / 68.0, 0.938, 0.944,
+                                       "CXL 1.1 68-byte flit (§2.1)"),
+                asic.flit_framing);
+  report->Check(CalibrationBand::Range("cxl_link.asic_efficiency", 0.736, 0.725, 0.745,
+                                       "§3.4 (ASIC at 73.6% of PCIe)"),
+                asic.total);
+  report->Check(CalibrationBand::Frac("cxl_link.asic_effective_gbps", 47.1, 0.015,
+                                      "§3.4 (0.736 x 64 GB/s)"),
+                asic.effective_gbps);
+  report->Check(
+      CalibrationBand::Range("cxl_link.fpga_efficiency", 0.60, 0.59, 0.61, "§3.4 (FPGA at ~60%)"),
+      fpga.total);
+  report->Check(CalibrationBand::Range("cxl_link.fpga_over_asic", 0.815, 0.80, 0.83,
+                                       "§3.4 (0.60 / 0.736)"),
+                fpga.total / asic.total);
+  // The derived link efficiency and the profile-layer constant must agree:
+  // the flit stack is the *reason* for the 73.6% anchor.
+  report->Check(CalibrationBand::Range("cxl_link.derived_vs_profile_constant", 1.0, 0.99, 1.01,
+                                       "§3.4 (consistency)"),
+                asic.total / mem::kAsicPcieEfficiency);
+  report->Check(CalibrationBand::Range("cxl_link.fpga_derived_vs_constant", 1.0, 0.99, 1.01,
+                                       "§3.4 (consistency)"),
+                fpga.total / mem::kFpgaPcieEfficiency);
+}
+
+void CheckTrafficModelBands(CalibrationReport* report) {
+  using topology::Platform;
+  using topology::TrafficModel;
+  const Platform server = Platform::CxlServer(false);  // SNC off: 8-channel sockets.
+  const topology::NodeId dram0 = server.DramNodes(0)[0];
+  const topology::NodeId dram1 = server.DramNodes(1)[0];
+  const topology::NodeId cxl0 = server.CxlNodes()[0];
+
+  {
+    // Conservation at low load: an uncontended flow gets exactly its offer,
+    // and the solver settles in a single fixed-point round.
+    TrafficModel traffic(server);
+    const auto flow = traffic.AddMemoryTraffic(0, dram0, kRead, 30.0);
+    const auto sol = traffic.Solve();
+    report->Check(CalibrationBand::Range("traffic.local_dram.uncontended_gbps", 30.0, 29.999,
+                                         30.001, "model contract (conservation)"),
+                  sol.flows[static_cast<size_t>(flow)].achieved_gbps);
+    report->Check(CalibrationBand::Range("traffic.solver_iterations.uncontended", 1.0, 1.0, 1.0,
+                                         "model contract (fixed point converges immediately)"),
+                  static_cast<double>(sol.solver_iterations));
+  }
+  {
+    // Saturated local DRAM: 8 channels x 67 GB/s SNC-domain read peak / 4...
+    // i.e. the calibrated 2-channel curve scaled x4, handed out at the
+    // capacity share.
+    TrafficModel traffic(server);
+    const auto flow = traffic.AddMemoryTraffic(0, dram0, kRead, 400.0);
+    const auto sol = traffic.Solve();
+    const double expect = 67.0 * 4.0 * mem::BandwidthSolver::kCapacityShare;
+    report->Check(CalibrationBand::Frac("traffic.local_dram.saturated_gbps", expect, 0.03,
+                                        "Fig. 3(a) x 8-channel scaling (§3.1)"),
+                  sol.flows[static_cast<size_t>(flow)].achieved_gbps);
+  }
+  {
+    // Saturated local CXL at the paper's best mix.
+    TrafficModel traffic(server);
+    const auto flow = traffic.AddMemoryTraffic(0, cxl0, kTwoToOne, 100.0);
+    const auto sol = traffic.Solve();
+    report->Check(CalibrationBand::Frac("traffic.local_cxl.saturated_2to1_gbps",
+                                        56.7 * mem::BandwidthSolver::kCapacityShare, 0.03,
+                                        "Fig. 3(c) / §3.2"),
+                  sol.flows[static_cast<size_t>(flow)].achieved_gbps);
+  }
+  {
+    // Cross-socket CXL pins at the Remote Snoop Filter cap no matter how
+    // much PCIe headroom the device has.
+    TrafficModel traffic(server);
+    const auto flow = traffic.AddMemoryTraffic(1, cxl0, kTwoToOne, 100.0);
+    const auto sol = traffic.Solve();
+    report->Check(CalibrationBand::Frac("traffic.remote_cxl.rsf_cap_gbps",
+                                        20.4 * mem::BandwidthSolver::kCapacityShare, 0.035,
+                                        "Fig. 3(d) (RSF cap)"),
+                  sol.flows[static_cast<size_t>(flow)].achieved_gbps);
+  }
+  {
+    // Cross-socket DRAM is UPI-bound: the node has 262 GB/s of channels but
+    // the interconnect tops out at ~2x the single-stream remote curve.
+    TrafficModel traffic(server);
+    const auto flow = traffic.AddMemoryTraffic(0, dram1, kRead, 200.0);
+    const auto sol = traffic.Solve();
+    report->Check(CalibrationBand::Frac("traffic.remote_dram.upi_bound_gbps",
+                                        64.0 * 2.0 * mem::BandwidthSolver::kCapacityShare, 0.03,
+                                        "Fig. 3(b) x 2 UPI links"),
+                  sol.flows[static_cast<size_t>(flow)].achieved_gbps);
+    report->Check(CalibrationBand::Range("traffic.solver_iterations.contended", 2.0, 1.0, 8.0,
+                                         "model contract (fixed point stays shallow)"),
+                  static_cast<double>(sol.solver_iterations));
+  }
+}
+
+void CheckSolverContractBands(CalibrationReport* report) {
+  using topology::Platform;
+  using topology::TrafficModel;
+
+  // Colocation scenario (the Fig. 6 / §3.4 shape): a latency-sensitive
+  // tenant, a saturating streamer and a CXL offload stream share a socket.
+  // The solution must satisfy the full fairness contract.
+  {
+    const Platform server = Platform::CxlServer(true);  // SNC-4 domains.
+    const topology::NodeId dram = server.DramNodes(0)[0];
+    const topology::NodeId cxl0 = server.CxlNodes()[0];
+    TrafficModel traffic(server);
+    traffic.AddMemoryTraffic(0, dram, kRead, 4.0);
+    traffic.AddMemoryTraffic(0, dram, kRead, 62.0);
+    traffic.AddMemoryTraffic(0, cxl0, kTwoToOne, 30.0);
+    traffic.AddMemoryTraffic(1, cxl0, kTwoToOne, 25.0);
+    const auto sol = traffic.Solve();
+    double total = 0.0;
+    for (const auto& f : sol.flows) {
+      total += f.achieved_gbps;
+    }
+    report->Check(CalibrationBand::Range("solver.colocation.total_gbps", 115.0, 100.0, 121.0,
+                                         "§3.4 (colocation keeps both tenants served)"),
+                  total);
+  }
+
+  // Invariant gate on a raw solver topology: conservation, demand bounds and
+  // the max-min bottleneck property must all hold (violation count == 0).
+  {
+    mem::BandwidthSolver solver;
+    const PathProfile& dram = GetProfile(MemoryPath::kLocalDram);
+    const PathProfile& cxl = GetProfile(MemoryPath::kLocalCxl);
+    const PathProfile& remote = GetProfile(MemoryPath::kRemoteDram);
+    const auto r_dram = solver.AddResource("dram", &dram);
+    const auto r_cxl = solver.AddResource("cxl", &cxl);
+    const auto r_upi = solver.AddResource("upi", &remote);
+    solver.AddFlow(&dram, kRead, 50.0, {r_dram});
+    solver.AddFlow(&dram, kWrite, 40.0, {r_dram});
+    solver.AddFlow(&cxl, kTwoToOne, 70.0, {r_cxl});
+    solver.AddFlow(&remote, kRead, 45.0, {r_dram, r_upi});
+    solver.set_mode(mem::SolverMode::kMaxMinFair);
+    const auto sol = solver.Solve();
+    const auto violations = SolverInvariantViolations(solver, sol);
+    report->Check(CalibrationBand::Range("solver.invariants.violation_count", 0.0, 0.0, 0.0,
+                                         "model contract (max-min fairness)"),
+                  static_cast<double>(violations.size()));
+    report->Check(CalibrationBand::Range("solver.iterations.bounded", 2.0, 1.0, 10.0,
+                                         "model contract (convergence)"),
+                  static_cast<double>(sol.iterations));
+  }
+
+  // Work conservation: on the asymmetric multi-resource topology the legacy
+  // proportional scaler strands capacity (monotone-down scaling); the
+  // max-min allocator must recover it. Flat synthetic profiles isolate the
+  // allocation discipline from the mix-dependent curves.
+  {
+    PathProfile::Params wide_params;
+    wide_params.name = "flat50";
+    wide_params.idle_ns_by_read_fraction = mem::PiecewiseLinear({{0.0, 100.0}, {1.0, 100.0}});
+    wide_params.peak_gbps_by_read_fraction = mem::PiecewiseLinear({{0.0, 50.0}, {1.0, 50.0}});
+    const PathProfile wide(wide_params);
+    PathProfile::Params narrow_params = wide_params;
+    narrow_params.name = "flat30";
+    narrow_params.peak_gbps_by_read_fraction = mem::PiecewiseLinear({{0.0, 30.0}, {1.0, 30.0}});
+    const PathProfile narrow(narrow_params);
+
+    auto build = [&](mem::SolverMode mode) {
+      mem::BandwidthSolver solver;
+      const auto r1 = solver.AddResource("r1", &wide);
+      const auto r2 = solver.AddResource("r2", &narrow);
+      solver.AddFlow(&wide, kRead, 40.0, {r1, r2});  // A: crosses both.
+      solver.AddFlow(&wide, kRead, 40.0, {r1});      // B: r1 only.
+      solver.AddFlow(&wide, kRead, 40.0, {r2});      // C: r2 only.
+      solver.set_mode(mode);
+      return solver.Solve();
+    };
+    const auto maxmin = build(mem::SolverMode::kMaxMinFair);
+    const auto legacy = build(mem::SolverMode::kProportionalLegacy);
+    auto total = [](const mem::BandwidthSolver::Solution& sol) {
+      double t = 0.0;
+      for (const auto& f : sol.flows) {
+        t += f.achieved_gbps;
+      }
+      return t;
+    };
+    report->Check(CalibrationBand::Range("solver.maxmin_over_legacy_total", 1.18, 1.05, 1.5,
+                                         "§3.4 (freed capacity must be re-granted)"),
+                  total(maxmin) / total(legacy));
+  }
+}
+
+CalibrationReport RunAllCalibrationChecks() {
+  CalibrationReport report;
+  CheckIdleLatencyBands(&report);
+  CheckPeakBandwidthBands(&report);
+  CheckMixCurveBands(&report);
+  CheckKneeBands(&report);
+  CheckEfficiencyBands(&report);
+  CheckTrafficModelBands(&report);
+  CheckSolverContractBands(&report);
+  return report;
+}
+
+}  // namespace cxl::check

@@ -3,8 +3,40 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
 
 namespace cxl::mem {
+
+namespace {
+
+// Relative convergence tolerance for the outer capacity-blend fixed point
+// and the water-filling freeze tests. Far below measurement noise.
+constexpr double kRelTol = 1e-9;
+
+// Upper bound on outer capacity-blend rounds. The blend moves only when the
+// allocation shifts the demand-weighted read fraction at a resource, which
+// damps geometrically; single-digit rounds are typical.
+constexpr int kMaxRounds = 40;
+
+bool ApproxEqual(double a, double b) {
+  return std::fabs(a - b) <= kRelTol * std::max({1.0, std::fabs(a), std::fabs(b)});
+}
+
+}  // namespace
+
+std::string SolverModeLabel(SolverMode mode) {
+  return mode == SolverMode::kMaxMinFair ? "max-min" : "proportional-legacy";
+}
+
+SolverMode BandwidthSolver::DefaultMode() {
+  const char* env = std::getenv("CXL_SOLVER_MODE");
+  if (env != nullptr && std::strcmp(env, "proportional") == 0) {
+    return SolverMode::kProportionalLegacy;
+  }
+  return SolverMode::kMaxMinFair;
+}
 
 BandwidthSolver::ResourceId BandwidthSolver::AddResource(std::string name,
                                                          const PathProfile* capacity_profile) {
@@ -28,10 +60,155 @@ BandwidthSolver::FlowId BandwidthSolver::AddFlow(const PathProfile* latency_prof
 
 void BandwidthSolver::ClearFlows() { flows_.clear(); }
 
+double BandwidthSolver::BlendedCapacity(size_t r, const std::vector<double>& throughput) const {
+  double demand = 0.0;
+  double read_demand = 0.0;
+  bool any_random = false;
+  for (size_t i = 0; i < flows_.size(); ++i) {
+    const Flow& f = flows_[i];
+    if (std::find(f.resources.begin(), f.resources.end(), static_cast<ResourceId>(r)) ==
+        f.resources.end()) {
+      continue;
+    }
+    demand += throughput[i];
+    read_demand += throughput[i] * f.mix.read_fraction;
+    any_random = any_random || f.pattern == AccessPattern::kRandom;
+  }
+  if (demand <= 0.0) {
+    return resources_[r].profile->PeakBandwidthGBps(AccessMix::ReadOnly());
+  }
+  const AccessMix blended{read_demand / demand, true};
+  const AccessPattern pattern = any_random ? AccessPattern::kRandom : AccessPattern::kSequential;
+  return resources_[r].profile->PeakBandwidthGBps(blended, pattern);
+}
+
+void BandwidthSolver::WaterFill(const std::vector<double>& capacity,
+                                std::vector<double>* alloc) const {
+  const size_t nf = flows_.size();
+  const size_t nr = resources_.size();
+  alloc->assign(nf, 0.0);
+
+  std::vector<double> headroom(nr);
+  for (size_t r = 0; r < nr; ++r) {
+    headroom[r] = std::max(0.0, capacity[r] * kCapacityShare);
+  }
+
+  std::vector<char> active(nf, 1);
+  size_t n_active = 0;
+  for (size_t i = 0; i < nf; ++i) {
+    if (flows_[i].offered_gbps <= 0.0) {
+      active[i] = 0;  // Zero-demand flows are frozen at 0 immediately.
+    } else {
+      ++n_active;
+    }
+  }
+
+  // Progressive filling: raise every active flow by the largest uniform
+  // increment no constraint forbids, then freeze the flows whose constraint
+  // bound. Each pass freezes at least one flow, so the loop runs at most
+  // `nf` times.
+  std::vector<size_t> active_at(nr, 0);
+  while (n_active > 0) {
+    std::fill(active_at.begin(), active_at.end(), 0);
+    for (size_t i = 0; i < nf; ++i) {
+      if (!active[i]) {
+        continue;
+      }
+      for (ResourceId r : flows_[i].resources) {
+        ++active_at[static_cast<size_t>(r)];
+      }
+    }
+
+    double delta = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < nf; ++i) {
+      if (active[i]) {
+        delta = std::min(delta, flows_[i].offered_gbps - (*alloc)[i]);
+      }
+    }
+    for (size_t r = 0; r < nr; ++r) {
+      if (active_at[r] > 0) {
+        delta = std::min(delta, headroom[r] / static_cast<double>(active_at[r]));
+      }
+    }
+    delta = std::max(delta, 0.0);
+
+    for (size_t i = 0; i < nf; ++i) {
+      if (active[i]) {
+        (*alloc)[i] += delta;
+      }
+    }
+    for (size_t r = 0; r < nr; ++r) {
+      headroom[r] -= delta * static_cast<double>(active_at[r]);
+    }
+
+    // Freeze flows that met their demand or whose path saturated.
+    bool froze = false;
+    for (size_t i = 0; i < nf; ++i) {
+      if (!active[i]) {
+        continue;
+      }
+      bool freeze = ApproxEqual((*alloc)[i], flows_[i].offered_gbps);
+      for (ResourceId r : flows_[i].resources) {
+        const size_t rr = static_cast<size_t>(r);
+        freeze = freeze || headroom[rr] <= kRelTol * std::max(1.0, capacity[rr]);
+      }
+      if (freeze) {
+        active[i] = 0;
+        --n_active;
+        froze = true;
+      }
+    }
+    if (!froze) {
+      // Numerical backstop: the minimum constraint should always freeze a
+      // flow; if rounding prevented it, stop rather than spin.
+      break;
+    }
+  }
+}
+
 BandwidthSolver::Solution BandwidthSolver::Solve() const {
+  return mode_ == SolverMode::kMaxMinFair ? SolveMaxMin() : SolveProportionalLegacy();
+}
+
+BandwidthSolver::Solution BandwidthSolver::SolveMaxMin() const {
   Solution sol;
-  sol.flows.resize(flows_.size());
-  sol.resources.resize(resources_.size());
+  sol.mode = SolverMode::kMaxMinFair;
+
+  const size_t nf = flows_.size();
+  const size_t nr = resources_.size();
+
+  // The blend basis weights each flow's read fraction by its rate. Offered
+  // loads seed the basis; each round re-blends at the previous allocation.
+  std::vector<double> basis(nf);
+  for (size_t i = 0; i < nf; ++i) {
+    basis[i] = flows_[i].offered_gbps;
+  }
+
+  std::vector<double> capacity(nr, 0.0);
+  std::vector<double> alloc(nf, 0.0);
+  for (int round = 0; round < kMaxRounds; ++round) {
+    ++sol.iterations;
+    for (size_t r = 0; r < nr; ++r) {
+      capacity[r] = BlendedCapacity(r, basis);
+    }
+    WaterFill(capacity, &alloc);
+    bool converged = true;
+    for (size_t i = 0; i < nf; ++i) {
+      converged = converged && ApproxEqual(alloc[i], basis[i]);
+    }
+    basis = alloc;
+    if (converged) {
+      break;
+    }
+  }
+
+  FinishSolution(alloc, capacity, &sol);
+  return sol;
+}
+
+BandwidthSolver::Solution BandwidthSolver::SolveProportionalLegacy() const {
+  Solution sol;
+  sol.mode = SolverMode::kProportionalLegacy;
 
   std::vector<double> throughput(flows_.size());
   for (size_t i = 0; i < flows_.size(); ++i) {
@@ -42,30 +219,19 @@ BandwidthSolver::Solution BandwidthSolver::Solve() const {
   // Fixed-point: scale down flows at over-subscribed resources. 40 rounds of
   // proportional scaling converge far below measurement noise for the flow
   // counts we use (<< 1e-6 relative change).
-  for (int round = 0; round < 40; ++round) {
+  for (int round = 0; round < kMaxRounds; ++round) {
+    ++sol.iterations;
     bool changed = false;
     for (size_t r = 0; r < resources_.size(); ++r) {
       double demand = 0.0;
-      double read_demand = 0.0;
-      bool any_random = false;
       for (size_t i = 0; i < flows_.size(); ++i) {
         const Flow& f = flows_[i];
-        if (std::find(f.resources.begin(), f.resources.end(), static_cast<ResourceId>(r)) ==
+        if (std::find(f.resources.begin(), f.resources.end(), static_cast<ResourceId>(r)) !=
             f.resources.end()) {
-          continue;
+          demand += throughput[i];
         }
-        demand += throughput[i];
-        read_demand += throughput[i] * f.mix.read_fraction;
-        any_random = any_random || f.pattern == AccessPattern::kRandom;
       }
-      if (demand <= 0.0) {
-        capacity[r] = resources_[r].profile->PeakBandwidthGBps(AccessMix::ReadOnly());
-        continue;
-      }
-      const AccessMix blended{read_demand / demand, true};
-      const AccessPattern pattern =
-          any_random ? AccessPattern::kRandom : AccessPattern::kSequential;
-      capacity[r] = resources_[r].profile->PeakBandwidthGBps(blended, pattern);
+      capacity[r] = BlendedCapacity(r, throughput);
       const double limit = capacity[r] * kCapacityShare;
       if (demand > limit) {
         const double scale = limit / demand;
@@ -79,14 +245,24 @@ BandwidthSolver::Solution BandwidthSolver::Solve() const {
         }
       }
     }
-    if (!changed && round > 0) {
+    // The pre-rewrite exit required `round > 0` as well, wasting a full
+    // no-op round on workloads with no over-subscribed resource.
+    if (!changed) {
       break;
     }
   }
 
-  // Resource results.
+  FinishSolution(throughput, capacity, &sol);
+  return sol;
+}
+
+void BandwidthSolver::FinishSolution(const std::vector<double>& throughput,
+                                     const std::vector<double>& capacity, Solution* sol) const {
+  sol->flows.resize(flows_.size());
+  sol->resources.resize(resources_.size());
+
   for (size_t r = 0; r < resources_.size(); ++r) {
-    ResourceResult& rr = sol.resources[r];
+    ResourceResult& rr = sol->resources[r];
     rr.name = resources_[r].name;
     rr.capacity_gbps = capacity[r];
     for (size_t i = 0; i < flows_.size(); ++i) {
@@ -103,16 +279,15 @@ BandwidthSolver::Solution BandwidthSolver::Solve() const {
   // Flow results: latency from the most-congested resource on the path.
   for (size_t i = 0; i < flows_.size(); ++i) {
     const Flow& f = flows_[i];
-    FlowResult& fr = sol.flows[i];
+    FlowResult& fr = sol->flows[i];
     fr.achieved_gbps = throughput[i];
     double u = 0.0;
     for (ResourceId r : f.resources) {
-      u = std::max(u, sol.resources[static_cast<size_t>(r)].utilization);
+      u = std::max(u, sol->resources[static_cast<size_t>(r)].utilization);
     }
     fr.bottleneck_utilization = u;
     fr.latency_ns = f.profile->MakeQueueModel(f.mix, f.pattern).LatencyAt(u);
   }
-  return sol;
 }
 
 SingleFlowPoint SolveSingleFlow(const PathProfile& profile, const AccessMix& mix,

@@ -10,11 +10,19 @@
 //
 // Model: each flow crosses an ordered set of capacitated resources. Resource
 // capacity is mix-dependent (taken from the resource's PathProfile at the
-// demand-weighted read fraction). Over-subscribed resources scale their
-// flows down proportionally (iterated to a fixed point, which is the
-// proportional-fair allocation for this topology class). A flow's loaded
-// latency follows its path's queue model evaluated at the utilization of its
-// most-congested resource.
+// demand-weighted read fraction). The default allocator is *max-min fair*
+// water-filling: every flow's rate rises in lock-step until it either meets
+// its offered load or saturates a resource on its path; capacity freed when
+// a flow freezes at one resource is redistributed among the flows still
+// growing at the others. An outer fixed point re-blends each resource's
+// mix-dependent capacity at the resulting allocation. The pre-rewrite
+// proportional scaler is kept behind SolverMode::kProportionalLegacy for one
+// release so results can be diffed (it is monotone-down: capacity freed at
+// one resource is never re-granted at another, which under-allocates
+// multi-resource flows and their neighbors).
+//
+// A flow's loaded latency follows its path's queue model evaluated at the
+// utilization of its most-congested resource.
 #ifndef CXL_EXPLORER_SRC_MEM_BANDWIDTH_SOLVER_H_
 #define CXL_EXPLORER_SRC_MEM_BANDWIDTH_SOLVER_H_
 
@@ -25,6 +33,20 @@
 #include "src/mem/profiles.h"
 
 namespace cxl::mem {
+
+// Allocation discipline for contended resources.
+enum class SolverMode {
+  // Water-filling max-min fairness (the default): no flow below its fair
+  // share at its bottleneck, freed capacity redistributed, work-conserving.
+  kMaxMinFair,
+  // The pre-rewrite iterated proportional scaler, kept for one release to
+  // diff against. Known defect: scaling is monotone-down across resources,
+  // so multi-resource flows (and flows sharing a resource with them) can end
+  // up under-allocated while capacity sits idle.
+  kProportionalLegacy,
+};
+
+std::string SolverModeLabel(SolverMode mode);
 
 class BandwidthSolver {
  public:
@@ -58,17 +80,40 @@ class BandwidthSolver {
   struct Solution {
     std::vector<FlowResult> flows;
     std::vector<ResourceResult> resources;
+    // Discipline that produced this solution.
+    SolverMode mode = SolverMode::kMaxMinFair;
+    // Fixed-point rounds until the capacity blend converged. A workload with
+    // no over-subscribed resource converges in exactly one round.
+    int iterations = 0;
   };
 
-  // Runs the fixed-point computation. The solver can be re-solved after
-  // adding more flows; Clear() resets flows but keeps resources.
+  // Runs the allocation for the configured mode. The solver can be re-solved
+  // after adding more flows; ClearFlows() resets flows but keeps resources.
   Solution Solve() const;
 
   // Removes all flows (resources are kept so topologies can be reused).
   void ClearFlows();
 
+  // Allocation discipline. Defaults to DefaultMode().
+  void set_mode(SolverMode mode) { mode_ = mode; }
+  SolverMode mode() const { return mode_; }
+
+  // SolverMode::kMaxMinFair unless the CXL_SOLVER_MODE environment variable
+  // is set to "proportional" (the one-release escape hatch for diffing
+  // against the legacy allocator).
+  static SolverMode DefaultMode();
+
   size_t flow_count() const { return flows_.size(); }
   size_t resource_count() const { return resources_.size(); }
+
+  // Read-only flow topology, for invariant checkers (src/check) and tests.
+  double flow_offered_gbps(FlowId id) const { return flows_[static_cast<size_t>(id)].offered_gbps; }
+  const std::vector<ResourceId>& flow_resources(FlowId id) const {
+    return flows_[static_cast<size_t>(id)].resources;
+  }
+  const std::string& resource_name(ResourceId id) const {
+    return resources_[static_cast<size_t>(id)].name;
+  }
 
   // Fraction of nominal capacity the solver hands out before queueing makes
   // further load counterproductive. Utilization is computed against the full
@@ -88,8 +133,23 @@ class BandwidthSolver {
     std::vector<ResourceId> resources;
   };
 
+  // Mix-blended capacity of resource `r` when each flow runs at
+  // `throughput[i]` (flows at zero weight fall back to the read-only peak).
+  double BlendedCapacity(size_t r, const std::vector<double>& throughput) const;
+
+  // Water-filling pass at fixed capacities: progressive filling with demand
+  // caps. Writes the per-flow allocation into `alloc`.
+  void WaterFill(const std::vector<double>& capacity, std::vector<double>* alloc) const;
+
+  Solution SolveMaxMin() const;
+  Solution SolveProportionalLegacy() const;
+  // Fills flow latencies / resource aggregates shared by both modes.
+  void FinishSolution(const std::vector<double>& throughput, const std::vector<double>& capacity,
+                      Solution* sol) const;
+
   std::vector<Resource> resources_;
   std::vector<Flow> flows_;
+  SolverMode mode_ = DefaultMode();
 };
 
 // Convenience for the single-flow case (microbenchmarks): offered load on

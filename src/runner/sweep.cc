@@ -35,19 +35,33 @@ int ResolveJobs(int requested) {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
-int JobsFromArgs(int* argc, char** argv) {
+int JobsFromArgs(int* argc, char** argv, std::string* error) {
+  auto fail = [error](const std::string& message) {
+    if (error != nullptr && error->empty()) {
+      *error = message;
+    }
+  };
   int jobs = 0;
   int out = 1;
   for (int i = 1; i < *argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--jobs") == 0 || std::strcmp(arg, "-j") == 0) {
-      if (i + 1 < *argc) {
-        jobs = ParsePositiveInt(argv[++i]);
+      if (i + 1 >= *argc) {
+        fail(std::string("missing value for ") + arg);
+        continue;
+      }
+      const char* value = argv[++i];
+      jobs = ParsePositiveInt(value);
+      if (jobs == 0) {
+        fail(std::string("bad ") + arg + " value: " + value + " (want a positive integer)");
       }
       continue;
     }
     if (std::strncmp(arg, "--jobs=", 7) == 0) {
       jobs = ParsePositiveInt(arg + 7);
+      if (jobs == 0) {
+        fail(std::string("bad --jobs value: ") + (arg + 7) + " (want a positive integer)");
+      }
       continue;
     }
     // Compact -jN form (as in make -j8). Only a well-formed value is
@@ -61,6 +75,16 @@ int JobsFromArgs(int* argc, char** argv) {
     argv[out++] = argv[i];
   }
   *argc = out;
+  return jobs;
+}
+
+int JobsFromArgs(int* argc, char** argv) {
+  std::string error;
+  const int jobs = JobsFromArgs(argc, argv, &error);
+  if (!error.empty()) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    std::exit(2);
+  }
   return jobs;
 }
 

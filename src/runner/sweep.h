@@ -38,8 +38,16 @@ int ResolveJobs(int requested);
 
 // Strips a `--jobs N`, `--jobs=N`, `-j N` or compact `-jN` argument from
 // argv (compacting argc) and returns the value, or 0 (auto) when absent.
-// Malformed values also return 0 so benches degrade to the default instead
-// of erroring.
+// A `--jobs` / `-j` with a missing or malformed value (e.g. a trailing
+// `--jobs`, or `--jobs=abc`) sets `*error` and returns 0; it is NOT silently
+// treated as auto. A malformed compact `-jN` (e.g. `-junk`) is left in argv
+// untouched for the bench's own parser. `error` may be null to ignore
+// diagnostics.
+int JobsFromArgs(int* argc, char** argv, std::string* error);
+
+// Convenience wrapper for bench mains: prints `error: ...` to stderr and
+// exits with status 2 on a malformed/missing --jobs value (matching
+// bench::Context's usage-error convention).
 int JobsFromArgs(int* argc, char** argv);
 
 // The seed cell `index` of a sweep draws from. Pure function of

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 
 namespace cxl {
 
@@ -44,12 +45,8 @@ void Histogram::RecordMany(double value, uint64_t n) {
     last_value_ = value;
   }
   buckets_[static_cast<size_t>(last_bucket_)] += n;
-  if (count_ == 0 || value < min_seen_) {
-    min_seen_ = value;
-  }
-  if (count_ == 0 || value > max_seen_) {
-    max_seen_ = value;
-  }
+  min_seen_ = std::min(min_seen_, value);
+  max_seen_ = std::max(max_seen_, value);
   count_ += n;
   sum_ += value * static_cast<double>(n);
 }
@@ -59,14 +56,9 @@ void Histogram::Merge(const Histogram& other) {
   for (size_t i = 0; i < buckets_.size(); ++i) {
     buckets_[i] += other.buckets_[i];
   }
-  if (other.count_ > 0) {
-    if (count_ == 0 || other.min_seen_ < min_seen_) {
-      min_seen_ = other.min_seen_;
-    }
-    if (count_ == 0 || other.max_seen_ > max_seen_) {
-      max_seen_ = other.max_seen_;
-    }
-  }
+  // The +/-inf sentinels of an empty side are absorbed by min/max.
+  min_seen_ = std::min(min_seen_, other.min_seen_);
+  max_seen_ = std::max(max_seen_, other.max_seen_);
   count_ += other.count_;
   sum_ += other.sum_;
 }
@@ -94,8 +86,10 @@ void Histogram::Reset() {
   std::fill(buckets_.begin(), buckets_.end(), 0);
   count_ = 0;
   sum_ = 0.0;
-  min_seen_ = 0.0;
-  max_seen_ = 0.0;
+  min_seen_ = std::numeric_limits<double>::infinity();
+  max_seen_ = -std::numeric_limits<double>::infinity();
+  last_value_ = 0.0;
+  last_bucket_ = -1;
 }
 
 std::vector<Histogram::CdfPoint> Histogram::Cdf() const {

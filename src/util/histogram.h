@@ -4,6 +4,7 @@
 #define CXL_EXPLORER_SRC_UTIL_HISTOGRAM_H_
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -69,15 +70,18 @@ class Histogram {
   double log_step_;
   // Last (value -> bucket) mapping. Identical consecutive latencies are
   // common in the simulator (quantized service times, RecordMany batches),
-  // and the cache turns the log10() in BucketIndex into a compare. The
-  // mapping depends only on the bucket layout, so Reset() keeps it.
+  // and the cache turns the log10() in BucketIndex into a compare.
+  // Reset() clears it so a reset histogram is indistinguishable from a
+  // freshly constructed one.
   double last_value_ = 0.0;
   int last_bucket_ = -1;
   std::vector<uint64_t> buckets_;
   uint64_t count_ = 0;
   double sum_ = 0.0;
-  double min_seen_ = 0.0;
-  double max_seen_ = 0.0;
+  // +/-inf sentinels while empty, so Record/Merge need no emptiness checks;
+  // min()/max() translate them back to 0.0 for callers.
+  double min_seen_ = std::numeric_limits<double>::infinity();
+  double max_seen_ = -std::numeric_limits<double>::infinity();
 };
 
 // Welford running mean/variance for quick aggregate statistics.

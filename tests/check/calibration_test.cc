@@ -1,0 +1,74 @@
+#include "src/check/calibration.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace cxl::check {
+namespace {
+
+TEST(CalibrationBandTest, FracBuildsSymmetricBand) {
+  const auto band = CalibrationBand::Frac("x", 100.0, 0.03, "ref");
+  EXPECT_DOUBLE_EQ(band.expect, 100.0);
+  EXPECT_DOUBLE_EQ(band.lo, 97.0);
+  EXPECT_DOUBLE_EQ(band.hi, 103.0);
+  EXPECT_TRUE(band.Contains(100.0));
+  EXPECT_TRUE(band.Contains(97.0));
+  EXPECT_TRUE(band.Contains(103.0));
+  EXPECT_FALSE(band.Contains(96.9));
+  EXPECT_FALSE(band.Contains(103.1));
+}
+
+TEST(CalibrationReportTest, CountsFailuresAndRendersTable) {
+  CalibrationReport report;
+  report.Check(CalibrationBand::Range("pass_band", 1.0, 0.9, 1.1, "ref-a"), 1.0);
+  report.Check(CalibrationBand::Range("fail_band", 2.0, 1.9, 2.1, "ref-b"), 5.0);
+  EXPECT_EQ(report.failures(), 1);
+  EXPECT_FALSE(report.AllPass());
+
+  std::ostringstream os;
+  EXPECT_EQ(report.PrintTable(os), 1);
+  const std::string table = os.str();
+  EXPECT_NE(table.find("pass_band"), std::string::npos);
+  EXPECT_NE(table.find("fail_band"), std::string::npos);
+  EXPECT_NE(table.find("FAIL"), std::string::npos);
+  EXPECT_NE(table.find("ref-b"), std::string::npos);
+}
+
+// The gate itself: every paper-anchored band must hold against the live
+// model. One EXPECT per band so a regression names the exact anchor it broke.
+TEST(CalibrationGateTest, AllPaperAnchoredBandsHold) {
+  const CalibrationReport report = RunAllCalibrationChecks();
+  ASSERT_GT(report.results().size(), 30u);  // The sweep actually ran.
+  for (const auto& r : report.results()) {
+    EXPECT_TRUE(r.pass) << r.band.name << " (" << r.band.paper_ref << "): measured "
+                        << r.measured << " outside [" << r.band.lo << ", " << r.band.hi
+                        << "], expected " << r.band.expect;
+  }
+}
+
+TEST(CalibrationGateTest, EveryBandNamesItsPaperSource) {
+  const CalibrationReport report = RunAllCalibrationChecks();
+  for (const auto& r : report.results()) {
+    EXPECT_FALSE(r.band.name.empty());
+    EXPECT_FALSE(r.band.paper_ref.empty()) << r.band.name;
+    EXPECT_LT(r.band.lo, r.band.hi + 1e-12) << r.band.name;
+  }
+}
+
+TEST(CalibrationGateTest, BandNamesAreUnique) {
+  const CalibrationReport report = RunAllCalibrationChecks();
+  std::vector<std::string> names;
+  for (const auto& r : report.results()) {
+    names.push_back(r.band.name);
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::adjacent_find(names.begin(), names.end()), names.end())
+      << "duplicate calibration band name";
+}
+
+}  // namespace
+}  // namespace cxl::check

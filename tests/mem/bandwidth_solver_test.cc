@@ -34,18 +34,74 @@ TEST(SolverTest, SingleFlowMatchesConvenienceApi) {
   EXPECT_NEAR(sol.flows[0].latency_ns, p.LoadedLatencyNs(kRead, 30.0), 5.0);
 }
 
-TEST(SolverTest, TwoFlowsShareCapacityProportionally) {
+TEST(SolverTest, TwoFlowsShareCapacityMaxMinFairly) {
+  // Offered 60 + 30 against a ~65.7 GB/s limit. Max-min satisfies the small
+  // flow in full (30 < the 32.8 fair share) and gives the big flow the rest —
+  // unlike the legacy proportional split (43.8 / 21.9) which throttled a flow
+  // that fit under its fair share.
   const PathProfile& p = GetProfile(MemoryPath::kLocalDram);
   BandwidthSolver solver;
   const auto r = solver.AddResource("dram", &p);
   solver.AddFlow(&p, kRead, 60.0, {r});
   solver.AddFlow(&p, kRead, 30.0, {r});
+  solver.set_mode(SolverMode::kMaxMinFair);
+  const auto sol = solver.Solve();
+  const double limit = p.PeakBandwidthGBps(kRead) * BandwidthSolver::kCapacityShare;
+  EXPECT_NEAR(sol.flows[1].achieved_gbps, 30.0, 1e-6);
+  EXPECT_NEAR(sol.flows[0].achieved_gbps, limit - 30.0, 1e-6);
+  const double total = sol.flows[0].achieved_gbps + sol.flows[1].achieved_gbps;
+  EXPECT_NEAR(total, limit, 1e-6);  // Work-conserving.
+}
+
+TEST(SolverTest, LegacyModeSharesCapacityProportionally) {
+  const PathProfile& p = GetProfile(MemoryPath::kLocalDram);
+  BandwidthSolver solver;
+  const auto r = solver.AddResource("dram", &p);
+  solver.AddFlow(&p, kRead, 60.0, {r});
+  solver.AddFlow(&p, kRead, 30.0, {r});
+  solver.set_mode(SolverMode::kProportionalLegacy);
   const auto sol = solver.Solve();
   const double total = sol.flows[0].achieved_gbps + sol.flows[1].achieved_gbps;
   EXPECT_LE(total, p.PeakBandwidthGBps(kRead) + 1e-6);
   EXPECT_GT(total, p.PeakBandwidthGBps(kRead) * 0.9);
   // Proportional sharing preserves the offered-load ratio.
   EXPECT_NEAR(sol.flows[0].achieved_gbps / sol.flows[1].achieved_gbps, 2.0, 0.01);
+  EXPECT_EQ(sol.mode, SolverMode::kProportionalLegacy);
+}
+
+TEST(SolverTest, EquallyOfferedFlowsSplitEvenly) {
+  const PathProfile& p = GetProfile(MemoryPath::kLocalDram);
+  BandwidthSolver solver;
+  const auto r = solver.AddResource("dram", &p);
+  solver.AddFlow(&p, kRead, 60.0, {r});
+  solver.AddFlow(&p, kRead, 60.0, {r});
+  const auto sol = solver.Solve();
+  EXPECT_NEAR(sol.flows[0].achieved_gbps, sol.flows[1].achieved_gbps, 1e-9);
+}
+
+TEST(SolverTest, IterationCounterIsOneWhenUncontended) {
+  const PathProfile& p = GetProfile(MemoryPath::kLocalDram);
+  for (const SolverMode mode : {SolverMode::kMaxMinFair, SolverMode::kProportionalLegacy}) {
+    BandwidthSolver solver;
+    const auto r = solver.AddResource("dram", &p);
+    solver.AddFlow(&p, kRead, 10.0, {r});
+    solver.AddFlow(&p, kRead, 10.0, {r});
+    solver.set_mode(mode);
+    const auto sol = solver.Solve();
+    EXPECT_EQ(sol.iterations, 1) << SolverModeLabel(mode);
+    EXPECT_NEAR(sol.flows[0].achieved_gbps, 10.0, 1e-9) << SolverModeLabel(mode);
+  }
+}
+
+TEST(SolverTest, IterationCounterBoundedUnderContention) {
+  const PathProfile& p = GetProfile(MemoryPath::kLocalDram);
+  BandwidthSolver solver;
+  const auto r = solver.AddResource("dram", &p);
+  solver.AddFlow(&p, AccessMix::ReadOnly(), 60.0, {r});
+  solver.AddFlow(&p, AccessMix::WriteOnly(), 60.0, {r});
+  const auto sol = solver.Solve();
+  EXPECT_GE(sol.iterations, 1);
+  EXPECT_LE(sol.iterations, 40);
 }
 
 TEST(SolverTest, UncontendedResourceLeavesFlowsAlone) {

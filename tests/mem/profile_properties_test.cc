@@ -98,15 +98,43 @@ TEST_P(SolverConservationTest, TotalNeverExceedsCapacity) {
 
 INSTANTIATE_TEST_SUITE_P(FlowCounts, SolverConservationTest, ::testing::Values(1, 2, 5, 16, 64));
 
-TEST(SolverScalingTest, ProportionalFairnessPreservedUnderScaling) {
-  // Doubling every offered load must leave the achieved *ratios* unchanged
-  // once saturated.
+TEST(SolverScalingTest, MaxMinEqualizesThrottledFlowsUnderScaling) {
+  // Once every flow is above its fair share, max-min gives them *equal*
+  // allocations regardless of how unequal the offered loads are — and
+  // scaling the offered loads further cannot change that.
   const PathProfile& p = GetProfile(MemoryPath::kLocalCxl);
   auto run = [&](double scale) {
     BandwidthSolver solver;
     const auto r = solver.AddResource("cxl", &p);
     solver.AddFlow(&p, AccessMix::ReadOnly(), 40.0 * scale, {r});
     solver.AddFlow(&p, AccessMix::ReadOnly(), 20.0 * scale, {r});
+    solver.set_mode(SolverMode::kMaxMinFair);
+    const auto sol = solver.Solve();
+    return sol.flows[0].achieved_gbps / sol.flows[1].achieved_gbps;
+  };
+  // At scale 2 both flows (80, 40) exceed the ~23 GB/s fair share: equal
+  // split. Scaling further must not change the ratio.
+  EXPECT_NEAR(run(2.0), 1.0, 1e-6);
+  EXPECT_NEAR(run(2.0), run(4.0), 1e-6);
+  // At scale 1 the small flow (20) fits under its fair share and is served
+  // in full; the big flow takes the remainder (~26.2 / 20).
+  EXPECT_NEAR(run(1.0), (p.PeakBandwidthGBps(AccessMix::ReadOnly()) *
+                             BandwidthSolver::kCapacityShare -
+                         20.0) /
+                            20.0,
+              1e-6);
+}
+
+TEST(SolverScalingTest, LegacyProportionalRatioPreservedUnderScaling) {
+  // The legacy scaler preserves offered-load *ratios* once saturated;
+  // doubling every offered load leaves the achieved ratio unchanged.
+  const PathProfile& p = GetProfile(MemoryPath::kLocalCxl);
+  auto run = [&](double scale) {
+    BandwidthSolver solver;
+    const auto r = solver.AddResource("cxl", &p);
+    solver.AddFlow(&p, AccessMix::ReadOnly(), 40.0 * scale, {r});
+    solver.AddFlow(&p, AccessMix::ReadOnly(), 20.0 * scale, {r});
+    solver.set_mode(SolverMode::kProportionalLegacy);
     const auto sol = solver.Solve();
     return sol.flows[0].achieved_gbps / sol.flows[1].achieved_gbps;
   };

@@ -113,6 +113,90 @@ TEST(HistogramTest, ResetClears) {
   EXPECT_EQ(h.p99(), 0.0);
 }
 
+TEST(HistogramTest, ResetRestoresFreshState) {
+  // Regression: Reset() used to leave min/max at 0.0 (instead of empty
+  // sentinels) and keep the RecordMany value->bucket memo. A reset histogram
+  // must be indistinguishable from a freshly constructed one.
+  Histogram reset_h;
+  reset_h.Record(5.0);
+  reset_h.RecordMany(777.0, 10);
+  reset_h.Reset();
+  EXPECT_EQ(reset_h.count(), 0u);
+  EXPECT_EQ(reset_h.min(), 0.0);  // Empty-histogram convention.
+  EXPECT_EQ(reset_h.max(), 0.0);
+
+  Histogram fresh_h;
+  for (Histogram* h : {&reset_h, &fresh_h}) {
+    h->Record(300.0);
+    h->RecordMany(40.0, 3);
+  }
+  EXPECT_EQ(reset_h.count(), fresh_h.count());
+  EXPECT_DOUBLE_EQ(reset_h.min(), fresh_h.min());
+  EXPECT_DOUBLE_EQ(reset_h.max(), fresh_h.max());
+  EXPECT_DOUBLE_EQ(reset_h.p50(), fresh_h.p50());
+  EXPECT_DOUBLE_EQ(reset_h.p999(), fresh_h.p999());
+  EXPECT_DOUBLE_EQ(reset_h.sum(), fresh_h.sum());
+  // Post-reset min must reflect post-reset samples only, not the old 0.0
+  // floor or the pre-reset 5.0.
+  EXPECT_DOUBLE_EQ(reset_h.min(), 40.0);
+  EXPECT_DOUBLE_EQ(reset_h.max(), 300.0);
+}
+
+TEST(HistogramTest, MergeIntoEmptyTakesOtherExtremes) {
+  Histogram empty;
+  Histogram full;
+  full.Record(200.0);
+  full.Record(800.0);
+  empty.Merge(full);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.min(), 200.0);
+  EXPECT_DOUBLE_EQ(empty.max(), 800.0);
+}
+
+TEST(HistogramTest, MergeEmptyOtherLeavesExtremesAlone) {
+  Histogram full;
+  Histogram empty;
+  full.Record(200.0);
+  full.Record(800.0);
+  full.Merge(empty);
+  EXPECT_EQ(full.count(), 2u);
+  EXPECT_DOUBLE_EQ(full.min(), 200.0);
+  EXPECT_DOUBLE_EQ(full.max(), 800.0);
+}
+
+TEST(HistogramTest, MergeTwoEmptiesStaysEmpty) {
+  Histogram a;
+  Histogram b;
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.min(), 0.0);
+  EXPECT_EQ(a.max(), 0.0);
+  EXPECT_EQ(a.ValueAtQuantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, ZeroQuantileReturnsMinRecorded) {
+  Histogram h;
+  h.Record(120.0);
+  h.Record(4000.0);
+  h.Record(90000.0);
+  // q=0 lands in the lowest non-empty bucket, clamped to the observed min.
+  EXPECT_NEAR(h.ValueAtQuantile(0.0), 120.0, 120.0 * 0.03);
+  EXPECT_GE(h.ValueAtQuantile(0.0), h.min());
+  EXPECT_LE(h.ValueAtQuantile(1.0), h.max());
+  EXPECT_NEAR(h.ValueAtQuantile(1.0), 90000.0, 90000.0 * 0.03);
+}
+
+TEST(HistogramTest, SingleBucketHistogramQuantiles) {
+  // All samples identical: every quantile collapses to that value.
+  Histogram h;
+  h.RecordMany(512.0, 1000);
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_NEAR(h.ValueAtQuantile(q), 512.0, 512.0 * 0.03) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(h.min(), 512.0);
+  EXPECT_DOUBLE_EQ(h.max(), 512.0);
+}
+
 TEST(HistogramTest, ExponentialTailQuantiles) {
   // p99 of Exp(mean) is mean * ln(100) ~ 4.6x mean; check within bucket
   // error. This is the draw the KeyDB tail-latency CDF relies on.
