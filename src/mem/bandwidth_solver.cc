@@ -51,7 +51,7 @@ BandwidthSolver::FlowId BandwidthSolver::AddFlow(const PathProfile* latency_prof
                                                  AccessPattern pattern) {
   assert(latency_profile != nullptr);
   assert(offered_gbps >= 0.0);
-  for (ResourceId r : resources) {
+  for ([[maybe_unused]] ResourceId r : resources) {
     assert(r >= 0 && r < static_cast<ResourceId>(resources_.size()));
   }
   flows_.push_back(Flow{latency_profile, mix, pattern, offered_gbps, std::move(resources)});

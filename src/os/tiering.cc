@@ -130,9 +130,13 @@ TieredMemory::TickResult TieredMemory::Tick(double dt_seconds) {
         hot.emplace_back(p.heat, id);
       }
     }
-    // Hottest first.
-    std::sort(hot.begin(), hot.end(),
-              [](const auto& a, const auto& b) { return a.first > b.first; });
+    // Hottest first, page id breaking heat ties: the rate-limit budget
+    // truncates this list, so tie order decides *which* pages promote —
+    // without the tie-break that choice is implementation-defined
+    // (caught by cxl_lint CXL-D007).
+    std::sort(hot.begin(), hot.end(), [](const auto& a, const auto& b) {
+      return a.first != b.first ? a.first > b.first : a.second < b.second;
+    });
   } else if (config_.mode == PromotionMode::kMruBalancing) {
     // MRU balancing: everything touched since the last scan qualifies, in
     // scan order — no hotness ranking. This is precisely why the earlier

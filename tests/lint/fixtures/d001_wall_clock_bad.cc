@@ -1,0 +1,23 @@
+// CXL-D001 positive: wall-clock reads in sim code. Linted under a pretend
+// src/sim/ path by lint_test — never compiled.
+#include <chrono>
+#include <ctime>
+
+namespace fixture {
+
+double EpochStampSeconds() {
+  auto now = std::chrono::system_clock::now();
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+double MonotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+long UnixTime() { return time(nullptr); }
+
+long CpuTicks() { return clock(); }
+
+}  // namespace fixture

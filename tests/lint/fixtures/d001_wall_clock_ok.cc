@@ -1,0 +1,21 @@
+// CXL-D001 negative: simulated time only, plus identifiers that merely
+// resemble clock calls. Must produce zero findings.
+namespace fixture {
+
+struct SimClock {
+  double seconds = 0.0;
+  void Advance(double dt) { seconds += dt; }
+  // A member named time() is not the C library wall clock.
+  double time() const { return seconds; }
+};
+
+double StepTime(SimClock& clock_state, double dt) {
+  clock_state.Advance(dt);
+  return clock_state.time();
+}
+
+// Variables named after clocks are fine; only reads of real clocks count.
+double sim_time_seconds = 0.0;
+int daemon_clock_ticks = 0;
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// CXL-D002 positive: every flavour of ambient randomness.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+int HardwareEntropy() {
+  std::random_device rd;
+  return static_cast<int>(rd());
+}
+
+int LibcRand() {
+  srand(42);
+  return rand();
+}
+
+int DefaultSeededEngine() {
+  std::mt19937 gen;
+  return static_cast<int>(gen());
+}
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// CXL-D002 negative: explicitly seeded randomness flowing from the
+// experiment's seed chain, plus near-miss identifiers.
+#include <cstdint>
+#include <random>
+
+namespace fixture {
+
+struct SplitMix64 {
+  uint64_t state;
+  explicit SplitMix64(uint64_t seed) : state(seed) {}
+};
+
+uint64_t SeededDraw(uint64_t seed) {
+  SplitMix64 rng(seed);
+  std::mt19937_64 engine(seed);  // seeded explicitly: fine
+  return rng.state ^ engine();
+}
+
+// Identifiers containing the banned names are not calls.
+int operand_count = 0;
+double random_fraction = 0.5;
+
+}  // namespace fixture

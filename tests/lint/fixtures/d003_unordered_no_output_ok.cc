@@ -1,0 +1,18 @@
+// CXL-D003 negative: unordered iteration in a file with no output surface.
+// Summing into a double is order-insensitive only in intent, but without an
+// output path it cannot break stdout invariance; D003 stays quiet and leaves
+// parallel-merge hazards to CXL-D006.
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+std::size_t CountEntries(const std::unordered_map<std::string, double>& m) {
+  std::size_t n = 0;
+  for (const auto& kv : m) {
+    n += kv.first.size();
+  }
+  return n;
+}
+
+}  // namespace fixture

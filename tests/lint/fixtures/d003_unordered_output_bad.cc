@@ -1,0 +1,27 @@
+// CXL-D003 positive: hash-order iteration feeding printed output, both over
+// a declared member and through a type alias.
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+using CellIndex = std::unordered_map<std::string, double>;
+
+struct Report {
+  std::unordered_map<std::string, double> series_;
+
+  void Print() const {
+    for (const auto& [name, value] : series_) {
+      printf("%s %f\n", name.c_str(), value);
+    }
+  }
+};
+
+void PrintAlias(const CellIndex& cells) {
+  for (const auto& kv : cells) {
+    printf("%s\n", kv.first.c_str());
+  }
+}
+
+}  // namespace fixture

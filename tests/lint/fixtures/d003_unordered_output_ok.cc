@@ -1,0 +1,17 @@
+// CXL-D003 negative, both directions: (a) ordered containers feeding output
+// are fine; (b) unordered iteration is fine in a file that emits nothing —
+// order-insensitive reductions do not leak hash order.
+#include <cstdio>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+void PrintSorted(const std::map<std::string, double>& series) {
+  for (const auto& [name, value] : series) {
+    printf("%s %f\n", name.c_str(), value);
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// CXL-D004 positive: mutable statics in sim-state code. Linted under a
+// pretend src/mem/ path.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+static int call_count = 0;
+
+static std::vector<double> result_cache;
+
+uint64_t NextId() {
+  static uint64_t next_id = 1;
+  return next_id++;
+}
+
+static thread_local std::string scratch;
+
+int Touch() {
+  result_cache.push_back(1.0);
+  return ++call_count;
+}
+
+}  // namespace fixture

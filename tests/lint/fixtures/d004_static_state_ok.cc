@@ -1,0 +1,27 @@
+// CXL-D004 negative: immutable statics, static functions, and static member
+// declarations are all fine in sim-state code.
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+static const std::vector<double> kWeights = {0.25, 0.5, 0.25};
+
+static constexpr double kDefaultTheta = 0.99;
+
+struct Profile {
+  double latency_ns = 0.0;
+  static Profile LocalDram();
+  static constexpr int kLanes = 8;
+};
+
+static double Blend(double a, double b) { return 0.5 * (a + b); }
+
+static const Profile& Canonical() {
+  static const Profile canonical = Profile::LocalDram();
+  return canonical;
+}
+
+double Use() { return Blend(kWeights[0], kDefaultTheta) + Canonical().latency_ns; }
+
+}  // namespace fixture

@@ -1,0 +1,30 @@
+// CXL-D005 positive: references bound to member calls chained off
+// temporaries — the FaultPlan::Parse("storm").value() shape from PR 3.
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+struct Plan {
+  std::string name;
+  const std::string& label() const { return name; }
+};
+
+struct Parsed {
+  Plan plan;
+  const Plan& value() const { return plan; }
+};
+
+Parsed Parse(const std::string& spec);
+std::vector<int> MakeCells();
+
+void Use() {
+  const Plan& plan = Parse("storm").value();
+  const auto& label = Parse("storm").value().label();
+  auto&& first = MakeCells()[0];
+  (void)plan;
+  (void)label;
+  (void)first;
+}
+
+}  // namespace fixture

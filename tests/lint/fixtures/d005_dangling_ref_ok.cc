@@ -1,0 +1,38 @@
+// CXL-D005 negative: safe reference bindings — named owners, lvalue chains,
+// lifetime-extended members of temporaries, and by-value copies.
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+struct Plan {
+  std::string name;
+  const std::string& label() const { return name; }
+};
+
+struct Parsed {
+  Plan plan;
+  const Plan& value() const { return plan; }
+};
+
+Parsed Parse(const std::string& spec);
+
+void Use(const std::vector<Parsed>& all) {
+  // Named owner first, then references into it: safe.
+  Parsed parsed = Parse("storm");
+  const Plan& plan = parsed.value();
+  const auto& label = parsed.value().label();
+  // Lvalue base chain: the container owns the storage.
+  const Plan& stored = all.front().value();
+  // Lifetime extension covers a data member of a temporary.
+  const Plan& extended = Parse("storm").plan;
+  // By-value copy of the chained result: nothing to dangle.
+  auto copied = Parse("storm").value();
+  (void)plan;
+  (void)label;
+  (void)stored;
+  (void)extended;
+  (void)copied.name;
+}
+
+}  // namespace fixture

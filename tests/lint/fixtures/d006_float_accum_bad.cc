@@ -1,0 +1,16 @@
+// CXL-D006 positive: order-nondeterministic floating-point reductions.
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace fixture {
+
+std::atomic<double> total_gbps{0.0};
+
+double ParallelSum(const std::vector<double>& xs) {
+#pragma omp parallel for reduction(+ : sum)
+  double sum = 0.0;
+  return sum + xs.size();
+}
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// CXL-D006 negative: deterministic accumulation — integer atomics are
+// associative, and serial float sums over ordered containers keep one order.
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+std::atomic<uint64_t> total_ops{0};
+
+double SerialSum(const std::vector<double>& per_cell) {
+  double sum = 0.0;
+  for (double x : per_cell) {
+    sum += x;  // cell-index order: identical at any --jobs
+  }
+  return sum;
+}
+
+}  // namespace fixture

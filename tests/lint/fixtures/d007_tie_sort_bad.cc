@@ -1,0 +1,19 @@
+// CXL-D007 positive: unstable sort whose comparator reads one member and
+// breaks no ties — the promotion-candidate bug shape from src/os/tiering.cc.
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+struct Candidate {
+  float heat = 0.0f;
+  uint64_t page = 0;
+};
+
+void RankHottest(std::vector<Candidate>& hot) {
+  std::sort(hot.begin(), hot.end(),
+            [](const Candidate& a, const Candidate& b) { return a.heat > b.heat; });
+}
+
+}  // namespace fixture

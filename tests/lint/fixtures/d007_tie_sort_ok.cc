@@ -1,0 +1,25 @@
+// CXL-D007 negative: tie-broken comparators and default total orders.
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace fixture {
+
+struct Candidate {
+  float heat = 0.0f;
+  uint64_t page = 0;
+};
+
+void RankHottest(std::vector<Candidate>& hot) {
+  std::sort(hot.begin(), hot.end(), [](const Candidate& a, const Candidate& b) {
+    return a.heat != b.heat ? a.heat > b.heat : a.page < b.page;
+  });
+}
+
+void RankDefault(std::vector<std::pair<float, uint64_t>>& cold) {
+  // Default pair comparison already totally orders (heat, page).
+  std::sort(cold.begin(), cold.end());
+}
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Suppression fixture: one clean same-line allow, one clean previous-line
+// allow, one reason-less allow (stays a finding and adds CXL-L000), and one
+// unknown-rule allow (CXL-L000).
+#include <cstdint>
+
+namespace fixture {
+
+static int tuned_knob = 3;  // cxl-lint: allow(CXL-D004) set once by main() before any cell runs
+
+// cxl-lint: allow(CXL-D004) accumulator is reset at cell entry, never shared
+static int per_cell_scratch = 0;
+
+static int naked = 1;  // cxl-lint: allow(CXL-D004)
+
+static int unknown = 2;  // cxl-lint: allow(CXL-D999) no such rule
+
+}  // namespace fixture

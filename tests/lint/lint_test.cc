@@ -1,0 +1,296 @@
+// Tests for cxl_lint: every rule ID demonstrated both firing (positive
+// fixture) and staying quiet (negative fixture), plus suppression semantics,
+// path scoping, and the baseline round-trip. Fixture files live under
+// tests/lint/fixtures/ and are never compiled — the lint_gate excludes that
+// directory for the same reason.
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tools/lint/baseline.h"
+#include "tools/lint/lint.h"
+#include "tools/lint/report.h"
+
+namespace cxl::lint {
+namespace {
+
+std::string ReadFixture(const std::string& name) {
+  std::string path = std::string(CXL_LINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+std::vector<std::string> RuleIds(const FileReport& report) {
+  std::vector<std::string> ids;
+  ids.reserve(report.findings.size());
+  for (const Finding& f : report.findings) {
+    ids.push_back(f.rule_id);
+  }
+  return ids;
+}
+
+int CountRule(const FileReport& report, const std::string& id) {
+  int n = 0;
+  for (const Finding& f : report.findings) {
+    n += f.rule_id == id ? 1 : 0;
+  }
+  return n;
+}
+
+TEST(RuleCatalogueTest, IdsAreUniqueAndKnown) {
+  std::set<std::string> seen;
+  for (const RuleInfo& r : RuleCatalogue()) {
+    EXPECT_TRUE(seen.insert(r.id).second) << "duplicate rule ID " << r.id;
+    EXPECT_TRUE(IsKnownRule(r.id));
+    EXPECT_NE(std::string(r.summary), "");
+  }
+  EXPECT_FALSE(IsKnownRule("CXL-D999"));
+  EXPECT_GE(seen.size(), 8u);  // D001..D007 + L000
+}
+
+// --- CXL-D001 -------------------------------------------------------------
+
+TEST(WallClockRuleTest, FiresOnEveryWallClockRead) {
+  FileReport r = LintText("src/sim/fixture.cc", ReadFixture("d001_wall_clock_bad.cc"));
+  EXPECT_EQ(CountRule(r, "CXL-D001"), 4) << ::testing::PrintToString(RuleIds(r));
+  EXPECT_EQ(static_cast<int>(r.findings.size()), 4);
+}
+
+TEST(WallClockRuleTest, QuietOnSimulatedTime) {
+  FileReport r = LintText("src/sim/fixture.cc", ReadFixture("d001_wall_clock_ok.cc"));
+  EXPECT_TRUE(r.findings.empty()) << ::testing::PrintToString(RuleIds(r));
+}
+
+TEST(WallClockRuleTest, TelemetryAndRunnerAreExempt) {
+  std::string text = ReadFixture("d001_wall_clock_bad.cc");
+  EXPECT_TRUE(LintText("src/telemetry/fixture.cc", text).findings.empty());
+  EXPECT_TRUE(LintText("src/runner/fixture.cc", text).findings.empty());
+}
+
+// --- CXL-D002 -------------------------------------------------------------
+
+TEST(AmbientRandomnessRuleTest, FiresOnEveryAmbientSource) {
+  FileReport r = LintText("src/workload/fixture.cc", ReadFixture("d002_randomness_bad.cc"));
+  EXPECT_EQ(CountRule(r, "CXL-D002"), 4) << ::testing::PrintToString(RuleIds(r));
+}
+
+TEST(AmbientRandomnessRuleTest, QuietOnSeededEngines) {
+  FileReport r = LintText("src/workload/fixture.cc", ReadFixture("d002_randomness_ok.cc"));
+  EXPECT_TRUE(r.findings.empty()) << ::testing::PrintToString(RuleIds(r));
+}
+
+// --- CXL-D003 -------------------------------------------------------------
+
+TEST(UnorderedIterationRuleTest, FiresOnMemberAndAliasIteration) {
+  FileReport r = LintText("src/apps/fixture.cc", ReadFixture("d003_unordered_output_bad.cc"));
+  EXPECT_EQ(CountRule(r, "CXL-D003"), 2) << ::testing::PrintToString(RuleIds(r));
+}
+
+TEST(UnorderedIterationRuleTest, QuietOnOrderedContainers) {
+  FileReport r = LintText("src/apps/fixture.cc", ReadFixture("d003_unordered_output_ok.cc"));
+  EXPECT_TRUE(r.findings.empty()) << ::testing::PrintToString(RuleIds(r));
+}
+
+TEST(UnorderedIterationRuleTest, QuietWithoutAnOutputSurface) {
+  FileReport r = LintText("src/apps/fixture.cc", ReadFixture("d003_unordered_no_output_ok.cc"));
+  EXPECT_TRUE(r.findings.empty()) << ::testing::PrintToString(RuleIds(r));
+}
+
+// --- CXL-D004 -------------------------------------------------------------
+
+TEST(StaticStateRuleTest, FiresOnMutableStatics) {
+  FileReport r = LintText("src/mem/fixture.cc", ReadFixture("d004_static_state_bad.cc"));
+  EXPECT_EQ(CountRule(r, "CXL-D004"), 4) << ::testing::PrintToString(RuleIds(r));
+}
+
+TEST(StaticStateRuleTest, QuietOnConstStaticsAndFunctions) {
+  FileReport r = LintText("src/mem/fixture.cc", ReadFixture("d004_static_state_ok.cc"));
+  EXPECT_TRUE(r.findings.empty()) << ::testing::PrintToString(RuleIds(r));
+}
+
+TEST(StaticStateRuleTest, ScopedToSimStateDirectories) {
+  // The same mutable statics are tolerated outside the sim-state layers
+  // (e.g. a bench-local counter) — path scoping, not a blanket ban.
+  std::string text = ReadFixture("d004_static_state_bad.cc");
+  EXPECT_TRUE(LintText("src/util/fixture.cc", text).findings.empty());
+  EXPECT_TRUE(LintText("bench/fixture.cc", text).findings.empty());
+}
+
+// --- CXL-D005 -------------------------------------------------------------
+
+TEST(DanglingRefRuleTest, FiresOnMemberCallChainsOffTemporaries) {
+  FileReport r = LintText("src/fault/fixture.cc", ReadFixture("d005_dangling_ref_bad.cc"));
+  EXPECT_EQ(CountRule(r, "CXL-D005"), 3) << ::testing::PrintToString(RuleIds(r));
+}
+
+TEST(DanglingRefRuleTest, QuietOnNamedOwnersAndLvalueChains) {
+  FileReport r = LintText("src/fault/fixture.cc", ReadFixture("d005_dangling_ref_ok.cc"));
+  EXPECT_TRUE(r.findings.empty()) << ::testing::PrintToString(RuleIds(r));
+}
+
+// --- CXL-D006 -------------------------------------------------------------
+
+TEST(FloatAccumulationRuleTest, FiresOnAtomicDoubleAndOmpReduction) {
+  FileReport r = LintText("src/runner/fixture.cc", ReadFixture("d006_float_accum_bad.cc"));
+  EXPECT_EQ(CountRule(r, "CXL-D006"), 2) << ::testing::PrintToString(RuleIds(r));
+}
+
+TEST(FloatAccumulationRuleTest, QuietOnIntegerAtomicsAndSerialSums) {
+  FileReport r = LintText("src/runner/fixture.cc", ReadFixture("d006_float_accum_ok.cc"));
+  EXPECT_TRUE(r.findings.empty()) << ::testing::PrintToString(RuleIds(r));
+}
+
+// --- CXL-D007 -------------------------------------------------------------
+
+TEST(TieSortRuleTest, FiresOnSingleMemberComparator) {
+  FileReport r = LintText("src/os/fixture.cc", ReadFixture("d007_tie_sort_bad.cc"));
+  EXPECT_EQ(CountRule(r, "CXL-D007"), 1) << ::testing::PrintToString(RuleIds(r));
+}
+
+TEST(TieSortRuleTest, QuietOnTieBrokenAndDefaultComparators) {
+  FileReport r = LintText("src/os/fixture.cc", ReadFixture("d007_tie_sort_ok.cc"));
+  EXPECT_TRUE(r.findings.empty()) << ::testing::PrintToString(RuleIds(r));
+}
+
+// --- Suppression & CXL-L000 ----------------------------------------------
+
+TEST(SuppressionTest, SameLineAndPreviousLineAllowsSuppress) {
+  FileReport r = LintText("src/mem/suppression.cc", ReadFixture("suppression.cc"));
+  EXPECT_EQ(r.suppressed, 2);
+  // The reason-less allow and the unknown-rule allow each leave their
+  // underlying D004 finding alive and add a CXL-L000 directive finding.
+  EXPECT_EQ(CountRule(r, "CXL-D004"), 2) << ::testing::PrintToString(RuleIds(r));
+  EXPECT_EQ(CountRule(r, "CXL-L000"), 2) << ::testing::PrintToString(RuleIds(r));
+}
+
+TEST(SuppressionTest, AllowOnlySilencesTheNamedRule) {
+  FileReport r = LintText(
+      "src/mem/fixture.cc",
+      "// cxl-lint: allow(CXL-D001) wrong rule for a static\n"
+      "static int counter = 0;\n");
+  EXPECT_EQ(CountRule(r, "CXL-D004"), 1);
+  EXPECT_EQ(r.suppressed, 0);
+}
+
+TEST(SuppressionTest, MultiRuleAllowList) {
+  FileReport r = LintText(
+      "src/mem/fixture.cc",
+      "// cxl-lint: allow(CXL-D004, CXL-D001) startup-only init, reviewed\n"
+      "static int t = time(nullptr);\n");
+  EXPECT_TRUE(r.findings.empty()) << ::testing::PrintToString(RuleIds(r));
+  EXPECT_EQ(r.suppressed, 2);
+}
+
+// --- Baseline -------------------------------------------------------------
+
+TEST(BaselineTest, RoundTripSilencesEveryFinding) {
+  FileReport r = LintText("src/mem/fixture.cc", ReadFixture("d004_static_state_bad.cc"));
+  ASSERT_FALSE(r.findings.empty());
+
+  std::string rendered = Baseline::Render(r.findings);
+  Baseline baseline;
+  std::string error;
+  ASSERT_TRUE(baseline.Parse(rendered, &error)) << error;
+  ASSERT_EQ(baseline.entries().size(), r.findings.size());
+
+  for (const Finding& f : r.findings) {
+    EXPECT_TRUE(baseline.Matches(f)) << f.rule_id << " " << f.snippet;
+  }
+  EXPECT_TRUE(baseline.UnmatchedEntries().empty());
+}
+
+TEST(BaselineTest, UnmatchedEntriesAreReportedStale) {
+  FileReport r = LintText("src/mem/fixture.cc", ReadFixture("d004_static_state_bad.cc"));
+  std::string rendered = Baseline::Render(r.findings);
+  Baseline baseline;
+  std::string error;
+  ASSERT_TRUE(baseline.Parse(rendered, &error)) << error;
+  // Match only the first finding: the rest must surface as stale.
+  EXPECT_TRUE(baseline.Matches(r.findings.front()));
+  EXPECT_EQ(baseline.UnmatchedEntries().size(), r.findings.size() - 1);
+}
+
+TEST(BaselineTest, RejectsEntriesWithoutAReason) {
+  Baseline baseline;
+  std::string error;
+  EXPECT_FALSE(baseline.Parse("CXL-D004 src/mem/foo.cc h=00000000000000ff\n", &error));
+  EXPECT_NE(error.find("reason"), std::string::npos) << error;
+}
+
+TEST(BaselineTest, RejectsUnknownRulesAndBadHashes) {
+  Baseline baseline;
+  std::string error;
+  EXPECT_FALSE(baseline.Parse("CXL-D999 src/mem/foo.cc h=00ff ok\n", &error));
+  EXPECT_NE(error.find("unknown rule"), std::string::npos) << error;
+  EXPECT_FALSE(baseline.Parse("CXL-D004 src/mem/foo.cc 00ff ok\n", &error));
+  EXPECT_FALSE(baseline.Parse("CXL-D004 src/mem/foo.cc h=zz ok\n", &error));
+}
+
+TEST(BaselineTest, CommentsAndBlankLinesAreIgnored) {
+  Baseline baseline;
+  std::string error;
+  EXPECT_TRUE(baseline.Parse("# header\n\n  # indented comment\n", &error)) << error;
+  EXPECT_TRUE(baseline.entries().empty());
+}
+
+TEST(BaselineTest, HashIgnoresWhitespaceButNotContent) {
+  EXPECT_EQ(NormalizedSnippetHash("static  int x =  0;"),
+            NormalizedSnippetHash("static int x = 0;"));
+  EXPECT_EQ(NormalizedSnippetHash("  static int x = 0;  "),
+            NormalizedSnippetHash("static int x = 0;"));
+  EXPECT_NE(NormalizedSnippetHash("static int x = 0;"),
+            NormalizedSnippetHash("static int y = 0;"));
+}
+
+// --- Reporters ------------------------------------------------------------
+
+TEST(ReportTest, JsonEscapesSpecials) {
+  EXPECT_EQ(JsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(ReportTest, JsonShapeContainsFindingsAndSummary) {
+  FileReport r = LintText("src/os/fixture.cc", ReadFixture("d007_tie_sort_bad.cc"));
+  RunSummary summary;
+  summary.files_scanned = 1;
+  summary.findings = static_cast<int>(r.findings.size());
+  std::ostringstream os;
+  WriteJson(os, r.findings, summary);
+  std::string json = os.str();
+  EXPECT_NE(json.find("\"rule\": \"CXL-D007\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"files_scanned\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"summary\""), std::string::npos) << json;
+}
+
+TEST(ReportTest, PrettyPrintsClickablePositions) {
+  FileReport r = LintText("src/os/fixture.cc", ReadFixture("d007_tie_sort_bad.cc"));
+  RunSummary summary;
+  summary.files_scanned = 1;
+  summary.findings = static_cast<int>(r.findings.size());
+  std::ostringstream os;
+  WritePretty(os, r.findings, summary);
+  EXPECT_NE(os.str().find("src/os/fixture.cc:"), std::string::npos) << os.str();
+  EXPECT_NE(os.str().find("[no-tie-unstable-sort]"), std::string::npos) << os.str();
+}
+
+// --- Comment / string stripping ------------------------------------------
+
+TEST(StrippingTest, PatternsInCommentsAndStringsDoNotFire) {
+  FileReport r = LintText(
+      "src/mem/fixture.cc",
+      "// discussing rand() and std::random_device in prose is fine\n"
+      "/* static int x = 0; inside a block comment */\n"
+      "const char* doc = \"call time(nullptr) and srand(7)\";\n"
+      "const char* raw = R\"(std::atomic<double> in a raw string)\";\n");
+  EXPECT_TRUE(r.findings.empty()) << ::testing::PrintToString(RuleIds(r));
+}
+
+}  // namespace
+}  // namespace cxl::lint

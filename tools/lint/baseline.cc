@@ -1,0 +1,134 @@
+#include "tools/lint/baseline.h"
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace cxl::lint {
+namespace {
+
+std::string TrimWs(std::string_view s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string_view::npos) {
+    return "";
+  }
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return std::string(s.substr(b, e - b + 1));
+}
+
+}  // namespace
+
+uint64_t NormalizedSnippetHash(std::string_view snippet) {
+  uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  bool pending_space = false;
+  bool emitted = false;
+  for (char c : snippet) {
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      pending_space = emitted;
+      continue;
+    }
+    if (pending_space) {
+      h = (h ^ static_cast<unsigned char>(' ')) * 1099511628211ull;
+      pending_space = false;
+    }
+    h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ull;
+    emitted = true;
+  }
+  return h;
+}
+
+bool Baseline::Parse(std::string_view text, std::string* error) {
+  entries_.clear();
+  matched_.clear();
+  std::istringstream in{std::string(text)};
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::string t = TrimWs(line);
+    if (t.empty() || t[0] == '#') {
+      continue;
+    }
+    std::istringstream fields(t);
+    BaselineEntry e;
+    std::string hash_field;
+    fields >> e.rule_id >> e.path >> hash_field;
+    std::getline(fields, e.reason);
+    e.reason = TrimWs(e.reason);
+    auto fail = [&](const std::string& why) {
+      if (error != nullptr) {
+        *error = "baseline line " + std::to_string(lineno) + ": " + why;
+      }
+      return false;
+    };
+    if (e.rule_id.empty() || e.path.empty() || hash_field.empty()) {
+      return fail("expected 'RULE-ID path h=HASH reason'");
+    }
+    if (!IsKnownRule(e.rule_id)) {
+      return fail("unknown rule ID '" + e.rule_id + "'");
+    }
+    if (hash_field.rfind("h=", 0) != 0) {
+      return fail("expected h=<16 hex digits>, got '" + hash_field + "'");
+    }
+    char* end = nullptr;
+    e.hash = std::strtoull(hash_field.c_str() + 2, &end, 16);
+    if (end == nullptr || *end != '\0' || hash_field.size() <= 2) {
+      return fail("bad hash '" + hash_field + "'");
+    }
+    if (e.reason.empty()) {
+      return fail("entry for " + e.rule_id + " at " + e.path +
+                  " carries no reason — every grandfathered finding must say "
+                  "why it is acceptable");
+    }
+    entries_.push_back(std::move(e));
+  }
+  matched_.assign(entries_.size(), false);
+  return true;
+}
+
+bool Baseline::Matches(const Finding& f) {
+  uint64_t h = NormalizedSnippetHash(f.snippet);
+  // Two findings on one line (e.g. time() and clock()) share a snippet hash
+  // and produce duplicate entries; consume unmatched entries first so the
+  // stale-entry report stays accurate.
+  int fallback = -1;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const BaselineEntry& e = entries_[i];
+    if (e.rule_id == f.rule_id && e.path == f.path && e.hash == h) {
+      if (!matched_[i]) {
+        matched_[i] = true;
+        return true;
+      }
+      fallback = static_cast<int>(i);
+    }
+  }
+  return fallback >= 0;
+}
+
+std::vector<BaselineEntry> Baseline::UnmatchedEntries() const {
+  std::vector<BaselineEntry> out;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (!matched_[i]) {
+      out.push_back(entries_[i]);
+    }
+  }
+  return out;
+}
+
+std::string Baseline::Render(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  out << "# cxl_lint baseline — grandfathered findings.\n"
+      << "# Format: RULE-ID path h=HASH reason\n"
+      << "# Every entry must carry a real reason; edit the placeholders "
+         "before committing.\n";
+  for (const Finding& f : findings) {
+    char hex[17];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(NormalizedSnippetHash(f.snippet)));
+    out << f.rule_id << ' ' << f.path << " h=" << hex
+        << " grandfathered: justify or fix\n";
+  }
+  return out.str();
+}
+
+}  // namespace cxl::lint

@@ -1,0 +1,62 @@
+// Baseline file support: grandfathered findings that the lint gate accepts.
+//
+// A baseline entry matches a finding by (rule ID, path, normalized-snippet
+// hash) — deliberately not by line number, so unrelated edits above a
+// grandfathered line do not invalidate the entry. Every entry must carry a
+// reason; a reason-less entry fails the load (the gate treats an
+// unexplainable exemption as an error, same as a reason-less allow()).
+//
+// File format, one entry per line (# starts a comment):
+//
+//     CXL-D004 src/mem/profiles.cc h=0123456789abcdef reason text...
+#ifndef CXL_EXPLORER_TOOLS_LINT_BASELINE_H_
+#define CXL_EXPLORER_TOOLS_LINT_BASELINE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tools/lint/lint.h"
+
+namespace cxl::lint {
+
+// FNV-1a over the snippet with whitespace runs collapsed — stable across
+// reformatting, sensitive to real content changes.
+uint64_t NormalizedSnippetHash(std::string_view snippet);
+
+struct BaselineEntry {
+  std::string rule_id;
+  std::string path;
+  uint64_t hash = 0;
+  std::string reason;
+};
+
+class Baseline {
+ public:
+  // Parses baseline text. Returns false and fills *error on a malformed or
+  // reason-less entry (1-based line number included).
+  bool Parse(std::string_view text, std::string* error);
+
+  // True when `f` matches an entry; matched entries are tracked so unused
+  // ones can be reported after a run.
+  bool Matches(const Finding& f);
+
+  const std::vector<BaselineEntry>& entries() const { return entries_; }
+
+  // Entries that no finding matched during this run (stale grandfathers).
+  std::vector<BaselineEntry> UnmatchedEntries() const;
+
+  // Serializes findings as a baseline file, one entry per finding, with a
+  // placeholder reason to be edited by hand.
+  static std::string Render(const std::vector<Finding>& findings);
+
+ private:
+  std::vector<BaselineEntry> entries_;
+  std::vector<bool> matched_;
+};
+
+}  // namespace cxl::lint
+
+#endif  // CXL_EXPLORER_TOOLS_LINT_BASELINE_H_

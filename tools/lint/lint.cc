@@ -1,0 +1,1169 @@
+#include "tools/lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace cxl::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rule catalogue.
+// ---------------------------------------------------------------------------
+
+constexpr RuleInfo kRules[] = {
+    {"CXL-D001", "no-wall-clock",
+     "wall-clock reads (system/steady clock, time(), clock(), ...) outside "
+     "src/telemetry/ and src/runner/ — sim state must advance on simulated "
+     "time only"},
+    {"CXL-D002", "no-ambient-randomness",
+     "std::random_device, rand()/srand(), or a default-constructed engine — "
+     "all randomness must flow from an explicit SplitMix64 seed"},
+    {"CXL-D003", "no-unordered-iteration-to-output",
+     "range-for over std::unordered_{map,set} in a file that also emits or "
+     "merges output — hash order is not part of the --jobs invariance "
+     "contract"},
+    {"CXL-D004", "no-static-mutable-sim-state",
+     "non-const static object in src/{mem,os,apps,fault,workload,sim}/ — "
+     "shared mutable init state broke fig8 presets once already (PR 1)"},
+    {"CXL-D005", "no-dangling-ref-binding",
+     "reference bound to a member call chained off a temporary "
+     "(T x = F(...).g() keeps no owner alive — the FaultPlan::Parse bug "
+     "shape from PR 3)"},
+    {"CXL-D006", "float-accumulation-order",
+     "order-nondeterministic floating-point reduction (std::atomic<double>, "
+     "std::execution::par*, OpenMP reduction) — parallel merges must "
+     "accumulate in cell-index order"},
+    {"CXL-D007", "no-tie-unstable-sort",
+     "std::sort/partial_sort/nth_element in sim-state code whose comparator "
+     "reads a single member and breaks no ties — equal keys land in "
+     "implementation-defined order, and budget cutoffs then select "
+     "implementation-defined elements"},
+    {"CXL-L000", "lint-directive",
+     "malformed cxl-lint directive (unknown rule ID or missing reason)"},
+};
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string Trim(std::string_view s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string_view::npos) {
+    return "";
+  }
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return std::string(s.substr(b, e - b + 1));
+}
+
+// ---------------------------------------------------------------------------
+// Source model: per line, the code with comments / string and char literal
+// bodies blanked out (column-preserving), plus the comment text (for
+// cxl-lint directives).
+// ---------------------------------------------------------------------------
+
+struct SourceLine {
+  std::string raw;
+  std::string code;     // literals blanked, comments removed; same length
+  std::string comment;  // concatenated comment text on this line
+};
+
+std::vector<SourceLine> SplitAndStrip(std::string_view text) {
+  std::vector<std::string> raw_lines;
+  {
+    size_t start = 0;
+    while (start <= text.size()) {
+      size_t nl = text.find('\n', start);
+      if (nl == std::string_view::npos) {
+        raw_lines.emplace_back(text.substr(start));
+        break;
+      }
+      raw_lines.emplace_back(text.substr(start, nl - start));
+      start = nl + 1;
+    }
+  }
+
+  enum class State { kCode, kBlockComment, kString, kChar, kRawString };
+  State state = State::kCode;
+  std::string raw_delim;  // raw-string delimiter, e.g. )foo"
+
+  std::vector<SourceLine> out;
+  out.reserve(raw_lines.size());
+  for (const std::string& raw : raw_lines) {
+    SourceLine line;
+    line.raw = raw;
+    line.code.assign(raw.size(), ' ');
+    size_t i = 0;
+    while (i < raw.size()) {
+      char c = raw[i];
+      switch (state) {
+        case State::kCode: {
+          if (c == '/' && i + 1 < raw.size() && raw[i + 1] == '/') {
+            line.comment += raw.substr(i + 2);
+            i = raw.size();
+            break;
+          }
+          if (c == '/' && i + 1 < raw.size() && raw[i + 1] == '*') {
+            state = State::kBlockComment;
+            i += 2;
+            break;
+          }
+          if (c == '"') {
+            // R"delim( ... )delim" raw strings; the R must directly precede.
+            bool is_raw = i > 0 && raw[i - 1] == 'R' &&
+                          (i < 2 || !IsIdentChar(raw[i - 2]));
+            if (is_raw) {
+              size_t open = raw.find('(', i + 1);
+              std::string delim =
+                  open == std::string::npos ? "" : raw.substr(i + 1, open - i - 1);
+              raw_delim = ")" + delim + "\"";
+              line.code[i] = '"';
+              state = State::kRawString;
+              i = open == std::string::npos ? raw.size() : open + 1;
+            } else {
+              line.code[i] = '"';
+              state = State::kString;
+              ++i;
+            }
+            break;
+          }
+          if (c == '\'' && !(i > 0 && IsIdentChar(raw[i - 1]))) {
+            // Character literal (the ident-char guard skips digit
+            // separators like 1'000'000).
+            line.code[i] = '\'';
+            state = State::kChar;
+            ++i;
+            break;
+          }
+          line.code[i] = c;
+          ++i;
+          break;
+        }
+        case State::kBlockComment: {
+          if (c == '*' && i + 1 < raw.size() && raw[i + 1] == '/') {
+            state = State::kCode;
+            line.comment += ' ';
+            i += 2;
+          } else {
+            line.comment += c;
+            ++i;
+          }
+          break;
+        }
+        case State::kString: {
+          if (c == '\\') {
+            i += 2;
+          } else if (c == '"') {
+            line.code[i] = '"';
+            state = State::kCode;
+            ++i;
+          } else {
+            ++i;
+          }
+          break;
+        }
+        case State::kChar: {
+          if (c == '\\') {
+            i += 2;
+          } else if (c == '\'') {
+            line.code[i] = '\'';
+            state = State::kCode;
+            ++i;
+          } else {
+            ++i;
+          }
+          break;
+        }
+        case State::kRawString: {
+          size_t close = raw.find(raw_delim, i);
+          if (close == std::string::npos) {
+            i = raw.size();
+          } else {
+            line.code[close + raw_delim.size() - 1] = '"';
+            state = State::kCode;
+            i = close + raw_delim.size();
+          }
+          break;
+        }
+      }
+    }
+    // Unterminated ordinary string/char literals do not span lines.
+    if (state == State::kString || state == State::kChar) {
+      state = State::kCode;
+    }
+    out.push_back(std::move(line));
+  }
+  return out;
+}
+
+// True when the code part of the line is blank (comment/whitespace only).
+bool CodeBlank(const SourceLine& line) {
+  return line.code.find_first_not_of(" \t\r") == std::string::npos;
+}
+
+// ---------------------------------------------------------------------------
+// Suppression directives: the marker, then allow(...) with one or more
+// comma-separated rule IDs, then a mandatory free-text reason.
+// ---------------------------------------------------------------------------
+
+struct Directive {
+  std::vector<std::string> rules;
+  bool malformed = false;
+  std::string error;
+};
+
+// Parses a cxl-lint directive out of comment text; returns false when the
+// comment contains none.
+bool ParseDirective(const std::string& comment, Directive* out) {
+  size_t at = comment.find("cxl-lint:");
+  if (at == std::string::npos) {
+    return false;
+  }
+  std::string rest = Trim(comment.substr(at + 9));
+  if (rest.rfind("allow(", 0) != 0) {
+    out->malformed = true;
+    out->error = "expected 'allow(RULE-ID[, ...]) reason' after 'cxl-lint:'";
+    return true;
+  }
+  size_t close = rest.find(')');
+  if (close == std::string::npos) {
+    out->malformed = true;
+    out->error = "unterminated allow( list";
+    return true;
+  }
+  std::string ids = rest.substr(6, close - 6);
+  std::string reason = Trim(rest.substr(close + 1));
+  std::stringstream ss(ids);
+  std::string id;
+  while (std::getline(ss, id, ',')) {
+    id = Trim(id);
+    if (id.empty()) {
+      continue;
+    }
+    if (!IsKnownRule(id)) {
+      out->malformed = true;
+      out->error = "unknown rule ID '" + id + "' in allow()";
+      return true;
+    }
+    out->rules.push_back(id);
+  }
+  if (out->rules.empty()) {
+    out->malformed = true;
+    out->error = "empty allow() list";
+    return true;
+  }
+  if (reason.empty()) {
+    out->malformed = true;
+    out->error = "allow(" + ids + ") carries no reason — say why it is safe";
+    return true;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Small matching helpers over blanked code.
+// ---------------------------------------------------------------------------
+
+// Finds `ident` as a whole token in `code` starting at/after `from`;
+// returns npos when absent.
+size_t FindToken(const std::string& code, std::string_view ident, size_t from = 0) {
+  size_t at = from;
+  while ((at = code.find(ident, at)) != std::string::npos) {
+    bool left_ok = at == 0 || !IsIdentChar(code[at - 1]);
+    size_t end = at + ident.size();
+    bool right_ok = end >= code.size() || !IsIdentChar(code[end]);
+    if (left_ok && right_ok) {
+      return at;
+    }
+    at = end;
+  }
+  return std::string::npos;
+}
+
+bool HasToken(const std::string& code, std::string_view ident) {
+  return FindToken(code, ident) != std::string::npos;
+}
+
+// For a token at `at`, walks left over the qualifier ("std::", "Foo::", ...)
+// and reports it, plus whether the whole qualified name is a member access
+// (preceded by '.' or '->').
+struct QualifiedContext {
+  std::string qualifier;  // without trailing "::"; empty when unqualified
+  bool member_access = false;
+};
+
+QualifiedContext Qualify(const std::string& code, size_t at) {
+  QualifiedContext ctx;
+  size_t begin = at;
+  while (begin >= 2 && code[begin - 1] == ':' && code[begin - 2] == ':') {
+    size_t q_end = begin - 2;
+    size_t q_begin = q_end;
+    while (q_begin > 0 && IsIdentChar(code[q_begin - 1])) {
+      --q_begin;
+    }
+    ctx.qualifier = code.substr(q_begin, q_end - q_begin);
+    begin = q_begin;
+    if (!ctx.qualifier.empty()) {
+      break;  // one level of qualification is enough to decide
+    }
+  }
+  if (begin > 0) {
+    char prev = code[begin - 1];
+    if (prev == '.' || (prev == '>' && begin >= 2 && code[begin - 2] == '-')) {
+      ctx.member_access = true;
+    }
+  }
+  return ctx;
+}
+
+// Distinguishes a *call* of `name(` from a *declaration* `Type name(`: a
+// word directly before the name means a declaration, unless that word is a
+// statement keyword (`return time(nullptr)` is a call).
+bool LooksLikeDeclaration(const std::string& code, size_t name_at) {
+  size_t i = name_at;
+  while (i > 0 && (code[i - 1] == ' ' || code[i - 1] == '\t')) {
+    --i;
+  }
+  if (i == 0 || !IsIdentChar(code[i - 1])) {
+    return false;
+  }
+  size_t w_end = i;
+  while (i > 0 && IsIdentChar(code[i - 1])) {
+    --i;
+  }
+  std::string word = code.substr(i, w_end - i);
+  for (const char* kw : {"return", "case", "co_return", "co_yield", "throw"}) {
+    if (word == kw) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// True when the token at `at` is followed (over whitespace) by `next`.
+bool FollowedBy(const std::string& code, size_t token_end, char next) {
+  size_t i = token_end;
+  while (i < code.size() && (code[i] == ' ' || code[i] == '\t')) {
+    ++i;
+  }
+  return i < code.size() && code[i] == next;
+}
+
+// Returns the index just past the matching close of the bracket pair whose
+// open bracket sits at `open` in `text`, or npos when unbalanced.
+size_t MatchBracket(const std::string& text, size_t open, char o, char c) {
+  int depth = 0;
+  for (size_t i = open; i < text.size(); ++i) {
+    if (text[i] == o) {
+      ++depth;
+    } else if (text[i] == c) {
+      if (--depth == 0) {
+        return i + 1;
+      }
+    }
+  }
+  return std::string::npos;
+}
+
+// ---------------------------------------------------------------------------
+// Per-file context shared by the rules.
+// ---------------------------------------------------------------------------
+
+struct FileContext {
+  std::string path;
+  std::vector<SourceLine> lines;
+  bool clock_exempt = false;   // src/telemetry/ or src/runner/
+  bool sim_state_dir = false;  // src/{mem,os,apps,fault,workload,sim}/
+  bool emits_output = false;
+  std::set<std::string> unordered_idents;
+
+  // Joined blanked code of lines [i, i+count), newlines as spaces — for
+  // statements that span lines.
+  std::string Joined(size_t i, size_t count) const {
+    std::string out;
+    for (size_t k = i; k < lines.size() && k < i + count; ++k) {
+      out += lines[k].code;
+      out += ' ';
+    }
+    return out;
+  }
+};
+
+bool PathStartsWith(std::string_view path, std::string_view prefix) {
+  return path.rfind(prefix, 0) == 0;
+}
+
+bool InSimStateDirs(std::string_view path) {
+  for (const char* d : {"src/mem/", "src/os/", "src/apps/", "src/fault/",
+                        "src/workload/", "src/sim/"}) {
+    if (PathStartsWith(path, d)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// File-level: does this file emit or merge output that lands in stdout /
+// exported artifacts? (stderr diagnostics are deliberately not counted —
+// sweep timing goes to stderr by design.)
+bool EmitsOutput(const FileContext& ctx) {
+  for (const SourceLine& line : ctx.lines) {
+    for (const char* t : {"cout", "printf", "fprintf", "ostream", "ofstream",
+                          "ostringstream", "puts", "fputs"}) {
+      if (HasToken(line.code, t)) {
+        return true;
+      }
+    }
+    // Functions that merge per-cell results into a combined report
+    // (identifiers starting with "Merge": Merge, MergeCells, MergeFrom...).
+    size_t at = 0;
+    while ((at = line.code.find("Merge", at)) != std::string::npos) {
+      if (at == 0 || !IsIdentChar(line.code[at - 1])) {
+        return true;
+      }
+      at += 5;
+    }
+  }
+  return false;
+}
+
+// Collects identifiers declared with an unordered container type, plus
+// declarations through one level of `using Alias = std::unordered_map<...>`.
+std::set<std::string> CollectUnorderedIdents(const FileContext& ctx) {
+  std::set<std::string> idents;
+  std::set<std::string> aliases;
+  auto scan_decl = [&](const std::string& joined, size_t type_at,
+                       std::set<std::string>* out) {
+    // type_at points at "unordered_..." (or an alias). Walk past the
+    // template argument list if present, then capture the declarator name.
+    size_t i = type_at;
+    while (i < joined.size() && IsIdentChar(joined[i])) {
+      ++i;
+    }
+    while (i < joined.size() && (joined[i] == ' ' || joined[i] == '\t')) {
+      ++i;
+    }
+    if (i < joined.size() && joined[i] == '<') {
+      size_t past = MatchBracket(joined, i, '<', '>');
+      if (past == std::string::npos) {
+        return;
+      }
+      i = past;
+    }
+    while (i < joined.size() &&
+           (joined[i] == ' ' || joined[i] == '&' || joined[i] == '*')) {
+      ++i;
+    }
+    size_t name_begin = i;
+    while (i < joined.size() && IsIdentChar(joined[i])) {
+      ++i;
+    }
+    if (i == name_begin || !IsIdentStart(joined[name_begin])) {
+      return;
+    }
+    std::string name = joined.substr(name_begin, i - name_begin);
+    while (i < joined.size() && (joined[i] == ' ' || joined[i] == '\t')) {
+      ++i;
+    }
+    if (i < joined.size() &&
+        (joined[i] == ';' || joined[i] == '=' || joined[i] == '{' ||
+         joined[i] == ',' || joined[i] == ')')) {
+      out->insert(name);
+    }
+  };
+
+  for (size_t li = 0; li < ctx.lines.size(); ++li) {
+    const std::string& code = ctx.lines[li].code;
+    if (code.find("unordered_") == std::string::npos) {
+      continue;
+    }
+    std::string joined = ctx.Joined(li, 4);
+    // `using Alias = std::unordered_map<...>` registers the alias name.
+    size_t using_at = FindToken(joined, "using");
+    if (using_at != std::string::npos) {
+      size_t eq = joined.find('=', using_at);
+      if (eq != std::string::npos && joined.find("unordered_", eq) != std::string::npos) {
+        size_t a = using_at + 5;
+        while (a < joined.size() && joined[a] == ' ') {
+          ++a;
+        }
+        size_t a_end = a;
+        while (a_end < joined.size() && IsIdentChar(joined[a_end])) {
+          ++a_end;
+        }
+        if (a_end > a) {
+          aliases.insert(joined.substr(a, a_end - a));
+        }
+        continue;
+      }
+    }
+    for (const char* t : {"unordered_map", "unordered_set", "unordered_multimap",
+                          "unordered_multiset"}) {
+      size_t at = 0;
+      while ((at = FindToken(joined, t, at)) != std::string::npos) {
+        scan_decl(joined, at, &idents);
+        at += 1;
+      }
+    }
+  }
+  // One pass for declarations through a registered alias.
+  for (const std::string& alias : aliases) {
+    for (size_t li = 0; li < ctx.lines.size(); ++li) {
+      size_t at = FindToken(ctx.lines[li].code, alias);
+      if (at == std::string::npos) {
+        continue;
+      }
+      std::string joined = ctx.Joined(li, 2);
+      size_t jat = 0;
+      while ((jat = FindToken(joined, alias, jat)) != std::string::npos) {
+        scan_decl(joined, jat, &idents);
+        jat += 1;
+      }
+    }
+  }
+  return idents;
+}
+
+// ---------------------------------------------------------------------------
+// Rules.
+// ---------------------------------------------------------------------------
+
+using Sink = std::vector<Finding>;
+
+void Emit(Sink* sink, const FileContext& ctx, const char* rule, size_t line_idx,
+          size_t col, std::string message) {
+  Finding f;
+  f.rule_id = rule;
+  f.path = ctx.path;
+  f.line = static_cast<int>(line_idx + 1);
+  f.column = static_cast<int>(col + 1);
+  f.message = std::move(message);
+  f.snippet = Trim(ctx.lines[line_idx].raw);
+  sink->push_back(std::move(f));
+}
+
+// CXL-D001: wall-clock reads outside src/telemetry/ and src/runner/.
+void CheckWallClock(const FileContext& ctx, Sink* sink) {
+  if (ctx.clock_exempt) {
+    return;
+  }
+  for (size_t li = 0; li < ctx.lines.size(); ++li) {
+    const std::string& code = ctx.lines[li].code;
+    for (const char* clock :
+         {"system_clock", "steady_clock", "high_resolution_clock"}) {
+      size_t at = FindToken(code, clock);
+      if (at != std::string::npos) {
+        Emit(sink, ctx, "CXL-D001", li, at,
+             std::string("std::chrono::") + clock +
+                 " read — sim code must use simulated time (wall clocks live "
+                 "in src/telemetry/ and src/runner/ only)");
+      }
+    }
+    for (const char* fn : {"time", "clock", "gettimeofday", "clock_gettime",
+                           "localtime", "gmtime", "mktime"}) {
+      size_t at = 0;
+      while ((at = FindToken(code, fn, at)) != std::string::npos) {
+        size_t end = at + std::string_view(fn).size();
+        QualifiedContext q = Qualify(code, at);
+        bool callable = FollowedBy(code, end, '(');
+        bool ambient = q.qualifier.empty() || q.qualifier == "std";
+        if (callable && ambient && !q.member_access &&
+            !LooksLikeDeclaration(code, at)) {
+          Emit(sink, ctx, "CXL-D001", li, at,
+               std::string(fn) + "() reads the wall clock — derive timing "
+                                 "from simulated time instead");
+        }
+        at = end;
+      }
+    }
+  }
+}
+
+// CXL-D002: ambient randomness.
+void CheckAmbientRandomness(const FileContext& ctx, Sink* sink) {
+  static const char* kEngines[] = {
+      "mt19937",     "mt19937_64", "minstd_rand",   "minstd_rand0",
+      "ranlux24",    "ranlux48",   "ranlux24_base", "ranlux48_base",
+      "knuth_b",     "default_random_engine"};
+  for (size_t li = 0; li < ctx.lines.size(); ++li) {
+    const std::string& code = ctx.lines[li].code;
+    size_t at = FindToken(code, "random_device");
+    if (at != std::string::npos) {
+      Emit(sink, ctx, "CXL-D002", li, at,
+           "std::random_device is nondeterministic by design — seed from the "
+           "experiment's SplitMix64 chain instead");
+    }
+    for (const char* fn : {"rand", "srand"}) {
+      size_t f = 0;
+      while ((f = FindToken(code, fn, f)) != std::string::npos) {
+        size_t end = f + std::string_view(fn).size();
+        QualifiedContext q = Qualify(code, f);
+        if (FollowedBy(code, end, '(') && !q.member_access &&
+            (q.qualifier.empty() || q.qualifier == "std") &&
+            !LooksLikeDeclaration(code, f)) {
+          Emit(sink, ctx, "CXL-D002", li, f,
+               std::string(fn) + "() uses hidden global RNG state — use "
+                                 "util::SplitMix64 with an explicit seed");
+        }
+        f = end;
+      }
+    }
+    for (const char* engine : kEngines) {
+      size_t e = 0;
+      while ((e = FindToken(code, engine, e)) != std::string::npos) {
+        size_t end = e + std::string_view(engine).size();
+        // Default construction: `mt19937 gen;`, `mt19937 gen{};`,
+        // `mt19937 gen();`, `mt19937{}`, `mt19937()`.
+        std::string joined = ctx.Joined(li, 2);
+        size_t je = FindToken(joined, engine);
+        size_t i = je == std::string::npos ? end : je + std::string_view(engine).size();
+        const std::string& text = je == std::string::npos ? code : joined;
+        while (i < text.size() && (text[i] == ' ' || text[i] == '\t')) {
+          ++i;
+        }
+        bool default_constructed = false;
+        if (i < text.size() && IsIdentStart(text[i])) {
+          size_t n = i;
+          while (n < text.size() && IsIdentChar(text[n])) {
+            ++n;
+          }
+          while (n < text.size() && (text[n] == ' ' || text[n] == '\t')) {
+            ++n;
+          }
+          if (n < text.size()) {
+            if (text[n] == ';') {
+              default_constructed = true;
+            } else if (text[n] == '{' || text[n] == '(') {
+              size_t past = MatchBracket(text, n, text[n],
+                                         text[n] == '{' ? '}' : ')');
+              if (past != std::string::npos) {
+                std::string args =
+                    Trim(text.substr(n + 1, past - n - 2));
+                default_constructed = args.empty();
+              }
+            }
+          }
+        } else if (i < text.size() && (text[i] == '{' || text[i] == '(')) {
+          size_t past =
+              MatchBracket(text, i, text[i], text[i] == '{' ? '}' : ')');
+          if (past != std::string::npos) {
+            std::string args = Trim(text.substr(i + 1, past - i - 2));
+            default_constructed = args.empty();
+          }
+        }
+        if (default_constructed) {
+          Emit(sink, ctx, "CXL-D002", li, e,
+               std::string("std::") + engine +
+                   " default-constructed — its seed is implementation-chosen; "
+                   "seed explicitly from the SplitMix64 chain");
+        }
+        e = end;
+      }
+    }
+  }
+}
+
+// CXL-D003: range-for over an unordered container in an output-emitting file.
+void CheckUnorderedIteration(const FileContext& ctx, Sink* sink) {
+  if (!ctx.emits_output) {
+    return;
+  }
+  for (size_t li = 0; li < ctx.lines.size(); ++li) {
+    const std::string& code = ctx.lines[li].code;
+    size_t f = FindToken(code, "for");
+    if (f == std::string::npos) {
+      continue;
+    }
+    std::string joined = ctx.Joined(li, 3);
+    size_t jf = FindToken(joined, "for");
+    if (jf == std::string::npos) {
+      continue;
+    }
+    size_t open = joined.find('(', jf);
+    if (open == std::string::npos) {
+      continue;
+    }
+    size_t past = MatchBracket(joined, open, '(', ')');
+    if (past == std::string::npos) {
+      continue;
+    }
+    std::string head = joined.substr(open + 1, past - open - 2);
+    // Find the range-for ':' at top level (not '::', not inside brackets).
+    int depth = 0;
+    size_t colon = std::string::npos;
+    for (size_t i = 0; i < head.size(); ++i) {
+      char c = head[i];
+      if (c == '(' || c == '<' || c == '[' || c == '{') {
+        ++depth;
+      } else if (c == ')' || c == '>' || c == ']' || c == '}') {
+        --depth;
+      } else if (c == ':' && depth == 0) {
+        if ((i + 1 < head.size() && head[i + 1] == ':') ||
+            (i > 0 && head[i - 1] == ':')) {
+          continue;
+        }
+        colon = i;
+        break;
+      }
+    }
+    if (colon == std::string::npos) {
+      continue;
+    }
+    std::string range = head.substr(colon + 1);
+    bool unordered = range.find("unordered_") != std::string::npos;
+    for (const std::string& ident : ctx.unordered_idents) {
+      if (unordered) {
+        break;
+      }
+      unordered = FindToken(range, ident) != std::string::npos;
+    }
+    if (unordered) {
+      Emit(sink, ctx, "CXL-D003", li, f,
+           "range-for over an unordered container in a file that emits "
+           "output — hash order leaks into the report and breaks --jobs "
+           "invariance; iterate a sorted view or switch to std::map");
+    }
+  }
+}
+
+// CXL-D004: non-const static objects in the sim-state directories.
+void CheckStaticMutableState(const FileContext& ctx, Sink* sink) {
+  if (!ctx.sim_state_dir) {
+    return;
+  }
+  for (size_t li = 0; li < ctx.lines.size(); ++li) {
+    const std::string& code = ctx.lines[li].code;
+    // One analysis per line: multi-line statements are joined below, so the
+    // declaration is judged where its `static` keyword appears.
+    size_t start = FindToken(code, "static");
+    if (start != std::string::npos) {
+      std::string stmt = ctx.Joined(li, 6);
+      size_t sat = FindToken(stmt, "static");
+      if (sat == std::string::npos) {
+        continue;
+      }
+      size_t i = sat + 6;
+      // Skip storage/linkage qualifiers that may precede the type.
+      for (;;) {
+        while (i < stmt.size() && (stmt[i] == ' ' || stmt[i] == '\t')) {
+          ++i;
+        }
+        bool skipped = false;
+        for (const char* q : {"inline", "thread_local"}) {
+          std::string_view qv(q);
+          if (stmt.compare(i, qv.size(), qv) == 0 &&
+              (i + qv.size() >= stmt.size() || !IsIdentChar(stmt[i + qv.size()]))) {
+            i += qv.size();
+            skipped = true;
+            break;
+          }
+        }
+        if (!skipped) {
+          break;
+        }
+      }
+      // const / constexpr / constinit statics are immutable — fine.
+      bool is_const = false;
+      for (const char* q : {"constexpr", "constinit", "const"}) {
+        std::string_view qv(q);
+        if (stmt.compare(i, qv.size(), qv) == 0 &&
+            (i + qv.size() >= stmt.size() || !IsIdentChar(stmt[i + qv.size()]))) {
+          is_const = true;
+          break;
+        }
+      }
+      if (is_const) {
+        continue;
+      }
+      // A `const` anywhere before the declarator also counts (e.g.
+      // `static mem::PathProfile const x`).
+      size_t stmt_end = stmt.find_first_of(";={", i);
+      if (stmt_end == std::string::npos) {
+        stmt_end = stmt.size();
+      }
+      std::string head = stmt.substr(i, stmt_end - i);
+      if (FindToken(head, "const") != std::string::npos) {
+        continue;
+      }
+      // Function declarations/definitions: first top-level '(' before any
+      // '=' or ';' whose close is followed by body/qualifiers. Objects
+      // declare with '=' / ';' / '{' first (angle brackets skipped).
+      int angle = 0;
+      size_t first_paren = std::string::npos;
+      size_t first_term = std::string::npos;
+      for (size_t k = i; k < stmt.size(); ++k) {
+        char c = stmt[k];
+        if (c == '<') {
+          ++angle;
+        } else if (c == '>') {
+          if (angle > 0) {
+            --angle;
+          }
+        } else if (angle == 0) {
+          if (c == '(') {
+            first_paren = k;
+            break;
+          }
+          if (c == '=' || c == ';' || c == '{') {
+            first_term = k;
+            break;
+          }
+        }
+      }
+      if (first_term == std::string::npos && first_paren == std::string::npos) {
+        continue;
+      }
+      if (first_paren != std::string::npos) {
+        // Function-shaped (or a ctor-call object, which this heuristic
+        // accepts as a function — documented false negative).
+        continue;
+      }
+      Emit(sink, ctx, "CXL-D004", li, start,
+           "non-const static object holds mutable state shared across "
+           "cells/threads — the Fig8Preset shared-init hazard (PR 1); make "
+           "it const, constexpr, or a by-value member of the experiment");
+    }
+  }
+}
+
+// CXL-D005: reference bound to a member call chained off a temporary.
+void CheckDanglingRefBinding(const FileContext& ctx, Sink* sink) {
+  for (size_t li = 0; li < ctx.lines.size(); ++li) {
+    const std::string& code = ctx.lines[li].code;
+    size_t amp = code.find('&');
+    if (amp == std::string::npos) {
+      continue;
+    }
+    std::string stmt = ctx.Joined(li, 4);
+    // Reference declaration: `...&[&] name = init;` — locate `= ` after a
+    // declarator whose type ends in & or &&. Only declarators whose & sits
+    // on THIS line count; later lines in the joined window report their own.
+    size_t search = 0;
+    while (true) {
+      size_t a = stmt.find('&', search);
+      if (a == std::string::npos || a >= code.size()) {
+        break;
+      }
+      search = a + 1;
+      // Reject address-of / logical-and: require an identifier (the
+      // declarator) after optional whitespace, then '='.
+      size_t i = a + 1;
+      if (i < stmt.size() && stmt[i] == '&') {
+        ++i;  // rvalue-reference declarator
+      }
+      while (i < stmt.size() && (stmt[i] == ' ' || stmt[i] == '\t')) {
+        ++i;
+      }
+      size_t name_begin = i;
+      while (i < stmt.size() && IsIdentChar(stmt[i])) {
+        ++i;
+      }
+      if (i == name_begin || !IsIdentStart(stmt[name_begin])) {
+        continue;
+      }
+      while (i < stmt.size() && (stmt[i] == ' ' || stmt[i] == '\t')) {
+        ++i;
+      }
+      if (i >= stmt.size() || stmt[i] != '=' ||
+          (i + 1 < stmt.size() && stmt[i + 1] == '=')) {
+        continue;
+      }
+      // Require a type-ish token directly before the '&' (auto, ident, '>',
+      // '::') so `a && b = ...` inside conditions doesn't match.
+      size_t t = a;
+      while (t > 0 && (stmt[t - 1] == ' ' || stmt[t - 1] == '&')) {
+        --t;
+      }
+      if (t == 0 || !(IsIdentChar(stmt[t - 1]) || stmt[t - 1] == '>')) {
+        continue;
+      }
+      // Initializer: from past '=' to ';'.
+      size_t init_begin = i + 1;
+      size_t semi = stmt.find(';', init_begin);
+      std::string init = Trim(stmt.substr(
+          init_begin, semi == std::string::npos ? std::string::npos
+                                                : semi - init_begin));
+      if (init.empty()) {
+        continue;
+      }
+      // The base must itself be a call producing a temporary: a (possibly
+      // qualified) identifier immediately applied with ( — not a variable
+      // member chain like `cfg.store().name` whose base is an lvalue.
+      size_t p = 0;
+      while (p < init.size() && (IsIdentChar(init[p]) || init[p] == ':')) {
+        ++p;
+      }
+      if (p == 0 || p >= init.size()) {
+        continue;
+      }
+      size_t call_open = p;
+      while (call_open < init.size() &&
+             (init[call_open] == ' ' || init[call_open] == '\t')) {
+        ++call_open;
+      }
+      if (call_open >= init.size() || init[call_open] != '(') {
+        continue;
+      }
+      size_t past_call = MatchBracket(init, call_open, '(', ')');
+      if (past_call == std::string::npos) {
+        continue;
+      }
+      // Walk the chain after the temporary: data-member hops keep lifetime
+      // extension alive; a member *call*, operator[], or -> yields a
+      // reference into the dead temporary.
+      size_t q = past_call;
+      bool dangling = false;
+      while (q < init.size()) {
+        while (q < init.size() && (init[q] == ' ' || init[q] == '\t')) {
+          ++q;
+        }
+        if (q >= init.size()) {
+          break;
+        }
+        if (init[q] == '[') {
+          dangling = true;
+          break;
+        }
+        if (init[q] == '-' && q + 1 < init.size() && init[q + 1] == '>') {
+          dangling = true;
+          break;
+        }
+        if (init[q] != '.') {
+          break;
+        }
+        ++q;
+        size_t m = q;
+        while (m < init.size() && IsIdentChar(init[m])) {
+          ++m;
+        }
+        if (m == q) {
+          break;
+        }
+        size_t after = m;
+        while (after < init.size() &&
+               (init[after] == ' ' || init[after] == '\t')) {
+          ++after;
+        }
+        if (after < init.size() && init[after] == '(') {
+          dangling = true;  // member call on the temporary's innards
+          break;
+        }
+        q = m;
+      }
+      if (dangling) {
+        Emit(sink, ctx, "CXL-D005", li, code.find('&'),
+             "reference bound to a member call chained off a temporary — the "
+             "temporary dies at the semicolon (FaultPlan::Parse(\"storm\") "
+             "bug, PR 3); bind the owner to a named value first");
+        break;  // one finding per statement is enough
+      }
+    }
+  }
+}
+
+// CXL-D006: order-nondeterministic floating-point reduction.
+void CheckFloatAccumulationOrder(const FileContext& ctx, Sink* sink) {
+  for (size_t li = 0; li < ctx.lines.size(); ++li) {
+    const std::string& code = ctx.lines[li].code;
+    size_t at = FindToken(code, "atomic");
+    if (at != std::string::npos) {
+      std::string joined = ctx.Joined(li, 2);
+      size_t jat = FindToken(joined, "atomic");
+      if (jat != std::string::npos) {
+        size_t open = joined.find('<', jat);
+        if (open != std::string::npos) {
+          size_t past = MatchBracket(joined, open, '<', '>');
+          if (past != std::string::npos) {
+            std::string arg = Trim(joined.substr(open + 1, past - open - 2));
+            if (arg == "double" || arg == "float" || arg == "long double") {
+              Emit(sink, ctx, "CXL-D006", li, at,
+                   "std::atomic<" + arg +
+                       "> accumulates in scheduling order — float addition "
+                       "is not associative, so results vary with --jobs; "
+                       "accumulate per cell and merge in cell-index order");
+            }
+          }
+        }
+      }
+    }
+    for (const char* policy : {"par", "par_unseq", "unseq"}) {
+      size_t p = 0;
+      while ((p = FindToken(code, policy, p)) != std::string::npos) {
+        QualifiedContext q = Qualify(code, p);
+        if (q.qualifier == "execution") {
+          Emit(sink, ctx, "CXL-D006", li, p,
+               "std::execution parallel policy reduces in scheduling order — "
+               "use the deterministic SweepRunner and merge in cell-index "
+               "order");
+        }
+        p += std::string_view(policy).size();
+      }
+    }
+    // OpenMP reductions live in pragmas, which the code view keeps.
+    size_t pragma = code.find("#pragma");
+    if (pragma != std::string::npos && code.find("omp", pragma) != std::string::npos &&
+        code.find("reduction", pragma) != std::string::npos) {
+      Emit(sink, ctx, "CXL-D006", li, pragma,
+           "OpenMP reduction order is unspecified — float sums drift across "
+           "thread counts; accumulate per cell and merge deterministically");
+    }
+  }
+}
+
+// CXL-D007: unstable sort with a tie-free single-member comparator.
+void CheckTieUnstableSort(const FileContext& ctx, Sink* sink) {
+  if (!ctx.sim_state_dir) {
+    return;
+  }
+  for (size_t li = 0; li < ctx.lines.size(); ++li) {
+    const std::string& code = ctx.lines[li].code;
+    size_t at = std::string::npos;
+    for (const char* fn : {"sort", "partial_sort", "nth_element"}) {
+      size_t f = FindToken(code, fn);
+      if (f != std::string::npos) {
+        QualifiedContext q = Qualify(code, f);
+        size_t end = f + std::string_view(fn).size();
+        if (FollowedBy(code, end, '(') && !q.member_access &&
+            (q.qualifier.empty() || q.qualifier == "std")) {
+          at = f;
+          break;
+        }
+      }
+    }
+    if (at == std::string::npos) {
+      continue;
+    }
+    // Pull in the whole call, find an inline lambda comparator, and count
+    // the distinct members its body compares. One member and no tie-break
+    // means equal keys stay in implementation-defined order.
+    std::string stmt = ctx.Joined(li, 6);
+    size_t lam = stmt.find('[', stmt.find('('));
+    if (lam == std::string::npos) {
+      continue;  // default comparator: total order over the element type
+    }
+    size_t body_open = stmt.find('{', lam);
+    if (body_open == std::string::npos) {
+      continue;
+    }
+    size_t body_end = MatchBracket(stmt, body_open, '{', '}');
+    if (body_end == std::string::npos) {
+      continue;
+    }
+    std::string body = stmt.substr(body_open + 1, body_end - body_open - 2);
+    std::set<std::string> members;
+    for (size_t i = 0; i + 1 < body.size(); ++i) {
+      if (body[i] != '.' || !IsIdentStart(body[i + 1])) {
+        continue;
+      }
+      size_t m = i + 1;
+      while (m < body.size() && IsIdentChar(body[m])) {
+        ++m;
+      }
+      members.insert(body.substr(i + 1, m - i - 1));
+      i = m - 1;
+    }
+    if (members.size() == 1) {
+      Emit(sink, ctx, "CXL-D007", li, at,
+           "comparator orders by '." + *members.begin() +
+               "' alone — equal keys land in implementation-defined order "
+               "and budget cutoffs then select implementation-defined "
+               "elements; add a deterministic tie-break (e.g. the id)");
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& RuleCatalogue() {
+  static const std::vector<RuleInfo> rules(std::begin(kRules), std::end(kRules));
+  return rules;
+}
+
+bool IsKnownRule(std::string_view id) {
+  for (const RuleInfo& r : RuleCatalogue()) {
+    if (id == r.id) {
+      return true;
+    }
+  }
+  return false;
+}
+
+FileReport LintText(std::string_view logical_path, std::string_view text) {
+  FileContext ctx;
+  ctx.path = std::string(logical_path);
+  ctx.lines = SplitAndStrip(text);
+  ctx.clock_exempt = PathStartsWith(ctx.path, "src/telemetry/") ||
+                     PathStartsWith(ctx.path, "src/runner/");
+  ctx.sim_state_dir = InSimStateDirs(ctx.path);
+  ctx.emits_output = EmitsOutput(ctx);
+  ctx.unordered_idents = CollectUnorderedIdents(ctx);
+
+  Sink raw;
+  CheckWallClock(ctx, &raw);
+  CheckAmbientRandomness(ctx, &raw);
+  CheckUnorderedIteration(ctx, &raw);
+  CheckStaticMutableState(ctx, &raw);
+  CheckDanglingRefBinding(ctx, &raw);
+  CheckFloatAccumulationOrder(ctx, &raw);
+  CheckTieUnstableSort(ctx, &raw);
+
+  // Suppressions: a directive applies to its own line when code shares the
+  // line, otherwise to the next line. Malformed directives surface as
+  // CXL-L000 and suppress nothing.
+  std::vector<std::vector<std::string>> allowed(ctx.lines.size());
+  for (size_t li = 0; li < ctx.lines.size(); ++li) {
+    if (ctx.lines[li].comment.empty()) {
+      continue;
+    }
+    Directive d;
+    if (!ParseDirective(ctx.lines[li].comment, &d)) {
+      continue;
+    }
+    if (d.malformed) {
+      Emit(&raw, ctx, "CXL-L000", li, 0, d.error);
+      continue;
+    }
+    size_t target = CodeBlank(ctx.lines[li]) ? li + 1 : li;
+    if (target < ctx.lines.size()) {
+      for (const std::string& id : d.rules) {
+        allowed[target].push_back(id);
+      }
+    }
+  }
+
+  FileReport report;
+  for (Finding& f : raw) {
+    size_t li = static_cast<size_t>(f.line - 1);
+    bool suppressed = false;
+    if (li < allowed.size()) {
+      const auto& ids = allowed[li];
+      suppressed = std::find(ids.begin(), ids.end(), f.rule_id) != ids.end();
+    }
+    if (suppressed) {
+      ++report.suppressed;
+    } else {
+      report.findings.push_back(std::move(f));
+    }
+  }
+  std::sort(report.findings.begin(), report.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.line != b.line) {
+                return a.line < b.line;
+              }
+              if (a.column != b.column) {
+                return a.column < b.column;
+              }
+              return a.rule_id < b.rule_id;
+            });
+  return report;
+}
+
+}  // namespace cxl::lint

@@ -1,0 +1,88 @@
+// cxl_lint — determinism & sim-correctness static analyzer for this repo.
+//
+// The whole reproduction rests on a determinism contract: every bench is
+// byte-identical at any --jobs, fault replay is seed-stable, and the
+// calibration gate diffs against fixed paper numbers (§3.2 / Fig. 3). This
+// tool makes the bug classes that break that contract cheap to catch at
+// review time instead of expensive to debug from a golden-file diff. It is a
+// token/line-level analyzer (no libclang, no compiler dependency): it strips
+// comments and string literals, tracks a little per-file state (declared
+// unordered-container identifiers, whether the file emits output), and
+// pattern-matches a named rule set:
+//
+//   CXL-D001 no-wall-clock           wall-clock reads outside src/telemetry/
+//                                    and src/runner/
+//   CXL-D002 no-ambient-randomness   random_device / rand() / default-
+//                                    constructed engines; all RNG must flow
+//                                    from a SplitMix64 seed
+//   CXL-D003 no-unordered-iteration-to-output
+//                                    range-for over std::unordered_{map,set}
+//                                    in a file that also emits/merges output
+//   CXL-D004 no-static-mutable-sim-state
+//                                    non-const static objects in
+//                                    src/{mem,os,apps,fault,workload,sim}/
+//   CXL-D005 no-dangling-ref-binding reference bound to a member-call chain
+//                                    on a temporary (the PR 3 bug shape)
+//   CXL-D006 float-accumulation-order
+//                                    order-nondeterministic float reduction
+//                                    (atomic<double>, parallel execution
+//                                    policies, OpenMP reductions)
+//   CXL-D007 no-tie-unstable-sort    sort comparator reads one member and
+//                                    breaks no ties — equal keys land in
+//                                    implementation-defined order
+//   CXL-L000 lint-directive          malformed / unknown cxl-lint comment
+//
+// Findings are suppressed per line with
+//     // cxl-lint: allow(CXL-D003) reason why this one is safe
+// (same line, or a comment-only line covering the next line). A suppression
+// without a reason is itself a CXL-L000 finding and does not suppress.
+//
+// Being token-level, the rules are heuristics: they are tuned to have very
+// few false positives on this tree, and every false positive has an escape
+// hatch (allow() with a reason, or a baseline entry). False negatives are
+// accepted — the golden-file diffs and TSan remain the backstop.
+#ifndef CXL_EXPLORER_TOOLS_LINT_LINT_H_
+#define CXL_EXPLORER_TOOLS_LINT_LINT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cxl::lint {
+
+struct RuleInfo {
+  const char* id;       // "CXL-D001"
+  const char* name;     // "no-wall-clock"
+  const char* summary;  // one-line description for --list-rules and reports
+};
+
+// The full rule catalogue, in ID order (including CXL-L000).
+const std::vector<RuleInfo>& RuleCatalogue();
+
+// True when `id` names a rule in the catalogue.
+bool IsKnownRule(std::string_view id);
+
+struct Finding {
+  std::string rule_id;   // "CXL-D001"
+  std::string path;      // logical repo-relative path ("src/mem/foo.cc")
+  int line = 0;          // 1-based
+  int column = 1;        // 1-based byte offset of the match
+  std::string message;
+  std::string snippet;   // the offending raw source line, trimmed
+};
+
+struct FileReport {
+  std::vector<Finding> findings;  // post-suppression, in line order
+  int suppressed = 0;             // findings silenced by an allow() directive
+};
+
+// Lints one file's text. `logical_path` is the repo-relative path and drives
+// the path-scoped rules (the clock exemption for src/telemetry/ and
+// src/runner/, the static-state scope of src/{mem,os,apps,fault,workload,
+// sim}/) — callers may lint any text under any pretend path, which is how
+// the fixture tests exercise path scoping.
+FileReport LintText(std::string_view logical_path, std::string_view text);
+
+}  // namespace cxl::lint
+
+#endif  // CXL_EXPLORER_TOOLS_LINT_LINT_H_

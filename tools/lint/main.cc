@@ -1,0 +1,237 @@
+// cxl_lint CLI — see tools/lint/lint.h for the rule set.
+//
+// Usage:
+//   cxl_lint [--root=DIR] [--baseline=FILE] [--write-baseline=FILE]
+//            [--json] [--json-out=FILE] [--exclude=SUBSTR]... [--list-rules]
+//            [paths...]
+//
+// With no explicit paths, scans src/, bench/, tests/, tools/, examples/
+// under --root (default: the current directory). tests/lint/fixtures/ is
+// always excluded — those files violate the rules on purpose.
+//
+// Exit codes: 0 clean (all findings suppressed or baselined), 1 actionable
+// findings, 2 usage or I/O error (including a malformed baseline).
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/lint/baseline.h"
+#include "tools/lint/lint.h"
+#include "tools/lint/report.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kDefaultScanDirs[] = {"src", "bench", "tests", "tools",
+                                            "examples"};
+constexpr const char* kAlwaysExcluded = "tests/lint/fixtures";
+
+void PrintUsage(std::ostream& os) {
+  os << "usage: cxl_lint [--root=DIR] [--baseline=FILE] "
+        "[--write-baseline=FILE]\n"
+        "                [--json] [--json-out=FILE] [--exclude=SUBSTR]...\n"
+        "                [--list-rules] [paths...]\n"
+        "\n"
+        "Token-level determinism & sim-correctness linter. Default scan set: "
+        "src/, bench/,\n"
+        "tests/, tools/, examples/ under --root "
+        "(tests/lint/fixtures/ always excluded).\n"
+        "Exit: 0 clean, 1 findings, 2 usage/IO error.\n";
+}
+
+bool HasSuffix(const std::string& s, const char* suffix) {
+  size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+std::string ToRelative(const fs::path& file, const fs::path& root) {
+  std::error_code ec;
+  fs::path rel = fs::relative(file, root, ec);
+  std::string out = (ec || rel.empty()) ? file.generic_string() : rel.generic_string();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  std::string baseline_path;
+  std::string write_baseline_path;
+  std::string json_out_path;
+  bool json = false;
+  bool list_rules = false;
+  std::vector<std::string> excludes = {kAlwaysExcluded};
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value_of = [&arg](const char* flag) {
+      return arg.substr(std::strlen(flag));
+    };
+    if (arg.rfind("--root=", 0) == 0) {
+      root = value_of("--root=");
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_path = value_of("--baseline=");
+    } else if (arg.rfind("--write-baseline=", 0) == 0) {
+      write_baseline_path = value_of("--write-baseline=");
+    } else if (arg.rfind("--json-out=", 0) == 0) {
+      json_out_path = value_of("--json-out=");
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg.rfind("--exclude=", 0) == 0) {
+      excludes.push_back(value_of("--exclude="));
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage(std::cout);
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "error: unknown flag '" << arg << "'\n";
+      PrintUsage(std::cerr);
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  if (list_rules) {
+    for (const cxl::lint::RuleInfo& r : cxl::lint::RuleCatalogue()) {
+      std::cout << r.id << "  " << r.name << "\n    " << r.summary << "\n";
+    }
+    return 0;
+  }
+
+  // Collect the file set.
+  std::vector<fs::path> scan_roots;
+  if (paths.empty()) {
+    for (const char* d : kDefaultScanDirs) {
+      fs::path p = root / d;
+      if (fs::exists(p)) {
+        scan_roots.push_back(p);
+      }
+    }
+  } else {
+    for (const std::string& p : paths) {
+      fs::path abs = fs::path(p).is_absolute() ? fs::path(p) : root / p;
+      if (!fs::exists(abs)) {
+        std::cerr << "error: no such path: " << p << '\n';
+        return 2;
+      }
+      scan_roots.push_back(abs);
+    }
+  }
+
+  std::vector<fs::path> files;
+  for (const fs::path& sr : scan_roots) {
+    if (fs::is_regular_file(sr)) {
+      files.push_back(sr);
+      continue;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(sr)) {
+      if (!entry.is_regular_file()) {
+        continue;
+      }
+      std::string name = entry.path().filename().string();
+      if (!(HasSuffix(name, ".cc") || HasSuffix(name, ".h") ||
+            HasSuffix(name, ".cpp") || HasSuffix(name, ".hpp"))) {
+        continue;
+      }
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  cxl::lint::Baseline baseline;
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    if (!in) {
+      std::cerr << "error: cannot read baseline " << baseline_path << '\n';
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::string error;
+    if (!baseline.Parse(text.str(), &error)) {
+      std::cerr << "error: " << baseline_path << ": " << error << '\n';
+      return 2;
+    }
+  }
+
+  std::vector<cxl::lint::Finding> actionable;
+  std::vector<cxl::lint::Finding> all_findings;  // pre-baseline, for --write-baseline
+  cxl::lint::RunSummary summary;
+  for (const fs::path& file : files) {
+    std::string rel = ToRelative(file, root);
+    bool skip = false;
+    for (const std::string& ex : excludes) {
+      if (rel.find(ex) != std::string::npos) {
+        skip = true;
+        break;
+      }
+    }
+    if (skip) {
+      continue;
+    }
+    std::ifstream in(file);
+    if (!in) {
+      std::cerr << "error: cannot read " << file.string() << '\n';
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    cxl::lint::FileReport report = cxl::lint::LintText(rel, text.str());
+    ++summary.files_scanned;
+    summary.suppressed += report.suppressed;
+    for (cxl::lint::Finding& f : report.findings) {
+      all_findings.push_back(f);
+      if (baseline.Matches(f)) {
+        ++summary.baselined;
+      } else {
+        actionable.push_back(std::move(f));
+      }
+    }
+  }
+  summary.findings = static_cast<int>(actionable.size());
+
+  if (!write_baseline_path.empty()) {
+    std::ofstream out(write_baseline_path);
+    if (!out) {
+      std::cerr << "error: cannot write " << write_baseline_path << '\n';
+      return 2;
+    }
+    out << cxl::lint::Baseline::Render(all_findings);
+    std::cerr << "cxl_lint: wrote " << all_findings.size()
+              << " baseline entries to " << write_baseline_path
+              << " — fill in the reasons\n";
+  }
+
+  if (!json_out_path.empty()) {
+    std::ofstream out(json_out_path);
+    if (!out) {
+      std::cerr << "error: cannot write " << json_out_path << '\n';
+      return 2;
+    }
+    cxl::lint::WriteJson(out, actionable, summary);
+  }
+  if (json) {
+    cxl::lint::WriteJson(std::cout, actionable, summary);
+  } else {
+    cxl::lint::WritePretty(std::cout, actionable, summary);
+  }
+
+  // Stale baseline entries are worth a warning (the hazard was fixed but the
+  // exemption lingers); they do not fail the gate.
+  for (const cxl::lint::BaselineEntry& e : baseline.UnmatchedEntries()) {
+    std::cerr << "cxl_lint: warning: stale baseline entry " << e.rule_id << " "
+              << e.path << " (no finding matches; remove it)\n";
+  }
+
+  return actionable.empty() ? 0 : 1;
+}

@@ -1,0 +1,91 @@
+#include "tools/lint/report.h"
+
+#include <cstdio>
+#include <ostream>
+
+namespace cxl::lint {
+namespace {
+
+const RuleInfo* FindRule(const std::string& id) {
+  for (const RuleInfo& r : RuleCatalogue()) {
+    if (id == r.id) {
+      return &r;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void WritePretty(std::ostream& os, const std::vector<Finding>& findings,
+                 const RunSummary& summary) {
+  for (const Finding& f : findings) {
+    const RuleInfo* rule = FindRule(f.rule_id);
+    os << f.path << ':' << f.line << ':' << f.column << ": " << f.rule_id
+       << " [" << (rule != nullptr ? rule->name : "?") << "] " << f.message
+       << '\n';
+    if (!f.snippet.empty()) {
+      os << "    " << f.snippet << '\n';
+    }
+  }
+  os << "cxl_lint: " << summary.findings << " finding"
+     << (summary.findings == 1 ? "" : "s") << " in " << summary.files_scanned
+     << " files (" << summary.suppressed << " suppressed, "
+     << summary.baselined << " baselined)\n";
+}
+
+void WriteJson(std::ostream& os, const std::vector<Finding>& findings,
+               const RunSummary& summary) {
+  os << "{\n  \"findings\": [";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    const RuleInfo* rule = FindRule(f.rule_id);
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"rule\": \"" << JsonEscape(f.rule_id) << "\", \"name\": \""
+       << JsonEscape(rule != nullptr ? rule->name : "?") << "\", \"path\": \""
+       << JsonEscape(f.path) << "\", \"line\": " << f.line
+       << ", \"column\": " << f.column << ", \"message\": \""
+       << JsonEscape(f.message) << "\", \"snippet\": \""
+       << JsonEscape(f.snippet) << "\"}";
+  }
+  os << (findings.empty() ? "],\n" : "\n  ],\n");
+  os << "  \"summary\": {\"files_scanned\": " << summary.files_scanned
+     << ", \"findings\": " << summary.findings
+     << ", \"suppressed\": " << summary.suppressed
+     << ", \"baselined\": " << summary.baselined << "}\n}\n";
+}
+
+}  // namespace cxl::lint

@@ -1,0 +1,38 @@
+// Pretty (human, compiler-style) and JSON reporters for cxl_lint findings.
+#ifndef CXL_EXPLORER_TOOLS_LINT_REPORT_H_
+#define CXL_EXPLORER_TOOLS_LINT_REPORT_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lint.h"
+
+namespace cxl::lint {
+
+struct RunSummary {
+  int files_scanned = 0;
+  int findings = 0;    // actionable (not suppressed, not baselined)
+  int suppressed = 0;  // silenced by inline allow() directives
+  int baselined = 0;   // matched a baseline entry
+};
+
+// Compiler-style lines a reviewer can click through, then a one-line summary:
+//   src/mem/foo.cc:12:5: CXL-D001 [no-wall-clock] message
+//       <snippet>
+void WritePretty(std::ostream& os, const std::vector<Finding>& findings,
+                 const RunSummary& summary);
+
+// Machine-readable report:
+//   {"findings": [{"rule", "name", "path", "line", "column", "message",
+//                  "snippet"}...],
+//    "summary": {"files_scanned", "findings", "suppressed", "baselined"}}
+void WriteJson(std::ostream& os, const std::vector<Finding>& findings,
+               const RunSummary& summary);
+
+// JSON string escaping (exposed for tests).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace cxl::lint
+
+#endif  // CXL_EXPLORER_TOOLS_LINT_REPORT_H_
