@@ -269,7 +269,7 @@ int main(int argc, char** argv) {
         .Cell((*a4_rows)[i].migrated_bytes / 1e9, 2);
   }
   a4.Print(std::cout);
-  if (!bench_telemetry.Write("bench_ablation")) {
+  if (!ctx.Write("bench_ablation")) {
     return 1;
   }
   return 0;

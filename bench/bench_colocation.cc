@@ -75,7 +75,7 @@ int main(int argc, char** argv) {
   std::cout << "Reading: once the streamer pushes the domain past its knee, shifting part of\n"
                "it to CXL cuts the KV tenant's latency (and the streamer loses nothing) —\n"
                "CXL as a load-balancing resource, not a second-class tier (§3.4).\n";
-  if (!bench_telemetry.Write("bench_colocation")) {
+  if (!ctx.Write("bench_colocation")) {
     return 1;
   }
   return 0;

@@ -211,7 +211,7 @@ int main(int argc, char** argv) {
                "remaining slowdown is queueing on the saturated backends, which the\n"
                "smaller batch bounds instead of letting every request inflate together.\n";
 
-  if (!bench_telemetry.Write("bench_fault_storms")) {
+  if (!ctx.Write("bench_fault_storms")) {
     return 1;
   }
   return 0;

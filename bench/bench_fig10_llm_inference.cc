@@ -87,7 +87,7 @@ int main(int argc, char** argv) {
     sink->GetGauge("llm.backend_bandwidth_plateau_gbps").Set(sim.SingleBackendBandwidthGBps(32));
     sink->GetGauge("llm.kvcache_floor_gbps").Set(sim.KvCacheBandwidthGBps(0.0));
   }
-  if (!bench_telemetry.Write("bench_fig10_llm_inference")) {
+  if (!ctx.Write("bench_fig10_llm_inference")) {
     return 1;
   }
   return 0;

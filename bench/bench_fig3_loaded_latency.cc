@@ -12,7 +12,6 @@
 
 int main(int argc, char** argv) {
   auto ctx = cxl::bench::Context::FromArgs(&argc, argv);
-  auto& bench_telemetry = ctx.telemetry();
 
   using namespace cxl;
   using mem::AccessMix;
@@ -88,7 +87,7 @@ int main(int argc, char** argv) {
       .Cell(mem::GetProfile(mem::MemoryPath::kRemoteCxl).PeakBandwidthGBps(AccessMix::Ratio(2, 1)), 1)
       .Cell("20.4");
   anchors.Print(std::cout);
-  if (!bench_telemetry.Write("bench_fig3_loaded_latency")) {
+  if (!ctx.Write("bench_fig3_loaded_latency")) {
     return 1;
   }
   return 0;

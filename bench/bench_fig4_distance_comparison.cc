@@ -10,7 +10,6 @@
 
 int main(int argc, char** argv) {
   auto ctx = cxl::bench::Context::FromArgs(&argc, argv);
-  auto& bench_telemetry = ctx.telemetry();
 
   using namespace cxl;
   using mem::AccessMix;
@@ -69,7 +68,7 @@ int main(int argc, char** argv) {
     ratios.Row().Cell(mem::MixLabel(mix)).Cell(cxl / local, 2).Cell(cxl / remote, 2);
   }
   ratios.Print(std::cout);
-  if (!bench_telemetry.Write("bench_fig4_distance_comparison")) {
+  if (!ctx.Write("bench_fig4_distance_comparison")) {
     return 1;
   }
   return 0;

@@ -148,7 +148,7 @@ int main(int argc, char** argv) {
                "there) and a bounded trickle of warm-tail churn persists at the rate limit —\n"
                "the cost the per-page stall accounting charges, and why Hot-Promote lands a\n"
                "few percent shy of MMEM instead of matching it exactly.\n";
-  if (!bench_telemetry.Write("bench_fig5_keydb_ycsb")) {
+  if (!ctx.Write("bench_fig5_keydb_ycsb")) {
     return 1;
   }
   return 0;

@@ -135,7 +135,7 @@ int main(int argc, char** argv) {
         .Cell(r.cxl_access_share, 2);
   }
   detail.Print(std::cout);
-  if (!bench_telemetry.Write("bench_fig7_spark_tpch")) {
+  if (!ctx.Write("bench_fig7_spark_tpch")) {
     return 1;
   }
   return 0;

@@ -62,7 +62,7 @@ int main(int argc, char** argv) {
     bench_telemetry.registry().GetGauge("fig8.throughput_penalty").Set(res->throughput_penalty);
     bench_telemetry.registry().GetGauge("fig8.revenue_improvement").Set(econ.RevenueImprovement());
   }
-  if (!bench_telemetry.Write("bench_fig8_vm_cxl_only")) {
+  if (!ctx.Write("bench_fig8_vm_cxl_only")) {
     return 1;
   }
   return 0;

@@ -8,7 +8,6 @@
 
 int main(int argc, char** argv) {
   auto ctx = cxl::bench::Context::FromArgs(&argc, argv);
-  auto& bench_telemetry = ctx.telemetry();
 
   using namespace cxl;
   using mem::AccessMix;
@@ -44,7 +43,7 @@ int main(int argc, char** argv) {
         .Cell(pt.latency_ns, 1);
   }
   loaded.Print(std::cout);
-  if (!bench_telemetry.Write("bench_fpga_vs_asic")) {
+  if (!ctx.Write("bench_fpga_vs_asic")) {
     return 1;
   }
   return 0;

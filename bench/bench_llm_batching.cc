@@ -10,7 +10,6 @@
 
 int main(int argc, char** argv) {
   auto ctx = cxl::bench::Context::FromArgs(&argc, argv);
-  auto& bench_telemetry = ctx.telemetry();
 
   using namespace cxl;
   using apps::llm::LlmInferenceSim;
@@ -67,7 +66,7 @@ int main(int argc, char** argv) {
         .Cell(i31.tokens_per_second, 1);
   }
   ctx_table.Print(std::cout);
-  if (!bench_telemetry.Write("bench_llm_batching")) {
+  if (!ctx.Write("bench_llm_batching")) {
     return 1;
   }
   return 0;

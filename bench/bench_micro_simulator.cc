@@ -119,14 +119,13 @@ BENCHMARK(BM_KeyDbExperimentEndToEnd)->Unit(benchmark::kMillisecond);
 // google-benchmark sees (and rejects) them.
 int main(int argc, char** argv) {
   auto ctx = cxl::bench::Context::FromArgs(&argc, argv);
-  auto& bench_telemetry = ctx.telemetry();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
     return 1;
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  if (!bench_telemetry.Write("bench_micro_simulator")) {
+  if (!ctx.Write("bench_micro_simulator")) {
     return 1;
   }
   return 0;

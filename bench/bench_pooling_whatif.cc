@@ -10,7 +10,6 @@
 
 int main(int argc, char** argv) {
   auto ctx = cxl::bench::Context::FromArgs(&argc, argv);
-  auto& bench_telemetry = ctx.telemetry();
 
   using namespace cxl;
 
@@ -80,7 +79,7 @@ int main(int argc, char** argv) {
               << FormatDouble(100.0 * with.TcoSaving(), 2) << "% once the pool amortizes "
               << FormatDouble(100.0 * saving, 1) << "% of the CXL capacity\n";
   }
-  if (!bench_telemetry.Write("bench_pooling_whatif")) {
+  if (!ctx.Write("bench_pooling_whatif")) {
     return 1;
   }
   return 0;

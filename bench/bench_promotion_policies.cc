@@ -167,7 +167,7 @@ int main(int argc, char** argv) {
   std::cout << "Reading: on the scan, TPP promotes everything it touches (no rate limit, no\n"
                "threshold) and the migration traffic + demotion churn eat into throughput —\n"
                "the paper's reason for using \"the well-tested kernel patches\" instead.\n";
-  if (!bench_telemetry.Write("bench_promotion_policies")) {
+  if (!ctx.Write("bench_promotion_policies")) {
     return 1;
   }
   return 0;

@@ -8,7 +8,6 @@
 
 int main(int argc, char** argv) {
   auto ctx = cxl::bench::Context::FromArgs(&argc, argv);
-  auto& bench_telemetry = ctx.telemetry();
 
   using namespace cxl;
   using apps::spark::BuildDag;
@@ -59,7 +58,7 @@ int main(int argc, char** argv) {
   gran.Print(std::cout);
   std::cout << "Reading: finer tasks smooth stragglers across the barrier — the standard\n"
                "Spark tuning advice, emerging from the same memory model as Fig. 7.\n";
-  if (!bench_telemetry.Write("bench_spark_dag")) {
+  if (!ctx.Write("bench_spark_dag")) {
     return 1;
   }
   return 0;

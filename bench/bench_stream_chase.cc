@@ -11,7 +11,6 @@
 
 int main(int argc, char** argv) {
   auto ctx = cxl::bench::Context::FromArgs(&argc, argv);
-  auto& bench_telemetry = ctx.telemetry();
 
   using namespace cxl;
 
@@ -63,7 +62,7 @@ int main(int argc, char** argv) {
     }
   }
   scale.Print(std::cout);
-  if (!bench_telemetry.Write("bench_stream_chase")) {
+  if (!ctx.Write("bench_stream_chase")) {
     return 1;
   }
   return 0;

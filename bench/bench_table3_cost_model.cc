@@ -10,7 +10,6 @@
 
 int main(int argc, char** argv) {
   auto ctx = cxl::bench::Context::FromArgs(&argc, argv);
-  auto& bench_telemetry = ctx.telemetry();
 
   using namespace cxl;
   using cost::AbstractCostModel;
@@ -96,7 +95,7 @@ int main(int argc, char** argv) {
   AbstractCostModel measured(CostModelParams{1.90, 1.45, 2.0, 1.1});
   std::cout << "server ratio: " << FormatDouble(100.0 * measured.ServerRatio(), 1)
             << "%, TCO saving: " << FormatDouble(100.0 * measured.TcoSaving(), 1) << "%\n";
-  if (!bench_telemetry.Write("bench_table3_cost_model")) {
+  if (!ctx.Write("bench_table3_cost_model")) {
     return 1;
   }
   return 0;

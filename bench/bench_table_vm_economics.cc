@@ -7,7 +7,6 @@
 
 int main(int argc, char** argv) {
   auto ctx = cxl::bench::Context::FromArgs(&argc, argv);
-  auto& bench_telemetry = ctx.telemetry();
 
   using namespace cxl;
 
@@ -55,7 +54,7 @@ int main(int argc, char** argv) {
     disc.Row().Cell(100.0 * d, 1).Cell(100.0 * e.RevenueImprovement(), 2);
   }
   disc.Print(std::cout);
-  if (!bench_telemetry.Write("bench_table_vm_economics")) {
+  if (!ctx.Write("bench_table_vm_economics")) {
     return 1;
   }
   return 0;

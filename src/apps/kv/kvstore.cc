@@ -1,6 +1,7 @@
 #include "src/apps/kv/kvstore.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "src/util/rng.h"
 #include <cmath>
@@ -40,7 +41,17 @@ KvStore::KvStore(os::PageAllocator& allocator, os::MemoryRegion region,
                  const KvStoreConfig& config, uint64_t cached_records, os::TieredMemory* tiering)
     : allocator_(&allocator), region_(std::move(region)), config_(config),
       cached_records_(cached_records), initial_records_(config.record_count),
-      current_records_(config.record_count), tiering_(tiering) {
+      current_records_(config.record_count),
+      recency_window_(cached_records / 16),
+      slot_mod_(std::max<uint64_t>(cached_records, 1)),
+      records_per_page_(std::max<uint64_t>(1, allocator.page_bytes() / config.value_bytes)),
+      page_shift_((records_per_page_ & (records_per_page_ - 1)) == 0
+                      ? std::countr_zero(records_per_page_)
+                      : -1),
+      slot_fastmod_(slot_mod_),
+      page_fastmod_(std::max<uint64_t>(region_.page_count(), 1)),
+      has_pages_(!region_.pages().empty()),
+      tiering_(tiering) {
   if (config_.flash) {
     FlashTierConfig fc = config_.flash_config;
     fc.value_bytes = config_.value_bytes;
@@ -68,18 +79,19 @@ KvStore::OpCost KvStore::Access(const workload::YcsbOp& op) {
   if (op.type == workload::YcsbOp::Type::kInsert && op.key >= current_records_) {
     current_records_ = op.key + 1;
   }
-  const uint64_t recency_window = cached_records_ / 16;
   const bool cached =
-      op.key < cached_records_ || op.key + recency_window >= current_records_;
-  const uint64_t slot = op.key % std::max<uint64_t>(cached_records_, 1);
-  const uint64_t records_per_page =
-      std::max<uint64_t>(1, allocator_->page_bytes() / config_.value_bytes);
-  const uint64_t band = slot / records_per_page;
-  const size_t page_index =
-      static_cast<size_t>(SplitMix64(band) % std::max<size_t>(region_.page_count(), 1));
+      op.key < cached_records_ || op.key + recency_window_ >= current_records_;
+  // Zipfian keys are overwhelmingly below the cached prefix, so the modulo
+  // is almost always the identity — branch around the reduction, and when
+  // it is needed use the divide-free exact form. Records-per-page is a
+  // power of two for every config in the repo, so the band divide is a
+  // shift (the divide stays as the general-case fallback).
+  const uint64_t slot = op.key < slot_mod_ ? op.key : slot_fastmod_(op.key);
+  const uint64_t band = page_shift_ >= 0 ? slot >> page_shift_ : slot / records_per_page_;
+  const size_t page_index = static_cast<size_t>(page_fastmod_(SplitMix64(band)));
   const os::PageId page = region_.PageAtIndex(page_index);
-  cost.node = region_.pages().empty() ? -1 : allocator_->NodeOf(page);
-  cost.page = region_.pages().empty() ? os::kInvalidPage : page;
+  cost.node = has_pages_ ? allocator_->NodeOf(page) : -1;
+  cost.page = has_pages_ ? page : os::kInvalidPage;
 
   if (tiering_ != nullptr) {
     tiering_->RecordAccess(page, static_cast<uint64_t>(cost.mem_lines));

@@ -22,6 +22,7 @@
 #include "src/os/page_allocator.h"
 #include "src/os/region.h"
 #include "src/os/tiering.h"
+#include "src/util/fastmod.h"
 #include "src/util/status.h"
 #include "src/workload/ycsb.h"
 
@@ -98,6 +99,15 @@ class KvStore {
   uint64_t cached_records_;   // Hottest records resident in memory.
   uint64_t initial_records_;  // Record count at creation (inserts append past it).
   uint64_t current_records_;  // Highest key seen + 1 (grows with inserts).
+  // Access() invariants, hoisted out of the per-op path (region size,
+  // page geometry and the cached prefix are fixed at construction).
+  uint64_t recency_window_;   // cached_records / 16.
+  uint64_t slot_mod_;         // max(cached_records, 1).
+  uint64_t records_per_page_; // max(1, page_bytes / value_bytes).
+  int page_shift_;            // log2(records_per_page_), or -1 if not a power of two.
+  FastMod64 slot_fastmod_;    // x % slot_mod_ without a hardware divide.
+  FastMod64 page_fastmod_;    // x % max(region page count, 1), likewise.
+  bool has_pages_;            // region has at least one page.
   os::TieredMemory* tiering_;
   std::optional<FlashTier> flash_;
 };

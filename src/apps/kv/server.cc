@@ -26,7 +26,8 @@ KvServerSim::KvServerSim(const topology::Platform& platform, KvStore& store,
       tiering_(tiering),
       telemetry_(telemetry),
       faults_(faults),
-      rng_(config.seed) {
+      rng_(config.seed),
+      traffic_(platform) {
   if (faults_ != nullptr && faults_->enabled()) {
     const double shed_fraction = faults_->tunables().shed_fraction;
     shed_every_ = shed_fraction > 0.0
@@ -139,15 +140,18 @@ void KvServerSim::RefreshContention(double epoch_dt_ns) {
   if (faults_ != nullptr) {
     faults_->AdvanceTo(events_.Now() / 1e9);
   }
-  topology::TrafficModel traffic(platform_);
+  epoch_arena_.Reset();
+  traffic_.ClearTraffic();
   const AccessMix mix{1.0 - workload_.WriteFraction(), true};
 
-  std::vector<topology::TrafficModel::FlowId> node_flow(platform_.nodes().size(), -1);
+  ArenaVector<topology::TrafficModel::FlowId> node_flow{
+      ArenaAllocator<topology::TrafficModel::FlowId>(&epoch_arena_)};
+  node_flow.assign(platform_.nodes().size(), -1);
   for (const auto& n : platform_.nodes()) {
     const double gbps = epoch_node_bytes_[static_cast<size_t>(n.id)] / epoch_dt_ns;
     if (gbps > 0.0) {
       node_flow[static_cast<size_t>(n.id)] =
-          traffic.AddMemoryTraffic(config_.cpu_socket, n.id, mix, gbps);
+          traffic_.AddMemoryTraffic(config_.cpu_socket, n.id, mix, gbps);
     }
   }
   // Migration traffic from the previous daemon tick: a read stream on the
@@ -157,9 +161,9 @@ void KvServerSim::RefreshContention(double epoch_dt_ns) {
     const double mig_gbps = epoch_migrated_bytes_ / epoch_dt_ns;
     for (const auto& n : platform_.nodes()) {
       const bool is_cxl = n.kind == topology::NodeKind::kCxl;
-      traffic.AddMemoryTraffic(config_.cpu_socket, n.id,
-                               is_cxl ? AccessMix::ReadOnly() : AccessMix::WriteOnly(),
-                               mig_gbps / static_cast<double>(platform_.nodes().size()));
+      traffic_.AddMemoryTraffic(config_.cpu_socket, n.id,
+                                is_cxl ? AccessMix::ReadOnly() : AccessMix::WriteOnly(),
+                                mig_gbps / static_cast<double>(platform_.nodes().size()));
     }
   }
 
@@ -167,13 +171,18 @@ void KvServerSim::RefreshContention(double epoch_dt_ns) {
   const double ssd_read_gbps = epoch_ssd_read_bytes_ / epoch_dt_ns;
   const double ssd_write_gbps = epoch_ssd_write_bytes_ / epoch_dt_ns;
   if (ssd_read_gbps > 0.0) {
-    ssd_read_flow = traffic.AddSsdTraffic(AccessMix::ReadOnly(), ssd_read_gbps);
+    ssd_read_flow = traffic_.AddSsdTraffic(AccessMix::ReadOnly(), ssd_read_gbps);
   }
   if (ssd_write_gbps > 0.0) {
-    traffic.AddSsdTraffic(AccessMix::WriteOnly(), ssd_write_gbps);
+    traffic_.AddSsdTraffic(AccessMix::WriteOnly(), ssd_write_gbps);
   }
 
-  const auto sol = traffic.Solve();
+  topology::TrafficModel::Solution sol;
+  {
+    const auto timer =
+        telemetry::EpochProfiler::Time(config_.profiler, telemetry::EpochProfiler::kSolver);
+    sol = traffic_.Solve();
+  }
   for (const auto& n : platform_.nodes()) {
     const auto flow = node_flow[static_cast<size_t>(n.id)];
     if (flow >= 0) {
@@ -229,24 +238,19 @@ void KvServerSim::RefreshContention(double epoch_dt_ns) {
   }
 
   if (telemetry_ != nullptr) {
+    const auto timer =
+        telemetry::EpochProfiler::Time(config_.profiler, telemetry::EpochProfiler::kTelemetry);
     const double t_ms = sample.end_ms;
     const auto snap = topology::TakePcmSnapshot(platform_, sol);
-    topology::SamplePcmSnapshot(telemetry_->timeline(), t_ms, snap);
+    if (!pcm_handles_.attached) {
+      pcm_handles_ = topology::AttachPcmTelemetry(*telemetry_, snap);
+      kv_kops_series_ = &telemetry_->timeline().Series("kv.kops");
+    }
+    topology::SamplePcmSnapshot(pcm_handles_, t_ms, snap);
     // Per-path bandwidth gauges: the latest epoch wins, and the run ends in
     // steady state, so these read like the final pcm-memory screen.
-    for (const auto& s : snap.sockets) {
-      telemetry_->GetGauge("pcm.skt" + std::to_string(s.socket) + ".dram_gbps")
-          .Set(s.dram_read_write_gbps);
-    }
-    for (size_t i = 0; i < snap.upi.size(); ++i) {
-      telemetry_->GetGauge("pcm.upi" + std::to_string(i) + ".gbps").Set(snap.upi[i].achieved_gbps);
-    }
-    for (size_t i = 0; i < snap.cxl_cards.size(); ++i) {
-      telemetry_->GetGauge("pcm.cxl" + std::to_string(i) + ".gbps")
-          .Set(snap.cxl_cards[i].achieved_gbps);
-    }
-    telemetry_->GetGauge("pcm.max_upi_utilization").Set(snap.MaxUpiUtilization());
-    telemetry_->timeline().Sample("kv.kops", t_ms, sample.kops);
+    topology::SetPcmGauges(pcm_handles_, snap);
+    kv_kops_series_->Sample(t_ms, sample.kops);
     telemetry_->trace().Span(kv_track_, "epoch " + std::to_string(epoch_index_),
                              t_ms - epoch_dt_ns / 1e6, epoch_dt_ns / 1e6, {{"kops", sample.kops}});
   }
@@ -255,6 +259,8 @@ void KvServerSim::RefreshContention(double epoch_dt_ns) {
   // Promotion daemon runs on the same cadence.
   migration_stall_ns_per_op_ = 0.0;
   if (tiering_ != nullptr) {
+    const auto timer =
+        telemetry::EpochProfiler::Time(config_.profiler, telemetry::EpochProfiler::kScan);
     const auto tick = tiering_->Tick(dt_sec);
     epoch_migrated_bytes_ = tick.migrated_bytes;
     result_.migrated_bytes += tick.migrated_bytes;
@@ -303,6 +309,28 @@ void KvServerSim::Dispatch() {
   }
 }
 
+void KvServerSim::FlushLatencyBatch() {
+  if (epoch_latency_us_.empty()) {
+    return;
+  }
+  // Completion order throughout: each histogram sees the exact Record
+  // sequence per-op recording produced, so the (order-sensitive) running
+  // sums match bit for bit.
+  result_.all_latency_us.RecordBatch(epoch_latency_us_.data(), epoch_latency_us_.size());
+  for (int is_write = 0; is_write < 2; ++is_write) {
+    latency_flush_scratch_.clear();
+    for (size_t i = 0; i < epoch_latency_us_.size(); ++i) {
+      if (epoch_latency_is_write_[i] == is_write) {
+        latency_flush_scratch_.push_back(epoch_latency_us_[i]);
+      }
+    }
+    Histogram& h = is_write ? result_.update_latency_us : result_.read_latency_us;
+    h.RecordBatch(latency_flush_scratch_.data(), latency_flush_scratch_.size());
+  }
+  epoch_latency_us_.clear();
+  epoch_latency_is_write_.clear();
+}
+
 void KvServerSim::OnComplete(double submit_time, bool is_write) {
   ++free_threads_;
   ++completed_;
@@ -312,14 +340,11 @@ void KvServerSim::OnComplete(double submit_time, bool is_write) {
       measure_start_ns_ = events_.Now();
     }
     ++measured_ops_;
-    result_.all_latency_us.Record(latency_us);
-    if (is_write) {
-      result_.update_latency_us.Record(latency_us);
-    } else {
-      result_.read_latency_us.Record(latency_us);
-    }
+    epoch_latency_us_.push_back(latency_us);
+    epoch_latency_is_write_.push_back(is_write ? 1 : 0);
   }
   if (completed_ % config_.epoch_ops == 0) {
+    FlushLatencyBatch();
     RefreshContention(events_.Now() - epoch_start_ns_);
     epoch_start_ns_ = events_.Now();
   }
@@ -332,6 +357,7 @@ KvServerSim::Result KvServerSim::Run() {
     SubmitOne();
   }
   events_.Run();
+  FlushLatencyBatch();  // Tail of a run whose total_ops is not epoch-aligned.
   const double measured_ns = events_.Now() - measure_start_ns_;
   if (measured_ns > 0.0 && measured_ops_ > 1) {
     result_.throughput_kops = static_cast<double>(measured_ops_) / measured_ns * 1e6;

@@ -18,14 +18,16 @@
 #include <cstdint>
 #include <deque>
 #include <vector>
-#include <vector>
 
 #include "src/apps/kv/kvstore.h"
 #include "src/fault/fault.h"
 #include "src/os/tiering.h"
 #include "src/sim/event_queue.h"
+#include "src/telemetry/epoch_profiler.h"
 #include "src/telemetry/metrics.h"
+#include "src/topology/pcm.h"
 #include "src/topology/platform.h"
+#include "src/util/arena.h"
 #include "src/util/histogram.h"
 #include "src/util/rng.h"
 #include "src/workload/ycsb.h"
@@ -45,6 +47,9 @@ struct KvServerConfig {
   uint64_t seed = 1;
   // CPU socket the server threads are pinned to.
   int cpu_socket = 0;
+  // Optional per-phase wall-clock profiler (nullable; see --profile-epochs).
+  // Observational only: attaching it must not change simulation results.
+  telemetry::EpochProfiler* profiler = nullptr;
 };
 
 class KvServerSim {
@@ -113,6 +118,9 @@ class KvServerSim {
   double FaultLatencyFactor(topology::NodeId node) const;
   // Refreshes loaded latencies from the traffic measured in the last epoch.
   void RefreshContention(double epoch_dt_ns);
+  // Drains the epoch latency buffer into the result histograms, in
+  // completion order (see OnComplete).
+  void FlushLatencyBatch();
   void Dispatch();
   void OnComplete(double submit_time, bool is_write);
   void SubmitOne();
@@ -142,12 +150,31 @@ class KvServerSim {
   // shootdowns), amortized over the next epoch's operations.
   double migration_stall_ns_per_op_ = 0.0;
 
+  // Persistent traffic model: resources (and their name strings) are built
+  // once; epochs only ClearTraffic() and re-add flows. Same add order as a
+  // fresh model, so flow ids and solver results are unchanged.
+  topology::TrafficModel traffic_;
+  // Per-epoch transients (the node->flow map) bump-allocate here; Reset()
+  // at each RefreshContention recycles the blocks.
+  Arena epoch_arena_;
+  // Cached pcm series/gauge handles + kv.kops series, attached lazily at
+  // the first telemetry epoch (a sink that sees no epoch registers nothing).
+  topology::PcmTelemetryHandles pcm_handles_;
+  telemetry::TimeSeries* kv_kops_series_ = nullptr;
+
   // Epoch accumulators.
   std::vector<double> epoch_node_bytes_;
   double epoch_ssd_read_bytes_ = 0.0;
   double epoch_ssd_write_bytes_ = 0.0;
   double epoch_start_ns_ = 0.0;
   double epoch_migrated_bytes_ = 0.0;  // Charged next epoch.
+
+  // Measured latencies buffered per epoch in completion order and flushed
+  // into the result histograms in one batch (identical Record order, so
+  // snapshots are bit-identical to per-op recording).
+  std::vector<double> epoch_latency_us_;
+  std::vector<uint8_t> epoch_latency_is_write_;
+  std::vector<double> latency_flush_scratch_;
 
   Result result_;
   RunningStats service_stats_;

@@ -365,7 +365,7 @@ QueryResult SparkCluster::RunQuery(const QueryProfile& query) {
     std::vector<double> shares(platform_->nodes().size(), 0.0);
     double total_heat = 0.0;
     for (size_t i = 0; i < region_->page_count(); ++i) {
-      const os::Page& pg = allocator_->page(region_->PageAtIndex(i));
+      const auto pg = allocator_->page(region_->PageAtIndex(i));
       const double h = pg.heat + 0.01f;  // Floor: cold pages still get touched.
       shares[static_cast<size_t>(pg.node)] += h;
       total_heat += h;

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <vector>
 
 namespace cxl::bench {
@@ -49,6 +50,12 @@ Context Context::FromArgs(int* argc, char** argv) {
   int kept = 1;
   for (int i = 1; i < *argc; ++i) {
     std::string value;
+    if (std::strcmp(argv[i], "--profile-epochs") == 0) {
+      if (ctx.profiler_ == nullptr) {
+        ctx.profiler_ = std::make_unique<telemetry::EpochProfiler>();
+      }
+      continue;
+    }
     if (TakeFlag("--faults", &i, *argc, argv, &value)) {
       faults_spec = value;
       continue;
@@ -113,10 +120,20 @@ core::ExperimentEnv Context::Env(uint64_t seed) {
   env.seed = seed;
   env.jobs = jobs_;
   env.telemetry = sink();
+  env.profiler = profiler_.get();
   env.faults = faults_;
   env.fault_seed = fault_seed_;
   env.fault_tunables = fault_tunables_;
   return env;
+}
+
+bool Context::Write(const std::string& bench_name) {
+  if (profiler_ != nullptr) {
+    // Stderr so table output on stdout stays byte-identical with and
+    // without the flag (same contract as SweepStats::Summary).
+    std::cerr << bench_name << " " << profiler_->Report(profiler_->WallMsSinceBirth()) << "\n";
+  }
+  return telemetry_.Write(bench_name);
 }
 
 runner::SweepOptions Context::Sweep(uint64_t base_seed) const {

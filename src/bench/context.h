@@ -14,6 +14,9 @@
 //   --fault-seed N            fault injector seed (default 1)
 //   --fault-knob K=V          override a fault.* tunable (repeatable; keys
 //                             from fault::DeclareFaultKnobs)
+//   --profile-epochs          print a per-phase wall-clock breakdown of the
+//                             epoch hot path (solver/scan/telemetry/workload)
+//                             to stderr at Write(); stdout is unchanged
 //
 // All flags are stripped from argv. With none given the context is inert:
 // no telemetry sink, empty fault plan, stdout byte-identical to a bench
@@ -31,12 +34,14 @@
 #define CXL_EXPLORER_SRC_BENCH_CONTEXT_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "src/core/experiment.h"
 #include "src/fault/fault.h"
 #include "src/runner/sweep.h"
 #include "src/telemetry/bench_io.h"
+#include "src/telemetry/epoch_profiler.h"
 #include "src/util/knobs.h"
 
 namespace cxl::bench {
@@ -51,10 +56,15 @@ class Context {
   // Worker threads requested via --jobs/-j (0 = auto).
   int jobs() const { return jobs_; }
 
-  // Telemetry outputs (--metrics-out/--trace-out/--bench-json).
+  // Telemetry outputs (--metrics-out/--trace-out/--bench-json). Write() also
+  // prints the --profile-epochs breakdown to stderr when enabled.
   telemetry::BenchTelemetry& telemetry() { return telemetry_; }
   telemetry::MetricRegistry* sink() { return telemetry_.sink(); }
-  bool Write(const std::string& bench_name) { return telemetry_.Write(bench_name); }
+  bool Write(const std::string& bench_name);
+
+  // Epoch profiler (--profile-epochs), or nullptr when not requested.
+  telemetry::EpochProfiler* profiler() { return profiler_.get(); }
+  bool profile_epochs() const { return profiler_ != nullptr; }
 
   // Fault-injection surface (--faults/--fault-seed/--fault-knob).
   const fault::FaultPlan& faults() const { return faults_; }
@@ -73,6 +83,9 @@ class Context {
 
  private:
   int jobs_ = 0;
+  // Allocated when --profile-epochs is given (EpochProfiler holds atomics,
+  // so it lives behind a pointer to keep Context movable).
+  std::unique_ptr<telemetry::EpochProfiler> profiler_;
   telemetry::BenchTelemetry telemetry_;
   fault::FaultPlan faults_;
   uint64_t fault_seed_ = 1;

@@ -114,6 +114,7 @@ StatusOr<KeyDbExperimentResult> RunKeyDbExperiment(CapacityConfig config,
   server_cfg.total_ops = options.total_ops;
   server_cfg.warmup_ops = options.warmup_ops;
   server_cfg.seed = env.seed;
+  server_cfg.profiler = env.profiler;
 
   auto injector = MakeInjector(env, env.telemetry, env.fault_seed);
   KvServerSim sim(platform, *store, gen, server_cfg, tiering.get(), env.telemetry,
@@ -168,6 +169,7 @@ StatusOr<VmExperimentResult> RunVmCxlOnlyExperiment(KeyDbExperimentOptions optio
     server_cfg.total_ops = options.total_ops;
     server_cfg.warmup_ops = options.warmup_ops;
     server_cfg.seed = env.seed;
+    server_cfg.profiler = env.profiler;
 
     telemetry::MetricRegistry* sink =
         cell_telemetry.empty() ? nullptr : &cell_telemetry[static_cast<size_t>(cell)];

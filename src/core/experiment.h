@@ -16,6 +16,7 @@
 #include "src/apps/spark/query.h"
 #include "src/core/configs.h"
 #include "src/fault/fault.h"
+#include "src/telemetry/epoch_profiler.h"
 #include "src/telemetry/metrics.h"
 #include "src/util/histogram.h"
 #include "src/util/status.h"
@@ -42,6 +43,10 @@ struct ExperimentEnv {
   // by cell index afterwards. (RunVmCxlOnlyExperiment does this internally:
   // its two placements land under "mmem." / "cxl." prefixes.)
   telemetry::MetricRegistry* telemetry = nullptr;
+  // Optional per-phase wall-clock profiler (--profile-epochs). Shared across
+  // cells — its accumulators are atomic. Observational only: results and
+  // stdout are unchanged; the breakdown prints to stderr.
+  telemetry::EpochProfiler* profiler = nullptr;
   // Fault plan injected into the run (empty = healthy; the default). The
   // experiment constructs one fault::FaultInjector per simulation, seeded
   // from `fault_seed` (per-cell via runner::CellSeed in sweeps) — never from

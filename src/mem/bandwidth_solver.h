@@ -26,11 +26,13 @@
 #ifndef CXL_EXPLORER_SRC_MEM_BANDWIDTH_SOLVER_H_
 #define CXL_EXPLORER_SRC_MEM_BANDWIDTH_SOLVER_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "src/mem/access.h"
 #include "src/mem/profiles.h"
+#include "src/util/arena.h"
 
 namespace cxl::mem {
 
@@ -89,6 +91,17 @@ class BandwidthSolver {
 
   // Runs the allocation for the configured mode. The solver can be re-solved
   // after adding more flows; ClearFlows() resets flows but keeps resources.
+  //
+  // Warm-start cache: the solver memoizes its last (inputs, Solution) pair.
+  // A re-solve whose inputs match the cached ones — same mode, same
+  // resources, flows with identical profiles/mixes/patterns/paths, and
+  // offered loads within reuse_threshold() of the cached loads — returns the
+  // cached Solution without re-running the fixed point. At the default
+  // threshold of 0.0 a hit requires *bitwise-equal* offered loads, so the
+  // returned Solution is exactly what a cold solve would produce
+  // (bit-identical by construction). Any structural change — a new resource
+  // or flow, a different path set, a mode switch — misses the cache and
+  // solves cold. Hits/misses are observable via solve_count()/cache_hits().
   Solution Solve() const;
 
   // Removes all flows (resources are kept so topologies can be reused).
@@ -102,6 +115,20 @@ class BandwidthSolver {
   // is set to "proportional" (the one-release escape hatch for diffing
   // against the legacy allocator).
   static SolverMode DefaultMode();
+
+  // Relative tolerance for reusing the cached solution when only offered
+  // loads changed: reuse when |new - cached| <= tol * max(1, |cached|) for
+  // every flow. The default 0.0 is the exact-reuse fast path (bit-identical
+  // results). A positive threshold trades bounded allocation error for
+  // skipped re-solves — opt-in, and never used by the deterministic sweep
+  // paths, whose outputs must stay byte-stable.
+  void set_reuse_threshold(double tol) { reuse_threshold_ = tol < 0.0 ? 0.0 : tol; }
+  double reuse_threshold() const { return reuse_threshold_; }
+
+  // Warm-start evidence: total Solve() calls and how many were served from
+  // the cache without re-running the allocation.
+  uint64_t solve_count() const { return solve_calls_; }
+  uint64_t cache_hits() const { return cache_hits_; }
 
   size_t flow_count() const { return flows_.size(); }
   size_t resource_count() const { return resources_.size(); }
@@ -135,21 +162,43 @@ class BandwidthSolver {
 
   // Mix-blended capacity of resource `r` when each flow runs at
   // `throughput[i]` (flows at zero weight fall back to the read-only peak).
-  double BlendedCapacity(size_t r, const std::vector<double>& throughput) const;
+  double BlendedCapacity(size_t r, const double* throughput) const;
 
   // Water-filling pass at fixed capacities: progressive filling with demand
-  // caps. Writes the per-flow allocation into `alloc`.
-  void WaterFill(const std::vector<double>& capacity, std::vector<double>* alloc) const;
+  // caps. Writes the per-flow allocation into `alloc` (length flow_count).
+  void WaterFill(const double* capacity, double* alloc) const;
 
   Solution SolveMaxMin() const;
   Solution SolveProportionalLegacy() const;
   // Fills flow latencies / resource aggregates shared by both modes.
-  void FinishSolution(const std::vector<double>& throughput, const std::vector<double>& capacity,
-                      Solution* sol) const;
+  void FinishSolution(const double* throughput, const double* capacity, Solution* sol) const;
+
+  // True when the current mode/resources/flows match the cached inputs in
+  // everything except offered loads.
+  bool CacheStructureMatches() const;
 
   std::vector<Resource> resources_;
   std::vector<Flow> flows_;
   SolverMode mode_ = DefaultMode();
+
+  // Working vectors (basis/capacity/alloc, water-filling headroom and active
+  // sets) bump-allocate here; Reset() at each cold solve recycles the
+  // blocks, so per-epoch re-solves do no heap allocation.
+  mutable Arena scratch_;
+
+  // Last solved inputs + solution (see Solve()). Mutable: memoization is
+  // invisible to callers of the const Solve().
+  struct CacheEntry {
+    bool valid = false;
+    SolverMode mode = SolverMode::kMaxMinFair;
+    std::vector<const PathProfile*> resource_profiles;
+    std::vector<Flow> flows;
+    Solution solution;
+  };
+  mutable CacheEntry cache_;
+  mutable uint64_t solve_calls_ = 0;
+  mutable uint64_t cache_hits_ = 0;
+  double reuse_threshold_ = 0.0;
 };
 
 // Convenience for the single-flow case (microbenchmarks): offered load on

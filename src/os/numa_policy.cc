@@ -67,6 +67,23 @@ topology::NodeId NumaPolicy::NodeForIndex(uint64_t index) const {
   return nodes_[0];
 }
 
+std::vector<topology::NodeId> NumaPolicy::PeriodPattern() const {
+  // A period that provably wraps every mode: the plain modes cycle after
+  // nodes_.size(); weighted interleave advances its per-tier round-robin by
+  // top_weight/low_weight per cycle, so after nodes_.size()*low_nodes_.size()
+  // cycles both tiers are back at their starting offsets. The sets involved
+  // are a handful of NUMA nodes, so the table stays tiny.
+  uint64_t period = nodes_.size();
+  if (mode_ == PolicyMode::kWeightedInterleave) {
+    period = static_cast<uint64_t>(top_weight_ + low_weight_) * nodes_.size() * low_nodes_.size();
+  }
+  std::vector<topology::NodeId> pattern(period);
+  for (uint64_t i = 0; i < period; ++i) {
+    pattern[i] = NodeForIndex(i);
+  }
+  return pattern;
+}
+
 double NumaPolicy::SteadyStateShare(topology::NodeId node) const {
   auto count_in = [&](const std::vector<topology::NodeId>& v) {
     return static_cast<double>(std::count(v.begin(), v.end(), node));

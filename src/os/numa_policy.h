@@ -48,6 +48,14 @@ class NumaPolicy {
   // availability fallback, which PageAllocator applies).
   topology::NodeId NodeForIndex(uint64_t index) const;
 
+  // The policy's placement sequence is periodic; this returns one full
+  // period, built by evaluating NodeForIndex, so walking the pattern with a
+  // wrapping cursor reproduces NodeForIndex(i) for every i. PageAllocator
+  // hoists this out of its per-page loop: a multi-million-page Allocate then
+  // pays one table lookup per page instead of an out-of-line call with two
+  // hardware divides.
+  std::vector<topology::NodeId> PeriodPattern() const;
+
   // Fraction of pages this policy steers to `node` in steady state.
   double SteadyStateShare(topology::NodeId node) const;
 

@@ -23,13 +23,32 @@ inline constexpr PageId kInvalidPage = std::numeric_limits<PageId>::max();
 // Default page granularity for placement bookkeeping.
 inline constexpr uint64_t kDefaultPageBytes = 2ull << 20;  // 2 MiB.
 
-// Per-page metadata.
+// Per-page metadata, as a value type. PageAllocator stores these fields
+// structure-of-arrays (packed node/heat/recency columns, so daemon scans
+// stream instead of striding); the struct remains the canonical record shape
+// for tests and documentation.
 struct Page {
   topology::NodeId node = -1;  // Current placement.
   float heat = 0.0f;           // Decayed (sampled) access count.
   // Daemon epoch of the most recent observed access; drives the
   // MRU-balancing promotion mode (§2.3's earlier NUMA-balancing patch).
   uint32_t last_decay_epoch = 0;
+};
+
+// Reference views over one page's columns, returned by PageAllocator::page().
+// Field names match `Page`, so `allocator.page(id).heat` reads identically
+// whether the backing store is AoS or SoA. Bind with `auto`; the views hold
+// references into the allocator's columns and must not outlive it.
+struct PageView {
+  topology::NodeId& node;
+  float& heat;
+  uint32_t& last_decay_epoch;
+};
+
+struct ConstPageView {
+  const topology::NodeId& node;
+  const float& heat;
+  const uint32_t& last_decay_epoch;
 };
 
 // vmstat-style counters exposed by the tiering subsystem, named after their

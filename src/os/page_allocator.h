@@ -5,6 +5,16 @@
 // full, kPreferred / kInterleave / kWeightedInterleave allocations fall back
 // to the node with the most free pages (same-socket DRAM first, then remote
 // DRAM, then CXL), while kBind allocations fail.
+//
+// Page metadata is stored structure-of-arrays: the placement, hotness and
+// recency columns are separate dense vectors indexed by PageId, so the
+// tiering daemon's promotion scan and decay pass stream over packed columns
+// instead of striding through per-page structs. Callers keep the record-like
+// view through page(), which returns a PageView of references into the
+// columns (same field names as the old `Page` struct, so call sites read
+// unchanged). Tier-wide scans stream the node column in id order (freed
+// slots have node < 0), which the prefetcher handles better than any
+// resident-id list; per-tier occupancy is derived from per-node counts.
 #ifndef CXL_EXPLORER_SRC_OS_PAGE_ALLOCATOR_H_
 #define CXL_EXPLORER_SRC_OS_PAGE_ALLOCATOR_H_
 
@@ -38,10 +48,34 @@ class PageAllocator {
   Status MovePage(PageId page, topology::NodeId target);
 
   // Current placement of a page.
-  topology::NodeId NodeOf(PageId page) const { return pages_[page].node; }
+  topology::NodeId NodeOf(PageId page) const { return node_[page]; }
 
-  Page& page(PageId id) { return pages_[id]; }
-  const Page& page(PageId id) const { return pages_[id]; }
+  // Mutable / const reference views over one page's metadata columns. Field
+  // names match the historical `Page` struct; bind with `auto` (the views
+  // are proxies of references, cheap to copy, never stored).
+  PageView page(PageId id) { return PageView{node_[id], heat_[id], last_epoch_[id]}; }
+  ConstPageView page(PageId id) const {
+    return ConstPageView{node_[id], heat_[id], last_epoch_[id]};
+  }
+
+  // Raw column access for streaming scans (daemon promotion scan, decay
+  // pass). Indexed by PageId over [0, page_count()); freed slots have
+  // node < 0.
+  const topology::NodeId* node_column() const { return node_.data(); }
+  const float* heat_column() const { return heat_.data(); }
+  float* mutable_heat_column() { return heat_.data(); }
+  const uint32_t* epoch_column() const { return last_epoch_.data(); }
+
+  // Pages currently resident on DRAM / CXL nodes (sums of per-node
+  // occupancy). The daemon's tier-wide scans stream the packed columns in id
+  // order and use these only to bound selection sizes.
+  uint64_t DramResidentCount() const;
+  uint64_t CxlResidentCount() const;
+
+  // Whether `node` is a DRAM (top-tier) node, from a cached per-node table.
+  bool IsDramNode(topology::NodeId node) const {
+    return node_is_dram_[static_cast<size_t>(node)] != 0;
+  }
 
   uint64_t page_bytes() const { return page_bytes_; }
   uint64_t FreePages(topology::NodeId node) const;
@@ -53,7 +87,7 @@ class PageAllocator {
   uint64_t allocated_pages() const { return allocated_; }
   // Total page slots ever created (freed slots included); PageIds are dense
   // in [0, page_count()), so daemons scan this range and skip node < 0.
-  uint64_t page_count() const { return pages_.size(); }
+  uint64_t page_count() const { return node_.size(); }
   const VmCounters& counters() const { return counters_; }
   VmCounters& mutable_counters() { return counters_; }
 
@@ -65,7 +99,11 @@ class PageAllocator {
 
   const topology::Platform& platform_;
   uint64_t page_bytes_;
-  std::vector<Page> pages_;          // Indexed by PageId; grows monotonically.
+  // Page metadata columns, indexed by PageId; grow monotonically.
+  std::vector<topology::NodeId> node_;
+  std::vector<float> heat_;
+  std::vector<uint32_t> last_epoch_;
+  std::vector<uint8_t> node_is_dram_;
   std::vector<PageId> free_list_;    // Recycled ids.
   std::vector<uint64_t> node_used_;  // Pages in use per node.
   std::vector<uint64_t> node_capacity_;

@@ -13,13 +13,13 @@ TieredMemory::TieredMemory(PageAllocator& allocator, TieringConfig config)
     : allocator_(allocator), config_(config), hot_threshold_(config.initial_hot_threshold) {}
 
 bool TieredMemory::IsTopTier(topology::NodeId node) const {
-  return allocator_.platform().node(node).kind == topology::NodeKind::kDram;
+  return allocator_.IsDramNode(node);
 }
 
 void TieredMemory::RecordAccess(PageId page, uint64_t accesses) {
   // Hint-fault sampling: only a fraction of real accesses are observed.
   const double sampled = static_cast<double>(accesses) * config_.hint_fault_sample_rate;
-  Page& p = allocator_.page(page);
+  auto p = allocator_.page(page);
   p.heat += static_cast<float>(sampled);
   p.last_decay_epoch = epoch_;  // Recency stamp for the MRU-balancing mode.
   allocator_.mutable_counters().numa_hint_faults += static_cast<uint64_t>(std::ceil(sampled));
@@ -33,6 +33,43 @@ uint64_t TieredMemory::LowTierPages() const {
     }
   }
   return total;
+}
+
+void TieredMemory::BuildColdPool(uint64_t k) {
+  // Select the `k` coldest DRAM-resident pages with a bounded max-heap
+  // streamed over the DRAM resident list and the packed heat column. The
+  // (heat, id) pairs form a total order (ids are unique), so the k-smallest
+  // set — and its ascending order after sort_heap — is exactly what a
+  // full-scan partial_sort would produce.
+  const float* heat_col = allocator_.heat_column();
+  const topology::NodeId* node_col = allocator_.node_column();
+  const uint64_t want = std::min<uint64_t>(k, allocator_.DramResidentCount());
+  cold_pool_.clear();
+  cold_pool_.reserve(want);
+  // Stream the packed node/heat columns in id order — sequential loads the
+  // prefetcher can follow, unlike chasing the unordered resident list. The
+  // k-smallest set is iteration-order independent, so the selection is
+  // unchanged.
+  const uint64_t page_count = allocator_.page_count();
+  for (PageId id = 0; id < page_count; ++id) {
+    if (node_col[id] < 0 || !allocator_.IsDramNode(node_col[id])) {
+      continue;
+    }
+    const std::pair<float, PageId> entry(heat_col[id], id);
+    if (cold_pool_.size() < want) {
+      cold_pool_.push_back(entry);
+      std::push_heap(cold_pool_.begin(), cold_pool_.end());
+    } else if (entry < cold_pool_.front()) {
+      std::pop_heap(cold_pool_.begin(), cold_pool_.end());
+      cold_pool_.back() = entry;
+      std::push_heap(cold_pool_.begin(), cold_pool_.end());
+    }
+  }
+  std::sort_heap(cold_pool_.begin(), cold_pool_.end());  // Coldest first.
+  cold_pool_next_ = 0;
+  cold_pool_valid_ = true;
+  cold_pool_floor_ =
+      cold_pool_.empty() ? std::pair<float, PageId>(0.0f, 0) : cold_pool_.back();
 }
 
 uint64_t TieredMemory::DemoteColdPages(uint64_t count) {
@@ -50,27 +87,31 @@ uint64_t TieredMemory::DemoteColdPages(uint64_t count) {
     return best;
   };
 
-  // Collect the coldest DRAM pages.
-  std::vector<std::pair<float, PageId>> cold;
-  const uint64_t page_count = allocator_.allocated_pages();
-  cold.reserve(page_count / 4);
-  for (PageId id = 0; id < allocator_.page_count(); ++id) {
-    const Page& p = allocator_.page(id);
-    if (p.node >= 0 && IsTopTier(p.node)) {
-      cold.emplace_back(p.heat, id);
-    }
+  // Heat is constant within a tick and every page the pool loses to a
+  // demotion leaves DRAM with it, so the pool's unconsumed prefix remains
+  // the exact k-smallest of the current DRAM set — one scan amortizes over
+  // the several demotion batches a tick issues while promoting. (Pages that
+  // *enter* DRAM mid-tick invalidate the pool if they would sort into it;
+  // see the promotion loop.) Built with headroom so the rescan is rare.
+  const uint64_t want =
+      std::min<uint64_t>(count, allocator_.DramResidentCount());
+  if (want == 0) {
+    return 0;
   }
-  const uint64_t want = std::min<uint64_t>(count, cold.size());
-  std::partial_sort(cold.begin(), cold.begin() + static_cast<long>(want), cold.end());
+  if (!cold_pool_valid_ || cold_pool_.size() - cold_pool_next_ < want) {
+    BuildColdPool(std::max<uint64_t>(4 * want, 4096));
+  }
 
   uint64_t demoted = 0;
-  for (uint64_t i = 0; i < want; ++i) {
+  for (uint64_t i = 0; i < want && cold_pool_next_ < cold_pool_.size(); ++i) {
+    const PageId id = cold_pool_[cold_pool_next_].second;
     const topology::NodeId target = pick_cxl();
     if (target < 0) {
       ++allocator_.mutable_counters().migrate_failed;
       break;
     }
-    if (allocator_.MovePage(cold[i].second, target).ok()) {
+    ++cold_pool_next_;
+    if (allocator_.MovePage(id, target).ok()) {
       ++demoted;
       ++allocator_.mutable_counters().pgdemote;
     }
@@ -81,6 +122,10 @@ uint64_t TieredMemory::DemoteColdPages(uint64_t count) {
 TieredMemory::TickResult TieredMemory::Tick(double dt_seconds) {
   TickResult result;
   result.hot_threshold = hot_threshold_;
+
+  // Heat changed since the previous tick (decay, sampled accesses), so last
+  // tick's cold pool no longer reflects the (heat, id) order.
+  cold_pool_valid_ = false;
 
   // Degraded-path gates. Both branches leave page state untouched: a wedged
   // daemon thread neither scans nor decays, and a backed-off daemon sits out
@@ -109,6 +154,10 @@ TieredMemory::TickResult TieredMemory::Tick(double dt_seconds) {
   const auto& platform = allocator_.platform();
   const double page_bytes = static_cast<double>(allocator_.page_bytes());
 
+  // All of this tick's transient lists live in the arena; recycling the
+  // blocks here keeps steady-state ticks heap-free.
+  tick_arena_.Reset();
+
   // Promotion budget from the rate limit (MB/s, decimal, as in the kernel).
   // TPP predates the rate-limit mechanism: it promotes unboundedly.
   const double budget_bytes = config_.promote_rate_limit_mbps * 1e6 * dt_seconds;
@@ -122,13 +171,52 @@ TieredMemory::TickResult TieredMemory::Tick(double dt_seconds) {
   const auto quarantined = [this](PageId id) {
     return !quarantined_.empty() && quarantined_.count(id) != 0;
   };
-  std::vector<std::pair<float, PageId>> hot;
+  const float* heat_col = allocator_.heat_column();
+  ArenaVector<std::pair<float, PageId>> hot{
+      ArenaAllocator<std::pair<float, PageId>>(&tick_arena_)};
   if (config_.mode == PromotionMode::kHotPageSelection) {
-    for (PageId id = 0; id < allocator_.page_count(); ++id) {
-      const Page& p = allocator_.page(id);
-      if (p.node >= 0 && !IsTopTier(p.node) && p.heat >= hot_threshold_ && !quarantined(id)) {
-        hot.emplace_back(p.heat, id);
+    // One sequential pass over the packed node/heat columns does double
+    // duty: CXL pages become promotion candidates, DRAM pages feed the
+    // demotion cold pool (the configs that tick the daemon over-commit
+    // DRAM, so the promotion loop below demotes almost every tick — eager
+    // building folds that scan into this one). With nothing resident on
+    // CXL there is nothing to promote and nothing the pool is for; skip.
+    const topology::NodeId* node_col = allocator_.node_column();
+    if (allocator_.CxlResidentCount() > 0) {
+      const uint64_t batch = std::clamp<uint64_t>(budget_pages / 8, 16, 4096);
+      const uint64_t pool_k = std::min<uint64_t>(std::max<uint64_t>(4 * batch, 4096),
+                                                 allocator_.DramResidentCount());
+      cold_pool_.clear();
+      cold_pool_.reserve(pool_k);
+      const uint64_t page_count = allocator_.page_count();
+      for (PageId id = 0; id < page_count; ++id) {
+        const topology::NodeId node = node_col[id];
+        if (node < 0) {
+          continue;
+        }
+        if (allocator_.IsDramNode(node)) {
+          const std::pair<float, PageId> entry(heat_col[id], id);
+          if (cold_pool_.size() < pool_k) {
+            cold_pool_.push_back(entry);
+            std::push_heap(cold_pool_.begin(), cold_pool_.end());
+          } else if (entry < cold_pool_.front()) {
+            std::pop_heap(cold_pool_.begin(), cold_pool_.end());
+            cold_pool_.back() = entry;
+            std::push_heap(cold_pool_.begin(), cold_pool_.end());
+          }
+          continue;
+        }
+        // NB: heat is compared against the double threshold (as before) —
+        // narrowing the threshold to float would flip borderline candidates.
+        if (heat_col[id] >= hot_threshold_ && !quarantined(id)) {
+          hot.emplace_back(heat_col[id], id);
+        }
       }
+      std::sort_heap(cold_pool_.begin(), cold_pool_.end());
+      cold_pool_next_ = 0;
+      cold_pool_valid_ = true;
+      cold_pool_floor_ =
+          cold_pool_.empty() ? std::pair<float, PageId>(0.0f, 0) : cold_pool_.back();
     }
     // Hottest first, page id breaking heat ties: the rate-limit budget
     // truncates this list, so tie order decides *which* pages promote —
@@ -142,21 +230,26 @@ TieredMemory::TickResult TieredMemory::Tick(double dt_seconds) {
     // scan order — no hotness ranking. This is precisely why the earlier
     // patch "may not accurately identify high-demand pages" (§2.3): the
     // budget is spent on recently-touched pages regardless of their heat.
+    // Promotion order is the scan order, so this mode keeps the id-ordered
+    // walk (streaming the packed columns).
+    const topology::NodeId* node_col = allocator_.node_column();
+    const uint32_t* epoch_col = allocator_.epoch_column();
     for (PageId id = 0; id < allocator_.page_count(); ++id) {
-      const Page& p = allocator_.page(id);
-      if (p.node >= 0 && !IsTopTier(p.node) && p.last_decay_epoch == epoch_ && p.heat > 0.0f &&
-          !quarantined(id)) {
-        hot.emplace_back(p.heat, id);
+      if (node_col[id] >= 0 && !allocator_.IsDramNode(node_col[id]) &&
+          epoch_col[id] == epoch_ && heat_col[id] > 0.0f && !quarantined(id)) {
+        hot.emplace_back(heat_col[id], id);
       }
     }
   } else {
     // TPP-like: second observed access promotes. With the default sampling
     // rate a page needs ~2 sampled hits; accumulated heat >= 2 approximates
-    // the active-list check. No ordering, no rate limiting (see below).
+    // the active-list check. No ordering, no rate limiting (see below);
+    // id-ordered walk for the same promotion order as before.
+    const topology::NodeId* node_col = allocator_.node_column();
     for (PageId id = 0; id < allocator_.page_count(); ++id) {
-      const Page& p = allocator_.page(id);
-      if (p.node >= 0 && !IsTopTier(p.node) && p.heat >= 2.0f && !quarantined(id)) {
-        hot.emplace_back(p.heat, id);
+      if (node_col[id] >= 0 && !allocator_.IsDramNode(node_col[id]) && heat_col[id] >= 2.0f &&
+          !quarantined(id)) {
+        hot.emplace_back(heat_col[id], id);
       }
     }
   }
@@ -200,6 +293,14 @@ TieredMemory::TickResult TieredMemory::Tick(double dt_seconds) {
       ++promoted;
       ++allocator_.mutable_counters().pgpromote_success;
       result.migrated_bytes += page_bytes;
+      // A page entering DRAM at or below the cold pool's floor belongs in
+      // the pool — drop it so the next demotion batch rescans. Promoted
+      // pages are hot by construction, so this almost never fires.
+      if (cold_pool_valid_ &&
+          (cold_pool_.empty() ||
+           std::pair<float, PageId>(heat_col[id], id) <= cold_pool_floor_)) {
+        cold_pool_valid_ = false;
+      }
     } else {
       promotion_failed = true;
     }
@@ -248,11 +349,17 @@ TieredMemory::TickResult TieredMemory::Tick(double dt_seconds) {
   }
   result.hot_threshold = hot_threshold_;
 
-  // Decay heat for the next interval.
-  for (PageId id = 0; id < allocator_.page_count(); ++id) {
-    Page& p = allocator_.page(id);
-    if (p.node >= 0) {
-      p.heat *= static_cast<float>(config_.heat_decay);
+  // Decay heat for the next interval: one sequential (vectorizable) sweep
+  // over the packed heat column instead of two random-order walks through
+  // the tier lists. The sweep also multiplies freed slots' stale values,
+  // which is unobservable: allocation resets heat to zero and every reader
+  // filters on node >= 0. Resident pages see the identical single multiply.
+  {
+    float* heat_mut = allocator_.mutable_heat_column();
+    const float decay = static_cast<float>(config_.heat_decay);
+    const uint64_t n = allocator_.page_count();
+    for (uint64_t id = 0; id < n; ++id) {
+      heat_mut[id] *= decay;
     }
   }
   ++epoch_;
@@ -264,6 +371,8 @@ TieredMemory::TickResult TieredMemory::Tick(double dt_seconds) {
 
 void TieredMemory::AttachTelemetry(telemetry::MetricRegistry* sink) {
   telemetry_ = sink;
+  // Cached handles point into the previous sink; re-resolve on first emit.
+  handles_ = TickTelemetryHandles{};
   if (telemetry_ != nullptr) {
     telemetry_track_ = telemetry_->trace().Track("promotion-daemon");
   }
@@ -278,7 +387,10 @@ bool TieredMemory::QuarantinePage(PageId page) {
   if (!quarantined_.insert(page).second) {
     return false;  // Already quarantined.
   }
-  Page& p = allocator_.page(page);
+  // The heat reset (and possible eviction below) perturbs the (heat, id)
+  // order the demotion pool was built on.
+  cold_pool_valid_ = false;
+  auto p = allocator_.page(page);
   p.heat = 0.0f;
   if (p.node >= 0 && IsTopTier(p.node)) {
     // Evict the poisoned page from the hot tier: it must not occupy DRAM
@@ -306,6 +418,25 @@ void TieredMemory::EmitTickTelemetry(const TickResult& result, double dt_seconds
   if (telemetry_ == nullptr || dt_seconds <= 0.0) {
     return;
   }
+  // Resolve all handles once, at the first emitting tick — every subsequent
+  // tick appends through the cached pointers with no string lookups. Lazy so
+  // a sink that never sees a tick registers nothing (as before).
+  if (!handles_.attached) {
+    telemetry::Timeline& timeline = telemetry_->timeline();
+    handles_.hot_threshold = &timeline.Series("tiering.hot_threshold");
+    handles_.candidates = &timeline.Series("tiering.candidates");
+    handles_.promote_mbps = &timeline.Series("tiering.promote_mbps");
+    handles_.demote_mbps = &timeline.Series("tiering.demote_mbps");
+    handles_.rate_limit_saturation = &timeline.Series("tiering.rate_limit_saturation");
+    handles_.low_tier_pages = &timeline.Series("tiering.low_tier_pages");
+    handles_.vmstat = AttachVmCounterSeries(timeline);
+    handles_.ticks = &telemetry_->GetCounter("tiering.ticks");
+    handles_.promoted_pages = &telemetry_->GetCounter("tiering.promoted_pages");
+    handles_.demoted_pages = &telemetry_->GetCounter("tiering.demoted_pages");
+    handles_.hot_threshold_gauge = &telemetry_->GetGauge("tiering.hot_threshold");
+    handles_.rate_limit_saturation_gauge = &telemetry_->GetGauge("tiering.rate_limit_saturation");
+    handles_.attached = true;
+  }
   const double t_ms = sim_seconds_ * 1e3;
   const double page_bytes = static_cast<double>(allocator_.page_bytes());
   const double promote_mbps =
@@ -313,25 +444,24 @@ void TieredMemory::EmitTickTelemetry(const TickResult& result, double dt_seconds
   const double demote_mbps =
       static_cast<double>(result.demoted_pages) * page_bytes / 1e6 / dt_seconds;
 
-  telemetry::Timeline& timeline = telemetry_->timeline();
-  timeline.Sample("tiering.hot_threshold", t_ms, result.hot_threshold);
-  timeline.Sample("tiering.candidates", t_ms, static_cast<double>(result.candidates));
-  timeline.Sample("tiering.promote_mbps", t_ms, promote_mbps);
-  timeline.Sample("tiering.demote_mbps", t_ms, demote_mbps);
+  handles_.hot_threshold->Sample(t_ms, result.hot_threshold);
+  handles_.candidates->Sample(t_ms, static_cast<double>(result.candidates));
+  handles_.promote_mbps->Sample(t_ms, promote_mbps);
+  handles_.demote_mbps->Sample(t_ms, demote_mbps);
   // How much of the kernel.numa_balancing_promote_rate_limit_MBps budget the
   // daemon consumed this tick (>= ~1.0 means it is promotion-rate bound —
   // the §4.2.2 thrashing precondition).
   const double saturation =
       config_.promote_rate_limit_mbps > 0.0 ? promote_mbps / config_.promote_rate_limit_mbps : 0.0;
-  timeline.Sample("tiering.rate_limit_saturation", t_ms, saturation);
-  timeline.Sample("tiering.low_tier_pages", t_ms, static_cast<double>(LowTierPages()));
-  SampleVmCounters(timeline, t_ms, allocator_.counters());
+  handles_.rate_limit_saturation->Sample(t_ms, saturation);
+  handles_.low_tier_pages->Sample(t_ms, static_cast<double>(LowTierPages()));
+  SampleVmCounters(handles_.vmstat, t_ms, allocator_.counters());
 
-  telemetry_->GetCounter("tiering.ticks").Increment();
-  telemetry_->GetCounter("tiering.promoted_pages").Add(result.promoted_pages);
-  telemetry_->GetCounter("tiering.demoted_pages").Add(result.demoted_pages);
-  telemetry_->GetGauge("tiering.hot_threshold").Set(result.hot_threshold);
-  telemetry_->GetGauge("tiering.rate_limit_saturation").Set(saturation);
+  handles_.ticks->Increment();
+  handles_.promoted_pages->Add(result.promoted_pages);
+  handles_.demoted_pages->Add(result.demoted_pages);
+  handles_.hot_threshold_gauge->Set(result.hot_threshold);
+  handles_.rate_limit_saturation_gauge->Set(saturation);
 
   telemetry_->trace().Span(
       telemetry_track_, "tick", t_ms - dt_seconds * 1e3, dt_seconds * 1e3,

@@ -22,7 +22,9 @@
 #include "src/fault/fault.h"
 #include "src/os/page.h"
 #include "src/os/page_allocator.h"
+#include "src/os/vmstat.h"
 #include "src/telemetry/metrics.h"
+#include "src/util/arena.h"
 #include "src/util/knobs.h"
 #include "src/topology/platform.h"
 
@@ -138,6 +140,10 @@ class TieredMemory {
   // pages actually demoted.
   uint64_t DemoteColdPages(uint64_t count);
 
+  // Rebuilds cold_pool_ with the `k` coldest DRAM-resident pages (ascending
+  // (heat, id) order) and resets the consumption cursor.
+  void BuildColdPool(uint64_t k);
+
   // Appends one tick's worth of telemetry (no-op without a sink).
   void EmitTickTelemetry(const TickResult& result, double dt_seconds);
 
@@ -146,10 +152,48 @@ class TieredMemory {
   double hot_threshold_;
   uint32_t epoch_ = 0;  // Scan interval counter (recency stamps).
 
+  // Per-tick transients (candidate lists, demotion selection heaps) bump-
+  // allocate here; Reset() at each Tick() entry recycles the blocks, so
+  // steady-state ticks do no heap allocation.
+  Arena tick_arena_;
+
+  // Demotion cold pool: the coldest DRAM pages in ascending (heat, id)
+  // order, built by one scan and consumed across the several DemoteColdPages
+  // calls a single Tick makes (heat is constant within a tick, so the
+  // remaining pool entries stay the exact k-smallest of the shrinking DRAM
+  // set). Invalidated at every tick start (decay/access change heat) and
+  // whenever a page enters DRAM whose (heat, id) sorts at or below the
+  // pool's floor — such a page would belong in the pool (cheap test, rare:
+  // promoted pages are hot by construction).
+  std::vector<std::pair<float, PageId>> cold_pool_;
+  size_t cold_pool_next_ = 0;
+  bool cold_pool_valid_ = false;
+  bool cold_pool_complete_ = false;  // Pool covered the whole DRAM set.
+  std::pair<float, PageId> cold_pool_floor_{0.0f, 0};
+
   // Telemetry (observational only).
   telemetry::MetricRegistry* telemetry_ = nullptr;
   telemetry::TraceBuffer::TrackId telemetry_track_ = 0;
   double sim_seconds_ = 0.0;  // Sum of Tick() dt_seconds.
+  // Cached metric/series handles, resolved lazily at the first emitting tick
+  // (so attaching a sink without ever ticking registers nothing, exactly as
+  // the by-name path behaved).
+  struct TickTelemetryHandles {
+    bool attached = false;
+    telemetry::TimeSeries* hot_threshold = nullptr;
+    telemetry::TimeSeries* candidates = nullptr;
+    telemetry::TimeSeries* promote_mbps = nullptr;
+    telemetry::TimeSeries* demote_mbps = nullptr;
+    telemetry::TimeSeries* rate_limit_saturation = nullptr;
+    telemetry::TimeSeries* low_tier_pages = nullptr;
+    VmCounterSeries vmstat;
+    telemetry::Counter* ticks = nullptr;
+    telemetry::Counter* promoted_pages = nullptr;
+    telemetry::Counter* demoted_pages = nullptr;
+    telemetry::Gauge* hot_threshold_gauge = nullptr;
+    telemetry::Gauge* rate_limit_saturation_gauge = nullptr;
+  };
+  TickTelemetryHandles handles_;
 
   // Fault handling (inert unless an enabled injector is attached).
   const fault::FaultInjector* faults_ = nullptr;

@@ -28,6 +28,22 @@ std::string VmstatReport(const PageAllocator& allocator);
 // /proc/vmstat to explain the Spark thrashing regression (§4.2.2).
 void SampleVmCounters(telemetry::Timeline& timeline, double t_ms, const VmCounters& counters);
 
+// Cached series handles for per-tick sampling: one name lookup per series at
+// attach time instead of eight string lookups per daemon tick. Handles stay
+// valid for the Timeline's lifetime (series are pointer-stable map nodes).
+struct VmCounterSeries {
+  telemetry::TimeSeries* pgalloc = nullptr;
+  telemetry::TimeSeries* pgfree = nullptr;
+  telemetry::TimeSeries* pgpromote_success = nullptr;
+  telemetry::TimeSeries* pgpromote_candidate = nullptr;
+  telemetry::TimeSeries* pgdemote = nullptr;
+  telemetry::TimeSeries* numa_hint_faults = nullptr;
+  telemetry::TimeSeries* migrate_failed = nullptr;
+  telemetry::TimeSeries* promote_rate_limited = nullptr;
+};
+VmCounterSeries AttachVmCounterSeries(telemetry::Timeline& timeline);
+void SampleVmCounters(const VmCounterSeries& series, double t_ms, const VmCounters& counters);
+
 }  // namespace cxl::os
 
 #endif  // CXL_EXPLORER_SRC_OS_VMSTAT_H_

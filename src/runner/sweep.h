@@ -115,15 +115,23 @@ auto RunSweep(const std::vector<Cell>& cells, Fn&& fn, const SweepOptions& optio
   // serial loop) orders all writes before the merge below.
   std::vector<std::optional<Result>> slots(n);
   std::vector<Status> statuses(n, Status::Ok());
-  std::vector<double> cell_ms(n, 0.0);
-  std::vector<double> cell_start_ms(n, 0.0);
+  std::vector<SweepStats::CellRecord> records(n);
 
   const auto sweep_start = Clock::now();
   auto run_cell = [&](size_t i) {
+    // The whole record — label copy included — is captured here, under the
+    // cell's own lifetime. Callers may hand labels backed by per-sweep
+    // scratch (an arena reset between sweeps, a reused buffer); deep-copying
+    // the characters before the cell body runs means the records stay valid
+    // however long the caller keeps the SweepStats.
+    SweepStats::CellRecord& record = records[i];
+    record.label = i < options.cell_labels.size()
+                       ? std::string(options.cell_labels[i].data(), options.cell_labels[i].size())
+                       : "cell" + std::to_string(i);
     const auto start = Clock::now();
-    cell_start_ms[i] = std::chrono::duration<double, std::milli>(start - sweep_start).count();
+    record.start_ms = std::chrono::duration<double, std::milli>(start - sweep_start).count();
     CellReturn cell_result = fn(cells[i], CellSeed(options.base_seed, i));
-    cell_ms[i] = std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+    record.ms = std::chrono::duration<double, std::milli>(Clock::now() - start).count();
     if (cell_result.ok()) {
       slots[i] = std::move(cell_result).value();
     } else {
@@ -149,18 +157,11 @@ auto RunSweep(const std::vector<Cell>& cells, Fn&& fn, const SweepOptions& optio
     stats->wall_ms = std::chrono::duration<double, std::milli>(Clock::now() - sweep_start).count();
     stats->serial_ms = 0.0;
     stats->max_cell_ms = 0.0;
-    stats->cell_records.clear();
-    stats->cell_records.reserve(n);
-    for (size_t i = 0; i < n; ++i) {
-      stats->serial_ms += cell_ms[i];
-      stats->max_cell_ms = std::max(stats->max_cell_ms, cell_ms[i]);
-      SweepStats::CellRecord record;
-      record.label = i < options.cell_labels.size() ? options.cell_labels[i]
-                                                    : "cell" + std::to_string(i);
-      record.start_ms = cell_start_ms[i];
-      record.ms = cell_ms[i];
-      stats->cell_records.push_back(std::move(record));
+    for (const SweepStats::CellRecord& record : records) {
+      stats->serial_ms += record.ms;
+      stats->max_cell_ms = std::max(stats->max_cell_ms, record.ms);
     }
+    stats->cell_records = std::move(records);
   }
 
   // First error by input order, independent of completion order.

@@ -1,5 +1,6 @@
 #include "src/sim/event_queue.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -7,18 +8,17 @@ namespace cxl::sim {
 
 void EventQueue::ScheduleAt(SimTime when, Callback cb) {
   assert(when >= now_ && "cannot schedule into the past");
-  heap_.push(Event{when, next_seq_++, std::move(cb)});
+  heap_.push_back(Event{when, next_seq_++, std::move(cb)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 bool EventQueue::Step() {
   if (heap_.empty()) {
     return false;
   }
-  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
-  // so copy the closure handle instead (shared closures are cheap enough for
-  // our event volumes).
-  Event ev = heap_.top();
-  heap_.pop();
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
   now_ = ev.time;
   ev.cb();
   return true;
@@ -34,7 +34,7 @@ uint64_t EventQueue::Run() {
 
 uint64_t EventQueue::RunUntil(SimTime until) {
   uint64_t executed = 0;
-  while (!heap_.empty() && heap_.top().time <= until) {
+  while (!heap_.empty() && heap_.front().time <= until) {
     Step();
     ++executed;
   }

@@ -1,0 +1,23 @@
+#include "src/telemetry/epoch_profiler.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace cxl::telemetry {
+
+std::string EpochProfiler::Report(double wall_ms) const {
+  const double solver_ms = SecondsIn(kSolver) * 1e3;
+  const double scan_ms = SecondsIn(kScan) * 1e3;
+  const double telemetry_ms = SecondsIn(kTelemetry) * 1e3;
+  const double workload_ms = std::max(0.0, wall_ms - solver_ms - scan_ms - telemetry_ms);
+  const auto pct = [wall_ms](double ms) { return wall_ms > 0.0 ? 100.0 * ms / wall_ms : 0.0; };
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "profile: wall=%.0fms solver=%.0fms (%.1f%%) scan=%.0fms (%.1f%%) "
+                "telemetry=%.0fms (%.1f%%) workload=%.0fms (%.1f%%)",
+                wall_ms, solver_ms, pct(solver_ms), scan_ms, pct(scan_ms), telemetry_ms,
+                pct(telemetry_ms), workload_ms, pct(workload_ms));
+  return buf;
+}
+
+}  // namespace cxl::telemetry

@@ -1,0 +1,95 @@
+// Per-phase wall-clock accounting for the epoch hot path.
+//
+// A sweep cell's epoch loop splits its time across four phases: the
+// bandwidth solver re-solve, the tiering daemon's page scans, telemetry
+// appends, and the workload itself (event-queue dispatch + service-time
+// arithmetic). The profiler accumulates the first three with RAII timers at
+// the call sites; "workload" is reported as the remainder of the measured
+// wall time, so the breakdown always sums to the total.
+//
+// Lives in src/telemetry because it reads the wall clock (the determinism
+// lint confines wall-clock use to telemetry/runner). Purely observational:
+// attaching a profiler must not change simulation results, only measure
+// them. Accumulators are relaxed atomics so cells running under --jobs N
+// can share one profiler; relaxed is enough because the report is read
+// after the sweep's join.
+#ifndef CXL_EXPLORER_SRC_TELEMETRY_EPOCH_PROFILER_H_
+#define CXL_EXPLORER_SRC_TELEMETRY_EPOCH_PROFILER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace cxl::telemetry {
+
+class EpochProfiler {
+ public:
+  enum Phase : int {
+    kSolver = 0,    // TrafficModel/BandwidthSolver re-solves.
+    kScan = 1,      // Tiering daemon ticks (candidate + demotion scans).
+    kTelemetry = 2, // Metric/series/trace appends on the epoch path.
+    kPhaseCount = 3,
+  };
+
+  // RAII phase timer. A null profiler makes it a no-op, so call sites can
+  // time unconditionally: `auto t = EpochProfiler::Time(profiler, kSolver);`.
+  class ScopedTimer {
+   public:
+    ScopedTimer(EpochProfiler* profiler, Phase phase)
+        : profiler_(profiler), phase_(phase),
+          start_(profiler != nullptr ? std::chrono::steady_clock::now()
+                                     : std::chrono::steady_clock::time_point{}) {}
+    ~ScopedTimer() {
+      if (profiler_ != nullptr) {
+        const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - start_)
+                            .count();
+        profiler_->AddNanos(phase_, static_cast<uint64_t>(ns < 0 ? 0 : ns));
+      }
+    }
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+   private:
+    EpochProfiler* profiler_;
+    Phase phase_;
+    std::chrono::steady_clock::time_point start_;
+  };
+
+  static ScopedTimer Time(EpochProfiler* profiler, Phase phase) {
+    return ScopedTimer(profiler, phase);
+  }
+
+  void AddNanos(Phase phase, uint64_t ns) {
+    nanos_[static_cast<size_t>(phase)].fetch_add(ns, std::memory_order_relaxed);
+  }
+
+  double SecondsIn(Phase phase) const {
+    return static_cast<double>(nanos_[static_cast<size_t>(phase)].load(std::memory_order_relaxed)) /
+           1e9;
+  }
+
+  // "profile: wall=...ms solver=...ms (x%) scan=... telemetry=... workload=..."
+  // where workload = wall - (solver + scan + telemetry), floored at zero.
+  // `wall_ms` is the caller's measured total (typically SweepStats::serial_ms
+  // so the breakdown is in per-cell terms, independent of --jobs).
+  std::string Report(double wall_ms) const;
+
+  // Wall milliseconds since construction — the default total for Report()
+  // when the caller has no tighter measurement (bench::Context uses this;
+  // under --jobs N the phase sums are cross-thread aggregates, so run with
+  // --jobs 1 for a clean single-threaded breakdown).
+  double WallMsSinceBirth() const {
+    return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - born_)
+        .count();
+  }
+
+ private:
+  std::atomic<uint64_t> nanos_[kPhaseCount] = {};
+  std::chrono::steady_clock::time_point born_ = std::chrono::steady_clock::now();
+};
+
+}  // namespace cxl::telemetry
+
+#endif  // CXL_EXPLORER_SRC_TELEMETRY_EPOCH_PROFILER_H_

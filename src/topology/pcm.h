@@ -13,6 +13,7 @@
 #include <ostream>
 #include <vector>
 
+#include "src/telemetry/metrics.h"
 #include "src/telemetry/timeline.h"
 #include "src/topology/platform.h"
 
@@ -47,6 +48,35 @@ void PrintPcmSnapshot(std::ostream& os, const PcmSnapshot& snapshot);
 // pcm.cxl<i>.gbps / .util. Sampled every contention epoch, these are the
 // bandwidth-over-time plots behind Fig. 10(b)(c) and the §3.2 UPI diagnosis.
 void SamplePcmSnapshot(telemetry::Timeline& timeline, double t_ms, const PcmSnapshot& snapshot);
+
+// Cached handles for per-epoch pcm sampling: the series and gauge names are
+// built (and looked up) once per run instead of once per epoch. Handles stay
+// valid for the registry's lifetime (series and gauges are pointer-stable).
+// The snapshot shape (socket/UPI/CXL-card counts) is fixed by the platform,
+// so one attach covers every later epoch.
+struct PcmTelemetryHandles {
+  bool attached = false;
+  // Parallel to PcmSnapshot::sockets / upi / cxl_cards.
+  std::vector<telemetry::TimeSeries*> socket_gbps;
+  std::vector<telemetry::TimeSeries*> socket_util;
+  std::vector<telemetry::TimeSeries*> upi_gbps;
+  std::vector<telemetry::TimeSeries*> upi_util;
+  std::vector<telemetry::TimeSeries*> cxl_gbps;
+  std::vector<telemetry::TimeSeries*> cxl_util;
+  // End-state gauges ("pcm.skt<i>.dram_gbps", "pcm.upi<i>.gbps",
+  // "pcm.cxl<i>.gbps", "pcm.max_upi_utilization").
+  std::vector<telemetry::Gauge*> socket_dram_gauge;
+  std::vector<telemetry::Gauge*> upi_gauge;
+  std::vector<telemetry::Gauge*> cxl_gauge;
+  telemetry::Gauge* max_upi_utilization = nullptr;
+};
+PcmTelemetryHandles AttachPcmTelemetry(telemetry::MetricRegistry& registry,
+                                       const PcmSnapshot& shape);
+// Same series, same order as the by-name SamplePcmSnapshot overload.
+void SamplePcmSnapshot(const PcmTelemetryHandles& handles, double t_ms,
+                       const PcmSnapshot& snapshot);
+// Sets the end-state gauges ("latest epoch wins" semantics).
+void SetPcmGauges(const PcmTelemetryHandles& handles, const PcmSnapshot& snapshot);
 
 }  // namespace cxl::topology
 

@@ -2,6 +2,10 @@
 
 #include <cassert>
 #include <cmath>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <utility>
 
 namespace cxl {
 
@@ -17,13 +21,48 @@ double ZetaIncremental(uint64_t from, uint64_t to, double theta, double base) {
   return z;
 }
 
+// Process-wide cache of zeta(n, theta) prefix sums. Every cell of a Fig. 5
+// style sweep builds a Zipfian over the same multi-million-key space, and the
+// O(n) zeta prefix dominated cell startup; with the cache the first
+// construction pays it and the rest reuse the stored checkpoint. Extending a
+// cached prefix runs the identical left-to-right summation the from-scratch
+// loop would, so cached and uncached constructions are bit-identical — which
+// also makes the result independent of which sweep thread primed the cache.
+// Keys pair the exact bit pattern of theta with n; values are zeta(n, theta).
+double CachedZeta(uint64_t n, double theta) {
+  static std::mutex mutex;
+  static std::map<std::pair<uint64_t, uint64_t>, double> cache;
+
+  uint64_t theta_bits = 0;
+  static_assert(sizeof(theta_bits) == sizeof(theta));
+  std::memcpy(&theta_bits, &theta, sizeof(theta_bits));
+
+  std::lock_guard<std::mutex> lock(mutex);
+  uint64_t from = 0;
+  double base = 0.0;
+  auto it = cache.upper_bound({theta_bits, n});
+  if (it != cache.begin()) {
+    --it;
+    if (it->first.first == theta_bits) {
+      from = it->first.second;
+      base = it->second;
+      if (from == n) {
+        return base;
+      }
+    }
+  }
+  const double z = ZetaIncremental(from, n, theta, base);
+  cache.emplace(std::make_pair(theta_bits, n), z);
+  return z;
+}
+
 }  // namespace
 
 ZipfianDistribution::ZipfianDistribution(uint64_t n, double theta) : n_(n), theta_(theta) {
   assert(n >= 1);
   assert(theta > 0.0 && theta < 1.0);
   zeta_two_ = ZetaIncremental(0, 2, theta_, 0.0);
-  zeta_n_ = ZetaIncremental(0, n_, theta_, 0.0);
+  zeta_n_ = CachedZeta(n_, theta_);
   Recompute();
 }
 

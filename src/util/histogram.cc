@@ -36,6 +36,16 @@ double Histogram::BucketUpperBound(int index) const {
 
 void Histogram::Record(double value) { RecordMany(value, 1); }
 
+void Histogram::RecordBatch(const double* values, size_t count) {
+  // Left-to-right, one sample at a time: the running sum_ must see the same
+  // addition order an unbatched producer would, or snapshots drift in the
+  // last ulps. The last-bucket cache still collapses the common runs of
+  // identical quantized latencies.
+  for (size_t i = 0; i < count; ++i) {
+    RecordMany(values[i], 1);
+  }
+}
+
 void Histogram::RecordMany(double value, uint64_t n) {
   if (n == 0) {
     return;

@@ -26,6 +26,13 @@ class Histogram {
   // Records `count` identical samples.
   void RecordMany(double value, uint64_t count);
 
+  // Records `count` samples in array order. Equivalent to calling Record on
+  // each element left to right — same buckets AND the same sum (double
+  // accumulation is order-sensitive), so a batched producer snapshots
+  // bit-identically to an unbatched one. The epoch paths buffer latencies
+  // and flush once per epoch through this.
+  void RecordBatch(const double* values, size_t count);
+
   // Merges another histogram with identical bucket layout.
   void Merge(const Histogram& other);
 

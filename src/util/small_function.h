@@ -1,0 +1,103 @@
+// Move-only callable wrapper with inline storage.
+//
+// The discrete-event kernel schedules millions of closures per cell; the
+// KeyDB completion lambdas capture ~24 bytes, which overflows libstdc++'s
+// 16-byte std::function SBO and costs one heap round-trip per simulated op.
+// SmallFunction stores captures up to InlineBytes in place (48 covers every
+// closure in the tree today) and only falls back to the heap beyond that, so
+// it is a drop-in replacement with the allocation removed.
+#ifndef CXL_EXPLORER_SRC_UTIL_SMALL_FUNCTION_H_
+#define CXL_EXPLORER_SRC_UTIL_SMALL_FUNCTION_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace cxl {
+
+template <size_t InlineBytes = 48>
+class SmallFunction {
+ public:
+  SmallFunction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, SmallFunction>>>
+  SmallFunction(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for std::function.
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= InlineBytes && alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      *reinterpret_cast<Fn**>(storage_) = new Fn(std::forward<F>(f));
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  SmallFunction(SmallFunction&& other) noexcept { MoveFrom(std::move(other)); }
+
+  SmallFunction& operator=(SmallFunction&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+
+  SmallFunction(const SmallFunction&) = delete;
+  SmallFunction& operator=(const SmallFunction&) = delete;
+
+  ~SmallFunction() { Destroy(); }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*move)(void* dst, void* src);
+    void (*destroy)(void*);
+  };
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps{
+      [](void* p) { (*std::launder(reinterpret_cast<Fn*>(p)))(); },
+      [](void* dst, void* src) {
+        Fn* s = std::launder(reinterpret_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(*s));
+        s->~Fn();
+      },
+      [](void* p) { std::launder(reinterpret_cast<Fn*>(p))->~Fn(); }};
+
+  template <typename Fn>
+  static constexpr Ops kHeapOps{
+      [](void* p) { (**reinterpret_cast<Fn**>(p))(); },
+      [](void* dst, void* src) {
+        *reinterpret_cast<Fn**>(dst) = *reinterpret_cast<Fn**>(src);
+      },
+      [](void* p) { delete *reinterpret_cast<Fn**>(p); }};
+
+  void MoveFrom(SmallFunction&& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->move(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  void Destroy() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[InlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace cxl
+
+#endif  // CXL_EXPLORER_SRC_UTIL_SMALL_FUNCTION_H_

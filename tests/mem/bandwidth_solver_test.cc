@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "src/mem/access.h"
 #include "src/mem/profiles.h"
+#include "src/util/rng.h"
 
 namespace cxl::mem {
 namespace {
@@ -194,6 +197,196 @@ TEST(SolverTest, ManySmallFlowsFillCapacity) {
   }
   EXPECT_NEAR(total, p.PeakBandwidthGBps(kRead) * BandwidthSolver::kCapacityShare, 0.5);
   EXPECT_GT(sol.resources[0].utilization, 0.9);
+}
+
+// ---------------------------------------------------------------------------
+// Warm-start cache (exact-reuse fast path + invalidation rules).
+// ---------------------------------------------------------------------------
+
+// Field-by-field bitwise comparison of two Solutions. EXPECT_DOUBLE_EQ is a
+// bitwise check for non-NaN doubles, which is exactly the contract the
+// exact-reuse fast path promises.
+void ExpectSolutionsBitIdentical(const BandwidthSolver::Solution& a,
+                                 const BandwidthSolver::Solution& b) {
+  ASSERT_EQ(a.flows.size(), b.flows.size());
+  ASSERT_EQ(a.resources.size(), b.resources.size());
+  EXPECT_EQ(a.mode, b.mode);
+  for (size_t i = 0; i < a.flows.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.flows[i].achieved_gbps, b.flows[i].achieved_gbps);
+    EXPECT_DOUBLE_EQ(a.flows[i].latency_ns, b.flows[i].latency_ns);
+    EXPECT_DOUBLE_EQ(a.flows[i].bottleneck_utilization, b.flows[i].bottleneck_utilization);
+  }
+  for (size_t r = 0; r < a.resources.size(); ++r) {
+    EXPECT_EQ(a.resources[r].name, b.resources[r].name);
+    EXPECT_DOUBLE_EQ(a.resources[r].demand_gbps, b.resources[r].demand_gbps);
+    EXPECT_DOUBLE_EQ(a.resources[r].achieved_gbps, b.resources[r].achieved_gbps);
+    EXPECT_DOUBLE_EQ(a.resources[r].capacity_gbps, b.resources[r].capacity_gbps);
+    EXPECT_DOUBLE_EQ(a.resources[r].utilization, b.resources[r].utilization);
+  }
+}
+
+// The shared two-resource topology the warm-start tests re-solve: one DRAM
+// resource, one CXL resource, and a flow set with a multi-resource member
+// (the shape the KV epoch loop produces).
+void AddEpochFlows(BandwidthSolver& solver, BandwidthSolver::ResourceId dram,
+                   BandwidthSolver::ResourceId cxl, double load_dram, double load_cxl,
+                   double load_both) {
+  const PathProfile& pd = GetProfile(MemoryPath::kLocalDram);
+  const PathProfile& pc = GetProfile(MemoryPath::kLocalCxl);
+  solver.AddFlow(&pd, kRead, load_dram, {dram});
+  solver.AddFlow(&pc, kRead, load_cxl, {cxl});
+  solver.AddFlow(&pc, AccessMix::Ratio(7, 3), load_both, {dram, cxl});
+}
+
+TEST(SolverWarmStartTest, ExactReSolveServesFromCache) {
+  const PathProfile& pd = GetProfile(MemoryPath::kLocalDram);
+  const PathProfile& pc = GetProfile(MemoryPath::kLocalCxl);
+  BandwidthSolver solver;
+  const auto dram = solver.AddResource("dram", &pd);
+  const auto cxl = solver.AddResource("cxl", &pc);
+  AddEpochFlows(solver, dram, cxl, 40.0, 20.0, 15.0);
+
+  const auto cold = solver.Solve();
+  EXPECT_EQ(solver.solve_count(), 1u);
+  EXPECT_EQ(solver.cache_hits(), 0u);
+
+  // Same inputs re-offered (the steady-state epoch): bitwise-equal loads
+  // must hit the cache and return the identical Solution.
+  solver.ClearFlows();
+  AddEpochFlows(solver, dram, cxl, 40.0, 20.0, 15.0);
+  const auto warm = solver.Solve();
+  EXPECT_EQ(solver.solve_count(), 2u);
+  EXPECT_EQ(solver.cache_hits(), 1u);
+  ExpectSolutionsBitIdentical(warm, cold);
+}
+
+TEST(SolverWarmStartTest, RandomizedLoadSequenceMatchesColdSolverBitwise) {
+  // A warm solver re-solving a random load walk must stay bit-identical to
+  // a from-scratch solver at every step — whether the step hit the cache
+  // (load repeated) or missed (load moved). Repeats are injected every
+  // third step to exercise both paths.
+  const PathProfile& pd = GetProfile(MemoryPath::kLocalDram);
+  const PathProfile& pc = GetProfile(MemoryPath::kLocalCxl);
+  BandwidthSolver warm;
+  const auto dram = warm.AddResource("dram", &pd);
+  const auto cxl = warm.AddResource("cxl", &pc);
+
+  Rng rng(0x5eed);
+  double loads[3] = {30.0, 20.0, 10.0};
+  for (int step = 0; step < 24; ++step) {
+    if (step % 3 != 2) {  // Two moves, then one exact repeat.
+      loads[0] = 5.0 + 70.0 * rng.NextDouble();
+      loads[1] = 5.0 + 40.0 * rng.NextDouble();
+      loads[2] = 5.0 + 25.0 * rng.NextDouble();
+    }
+    warm.ClearFlows();
+    AddEpochFlows(warm, dram, cxl, loads[0], loads[1], loads[2]);
+    const auto warm_sol = warm.Solve();
+
+    BandwidthSolver cold_solver;
+    const auto cd = cold_solver.AddResource("dram", &pd);
+    const auto cc = cold_solver.AddResource("cxl", &pc);
+    AddEpochFlows(cold_solver, cd, cc, loads[0], loads[1], loads[2]);
+    const auto cold_sol = cold_solver.Solve();
+    ExpectSolutionsBitIdentical(warm_sol, cold_sol);
+  }
+  // The injected repeats must actually have exercised the cache.
+  EXPECT_GE(warm.cache_hits(), 7u);
+}
+
+TEST(SolverWarmStartTest, PositiveThresholdReusesWithinToleranceOnly) {
+  const PathProfile& pd = GetProfile(MemoryPath::kLocalDram);
+  const PathProfile& pc = GetProfile(MemoryPath::kLocalCxl);
+  BandwidthSolver solver;
+  const auto dram = solver.AddResource("dram", &pd);
+  const auto cxl = solver.AddResource("cxl", &pc);
+  solver.set_reuse_threshold(0.10);
+  AddEpochFlows(solver, dram, cxl, 40.0, 20.0, 15.0);
+  const auto base = solver.Solve();
+  EXPECT_EQ(solver.cache_hits(), 0u);
+
+  // +5% on every load: inside the 10% band, so the *cached* solution comes
+  // back (approximate by design — the opt-in trade).
+  solver.ClearFlows();
+  AddEpochFlows(solver, dram, cxl, 42.0, 21.0, 15.75);
+  const auto inside = solver.Solve();
+  EXPECT_EQ(solver.cache_hits(), 1u);
+  ExpectSolutionsBitIdentical(inside, base);
+
+  // One load crosses the band: full re-solve, and the fresh solution tracks
+  // the new offered load, not the stale cache.
+  solver.ClearFlows();
+  AddEpochFlows(solver, dram, cxl, 55.0, 21.0, 15.75);
+  const auto outside = solver.Solve();
+  EXPECT_EQ(solver.cache_hits(), 1u);  // Unchanged: this solve missed.
+  EXPECT_NE(outside.flows[0].achieved_gbps, base.flows[0].achieved_gbps);
+  EXPECT_DOUBLE_EQ(outside.resources[0].demand_gbps >= 55.0 ? 1.0 : 0.0, 1.0);
+}
+
+TEST(SolverWarmStartTest, StructuralChangesInvalidateTheCache) {
+  const PathProfile& pd = GetProfile(MemoryPath::kLocalDram);
+  const PathProfile& pc = GetProfile(MemoryPath::kLocalCxl);
+  BandwidthSolver solver;
+  const auto dram = solver.AddResource("dram", &pd);
+  const auto cxl = solver.AddResource("cxl", &pc);
+  AddEpochFlows(solver, dram, cxl, 40.0, 20.0, 15.0);
+  (void)solver.Solve();
+
+  // Extra flow: structure mismatch, no hit.
+  solver.AddFlow(&pc, kRead, 5.0, {cxl});
+  (void)solver.Solve();
+  EXPECT_EQ(solver.cache_hits(), 0u);
+
+  // Back to the original flows: still a miss (the single-entry cache now
+  // holds the four-flow inputs), then an identical re-solve hits.
+  solver.ClearFlows();
+  AddEpochFlows(solver, dram, cxl, 40.0, 20.0, 15.0);
+  (void)solver.Solve();
+  EXPECT_EQ(solver.cache_hits(), 0u);
+  (void)solver.Solve();
+  EXPECT_EQ(solver.cache_hits(), 1u);
+
+  // Same flows, different mode: no hit, and the mode tag proves a re-solve.
+  solver.set_mode(SolverMode::kProportionalLegacy);
+  const auto legacy = solver.Solve();
+  EXPECT_EQ(solver.cache_hits(), 1u);
+  EXPECT_EQ(legacy.mode, SolverMode::kProportionalLegacy);
+
+  // Different flow *path set* with equal loads: no hit. (The cache keys on
+  // the resource lists, not just the load vector.)
+  solver.set_mode(SolverMode::kMaxMinFair);
+  solver.ClearFlows();
+  const PathProfile& pd2 = GetProfile(MemoryPath::kLocalDram);
+  solver.AddFlow(&pd2, kRead, 40.0, {dram});
+  solver.AddFlow(&pc, kRead, 20.0, {cxl});
+  solver.AddFlow(&pc, AccessMix::Ratio(7, 3), 15.0, {cxl});  // Was {dram, cxl}.
+  const uint64_t hits_before = solver.cache_hits();
+  (void)solver.Solve();
+  EXPECT_EQ(solver.cache_hits(), hits_before);
+}
+
+TEST(SolverWarmStartTest, CacheHitLeavesSubsequentColdSolvesIdentical) {
+  // A hit must be purely observational: solving A, hitting A, then solving B
+  // must give the same B as a solver that never hit.
+  const PathProfile& pd = GetProfile(MemoryPath::kLocalDram);
+  const PathProfile& pc = GetProfile(MemoryPath::kLocalCxl);
+  BandwidthSolver a;
+  const auto ad = a.AddResource("dram", &pd);
+  const auto ac = a.AddResource("cxl", &pc);
+  AddEpochFlows(a, ad, ac, 40.0, 20.0, 15.0);
+  (void)a.Solve();
+  a.ClearFlows();
+  AddEpochFlows(a, ad, ac, 40.0, 20.0, 15.0);
+  (void)a.Solve();  // Hit.
+  a.ClearFlows();
+  AddEpochFlows(a, ad, ac, 61.0, 23.0, 9.0);
+  const auto after_hit = a.Solve();
+
+  BandwidthSolver b;
+  const auto bd = b.AddResource("dram", &pd);
+  const auto bc = b.AddResource("cxl", &pc);
+  AddEpochFlows(b, bd, bc, 61.0, 23.0, 9.0);
+  ExpectSolutionsBitIdentical(after_hit, b.Solve());
 }
 
 }  // namespace

@@ -3,6 +3,10 @@
 // low-locality "thrashing" regime behind the paper's Spark result (§4.2.2).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "src/os/page_allocator.h"
 #include "src/os/region.h"
 #include "src/os/tiering.h"
@@ -191,6 +195,50 @@ TEST_F(PromotionTest, LowLocalityThrashes) {
   // Sustained churn: migration traffic in the late ticks too.
   EXPECT_GT(total_migrated, 50.0 * 2e6);  // > 50 pages' worth overall.
   EXPECT_GT(alloc_.counters().pgdemote, 0u);
+}
+
+TEST_F(PromotionTest, SoaScanMatchesAosReferencePromotionOrder) {
+  // The promotion scan streams the packed SoA heat/node columns; this pins
+  // its selection to an AoS-style reference that walks pages one PageView at
+  // a time (the old struct layout's access pattern). The heat pattern
+  // includes exact float ties so the budget cuts *through* a tie group —
+  // the (heat desc, id asc) order must decide identically in both worlds.
+  TieringConfig cfg;
+  cfg.hint_fault_sample_rate = 1.0;  // heat == touch count, exactly.
+  cfg.initial_hot_threshold = 4.0;
+  cfg.dynamic_threshold = false;
+  cfg.promote_rate_limit_mbps = 26.0;  // floor(26e6 / 2 MiB) = 12 pages/tick.
+  TieredMemory tiering(alloc_, cfg);
+  const auto cxl0 = platform_.CxlNodes()[0];
+  auto pages = alloc_.Allocate(NumaPolicy::Bind({cxl0}), 64);
+  ASSERT_TRUE(pages.ok());
+  // Golden heat pattern: heats 4..11 repeating, so each heat level is an
+  // 8-way id tie and the 12-page budget splits the second-hottest tier.
+  for (size_t i = 0; i < pages->size(); ++i) {
+    tiering.RecordAccess((*pages)[i], 4 + i % 8);
+  }
+
+  // AoS-style reference: per-page record access through the view API.
+  std::vector<std::pair<float, PageId>> reference;
+  for (PageId id = 0; id < alloc_.page_count(); ++id) {
+    const auto p = alloc_.page(id);
+    if (p.node >= 0 && !tiering.IsTopTier(p.node) &&
+        p.heat >= static_cast<float>(tiering.hot_threshold())) {
+      reference.emplace_back(p.heat, id);
+    }
+  }
+  std::sort(reference.begin(), reference.end(), [](const auto& a, const auto& b) {
+    return a.first != b.first ? a.first > b.first : a.second < b.second;
+  });
+
+  const auto result = tiering.Tick(1.0);
+  EXPECT_EQ(result.candidates, reference.size());
+  EXPECT_EQ(result.promoted_pages, 12u);
+  // Exactly the first 12 reference pages promoted, nothing else.
+  for (size_t i = 0; i < reference.size(); ++i) {
+    const bool promoted = tiering.IsTopTier(alloc_.NodeOf(reference[i].second));
+    EXPECT_EQ(promoted, i < 12) << "reference rank " << i;
+  }
 }
 
 }  // namespace

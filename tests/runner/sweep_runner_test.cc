@@ -2,13 +2,17 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "src/util/arena.h"
 #include "src/util/rng.h"
 
 namespace cxl::runner {
@@ -344,6 +348,49 @@ TEST(SweepRunnerTest, MoreJobsThanCellsIsClamped) {
   EXPECT_EQ(stats.jobs, 2);  // Never more workers than cells.
   EXPECT_EQ((*out)[0], 2);
   EXPECT_EQ((*out)[1], 4);
+}
+
+TEST(SweepRunnerTest, CellRecordsSurviveCallerScratchReuse) {
+  // Cell labels are often built in per-sweep scratch (an arena reset between
+  // sweeps, a reused format buffer). The runner deep-copies the characters
+  // when the cell starts, so the records must stay intact after the caller's
+  // backing storage is clobbered and the options object itself is gone.
+  Arena arena;
+  const std::vector<int> cells = {10, 20, 30};
+  SweepStats stats;
+  {
+    // Labels backed by arena storage, handed over as string views into it.
+    char* scratch = arena.AllocateArray<char>(64);
+    std::snprintf(scratch, 64, "cfg=a/seed=1");
+    char* scratch2 = arena.AllocateArray<char>(64);
+    std::snprintf(scratch2, 64, "cfg=b/seed=2");
+    SweepOptions options;
+    options.jobs = 2;
+    options.cell_labels = {std::string(scratch), std::string(scratch2)};  // Cell 2: fallback.
+    const auto out = RunSweep(
+        cells, [](const int& cell, uint64_t) -> StatusOr<int> { return cell + 1; }, options,
+        &stats);
+    ASSERT_TRUE(out.ok());
+  }
+  // Simulate the next sweep recycling the scratch: overwrite every byte.
+  arena.Reset();
+  char* reused = arena.AllocateArray<char>(128);
+  std::memset(reused, 'X', 128);
+
+  ASSERT_EQ(stats.cell_records.size(), 3u);
+  EXPECT_EQ(stats.cell_records[0].label, "cfg=a/seed=1");
+  EXPECT_EQ(stats.cell_records[1].label, "cfg=b/seed=2");
+  EXPECT_EQ(stats.cell_records[2].label, "cell2");  // Short label vector falls back.
+  double serial = 0.0;
+  double max_cell = 0.0;
+  for (const SweepStats::CellRecord& record : stats.cell_records) {
+    EXPECT_GE(record.ms, 0.0);
+    EXPECT_GE(record.start_ms, 0.0);
+    serial += record.ms;
+    max_cell = std::max(max_cell, record.ms);
+  }
+  EXPECT_DOUBLE_EQ(stats.serial_ms, serial);
+  EXPECT_DOUBLE_EQ(stats.max_cell_ms, max_cell);
 }
 
 }  // namespace

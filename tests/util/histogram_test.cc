@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <vector>
+
 #include "src/util/rng.h"
 
 namespace cxl {
@@ -54,6 +57,43 @@ TEST(HistogramTest, RecordManyEquivalentToLoop) {
   }
   EXPECT_EQ(a.count(), b.count());
   EXPECT_DOUBLE_EQ(a.p50(), b.p50());
+}
+
+TEST(HistogramTest, RecordBatchSnapshotsBitIdenticalToLoop) {
+  // The epoch paths buffer latencies and flush once per epoch through
+  // RecordBatch; the contract is bit-identity with per-sample Record calls —
+  // including the order-sensitive double sum behind mean().
+  Rng rng(7);
+  std::vector<double> samples(5000);
+  for (double& s : samples) {
+    s = rng.NextDouble(1.0, 1e6);  // Wide spread stresses summation order.
+  }
+  Histogram batched;
+  Histogram looped;
+  // Flush in uneven chunks, as a per-epoch producer would.
+  size_t i = 0;
+  for (const size_t chunk : {1u, 999u, 1u, 3000u, 500u, 499u}) {
+    batched.RecordBatch(samples.data() + i, chunk);
+    i += chunk;
+  }
+  ASSERT_EQ(i, samples.size());
+  for (const double s : samples) {
+    looped.Record(s);
+  }
+  EXPECT_EQ(batched.count(), looped.count());
+  EXPECT_EQ(batched.min(), looped.min());
+  EXPECT_EQ(batched.max(), looped.max());
+  EXPECT_EQ(batched.mean(), looped.mean());  // Bitwise: same addition order.
+  for (const double q : {0.0, 0.1, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(batched.ValueAtQuantile(q), looped.ValueAtQuantile(q)) << "q=" << q;
+  }
+  const auto ca = batched.Cdf();
+  const auto cb = looped.Cdf();
+  ASSERT_EQ(ca.size(), cb.size());
+  for (size_t k = 0; k < ca.size(); ++k) {
+    EXPECT_EQ(ca[k].value, cb[k].value);
+    EXPECT_EQ(ca[k].cumulative, cb[k].cumulative);
+  }
 }
 
 TEST(HistogramTest, MergeCombinesCounts) {
