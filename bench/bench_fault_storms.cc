@@ -21,6 +21,8 @@
 
 #include "src/bench/context.h"
 #include "src/core/cxl_explorer.h"
+#include "src/telemetry/anomaly.h"
+#include "src/telemetry/slo.h"
 
 namespace {
 
@@ -89,6 +91,9 @@ int main(int argc, char** argv) {
   runner::SweepStats stats;
   std::vector<telemetry::MetricRegistry> cell_sinks(
       bench_telemetry.enabled() ? scenarios.size() : 0);
+  for (auto& sink : cell_sinks) {
+    bench_telemetry.ConfigureSink(&sink);  // --events-ring flight recorder.
+  }
   const auto grid = runner::RunSweep(
       scenarios,
       [&scenarios, &cell_sinks, &ctx](const Scenario& scenario, uint64_t /*seed*/) {
@@ -109,19 +114,58 @@ int main(int argc, char** argv) {
   }
   std::cerr << "[sweep] " << stats.Summary() << "\n";
   bench_telemetry.RecordSweep("fault_storms", stats);
+
+  // Each scenario compares against the first healthy row sharing its config.
+  const auto healthy_index = [&](const Scenario& s) {
+    for (size_t i = 0; i < scenarios.size(); ++i) {
+      if (scenarios[i].config == s.config && scenarios[i].plan.empty()) {
+        return i;
+      }
+    }
+    return size_t{0};
+  };
+  const auto healthy_kops = [&](const Scenario& s) {
+    return (*grid)[healthy_index(s)].server.throughput_kops;
+  };
+
+  // SLO + anomaly pass, per cell and before the merge so events land in the
+  // cell they describe. Objectives derive from the matched healthy row: epoch
+  // mean latency within 1.5x healthy, epoch throughput above 0.7x healthy.
+  // Violations attribute to the fault window active (else most recently
+  // opened) at the breach time — post-hoc over the scenario's static plan,
+  // so the pass itself is deterministic at any --jobs.
+  for (size_t i = 0; i < cell_sinks.size(); ++i) {
+    const auto& healthy = (*grid)[healthy_index(scenarios[i])].server;
+    double healthy_lat_us = 0.0;
+    uint64_t lat_epochs = 0;
+    for (const auto& e : healthy.timeline) {
+      if (e.mean_latency_us > 0.0) {
+        healthy_lat_us += e.mean_latency_us;
+        ++lat_epochs;
+      }
+    }
+    telemetry::SloSpec spec;
+    spec.workload = "kv";
+    if (lat_epochs > 0) {
+      spec.max_latency_us = 1.5 * healthy_lat_us / lat_epochs;
+    }
+    spec.min_throughput = 0.7 * healthy.throughput_kops;
+    const fault::FaultPlan& plan = scenarios[i].plan;
+    telemetry::SloTracker slo(spec, &cell_sinks[i], [&plan](double t_ms) {
+      return fault::AttributeWindowAt(plan, t_ms / 1e3);
+    });
+    for (const auto& e : (*grid)[i].server.timeline) {
+      if (e.mean_latency_us <= 0.0) {
+        continue;  // Warm-up epochs carry no measured latency.
+      }
+      slo.Observe(e.end_ms, e.mean_latency_us, e.kops);
+    }
+    slo.Finish();
+    telemetry::DetectAnomalies(cell_sinks[i]);
+  }
   for (size_t i = 0; i < cell_sinks.size(); ++i) {
     bench_telemetry.registry().MergeFrom(cell_sinks[i], labels[i] + "/");
   }
-
-  // Each scenario compares against the first healthy row sharing its config.
-  const auto healthy_kops = [&](const Scenario& s) {
-    for (size_t i = 0; i < scenarios.size(); ++i) {
-      if (scenarios[i].config == s.config && scenarios[i].plan.empty()) {
-        return (*grid)[i].server.throughput_kops;
-      }
-    }
-    return (*grid)[0].server.throughput_kops;
-  };
 
   PrintSection(std::cout, "Fault storms (a): KeyDB YCSB-A degradation responses");
   Table kv({"scenario", "kops", "x healthy", "p99 us", "migr MB", "poisoned",

@@ -19,6 +19,8 @@
 
 #include "src/bench/context.h"
 #include "src/core/cxl_explorer.h"
+#include "src/telemetry/anomaly.h"
+#include "src/telemetry/slo.h"
 
 namespace {
 
@@ -65,6 +67,9 @@ int main(int argc, char** argv) {
   // Each sweep cell writes its own registry; they merge in cell-index order
   // below, so the telemetry output is identical for any --jobs value.
   std::vector<telemetry::MetricRegistry> cell_sinks(bench_telemetry.enabled() ? cells.size() : 0);
+  for (auto& sink : cell_sinks) {
+    bench_telemetry.ConfigureSink(&sink);  // --events-ring flight recorder.
+  }
   const auto grid = runner::RunSweep(
       cells,
       [&cells, &cell_sinks, &ctx](const Cell& cell, uint64_t seed) {
@@ -84,6 +89,47 @@ int main(int argc, char** argv) {
   }
   std::cerr << "[sweep] " << stats.Summary() << "\n";
   bench_telemetry.RecordSweep("fig5", stats);
+
+  // SLO + anomaly pass, per cell and before the merge. Each cell is judged
+  // against the MMEM row of the same workload — the paper's all-DRAM bar:
+  // epoch mean latency within 1.5x MMEM, epoch throughput above 0.7x MMEM.
+  // On a healthy run any violation is structural slowness (MMEM-SSD's
+  // software path), surfaced with no fault window; under --faults the
+  // violation attributes to the plan's active window at the breach time.
+  if (!cell_sinks.empty()) {
+    const size_t mmem_ci = static_cast<size_t>(
+        std::find(configs.begin(), configs.end(), core::CapacityConfig::kMmem) -
+        configs.begin());
+    for (size_t i = 0; i < cell_sinks.size(); ++i) {
+      const auto& baseline = (*grid)[mmem_ci * workloads.size() + i % workloads.size()].server;
+      double base_lat_us = 0.0;
+      uint64_t lat_epochs = 0;
+      for (const auto& e : baseline.timeline) {
+        if (e.mean_latency_us > 0.0) {
+          base_lat_us += e.mean_latency_us;
+          ++lat_epochs;
+        }
+      }
+      telemetry::SloSpec spec;
+      spec.workload = "kv";
+      if (lat_epochs > 0) {
+        spec.max_latency_us = 1.5 * base_lat_us / lat_epochs;
+      }
+      spec.min_throughput = 0.7 * baseline.throughput_kops;
+      const fault::FaultPlan& plan = ctx.faults();
+      telemetry::SloTracker slo(spec, &cell_sinks[i], [&plan](double t_ms) {
+        return fault::AttributeWindowAt(plan, t_ms / 1e3);
+      });
+      for (const auto& e : (*grid)[i].server.timeline) {
+        if (e.mean_latency_us <= 0.0) {
+          continue;  // Warm-up epochs carry no measured latency.
+        }
+        slo.Observe(e.end_ms, e.mean_latency_us, e.kops);
+      }
+      slo.Finish();
+      telemetry::DetectAnomalies(cell_sinks[i]);
+    }
+  }
   for (size_t i = 0; i < cell_sinks.size(); ++i) {
     bench_telemetry.registry().MergeFrom(cell_sinks[i], labels[i] + "/");
   }

@@ -15,6 +15,7 @@
 
 #include "src/bench/context.h"
 #include "src/core/cxl_explorer.h"
+#include "src/telemetry/anomaly.h"
 
 int main(int argc, char** argv) {
   using namespace cxl;
@@ -62,6 +63,9 @@ int main(int argc, char** argv) {
   // One registry per cell (single-writer under the parallel sweep), merged in
   // cell-index order below so the telemetry output is --jobs-independent.
   std::vector<telemetry::MetricRegistry> cell_sinks(bench_telemetry.enabled() ? cells.size() : 0);
+  for (auto& sink : cell_sinks) {
+    bench_telemetry.ConfigureSink(&sink);  // --events-ring flight recorder.
+  }
   const auto grid = runner::RunSweep(
       cells,
       [&configs, &queries, &cells, &cell_sinks, &ctx](const Cell& cell,
@@ -84,6 +88,12 @@ int main(int argc, char** argv) {
   }
   std::cerr << "[sweep] " << stats.Summary() << "\n";
   bench_telemetry.RecordSweep("fig7", stats);
+  // Anomaly pass per cell before the merge: Hot-Promote's low-locality
+  // thrashing (§4.2.3) surfaces here as ping-pong episodes on the cell's
+  // promote/demote event stream (see EXPERIMENTS.md for the recipe).
+  for (auto& sink : cell_sinks) {
+    telemetry::DetectAnomalies(sink);
+  }
   for (size_t i = 0; i < cell_sinks.size(); ++i) {
     bench_telemetry.registry().MergeFrom(cell_sinks[i], labels[i] + "/");
   }

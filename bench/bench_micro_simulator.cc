@@ -99,6 +99,34 @@ void BM_HistogramRecord(benchmark::State& state) {
 }
 BENCHMARK(BM_HistogramRecord)->Arg(1)->Arg(4)->Arg(4096);
 
+// Hot-path registry lookups by name. The per-epoch telemetry path resolves
+// the same metric names thousands of times; with std::less<> heterogeneous
+// lookup a string_view key probes the map without materializing a
+// std::string per call. The name is >15 chars so it does NOT fit SSO — the
+// pre-transparent-comparator cost was one heap allocation per lookup.
+void BM_RegistryLookupByName(benchmark::State& state) {
+  telemetry::MetricRegistry registry;
+  constexpr std::string_view kName = "pcm.socket0.dram.read_gbps.total";  // 32 chars, no SSO.
+  registry.GetCounter(kName).Increment();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(&registry.GetCounter(kName));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RegistryLookupByName);
+
+// Same shape for Timeline::Series, the other per-epoch name-keyed lookup.
+void BM_TimelineSeriesLookup(benchmark::State& state) {
+  telemetry::Timeline timeline;
+  constexpr std::string_view kName = "pcm.socket0.cxl.write_gbps.series";
+  timeline.Series(kName).Sample(0.0, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(&timeline.Series(kName));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TimelineSeriesLookup);
+
 void BM_KeyDbExperimentEndToEnd(benchmark::State& state) {
   core::KeyDbExperimentOptions opt;
   opt.dataset_bytes = 2ull << 30;

@@ -102,9 +102,24 @@ double KvServerSim::ServiceTimeNs(const YcsbOp& op) {
       epoch_node_bytes_[static_cast<size_t>(cost.node)] += cost.mem_lines * 64.0 * retries;
       ++result_.poisoned_reads;
       result_.poison_retries += static_cast<uint64_t>(retries);
+      const int32_t poison_window =
+          faults_->ActiveWindowOf(fault::FaultType::kPoisonedCacheline);
+      if (telemetry_ != nullptr) {
+        telemetry_->events().Record(
+            telemetry::Event(telemetry::EventKind::kKvPoisonRetry, events_.Now() / 1e6)
+                .WithWindow(poison_window)
+                .WithA(retries)
+                .WithB(static_cast<double>(cost.page)));
+      }
       if (tiering_ != nullptr && cost.page != os::kInvalidPage &&
           tiering_->QuarantinePage(cost.page)) {
         ++result_.quarantined_pages;
+        if (telemetry_ != nullptr) {
+          telemetry_->events().Record(
+              telemetry::Event(telemetry::EventKind::kKvQuarantine, events_.Now() / 1e6)
+                  .WithWindow(poison_window)
+                  .WithA(static_cast<double>(cost.page)));
+        }
       }
     }
   }
@@ -124,6 +139,12 @@ double KvServerSim::ServiceTimeNs(const YcsbOp& op) {
             ssd_read_state_.idle_latency_ns;
       epoch_ssd_read_bytes_ += static_cast<double>(cost.ssd_read_bytes);
       ++result_.flash_errors;
+      if (telemetry_ != nullptr) {
+        telemetry_->events().Record(
+            telemetry::Event(telemetry::EventKind::kKvFlashRetry, events_.Now() / 1e6)
+                .WithWindow(faults_->ActiveWindowOf(fault::FaultType::kFlashIoError))
+                .WithA(faults_->tunables().flash_timeout_factor));
+      }
     }
   }
   // Background persistence traffic (WAL / flush / compaction): charged to
@@ -183,6 +204,28 @@ void KvServerSim::RefreshContention(double epoch_dt_ns) {
         telemetry::EpochProfiler::Time(config_.profiler, telemetry::EpochProfiler::kSolver);
     sol = traffic_.Solve();
   }
+  // Warm-start cache observability: a Solve that did not raise the hit
+  // counter was a forced re-solve (traffic changed enough to invalidate the
+  // memo). The first epoch's cold solve is expected, not an invalidation.
+  if (telemetry_ != nullptr) {
+    const uint64_t hits = traffic_.solver_cache_hits();
+    if (have_solver_stats_ && hits == last_cache_hits_) {
+      double achieved_gbps = 0.0;
+      for (const auto& f : sol.flows) {
+        achieved_gbps += f.achieved_gbps;
+      }
+      const int32_t window = (faults_ != nullptr && faults_->enabled())
+                                 ? faults_->AttributedWindow()
+                                 : telemetry::kNoWindow;
+      telemetry_->events().Record(
+          telemetry::Event(telemetry::EventKind::kSolverCacheInvalidate, events_.Now() / 1e6)
+              .WithWindow(window)
+              .WithA(achieved_gbps)
+              .WithB(sol.solver_iterations));
+    }
+    last_cache_hits_ = hits;
+    have_solver_stats_ = true;
+  }
   for (const auto& n : platform_.nodes()) {
     const auto flow = node_flow[static_cast<size_t>(n.id)];
     if (flow >= 0) {
@@ -210,6 +253,7 @@ void KvServerSim::RefreshContention(double epoch_dt_ns) {
   EpochSample sample;
   sample.end_ms = events_.Now() / 1e6;
   sample.kops = static_cast<double>(config_.epoch_ops) / epoch_dt_ns * 1e6;
+  sample.mean_latency_us = epoch_mean_latency_us_;
 
   // Shed arming: the first epoch's throughput is the healthy bar; after
   // `shed_arm_epochs` consecutive epochs below bar/shed_latency_factor the
@@ -218,6 +262,7 @@ void KvServerSim::RefreshContention(double epoch_dt_ns) {
   // touch this state.
   if (faults_ != nullptr && faults_->enabled()) {
     const auto& tun = faults_->tunables();
+    const bool was_shedding = shedding_;
     if (baseline_epoch_kops_ <= 0.0) {
       baseline_epoch_kops_ = sample.kops;
     } else if (sample.kops * tun.shed_latency_factor < baseline_epoch_kops_) {
@@ -228,6 +273,28 @@ void KvServerSim::RefreshContention(double epoch_dt_ns) {
     } else {
       degraded_epochs_ = 0;
       shedding_ = false;
+    }
+    if (telemetry_ != nullptr && shedding_ != was_shedding) {
+      if (shedding_) {
+        // Shedding only arms after fault-driven degradation, so a window
+        // with start <= now exists; the guard keeps the contract airtight.
+        const int32_t window = faults_->AttributedWindow();
+        if (window != telemetry::kNoWindow) {
+          shed_window_ = window;
+          telemetry_->events().Record(
+              telemetry::Event(telemetry::EventKind::kKvShedOn, sample.end_ms)
+                  .WithWindow(window)
+                  .WithA(baseline_epoch_kops_)
+                  .WithB(sample.kops));
+        }
+      } else if (shed_window_ != telemetry::kNoWindow) {
+        telemetry_->events().Record(
+            telemetry::Event(telemetry::EventKind::kKvShedOff, sample.end_ms)
+                .WithWindow(shed_window_)
+                .WithA(baseline_epoch_kops_)
+                .WithB(sample.kops));
+        shed_window_ = telemetry::kNoWindow;
+      }
     }
     if (shedding_) {
       ++result_.shed_epochs;
@@ -245,12 +312,14 @@ void KvServerSim::RefreshContention(double epoch_dt_ns) {
     if (!pcm_handles_.attached) {
       pcm_handles_ = topology::AttachPcmTelemetry(*telemetry_, snap);
       kv_kops_series_ = &telemetry_->timeline().Series("kv.kops");
+      kv_mean_latency_series_ = &telemetry_->timeline().Series("kv.mean_latency_us");
     }
     topology::SamplePcmSnapshot(pcm_handles_, t_ms, snap);
     // Per-path bandwidth gauges: the latest epoch wins, and the run ends in
     // steady state, so these read like the final pcm-memory screen.
     topology::SetPcmGauges(pcm_handles_, snap);
     kv_kops_series_->Sample(t_ms, sample.kops);
+    kv_mean_latency_series_->Sample(t_ms, sample.mean_latency_us);
     telemetry_->trace().Span(kv_track_, "epoch " + std::to_string(epoch_index_),
                              t_ms - epoch_dt_ns / 1e6, epoch_dt_ns / 1e6, {{"kops", sample.kops}});
   }
@@ -311,8 +380,16 @@ void KvServerSim::Dispatch() {
 
 void KvServerSim::FlushLatencyBatch() {
   if (epoch_latency_us_.empty()) {
+    epoch_mean_latency_us_ = 0.0;
     return;
   }
+  // Mean of this epoch's batch, summed in completion (index) order so the
+  // value is independent of --jobs.
+  double sum_us = 0.0;
+  for (const double v : epoch_latency_us_) {
+    sum_us += v;
+  }
+  epoch_mean_latency_us_ = sum_us / static_cast<double>(epoch_latency_us_.size());
   // Completion order throughout: each histogram sees the exact Record
   // sequence per-op recording produced, so the (order-sensitive) running
   // sums match bit for bit.

@@ -79,6 +79,9 @@ class KvServerSim {
     double end_ms = 0.0;        // Simulated time at the epoch boundary.
     double kops = 0.0;          // Throughput within the epoch.
     double migrated_mb = 0.0;   // Migration traffic the daemon generated.
+    // Mean measured latency of the ops completed this epoch (0 while the
+    // warm-up window is still discarding latencies). Feeds the SLO engine.
+    double mean_latency_us = 0.0;
   };
 
   struct Result {
@@ -161,6 +164,7 @@ class KvServerSim {
   // the first telemetry epoch (a sink that sees no epoch registers nothing).
   topology::PcmTelemetryHandles pcm_handles_;
   telemetry::TimeSeries* kv_kops_series_ = nullptr;
+  telemetry::TimeSeries* kv_mean_latency_series_ = nullptr;
 
   // Epoch accumulators.
   std::vector<double> epoch_node_bytes_;
@@ -175,6 +179,8 @@ class KvServerSim {
   std::vector<double> epoch_latency_us_;
   std::vector<uint8_t> epoch_latency_is_write_;
   std::vector<double> latency_flush_scratch_;
+  // Mean of the batch most recently flushed (this epoch's latencies).
+  double epoch_mean_latency_us_ = 0.0;
 
   Result result_;
   RunningStats service_stats_;
@@ -187,6 +193,13 @@ class KvServerSim {
   double baseline_epoch_kops_ = 0.0;  // First epoch's throughput, the healthy bar.
   uint64_t shed_every_ = 4;           // Reject every k-th arrival while shedding.
   uint64_t dispatch_counter_ = 0;     // Deterministic shed selector.
+  // Window the open shed episode was attributed to (kv_shed_off echoes it).
+  int32_t shed_window_ = telemetry::kNoWindow;
+
+  // Warm-start cache observability: cache-hit count at the previous epoch's
+  // solve, for detecting forced re-solves (solver_cache_invalidate events).
+  uint64_t last_cache_hits_ = 0;
+  bool have_solver_stats_ = false;
 };
 
 }  // namespace cxl::apps::kv

@@ -50,6 +50,10 @@ ServingStack::Stats ServingStack::Drive(const ServingRequest& request, int n,
   // backend stays busy and each request sees its decode time plus queueing
   // for a free backend slot. Output lengths jitter around the nominal size.
   std::vector<double> backend_free_at(static_cast<size_t>(config_.backends), 0.0);
+  // Batch-change event state: the effective decode batch the previous
+  // request ran with, and the window the open shrink episode attributes to.
+  int last_batch = std::max(1, config_.decode_batch);
+  int32_t shrink_window = telemetry::kNoWindow;
   double now = 0.0;
   double total_busy = 0.0;
   for (int i = 0; i < n; ++i) {
@@ -66,6 +70,7 @@ ServingStack::Stats ServingStack::Drive(const ServingRequest& request, int n,
     // weight pass). Both factors are exactly 1.0 on healthy runs.
     double lat_inflation = 1.0;
     double occupancy = 1.0;
+    int effective_batch = std::max(1, config_.decode_batch);
     if (faulty) {
       faults->AdvanceTo(start);
       const double bw = faults->CxlBandwidthFactor();
@@ -85,7 +90,27 @@ ServingStack::Stats ServingStack::Drive(const ServingRequest& request, int n,
         }
         occupancy = (static_cast<double>(full) / batch) * lat_inflation;
         min_batch = std::min(min_batch, batch);
+        effective_batch = batch;
       }
+    }
+    // Batch transitions become events: a shrink attributes to the active
+    // link window (a bandwidth collapse implies one); the recovery echoes
+    // the window the shrink named, since the fault is over by then.
+    if (sink != nullptr && effective_batch != last_batch) {
+      const bool shrink = effective_batch < last_batch;
+      const int32_t window = shrink ? faults->ActiveLinkWindow() : shrink_window;
+      if (shrink) {
+        shrink_window = window;
+      }
+      if (window != telemetry::kNoWindow) {
+        sink->events().Record(
+            telemetry::Event(telemetry::EventKind::kLlmBatchShrink, start * 1e3)
+                .WithWindow(window)
+                .WithReason(shrink ? 0 : 1)
+                .WithA(effective_batch)
+                .WithB(lat_inflation));
+      }
+      last_batch = effective_batch;
     }
     *slot = start + decode * occupancy;
     total_busy += decode * lat_inflation;

@@ -416,6 +416,13 @@ QueryResult SparkCluster::RunQuery(const QueryProfile& query) {
       if (telemetry_ != nullptr) {
         telemetry_->GetCounter("spark.reexecuted_partitions")
             .Add(static_cast<uint64_t>(failed));
+        // Fetch failures only sample while the link is degraded, so the
+        // active link window is the re-execution's cause by construction.
+        telemetry_->events().Record(
+            telemetry::Event(telemetry::EventKind::kSparkShuffleReexec, faults_->now_s() * 1e3)
+                .WithWindow(faults_->ActiveLinkWindow())
+                .WithA(failed)
+                .WithB(result.retry_seconds));
       }
     }
   }

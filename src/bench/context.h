@@ -8,6 +8,12 @@
 //   --metrics-out FILE        metrics JSON (or CSV when FILE ends in .csv)
 //   --trace-out FILE          Chrome trace-event JSON
 //   --bench-json FILE         one-line machine-readable bench summary
+//   --events-out FILE         structured event log, JSONL (cxl-events-v1):
+//                             fault windows, promote/demote decisions,
+//                             degradation responses, SLO violations,
+//                             anomalies — tools/report/cxl_report input
+//   --events-ring N           keep only the most recent N events per cell
+//                             (flight-recorder mode; default: full log)
 //   --faults SPEC             fault plan: "storm" or an event list, e.g.
 //                             "downtrain@2+3=8,poison=1e-4"
 //                             (see fault::FaultPlan::Parse / docs/faults.md)

@@ -295,7 +295,8 @@ FaultInjector::FaultInjector(FaultPlan plan, uint64_t seed, FaultTunables tunabl
     : plan_(std::move(plan)),
       tunables_(tunables),
       rng_(SplitMix64(seed ^ 0xfa0173f5c4a11e57ull)),
-      announced_(plan_.events().size(), false) {
+      announced_(plan_.events().size(), false),
+      closed_(plan_.events().size(), false) {
   // Events starting at t=0 must be visible before the first AdvanceTo (whose
   // monotonic guard rejects t<=0). Recompute draws nothing from the RNG and
   // telemetry is not yet attached, so this cannot perturb a healthy run.
@@ -338,6 +339,22 @@ void FaultInjector::Recompute() {
       const double dur_ms = std::isfinite(e.duration_s) ? e.duration_s * 1e3 : 0.0;
       telemetry_->trace().Span(track_, FaultTypeName(e.type), e.start_s * 1e3, dur_ms,
                                {{"severity", e.severity}});
+      telemetry_->events().Record(
+          telemetry::Event(telemetry::EventKind::kFaultWindowOpen, e.start_s * 1e3)
+              .WithWindow(static_cast<int32_t>(i))
+              .WithReason(static_cast<int32_t>(e.type))
+              .WithA(e.severity)
+              .WithB(dur_ms));
+    }
+    // Retire each finite window once the clock passes its end.
+    if (telemetry_ != nullptr && announced_[i] && !closed_[i] && std::isfinite(e.duration_s) &&
+        now_s_ >= e.end_s()) {
+      closed_[i] = true;
+      telemetry_->events().Record(
+          telemetry::Event(telemetry::EventKind::kFaultWindowClose, e.end_s() * 1e3)
+              .WithWindow(static_cast<int32_t>(i))
+              .WithReason(static_cast<int32_t>(e.type))
+              .WithA(e.severity));
     }
     if (!e.ActiveAt(now_s_)) {
       continue;
@@ -401,6 +418,60 @@ bool FaultInjector::SampleShuffleFailure(double probability) {
     return false;
   }
   return rng_.NextBool(probability);
+}
+
+int32_t FaultInjector::ActiveWindowOf(FaultType type) const {
+  int32_t best = telemetry::kNoWindow;
+  const auto& events = plan_.events();
+  for (size_t i = 0; i < events.size(); ++i) {
+    const FaultEvent& e = events[i];
+    if (e.type != type || !e.ActiveAt(now_s_)) {
+      continue;
+    }
+    if (best == telemetry::kNoWindow || e.start_s < events[best].start_s) {
+      best = static_cast<int32_t>(i);
+    }
+  }
+  return best;
+}
+
+int32_t FaultInjector::ActiveLinkWindow() const {
+  int32_t best = telemetry::kNoWindow;
+  const auto& events = plan_.events();
+  for (size_t i = 0; i < events.size(); ++i) {
+    const FaultEvent& e = events[i];
+    const bool link_fault =
+        e.type == FaultType::kLaneDowntrain || e.type == FaultType::kCrcRetryStorm;
+    if (!link_fault || !e.ActiveAt(now_s_)) {
+      continue;
+    }
+    if (best == telemetry::kNoWindow || e.start_s < events[best].start_s) {
+      best = static_cast<int32_t>(i);
+    }
+  }
+  return best;
+}
+
+int32_t FaultInjector::AttributedWindow() const { return AttributeWindowAt(plan_, now_s_); }
+
+int32_t AttributeWindowAt(const FaultPlan& plan, double t_s) {
+  int32_t active = telemetry::kNoWindow;
+  int32_t recent = telemetry::kNoWindow;
+  const auto& events = plan.events();
+  for (size_t i = 0; i < events.size(); ++i) {
+    const FaultEvent& e = events[i];
+    if (e.start_s > t_s) {
+      continue;
+    }
+    if (e.ActiveAt(t_s)) {
+      if (active == telemetry::kNoWindow || e.start_s < events[active].start_s) {
+        active = static_cast<int32_t>(i);
+      }
+    } else if (recent == telemetry::kNoWindow || e.start_s > events[recent].start_s) {
+      recent = static_cast<int32_t>(i);
+    }
+  }
+  return active != telemetry::kNoWindow ? active : recent;
 }
 
 }  // namespace cxl::fault

@@ -186,6 +186,20 @@ class FaultInjector {
   // link is degraded (down-train or CRC storm active).
   bool SampleShuffleFailure(double probability);
 
+  // --- Causal attribution -----------------------------------------------
+  // Fault-window ids are indices into plan().events(); kFaultWindowOpen /
+  // kFaultWindowClose events carry the same ids, so degradation responses
+  // that record one of these join back to their cause. Each query returns
+  // telemetry::kNoWindow when nothing qualifies at now_s().
+  //
+  // Earliest-starting (ties: lowest index) active window of `type`.
+  int32_t ActiveWindowOf(FaultType type) const;
+  // Earliest active link-degrading window (down-train or CRC storm).
+  int32_t ActiveLinkWindow() const;
+  // Attribution for responses with no single fault type: the earliest
+  // active window, else the most recently opened one.
+  int32_t AttributedWindow() const;
+
  private:
   void Recompute();
 
@@ -206,9 +220,18 @@ class FaultInjector {
   bool stalled_ = false;
   bool link_degraded_ = false;
   int active_count_ = 0;
-  // Telemetry bookkeeping: which events have had their activation recorded.
+  // Telemetry bookkeeping: which events have had their activation /
+  // retirement recorded.
   std::vector<bool> announced_;
+  std::vector<bool> closed_;
 };
+
+// Post-hoc attribution (same policy as FaultInjector::AttributedWindow but
+// as a pure function of the plan): the window responsible at `t_s` —
+// earliest active, else most recently opened with start_s <= t_s (ties:
+// lowest index), else telemetry::kNoWindow. The SLO engine binds this per
+// sweep cell as its telemetry::WindowAttributor.
+int32_t AttributeWindowAt(const FaultPlan& plan, double t_s);
 
 // Derived link math shared with mem: bandwidth retained by `base` after
 // down-training to `active_lanes` (of 16) with `extra_maintenance` added to

@@ -137,6 +137,11 @@ TieredMemory::TickResult TieredMemory::Tick(double dt_seconds) {
       ++epoch_;
       if (telemetry_ != nullptr) {
         telemetry_->GetCounter("tiering.stalled_ticks").Increment();
+        // A stall window is active (DaemonStalled), so the id is valid.
+        telemetry_->events().Record(
+            telemetry::Event(telemetry::EventKind::kDaemonSkippedTick, sim_seconds_ * 1e3)
+                .WithWindow(faults_->ActiveWindowOf(fault::FaultType::kDaemonStall))
+                .WithReason(0));
       }
       return result;
     }
@@ -146,6 +151,13 @@ TieredMemory::TickResult TieredMemory::Tick(double dt_seconds) {
       ++epoch_;
       if (telemetry_ != nullptr) {
         telemetry_->GetCounter("tiering.backoff_ticks").Increment();
+        const int32_t window = faults_->AttributedWindow();
+        if (window != telemetry::kNoWindow) {
+          telemetry_->events().Record(
+              telemetry::Event(telemetry::EventKind::kDaemonSkippedTick, sim_seconds_ * 1e3)
+                  .WithWindow(window)
+                  .WithReason(1));
+        }
       }
       return result;
     }
@@ -319,6 +331,15 @@ TieredMemory::TickResult TieredMemory::Tick(double dt_seconds) {
       backoff_ticks_remaining_ = std::min(cap, 1 << shift);
       if (telemetry_ != nullptr) {
         telemetry_->GetCounter("tiering.promotion_failures").Increment();
+        const int32_t window = faults_->AttributedWindow();
+        if (window != telemetry::kNoWindow) {
+          telemetry_->events().Record(
+              telemetry::Event(telemetry::EventKind::kPromotionBackoffArmed,
+                               (sim_seconds_ + dt_seconds) * 1e3)
+                  .WithWindow(window)
+                  .WithA(backoff_ticks_remaining_)
+                  .WithB(promotion_failure_streak_));
+        }
       }
     } else {
       promotion_failure_streak_ = 0;
@@ -326,8 +347,10 @@ TieredMemory::TickResult TieredMemory::Tick(double dt_seconds) {
   }
 
   // Demotion under DRAM pressure even without promotions (watermark).
+  uint64_t watermark_demoted = 0;
   if (allocator_.DramFreeFraction() < config_.demotion_free_watermark) {
     const uint64_t freed = DemoteColdPages(std::clamp<uint64_t>(budget_pages / 8, 16, 4096));
+    watermark_demoted = freed;
     result.demoted_pages += freed;
     result.migrated_bytes += static_cast<double>(freed) * page_bytes;
   }
@@ -366,6 +389,7 @@ TieredMemory::TickResult TieredMemory::Tick(double dt_seconds) {
 
   sim_seconds_ += dt_seconds;
   EmitTickTelemetry(result, dt_seconds);
+  EmitTickEvents(result, watermark_demoted);
   return result;
 }
 
@@ -410,6 +434,20 @@ bool TieredMemory::QuarantinePage(PageId page) {
   }
   if (telemetry_ != nullptr) {
     telemetry_->GetCounter("tiering.quarantined_pages").Increment();
+    // Stamped on the fault clock when one is attached (quarantine happens
+    // mid-epoch, triggered by the caller's poison sample).
+    const double t_ms = (faults_ != nullptr && faults_->enabled()) ? faults_->now_s() * 1e3
+                                                                   : sim_seconds_ * 1e3;
+    const int32_t window =
+        (faults_ != nullptr && faults_->enabled())
+            ? faults_->ActiveWindowOf(fault::FaultType::kPoisonedCacheline)
+            : telemetry::kNoWindow;
+    telemetry_->events().Record(
+        telemetry::Event(telemetry::EventKind::kPageDemote, t_ms)
+            .WithWindow(window)
+            .WithReason(2)
+            .WithA(1.0)
+            .WithB(static_cast<double>(allocator_.page_bytes()) / 1e6));
   }
   return true;
 }
@@ -469,6 +507,45 @@ void TieredMemory::EmitTickTelemetry(const TickResult& result, double dt_seconds
        {"demoted_pages", static_cast<double>(result.demoted_pages)},
        {"hot_threshold", result.hot_threshold},
        {"migrated_mb", result.migrated_bytes / 1e6}});
+}
+
+void TieredMemory::EmitTickEvents(const TickResult& result, uint64_t watermark_demoted) {
+  if (telemetry_ == nullptr) {
+    return;
+  }
+  const double t_ms = sim_seconds_ * 1e3;
+  const double page_mb = static_cast<double>(allocator_.page_bytes()) / 1e6;
+  // Routine tiering activity attributes best-effort: the responsible window
+  // while one is open, kNoWindow on healthy runs (promotion bursts matter
+  // for the ping-pong detector even without faults).
+  const int32_t window = (faults_ != nullptr && faults_->enabled())
+                             ? faults_->AttributedWindow()
+                             : telemetry::kNoWindow;
+  if (result.candidates > 0 || result.promoted_pages > 0) {
+    telemetry_->events().Record(
+        telemetry::Event(telemetry::EventKind::kPagePromote, t_ms)
+            .WithWindow(window)
+            .WithReason(static_cast<int32_t>(config_.mode))
+            .WithA(static_cast<double>(result.promoted_pages))
+            .WithB(static_cast<double>(result.candidates)));
+  }
+  const uint64_t pressure_demoted = result.demoted_pages - watermark_demoted;
+  if (pressure_demoted > 0) {
+    telemetry_->events().Record(
+        telemetry::Event(telemetry::EventKind::kPageDemote, t_ms)
+            .WithWindow(window)
+            .WithReason(0)
+            .WithA(static_cast<double>(pressure_demoted))
+            .WithB(static_cast<double>(pressure_demoted) * page_mb));
+  }
+  if (watermark_demoted > 0) {
+    telemetry_->events().Record(
+        telemetry::Event(telemetry::EventKind::kPageDemote, t_ms)
+            .WithWindow(window)
+            .WithReason(1)
+            .WithA(static_cast<double>(watermark_demoted))
+            .WithB(static_cast<double>(watermark_demoted) * page_mb));
+  }
 }
 
 void DeclareTieringKnobs(KnobSet& knobs) {

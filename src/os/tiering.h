@@ -147,6 +147,12 @@ class TieredMemory {
   // Appends one tick's worth of telemetry (no-op without a sink).
   void EmitTickTelemetry(const TickResult& result, double dt_seconds);
 
+  // Appends this tick's structured events (page_promote / page_demote with
+  // reason codes); no-op without a sink. `watermark_demoted` is the portion
+  // of result.demoted_pages freed by the watermark branch rather than by
+  // DRAM pressure inside the promotion loop.
+  void EmitTickEvents(const TickResult& result, uint64_t watermark_demoted);
+
   PageAllocator& allocator_;
   TieringConfig config_;
   double hot_threshold_;

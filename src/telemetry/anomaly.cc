@@ -1,0 +1,219 @@
+#include "src/telemetry/anomaly.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "src/telemetry/events.h"
+
+namespace cxl::telemetry {
+
+namespace {
+
+// One tiering-daemon tick reassembled from its events (promote, demote, and
+// skip events of a tick share one sim timestamp).
+struct Tick {
+  double promoted = 0.0;
+  double demoted = 0.0;
+  double candidates = 0.0;
+  bool skipped = false;
+  bool has_promote = false;
+  int32_t window = kNoWindow;
+
+  void Attribute(int32_t w) {
+    if (window == kNoWindow) {
+      window = w;
+    }
+  }
+};
+
+}  // namespace
+
+AnomalyCounts DetectAnomalies(MetricRegistry& registry, const AnomalyOptions& options) {
+  AnomalyCounts counts;
+  const std::vector<Event> events = registry.events().Snapshot();
+
+  // Regroup the interleaved stream: tiering activity into per-timestamp
+  // ticks (std::map keeps them in sim-time order), solver re-solves into
+  // their own sequence.
+  std::map<double, Tick> ticks;
+  std::vector<Event> solver;
+  for (const Event& e : events) {
+    switch (e.kind) {
+      case EventKind::kPagePromote: {
+        Tick& t = ticks[e.t_ms];
+        t.promoted += e.a;
+        t.candidates = std::max(t.candidates, e.b);
+        t.has_promote = true;
+        t.Attribute(e.window);
+        break;
+      }
+      case EventKind::kPageDemote: {
+        Tick& t = ticks[e.t_ms];
+        t.demoted += e.a;
+        t.Attribute(e.window);
+        break;
+      }
+      case EventKind::kDaemonSkippedTick: {
+        Tick& t = ticks[e.t_ms];
+        t.skipped = true;
+        t.Attribute(e.window);
+        break;
+      }
+      case EventKind::kSolverCacheInvalidate:
+        solver.push_back(e);
+        break;
+      default:
+        break;
+    }
+  }
+
+  EventLog& log = registry.events();
+
+  // Ping-pong: maximal runs of churn ticks (both directions moving
+  // substantial, comparable page counts).
+  {
+    double run_start = 0.0;
+    double run_promoted = 0.0;
+    double run_demoted = 0.0;
+    int run_len = 0;
+    int32_t run_window = kNoWindow;
+    auto flush = [&] {
+      if (run_len >= options.ping_pong_min_ticks) {
+        ++counts.ping_pong;
+        log.Record(Event(EventKind::kAnomalyPingPong, run_start)
+                       .WithWindow(run_window)
+                       .WithA(run_promoted)
+                       .WithB(run_demoted));
+      }
+      run_len = 0;
+      run_promoted = run_demoted = 0.0;
+      run_window = kNoWindow;
+    };
+    for (const auto& [t_ms, tick] : ticks) {
+      const double lo = std::min(tick.promoted, tick.demoted);
+      const double hi = std::max(tick.promoted, tick.demoted);
+      const bool churn = lo >= options.ping_pong_min_pages && hi > 0.0 &&
+                         lo / hi >= options.ping_pong_min_ratio;
+      if (churn) {
+        if (run_len == 0) {
+          run_start = t_ms;
+        }
+        ++run_len;
+        run_promoted += tick.promoted;
+        run_demoted += tick.demoted;
+        if (run_window == kNoWindow) {
+          run_window = tick.window;
+        }
+      } else {
+        flush();
+      }
+    }
+    flush();
+  }
+
+  // Promotion starvation: runs of ticks that were skipped outright or saw
+  // candidates but promoted none.
+  {
+    double run_start = 0.0;
+    double max_candidates = 0.0;
+    int run_len = 0;
+    int32_t run_window = kNoWindow;
+    auto flush = [&] {
+      if (run_len >= options.starvation_min_ticks) {
+        ++counts.promotion_starvation;
+        log.Record(Event(EventKind::kAnomalyPromotionStarvation, run_start)
+                       .WithWindow(run_window)
+                       .WithA(run_len)
+                       .WithB(max_candidates));
+      }
+      run_len = 0;
+      max_candidates = 0.0;
+      run_window = kNoWindow;
+    };
+    for (const auto& [t_ms, tick] : ticks) {
+      const bool starved =
+          tick.skipped || (tick.has_promote && tick.promoted == 0.0 && tick.candidates > 0.0);
+      if (starved) {
+        if (run_len == 0) {
+          run_start = t_ms;
+        }
+        ++run_len;
+        max_candidates = std::max(max_candidates, tick.candidates);
+        if (run_window == kNoWindow) {
+          run_window = tick.window;
+        }
+      } else {
+        flush();
+      }
+    }
+    flush();
+  }
+
+  // Solver oscillation: sign-alternating relative swings in achieved
+  // throughput across consecutive re-solves.
+  {
+    int swings = 0;
+    double sum_delta = 0.0;
+    double run_start = 0.0;
+    int prev_sign = 0;
+    int32_t run_window = kNoWindow;
+    auto flush = [&] {
+      if (swings >= options.oscillation_min_swings) {
+        ++counts.solver_oscillation;
+        log.Record(Event(EventKind::kAnomalySolverOscillation, run_start)
+                       .WithWindow(run_window)
+                       .WithA(swings)
+                       .WithB(sum_delta / swings));
+      }
+      swings = 0;
+      sum_delta = 0.0;
+      prev_sign = 0;
+      run_window = kNoWindow;
+    };
+    for (size_t i = 1; i < solver.size(); ++i) {
+      const double prev = solver[i - 1].a;
+      const double rel = (solver[i].a - prev) / std::max(std::abs(prev), 1e-9);
+      const int sign = rel > 0.0 ? 1 : (rel < 0.0 ? -1 : 0);
+      const bool big = std::abs(rel) >= options.oscillation_min_delta && sign != 0;
+      if (big && (prev_sign == 0 || sign == -prev_sign)) {
+        if (swings == 0) {
+          run_start = solver[i - 1].t_ms;
+          run_window = solver[i - 1].window;
+        }
+        if (run_window == kNoWindow) {
+          run_window = solver[i].window;
+        }
+        ++swings;
+        sum_delta += std::abs(rel);
+        prev_sign = sign;
+      } else {
+        flush();
+        if (big) {
+          // A large same-sign move can seed the next run.
+          run_start = solver[i - 1].t_ms;
+          run_window =
+              solver[i - 1].window != kNoWindow ? solver[i - 1].window : solver[i].window;
+          swings = 1;
+          sum_delta = std::abs(rel);
+          prev_sign = sign;
+        }
+      }
+    }
+    flush();
+  }
+
+  if (counts.ping_pong > 0) {
+    registry.GetCounter("anomaly.ping_pong").Add(counts.ping_pong);
+  }
+  if (counts.promotion_starvation > 0) {
+    registry.GetCounter("anomaly.promotion_starvation").Add(counts.promotion_starvation);
+  }
+  if (counts.solver_oscillation > 0) {
+    registry.GetCounter("anomaly.solver_oscillation").Add(counts.solver_oscillation);
+  }
+  return counts;
+}
+
+}  // namespace cxl::telemetry

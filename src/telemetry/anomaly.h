@@ -1,0 +1,60 @@
+// Anomaly detectors over the structured event stream.
+//
+// DetectAnomalies snapshots a registry's events and scans for three
+// pathologies the paper's experiments surface, appending one event per
+// detected episode (plus anomaly.* counters) back into the same registry:
+//
+//   - Page ping-pong / thrash (kAnomalyPingPong): consecutive daemon ticks
+//     that both promote and demote substantial page counts — the §4.2.3
+//     Spark regression signature, where promoted pages are immediately
+//     pushed back out by DRAM pressure.
+//   - Promotion starvation (kAnomalyPromotionStarvation): a run of ticks
+//     with promotion candidates but zero promotions (or skipped ticks) —
+//     the daemon is wedged, backed off, or budget-starved while hot pages
+//     wait in CXL.
+//   - Solver oscillation (kAnomalySolverOscillation): the bandwidth
+//     solver's achieved throughput swinging up and down across consecutive
+//     re-solves instead of settling — a contention feedback loop.
+//
+// Detection is a pure post-processing pass over an already-deterministic
+// event log (no wall clock, no randomness), so running it per sweep cell
+// before the merge keeps byte-identical output at any --jobs.
+#ifndef CXL_EXPLORER_SRC_TELEMETRY_ANOMALY_H_
+#define CXL_EXPLORER_SRC_TELEMETRY_ANOMALY_H_
+
+#include "src/telemetry/metrics.h"
+
+namespace cxl::telemetry {
+
+struct AnomalyOptions {
+  // Ping-pong: a churn tick promotes >= min_pages AND demotes >= min_pages
+  // with min/max >= min_ratio; an episode is >= min_ticks consecutive churn
+  // ticks.
+  int ping_pong_min_ticks = 3;
+  double ping_pong_min_ratio = 0.2;
+  double ping_pong_min_pages = 32;
+  // Starvation: >= min_ticks consecutive ticks that were skipped or had
+  // candidates but promoted nothing.
+  int starvation_min_ticks = 3;
+  // Oscillation: >= min_swings consecutive sign-alternating relative deltas
+  // of magnitude >= min_delta in solver achieved throughput.
+  int oscillation_min_swings = 4;
+  double oscillation_min_delta = 0.05;
+};
+
+struct AnomalyCounts {
+  int ping_pong = 0;
+  int promotion_starvation = 0;
+  int solver_oscillation = 0;
+  int total() const { return ping_pong + promotion_starvation + solver_oscillation; }
+};
+
+// Scans `registry`'s event log and appends anomaly events + counters
+// (anomaly.ping_pong / anomaly.promotion_starvation /
+// anomaly.solver_oscillation) for every detected episode. Idempotent inputs
+// only: call once per cell, before merging.
+AnomalyCounts DetectAnomalies(MetricRegistry& registry, const AnomalyOptions& options = {});
+
+}  // namespace cxl::telemetry
+
+#endif  // CXL_EXPLORER_SRC_TELEMETRY_ANOMALY_H_

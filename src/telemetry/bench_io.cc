@@ -1,5 +1,6 @@
 #include "src/telemetry/bench_io.h"
 
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -35,16 +36,22 @@ bool TakeFlag(const char* flag, int* i, int argc, char** argv, std::string* out)
 
 BenchTelemetry BenchTelemetry::FromArgs(int* argc, char** argv) {
   BenchTelemetry out;
+  std::string ring;
   int kept = 1;
   for (int i = 1; i < *argc; ++i) {
     if (TakeFlag("--metrics-out", &i, *argc, argv, &out.metrics_path_) ||
         TakeFlag("--trace-out", &i, *argc, argv, &out.trace_path_) ||
-        TakeFlag("--bench-json", &i, *argc, argv, &out.bench_json_path_)) {
+        TakeFlag("--bench-json", &i, *argc, argv, &out.bench_json_path_) ||
+        TakeFlag("--events-out", &i, *argc, argv, &out.events_path_) ||
+        TakeFlag("--events-ring", &i, *argc, argv, &ring)) {
       continue;
     }
     argv[kept++] = argv[i];
   }
   *argc = kept;
+  if (!ring.empty()) {
+    out.events_ring_ = std::strtoull(ring.c_str(), nullptr, 10);
+  }
   return out;
 }
 
@@ -94,6 +101,9 @@ bool BenchTelemetry::Write(const std::string& bench_name) {
   if (!trace_path_.empty()) {
     ok &= write_file(trace_path_, [&](std::ostream& os) { WriteChromeTrace(os, registry_); });
   }
+  if (!events_path_.empty()) {
+    ok &= write_file(events_path_, [&](std::ostream& os) { WriteEventsJsonl(os, registry_); });
+  }
   if (!bench_json_path_.empty()) {
     const double wall_ms =
         have_sweep_ ? last_sweep_.wall_ms
@@ -101,12 +111,13 @@ bool BenchTelemetry::Write(const std::string& bench_name) {
                                                                 created_)
                           .count();
     const size_t cells = have_sweep_ ? last_sweep_.cells : 0;
+    const int jobs = have_sweep_ ? last_sweep_.jobs : 1;
     const double speedup = have_sweep_ ? last_sweep_.Speedup() : 1.0;
     ok &= write_file(bench_json_path_, [&](std::ostream& os) {
       char buf[64];
       std::snprintf(buf, sizeof(buf), "%.1f", wall_ms);
       os << "{\"bench\": \"" << JsonEscape(bench_name) << "\", \"cells\": " << cells
-         << ", \"wall_ms\": " << buf;
+         << ", \"jobs\": " << jobs << ", \"wall_ms\": " << buf;
       std::snprintf(buf, sizeof(buf), "%.2f", speedup);
       os << ", \"speedup\": " << buf << "}\n";
     });

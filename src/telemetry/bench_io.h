@@ -1,10 +1,11 @@
 // Bench-side telemetry plumbing: the --metrics-out / --trace-out /
-// --bench-json flags every bench_* binary grows, plus sweep-stat recording.
+// --bench-json / --events-out flags every bench_* binary grows, plus
+// sweep-stat recording.
 //
 // Usage in a bench main:
 //
 //   auto telemetry = telemetry::BenchTelemetry::FromArgs(&argc, argv);
-//   ...
+//   ...per cell: MetricRegistry cell; telemetry.ConfigureSink(&cell); ...
 //   runner::SweepStats stats;
 //   auto grid = runner::RunSweep(cells, fn, sweep_options, &stats);
 //   telemetry.RecordSweep("fig5", stats);
@@ -26,20 +27,34 @@ namespace cxl::telemetry {
 
 class BenchTelemetry {
  public:
-  // Strips `--metrics-out FILE` / `--metrics-out=FILE`, `--trace-out ...`
-  // and `--bench-json ...` from argv, compacting argc (same contract as
-  // runner::JobsFromArgs, so the two parsers compose in either order).
+  // Strips `--metrics-out FILE` / `--metrics-out=FILE`, `--trace-out ...`,
+  // `--bench-json ...`, `--events-out ...` and `--events-ring N` from argv,
+  // compacting argc (same contract as runner::JobsFromArgs, so the two
+  // parsers compose in either order).
   static BenchTelemetry FromArgs(int* argc, char** argv);
 
   // True when any output flag was given.
   bool enabled() const {
-    return !metrics_path_.empty() || !trace_path_.empty() || !bench_json_path_.empty();
+    return !metrics_path_.empty() || !trace_path_.empty() || !bench_json_path_.empty() ||
+           !events_path_.empty();
   }
 
   // The registry to emit into, or nullptr when telemetry is off — pass
   // straight to the nullable sinks the simulation layers take.
   MetricRegistry* sink() { return enabled() ? &registry_ : nullptr; }
   MetricRegistry& registry() { return registry_; }
+
+  // Applies the requested event-log mode to a per-cell registry:
+  // --events-ring N caps the cell's log at the most recent N events
+  // (flight-recorder mode); the default keeps the full log. Call before
+  // the cell simulates. No-op on nullptr, so benches can pass their
+  // per-cell sink unconditionally. The master registry stays unbounded so
+  // a merged file retains every cell's (possibly ring-truncated) tail.
+  void ConfigureSink(MetricRegistry* registry) const {
+    if (registry != nullptr && events_ring_ > 0) {
+      registry->events().set_capacity(events_ring_);
+    }
+  }
 
   // Records one sweep: gauges sweep.<name>.{cells,jobs,wall_ms,serial_ms,
   // max_cell_ms,speedup} plus one span per cell record on track
@@ -49,19 +64,25 @@ class BenchTelemetry {
 
   // Writes whichever outputs were requested. --metrics-out writes CSV when
   // the path ends in ".csv", JSON otherwise; --trace-out writes Chrome
-  // trace-event JSON; --bench-json writes {bench,cells,wall_ms,speedup}
-  // (wall_ms falls back to this object's lifetime when no sweep was
-  // recorded). Returns false (after printing to stderr) on I/O failure.
+  // trace-event JSON; --events-out writes the structured event log as
+  // JSONL (schema cxl-events-v1); --bench-json writes
+  // {bench,cells,jobs,wall_ms,speedup} (wall_ms falls back to this
+  // object's lifetime when no sweep was recorded). Returns false (after
+  // printing to stderr) on I/O failure.
   bool Write(const std::string& bench_name);
 
   const std::string& metrics_path() const { return metrics_path_; }
   const std::string& trace_path() const { return trace_path_; }
   const std::string& bench_json_path() const { return bench_json_path_; }
+  const std::string& events_path() const { return events_path_; }
+  uint64_t events_ring() const { return events_ring_; }
 
  private:
   std::string metrics_path_;
   std::string trace_path_;
   std::string bench_json_path_;
+  std::string events_path_;
+  uint64_t events_ring_ = 0;  // 0 = unbounded (full-log mode).
   MetricRegistry registry_;
   runner::SweepStats last_sweep_;
   bool have_sweep_ = false;

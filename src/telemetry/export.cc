@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <cstdio>
+#include <map>
+#include <vector>
 
 namespace cxl::telemetry {
 
@@ -168,7 +170,109 @@ void WriteChromeTrace(std::ostream& os, const MetricRegistry& registry) {
          << "\",\"ts\":" << Num(p.t_ms * 1e3) << ",\"args\":{\"value\":" << Num(p.value) << "}}";
     }
   }
+  // Structured events: one instants track per emitting cell (tids after the
+  // span tracks, in first-appearance order over the merged stream), plus flow
+  // bindings so a fault window visually chains to its attributed responses.
+  const EventLog& events = registry.events();
+  if (!events.empty()) {
+    std::map<int32_t, size_t> cell_tid;
+    std::vector<int32_t> cell_order;
+    events.ForEach([&](const Event& ev) {
+      if (cell_tid.emplace(ev.cell, trace.tracks().size() + 1 + cell_order.size()).second) {
+        cell_order.push_back(ev.cell);
+      }
+    });
+    for (const int32_t cell : cell_order) {
+      std::string label = "events";
+      if (cell >= 0 && cell < static_cast<int32_t>(events.cells().size()) &&
+          !events.cells()[cell].empty()) {
+        label = events.cells()[cell] + "/events";
+      }
+      sep();
+      os << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << cell_tid[cell]
+         << ",\"name\":\"thread_name\",\"args\":{\"name\":\"" << JsonEscape(label) << "\"}}";
+    }
+    events.ForEach([&](const Event& ev) {
+      const size_t tid = cell_tid[ev.cell];
+      const EventKindInfo& info = KindInfo(ev.kind);
+      sep();
+      os << "{\"ph\":\"i\",\"pid\":1,\"tid\":" << tid << ",\"name\":\"" << info.name
+         << "\",\"ts\":" << Num(ev.t_ms * 1e3) << ",\"s\":\"t\",\"args\":{";
+      bool first_arg = true;
+      auto arg = [&](const char* key, double value) {
+        os << (first_arg ? "" : ",") << "\"" << key << "\":" << Num(value);
+        first_arg = false;
+      };
+      if (ev.window != kNoWindow) {
+        arg("window", ev.window);
+      }
+      if (info.reasons != nullptr) {
+        arg("reason", ev.reason);
+      }
+      if (info.field_a != nullptr) {
+        arg(info.field_a, ev.a);
+      }
+      if (info.field_b != nullptr) {
+        arg(info.field_b, ev.b);
+      }
+      os << "}}";
+      // Flow chain: window open starts, each attributed response is a step,
+      // window close ends. Ids are unique per (cell, window).
+      const char* flow = nullptr;
+      if (ev.kind == EventKind::kFaultWindowOpen) {
+        flow = "s";
+      } else if (ev.kind == EventKind::kFaultWindowClose) {
+        flow = "f";
+      } else if (IsDegradationResponse(ev.kind)) {
+        flow = "t";
+      }
+      if (flow != nullptr && ev.window != kNoWindow) {
+        const long long id =
+            (static_cast<long long>(ev.cell) + 2) * 100000 + ev.window;
+        sep();
+        os << "{\"ph\":\"" << flow << "\",\"pid\":1,\"tid\":" << tid
+           << ",\"cat\":\"fault\",\"name\":\"fault_window\",\"id\":" << id
+           << ",\"ts\":" << Num(ev.t_ms * 1e3);
+        if (flow[0] == 'f') {
+          os << ",\"bp\":\"e\"";
+        }
+        os << "}";
+      }
+    });
+  }
   os << "\n]}\n";
+}
+
+void WriteEventsJsonl(std::ostream& os, const MetricRegistry& registry) {
+  const EventLog& log = registry.events();
+  os << "{\"schema\":\"cxl-events-v1\",\"events\":" << log.size()
+     << ",\"dropped\":" << log.dropped() << ",\"cells\":[";
+  bool first = true;
+  for (const std::string& c : log.cells()) {
+    os << (first ? "" : ",") << "\"" << JsonEscape(c) << "\"";
+    first = false;
+  }
+  os << "]}\n";
+  log.ForEach([&](const Event& e) {
+    const EventKindInfo& info = KindInfo(e.kind);
+    os << "{\"t_ms\":" << Num(e.t_ms) << ",\"kind\":\"" << info.name << "\"";
+    if (e.cell >= 0 && e.cell < static_cast<int32_t>(log.cells().size())) {
+      os << ",\"cell\":\"" << JsonEscape(log.cells()[e.cell]) << "\"";
+    }
+    if (e.window != kNoWindow) {
+      os << ",\"window\":" << e.window;
+    }
+    if (info.reasons != nullptr) {
+      os << ",\"reason\":\"" << EventReasonName(e.kind, e.reason) << "\"";
+    }
+    if (info.field_a != nullptr) {
+      os << ",\"" << info.field_a << "\":" << Num(e.a);
+    }
+    if (info.field_b != nullptr) {
+      os << ",\"" << info.field_b << "\":" << Num(e.b);
+    }
+    os << "}\n";
+  });
 }
 
 }  // namespace cxl::telemetry

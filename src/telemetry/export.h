@@ -22,8 +22,20 @@ void WriteMetricsJson(std::ostream& os, const MetricRegistry& registry);
 void WriteMetricsCsv(std::ostream& os, const MetricRegistry& registry);
 
 // Chrome trace-event JSON: spans/instants on one tid per track (with
-// thread_name metadata), timeline series as "C" counter events.
+// thread_name metadata), timeline series as "C" counter events. Structured
+// events land as "i" instants on per-cell "<cell>/events" tracks, with
+// "s"/"t"/"f" flow bindings chaining each fault window's open event through
+// its attributed degradation responses to its close event.
 void WriteChromeTrace(std::ostream& os, const MetricRegistry& registry);
+
+// Structured event log as JSONL ("cxl-events-v1"): a meta line
+//   {"schema":"cxl-events-v1","events":N,"dropped":D,"cells":[...]}
+// then one self-describing object per event in merged (cell-index) order:
+// t_ms, kind, cell label (omitted pre-merge), window id (omitted when
+// unattributed), reason name, and the kind's named payload fields.
+// Deterministic: sim timestamps only, so the file is byte-identical for any
+// --jobs value.
+void WriteEventsJsonl(std::ostream& os, const MetricRegistry& registry);
 
 // Minimal JSON string escaping (quotes, backslash, control chars).
 std::string JsonEscape(const std::string& s);

@@ -2,26 +2,26 @@
 
 namespace cxl::telemetry {
 
-Counter& MetricRegistry::GetCounter(const std::string& name) {
-  auto& slot = counters_[name];
-  if (slot == nullptr) {
-    slot = std::make_unique<Counter>();
+Counter& MetricRegistry::GetCounter(std::string_view name) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) {
+    return *it->second;
   }
-  return *slot;
+  return *counters_.emplace(std::string(name), std::make_unique<Counter>()).first->second;
 }
 
-Gauge& MetricRegistry::GetGauge(const std::string& name) {
-  auto& slot = gauges_[name];
-  if (slot == nullptr) {
-    slot = std::make_unique<Gauge>();
+Gauge& MetricRegistry::GetGauge(std::string_view name) {
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) {
+    return *it->second;
   }
-  return *slot;
+  return *gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first->second;
 }
 
-void MetricRegistry::RecordHistogram(const std::string& name, const Histogram& h) {
+void MetricRegistry::RecordHistogram(std::string_view name, const Histogram& h) {
   const auto it = histograms_.find(name);
   if (it == histograms_.end()) {
-    histograms_.emplace(name, h);
+    histograms_.emplace(std::string(name), h);
   } else {
     it->second.Merge(h);
   }
@@ -41,6 +41,13 @@ void MetricRegistry::MergeFrom(const MetricRegistry& other, const std::string& p
   }
   timeline_.MergeFrom(other.timeline_, prefix);
   trace_.MergeFrom(other.trace_, prefix);
+  // The cell label is the prefix without its separator ("healthy/" →
+  // "healthy"); an unprefixed merge keeps an empty label.
+  std::string cell = prefix;
+  if (!cell.empty() && cell.back() == '/') {
+    cell.pop_back();
+  }
+  events_.MergeFrom(other.events_, cell);
 }
 
 }  // namespace cxl::telemetry

@@ -21,7 +21,9 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 
+#include "src/telemetry/events.h"
 #include "src/telemetry/timeline.h"
 #include "src/telemetry/trace.h"
 #include "src/util/histogram.h"
@@ -64,17 +66,21 @@ class MetricRegistry {
 
   // Get-or-create. References stay valid for the registry's lifetime
   // (handles live behind unique_ptr, unaffected by later registrations).
-  Counter& GetCounter(const std::string& name);
-  Gauge& GetGauge(const std::string& name);
+  // Heterogeneous lookup: string_view/literal callers allocate only on the
+  // first (creating) call for a given name.
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
 
   // Records a snapshot of `h` under `name`; merges when the name repeats
   // (bucket layouts must match, as with Histogram::Merge).
-  void RecordHistogram(const std::string& name, const Histogram& h);
+  void RecordHistogram(std::string_view name, const Histogram& h);
 
   Timeline& timeline() { return timeline_; }
   const Timeline& timeline() const { return timeline_; }
   TraceBuffer& trace() { return trace_; }
   const TraceBuffer& trace() const { return trace_; }
+  EventLog& events() { return events_; }
+  const EventLog& events() const { return events_; }
 
   // Folds `other` into this registry with every name (and trace track)
   // prefixed: counters add, gauges take the incoming value, histograms
@@ -83,21 +89,26 @@ class MetricRegistry {
   // sweep's thread count and completion order.
   void MergeFrom(const MetricRegistry& other, const std::string& prefix = "");
 
-  const std::map<std::string, std::unique_ptr<Counter>>& counters() const { return counters_; }
-  const std::map<std::string, std::unique_ptr<Gauge>>& gauges() const { return gauges_; }
-  const std::map<std::string, Histogram>& histograms() const { return histograms_; }
+  const std::map<std::string, std::unique_ptr<Counter>, std::less<>>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, std::unique_ptr<Gauge>, std::less<>>& gauges() const {
+    return gauges_;
+  }
+  const std::map<std::string, Histogram, std::less<>>& histograms() const { return histograms_; }
 
   bool empty() const {
     return counters_.empty() && gauges_.empty() && histograms_.empty() && timeline_.empty() &&
-           trace_.empty();
+           trace_.empty() && events_.empty();
   }
 
  private:
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, Histogram> histograms_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
   Timeline timeline_;
   TraceBuffer trace_;
+  EventLog events_;
 };
 
 }  // namespace cxl::telemetry

@@ -1,0 +1,107 @@
+// SLO engine: per-workload latency/throughput objectives evaluated against
+// the epoch samples a workload already produces, with deterministic
+// hysteresis and error-budget burn accounting.
+//
+// Model: an SloTracker receives one observation per epoch (sim-timestamped
+// mean latency and throughput). An objective is *breached* when observed
+// latency exceeds `max_latency_us` or observed throughput falls below
+// `min_throughput`. Hysteresis both ways keeps single-epoch noise out of the
+// record: `arm_observations` consecutive breaches open a violation (emitting
+// kSloViolationOpen with the originating fault window via the attributor
+// callback), `clear_observations` consecutive good epochs close it (emitting
+// kSloViolationClose carrying the burned milliseconds). Burn accrues one
+// observation interval per breached epoch while a violation is open,
+// including the epochs that armed it.
+//
+// Burn *rate* follows the error-budget convention: budget_fraction of the
+// tracked wall (sim) time may be in violation; burn_rate = burned time /
+// budget. A burn rate above 1.0 means the workload has exhausted its budget
+// for the tracked interval.
+//
+// Determinism: observations arrive in sim-time order from a single writer,
+// the attributor is a pure function of sim time, and results land in the
+// cell's own registry — so sweeps stay byte-identical at any --jobs.
+#ifndef CXL_EXPLORER_SRC_TELEMETRY_SLO_H_
+#define CXL_EXPLORER_SRC_TELEMETRY_SLO_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+#include "src/telemetry/events.h"
+#include "src/telemetry/metrics.h"
+
+namespace cxl::telemetry {
+
+struct SloSpec {
+  std::string workload;  // Metric/gauge name stem, e.g. "kv".
+  // Objectives; leave at the defaults to disable a dimension.
+  double max_latency_us = std::numeric_limits<double>::infinity();
+  double min_throughput = 0.0;
+  // Hysteresis: consecutive breached / good observations to open / close.
+  int arm_observations = 2;
+  int clear_observations = 2;
+  // Fraction of tracked time allowed in violation (error budget).
+  double budget_fraction = 0.05;
+};
+
+// Maps a sim timestamp to the fault-window id responsible for it (kNoWindow
+// when the run is healthy at that instant). Kept as a callback so the SLO
+// engine has no dependency on src/fault; benches pass
+// fault::AttributeWindowAt bound to the cell's plan.
+using WindowAttributor = std::function<int32_t(double t_ms)>;
+
+class SloTracker {
+ public:
+  // `sink` is nullable (tracker still accumulates, for tests); `attributor`
+  // may be empty (violations then carry kNoWindow).
+  SloTracker(SloSpec spec, MetricRegistry* sink, WindowAttributor attributor = {});
+
+  // One epoch observation. `latency_us` <= 0 means "no latency reading this
+  // epoch" (e.g. a warm-up epoch with no completed ops) and skips the
+  // latency objective; `throughput` is compared against min_throughput.
+  void Observe(double t_ms, double latency_us, double throughput);
+
+  // Closes any open violation at the last observed timestamp and publishes
+  // gauges: slo.<workload>.burned_ms / .burn_rate / .violations.
+  void Finish();
+
+  // Accounting accessors (valid any time; totals include the open violation
+  // only after Finish or its close).
+  int violations() const { return violations_; }
+  bool violation_open() const { return open_; }
+  double burned_ms() const { return burned_ms_; }
+  // burned / (budget_fraction * tracked span); 0 before two observations.
+  double burn_rate() const;
+
+ private:
+  void OpenViolation(double t_ms, int reason, double observed, double objective);
+  void CloseViolation(double t_ms);
+
+  SloSpec spec_;
+  MetricRegistry* sink_;
+  WindowAttributor attributor_;
+
+  double first_t_ms_ = 0.0;
+  double last_t_ms_ = 0.0;
+  double prev_t_ms_ = 0.0;
+  bool have_obs_ = false;
+
+  int breach_streak_ = 0;
+  int good_streak_ = 0;
+  bool open_ = false;
+  double open_burned_ms_ = 0.0;  // Burn inside the currently open violation.
+  // Pending burn while arming: the breached-but-not-yet-open intervals that
+  // retroactively count once the violation opens.
+  double pending_burn_ms_ = 0.0;
+  int open_reason_ = 0;
+  int32_t open_window_ = kNoWindow;  // Attribution captured at open time.
+
+  int violations_ = 0;
+  double burned_ms_ = 0.0;
+};
+
+}  // namespace cxl::telemetry
+
+#endif  // CXL_EXPLORER_SRC_TELEMETRY_SLO_H_

@@ -10,6 +10,7 @@
 
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace cxl::telemetry {
@@ -36,16 +37,24 @@ class TimeSeries {
 class Timeline {
  public:
   // Returns the series named `name`, creating it if needed. The reference
-  // stays valid for the lifetime of the Timeline.
-  TimeSeries& Series(const std::string& name) { return series_[name]; }
+  // stays valid for the lifetime of the Timeline. Heterogeneous lookup: a
+  // string_view or literal argument only materialises a std::string on the
+  // first (creating) call.
+  TimeSeries& Series(std::string_view name) {
+    const auto it = series_.find(name);
+    if (it != series_.end()) {
+      return it->second;
+    }
+    return series_.emplace(std::string(name), TimeSeries{}).first->second;
+  }
 
   // Convenience one-shot append (registration + lookup per call; probes that
   // sample every tick should hold the Series handle instead).
-  void Sample(const std::string& name, double t_ms, double value) {
-    series_[name].Sample(t_ms, value);
+  void Sample(std::string_view name, double t_ms, double value) {
+    Series(name).Sample(t_ms, value);
   }
 
-  const std::map<std::string, TimeSeries>& series() const { return series_; }
+  const std::map<std::string, TimeSeries, std::less<>>& series() const { return series_; }
   bool empty() const { return series_.empty(); }
 
   // Appends every series of `other` under `prefix + name`. Deterministic:
@@ -53,7 +62,7 @@ class Timeline {
   void MergeFrom(const Timeline& other, const std::string& prefix = "");
 
  private:
-  std::map<std::string, TimeSeries> series_;
+  std::map<std::string, TimeSeries, std::less<>> series_;
 };
 
 }  // namespace cxl::telemetry

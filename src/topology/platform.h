@@ -158,6 +158,12 @@ class TrafficModel {
   void set_solver_mode(mem::SolverMode mode) { solver_.set_mode(mode); }
   mem::SolverMode solver_mode() const { return solver_.mode(); }
 
+  // Warm-start cache observability passthrough: total Solve() calls and the
+  // subset answered from the memoized solution (telemetry emits a
+  // solver_cache_invalidate event when a re-solve was forced).
+  uint64_t solver_solve_count() const { return solver_.solve_count(); }
+  uint64_t solver_cache_hits() const { return solver_.cache_hits(); }
+
  private:
   const Platform& platform_;
   mem::BandwidthSolver solver_;

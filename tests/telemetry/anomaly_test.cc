@@ -1,0 +1,152 @@
+#include "src/telemetry/anomaly.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/telemetry/events.h"
+#include "src/telemetry/metrics.h"
+
+namespace cxl::telemetry {
+namespace {
+
+void Tick(MetricRegistry& reg, double t_ms, double promoted, double demoted,
+          double candidates) {
+  if (promoted > 0.0 || candidates > 0.0) {
+    reg.events().Record(
+        Event(EventKind::kPagePromote, t_ms).WithA(promoted).WithB(candidates));
+  }
+  if (demoted > 0.0) {
+    reg.events().Record(Event(EventKind::kPageDemote, t_ms).WithA(demoted));
+  }
+}
+
+std::vector<Event> EventsOf(MetricRegistry& reg, EventKind kind) {
+  std::vector<Event> out;
+  reg.events().ForEach([&](const Event& e) {
+    if (e.kind == kind) {
+      out.push_back(e);
+    }
+  });
+  return out;
+}
+
+TEST(AnomalyTest, PingPongEpisodeDetected) {
+  MetricRegistry reg;
+  for (int i = 0; i < 5; ++i) {
+    Tick(reg, 10.0 * i, 100.0, 100.0, 100.0);  // Churn: promote == demote.
+  }
+  const AnomalyCounts counts = DetectAnomalies(reg);
+  EXPECT_EQ(counts.ping_pong, 1);
+  const auto events = EventsOf(reg, EventKind::kAnomalyPingPong);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_DOUBLE_EQ(events[0].t_ms, 0.0);       // Episode start.
+  EXPECT_DOUBLE_EQ(events[0].a, 500.0);        // Total promoted in the run.
+  EXPECT_DOUBLE_EQ(events[0].b, 500.0);        // Total demoted.
+  EXPECT_EQ(reg.GetCounter("anomaly.ping_pong").value(), 1u);
+}
+
+TEST(AnomalyTest, ShortChurnRunIsNotAnEpisode) {
+  MetricRegistry reg;
+  Tick(reg, 0.0, 100.0, 100.0, 100.0);
+  Tick(reg, 10.0, 100.0, 100.0, 100.0);  // Only 2 ticks < min_ticks = 3.
+  Tick(reg, 20.0, 100.0, 0.0, 100.0);
+  EXPECT_EQ(DetectAnomalies(reg).ping_pong, 0);
+}
+
+TEST(AnomalyTest, OneSidedChurnIsNotPingPong) {
+  MetricRegistry reg;
+  for (int i = 0; i < 10; ++i) {
+    // Massive promotion, trivial demotion: ratio below min_ratio.
+    Tick(reg, 10.0 * i, 1000.0, 10.0, 1000.0);
+  }
+  EXPECT_EQ(DetectAnomalies(reg).ping_pong, 0);
+}
+
+TEST(AnomalyTest, PromotionStarvationFromCandidatesWithoutPromotions) {
+  MetricRegistry reg;
+  for (int i = 0; i < 4; ++i) {
+    Tick(reg, 10.0 * i, 0.0, 0.0, 50.0);  // Candidates, nothing promoted.
+  }
+  const AnomalyCounts counts = DetectAnomalies(reg);
+  EXPECT_EQ(counts.promotion_starvation, 1);
+  const auto events = EventsOf(reg, EventKind::kAnomalyPromotionStarvation);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_DOUBLE_EQ(events[0].a, 4.0);   // Run length in ticks.
+  EXPECT_DOUBLE_EQ(events[0].b, 50.0);  // Peak waiting candidates.
+}
+
+TEST(AnomalyTest, SkippedTicksCountAsStarvation) {
+  MetricRegistry reg;
+  for (int i = 0; i < 3; ++i) {
+    reg.events().Record(Event(EventKind::kDaemonSkippedTick, 10.0 * i));
+  }
+  EXPECT_EQ(DetectAnomalies(reg).promotion_starvation, 1);
+}
+
+TEST(AnomalyTest, SolverOscillationOnAlternatingSwings) {
+  MetricRegistry reg;
+  // Achieved bandwidth flip-flops 100 <-> 60: relative deltas alternate in
+  // sign with magnitude ~0.4-0.67 >= min_delta.
+  const double values[] = {100.0, 60.0, 100.0, 60.0, 100.0, 60.0};
+  for (int i = 0; i < 6; ++i) {
+    reg.events().Record(
+        Event(EventKind::kSolverCacheInvalidate, 10.0 * i).WithA(values[i]));
+  }
+  const AnomalyCounts counts = DetectAnomalies(reg);
+  EXPECT_EQ(counts.solver_oscillation, 1);
+  const auto events = EventsOf(reg, EventKind::kAnomalySolverOscillation);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_GE(events[0].a, 4.0);  // Swing count.
+  EXPECT_GT(events[0].b, 0.0);  // Mean |relative delta|.
+}
+
+TEST(AnomalyTest, ConvergingSolverIsNotOscillation) {
+  MetricRegistry reg;
+  // Monotone convergence: deltas never alternate.
+  const double values[] = {100.0, 80.0, 70.0, 65.0, 63.0, 62.0};
+  for (int i = 0; i < 6; ++i) {
+    reg.events().Record(
+        Event(EventKind::kSolverCacheInvalidate, 10.0 * i).WithA(values[i]));
+  }
+  EXPECT_EQ(DetectAnomalies(reg).solver_oscillation, 0);
+}
+
+TEST(AnomalyTest, HealthyLogAddsNoCountersOrEvents) {
+  MetricRegistry reg;
+  Tick(reg, 0.0, 100.0, 0.0, 100.0);
+  const AnomalyCounts counts = DetectAnomalies(reg);
+  EXPECT_EQ(counts.total(), 0);
+  // Zero-valued anomaly counters are not even registered.
+  EXPECT_TRUE(EventsOf(reg, EventKind::kAnomalyPingPong).empty());
+  std::ostringstream unused;
+  EXPECT_EQ(reg.counters().size(), 0u);
+}
+
+TEST(AnomalyTest, WindowAttributionPropagatesFromTicks) {
+  MetricRegistry reg;
+  for (int i = 0; i < 5; ++i) {
+    reg.events().Record(
+        Event(EventKind::kPagePromote, 10.0 * i).WithA(100.0).WithB(100.0).WithWindow(2));
+    reg.events().Record(Event(EventKind::kPageDemote, 10.0 * i).WithA(100.0));
+  }
+  DetectAnomalies(reg);
+  const auto events = EventsOf(reg, EventKind::kAnomalyPingPong);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].window, 2);
+}
+
+TEST(AnomalyTest, DeterministicAcrossIdenticalLogs) {
+  const auto run = [] {
+    MetricRegistry reg;
+    for (int i = 0; i < 30; ++i) {
+      Tick(reg, 10.0 * i, (i % 3 == 0) ? 0.0 : 200.0, 180.0, 250.0);
+    }
+    DetectAnomalies(reg);
+    return reg.events().size();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace cxl::telemetry

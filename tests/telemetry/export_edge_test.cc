@@ -1,0 +1,178 @@
+// Exporter edge cases: empty registries, degenerate series, unset gauges,
+// and partially-populated cell event logs must all produce well-formed,
+// deterministic output.
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/telemetry/events.h"
+#include "src/telemetry/export.h"
+#include "src/telemetry/metrics.h"
+
+namespace cxl::telemetry {
+namespace {
+
+std::string MetricsJson(const MetricRegistry& reg) {
+  std::ostringstream os;
+  WriteMetricsJson(os, reg);
+  return os.str();
+}
+
+std::string ChromeTrace(const MetricRegistry& reg) {
+  std::ostringstream os;
+  WriteChromeTrace(os, reg);
+  return os.str();
+}
+
+std::string EventsJsonl(const MetricRegistry& reg) {
+  std::ostringstream os;
+  WriteEventsJsonl(os, reg);
+  return os.str();
+}
+
+size_t CountLines(const std::string& s) {
+  size_t n = 0;
+  for (char c : s) {
+    n += (c == '\n') ? 1u : 0u;
+  }
+  return n;
+}
+
+TEST(ExportEdgeTest, EmptyRegistryMetricsJsonIsWellFormed) {
+  MetricRegistry reg;
+  const std::string json = MetricsJson(reg);
+  EXPECT_NE(json.find("\"schema\": \"cxl-telemetry-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  // Balanced braces, no trailing comma artifacts like ",}".
+  EXPECT_EQ(json.find(",}"), std::string::npos);
+  EXPECT_EQ(json.find(",]"), std::string::npos);
+}
+
+TEST(ExportEdgeTest, EmptyRegistryChromeTraceIsAnEmptyArray) {
+  MetricRegistry reg;
+  const std::string trace = ChromeTrace(reg);
+  EXPECT_EQ(trace.find(",]"), std::string::npos);
+  EXPECT_NE(trace.find('['), std::string::npos);
+  EXPECT_NE(trace.find(']'), std::string::npos);
+}
+
+TEST(ExportEdgeTest, EmptyRegistryEventsJsonlIsJustTheMetaLine) {
+  MetricRegistry reg;
+  const std::string jsonl = EventsJsonl(reg);
+  EXPECT_EQ(CountLines(jsonl), 1u);
+  EXPECT_NE(jsonl.find("\"schema\":\"cxl-events-v1\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"events\":0"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"dropped\":0"), std::string::npos);
+}
+
+TEST(ExportEdgeTest, SingleSampleSeriesExports) {
+  MetricRegistry reg;
+  reg.timeline().Series("lonely.series").Sample(42.0, 3.5);
+  const std::string json = MetricsJson(reg);
+  EXPECT_NE(json.find("lonely.series"), std::string::npos);
+  EXPECT_EQ(json.find(",]"), std::string::npos);
+  // The single sample also becomes exactly one counter event in the trace.
+  const std::string trace = ChromeTrace(reg);
+  EXPECT_NE(trace.find("lonely.series"), std::string::npos);
+}
+
+TEST(ExportEdgeTest, UnsetGaugeIsOmittedNotZeroFilled) {
+  // A registered-but-never-Set gauge would export a misleading 0.0; the
+  // exporters skip it instead, and the JSON stays well-formed.
+  MetricRegistry reg;
+  Gauge& g = reg.GetGauge("never.set");
+  EXPECT_FALSE(g.set());
+  reg.GetGauge("was.set").Set(2.0);
+  const std::string json = MetricsJson(reg);
+  EXPECT_EQ(json.find("never.set"), std::string::npos);
+  EXPECT_NE(json.find("was.set"), std::string::npos);
+  EXPECT_EQ(json.find(",}"), std::string::npos);
+}
+
+TEST(ExportEdgeTest, PartialCellEventsMergeSkipsSilentCells) {
+  // Three cells sweep; only cells 0 and 2 record events. The merged JSONL
+  // must list exactly the cells that contributed, in cell-index order.
+  MetricRegistry cell0;
+  cell0.events().Record(Event(EventKind::kPagePromote, 1.0).WithA(4));
+  MetricRegistry cell1;  // Healthy: no events at all.
+  MetricRegistry cell2;
+  cell2.events().Record(Event(EventKind::kKvPoisonRetry, 2.0).WithWindow(0).WithA(1));
+
+  MetricRegistry master;
+  master.MergeFrom(cell0, "cell0");
+  master.MergeFrom(cell1, "cell1");
+  master.MergeFrom(cell2, "cell2");
+
+  const std::string jsonl = EventsJsonl(master);
+  EXPECT_EQ(CountLines(jsonl), 3u);  // Meta + 2 events.
+  EXPECT_NE(jsonl.find("\"cell\":\"cell0\""), std::string::npos);
+  EXPECT_EQ(jsonl.find("\"cell\":\"cell1\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"cell\":\"cell2\""), std::string::npos);
+  // Meta cell list only names contributors.
+  const std::string meta = jsonl.substr(0, jsonl.find('\n'));
+  EXPECT_NE(meta.find("cell0"), std::string::npos);
+  EXPECT_EQ(meta.find("cell1"), std::string::npos);
+}
+
+TEST(ExportEdgeTest, PreMergeEventsOmitCellField) {
+  MetricRegistry reg;
+  reg.events().Record(Event(EventKind::kPageDemote, 5.0).WithA(2));
+  const std::string jsonl = EventsJsonl(reg);
+  // Only the meta line's "cells" key appears; no per-event "cell" field.
+  size_t occurrences = 0;
+  for (size_t pos = jsonl.find("\"cell\":"); pos != std::string::npos;
+       pos = jsonl.find("\"cell\":", pos + 1)) {
+    ++occurrences;
+  }
+  EXPECT_EQ(occurrences, 0u);
+}
+
+TEST(ExportEdgeTest, UnattributedEventsOmitWindowField) {
+  MetricRegistry reg;
+  reg.events().Record(Event(EventKind::kPagePromote, 1.0).WithA(8));
+  const std::string jsonl = EventsJsonl(reg);
+  EXPECT_EQ(jsonl.find("\"window\""), std::string::npos);
+}
+
+TEST(ExportEdgeTest, RingDropCountSurfacesInMeta) {
+  MetricRegistry reg;
+  reg.events().set_capacity(2);
+  for (int i = 0; i < 5; ++i) {
+    reg.events().Record(Event(EventKind::kPagePromote, i).WithA(1));
+  }
+  const std::string jsonl = EventsJsonl(reg);
+  EXPECT_NE(jsonl.find("\"events\":2"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"dropped\":3"), std::string::npos);
+}
+
+TEST(ExportEdgeTest, ChromeTraceFlowsBindWindowToResponses) {
+  MetricRegistry cell;
+  cell.events().Record(
+      Event(EventKind::kFaultWindowOpen, 10.0).WithWindow(0).WithReason(0));
+  cell.events().Record(
+      Event(EventKind::kKvPoisonRetry, 12.0).WithWindow(0).WithA(1));
+  cell.events().Record(Event(EventKind::kFaultWindowClose, 20.0).WithWindow(0));
+  MetricRegistry master;
+  master.MergeFrom(cell, "storm");
+  const std::string trace = ChromeTrace(master);
+  // Flow start on the open, step on the response, finish on the close.
+  EXPECT_NE(trace.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"t\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(trace.find("storm/events"), std::string::npos);
+}
+
+TEST(ExportEdgeTest, DeterministicByteOutputAcrossRepeatedExports) {
+  MetricRegistry reg;
+  reg.GetCounter("c").Add(3);
+  reg.GetGauge("g").Set(1.5);
+  reg.timeline().Series("s").Sample(0.0, 1.0);
+  reg.events().Record(Event(EventKind::kPagePromote, 1.0).WithA(2));
+  EXPECT_EQ(MetricsJson(reg), MetricsJson(reg));
+  EXPECT_EQ(ChromeTrace(reg), ChromeTrace(reg));
+  EXPECT_EQ(EventsJsonl(reg), EventsJsonl(reg));
+}
+
+}  // namespace
+}  // namespace cxl::telemetry

@@ -1,0 +1,164 @@
+#include "src/telemetry/slo.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/telemetry/events.h"
+#include "src/telemetry/metrics.h"
+
+namespace cxl::telemetry {
+namespace {
+
+SloSpec LatencySpec(double max_us) {
+  SloSpec spec;
+  spec.workload = "kv";
+  spec.max_latency_us = max_us;
+  return spec;
+}
+
+std::vector<Event> EventsOf(MetricRegistry& reg, EventKind kind) {
+  std::vector<Event> out;
+  reg.events().ForEach([&](const Event& e) {
+    if (e.kind == kind) {
+      out.push_back(e);
+    }
+  });
+  return out;
+}
+
+TEST(SloTrackerTest, SingleBreachDoesNotArm) {
+  MetricRegistry reg;
+  SloTracker slo(LatencySpec(100.0), &reg);
+  slo.Observe(0.0, 50.0, 1.0);
+  slo.Observe(10.0, 150.0, 1.0);  // One breach: below arm_observations = 2.
+  slo.Observe(20.0, 50.0, 1.0);
+  slo.Finish();
+  EXPECT_EQ(slo.violations(), 0);
+  EXPECT_DOUBLE_EQ(slo.burned_ms(), 0.0);
+  EXPECT_TRUE(EventsOf(reg, EventKind::kSloViolationOpen).empty());
+}
+
+TEST(SloTrackerTest, ConsecutiveBreachesOpenAndBurnRetroactively) {
+  MetricRegistry reg;
+  SloTracker slo(LatencySpec(100.0), &reg);
+  slo.Observe(0.0, 50.0, 1.0);
+  slo.Observe(10.0, 150.0, 1.0);  // Breach 1: 10 ms pending.
+  slo.Observe(20.0, 150.0, 1.0);  // Breach 2: arms; pending counts.
+  slo.Observe(30.0, 150.0, 1.0);  // Burns 10 more ms.
+  slo.Observe(40.0, 50.0, 1.0);   // Good 1.
+  slo.Observe(50.0, 50.0, 1.0);   // Good 2: closes.
+  slo.Finish();
+  EXPECT_EQ(slo.violations(), 1);
+  // Breached intervals: (0,10]+(10,20] armed retroactively, (20,30] open.
+  EXPECT_DOUBLE_EQ(slo.burned_ms(), 30.0);
+  const auto opens = EventsOf(reg, EventKind::kSloViolationOpen);
+  const auto closes = EventsOf(reg, EventKind::kSloViolationClose);
+  ASSERT_EQ(opens.size(), 1u);
+  ASSERT_EQ(closes.size(), 1u);
+  EXPECT_DOUBLE_EQ(opens[0].t_ms, 20.0);
+  EXPECT_DOUBLE_EQ(opens[0].a, 150.0);   // Observed.
+  EXPECT_DOUBLE_EQ(opens[0].b, 100.0);   // Objective.
+  EXPECT_DOUBLE_EQ(closes[0].t_ms, 50.0);
+  EXPECT_DOUBLE_EQ(closes[0].a, 30.0);   // Burned ms.
+}
+
+TEST(SloTrackerTest, SingleGoodEpochDoesNotClose) {
+  MetricRegistry reg;
+  SloTracker slo(LatencySpec(100.0), &reg);
+  slo.Observe(0.0, 150.0, 1.0);
+  slo.Observe(10.0, 150.0, 1.0);  // Arms.
+  slo.Observe(20.0, 50.0, 1.0);   // Good 1: not enough to clear.
+  slo.Observe(30.0, 150.0, 1.0);  // Breach again: still the same violation.
+  EXPECT_TRUE(slo.violation_open());
+  slo.Finish();
+  EXPECT_EQ(slo.violations(), 1);
+  EXPECT_EQ(EventsOf(reg, EventKind::kSloViolationClose).size(), 1u);  // From Finish.
+}
+
+TEST(SloTrackerTest, ThroughputObjectiveUsesReasonCode) {
+  SloSpec spec;
+  spec.workload = "kv";
+  spec.min_throughput = 100.0;
+  MetricRegistry reg;
+  SloTracker slo(spec, &reg);
+  slo.Observe(0.0, 0.0, 150.0);
+  slo.Observe(10.0, 0.0, 50.0);
+  slo.Observe(20.0, 0.0, 50.0);  // Arms on throughput.
+  slo.Finish();
+  const auto opens = EventsOf(reg, EventKind::kSloViolationOpen);
+  ASSERT_EQ(opens.size(), 1u);
+  EXPECT_STREQ(EventReasonName(EventKind::kSloViolationOpen, opens[0].reason), "throughput");
+}
+
+TEST(SloTrackerTest, WarmupEpochsSkipLatencyObjective) {
+  MetricRegistry reg;
+  SloTracker slo(LatencySpec(100.0), &reg);
+  slo.Observe(0.0, 0.0, 1.0);   // No latency reading: not a breach.
+  slo.Observe(10.0, 0.0, 1.0);
+  slo.Observe(20.0, 0.0, 1.0);
+  slo.Finish();
+  EXPECT_EQ(slo.violations(), 0);
+}
+
+TEST(SloTrackerTest, AttributorStampsWindowOnOpenAndClose) {
+  MetricRegistry reg;
+  SloTracker slo(LatencySpec(100.0), &reg, [](double t_ms) {
+    return t_ms >= 10.0 ? 4 : kNoWindow;
+  });
+  slo.Observe(0.0, 150.0, 1.0);
+  slo.Observe(10.0, 150.0, 1.0);  // Arms at t=10: window 4.
+  slo.Observe(20.0, 50.0, 1.0);
+  slo.Observe(30.0, 50.0, 1.0);   // Closes.
+  slo.Finish();
+  const auto opens = EventsOf(reg, EventKind::kSloViolationOpen);
+  const auto closes = EventsOf(reg, EventKind::kSloViolationClose);
+  ASSERT_EQ(opens.size(), 1u);
+  ASSERT_EQ(closes.size(), 1u);
+  EXPECT_EQ(opens[0].window, 4);
+  EXPECT_EQ(closes[0].window, 4);  // The close echoes the opening window.
+}
+
+TEST(SloTrackerTest, FinishClosesOpenViolationAndPublishesGauges) {
+  MetricRegistry reg;
+  SloTracker slo(LatencySpec(100.0), &reg);
+  slo.Observe(0.0, 50.0, 1.0);
+  for (int i = 1; i <= 10; ++i) {
+    slo.Observe(10.0 * i, 150.0, 1.0);
+  }
+  EXPECT_TRUE(slo.violation_open());
+  slo.Finish();
+  EXPECT_FALSE(slo.violation_open());
+  EXPECT_EQ(slo.violations(), 1);
+  EXPECT_DOUBLE_EQ(slo.burned_ms(), 100.0);
+  EXPECT_DOUBLE_EQ(reg.GetGauge("slo.kv.burned_ms").value(), 100.0);
+  EXPECT_DOUBLE_EQ(reg.GetGauge("slo.kv.violations").value(), 1.0);
+  // Budget = 5% of the 100 ms span = 5 ms; burned 100 ms => rate 20.
+  EXPECT_DOUBLE_EQ(reg.GetGauge("slo.kv.burn_rate").value(), 20.0);
+  EXPECT_DOUBLE_EQ(slo.burn_rate(), 20.0);
+}
+
+TEST(SloTrackerTest, NullSinkStillAccumulates) {
+  SloTracker slo(LatencySpec(100.0), nullptr);
+  slo.Observe(0.0, 150.0, 1.0);
+  slo.Observe(10.0, 150.0, 1.0);
+  slo.Finish();
+  EXPECT_EQ(slo.violations(), 1);
+  EXPECT_GT(slo.burned_ms(), 0.0);
+}
+
+TEST(SloTrackerTest, DeterministicAcrossIdenticalRuns) {
+  const auto run = [] {
+    MetricRegistry reg;
+    SloTracker slo(LatencySpec(100.0), &reg);
+    for (int i = 0; i < 50; ++i) {
+      slo.Observe(5.0 * i, (i % 7 < 3) ? 150.0 : 50.0, 1.0);
+    }
+    slo.Finish();
+    return std::make_pair(slo.violations(), slo.burned_ms());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace cxl::telemetry

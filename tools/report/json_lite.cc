@@ -1,0 +1,371 @@
+#include "tools/report/json_lite.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace cxl::report {
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (!is_object()) {
+    return nullptr;
+  }
+  const auto it = object_.find(std::string(key));
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+double JsonValue::Number(std::string_view key, double fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_number() ? v->number_ : fallback;
+}
+
+std::string JsonValue::String(std::string_view key, const std::string& fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_string() ? v->string_ : fallback;
+}
+
+JsonValue JsonValue::MakeBool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::MakeNumber(double d) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = d;
+  return v;
+}
+
+JsonValue JsonValue::MakeString(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::MakeArray(Array a) {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  v.array_ = std::move(a);
+  return v;
+}
+
+JsonValue JsonValue::MakeObject(Object o) {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  v.object_ = std::move(o);
+  return v;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  bool Parse(JsonValue* out, std::string* error) {
+    SkipSpace();
+    if (!ParseValue(out)) {
+      if (error != nullptr) {
+        *error = error_ + " at byte " + std::to_string(pos_);
+      }
+      return false;
+    }
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      if (error != nullptr) {
+        *error = "trailing characters at byte " + std::to_string(pos_);
+      }
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  bool Fail(const std::string& message) {
+    if (error_.empty()) {
+      error_ = message;
+    }
+    return false;
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                                   text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return Fail("invalid literal");
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    if (pos_ >= text_.size()) {
+      return Fail("unexpected end of input");
+    }
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"': {
+        std::string s;
+        if (!ParseString(&s)) {
+          return false;
+        }
+        *out = JsonValue::MakeString(std::move(s));
+        return true;
+      }
+      case 't':
+        if (!Literal("true")) {
+          return false;
+        }
+        *out = JsonValue::MakeBool(true);
+        return true;
+      case 'f':
+        if (!Literal("false")) {
+          return false;
+        }
+        *out = JsonValue::MakeBool(false);
+        return true;
+      case 'n':
+        if (!Literal("null")) {
+          return false;
+        }
+        *out = JsonValue::MakeNull();
+        return true;
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Fail("expected a value");
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      return Fail("malformed number '" + token + "'");
+    }
+    *out = JsonValue::MakeNumber(d);
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (text_[pos_] != '"') {
+      return Fail("expected '\"'");
+    }
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        return Fail("unterminated escape");
+      }
+      c = text_[pos_++];
+      switch (c) {
+        case '"':
+        case '\\':
+        case '/':
+          out->push_back(c);
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return Fail("truncated \\u escape");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Fail("malformed \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are not
+          // produced by this repo's writers; a lone surrogate encodes
+          // as-is, which round-trips for diffing purposes).
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Fail("unknown escape");
+      }
+    }
+    if (pos_ >= text_.size()) {
+      return Fail("unterminated string");
+    }
+    ++pos_;  // Closing quote.
+    return true;
+  }
+
+  bool ParseArray(JsonValue* out) {
+    ++pos_;  // '['.
+    JsonValue::Array items;
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      *out = JsonValue::MakeArray(std::move(items));
+      return true;
+    }
+    while (true) {
+      JsonValue item;
+      SkipSpace();
+      if (!ParseValue(&item)) {
+        return false;
+      }
+      items.push_back(std::move(item));
+      SkipSpace();
+      if (pos_ >= text_.size()) {
+        return Fail("unterminated array");
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        *out = JsonValue::MakeArray(std::move(items));
+        return true;
+      }
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  bool ParseObject(JsonValue* out) {
+    ++pos_;  // '{'.
+    JsonValue::Object fields;
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      *out = JsonValue::MakeObject(std::move(fields));
+      return true;
+    }
+    while (true) {
+      SkipSpace();
+      std::string key;
+      if (pos_ >= text_.size() || text_[pos_] != '"' || !ParseString(&key)) {
+        return Fail("expected object key");
+      }
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return Fail("expected ':'");
+      }
+      ++pos_;
+      SkipSpace();
+      JsonValue value;
+      if (!ParseValue(&value)) {
+        return false;
+      }
+      fields[std::move(key)] = std::move(value);
+      SkipSpace();
+      if (pos_ >= text_.size()) {
+        return Fail("unterminated object");
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        *out = JsonValue::MakeObject(std::move(fields));
+        return true;
+      }
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+bool ParseJson(std::string_view text, JsonValue* out, std::string* error) {
+  *out = JsonValue();
+  return Parser(text).Parse(out, error);
+}
+
+bool ParseJsonLines(std::string_view text, std::vector<JsonValue>* out, std::string* error) {
+  out->clear();
+  size_t line_start = 0;
+  size_t line_no = 0;
+  while (line_start <= text.size()) {
+    size_t line_end = text.find('\n', line_start);
+    if (line_end == std::string_view::npos) {
+      line_end = text.size();
+    }
+    ++line_no;
+    const std::string_view line = text.substr(line_start, line_end - line_start);
+    if (!line.empty() && line.find_first_not_of(" \t\r") != std::string_view::npos) {
+      JsonValue value;
+      std::string line_error;
+      if (!ParseJson(line, &value, &line_error)) {
+        if (error != nullptr) {
+          *error = "line " + std::to_string(line_no) + ": " + line_error;
+        }
+        return false;
+      }
+      out->push_back(std::move(value));
+    }
+    if (line_end == text.size()) {
+      break;
+    }
+    line_start = line_end + 1;
+  }
+  return true;
+}
+
+}  // namespace cxl::report

@@ -1,0 +1,78 @@
+// Minimal recursive-descent JSON parser for the repo's own telemetry
+// outputs (metrics JSON, events JSONL, bench-json summaries). Deliberately
+// small: no streaming, no SAX, objects are std::map (ordered — iteration is
+// deterministic, which the report generator relies on for byte-stable
+// output). Duplicate keys keep the last value, matching common JSON
+// behaviour.
+//
+// Not a general-purpose library: inputs are trusted files this repo wrote
+// itself, so the error handling favours a clear message over recovery.
+#ifndef CXL_EXPLORER_TOOLS_REPORT_JSON_LITE_H_
+#define CXL_EXPLORER_TOOLS_REPORT_JSON_LITE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cxl::report {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Array = std::vector<JsonValue>;
+  using Object = std::map<std::string, JsonValue>;
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool AsBool(bool fallback = false) const { return is_bool() ? bool_ : fallback; }
+  double AsDouble(double fallback = 0.0) const { return is_number() ? number_ : fallback; }
+  const std::string& AsString() const { return string_; }
+  const Array& AsArray() const { return array_; }
+  const Object& AsObject() const { return object_; }
+
+  // Object field lookup; returns nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+  // Convenience typed lookups with fallbacks for absent/mistyped fields.
+  double Number(std::string_view key, double fallback = 0.0) const;
+  std::string String(std::string_view key, const std::string& fallback = "") const;
+  // True when `key` exists (any type).
+  bool Has(std::string_view key) const { return Find(key) != nullptr; }
+
+  static JsonValue MakeNull() { return JsonValue(); }
+  static JsonValue MakeBool(bool b);
+  static JsonValue MakeNumber(double d);
+  static JsonValue MakeString(std::string s);
+  static JsonValue MakeArray(Array a);
+  static JsonValue MakeObject(Object o);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+// Parses one JSON document from `text`. On failure returns false and fills
+// `error` (with a byte offset) when non-null; `out` is left null.
+bool ParseJson(std::string_view text, JsonValue* out, std::string* error = nullptr);
+
+// Parses a JSONL buffer: one JSON value per non-empty line. Stops at the
+// first malformed line (reported with its 1-based line number).
+bool ParseJsonLines(std::string_view text, std::vector<JsonValue>* out,
+                    std::string* error = nullptr);
+
+}  // namespace cxl::report
+
+#endif  // CXL_EXPLORER_TOOLS_REPORT_JSON_LITE_H_
