@@ -28,7 +28,9 @@ StatusOr<PolicyRun> RunKeyDb(os::PromotionMode mode, workload::OpSource& source,
   // A realistic production cap — which TPP predates and ignores.
   tc.promote_rate_limit_mbps = 256.0;
   os::TieredMemory tiering(allocator, tc);
-  tiering.AttachTelemetry(sink);
+  os::TieredMemory::Observers obs;
+  obs.telemetry = sink;
+  tiering.Attach(obs);
   apps::kv::KvStoreConfig store_cfg;
   store_cfg.record_count = dataset_bytes / 1024;
   const auto setup = core::MakeCapacitySetup(core::CapacityConfig::kHotPromote, platform);

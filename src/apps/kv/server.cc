@@ -34,7 +34,13 @@ KvServerSim::KvServerSim(const topology::Platform& platform, KvStore& store,
                       ? std::max<uint64_t>(2, static_cast<uint64_t>(1.0 / shed_fraction + 0.5))
                       : std::numeric_limits<uint64_t>::max();
     if (tiering_ != nullptr) {
-      tiering_->AttachFaults(faults_);
+      // Full observer set: the daemon's telemetry is this server's sink (the
+      // same registry the caller attached at construction, so the daemon
+      // keeps its cached handles and trace track).
+      os::TieredMemory::Observers obs;
+      obs.telemetry = telemetry_;
+      obs.faults = faults_;
+      tiering_->Attach(obs);
     }
   }
   if (telemetry_ != nullptr) {

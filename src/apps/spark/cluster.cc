@@ -111,6 +111,7 @@ SparkCluster::SparkCluster(SparkConfig config) : config_(config) {
   if (config.mode == SparkMemoryMode::kHotPromote) {
     allocator_ = std::make_unique<os::PageAllocator>(*platform_);
     os::TieringConfig tc;
+    tc.policy = config.tiering_policy;
     tc.promote_rate_limit_mbps = config.promote_rate_limit_mbps;
     tc.dynamic_threshold = true;
     tc.hint_fault_sample_rate = 0.05;
@@ -243,15 +244,24 @@ void SparkCluster::AttachTelemetry(telemetry::MetricRegistry* sink) {
     spark_track_ = telemetry_->trace().Track("spark/" + ModeLabel(config_.mode));
   }
   if (tiering_ != nullptr) {
-    tiering_->AttachTelemetry(sink);
+    tiering_->Attach(TieringObservers());
   }
 }
 
 void SparkCluster::AttachFaults(fault::FaultInjector* faults) {
   faults_ = faults;
-  if (tiering_ != nullptr && faults_ != nullptr && faults_->enabled()) {
-    tiering_->AttachFaults(faults_);
+  if (tiering_ != nullptr) {
+    tiering_->Attach(TieringObservers());
   }
+}
+
+os::TieredMemory::Observers SparkCluster::TieringObservers() const {
+  os::TieredMemory::Observers obs;
+  obs.telemetry = telemetry_;
+  if (faults_ != nullptr && faults_->enabled()) {
+    obs.faults = faults_;
+  }
+  return obs;
 }
 
 void SparkCluster::ResetHotPromoteState() {
@@ -272,10 +282,7 @@ void SparkCluster::ResetHotPromoteState() {
   stream_cursor_ = 0;
   const os::TieringConfig tc = tiering_->config();
   tiering_ = std::make_unique<os::TieredMemory>(*allocator_, tc);
-  tiering_->AttachTelemetry(telemetry_);
-  if (faults_ != nullptr && faults_->enabled()) {
-    tiering_->AttachFaults(faults_);
-  }
+  tiering_->Attach(TieringObservers());
   const auto shares = region_->NodeShares();
   for (auto& g : groups_) {
     g.node_shares = shares;

@@ -76,6 +76,9 @@ struct SparkConfig {
   double network_gbps_per_server = 12.5;
   // Promotion rate limit for kHotPromote (MB/s).
   double promote_rate_limit_mbps = 3000.0;
+  // PolicyRegistry name of the promotion policy for kHotPromote; empty =
+  // the TieringConfig default (hot page selection).
+  std::string tiering_policy;
 
   static SparkConfig MmemOnly();
   static SparkConfig Interleave(int top, int low);
@@ -161,6 +164,10 @@ class SparkCluster {
   // Restores the 1:1 placement and cold hotness state before a query
   // (Hot-Promote mode only; queries are measured as independent runs).
   void ResetHotPromoteState();
+
+  // The daemon's current observer set (telemetry_ plus the injector when
+  // enabled) — one struct for TieredMemory::Attach.
+  os::TieredMemory::Observers TieringObservers() const;
 
   SparkConfig config_;
   std::unique_ptr<topology::Platform> platform_;  // One modelled server.

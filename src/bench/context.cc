@@ -7,6 +7,8 @@
 #include <memory>
 #include <vector>
 
+#include "src/os/policy_registry.h"
+
 namespace cxl::bench {
 
 namespace {
@@ -68,6 +70,10 @@ Context Context::FromArgs(int* argc, char** argv) {
       knob_args.push_back(value);
       continue;
     }
+    if (TakeFlag("--tiering-policy", &i, *argc, argv, &value)) {
+      ctx.tiering_policy_ = value;
+      continue;
+    }
     argv[kept++] = argv[i];
   }
   *argc = kept;
@@ -112,6 +118,14 @@ Context Context::FromArgs(int* argc, char** argv) {
     }
   }
   ctx.fault_tunables_ = fault::FaultTunablesFromKnobs(ctx.knobs_);
+  if (!ctx.tiering_policy_.empty() &&
+      !os::PolicyRegistry::BuiltIns().Has(ctx.tiering_policy_)) {
+    std::string known;
+    for (const auto& name : os::PolicyRegistry::BuiltIns().Names()) {
+      known += known.empty() ? name : ", " + name;
+    }
+    DieUsage("unknown --tiering-policy \"" + ctx.tiering_policy_ + "\" (known: " + known + ")");
+  }
   return ctx;
 }
 
@@ -124,6 +138,7 @@ core::ExperimentEnv Context::Env(uint64_t seed) {
   env.faults = faults_;
   env.fault_seed = fault_seed_;
   env.fault_tunables = fault_tunables_;
+  env.tiering_policy = tiering_policy_;
   return env;
 }
 

@@ -14,6 +14,11 @@
 //                             anomalies — tools/report/cxl_report input
 //   --events-ring N           keep only the most recent N events per cell
 //                             (flight-recorder mode; default: full log)
+//   --tiering-policy NAME     promotion policy for experiments that run the
+//                             tiering daemon (a PolicyRegistry name:
+//                             hot-page-selection, mru-balancing, tpp-like,
+//                             adaptive-feedback); unset keeps each bench's
+//                             default
 //   --faults SPEC             fault plan: "storm" or an event list, e.g.
 //                             "downtrain@2+3=8,poison=1e-4"
 //                             (see fault::FaultPlan::Parse / docs/faults.md)
@@ -80,6 +85,10 @@ class Context {
   // The declared fault.* knobs after --fault-knob overrides (for listings).
   const KnobSet& knobs() const { return knobs_; }
 
+  // --tiering-policy (validated against PolicyRegistry::BuiltIns(); empty
+  // when the flag was not given).
+  const std::string& tiering_policy() const { return tiering_policy_; }
+
   // Shared experiment environment carrying this context's jobs, sink and
   // fault plan (plus the caller's base seed) into a Run*Experiment call.
   core::ExperimentEnv Env(uint64_t seed = 1);
@@ -97,6 +106,7 @@ class Context {
   uint64_t fault_seed_ = 1;
   fault::FaultTunables fault_tunables_;
   KnobSet knobs_;
+  std::string tiering_policy_;
 };
 
 }  // namespace cxl::bench

@@ -86,8 +86,12 @@ StatusOr<KeyDbExperimentResult> RunKeyDbExperiment(CapacityConfig config,
   os::PageAllocator allocator(platform, kKvPageBytes);
   std::unique_ptr<os::TieredMemory> tiering;
   if (setup.hot_promote) {
-    tiering = std::make_unique<os::TieredMemory>(allocator, DefaultTieringConfig());
-    tiering->AttachTelemetry(env.telemetry);
+    os::TieringConfig tc = DefaultTieringConfig();
+    tc.policy = env.tiering_policy;
+    tiering = std::make_unique<os::TieredMemory>(allocator, tc);
+    os::TieredMemory::Observers obs;
+    obs.telemetry = env.telemetry;
+    tiering->Attach(obs);
   }
 
   KvStoreConfig store_cfg;
@@ -214,7 +218,11 @@ StatusOr<VmExperimentResult> RunVmCxlOnlyExperiment(KeyDbExperimentOptions optio
 
 StatusOr<SparkExperimentResult> RunSparkExperiment(const SparkExperimentOptions& options) {
   const ExperimentEnv& env = options.env;
-  apps::spark::SparkCluster cluster(options.cluster);
+  apps::spark::SparkConfig cluster_cfg = options.cluster;
+  if (cluster_cfg.tiering_policy.empty()) {
+    cluster_cfg.tiering_policy = env.tiering_policy;
+  }
+  apps::spark::SparkCluster cluster(cluster_cfg);
   cluster.AttachTelemetry(env.telemetry);
   auto injector = MakeInjector(env, env.telemetry, env.fault_seed);
   cluster.AttachFaults(injector.get());

@@ -172,6 +172,9 @@ class FaultInjector {
   double DramLatencyFactor() const { return dram_factor_ > 0.0 ? 1.0 / dram_factor_ : 1.0; }
   // True while a kDaemonStall event covers now_s().
   bool DaemonStalled() const { return stalled_; }
+  // True while any link-degrading window (down-train, CRC storm) is active —
+  // the signal tiering policies use to back their migration traffic off.
+  bool LinkDegraded() const { return link_degraded_; }
   double PoisonProbability() const { return poison_p_; }
   double FlashErrorProbability() const { return flash_p_; }
   // True when any event is active at now_s().

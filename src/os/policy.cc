@@ -1,0 +1,164 @@
+#include "src/os/policy.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/os/policy_registry.h"
+#include "src/os/tiering.h"
+
+namespace cxl::os {
+
+// ---------------------------------------------------------------------------
+// HotPageSelectionPolicy
+
+HotPageSelectionPolicy::HotPageSelectionPolicy(const TieringConfig& config)
+    : hot_threshold_(config.initial_hot_threshold),
+      initial_hot_threshold_(config.initial_hot_threshold),
+      dynamic_threshold_(config.dynamic_threshold) {}
+
+const char* HotPageSelectionPolicy::name() const { return kHotPageSelectionPolicyName; }
+
+TickDecision HotPageSelectionPolicy::Decide(const TickContext& ctx) {
+  TickDecision decision;
+  decision.scan = CandidateScan::kHotnessRanked;
+  decision.hot_threshold = hot_threshold_;
+  decision.budget_pages = ctx.base_budget_pages;
+  return decision;
+}
+
+void HotPageSelectionPolicy::Observe(const TickObservation& obs) {
+  // Dynamic threshold adjustment: aim the candidate volume at the rate
+  // limit (the hot-page-selection patch). Too many candidates -> raise the
+  // bar; too few -> lower it (floor at 1 sampled access, bounded below by a
+  // quarter of the configured threshold so pages with a single sampled hit
+  // do not churn — the kernel's adjustment is similarly bounded).
+  if (dynamic_threshold_ && obs.budget_pages > 0) {
+    if (obs.candidates > 2 * obs.budget_pages) {
+      hot_threshold_ *= 1.3;
+    } else if (obs.candidates < obs.budget_pages / 2) {
+      hot_threshold_ =
+          std::max(std::max(1.0, 0.25 * initial_hot_threshold_), hot_threshold_ * 0.8);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MruBalancingPolicy
+
+MruBalancingPolicy::MruBalancingPolicy(const TieringConfig& config)
+    : hot_threshold_(config.initial_hot_threshold) {}
+
+const char* MruBalancingPolicy::name() const { return kMruBalancingPolicyName; }
+
+TickDecision MruBalancingPolicy::Decide(const TickContext& ctx) {
+  TickDecision decision;
+  decision.scan = CandidateScan::kRecency;
+  decision.hot_threshold = hot_threshold_;
+  decision.budget_pages = ctx.base_budget_pages;
+  return decision;
+}
+
+// ---------------------------------------------------------------------------
+// TppLikePolicy
+
+TppLikePolicy::TppLikePolicy(const TieringConfig& config)
+    : hot_threshold_(config.initial_hot_threshold) {}
+
+const char* TppLikePolicy::name() const { return kTppLikePolicyName; }
+
+TickDecision TppLikePolicy::Decide(const TickContext&) {
+  // TPP predates the rate-limit mechanism: it promotes unboundedly.
+  TickDecision decision;
+  decision.scan = CandidateScan::kSecondAccess;
+  decision.hot_threshold = hot_threshold_;
+  decision.budget_pages = std::numeric_limits<uint64_t>::max();
+  return decision;
+}
+
+// ---------------------------------------------------------------------------
+// AdaptiveFeedbackPolicy
+
+AdaptiveFeedbackPolicy::AdaptiveFeedbackPolicy(const TieringConfig& config,
+                                               AdaptiveFeedbackConfig feedback)
+    : feedback_(feedback),
+      hot_threshold_(config.initial_hot_threshold),
+      initial_hot_threshold_(config.initial_hot_threshold),
+      dynamic_threshold_(config.dynamic_threshold) {}
+
+const char* AdaptiveFeedbackPolicy::name() const { return kAdaptiveFeedbackPolicyName; }
+
+TickDecision AdaptiveFeedbackPolicy::Decide(const TickContext& ctx) {
+  if (ctx.link_degraded) {
+    // Exponential backoff while the link is degraded: run one probe tick,
+    // then sit out 2, 4, 8, ... ticks (capped). The probe keeps a trickle
+    // of observations flowing so recovery is immediate once the window
+    // closes; the skips keep migration traffic off the down-trained link.
+    if (skip_remaining_ > 0) {
+      --skip_remaining_;
+      TickDecision skip;
+      skip.hot_threshold = hot_threshold_;
+      skip.skip_tick = true;
+      return skip;
+    }
+    next_skip_run_ = std::min(std::max(1, 2 * next_skip_run_),
+                              std::max(1, feedback_.backoff_max_ticks));
+    skip_remaining_ = next_skip_run_;
+  } else {
+    skip_remaining_ = 0;
+    next_skip_run_ = 1;
+  }
+
+  TickDecision decision;
+  decision.scan = CandidateScan::kHotnessRanked;
+  decision.hot_threshold = hot_threshold_;
+  decision.budget_pages =
+      aggressiveness_ >= 1.0
+          ? ctx.base_budget_pages
+          : std::max<uint64_t>(1, static_cast<uint64_t>(static_cast<double>(ctx.base_budget_pages) *
+                                                        aggressiveness_));
+  return decision;
+}
+
+void AdaptiveFeedbackPolicy::Observe(const TickObservation& obs) {
+  // Threshold dynamics identical to hot page selection — on a stable hot
+  // set, with no thrash evidence, this policy must be indistinguishable
+  // from it.
+  if (dynamic_threshold_ && obs.budget_pages > 0) {
+    if (obs.candidates > 2 * obs.budget_pages) {
+      hot_threshold_ *= 1.3;
+    } else if (obs.candidates < obs.budget_pages / 2) {
+      hot_threshold_ =
+          std::max(std::max(1.0, 0.25 * initial_hot_threshold_), hot_threshold_ * 0.8);
+    }
+  }
+
+  if (obs.recent_promoted < feedback_.min_signal_pages) {
+    return;  // Too few recent promotions to judge; leave the learned state.
+  }
+  const double ratio = static_cast<double>(obs.recent_promoted_hot) /
+                       static_cast<double>(obs.recent_promoted);
+  smoothed_reaccess_ =
+      smoothed_reaccess_ < 0.0
+          ? ratio
+          : (1.0 - feedback_.reaccess_alpha) * smoothed_reaccess_ +
+                feedback_.reaccess_alpha * ratio;
+
+  // Thrash evidence: promotions stop being accessed (the stream moved on),
+  // or the §4.2.3 ping-pong signature — pages demoted soon after promotion.
+  const bool wasted = smoothed_reaccess_ < feedback_.reaccess_floor;
+  const bool ping_pong =
+      obs.promoted_pages > 0 &&
+      static_cast<double>(obs.ping_pong_demotions) >
+          feedback_.ping_pong_ceiling * static_cast<double>(obs.promoted_pages);
+  if (wasted || ping_pong) {
+    if (++thrash_streak_ >= feedback_.thrash_arm_ticks) {
+      aggressiveness_ =
+          std::max(feedback_.min_aggressiveness, aggressiveness_ * feedback_.cut_factor);
+    }
+  } else {
+    thrash_streak_ = 0;
+    aggressiveness_ = std::min(1.0, aggressiveness_ * feedback_.recover_factor);
+  }
+}
+
+}  // namespace cxl::os

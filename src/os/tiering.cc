@@ -4,13 +4,40 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <utility>
 
+#include "src/os/policy_registry.h"
 #include "src/os/vmstat.h"
 
 namespace cxl::os {
 
+namespace {
+// Promote-epoch stamps age out after this many ticks: a demotion (or a
+// re-access check) further from the promotion than this no longer counts as
+// migration-outcome feedback. Small enough that the signal tracks the
+// current regime, large enough to span the heat-decay half-life.
+constexpr uint32_t kPromoteStampWindowTicks = 8;
+}  // namespace
+
+const char* TieringConfig::PolicyName() const {
+  return policy.empty() ? PolicyNameForMode(mode) : policy.c_str();
+}
+
 TieredMemory::TieredMemory(PageAllocator& allocator, TieringConfig config)
-    : allocator_(allocator), config_(config), hot_threshold_(config.initial_hot_threshold) {}
+    : allocator_(allocator),
+      config_(std::move(config)),
+      promote_epoch_(allocator.page_count(), 0) {
+  auto policy = PolicyRegistry::BuiltIns().Create(config_.PolicyName(), config_);
+  if (!policy.ok()) {
+    // Unknown name in config_.policy: callers taking user input validate
+    // names against the registry up front, so this is a programming error —
+    // fall back to the legacy-mode policy rather than crash release builds.
+    assert(false && "unknown tiering policy name");
+    policy = PolicyRegistry::BuiltIns().Create(PolicyNameForMode(config_.mode), config_);
+  }
+  owned_policy_ = std::move(policy).value();
+  policy_ = owned_policy_.get();
+}
 
 bool TieredMemory::IsTopTier(topology::NodeId node) const {
   return allocator_.IsDramNode(node);
@@ -21,7 +48,7 @@ void TieredMemory::RecordAccess(PageId page, uint64_t accesses) {
   const double sampled = static_cast<double>(accesses) * config_.hint_fault_sample_rate;
   auto p = allocator_.page(page);
   p.heat += static_cast<float>(sampled);
-  p.last_decay_epoch = epoch_;  // Recency stamp for the MRU-balancing mode.
+  p.last_decay_epoch = epoch_;  // Recency stamp for the kRecency scan.
   allocator_.mutable_counters().numa_hint_faults += static_cast<uint64_t>(std::ceil(sampled));
 }
 
@@ -114,6 +141,13 @@ uint64_t TieredMemory::DemoteColdPages(uint64_t count) {
     if (allocator_.MovePage(id, target).ok()) {
       ++demoted;
       ++allocator_.mutable_counters().pgdemote;
+      // §4.2.3 ping-pong signature: this page was promoted within the stamp
+      // window and is already being demoted again. Observational only —
+      // feeds TickObservation, never the demotion choice itself.
+      const uint32_t stamp = promote_epoch_[id];
+      if (stamp != 0 && epoch_ - (stamp - 1) <= kPromoteStampWindowTicks) {
+        ++tick_ping_pong_;
+      }
     }
   }
   return demoted;
@@ -121,7 +155,13 @@ uint64_t TieredMemory::DemoteColdPages(uint64_t count) {
 
 TieredMemory::TickResult TieredMemory::Tick(double dt_seconds) {
   TickResult result;
-  result.hot_threshold = hot_threshold_;
+  result.hot_threshold = policy_->hot_threshold();
+
+  // Pages are created lazily by the allocator, so the stamp column trails
+  // page_count(); new pages start unstamped (0 = never promoted).
+  if (promote_epoch_.size() < allocator_.page_count()) {
+    promote_epoch_.resize(allocator_.page_count(), 0);
+  }
 
   // Heat changed since the previous tick (decay, sampled accesses), so last
   // tick's cold pool no longer reflects the (heat, id) order.
@@ -130,7 +170,9 @@ TieredMemory::TickResult TieredMemory::Tick(double dt_seconds) {
   // Degraded-path gates. Both branches leave page state untouched: a wedged
   // daemon thread neither scans nor decays, and a backed-off daemon sits out
   // the tick after repeated promotion failures. Unreachable without an
-  // enabled injector, so healthy runs are bit-for-bit unchanged.
+  // enabled injector, so healthy runs are bit-for-bit unchanged. These run
+  // before the policy is consulted — a wedged kernel thread does not make
+  // decisions.
   if (faults_ != nullptr && faults_->enabled()) {
     if (faults_->DaemonStalled()) {
       sim_seconds_ += dt_seconds;
@@ -170,12 +212,53 @@ TieredMemory::TickResult TieredMemory::Tick(double dt_seconds) {
   // blocks here keeps steady-state ticks heap-free.
   tick_arena_.Reset();
 
-  // Promotion budget from the rate limit (MB/s, decimal, as in the kernel).
-  // TPP predates the rate-limit mechanism: it promotes unboundedly.
+  // Base promotion budget from the rate limit (MB/s, decimal, as in the
+  // kernel). The policy scales or ignores it (TPP promotes unboundedly).
   const double budget_bytes = config_.promote_rate_limit_mbps * 1e6 * dt_seconds;
-  const auto budget_pages = config_.mode == PromotionMode::kTppLike
-                                ? std::numeric_limits<uint64_t>::max()
-                                : static_cast<uint64_t>(budget_bytes / page_bytes);
+  const double budget_pages_d = budget_bytes / page_bytes;
+  const uint64_t base_budget_pages =
+      budget_pages_d >= static_cast<double>(std::numeric_limits<uint64_t>::max())
+          ? std::numeric_limits<uint64_t>::max()
+          : static_cast<uint64_t>(budget_pages_d);
+
+  TickContext ctx;
+  ctx.dt_seconds = dt_seconds;
+  ctx.base_budget_pages = base_budget_pages;
+  ctx.dram_free_fraction = allocator_.DramFreeFraction();
+  if (faults_ != nullptr && faults_->enabled()) {
+    ctx.link_degraded = faults_->LinkDegraded();
+    ctx.cxl_latency_factor = faults_->CxlLatencyFactor();
+  }
+  const TickDecision decision = policy_->Decide(ctx);
+  if (decision.skip_tick) {
+    // The policy's own backoff (e.g. adaptive feedback sitting out a
+    // degraded-link window): same no-scan/no-decay semantics as the
+    // daemon's promotion-failure backoff, with its own counter and skip
+    // reason. The event only records when a fault window is attributable —
+    // the diagnosis layer requires every degradation response to join back
+    // to a cause.
+    sim_seconds_ += dt_seconds;
+    ++epoch_;
+    if (telemetry_ != nullptr) {
+      telemetry_->GetCounter("tiering.policy_backoff_ticks").Increment();
+      const int32_t window = (faults_ != nullptr && faults_->enabled())
+                                 ? faults_->AttributedWindow()
+                                 : telemetry::kNoWindow;
+      if (window != telemetry::kNoWindow) {
+        telemetry_->events().Record(
+            telemetry::Event(telemetry::EventKind::kDaemonSkippedTick, sim_seconds_ * 1e3)
+                .WithWindow(window)
+                .WithReason(2));
+      }
+    }
+    return result;
+  }
+  const uint64_t budget_pages = decision.budget_pages;
+
+  // Migration-outcome instrumentation for this tick (observational only).
+  tick_ping_pong_ = 0;
+  tick_recent_promoted_ = 0;
+  tick_recent_promoted_hot_ = 0;
 
   // Gather promotion candidates on the low tier. Quarantined pages are
   // never candidates; the set is empty unless fault paths populated it, so
@@ -186,7 +269,7 @@ TieredMemory::TickResult TieredMemory::Tick(double dt_seconds) {
   const float* heat_col = allocator_.heat_column();
   ArenaVector<std::pair<float, PageId>> hot{
       ArenaAllocator<std::pair<float, PageId>>(&tick_arena_)};
-  if (config_.mode == PromotionMode::kHotPageSelection) {
+  if (decision.scan == CandidateScan::kHotnessRanked) {
     // One sequential pass over the packed node/heat columns does double
     // duty: CXL pages become promotion candidates, DRAM pages feed the
     // demotion cold pool (the configs that tick the daemon over-commit
@@ -194,6 +277,7 @@ TieredMemory::TickResult TieredMemory::Tick(double dt_seconds) {
     // building folds that scan into this one). With nothing resident on
     // CXL there is nothing to promote and nothing the pool is for; skip.
     const topology::NodeId* node_col = allocator_.node_column();
+    const uint32_t* epoch_col = allocator_.epoch_column();
     if (allocator_.CxlResidentCount() > 0) {
       const uint64_t batch = std::clamp<uint64_t>(budget_pages / 8, 16, 4096);
       const uint64_t pool_k = std::min<uint64_t>(std::max<uint64_t>(4 * batch, 4096),
@@ -207,6 +291,19 @@ TieredMemory::TickResult TieredMemory::Tick(double dt_seconds) {
           continue;
         }
         if (allocator_.IsDramNode(node)) {
+          // Migration-outcome feedback, folded into the scan the daemon
+          // already runs: was this DRAM page promoted within the stamp
+          // window, and if so, did the current interval touch it?
+          const uint32_t stamp = promote_epoch_[id];
+          if (stamp != 0) {
+            const uint32_t age = epoch_ - (stamp - 1);
+            if (age >= 1 && age <= kPromoteStampWindowTicks) {
+              ++tick_recent_promoted_;
+              if (epoch_col[id] == epoch_) {
+                ++tick_recent_promoted_hot_;
+              }
+            }
+          }
           const std::pair<float, PageId> entry(heat_col[id], id);
           if (cold_pool_.size() < pool_k) {
             cold_pool_.push_back(entry);
@@ -220,7 +317,7 @@ TieredMemory::TickResult TieredMemory::Tick(double dt_seconds) {
         }
         // NB: heat is compared against the double threshold (as before) —
         // narrowing the threshold to float would flip borderline candidates.
-        if (heat_col[id] >= hot_threshold_ && !quarantined(id)) {
+        if (heat_col[id] >= decision.hot_threshold && !quarantined(id)) {
           hot.emplace_back(heat_col[id], id);
         }
       }
@@ -237,12 +334,12 @@ TieredMemory::TickResult TieredMemory::Tick(double dt_seconds) {
     std::sort(hot.begin(), hot.end(), [](const auto& a, const auto& b) {
       return a.first != b.first ? a.first > b.first : a.second < b.second;
     });
-  } else if (config_.mode == PromotionMode::kMruBalancing) {
+  } else if (decision.scan == CandidateScan::kRecency) {
     // MRU balancing: everything touched since the last scan qualifies, in
     // scan order — no hotness ranking. This is precisely why the earlier
     // patch "may not accurately identify high-demand pages" (§2.3): the
     // budget is spent on recently-touched pages regardless of their heat.
-    // Promotion order is the scan order, so this mode keeps the id-ordered
+    // Promotion order is the scan order, so this scan keeps the id-ordered
     // walk (streaming the packed columns).
     const topology::NodeId* node_col = allocator_.node_column();
     const uint32_t* epoch_col = allocator_.epoch_column();
@@ -305,6 +402,7 @@ TieredMemory::TickResult TieredMemory::Tick(double dt_seconds) {
       ++promoted;
       ++allocator_.mutable_counters().pgpromote_success;
       result.migrated_bytes += page_bytes;
+      promote_epoch_[id] = epoch_ + 1;  // Stamp; 0 is reserved for "never".
       // A page entering DRAM at or below the cold pool's floor belongs in
       // the pool — drop it so the next demotion batch rescans. Promoted
       // pages are hot by construction, so this almost never fires.
@@ -355,22 +453,29 @@ TieredMemory::TickResult TieredMemory::Tick(double dt_seconds) {
     result.migrated_bytes += static_cast<double>(freed) * page_bytes;
   }
 
-  // Dynamic threshold adjustment: aim the candidate volume at the rate
-  // limit (the hot-page-selection patch). Too many candidates -> raise the
-  // bar; too few -> lower it (floor at 1 sampled access).
-  if (config_.mode == PromotionMode::kHotPageSelection && config_.dynamic_threshold &&
-      budget_pages > 0) {
-    if (result.candidates > 2 * budget_pages) {
-      hot_threshold_ *= 1.3;
-    } else if (result.candidates < budget_pages / 2) {
-      // Lower the bar to find more candidates, but not below a quarter of
-      // the configured threshold: pages with a single sampled hit must not
-      // churn (the kernel's adjustment is similarly bounded).
-      hot_threshold_ =
-          std::max(std::max(1.0, 0.25 * config_.initial_hot_threshold), hot_threshold_ * 0.8);
-    }
-  }
-  result.hot_threshold = hot_threshold_;
+  // Close the loop: report the tick's outcome to the policy. This is where
+  // the hot-page-selection threshold adjustment now lives (it ran at this
+  // exact point in the pre-policy daemon, after the watermark demotions).
+  TickObservation obs;
+  obs.dt_seconds = dt_seconds;
+  obs.candidates = result.candidates;
+  obs.promoted_pages = result.promoted_pages;
+  obs.demoted_pages = result.demoted_pages;
+  obs.budget_pages = budget_pages;
+  obs.migrated_bytes = result.migrated_bytes;
+  obs.rate_limit_saturation =
+      (budget_pages > 0 && budget_pages != std::numeric_limits<uint64_t>::max())
+          ? static_cast<double>(promoted) / static_cast<double>(budget_pages)
+          : 0.0;
+  obs.promotion_failed = promotion_failed;
+  obs.dram_free_fraction = allocator_.DramFreeFraction();
+  obs.recent_promoted = tick_recent_promoted_;
+  obs.recent_promoted_hot = tick_recent_promoted_hot_;
+  obs.ping_pong_demotions = tick_ping_pong_;
+  obs.link_degraded = ctx.link_degraded;
+  obs.cxl_latency_factor = ctx.cxl_latency_factor;
+  policy_->Observe(obs);
+  result.hot_threshold = policy_->hot_threshold();
 
   // Decay heat for the next interval: one sequential (vectorizable) sweep
   // over the packed heat column instead of two random-order walks through
@@ -393,16 +498,18 @@ TieredMemory::TickResult TieredMemory::Tick(double dt_seconds) {
   return result;
 }
 
-void TieredMemory::AttachTelemetry(telemetry::MetricRegistry* sink) {
-  telemetry_ = sink;
-  // Cached handles point into the previous sink; re-resolve on first emit.
-  handles_ = TickTelemetryHandles{};
-  if (telemetry_ != nullptr) {
-    telemetry_track_ = telemetry_->trace().Track("promotion-daemon");
+void TieredMemory::Attach(const Observers& observers) {
+  if (observers.telemetry != telemetry_) {
+    telemetry_ = observers.telemetry;
+    // Cached handles point into the previous sink; re-resolve on first emit.
+    handles_ = TickTelemetryHandles{};
+    if (telemetry_ != nullptr) {
+      telemetry_track_ = telemetry_->trace().Track("promotion-daemon");
+    }
   }
+  faults_ = observers.faults;
+  policy_ = observers.policy != nullptr ? observers.policy : owned_policy_.get();
 }
-
-void TieredMemory::AttachFaults(const fault::FaultInjector* faults) { faults_ = faults; }
 
 bool TieredMemory::QuarantinePage(PageId page) {
   if (page == kInvalidPage || page >= allocator_.page_count()) {
@@ -467,6 +574,8 @@ void TieredMemory::EmitTickTelemetry(const TickResult& result, double dt_seconds
     handles_.demote_mbps = &timeline.Series("tiering.demote_mbps");
     handles_.rate_limit_saturation = &timeline.Series("tiering.rate_limit_saturation");
     handles_.low_tier_pages = &timeline.Series("tiering.low_tier_pages");
+    handles_.reaccess_ratio = &timeline.Series("tiering.promote_reaccess_ratio");
+    handles_.ping_pong = &timeline.Series("tiering.ping_pong_demotions");
     handles_.vmstat = AttachVmCounterSeries(timeline);
     handles_.ticks = &telemetry_->GetCounter("tiering.ticks");
     handles_.promoted_pages = &telemetry_->GetCounter("tiering.promoted_pages");
@@ -493,6 +602,16 @@ void TieredMemory::EmitTickTelemetry(const TickResult& result, double dt_seconds
       config_.promote_rate_limit_mbps > 0.0 ? promote_mbps / config_.promote_rate_limit_mbps : 0.0;
   handles_.rate_limit_saturation->Sample(t_ms, saturation);
   handles_.low_tier_pages->Sample(t_ms, static_cast<double>(LowTierPages()));
+  // Migration-outcome feedback, exposed so the diagnosis layer (and humans)
+  // can see what the adaptive policy sees: the fraction of recently promoted
+  // pages still being touched, and §4.2.3 ping-pong volume.
+  const double reaccess =
+      tick_recent_promoted_ > 0
+          ? static_cast<double>(tick_recent_promoted_hot_) /
+                static_cast<double>(tick_recent_promoted_)
+          : 0.0;
+  handles_.reaccess_ratio->Sample(t_ms, reaccess);
+  handles_.ping_pong->Sample(t_ms, static_cast<double>(tick_ping_pong_));
   SampleVmCounters(handles_.vmstat, t_ms, allocator_.counters());
 
   handles_.ticks->Increment();
@@ -525,7 +644,7 @@ void TieredMemory::EmitTickEvents(const TickResult& result, uint64_t watermark_d
     telemetry_->events().Record(
         telemetry::Event(telemetry::EventKind::kPagePromote, t_ms)
             .WithWindow(window)
-            .WithReason(static_cast<int32_t>(config_.mode))
+            .WithReason(policy_->event_reason())
             .WithA(static_cast<double>(result.promoted_pages))
             .WithB(static_cast<double>(result.candidates)));
   }
@@ -557,8 +676,14 @@ void DeclareTieringKnobs(KnobSet& knobs) {
                 "sampled accesses per interval for a page to count as hot");
   knobs.Declare("vm.hot_threshold_auto_adjust", defaults.dynamic_threshold ? 1.0 : 0.0,
                 "1 = adapt the hot threshold to the promotion rate limit");
+  knobs.DeclareString("vm.tiering_policy", defaults.PolicyName(),
+                      "promotion policy name, resolved through os::PolicyRegistry::BuiltIns()");
   knobs.Declare("vm.numa_balancing_mode", 0.0,
-                "0 = hot page selection (v6.1+), 1 = MRU NUMA balancing, 2 = TPP-like");
+                "deprecated alias of vm.tiering_policy: 0 = hot page selection (v6.1+), "
+                "1 = MRU NUMA balancing, 2 = TPP-like");
+  knobs.Deprecate("vm.numa_balancing_mode",
+                  "vm.numa_balancing_mode is deprecated; use vm.tiering_policy=<name> "
+                  "(see docs/tiering-policies.md)");
   knobs.Declare("vm.demotion_free_watermark", defaults.demotion_free_watermark,
                 "DRAM free fraction below which cold pages demote");
   knobs.Declare("vm.hint_fault_sample_rate", defaults.hint_fault_sample_rate,
@@ -574,10 +699,21 @@ TieringConfig TieringConfigFromKnobs(const KnobSet& knobs) {
       get("kernel.numa_balancing_promote_rate_limit_MBps", cfg.promote_rate_limit_mbps);
   cfg.initial_hot_threshold = get("vm.hot_page_threshold", cfg.initial_hot_threshold);
   cfg.dynamic_threshold = get("vm.hot_threshold_auto_adjust", 1.0) != 0.0;
-  const double mode = get("vm.numa_balancing_mode", 0.0);
-  cfg.mode = mode >= 2.0   ? PromotionMode::kTppLike
-             : mode >= 1.0 ? PromotionMode::kMruBalancing
-                           : PromotionMode::kHotPageSelection;
+  // Policy selection: an *explicitly set* vm.numa_balancing_mode wins for
+  // one release (deprecated-alias semantics — Set() already warned); else
+  // the string knob selects by registry name. Both sides keep mode and
+  // policy mirrored for the three classic names so legacy readers of
+  // config.mode keep working.
+  if (knobs.IsDeclared("vm.numa_balancing_mode") && knobs.WasSet("vm.numa_balancing_mode")) {
+    const double mode = knobs.Get("vm.numa_balancing_mode");
+    cfg.mode = mode >= 2.0   ? PromotionMode::kTppLike
+               : mode >= 1.0 ? PromotionMode::kMruBalancing
+                             : PromotionMode::kHotPageSelection;
+    cfg.policy = PolicyNameForMode(cfg.mode);
+  } else if (knobs.IsDeclaredString("vm.tiering_policy")) {
+    cfg.policy = knobs.GetString("vm.tiering_policy");
+    ModeForPolicyName(cfg.policy, &cfg.mode);
+  }
   cfg.demotion_free_watermark = get("vm.demotion_free_watermark", cfg.demotion_free_watermark);
   cfg.hint_fault_sample_rate = get("vm.hint_fault_sample_rate", cfg.hint_fault_sample_rate);
   return cfg;

@@ -12,16 +12,24 @@
 //     threshold can be adjusted dynamically to aim the candidate rate at the
 //     rate limit — the very mechanism whose mis-adaptation causes the Spark
 //     thrashing regression the paper reports (§4.2.2).
+//
+// *Which* pages promote, under what threshold and budget, is decided by a
+// pluggable TieringPolicy (src/os/policy.h) resolved by name through the
+// PolicyRegistry; TieredMemory owns the mechanisms (scans, migration,
+// demotion pools, fault gates) and feeds the policy per-tick observations.
 #ifndef CXL_EXPLORER_SRC_OS_TIERING_H_
 #define CXL_EXPLORER_SRC_OS_TIERING_H_
 
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
 #include "src/fault/fault.h"
 #include "src/os/page.h"
 #include "src/os/page_allocator.h"
+#include "src/os/policy.h"
 #include "src/os/vmstat.h"
 #include "src/telemetry/metrics.h"
 #include "src/util/arena.h"
@@ -30,26 +38,36 @@
 
 namespace cxl::os {
 
-// Which kernel promotion mechanism the daemon emulates (§2.3):
+// Legacy three-way policy selector, kept one release as a configuration
+// alias: TieringConfig::policy (a PolicyRegistry name) is the first-class
+// selector, and an empty name falls back to this enum via
+// PolicyNameForMode(). The former per-mode branches in Tick() now live in
+// HotPageSelectionPolicy / MruBalancingPolicy / TppLikePolicy (§2.3):
 //  - kHotPageSelection: the post-v6.1 patch — heat threshold (optionally
 //    dynamic) + promotion rate limit. What the paper's experiments use.
 //  - kMruBalancing: the earlier NUMA-balancing patch — promotes *recently
 //    accessed* pages (MRU) with no hotness threshold. "It may not
 //    accurately identify high-demand pages due to extended scanning
 //    intervals, potentially causing latency issues for some workloads."
+//  - kTppLike (Meta's Transparent Page Placement, §2.3/§8): promote a page
+//    on its *second* observed access ("active list" promotion) with NO rate
+//    limit. Responsive on stable hot sets, but under bandwidth-intensive or
+//    streaming workloads it migrates without bound — the paper "faced
+//    challenges with TPP when running memory-bandwidth-intensive
+//    applications, resulting in unexplained performance degradation".
 enum class PromotionMode {
   kHotPageSelection,
   kMruBalancing,
-  // TPP-like (Meta's Transparent Page Placement, §2.3/§8): promote a page on
-  // its *second* observed access ("active list" promotion) with NO rate
-  // limit. Responsive on stable hot sets, but under bandwidth-intensive or
-  // streaming workloads it migrates without bound — the paper "faced
-  // challenges with TPP when running memory-bandwidth-intensive
-  // applications, resulting in unexplained performance degradation".
   kTppLike,
 };
 
 struct TieringConfig {
+  // PolicyRegistry name of the promotion policy ("hot-page-selection",
+  // "mru-balancing", "tpp-like", "adaptive-feedback"). Empty = derive from
+  // the legacy `mode` enum below.
+  std::string policy;
+  // Deprecated alias for `policy` (one release): consulted only when
+  // `policy` is empty.
   PromotionMode mode = PromotionMode::kHotPageSelection;
   // kernel.numa_balancing_promote_rate_limit_MBps. The kernel default is
   // 65536 (64 GiB/s, effectively unlimited); the paper's experiments ran the
@@ -66,14 +84,20 @@ struct TieringConfig {
   double demotion_free_watermark = 0.02;
   // Fraction of real accesses observed by hint-fault sampling.
   double hint_fault_sample_rate = 0.05;
+
+  // The effective PolicyRegistry name (policy, or the mode-derived name).
+  const char* PolicyName() const;
 };
 
 // Declares the sysctl-style knobs that mirror this config in `knobs`
-// (kernel.numa_balancing_promote_rate_limit_MBps, vm.hot_threshold, ...).
+// (kernel.numa_balancing_promote_rate_limit_MBps, vm.tiering_policy, ...).
+// vm.numa_balancing_mode remains declared as a deprecated numeric alias of
+// vm.tiering_policy; setting it warns once per KnobSet.
 void DeclareTieringKnobs(KnobSet& knobs);
 
 // Builds a TieringConfig from declared knob values (knobs not declared fall
-// back to TieringConfig defaults).
+// back to TieringConfig defaults). An explicitly set vm.numa_balancing_mode
+// overrides vm.tiering_policy for one release (deprecated-alias semantics).
 TieringConfig TieringConfigFromKnobs(const KnobSet& knobs);
 
 class TieredMemory {
@@ -95,24 +119,33 @@ class TieredMemory {
   };
   TickResult Tick(double dt_seconds);
 
-  // Attaches a telemetry sink (nullable; detach with nullptr). Every
-  // subsequent Tick() appends the daemon's state into the sink — time series
-  // (tiering.hot_threshold, promote/demote rates, rate-limit saturation,
-  // vmstat.* counters), counters/gauges, and one span per tick on the
-  // "promotion-daemon" trace track. Ticks are stamped on an internal
-  // simulated clock (the sum of dt_seconds), so the series align with the
-  // caller's epoch timeline. Purely observational: attaching must not change
-  // promotion behaviour.
-  void AttachTelemetry(telemetry::MetricRegistry* sink);
-
-  // Connects the fault injector (nullable; detach with nullptr). The daemon
-  // reads it at each Tick(): while a kDaemonStall event covers the
-  // injector's clock the tick does no scanning, promotion, or decay (the
-  // kernel thread is wedged), and repeated promotion failures on the
-  // degraded path arm an exponential backoff of skipped ticks (capped by
-  // FaultTunables::backoff_max_ticks). With a null or disabled injector
-  // every tick behaves exactly as before — byte-identical runs.
-  void AttachFaults(const fault::FaultInjector* faults);
+  // Everything the daemon reports to or consults besides the allocator,
+  // attached in one call so future sinks extend the struct instead of each
+  // growing another setter. All fields are nullable (detach by attaching a
+  // default-constructed Observers) and purely optional:
+  //  - telemetry: every subsequent Tick() appends the daemon's state into
+  //    the sink — time series (tiering.hot_threshold, promote/demote rates,
+  //    rate-limit saturation, vmstat.* counters), counters/gauges, and one
+  //    span per tick on the "promotion-daemon" trace track, stamped on an
+  //    internal simulated clock (the sum of dt_seconds). Attaching must not
+  //    change promotion behaviour.
+  //  - faults: read at each Tick(): while a kDaemonStall event covers the
+  //    injector's clock the tick does no scanning, promotion, or decay (the
+  //    kernel thread is wedged), and repeated promotion failures on the
+  //    degraded path arm an exponential backoff of skipped ticks (capped by
+  //    FaultTunables::backoff_max_ticks). With a null or disabled injector
+  //    every tick behaves exactly as before — byte-identical runs.
+  //  - policy: overrides the config-constructed policy with a caller-owned
+  //    instance (must outlive the daemon) — how tests and benches inspect
+  //    learned policy state after a run. Null keeps the owned policy.
+  // Re-attaching with an unchanged telemetry pointer keeps the cached
+  // metric handles and trace track (so repeated Attach calls are free).
+  struct Observers {
+    telemetry::MetricRegistry* telemetry = nullptr;
+    const fault::FaultInjector* faults = nullptr;
+    TieringPolicy* policy = nullptr;
+  };
+  void Attach(const Observers& observers);
 
   // Degraded-path quarantine: takes `page` out of promotion consideration
   // permanently and demotes it to the low tier if it currently sits in
@@ -128,9 +161,13 @@ class TieredMemory {
   // DRAM nodes are the top tier; CXL nodes the low tier (§2.3).
   bool IsTopTier(topology::NodeId node) const;
 
-  double hot_threshold() const { return hot_threshold_; }
+  double hot_threshold() const { return policy_->hot_threshold(); }
   const TieringConfig& config() const { return config_; }
   PageAllocator& allocator() { return allocator_; }
+
+  // The active decision policy (the attached override, else the owned one).
+  TieringPolicy& policy() { return *policy_; }
+  const TieringPolicy& policy() const { return *policy_; }
 
   // Pages currently resident on low-tier nodes (for tests/telemetry).
   uint64_t LowTierPages() const;
@@ -155,8 +192,22 @@ class TieredMemory {
 
   PageAllocator& allocator_;
   TieringConfig config_;
-  double hot_threshold_;
   uint32_t epoch_ = 0;  // Scan interval counter (recency stamps).
+
+  // Decision policy: owned instance built from config_ at construction;
+  // policy_ points at it unless Attach() supplied an override.
+  std::unique_ptr<TieringPolicy> owned_policy_;
+  TieringPolicy* policy_ = nullptr;
+
+  // Migration-outcome bookkeeping feeding TickObservation (observational
+  // only — never consulted by the mechanisms themselves):
+  // promote-epoch stamp per page, epoch_ + 1 at promotion time (0 = never
+  // promoted), so a demotion or re-access of a recently promoted page is
+  // recognisable within the stamp window.
+  std::vector<uint32_t> promote_epoch_;
+  uint64_t tick_ping_pong_ = 0;             // Demotions of recently promoted pages.
+  uint64_t tick_recent_promoted_ = 0;       // Recently promoted pages seen in DRAM.
+  uint64_t tick_recent_promoted_hot_ = 0;   // ...of those, re-accessed this interval.
 
   // Per-tick transients (candidate lists, demotion selection heaps) bump-
   // allocate here; Reset() at each Tick() entry recycles the blocks, so
@@ -192,6 +243,8 @@ class TieredMemory {
     telemetry::TimeSeries* demote_mbps = nullptr;
     telemetry::TimeSeries* rate_limit_saturation = nullptr;
     telemetry::TimeSeries* low_tier_pages = nullptr;
+    telemetry::TimeSeries* reaccess_ratio = nullptr;
+    telemetry::TimeSeries* ping_pong = nullptr;
     VmCounterSeries vmstat;
     telemetry::Counter* ticks = nullptr;
     telemetry::Counter* promoted_pages = nullptr;

@@ -12,18 +12,18 @@ constexpr const char* kFaultTypeReasons[] = {
     // value as the reason code).
     "downtrain", "crc", "poison", "throttle", "stall", "flash",
 };
-constexpr const char* kPromoteReasons[] = {"hot_threshold", "mru", "tpp"};
+constexpr const char* kPromoteReasons[] = {"hot_threshold", "mru", "tpp", "adaptive"};
 constexpr const char* kDemoteReasons[] = {"dram_pressure", "watermark", "quarantine"};
-constexpr const char* kSkipReasons[] = {"stall", "backoff"};
+constexpr const char* kSkipReasons[] = {"stall", "backoff", "policy"};
 constexpr const char* kBatchReasons[] = {"shrink", "recover"};
 constexpr const char* kSloReasons[] = {"latency", "throughput"};
 
 constexpr EventKindInfo kKindInfo[kEventKindCount] = {
     /*kFaultWindowOpen*/ {"fault_window_open", "severity", "duration_ms", kFaultTypeReasons, 6},
     /*kFaultWindowClose*/ {"fault_window_close", "severity", nullptr, kFaultTypeReasons, 6},
-    /*kPagePromote*/ {"page_promote", "pages", "candidates", kPromoteReasons, 3},
+    /*kPagePromote*/ {"page_promote", "pages", "candidates", kPromoteReasons, 4},
     /*kPageDemote*/ {"page_demote", "pages", "mb", kDemoteReasons, 3},
-    /*kDaemonSkippedTick*/ {"daemon_skipped_tick", nullptr, nullptr, kSkipReasons, 2},
+    /*kDaemonSkippedTick*/ {"daemon_skipped_tick", nullptr, nullptr, kSkipReasons, 3},
     /*kPromotionBackoffArmed*/
     {"promotion_backoff_armed", "backoff_ticks", "failure_streak", nullptr, 0},
     /*kKvShedOn*/ {"kv_shed_on", "baseline_kops", "epoch_kops", nullptr, 0},

@@ -74,7 +74,9 @@ TEST_F(TieringFaultTest, DaemonStallFreezesTicks) {
 
   fault::FaultInjector stall(fault::FaultPlan().DaemonStall(0.0, kInf));
   stall.AdvanceTo(0.0);
-  tiering.AttachFaults(&stall);
+  os::TieredMemory::Observers obs;
+  obs.faults = &stall;
+  tiering.Attach(obs);
   for (os::PageId id : *pages) {
     tiering.RecordAccess(id, 100);
   }
@@ -82,8 +84,9 @@ TEST_F(TieringFaultTest, DaemonStallFreezesTicks) {
   EXPECT_EQ(stalled.promoted_pages, 0u);
   EXPECT_DOUBLE_EQ(stalled.migrated_bytes, 0.0);
 
-  // Once the daemon recovers, the (still hot) pages promote.
-  tiering.AttachFaults(nullptr);
+  // Once the daemon recovers, the (still hot) pages promote. (A default
+  // Observers detaches everything.)
+  tiering.Attach(os::TieredMemory::Observers{});
   const auto recovered = tiering.Tick(1.0);
   EXPECT_EQ(recovered.promoted_pages, 4u);
 }
@@ -105,7 +108,9 @@ TEST_F(TieringFaultTest, PromotionFailureArmsExponentialBackoff) {
   // degraded path armed, not an active event).
   fault::FaultInjector faults(fault::FaultPlan().Poison(1e6, 1.0, 1e-4));
   faults.AdvanceTo(0.0);
-  tiering.AttachFaults(&faults);
+  os::TieredMemory::Observers obs;
+  obs.faults = &faults;
+  tiering.Attach(obs);
   tiering.RecordAccess(cxl_pages.front(), 1000);
   tiering.Tick(1.0);
   const int armed = tiering.BackoffTicksRemaining();
