@@ -20,7 +20,12 @@ Status CxlMemoryPool::Acquire(HostId host, uint64_t bytes) {
   }
   const auto host_cap = static_cast<uint64_t>(config_.per_host_capacity_fraction *
                                               static_cast<double>(total_slices_));
-  if (leased_slices_[host] + slices > host_cap) {
+  // Read-only lookup: operator[] here would insert a zero-lease entry for a
+  // host whose request is about to be denied, and ActiveHosts() would then
+  // count hosts that never held a slice (the phantom-lease bug).
+  const auto it = leased_slices_.find(host);
+  const uint64_t held = it == leased_slices_.end() ? 0 : it->second;
+  if (held + slices > host_cap) {
     ++acquire_failures_;
     return Status::ResourceExhausted("per-host capacity cap reached");
   }
@@ -91,6 +96,22 @@ const mem::PathProfile& PooledCxlProfile() {
   return pooled;
 }
 
+double PercentileCeilRank(std::vector<double>& samples, double q) {
+  if (samples.empty()) {
+    return 0.0;
+  }
+  std::sort(samples.begin(), samples.end());
+  const auto n = samples.size();
+  // Ceil-rank: the smallest sample v[k] with at least q*n samples <= v[k].
+  // The previous floor-rank index truncated q*(n-1), returning a quantile
+  // strictly below the requested one whenever q*n was not integral — sizing
+  // against it under-provisions the "must not run out more often than q"
+  // contract (e.g. n=150, q=0.99 picked rank 148/150 = 98.67% coverage).
+  const double rank = std::ceil(q * static_cast<double>(n));
+  const size_t idx = rank <= 1.0 ? 0 : std::min(n - 1, static_cast<size_t>(rank) - 1);
+  return samples[idx];
+}
+
 PoolingEconomicsResult EstimatePoolingEconomics(const PoolingEconomicsConfig& config) {
   Rng rng(config.seed);
   const double sigma = config.mean_demand_gib * config.demand_cv;
@@ -111,15 +132,9 @@ PoolingEconomicsResult EstimatePoolingEconomics(const PoolingEconomicsConfig& co
     sum_samples.push_back(sum);
   }
 
-  auto percentile = [&](std::vector<double>& v, double q) {
-    std::sort(v.begin(), v.end());
-    const auto idx = static_cast<size_t>(q * (static_cast<double>(v.size()) - 1.0));
-    return v[idx];
-  };
-
   PoolingEconomicsResult result;
-  result.per_host_provision_gib = percentile(per_host_samples, config.percentile);
-  result.pooled_provision_gib = percentile(sum_samples, config.percentile);
+  result.per_host_provision_gib = PercentileCeilRank(per_host_samples, config.percentile);
+  result.pooled_provision_gib = PercentileCeilRank(sum_samples, config.percentile);
   const double standalone_total = result.per_host_provision_gib * config.hosts;
   result.capacity_saving =
       standalone_total > 0.0 ? 1.0 - result.pooled_provision_gib / standalone_total : 0.0;

@@ -17,6 +17,7 @@ constexpr const char* kDemoteReasons[] = {"dram_pressure", "watermark", "quarant
 constexpr const char* kSkipReasons[] = {"stall", "backoff", "policy"};
 constexpr const char* kBatchReasons[] = {"shrink", "recover"};
 constexpr const char* kSloReasons[] = {"latency", "throughput"};
+constexpr const char* kReshardReasons[] = {"degraded_link", "pressure", "hotspot"};
 
 constexpr EventKindInfo kKindInfo[kEventKindCount] = {
     /*kFaultWindowOpen*/ {"fault_window_open", "severity", "duration_ms", kFaultTypeReasons, 6},
@@ -42,6 +43,8 @@ constexpr EventKindInfo kKindInfo[kEventKindCount] = {
     {"anomaly_promotion_starvation", "ticks", "candidates", nullptr, 0},
     /*kAnomalySolverOscillation*/
     {"anomaly_solver_oscillation", "swings", "mean_delta", nullptr, 0},
+    /*kPoolBalloonReclaim*/ {"pool_balloon_reclaim", "reclaimed_mib", "victims", nullptr, 0},
+    /*kTenantReshard*/ {"tenant_reshard", "tenants", "shard", kReshardReasons, 3},
 };
 
 }  // namespace

@@ -69,9 +69,16 @@ enum class EventKind : uint8_t {
   kAnomalyPingPong,
   kAnomalyPromotionStarvation,
   kAnomalySolverOscillation,
+  // Pool scheduler (pool/scheduler.h): a starved host deflated peers'
+  // balloons to free slices (a = reclaimed MiB, b = victim hosts).
+  kPoolBalloonReclaim,
+  // Fleet frontend (apps/kv/fleet.h): a shard's tenants moved hosts
+  // (a = tenants, b = shard id; reason = degraded_link | pressure | hotspot;
+  // window set when the move was forced by a fault window).
+  kTenantReshard,
 };
 
-inline constexpr int kEventKindCount = 19;
+inline constexpr int kEventKindCount = 21;
 
 // No originating fault window (healthy run, or a kind with no attribution).
 inline constexpr int32_t kNoWindow = -1;

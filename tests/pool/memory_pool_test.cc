@@ -80,6 +80,68 @@ TEST(CxlMemoryPoolTest, ReleaseAllAndActiveHosts) {
   EXPECT_EQ(pool.UsedBytes(), 2_GiB);
 }
 
+TEST(CxlMemoryPoolTest, DeniedAcquireLeavesNoPhantomLease) {
+  // Regression: Acquire used operator[] for the per-host-cap check, inserting
+  // a zero-lease entry for the very host it was about to deny — ActiveHosts()
+  // then counted hosts that never held a slice.
+  PoolConfig cfg = SmallPool();
+  cfg.per_host_capacity_fraction = 0.25;  // 4 GiB per host.
+  CxlMemoryPool pool(cfg);
+  ASSERT_TRUE(pool.Acquire(0, 4_GiB).ok());
+  ASSERT_EQ(pool.ActiveHosts(), 1);
+  EXPECT_EQ(pool.Acquire(1, 5_GiB).code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(pool.ActiveHosts(), 1);  // Host 1 must not appear.
+  EXPECT_EQ(pool.LeasedBytes(1), 0u);
+  // Exhaustion-denied requests must not leave a phantom either.
+  CxlMemoryPool full(SmallPool());
+  ASSERT_TRUE(full.Acquire(2, 16_GiB).ok());
+  EXPECT_EQ(full.Acquire(3, 1_GiB).code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(full.ActiveHosts(), 1);
+}
+
+TEST(CxlMemoryPoolTest, AcquireReleaseRoundTripConservesBooks) {
+  CxlMemoryPool pool(SmallPool());
+  ASSERT_TRUE(pool.Acquire(0, 3_GiB).ok());
+  ASSERT_TRUE(pool.Acquire(1, 5_GiB).ok());
+  ASSERT_TRUE(pool.Acquire(2, 2_GiB).ok());
+  EXPECT_EQ(pool.UsedBytes(), 10_GiB);
+  ASSERT_TRUE(pool.Release(1, 5_GiB).ok());
+  ASSERT_TRUE(pool.Release(0, 3_GiB).ok());
+  ASSERT_TRUE(pool.Release(2, 2_GiB).ok());
+  EXPECT_EQ(pool.UsedBytes(), 0u);
+  EXPECT_EQ(pool.FreeBytes(), SmallPool().capacity_bytes);
+  EXPECT_EQ(pool.ActiveHosts(), 0);
+}
+
+TEST(CxlMemoryPoolTest, PartialReleaseRoundsToSlicesAndClamps) {
+  CxlMemoryPool pool(SmallPool());
+  ASSERT_TRUE(pool.Acquire(0, 4_GiB).ok());
+  // A one-byte release still frees a whole slice (slice granularity).
+  ASSERT_TRUE(pool.Release(0, 1).ok());
+  EXPECT_EQ(pool.LeasedBytes(0), 3_GiB);
+  // A release rounding above the lease clamps to it and retires the host.
+  ASSERT_TRUE(pool.Release(0, 2_GiB + 1_GiB / 2).ok());
+  EXPECT_EQ(pool.LeasedBytes(0), 0u);
+  EXPECT_EQ(pool.ActiveHosts(), 0);
+  EXPECT_EQ(pool.UsedBytes(), 0u);
+}
+
+TEST(PercentileCeilRankTest, PicksSmallestSampleCoveringQ) {
+  // Regression: the floor-rank index truncated q*(n-1); with n=150, q=0.99 it
+  // returned rank 148 (98.67% coverage) instead of rank 149.
+  std::vector<double> samples;
+  for (int i = 150; i >= 1; --i) {
+    samples.push_back(static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(PercentileCeilRank(samples, 0.99), 149.0);
+  EXPECT_DOUBLE_EQ(PercentileCeilRank(samples, 1.0), 150.0);
+  EXPECT_DOUBLE_EQ(PercentileCeilRank(samples, 0.5), 75.0);
+  std::vector<double> one = {42.0};
+  EXPECT_DOUBLE_EQ(PercentileCeilRank(one, 0.99), 42.0);
+  std::vector<double> tiny = {3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(PercentileCeilRank(tiny, 0.01), 1.0);  // Rank floor is 1.
+}
+
 TEST(CxlMemoryPoolTest, UtilizationTracksLeases) {
   CxlMemoryPool pool(SmallPool());
   EXPECT_DOUBLE_EQ(pool.Utilization(), 0.0);
