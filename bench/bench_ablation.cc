@@ -14,6 +14,7 @@
 
 #include "src/bench/context.h"
 #include "src/core/cxl_explorer.h"
+#include "src/util/units.h"
 
 namespace {
 
@@ -23,11 +24,11 @@ using namespace cxl;
 
 apps::kv::KvServerSim::Result KeyDbWithRateLimit(double limit_mbps) {
   core::KeyDbExperimentOptions opt;
-  opt.dataset_bytes = 8ull << 30;
+  opt.dataset_bytes = 8 * kGiB;
   opt.total_ops = 120'000;
   opt.warmup_ops = 30'000;
   topology::Platform platform = core::MakeHotPromotePlatform(opt.dataset_bytes);
-  os::PageAllocator allocator(platform, 16ull << 10);
+  os::PageAllocator allocator(platform, 16 * kKiB);
   os::TieringConfig tc = core::DefaultTieringConfig();
   tc.promote_rate_limit_mbps = limit_mbps;
   os::TieredMemory tiering(allocator, tc);
@@ -87,9 +88,9 @@ int main(int argc, char** argv) {
     a1.Row()
         .Cell(limits[i], 0)
         .Cell(row.kv.throughput_kops, 1)
-        .Cell(row.kv.migrated_bytes / 1e9, 2)
+        .Cell(BytesToGBd(row.kv.migrated_bytes), 2)
         .Cell(row.spark.total_seconds / spark_baseline, 2)
-        .Cell(row.spark.migrated_bytes / 1e9, 1);
+        .Cell(BytesToGBd(row.spark.migrated_bytes), 1);
   }
   a1.Print(std::cout);
   std::cout << "Reading: KeyDB saturates its benefit at a tiny budget (hot set is small and\n"
@@ -100,7 +101,7 @@ int main(int argc, char** argv) {
   // --- A2: fine interleave sweep --------------------------------------------
   PrintSection(std::cout, "A2: weighted-interleave ratio sweep (KeyDB YCSB-C)");
   core::KeyDbExperimentOptions opt;
-  opt.dataset_bytes = 8ull << 30;
+  opt.dataset_bytes = 8 * kGiB;
   opt.total_ops = 120'000;
   opt.warmup_ops = 30'000;
   Table a2({"MMEM share %", "kops/s", "p99 us"});
@@ -116,7 +117,7 @@ int main(int argc, char** argv) {
       ratios,
       [&opt](const Ratio& r, uint64_t /*seed*/) -> StatusOr<apps::kv::KvServerSim::Result> {
         topology::Platform platform = topology::Platform::CxlServer(false);
-        os::PageAllocator allocator(platform, 16ull << 10);
+        os::PageAllocator allocator(platform, 16 * kKiB);
         apps::kv::KvStoreConfig store_cfg;
         store_cfg.record_count = opt.dataset_bytes / opt.value_bytes;
         auto store = apps::kv::KvStore::Create(
@@ -236,7 +237,7 @@ int main(int argc, char** argv) {
       modes,
       [&opt](const int& dynamic, uint64_t /*seed*/) -> StatusOr<apps::kv::KvServerSim::Result> {
         topology::Platform platform = core::MakeHotPromotePlatform(opt.dataset_bytes);
-        os::PageAllocator allocator(platform, 16ull << 10);
+        os::PageAllocator allocator(platform, 16 * kKiB);
         os::TieringConfig tc = core::DefaultTieringConfig();
         tc.dynamic_threshold = dynamic != 0;
         os::TieredMemory tiering(allocator, tc);
@@ -266,7 +267,7 @@ int main(int argc, char** argv) {
     a4.Row()
         .Cell(modes[i] != 0 ? "dynamic" : "static")
         .Cell((*a4_rows)[i].throughput_kops, 1)
-        .Cell((*a4_rows)[i].migrated_bytes / 1e9, 2);
+        .Cell(BytesToGBd((*a4_rows)[i].migrated_bytes), 2);
   }
   a4.Print(std::cout);
   if (!ctx.Write("bench_ablation")) {

@@ -23,6 +23,7 @@
 #include "src/core/cxl_explorer.h"
 #include "src/telemetry/anomaly.h"
 #include "src/telemetry/slo.h"
+#include "src/util/units.h"
 
 namespace {
 
@@ -38,7 +39,7 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 
 core::KeyDbExperimentOptions KvOptions() {
   core::KeyDbExperimentOptions opt;
-  opt.dataset_bytes = 16ull << 30;  // 1/32-scale 512 GB shape: fast under TSan.
+  opt.dataset_bytes = 16 * kGiB;  // 1/32-scale 512 GB shape: fast under TSan.
   opt.total_ops = 90'000;
   opt.warmup_ops = 20'000;
   return opt;
@@ -152,7 +153,7 @@ int main(int argc, char** argv) {
     spec.min_throughput = 0.7 * healthy.throughput_kops;
     const fault::FaultPlan& plan = scenarios[i].plan;
     telemetry::SloTracker slo(spec, &cell_sinks[i], [&plan](double t_ms) {
-      return fault::AttributeWindowAt(plan, t_ms / 1e3);
+      return fault::AttributeWindowAt(plan, MsToSec(t_ms));
     });
     for (const auto& e : (*grid)[i].server.timeline) {
       if (e.mean_latency_us <= 0.0) {
@@ -180,7 +181,7 @@ int main(int argc, char** argv) {
                   : 0.0,
               3)
         .Cell(r.all_latency_us.p99(), 0)
-        .Cell(r.migrated_bytes / 1e6, 1)
+        .Cell(BytesToMBd(r.migrated_bytes), 1)
         .Cell(r.poisoned_reads)
         .Cell(r.quarantined_pages)
         .Cell(r.flash_errors)

@@ -14,6 +14,7 @@
 
 #include "src/bench/context.h"
 #include "src/core/cxl_explorer.h"
+#include "src/util/units.h"
 
 int main(int argc, char** argv) {
   using namespace cxl;
@@ -74,7 +75,7 @@ int main(int argc, char** argv) {
   PrintSection(std::cout, "Fig 10(c): memory bandwidth vs KV-cache size");
   Table kv({"KV cache GB", "GB/s"});
   for (double gb : {0.0, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0}) {
-    const double gbps = sim.KvCacheBandwidthGBps(gb * 1e9);
+    const double gbps = sim.KvCacheBandwidthGBps(GBToBytesd(gb));
     kv.Row().Cell(gb, 2).Cell(gbps, 1);
     if (sink != nullptr) {
       sink->timeline().Sample("llm.kvcache_bandwidth_gbps", gb, gbps);

@@ -21,12 +21,13 @@
 #include "src/core/cxl_explorer.h"
 #include "src/telemetry/anomaly.h"
 #include "src/telemetry/slo.h"
+#include "src/util/units.h"
 
 namespace {
 
 using namespace cxl;
 
-constexpr uint64_t kDatasetBytes = 32ull << 30;  // 1/16-scale 512 GB shape.
+constexpr uint64_t kDatasetBytes = 32 * kGiB;  // 1/16-scale 512 GB shape.
 
 core::KeyDbExperimentOptions Options() {
   core::KeyDbExperimentOptions opt;
@@ -118,7 +119,7 @@ int main(int argc, char** argv) {
       spec.min_throughput = 0.7 * baseline.throughput_kops;
       const fault::FaultPlan& plan = ctx.faults();
       telemetry::SloTracker slo(spec, &cell_sinks[i], [&plan](double t_ms) {
-        return fault::AttributeWindowAt(plan, t_ms / 1e3);
+        return fault::AttributeWindowAt(plan, MsToSec(t_ms));
       });
       for (const auto& e : (*grid)[i].server.timeline) {
         if (e.mean_latency_us <= 0.0) {

@@ -16,6 +16,7 @@
 #include "src/bench/context.h"
 #include "src/core/cxl_explorer.h"
 #include "src/telemetry/anomaly.h"
+#include "src/util/units.h"
 
 int main(int argc, char** argv) {
   using namespace cxl;
@@ -140,8 +141,8 @@ int main(int argc, char** argv) {
         .Cell(r.compute_seconds, 1)
         .Cell(r.shuffle_write_seconds, 1)
         .Cell(r.shuffle_read_seconds, 1)
-        .Cell(r.spilled_bytes / 1e9, 1)
-        .Cell(r.migrated_bytes / 1e9, 1)
+        .Cell(BytesToGBd(r.spilled_bytes), 1)
+        .Cell(BytesToGBd(r.migrated_bytes), 1)
         .Cell(r.cxl_access_share, 2);
   }
   detail.Print(std::cout);

@@ -9,6 +9,7 @@
 
 #include "src/bench/context.h"
 #include "src/core/cxl_explorer.h"
+#include "src/util/units.h"
 
 int main(int argc, char** argv) {
   using namespace cxl;
@@ -16,7 +17,7 @@ int main(int argc, char** argv) {
   auto ctx = bench::Context::FromArgs(&argc, argv);
   auto& bench_telemetry = ctx.telemetry();
   core::KeyDbExperimentOptions opt;
-  opt.dataset_bytes = 12ull << 30;  // 1/8-scale 100 GB shape.
+  opt.dataset_bytes = 12 * kGiB;  // 1/8-scale 100 GB shape.
   opt.total_ops = 220'000;
   opt.warmup_ops = 60'000;
   // The MMEM and CXL placements are independent cells; the experiment runs

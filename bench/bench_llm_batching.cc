@@ -7,6 +7,7 @@
 
 #include "src/bench/context.h"
 #include "src/core/cxl_explorer.h"
+#include "src/util/units.h"
 
 int main(int argc, char** argv) {
   auto ctx = cxl::bench::Context::FromArgs(&argc, argv);
@@ -35,8 +36,8 @@ int main(int argc, char** argv) {
 
   PrintSection(std::cout, "Capacity-limited batch: SNC domain DRAM vs DRAM+CXL");
   // One SNC-4 domain owns 128 GiB of DRAM; the A1000 adds 256 GiB.
-  const double dram_bytes = 128.0 * (1ull << 30);
-  const double with_cxl = dram_bytes + 256.0 * (1ull << 30);
+  const double dram_bytes = 128.0 * kGiB;
+  const double with_cxl = dram_bytes + 256.0 * kGiB;
   Table cap({"memory", "GiB", "max batch", "tok/s at max batch"});
   for (const auto& [label, bytes, placement] :
        {std::tuple{"DRAM only", dram_bytes, LlmPlacement::MmemOnly()},
@@ -45,7 +46,7 @@ int main(int argc, char** argv) {
     const auto pt = sim.SolveBatched(placement, kThreads, max_batch, kContext);
     cap.Row()
         .Cell(label)
-        .Cell(bytes / (1ull << 30), 0)
+        .Cell(BytesToGiBd(bytes), 0)
         .Cell(static_cast<uint64_t>(max_batch))
         .Cell(pt.tokens_per_second, 1);
   }

@@ -5,6 +5,7 @@
 
 #include "src/bench/context.h"
 #include "src/core/cxl_explorer.h"
+#include "src/util/units.h"
 #include "src/sim/event_queue.h"
 
 namespace {
@@ -129,7 +130,7 @@ BENCHMARK(BM_TimelineSeriesLookup);
 
 void BM_KeyDbExperimentEndToEnd(benchmark::State& state) {
   core::KeyDbExperimentOptions opt;
-  opt.dataset_bytes = 2ull << 30;
+  opt.dataset_bytes = 2 * kGiB;
   opt.total_ops = 30'000;
   opt.warmup_ops = 5'000;
   for (auto _ : state) {

@@ -33,6 +33,7 @@
 #include "src/bench/context.h"
 #include "src/core/cxl_explorer.h"
 #include "src/os/policy_registry.h"
+#include "src/util/units.h"
 
 namespace {
 
@@ -265,7 +266,7 @@ int main(int argc, char** argv) {
             .Cell(run.result.all_latency_us.p99(), 0)
             .Cell(run.counters.pgpromote_success)
             .Cell(run.counters.pgdemote)
-            .Cell(run.result.migrated_bytes / 1e9, 2)
+            .Cell(BytesToGBd(run.result.migrated_bytes), 2)
             .Cell(p == best ? "*" : "");
       }
     }

@@ -62,9 +62,9 @@ StatusOr<RackRun> RunCell(const RackCell& cell, uint64_t fault_seed,
   rack_cfg.topology = cell.topology;
   // Hosts are DRAM-lean on purpose: the pool carries a real fraction of the
   // working set (that is the deployment pooling argues for).
-  rack_cfg.host_dram_bytes = 80ull << 30;
+  rack_cfg.host_dram_bytes = 80 * kGiB;
   rack_cfg.expander_capacity_bytes = cell.expander_capacity_bytes;
-  rack_cfg.slice_bytes = 1ull << 30;
+  rack_cfg.slice_bytes = kGiB;
   rack_cfg.per_host_capacity_fraction = 0.75;
   pool::Rack rack(rack_cfg);
 
@@ -214,7 +214,7 @@ int main(int argc, char** argv) {
         .Cell(r.fleet.reshard_events)
         .Cell(r.fleet.mean_latency_us, 2)
         .Cell(r.fleet.peak_latency_us, 2)
-        .Cell(r.fleet.slo_burned_ms / 1000.0, 1);
+        .Cell(MsToSec(r.fleet.slo_burned_ms), 1);
   }
   t.Print(std::cout);
   std::cout
@@ -237,7 +237,7 @@ int main(int argc, char** argv) {
         .Cell(r.fleet.reshard_events)
         .Cell(r.fleet.resharded_tenants)
         .Cell(static_cast<uint64_t>(r.fleet.slo_violations))
-        .Cell(r.fleet.slo_burned_ms / 1000.0, 1)
+        .Cell(MsToSec(r.fleet.slo_burned_ms), 1)
         .Cell(r.fleet.worst_burn_rate, 2);
   }
   dyn.Print(std::cout);

@@ -6,6 +6,7 @@
 
 #include "src/bench/context.h"
 #include "src/core/cxl_explorer.h"
+#include "src/util/units.h"
 #include "src/pool/memory_pool.h"
 
 int main(int argc, char** argv) {
@@ -52,7 +53,7 @@ int main(int argc, char** argv) {
 
   PrintSection(std::cout, "Lease churn: 16 hosts on a 4 TiB pool, bursty demands");
   pool::PoolConfig pcfg;
-  pcfg.capacity_bytes = 4ull << 40;
+  pcfg.capacity_bytes = 4 * kTiB;
   pool::CxlMemoryPool mem_pool(pcfg);
   pool::PoolChurnConfig churn_cfg;
   churn_cfg.steps = 3000;

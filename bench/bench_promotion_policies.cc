@@ -9,6 +9,7 @@
 
 #include "src/bench/context.h"
 #include "src/core/cxl_explorer.h"
+#include "src/util/units.h"
 
 namespace {
 
@@ -32,7 +33,7 @@ StatusOr<PolicyRun> RunKeyDb(os::PromotionMode mode, workload::OpSource& source,
   obs.telemetry = sink;
   tiering.Attach(obs);
   apps::kv::KvStoreConfig store_cfg;
-  store_cfg.record_count = dataset_bytes / 1024;
+  store_cfg.record_count = dataset_bytes / kKiB;
   const auto setup = core::MakeCapacitySetup(core::CapacityConfig::kHotPromote, platform);
   auto store = apps::kv::KvStore::Create(allocator, setup.policy, store_cfg, &tiering);
   if (!store.ok()) {
@@ -105,7 +106,7 @@ int main(int argc, char** argv) {
   const auto zipf_runs = runner::RunSweep(
       modes,
       [&modes, &zipf_sinks](const os::PromotionMode& mode, uint64_t /*seed*/) {
-        workload::YcsbGenerator gen(workload::YcsbWorkload::kB, kDataset / 1024, 1);
+        workload::YcsbGenerator gen(workload::YcsbWorkload::kB, kDataset / kKiB, 1);
         telemetry::MetricRegistry* sink =
             zipf_sinks.empty() ? nullptr
                                : &zipf_sinks[static_cast<size_t>(&mode - modes.data())];
@@ -129,7 +130,7 @@ int main(int argc, char** argv) {
         .Cell(run.result.all_latency_us.p99(), 0)
         .Cell(run.counters.pgpromote_success)
         .Cell(run.counters.pgdemote)
-        .Cell(run.result.migrated_bytes / 1e9, 2);
+        .Cell(BytesToGBd(run.result.migrated_bytes), 2);
   }
   zipf.Print(std::cout);
 
@@ -163,7 +164,7 @@ int main(int argc, char** argv) {
         .Cell(run.result.all_latency_us.p99(), 0)
         .Cell(run.counters.pgpromote_success)
         .Cell(run.counters.pgdemote)
-        .Cell(run.result.migrated_bytes / 1e9, 2);
+        .Cell(BytesToGBd(run.result.migrated_bytes), 2);
   }
   scan.Print(std::cout);
   std::cout << "Reading: on the scan, TPP promotes everything it touches (no rate limit, no\n"

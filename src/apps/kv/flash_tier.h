@@ -19,6 +19,8 @@
 #include <deque>
 #include <vector>
 
+#include "src/util/units.h"
+
 namespace cxl::apps::kv {
 
 struct FlashTierConfig {
@@ -32,7 +34,7 @@ struct FlashTierConfig {
   // by SSD reads).
   double software_ns = 25'000.0;
   // Memtable flush threshold.
-  uint64_t memtable_bytes = 64ull << 20;
+  uint64_t memtable_bytes = 64 * kMiB;
   // L0 runs that trigger a compaction into the sorted level.
   int l0_compaction_trigger = 4;
   // Read block size (RocksDB default-ish 4 KiB block + index overread).

@@ -8,6 +8,7 @@
 #include "src/mem/bandwidth_solver.h"
 #include "src/pool/memory_pool.h"
 #include "src/util/rng.h"
+#include "src/util/units.h"
 
 namespace cxl::apps::kv {
 
@@ -19,6 +20,9 @@ constexpr int kReasonPressure = 1;
 constexpr int kReasonHotspot = 2;
 
 constexpr double kPi = 3.14159265358979323846;
+
+// SLO load is reported in kops/s; shard rates are tracked in ops/s.
+constexpr double kOpsPerKop = 1000.0;
 
 }  // namespace
 
@@ -61,7 +65,7 @@ KvFleetSim::KvFleetSim(pool::PoolScheduler& scheduler, FleetConfig config,
   telemetry::WindowAttributor attributor;
   if (faults_ != nullptr && faults_->enabled()) {
     const fault::FaultPlan& plan = faults_->plan();
-    attributor = [&plan](double t_ms) { return fault::AttributeWindowAt(plan, t_ms / 1000.0); };
+    attributor = [&plan](double t_ms) { return fault::AttributeWindowAt(plan, MsToSec(t_ms)); };
   }
   shard_slo_.reserve(static_cast<size_t>(shards));
   for (int s = 0; s < shards; ++s) {
@@ -126,7 +130,7 @@ FleetResult KvFleetSim::Run() {
 
   for (int step = 0; step < config_.steps; ++step) {
     const double t_s = static_cast<double>(step) * config_.step_seconds;
-    const double t_ms = t_s * 1000.0;
+    const double t_ms = SecToMs(t_s);
     if (faults_ != nullptr) {
       faults_->AdvanceTo(t_s);
     }
@@ -295,8 +299,9 @@ FleetResult KvFleetSim::Run() {
       f_unbacked[static_cast<size_t>(h)] =
           1.0 - f_dram[static_cast<size_t>(h)] - f_pool[static_cast<size_t>(h)];
       // Offered bytes/s: ops x footprint, split by where the bytes live.
-      const double gbps =
-          host_ops[static_cast<size_t>(h)] * static_cast<double>(config_.value_bytes) * 1e-9;
+      const double bytes_per_sec =
+          host_ops[static_cast<size_t>(h)] * static_cast<double>(config_.value_bytes);
+      const double gbps = bytes_per_sec * 1e-9;
       host_gbps[static_cast<size_t>(h)] = gbps;
       if (gbps <= 0.0) {
         continue;
@@ -356,14 +361,14 @@ FleetResult KvFleetSim::Run() {
                                                        f_unbacked[static_cast<size_t>(h)]);
       }
       host_latency_us[static_cast<size_t>(h)] =
-          config_.base_service_us + lines_per_op * mem_ns / 1000.0;
+          config_.base_service_us + NsToUs(lines_per_op * mem_ns);
     }
 
     // SLO observations: a shard inherits its host's latency.
     for (int s = 0; s < shards; ++s) {
       shard_slo_[static_cast<size_t>(s)]->Observe(
           t_ms, host_latency_us[static_cast<size_t>(shard_host_[static_cast<size_t>(s)])],
-          shard_rate[static_cast<size_t>(s)] / 1000.0);
+          shard_rate[static_cast<size_t>(s)] / kOpsPerKop);
     }
 
     scheduler_.EndStep();
@@ -398,8 +403,7 @@ FleetResult KvFleetSim::Run() {
       telemetry_->timeline().Sample("fleet.mean_latency_us", t_ms, sample.mean_latency_us);
       telemetry_->timeline().Sample("fleet.pool_utilization", t_ms, sample.pool_utilization);
       telemetry_->timeline().Sample("fleet.stranded_gib", t_ms,
-                                    static_cast<double>(sample.stranded_bytes) /
-                                        static_cast<double>(1ull << 30));
+                                    BytesToGiB(sample.stranded_bytes));
     }
   }
 

@@ -46,6 +46,7 @@
 #include "src/pool/scheduler.h"
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/slo.h"
+#include "src/util/units.h"
 
 namespace cxl::apps::kv {
 
@@ -57,7 +58,7 @@ struct FleetConfig {
   double shard_size_jitter = 0.3;
   // Resident working set per tenant at lambda = 1 (scaled by the diurnal
   // demand factor below).
-  uint64_t tenant_working_set_bytes = 384ull << 10;
+  uint64_t tenant_working_set_bytes = 384 * kKiB;
   // Offered load per tenant and the op's memory footprint.
   double tenant_ops_per_s = 2.0;
   uint64_t value_bytes = 8192;

@@ -8,6 +8,7 @@
 #include "src/mem/access.h"
 #include "src/mem/profiles.h"
 #include "src/topology/pcm.h"
+#include "src/util/units.h"
 
 namespace cxl::apps::kv {
 
@@ -112,7 +113,7 @@ double KvServerSim::ServiceTimeNs(const YcsbOp& op) {
           faults_->ActiveWindowOf(fault::FaultType::kPoisonedCacheline);
       if (telemetry_ != nullptr) {
         telemetry_->events().Record(
-            telemetry::Event(telemetry::EventKind::kKvPoisonRetry, events_.Now() / 1e6)
+            telemetry::Event(telemetry::EventKind::kKvPoisonRetry, NsToMs(events_.Now()))
                 .WithWindow(poison_window)
                 .WithA(retries)
                 .WithB(static_cast<double>(cost.page)));
@@ -122,7 +123,7 @@ double KvServerSim::ServiceTimeNs(const YcsbOp& op) {
         ++result_.quarantined_pages;
         if (telemetry_ != nullptr) {
           telemetry_->events().Record(
-              telemetry::Event(telemetry::EventKind::kKvQuarantine, events_.Now() / 1e6)
+              telemetry::Event(telemetry::EventKind::kKvQuarantine, NsToMs(events_.Now()))
                   .WithWindow(poison_window)
                   .WithA(static_cast<double>(cost.page)));
         }
@@ -147,7 +148,7 @@ double KvServerSim::ServiceTimeNs(const YcsbOp& op) {
       ++result_.flash_errors;
       if (telemetry_ != nullptr) {
         telemetry_->events().Record(
-            telemetry::Event(telemetry::EventKind::kKvFlashRetry, events_.Now() / 1e6)
+            telemetry::Event(telemetry::EventKind::kKvFlashRetry, NsToMs(events_.Now()))
                 .WithWindow(faults_->ActiveWindowOf(fault::FaultType::kFlashIoError))
                 .WithA(faults_->tunables().flash_timeout_factor));
       }
@@ -163,9 +164,9 @@ void KvServerSim::RefreshContention(double epoch_dt_ns) {
   if (epoch_dt_ns <= 0.0) {
     return;
   }
-  const double dt_sec = epoch_dt_ns / 1e9;
+  const double dt_sec = NsToSec(epoch_dt_ns);
   if (faults_ != nullptr) {
-    faults_->AdvanceTo(events_.Now() / 1e9);
+    faults_->AdvanceTo(NsToSec(events_.Now()));
   }
   epoch_arena_.Reset();
   traffic_.ClearTraffic();
@@ -224,7 +225,7 @@ void KvServerSim::RefreshContention(double epoch_dt_ns) {
                                  ? faults_->AttributedWindow()
                                  : telemetry::kNoWindow;
       telemetry_->events().Record(
-          telemetry::Event(telemetry::EventKind::kSolverCacheInvalidate, events_.Now() / 1e6)
+          telemetry::Event(telemetry::EventKind::kSolverCacheInvalidate, NsToMs(events_.Now()))
               .WithWindow(window)
               .WithA(achieved_gbps)
               .WithB(sol.solver_iterations));
@@ -257,8 +258,8 @@ void KvServerSim::RefreshContention(double epoch_dt_ns) {
 
   // Timeline sample for this epoch.
   EpochSample sample;
-  sample.end_ms = events_.Now() / 1e6;
-  sample.kops = static_cast<double>(config_.epoch_ops) / epoch_dt_ns * 1e6;
+  sample.end_ms = NsToMs(events_.Now());
+  sample.kops = static_cast<double>(config_.epoch_ops) / epoch_dt_ns * kNsPerMs;
   sample.mean_latency_us = epoch_mean_latency_us_;
 
   // Shed arming: the first epoch's throughput is the healthy bar; after
@@ -327,7 +328,7 @@ void KvServerSim::RefreshContention(double epoch_dt_ns) {
     kv_kops_series_->Sample(t_ms, sample.kops);
     kv_mean_latency_series_->Sample(t_ms, sample.mean_latency_us);
     telemetry_->trace().Span(kv_track_, "epoch " + std::to_string(epoch_index_),
-                             t_ms - epoch_dt_ns / 1e6, epoch_dt_ns / 1e6, {{"kops", sample.kops}});
+                             t_ms - NsToMs(epoch_dt_ns), NsToMs(epoch_dt_ns), {{"kops", sample.kops}});
   }
   ++epoch_index_;
 
@@ -344,7 +345,7 @@ void KvServerSim::RefreshContention(double epoch_dt_ns) {
     constexpr double kStallNsPerPage = 8'000.0;
     const double pages = static_cast<double>(tick.promoted_pages + tick.demoted_pages);
     migration_stall_ns_per_op_ = pages * kStallNsPerPage / static_cast<double>(config_.epoch_ops);
-    sample.migrated_mb = tick.migrated_bytes / 1e6;
+    sample.migrated_mb = BytesToMBd(tick.migrated_bytes);
   }
   result_.timeline.push_back(sample);
 }
@@ -417,7 +418,7 @@ void KvServerSim::FlushLatencyBatch() {
 void KvServerSim::OnComplete(double submit_time, bool is_write) {
   ++free_threads_;
   ++completed_;
-  const double latency_us = (events_.Now() - submit_time) / 1e3;
+  const double latency_us = NsToUs(events_.Now() - submit_time);
   if (completed_ > config_.warmup_ops) {
     if (measured_ops_ == 0) {
       measure_start_ns_ = events_.Now();
@@ -443,10 +444,10 @@ KvServerSim::Result KvServerSim::Run() {
   FlushLatencyBatch();  // Tail of a run whose total_ops is not epoch-aligned.
   const double measured_ns = events_.Now() - measure_start_ns_;
   if (measured_ns > 0.0 && measured_ops_ > 1) {
-    result_.throughput_kops = static_cast<double>(measured_ops_) / measured_ns * 1e6;
+    result_.throughput_kops = static_cast<double>(measured_ops_) / measured_ns * kNsPerMs;
   }
   result_.dram_share = store_.DramShare();
-  result_.avg_service_us = service_stats_.mean() / 1e3;
+  result_.avg_service_us = NsToUs(service_stats_.mean());
   return result_;
 }
 

@@ -5,6 +5,7 @@
 
 #include "src/mem/access.h"
 #include "src/mem/profiles.h"
+#include "src/util/units.h"
 
 namespace cxl::apps::llm {
 
@@ -45,7 +46,7 @@ double LlmInferenceSim::KvCacheBandwidthGBps(double kv_cache_bytes) const {
   const double r0 = 30.0;        // tokens/s at negligible context.
   const double kv0 = 0.3e9;      // context bytes that halve the rate.
   const double rate = r0 / (1.0 + kv_cache_bytes / kv0);
-  return config_.model_io_floor_gbps + kv_cache_bytes * rate / 1e9;
+  return config_.model_io_floor_gbps + GbpsFromBytesPerSec(kv_cache_bytes * rate);
 }
 
 LlmBatchPoint LlmInferenceSim::SolveBatched(const LlmPlacement& placement, int total_threads,
@@ -61,8 +62,8 @@ LlmBatchPoint LlmInferenceSim::SolveBatched(const LlmPlacement& placement, int t
   // (same threads, same placement); only the byte cost per token changes.
   const LlmServingPoint base = Solve(placement, total_threads);
   const double effective_gbps =
-      base.serving_rate_tokens_s * config_.model.bytes_per_token_per_thread / 1e9;
-  pt.tokens_per_second = effective_gbps * 1e9 / pt.bytes_per_token;
+      GbpsFromBytesPerSec(base.serving_rate_tokens_s * config_.model.bytes_per_token_per_thread);
+  pt.tokens_per_second = GbpsToBytesPerSec(effective_gbps) / pt.bytes_per_token;
   return pt;
 }
 
@@ -106,7 +107,7 @@ LlmServingPoint LlmInferenceSim::Solve(const LlmPlacement& placement, int total_
                      config_.cxl_intrinsic_efficiency;
   const double effective_gbps = b_m * q_m + b_c * q_c;
   pt.serving_rate_tokens_s =
-      effective_gbps * 1e9 / config_.model.bytes_per_token_per_thread;
+      GbpsToBytesPerSec(effective_gbps) / config_.model.bytes_per_token_per_thread;
   return pt;
 }
 

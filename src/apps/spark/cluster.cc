@@ -7,6 +7,7 @@
 #include "src/mem/access.h"
 #include "src/mem/profiles.h"
 #include "src/os/numa_policy.h"
+#include "src/util/units.h"
 
 namespace cxl::apps::spark {
 
@@ -212,14 +213,15 @@ double SparkCluster::SolvePhaseSeconds(double payload_bytes_per_server, double r
   const int execs_per_server = config_.total_executors / config_.servers;
   double phase_seconds = 0.0;
   for (size_t gi = 0; gi < groups_.size(); ++gi) {
-    const double t = payload_bytes_per_server / (execs_per_server * rate[gi] * 1e9);
+    const double t = payload_bytes_per_server / GbpsToBytesPerSec(execs_per_server * rate[gi]);
     phase_seconds = std::max(phase_seconds, t);
   }
   // Cross-server traffic through the NIC: each server receives
   // (servers-1)/servers of its shuffle slice over 100 Gbps Ethernet.
   const double remote_fraction = (config_.servers - 1.0) / config_.servers;
   const double net_seconds =
-      payload_bytes_per_server * remote_fraction / (config_.network_gbps_per_server * 1e9);
+      payload_bytes_per_server * remote_fraction /
+      GbpsToBytesPerSec(config_.network_gbps_per_server);
   phase_seconds = std::max(phase_seconds, net_seconds);
 
   if (cxl_share_out != nullptr) {
@@ -295,7 +297,7 @@ std::vector<SparkCluster::GroupRate> SparkCluster::SolveGroupRates(double read_f
   // not through the payload size.)
   std::vector<double> no_extra;
   double unused_share = 0.0;
-  SolvePhaseSeconds(1e9, read_fraction, no_extra, &unused_share);
+  SolvePhaseSeconds(static_cast<double>(kGB), read_fraction, no_extra, &unused_share);
   std::vector<GroupRate> out;
   for (size_t gi = 0; gi < groups_.size(); ++gi) {
     out.push_back(GroupRate{groups_[gi].cpu_socket, groups_[gi].executors,
@@ -359,7 +361,7 @@ QueryResult SparkCluster::RunQuery(const QueryProfile& query) {
     }
     result.migrated_bytes += migrated;
     // Migration bandwidth interferes with the next phase's traffic.
-    const double mig_gbps = migrated / std::max(phase_seconds, 1.0) / 1e9;
+    const double mig_gbps = GbpsFromBytesPerSec(migrated / std::max(phase_seconds, 1.0));
     for (const auto& n : platform_->nodes()) {
       extra[static_cast<size_t>(n.id)] = mig_gbps / platform_->nodes().size();
     }
@@ -426,7 +428,7 @@ QueryResult SparkCluster::RunQuery(const QueryProfile& query) {
         // Fetch failures only sample while the link is degraded, so the
         // active link window is the re-execution's cause by construction.
         telemetry_->events().Record(
-            telemetry::Event(telemetry::EventKind::kSparkShuffleReexec, faults_->now_s() * 1e3)
+            telemetry::Event(telemetry::EventKind::kSparkShuffleReexec, SecToMs(faults_->now_s()))
                 .WithWindow(faults_->ActiveLinkWindow())
                 .WithA(failed)
                 .WithB(result.retry_seconds));
@@ -448,8 +450,8 @@ QueryResult SparkCluster::RunQuery(const QueryProfile& query) {
         ssd.PeakBandwidthGBps(AccessMix::WriteOnly()) * config_.spill_io_efficiency;
     const double r_gbps =
         ssd.PeakBandwidthGBps(AccessMix::ReadOnly()) * config_.spill_io_efficiency;
-    result.shuffle_write_seconds += per_server / (w_gbps * 1e9);
-    result.shuffle_read_seconds += per_server / (r_gbps * 1e9);
+    result.shuffle_write_seconds += per_server / GbpsToBytesPerSec(w_gbps);
+    result.shuffle_read_seconds += per_server / GbpsToBytesPerSec(r_gbps);
   }
 
   result.total_seconds =
@@ -457,23 +459,23 @@ QueryResult SparkCluster::RunQuery(const QueryProfile& query) {
 
   if (telemetry_ != nullptr) {
     // One span per stage, laid end to end on the cluster's query clock.
-    const double base_ms = trace_clock_s_ * 1e3;
+    const double base_ms = SecToMs(trace_clock_s_);
     telemetry::TraceBuffer& trace = telemetry_->trace();
-    trace.Span(spark_track_, query.name + " compute", base_ms, result.compute_seconds * 1e3);
+    trace.Span(spark_track_, query.name + " compute", base_ms, SecToMs(result.compute_seconds));
     trace.Span(spark_track_, query.name + " shuffle-write",
-               base_ms + result.compute_seconds * 1e3, result.shuffle_write_seconds * 1e3,
-               {{"spilled_gb", result.spilled_bytes / 1e9}});
+               base_ms + SecToMs(result.compute_seconds), SecToMs(result.shuffle_write_seconds),
+               {{"spilled_gb", BytesToGBd(result.spilled_bytes)}});
     trace.Span(spark_track_, query.name + " shuffle-read",
-               base_ms + (result.compute_seconds + result.shuffle_write_seconds) * 1e3,
-               result.shuffle_read_seconds * 1e3,
+               base_ms + SecToMs(result.compute_seconds + result.shuffle_write_seconds),
+               SecToMs(result.shuffle_read_seconds),
                {{"cxl_access_share", result.cxl_access_share}});
-    const double end_ms = base_ms + result.total_seconds * 1e3;
+    const double end_ms = base_ms + SecToMs(result.total_seconds);
     telemetry::Timeline& timeline = telemetry_->timeline();
     timeline.Sample("spark.query_seconds", end_ms, result.total_seconds);
     timeline.Sample("spark.shuffle_share", end_ms, result.ShuffleShare());
     timeline.Sample("spark.cxl_access_share", end_ms, result.cxl_access_share);
-    timeline.Sample("spark.spilled_gb", end_ms, result.spilled_bytes / 1e9);
-    timeline.Sample("spark.migrated_gb", end_ms, result.migrated_bytes / 1e9);
+    timeline.Sample("spark.spilled_gb", end_ms, BytesToGBd(result.spilled_bytes));
+    timeline.Sample("spark.migrated_gb", end_ms, BytesToGBd(result.migrated_bytes));
     telemetry_->GetCounter("spark.queries").Increment();
     telemetry_->GetCounter("spark.spilled_bytes")
         .Add(static_cast<uint64_t>(result.spilled_bytes));

@@ -8,6 +8,7 @@
 
 #include "src/sim/event_queue.h"
 #include "src/util/rng.h"
+#include "src/util/units.h"
 
 namespace cxl::apps::spark {
 
@@ -20,7 +21,7 @@ DagQuery BuildDag(const QueryProfile& profile, const SparkConfig& config, int ta
   // The compute stage's "payload" is synthetic: sized so that at the base
   // processing rate its duration equals the profile's compute seconds.
   const double compute_bytes =
-      profile.compute_seconds * execs_per_server * config.base_proc_gbps * 1e9;
+      GbpsToBytesPerSec(profile.compute_seconds * execs_per_server * config.base_proc_gbps);
 
   DagQuery dag;
   dag.name = profile.name;
@@ -117,11 +118,11 @@ DagResult DagScheduler::Run(const DagQuery& query, double jitter, uint64_t seed)
       ready_tasks.pop_front();
       --free_slots;
       const StageSpec& stage = query.stages[static_cast<size_t>(stage_id)];
-      double seconds = bytes / (slot_rate(stage_id) * 1e9);
+      double seconds = bytes / GbpsToBytesPerSec(slot_rate(stage_id));
       if (stage.crosses_network) {
         const double remote_fraction = (cfg.servers - 1.0) / cfg.servers;
         const double net_seconds = bytes * remote_fraction /
-                                   (cfg.network_gbps_per_server * 1e9 / execs_per_server);
+                                   (GbpsToBytesPerSec(cfg.network_gbps_per_server) / execs_per_server);
         seconds = std::max(seconds, net_seconds);
       }
       if (jitter > 0.0) {

@@ -8,6 +8,7 @@
 #include "src/os/vmstat.h"
 #include "src/runner/sweep.h"
 #include "src/topology/platform.h"
+#include "src/util/units.h"
 
 namespace cxl::core {
 
@@ -23,7 +24,7 @@ using topology::Platform;
 // spreads hot traffic by its ratios and the promotion daemon has genuine
 // hot pages to find. 4 KiB would be faithful but quadruples bookkeeping for
 // no change in behaviour.
-constexpr uint64_t kKvPageBytes = 16ull << 10;
+constexpr uint64_t kKvPageBytes = 16 * kKiB;
 
 namespace {
 

@@ -20,6 +20,7 @@
 #include "src/telemetry/metrics.h"
 #include "src/util/histogram.h"
 #include "src/util/status.h"
+#include "src/util/units.h"
 #include "src/workload/ycsb.h"
 
 namespace cxl::core {
@@ -68,7 +69,7 @@ struct KeyDbExperimentOptions {
   // full Fig. 5 sweep runs in seconds. Scale effects (fractions, ratios,
   // contention) are size-invariant in the model; pass 512 GiB to reproduce
   // at full scale.
-  uint64_t dataset_bytes = 64ull << 30;
+  uint64_t dataset_bytes = 64 * kGiB;
   uint64_t value_bytes = 1024;
   uint64_t total_ops = 250'000;
   uint64_t warmup_ops = 50'000;

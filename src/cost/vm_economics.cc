@@ -13,8 +13,13 @@ std::vector<ProcessorSpec> IntelProcessorSeries() {
   };
 }
 
+namespace {
+// Memory sizing works in GiB per vCPU; instance capacities are quoted in TiB.
+constexpr double kGiBPerTiB = 1024.0;
+}  // namespace
+
 double RequiredMemoryTiB(int vcpus, double gib_per_vcpu) {
-  return vcpus * gib_per_vcpu / 1024.0;
+  return vcpus * gib_per_vcpu / kGiBPerTiB;
 }
 
 double VmEconomics::StrandedVcpuFraction() const {

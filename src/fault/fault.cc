@@ -7,6 +7,8 @@
 #include <cstdio>
 #include <string>
 
+#include "src/util/units.h"
+
 namespace cxl::fault {
 namespace {
 
@@ -336,11 +338,11 @@ void FaultInjector::Recompute() {
       announced_[i] = true;
       telemetry_->GetCounter("fault.events").Increment();
       telemetry_->GetCounter(std::string("fault.") + FaultTypeName(e.type)).Increment();
-      const double dur_ms = std::isfinite(e.duration_s) ? e.duration_s * 1e3 : 0.0;
-      telemetry_->trace().Span(track_, FaultTypeName(e.type), e.start_s * 1e3, dur_ms,
+      const double dur_ms = std::isfinite(e.duration_s) ? SecToMs(e.duration_s) : 0.0;
+      telemetry_->trace().Span(track_, FaultTypeName(e.type), SecToMs(e.start_s), dur_ms,
                                {{"severity", e.severity}});
       telemetry_->events().Record(
-          telemetry::Event(telemetry::EventKind::kFaultWindowOpen, e.start_s * 1e3)
+          telemetry::Event(telemetry::EventKind::kFaultWindowOpen, SecToMs(e.start_s))
               .WithWindow(static_cast<int32_t>(i))
               .WithReason(static_cast<int32_t>(e.type))
               .WithA(e.severity)
@@ -351,7 +353,7 @@ void FaultInjector::Recompute() {
         now_s_ >= e.end_s()) {
       closed_[i] = true;
       telemetry_->events().Record(
-          telemetry::Event(telemetry::EventKind::kFaultWindowClose, e.end_s() * 1e3)
+          telemetry::Event(telemetry::EventKind::kFaultWindowClose, SecToMs(e.end_s()))
               .WithWindow(static_cast<int32_t>(i))
               .WithReason(static_cast<int32_t>(e.type))
               .WithA(e.severity));
@@ -387,7 +389,7 @@ void FaultInjector::Recompute() {
                                                      extra_maintenance_)
                        : 1.0;
   if (telemetry_ != nullptr) {
-    telemetry_->timeline().Sample("fault.cxl_bw_factor", now_s_ * 1e3, cxl_bw_factor_);
+    telemetry_->timeline().Sample("fault.cxl_bw_factor", SecToMs(now_s_), cxl_bw_factor_);
   }
 }
 

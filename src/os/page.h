@@ -14,6 +14,7 @@
 #include <limits>
 
 #include "src/topology/platform.h"
+#include "src/util/units.h"
 
 namespace cxl::os {
 
@@ -21,7 +22,7 @@ using PageId = uint64_t;
 inline constexpr PageId kInvalidPage = std::numeric_limits<PageId>::max();
 
 // Default page granularity for placement bookkeeping.
-inline constexpr uint64_t kDefaultPageBytes = 2ull << 20;  // 2 MiB.
+inline constexpr uint64_t kDefaultPageBytes = 2 * kMiB;
 
 // Per-page metadata, as a value type. PageAllocator stores these fields
 // structure-of-arrays (packed node/heat/recency columns, so daemon scans

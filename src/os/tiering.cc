@@ -8,6 +8,7 @@
 
 #include "src/os/policy_registry.h"
 #include "src/os/vmstat.h"
+#include "src/util/units.h"
 
 namespace cxl::os {
 
@@ -181,7 +182,7 @@ TieredMemory::TickResult TieredMemory::Tick(double dt_seconds) {
         telemetry_->GetCounter("tiering.stalled_ticks").Increment();
         // A stall window is active (DaemonStalled), so the id is valid.
         telemetry_->events().Record(
-            telemetry::Event(telemetry::EventKind::kDaemonSkippedTick, sim_seconds_ * 1e3)
+            telemetry::Event(telemetry::EventKind::kDaemonSkippedTick, SecToMs(sim_seconds_))
                 .WithWindow(faults_->ActiveWindowOf(fault::FaultType::kDaemonStall))
                 .WithReason(0));
       }
@@ -196,7 +197,7 @@ TieredMemory::TickResult TieredMemory::Tick(double dt_seconds) {
         const int32_t window = faults_->AttributedWindow();
         if (window != telemetry::kNoWindow) {
           telemetry_->events().Record(
-              telemetry::Event(telemetry::EventKind::kDaemonSkippedTick, sim_seconds_ * 1e3)
+              telemetry::Event(telemetry::EventKind::kDaemonSkippedTick, SecToMs(sim_seconds_))
                   .WithWindow(window)
                   .WithReason(1));
         }
@@ -214,7 +215,7 @@ TieredMemory::TickResult TieredMemory::Tick(double dt_seconds) {
 
   // Base promotion budget from the rate limit (MB/s, decimal, as in the
   // kernel). The policy scales or ignores it (TPP promotes unboundedly).
-  const double budget_bytes = config_.promote_rate_limit_mbps * 1e6 * dt_seconds;
+  const double budget_bytes = MbpsToBytesPerSec(config_.promote_rate_limit_mbps) * dt_seconds;
   const double budget_pages_d = budget_bytes / page_bytes;
   const uint64_t base_budget_pages =
       budget_pages_d >= static_cast<double>(std::numeric_limits<uint64_t>::max())
@@ -246,7 +247,7 @@ TieredMemory::TickResult TieredMemory::Tick(double dt_seconds) {
                                  : telemetry::kNoWindow;
       if (window != telemetry::kNoWindow) {
         telemetry_->events().Record(
-            telemetry::Event(telemetry::EventKind::kDaemonSkippedTick, sim_seconds_ * 1e3)
+            telemetry::Event(telemetry::EventKind::kDaemonSkippedTick, SecToMs(sim_seconds_))
                 .WithWindow(window)
                 .WithReason(2));
       }
@@ -433,7 +434,7 @@ TieredMemory::TickResult TieredMemory::Tick(double dt_seconds) {
         if (window != telemetry::kNoWindow) {
           telemetry_->events().Record(
               telemetry::Event(telemetry::EventKind::kPromotionBackoffArmed,
-                               (sim_seconds_ + dt_seconds) * 1e3)
+                               SecToMs(sim_seconds_ + dt_seconds))
                   .WithWindow(window)
                   .WithA(backoff_ticks_remaining_)
                   .WithB(promotion_failure_streak_));
@@ -543,8 +544,8 @@ bool TieredMemory::QuarantinePage(PageId page) {
     telemetry_->GetCounter("tiering.quarantined_pages").Increment();
     // Stamped on the fault clock when one is attached (quarantine happens
     // mid-epoch, triggered by the caller's poison sample).
-    const double t_ms = (faults_ != nullptr && faults_->enabled()) ? faults_->now_s() * 1e3
-                                                                   : sim_seconds_ * 1e3;
+    const double t_ms = (faults_ != nullptr && faults_->enabled()) ? SecToMs(faults_->now_s())
+                                                                   : SecToMs(sim_seconds_);
     const int32_t window =
         (faults_ != nullptr && faults_->enabled())
             ? faults_->ActiveWindowOf(fault::FaultType::kPoisonedCacheline)
@@ -554,7 +555,7 @@ bool TieredMemory::QuarantinePage(PageId page) {
             .WithWindow(window)
             .WithReason(2)
             .WithA(1.0)
-            .WithB(static_cast<double>(allocator_.page_bytes()) / 1e6));
+            .WithB(BytesToMB(allocator_.page_bytes())));
   }
   return true;
 }
@@ -584,12 +585,12 @@ void TieredMemory::EmitTickTelemetry(const TickResult& result, double dt_seconds
     handles_.rate_limit_saturation_gauge = &telemetry_->GetGauge("tiering.rate_limit_saturation");
     handles_.attached = true;
   }
-  const double t_ms = sim_seconds_ * 1e3;
+  const double t_ms = SecToMs(sim_seconds_);
   const double page_bytes = static_cast<double>(allocator_.page_bytes());
   const double promote_mbps =
-      static_cast<double>(result.promoted_pages) * page_bytes / 1e6 / dt_seconds;
+      static_cast<double>(result.promoted_pages) * page_bytes / static_cast<double>(kMB) / dt_seconds;
   const double demote_mbps =
-      static_cast<double>(result.demoted_pages) * page_bytes / 1e6 / dt_seconds;
+      static_cast<double>(result.demoted_pages) * page_bytes / static_cast<double>(kMB) / dt_seconds;
 
   handles_.hot_threshold->Sample(t_ms, result.hot_threshold);
   handles_.candidates->Sample(t_ms, static_cast<double>(result.candidates));
@@ -621,19 +622,19 @@ void TieredMemory::EmitTickTelemetry(const TickResult& result, double dt_seconds
   handles_.rate_limit_saturation_gauge->Set(saturation);
 
   telemetry_->trace().Span(
-      telemetry_track_, "tick", t_ms - dt_seconds * 1e3, dt_seconds * 1e3,
+      telemetry_track_, "tick", t_ms - SecToMs(dt_seconds), SecToMs(dt_seconds),
       {{"promoted_pages", static_cast<double>(result.promoted_pages)},
        {"demoted_pages", static_cast<double>(result.demoted_pages)},
        {"hot_threshold", result.hot_threshold},
-       {"migrated_mb", result.migrated_bytes / 1e6}});
+       {"migrated_mb", BytesToMBd(result.migrated_bytes)}});
 }
 
 void TieredMemory::EmitTickEvents(const TickResult& result, uint64_t watermark_demoted) {
   if (telemetry_ == nullptr) {
     return;
   }
-  const double t_ms = sim_seconds_ * 1e3;
-  const double page_mb = static_cast<double>(allocator_.page_bytes()) / 1e6;
+  const double t_ms = SecToMs(sim_seconds_);
+  const double page_mb = BytesToMB(allocator_.page_bytes());
   // Routine tiering activity attributes best-effort: the responsible window
   // while one is open, kNoWindow on healthy runs (promotion bursts matter
   // for the ping-pong detector even without faults).

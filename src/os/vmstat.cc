@@ -2,6 +2,7 @@
 
 #include <iomanip>
 #include <sstream>
+#include "src/util/units.h"
 
 namespace cxl::os {
 
@@ -21,10 +22,8 @@ void PrintNodeOccupancy(std::ostream& os, const PageAllocator& allocator) {
   for (const auto& n : platform.nodes()) {
     const uint64_t total = allocator.TotalPages(n.id);
     const uint64_t used = allocator.UsedPages(n.id);
-    const double used_gib = static_cast<double>(used * allocator.page_bytes()) /
-                            static_cast<double>(1ull << 30);
-    const double total_gib = static_cast<double>(total * allocator.page_bytes()) /
-                             static_cast<double>(1ull << 30);
+    const double used_gib = BytesToGiB(used * allocator.page_bytes());
+    const double total_gib = BytesToGiB(total * allocator.page_bytes());
     os << "node " << n.id << " (" << n.name << "): " << std::fixed << std::setprecision(1)
        << used_gib << " / " << total_gib << " GiB used ("
        << (total == 0 ? 0.0 : 100.0 * static_cast<double>(used) / static_cast<double>(total))

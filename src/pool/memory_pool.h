@@ -20,15 +20,16 @@
 #include "src/mem/profiles.h"
 #include "src/util/rng.h"
 #include "src/util/status.h"
+#include "src/util/units.h"
 
 namespace cxl::pool {
 
 using HostId = int;
 
 struct PoolConfig {
-  uint64_t capacity_bytes = 1ull << 40;  // 1 TiB pool.
+  uint64_t capacity_bytes = kTiB;
   // Allocation granularity (CXL 2.0 partitions are coarse).
-  uint64_t slice_bytes = 1ull << 30;  // 1 GiB.
+  uint64_t slice_bytes = kGiB;
   // CXL 2.0 supports up to 16 hosts behind one switch.
   int max_hosts = 16;
   // Cap on any single host's share of the pool (fairness guard; 1.0 = none).

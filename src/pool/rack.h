@@ -31,6 +31,7 @@
 
 #include "src/pool/memory_pool.h"
 #include "src/util/status.h"
+#include "src/util/units.h"
 
 namespace cxl::pool {
 
@@ -49,10 +50,10 @@ struct RackConfig {
   int expanders = 4;
   RackTopology topology = RackTopology::kFlat;
   // Local DRAM per host; demand beyond it goes to the pool.
-  uint64_t host_dram_bytes = 96ull << 30;
+  uint64_t host_dram_bytes = 96 * kGiB;
   // Capacity of each expander (the pool totals expanders x this).
-  uint64_t expander_capacity_bytes = 96ull << 30;
-  uint64_t slice_bytes = 1ull << 30;
+  uint64_t expander_capacity_bytes = 96 * kGiB;
+  uint64_t slice_bytes = kGiB;
   // Per-expander cap on any single host's share (CXL 2.0 fairness guard).
   double per_host_capacity_fraction = 1.0;
 };

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/util/units.h"
+
 namespace cxl::pool {
 
 PoolScheduler::PoolScheduler(Rack& rack, SchedulerConfig config)
@@ -128,7 +130,7 @@ uint64_t PoolScheduler::BalloonReclaim(int host, uint64_t need) {
   if (freed > 0 && telemetry_ != nullptr) {
     telemetry_->events().Record(
         telemetry::Event(telemetry::EventKind::kPoolBalloonReclaim, now_ms_)
-            .WithA(static_cast<double>(freed) / static_cast<double>(1ull << 20))
+            .WithA(BytesToMiB(freed))
             .WithB(static_cast<double>(victims)));
   }
   return freed;

@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "src/util/units.h"
+
 namespace cxl::telemetry {
 
 std::string EpochProfiler::Report(double wall_ms) const {
-  const double solver_ms = SecondsIn(kSolver) * 1e3;
-  const double scan_ms = SecondsIn(kScan) * 1e3;
-  const double telemetry_ms = SecondsIn(kTelemetry) * 1e3;
+  const double solver_ms = SecToMs(SecondsIn(kSolver));
+  const double scan_ms = SecToMs(SecondsIn(kScan));
+  const double telemetry_ms = SecToMs(SecondsIn(kTelemetry));
   const double workload_ms = std::max(0.0, wall_ms - solver_ms - scan_ms - telemetry_ms);
   const auto pct = [wall_ms](double ms) { return wall_ms > 0.0 ? 100.0 * ms / wall_ms : 0.0; };
   char buf[256];

@@ -5,6 +5,8 @@
 #include <map>
 #include <vector>
 
+#include "src/util/units.h"
+
 namespace cxl::telemetry {
 
 namespace {
@@ -144,9 +146,9 @@ void WriteChromeTrace(std::ostream& os, const MetricRegistry& registry) {
   for (const TraceBuffer::Event& e : trace.events()) {
     sep();
     os << "{\"ph\":\"" << e.phase << "\",\"pid\":1,\"tid\":" << e.track + 1 << ",\"name\":\""
-       << JsonEscape(e.name) << "\",\"ts\":" << Num(e.ts_ms * 1e3);
+       << JsonEscape(e.name) << "\",\"ts\":" << Num(MsToUs(e.ts_ms));
     if (e.phase == 'X') {
-      os << ",\"dur\":" << Num(e.dur_ms * 1e3);
+      os << ",\"dur\":" << Num(MsToUs(e.dur_ms));
     }
     if (e.phase == 'i') {
       os << ",\"s\":\"t\"";
@@ -167,7 +169,7 @@ void WriteChromeTrace(std::ostream& os, const MetricRegistry& registry) {
     for (const TimePoint& p : series.points()) {
       sep();
       os << "{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"name\":\"" << JsonEscape(name)
-         << "\",\"ts\":" << Num(p.t_ms * 1e3) << ",\"args\":{\"value\":" << Num(p.value) << "}}";
+         << "\",\"ts\":" << Num(MsToUs(p.t_ms)) << ",\"args\":{\"value\":" << Num(p.value) << "}}";
     }
   }
   // Structured events: one instants track per emitting cell (tids after the
@@ -197,7 +199,7 @@ void WriteChromeTrace(std::ostream& os, const MetricRegistry& registry) {
       const EventKindInfo& info = KindInfo(ev.kind);
       sep();
       os << "{\"ph\":\"i\",\"pid\":1,\"tid\":" << tid << ",\"name\":\"" << info.name
-         << "\",\"ts\":" << Num(ev.t_ms * 1e3) << ",\"s\":\"t\",\"args\":{";
+         << "\",\"ts\":" << Num(MsToUs(ev.t_ms)) << ",\"s\":\"t\",\"args\":{";
       bool first_arg = true;
       auto arg = [&](const char* key, double value) {
         os << (first_arg ? "" : ",") << "\"" << key << "\":" << Num(value);
@@ -232,7 +234,7 @@ void WriteChromeTrace(std::ostream& os, const MetricRegistry& registry) {
         sep();
         os << "{\"ph\":\"" << flow << "\",\"pid\":1,\"tid\":" << tid
            << ",\"cat\":\"fault\",\"name\":\"fault_window\",\"id\":" << id
-           << ",\"ts\":" << Num(ev.t_ms * 1e3);
+           << ",\"ts\":" << Num(MsToUs(ev.t_ms));
         if (flow[0] == 'f') {
           os << ",\"bp\":\"e\"";
         }

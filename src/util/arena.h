@@ -17,12 +17,13 @@
 #include <cstdint>
 #include <memory>
 #include <vector>
+#include "src/util/units.h"
 
 namespace cxl {
 
 class Arena {
  public:
-  static constexpr size_t kDefaultBlockBytes = 64 * 1024;
+  static constexpr size_t kDefaultBlockBytes = 64 * kKiB;
 
   explicit Arena(size_t block_bytes = kDefaultBlockBytes)
       : default_block_bytes_(block_bytes == 0 ? kDefaultBlockBytes : block_bytes) {}

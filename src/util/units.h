@@ -26,6 +26,9 @@ inline constexpr uint64_t kTB = 1000ull * kGB;
 inline constexpr double kNsPerUs = 1e3;
 inline constexpr double kNsPerMs = 1e6;
 inline constexpr double kNsPerSec = 1e9;
+inline constexpr double kUsPerMs = 1e3;
+inline constexpr double kUsPerSec = 1e6;
+inline constexpr double kMsPerSec = 1e3;
 
 // Cache-line granularity of a CXL.mem / DDR access (the paper uses 64 B
 // accesses throughout its MLC experiments).
@@ -43,12 +46,65 @@ constexpr double NsToSec(double ns) { return ns / kNsPerSec; }
 // Converts seconds to nanoseconds.
 constexpr double SecToNs(double sec) { return sec * kNsPerSec; }
 
-// Converts a byte count to decimal gigabytes.
-constexpr double BytesToGB(uint64_t bytes) { return static_cast<double>(bytes) / 1e9; }
+// Time-scale conversions within the double-ns / double-seconds convention.
+constexpr double NsToMs(double ns) { return ns / kNsPerMs; }
+constexpr double NsToUs(double ns) { return ns / kNsPerUs; }
+constexpr double UsToNs(double us) { return us * kNsPerUs; }
+constexpr double MsToNs(double ms) { return ms * kNsPerMs; }
+constexpr double MsToUs(double ms) { return ms * kUsPerMs; }
+constexpr double MsToSec(double ms) { return ms / kMsPerSec; }
+constexpr double SecToMs(double sec) { return sec * kMsPerSec; }
+constexpr double UsToSec(double us) { return us / kUsPerSec; }
+constexpr double SecToUs(double sec) { return sec * kUsPerSec; }
 
-// Converts a byte count to binary gibibytes.
+// Bandwidth in decimal GB/s from a byte count moved in `ns` nanoseconds.
+// bytes/ns == GB/s exactly (1e9 bytes per GB, 1e9 ns per second).
+constexpr double GbpsFromBytesNs(double bytes, double ns) {
+  return bytes / ns;
+}
+
+// Bandwidth scale conversions: GB/s and MB/s to/from bytes per second.
+constexpr double GbpsToBytesPerSec(double gbps) {
+  return gbps * static_cast<double>(kGB);
+}
+constexpr double GbpsFromBytesPerSec(double bytes_per_sec) {
+  return bytes_per_sec / static_cast<double>(kGB);
+}
+constexpr double MbpsToBytesPerSec(double mbps) {
+  return mbps * static_cast<double>(kMB);
+}
+
+// Converts a byte count to decimal megabytes / gigabytes.
+constexpr double BytesToMB(uint64_t bytes) {
+  return static_cast<double>(bytes) / static_cast<double>(kMB);
+}
+constexpr double BytesToGB(uint64_t bytes) {
+  return static_cast<double>(bytes) / static_cast<double>(kGB);
+}
+
+// Converts a byte count to binary mebibytes / gibibytes / tebibytes.
+constexpr double BytesToMiB(uint64_t bytes) {
+  return static_cast<double>(bytes) / static_cast<double>(kMiB);
+}
 constexpr double BytesToGiB(uint64_t bytes) {
   return static_cast<double>(bytes) / static_cast<double>(kGiB);
+}
+constexpr double BytesToTiB(uint64_t bytes) {
+  return static_cast<double>(bytes) / static_cast<double>(kTiB);
+}
+
+// Converts a decimal-gigabyte quantity carried as double to bytes.
+constexpr double GBToBytesd(double gb) { return gb * static_cast<double>(kGB); }
+
+// Double-valued byte-count variants for values already carried as double.
+constexpr double BytesToMBd(double bytes) {
+  return bytes / static_cast<double>(kMB);
+}
+constexpr double BytesToGBd(double bytes) {
+  return bytes / static_cast<double>(kGB);
+}
+constexpr double BytesToGiBd(double bytes) {
+  return bytes / static_cast<double>(kGiB);
 }
 
 namespace literals {
@@ -57,6 +113,11 @@ constexpr uint64_t operator""_KiB(unsigned long long v) { return v * kKiB; }
 constexpr uint64_t operator""_MiB(unsigned long long v) { return v * kMiB; }
 constexpr uint64_t operator""_GiB(unsigned long long v) { return v * kGiB; }
 constexpr uint64_t operator""_TiB(unsigned long long v) { return v * kTiB; }
+
+constexpr uint64_t operator""_KB(unsigned long long v) { return v * kKB; }
+constexpr uint64_t operator""_MB(unsigned long long v) { return v * kMB; }
+constexpr uint64_t operator""_GB(unsigned long long v) { return v * kGB; }
+constexpr uint64_t operator""_TB(unsigned long long v) { return v * kTB; }
 
 }  // namespace literals
 

@@ -1,0 +1,8 @@
+// CXL-U001 positive fixture: same-family units mixed without conversion.
+double TotalLatency(double net_ns, double cpu_us) {
+  return net_ns + cpu_us;  // ns + us added raw.
+}
+
+bool OverBudget(double lat_ms, double budget_ns) {
+  return lat_ms > budget_ns;  // ms compared against ns.
+}

@@ -1,0 +1,8 @@
+// CXL-U001 negative fixture: conversions routed through util/units.h.
+double TotalLatencyNs(double net_ns, double cpu_us) {
+  return net_ns + UsToNs(cpu_us);
+}
+
+bool OverBudget(double lat_ms, double budget_ns) {
+  return MsToNs(lat_ms) > budget_ns;
+}

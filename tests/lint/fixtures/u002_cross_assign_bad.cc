@@ -1,0 +1,10 @@
+// CXL-U002 positive fixture: cross-unit assignment and suffix-contradicting
+// return.
+double DeadlineNs(double window_ms) {
+  double deadline_ns = window_ms;  // ms stored into an ns-suffixed local.
+  return deadline_ns;
+}
+
+double WindowMs(double span_ns) {
+  return span_ns;  // *Ms() returning nanoseconds.
+}

@@ -1,0 +1,10 @@
+// CXL-U002 negative fixture: conversions happen before the unit changes
+// hands.
+double DeadlineNs(double window_ms) {
+  double deadline_ns = MsToNs(window_ms);
+  return deadline_ns;
+}
+
+double WindowMs(double span_ns) {
+  return NsToMs(span_ns);
+}

@@ -1,0 +1,11 @@
+// CXL-U003 positive fixture: bare conversion constants next to unit-carrying
+// operands.
+double ElapsedMs(double t_ns) {
+  return t_ns / 1e6;  // ns -> ms via magic number.
+}
+
+double RateGbps(double moved_bytes, double window_s) {
+  return moved_bytes / window_s / 1e9;  // bytes/s -> GB/s via magic number.
+}
+
+constexpr unsigned long long kArenaBytes = 4ull << 20;  // shift-magic MiB.

@@ -1,0 +1,14 @@
+// CXL-U003 negative fixture: the same conversions spelled with the named
+// vocabulary, plus magic-shaped numbers with no unit in sight.
+double ElapsedMs(double t_ns) {
+  return t_ns / kNsPerMs;
+}
+
+double RateGbps(double moved_bytes, double window_s) {
+  return GbpsFromBytesPerSec(moved_bytes / window_s);
+}
+
+constexpr unsigned long long kArenaBytes = 4 * kMiB;
+
+double samples = 1e6;        // lone constant on `=` is a value, not a conversion.
+double Scale() { return 0.5 * 1e6; }  // no unit-carrying operand anywhere.

@@ -1,0 +1,9 @@
+// CXL-U004 positive fixture: decimal and binary capacity units mixed.
+double QuotaGb(double cache_gib) {
+  double quota_gb = cache_gib;  // GiB stored into a GB-suffixed local.
+  return quota_gb;
+}
+
+bool Fits(double used_mb, double budget_mib) {
+  return used_mb < budget_mib;  // MB compared against MiB.
+}

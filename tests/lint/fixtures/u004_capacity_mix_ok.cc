@@ -1,0 +1,10 @@
+// CXL-U004 negative fixture: each computation stays inside one capacity
+// system.
+double QuotaGib(double cache_gib) {
+  double quota_gib = cache_gib;
+  return quota_gib;
+}
+
+bool Fits(double used_mib, double budget_mib) {
+  return used_mib < budget_mib;
+}

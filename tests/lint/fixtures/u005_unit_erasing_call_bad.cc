@@ -1,0 +1,7 @@
+// CXL-U005 positive fixture: unit-suffixed arguments passed to suffix-less
+// parameters of a same-file function.
+double TransferCost(double amount, double speed);
+
+double Caller(double payload_bytes, double link_gbps) {
+  return TransferCost(payload_bytes, link_gbps);  // bytes/gbps erased.
+}

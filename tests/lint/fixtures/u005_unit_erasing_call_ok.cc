@@ -1,0 +1,13 @@
+// CXL-U005 negative fixture: the signature names its units, so the call
+// carries them through; generic math helpers stay exempt.
+double TransferCost(double amount_bytes, double speed_gbps);
+
+double Caller(double payload_bytes, double link_gbps) {
+  return TransferCost(payload_bytes, link_gbps);
+}
+
+double Clamp(double value, double lo, double hi);
+
+double Bound(double lat_ns) {
+  return Clamp(lat_ns, 0.0, 100.0);  // generic params take any unit.
+}

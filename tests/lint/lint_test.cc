@@ -14,6 +14,7 @@
 #include "tools/lint/baseline.h"
 #include "tools/lint/lint.h"
 #include "tools/lint/report.h"
+#include "tools/lint/units.h"
 
 namespace cxl::lint {
 namespace {
@@ -278,6 +279,146 @@ TEST(ReportTest, PrettyPrintsClickablePositions) {
   WritePretty(os, r.findings, summary);
   EXPECT_NE(os.str().find("src/os/fixture.cc:"), std::string::npos) << os.str();
   EXPECT_NE(os.str().find("[no-tie-unstable-sort]"), std::string::npos) << os.str();
+}
+
+// --- CXL-U001 -------------------------------------------------------------
+
+TEST(MixedUnitRuleTest, FiresOnRawAdditionAndComparison) {
+  FileReport r = LintText("src/mem/fixture.cc", ReadFixture("u001_mixed_units_bad.cc"));
+  EXPECT_EQ(CountRule(r, "CXL-U001"), 2) << ::testing::PrintToString(RuleIds(r));
+}
+
+TEST(MixedUnitRuleTest, QuietWhenConvertedThroughUnitsH) {
+  FileReport r = LintText("src/mem/fixture.cc", ReadFixture("u001_mixed_units_ok.cc"));
+  EXPECT_TRUE(r.findings.empty()) << ::testing::PrintToString(RuleIds(r));
+}
+
+// --- CXL-U002 -------------------------------------------------------------
+
+TEST(CrossUnitAssignRuleTest, FiresOnAssignmentAndReturnMismatch) {
+  FileReport r = LintText("src/mem/fixture.cc", ReadFixture("u002_cross_assign_bad.cc"));
+  EXPECT_EQ(CountRule(r, "CXL-U002"), 2) << ::testing::PrintToString(RuleIds(r));
+}
+
+TEST(CrossUnitAssignRuleTest, QuietWhenConvertedBeforeTheHandoff) {
+  FileReport r = LintText("src/mem/fixture.cc", ReadFixture("u002_cross_assign_ok.cc"));
+  EXPECT_TRUE(r.findings.empty()) << ::testing::PrintToString(RuleIds(r));
+}
+
+// --- CXL-U003 -------------------------------------------------------------
+
+TEST(MagicConstantRuleTest, FiresOnBareDecimalAndShiftConstants) {
+  FileReport r = LintText("src/mem/fixture.cc", ReadFixture("u003_magic_constant_bad.cc"));
+  EXPECT_EQ(CountRule(r, "CXL-U003"), 3) << ::testing::PrintToString(RuleIds(r));
+}
+
+TEST(MagicConstantRuleTest, QuietOnNamedVocabularyAndUnitFreeMath) {
+  FileReport r = LintText("src/mem/fixture.cc", ReadFixture("u003_magic_constant_ok.cc"));
+  EXPECT_TRUE(r.findings.empty()) << ::testing::PrintToString(RuleIds(r));
+}
+
+// --- CXL-U004 -------------------------------------------------------------
+
+TEST(CapacityMixRuleTest, FiresOnDecimalBinaryMixing) {
+  FileReport r = LintText("src/mem/fixture.cc", ReadFixture("u004_capacity_mix_bad.cc"));
+  EXPECT_EQ(CountRule(r, "CXL-U004"), 2) << ::testing::PrintToString(RuleIds(r));
+}
+
+TEST(CapacityMixRuleTest, QuietInsideOneCapacitySystem) {
+  FileReport r = LintText("src/mem/fixture.cc", ReadFixture("u004_capacity_mix_ok.cc"));
+  EXPECT_TRUE(r.findings.empty()) << ::testing::PrintToString(RuleIds(r));
+}
+
+// --- CXL-U005 -------------------------------------------------------------
+
+TEST(UnitErasingCallRuleTest, FiresOnSuffixlessSameFileParams) {
+  FileReport r =
+      LintText("src/mem/fixture.cc", ReadFixture("u005_unit_erasing_call_bad.cc"));
+  EXPECT_EQ(CountRule(r, "CXL-U005"), 2) << ::testing::PrintToString(RuleIds(r));
+}
+
+TEST(UnitErasingCallRuleTest, QuietOnSuffixedAndGenericParams) {
+  FileReport r =
+      LintText("src/mem/fixture.cc", ReadFixture("u005_unit_erasing_call_ok.cc"));
+  EXPECT_TRUE(r.findings.empty()) << ::testing::PrintToString(RuleIds(r));
+}
+
+// --- U-rule scope & suppression -------------------------------------------
+
+TEST(UnitScopeTest, TestsAndUnitsHeaderAreExempt) {
+  std::string text = ReadFixture("u001_mixed_units_bad.cc");
+  EXPECT_TRUE(LintText("tests/mem/fixture.cc", text).findings.empty());
+  EXPECT_TRUE(LintText("tools/lint/fixture.cc", text).findings.empty());
+  // The vocabulary definition site itself is exempt.
+  EXPECT_TRUE(LintText("src/util/units.h", text).findings.empty());
+  // tools/report/ is in scope.
+  EXPECT_FALSE(LintText("tools/report/fixture.cc", text).findings.empty());
+}
+
+TEST(UnitSuppressionTest, AllowSilencesAUnitFinding) {
+  FileReport r = LintText(
+      "src/mem/fixture.cc",
+      "// cxl-lint: allow(CXL-U003) exact paper constant, reviewed\n"
+      "double ms = t_ns / 1e6;\n");
+  EXPECT_TRUE(r.findings.empty()) << ::testing::PrintToString(RuleIds(r));
+  EXPECT_EQ(r.suppressed, 1);
+}
+
+TEST(UnitBaselineTest, UnitFindingsRoundTripThroughTheBaseline) {
+  FileReport r = LintText("src/mem/fixture.cc", ReadFixture("u001_mixed_units_bad.cc"));
+  ASSERT_FALSE(r.findings.empty());
+  std::string rendered = Baseline::Render(r.findings);
+  Baseline baseline;
+  std::string error;
+  ASSERT_TRUE(baseline.Parse(rendered, &error)) << error;
+  for (const Finding& f : r.findings) {
+    EXPECT_TRUE(baseline.Matches(f)) << f.rule_id << " " << f.snippet;
+  }
+  EXPECT_TRUE(baseline.UnmatchedEntries().empty());
+}
+
+// --- Unit inference -------------------------------------------------------
+
+TEST(UnitInferenceTest, IdentifierSuffixes) {
+  EXPECT_EQ(UnitFromIdentifier("lat_ns"), Unit::kNs);
+  EXPECT_EQ(UnitFromIdentifier("window_ms"), Unit::kMs);
+  EXPECT_EQ(UnitFromIdentifier("dt_seconds"), Unit::kSec);
+  EXPECT_EQ(UnitFromIdentifier("link_gbps"), Unit::kGbps);
+  EXPECT_EQ(UnitFromIdentifier("payload_bytes"), Unit::kBytes);
+  EXPECT_EQ(UnitFromIdentifier("spilled_gb"), Unit::kGB);
+  EXPECT_EQ(UnitFromIdentifier("cache_gib"), Unit::kGiB);
+  EXPECT_EQ(UnitFromIdentifier("hot_pages"), Unit::kPages);
+  EXPECT_EQ(UnitFromIdentifier("deadline_ns_"), Unit::kNs);   // member suffix
+  EXPECT_EQ(UnitFromIdentifier("kDefaultPageBytes"), Unit::kBytes);
+  EXPECT_EQ(UnitFromIdentifier("plain_name"), Unit::kNone);
+}
+
+TEST(UnitInferenceTest, RateNamesPromiseNothing) {
+  EXPECT_EQ(UnitFromIdentifier("bytes_per_sec"), Unit::kNone);
+  EXPECT_EQ(UnitFromIdentifier("kMigrationStallSecondsPerPage"), Unit::kNone);
+  EXPECT_EQ(UnitFromIdentifier("tenant_ops_per_s"), Unit::kNone);
+}
+
+TEST(UnitInferenceTest, CallNames) {
+  EXPECT_EQ(UnitFromCallName("TransferNs"), Unit::kNs);
+  EXPECT_EQ(UnitFromCallName("SecToMs"), Unit::kMs);
+  EXPECT_EQ(UnitFromCallName("BytesToGiB"), Unit::kGiB);
+  EXPECT_EQ(UnitFromCallName("GbpsFromBytesNs"), Unit::kGbps);
+  EXPECT_EQ(UnitFromCallName("UsToNs"), Unit::kNs);
+  EXPECT_EQ(UnitFromCallName("Solve"), Unit::kNone);
+}
+
+TEST(UnitInferenceTest, ExpressionInference) {
+  EXPECT_EQ(InferExpressionUnit("lat_ns"), Unit::kNs);
+  EXPECT_EQ(InferExpressionUnit("t_ms * kNsPerMs"), Unit::kNs);
+  EXPECT_EQ(InferExpressionUnit("span_ns / kNsPerSec"), Unit::kSec);
+  EXPECT_EQ(InferExpressionUnit("SecToMs(dt_seconds)"), Unit::kMs);
+  EXPECT_EQ(InferExpressionUnit("64_GiB"), Unit::kBytes);
+  EXPECT_EQ(InferExpressionUnit("n_pages * page_bytes"), Unit::kBytes);
+  // bytes/ns == GB/s — the identity GbpsFromBytesNs encodes.
+  EXPECT_EQ(InferExpressionUnit("moved_bytes / window_ns"), Unit::kGbps);
+  // Other derived dimensions infer to none — never flagged.
+  EXPECT_EQ(InferExpressionUnit("moved_bytes / dt_seconds"), Unit::kNone);
 }
 
 // --- Comment / string stripping ------------------------------------------

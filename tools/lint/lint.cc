@@ -8,6 +8,9 @@
 #include <string>
 #include <vector>
 
+#include "tools/lint/source_model.h"
+#include "tools/lint/units.h"
+
 namespace cxl::lint {
 namespace {
 
@@ -43,171 +46,29 @@ constexpr RuleInfo kRules[] = {
      "reads a single member and breaks no ties — equal keys land in "
      "implementation-defined order, and budget cutoffs then select "
      "implementation-defined elements"},
+    {"CXL-U001", "no-mixed-unit-arithmetic",
+     "addition/subtraction/comparison between operands carrying different "
+     "units (lat_ns + window_ms, bytes < gib_capacity) — convert through "
+     "util/units.h first"},
+    {"CXL-U002", "no-cross-unit-assignment",
+     "assignment/initialization whose right side carries a different unit "
+     "than the suffixed left side, or a return whose unit contradicts the "
+     "function's unit suffix"},
+    {"CXL-U003", "no-magic-conversion-constant",
+     "bare 1e3/1e6/1e9/1<<30-style conversion constant in an expression "
+     "with unit-carrying operands — use the named util/units.h vocabulary "
+     "(kNsPerSec, kGiB, SecToMs, ...)"},
+    {"CXL-U004", "no-decimal-binary-capacity-mixing",
+     "decimal (KB/MB/GB) and binary (KiB/MiB/GiB) capacity counts combined "
+     "in one expression — 67 GB/s and 64 GiB differ by 7.4%; pick one "
+     "system and convert explicitly"},
+    {"CXL-U005", "no-unit-erasing-call",
+     "unit-suffixed argument passed to a suffix-less (or differently "
+     "suffixed) parameter of a function declared in this file — the "
+     "signature erases the unit the caller is promising"},
     {"CXL-L000", "lint-directive",
      "malformed cxl-lint directive (unknown rule ID or missing reason)"},
 };
-
-bool IsIdentChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-bool IsIdentStart(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-std::string Trim(std::string_view s) {
-  size_t b = s.find_first_not_of(" \t\r\n");
-  if (b == std::string_view::npos) {
-    return "";
-  }
-  size_t e = s.find_last_not_of(" \t\r\n");
-  return std::string(s.substr(b, e - b + 1));
-}
-
-// ---------------------------------------------------------------------------
-// Source model: per line, the code with comments / string and char literal
-// bodies blanked out (column-preserving), plus the comment text (for
-// cxl-lint directives).
-// ---------------------------------------------------------------------------
-
-struct SourceLine {
-  std::string raw;
-  std::string code;     // literals blanked, comments removed; same length
-  std::string comment;  // concatenated comment text on this line
-};
-
-std::vector<SourceLine> SplitAndStrip(std::string_view text) {
-  std::vector<std::string> raw_lines;
-  {
-    size_t start = 0;
-    while (start <= text.size()) {
-      size_t nl = text.find('\n', start);
-      if (nl == std::string_view::npos) {
-        raw_lines.emplace_back(text.substr(start));
-        break;
-      }
-      raw_lines.emplace_back(text.substr(start, nl - start));
-      start = nl + 1;
-    }
-  }
-
-  enum class State { kCode, kBlockComment, kString, kChar, kRawString };
-  State state = State::kCode;
-  std::string raw_delim;  // raw-string delimiter, e.g. )foo"
-
-  std::vector<SourceLine> out;
-  out.reserve(raw_lines.size());
-  for (const std::string& raw : raw_lines) {
-    SourceLine line;
-    line.raw = raw;
-    line.code.assign(raw.size(), ' ');
-    size_t i = 0;
-    while (i < raw.size()) {
-      char c = raw[i];
-      switch (state) {
-        case State::kCode: {
-          if (c == '/' && i + 1 < raw.size() && raw[i + 1] == '/') {
-            line.comment += raw.substr(i + 2);
-            i = raw.size();
-            break;
-          }
-          if (c == '/' && i + 1 < raw.size() && raw[i + 1] == '*') {
-            state = State::kBlockComment;
-            i += 2;
-            break;
-          }
-          if (c == '"') {
-            // R"delim( ... )delim" raw strings; the R must directly precede.
-            bool is_raw = i > 0 && raw[i - 1] == 'R' &&
-                          (i < 2 || !IsIdentChar(raw[i - 2]));
-            if (is_raw) {
-              size_t open = raw.find('(', i + 1);
-              std::string delim =
-                  open == std::string::npos ? "" : raw.substr(i + 1, open - i - 1);
-              raw_delim = ")" + delim + "\"";
-              line.code[i] = '"';
-              state = State::kRawString;
-              i = open == std::string::npos ? raw.size() : open + 1;
-            } else {
-              line.code[i] = '"';
-              state = State::kString;
-              ++i;
-            }
-            break;
-          }
-          if (c == '\'' && !(i > 0 && IsIdentChar(raw[i - 1]))) {
-            // Character literal (the ident-char guard skips digit
-            // separators like 1'000'000).
-            line.code[i] = '\'';
-            state = State::kChar;
-            ++i;
-            break;
-          }
-          line.code[i] = c;
-          ++i;
-          break;
-        }
-        case State::kBlockComment: {
-          if (c == '*' && i + 1 < raw.size() && raw[i + 1] == '/') {
-            state = State::kCode;
-            line.comment += ' ';
-            i += 2;
-          } else {
-            line.comment += c;
-            ++i;
-          }
-          break;
-        }
-        case State::kString: {
-          if (c == '\\') {
-            i += 2;
-          } else if (c == '"') {
-            line.code[i] = '"';
-            state = State::kCode;
-            ++i;
-          } else {
-            ++i;
-          }
-          break;
-        }
-        case State::kChar: {
-          if (c == '\\') {
-            i += 2;
-          } else if (c == '\'') {
-            line.code[i] = '\'';
-            state = State::kCode;
-            ++i;
-          } else {
-            ++i;
-          }
-          break;
-        }
-        case State::kRawString: {
-          size_t close = raw.find(raw_delim, i);
-          if (close == std::string::npos) {
-            i = raw.size();
-          } else {
-            line.code[close + raw_delim.size() - 1] = '"';
-            state = State::kCode;
-            i = close + raw_delim.size();
-          }
-          break;
-        }
-      }
-    }
-    // Unterminated ordinary string/char literals do not span lines.
-    if (state == State::kString || state == State::kChar) {
-      state = State::kCode;
-    }
-    out.push_back(std::move(line));
-  }
-  return out;
-}
-
-// True when the code part of the line is blank (comment/whitespace only).
-bool CodeBlank(const SourceLine& line) {
-  return line.code.find_first_not_of(" \t\r") == std::string::npos;
-}
 
 // ---------------------------------------------------------------------------
 // Suppression directives: the marker, then allow(...) with one or more
@@ -271,26 +132,6 @@ bool ParseDirective(const std::string& comment, Directive* out) {
 // ---------------------------------------------------------------------------
 // Small matching helpers over blanked code.
 // ---------------------------------------------------------------------------
-
-// Finds `ident` as a whole token in `code` starting at/after `from`;
-// returns npos when absent.
-size_t FindToken(const std::string& code, std::string_view ident, size_t from = 0) {
-  size_t at = from;
-  while ((at = code.find(ident, at)) != std::string::npos) {
-    bool left_ok = at == 0 || !IsIdentChar(code[at - 1]);
-    size_t end = at + ident.size();
-    bool right_ok = end >= code.size() || !IsIdentChar(code[end]);
-    if (left_ok && right_ok) {
-      return at;
-    }
-    at = end;
-  }
-  return std::string::npos;
-}
-
-bool HasToken(const std::string& code, std::string_view ident) {
-  return FindToken(code, ident) != std::string::npos;
-}
 
 // For a token at `at`, walks left over the qualifier ("std::", "Foo::", ...)
 // and reports it, plus whether the whole qualified name is a member access
@@ -357,22 +198,6 @@ bool FollowedBy(const std::string& code, size_t token_end, char next) {
   return i < code.size() && code[i] == next;
 }
 
-// Returns the index just past the matching close of the bracket pair whose
-// open bracket sits at `open` in `text`, or npos when unbalanced.
-size_t MatchBracket(const std::string& text, size_t open, char o, char c) {
-  int depth = 0;
-  for (size_t i = open; i < text.size(); ++i) {
-    if (text[i] == o) {
-      ++depth;
-    } else if (text[i] == c) {
-      if (--depth == 0) {
-        return i + 1;
-      }
-    }
-  }
-  return std::string::npos;
-}
-
 // ---------------------------------------------------------------------------
 // Per-file context shared by the rules.
 // ---------------------------------------------------------------------------
@@ -396,10 +221,6 @@ struct FileContext {
     return out;
   }
 };
-
-bool PathStartsWith(std::string_view path, std::string_view prefix) {
-  return path.rfind(prefix, 0) == 0;
-}
 
 bool InSimStateDirs(std::string_view path) {
   for (const char* d : {"src/mem/", "src/os/", "src/apps/", "src/fault/",
@@ -1114,6 +935,7 @@ FileReport LintText(std::string_view logical_path, std::string_view text) {
   CheckDanglingRefBinding(ctx, &raw);
   CheckFloatAccumulationOrder(ctx, &raw);
   CheckTieUnstableSort(ctx, &raw);
+  CheckUnits(ctx.path, ctx.lines, &raw);
 
   // Suppressions: a directive applies to its own line when code shares the
   // line, otherwise to the next line. Malformed directives surface as

@@ -30,6 +30,11 @@
 //   CXL-D007 no-tie-unstable-sort    sort comparator reads one member and
 //                                    breaks no ties — equal keys land in
 //                                    implementation-defined order
+//   CXL-U001..U005                   unit/dimension analysis (mixed-unit
+//                                    arithmetic, cross-unit assignment,
+//                                    magic conversion constants, decimal/
+//                                    binary capacity mixing, unit-erasing
+//                                    calls) — see tools/lint/units.h
 //   CXL-L000 lint-directive          malformed / unknown cxl-lint comment
 //
 // Findings are suppressed per line with

@@ -3,7 +3,15 @@
 // Usage:
 //   cxl_lint [--root=DIR] [--baseline=FILE] [--write-baseline=FILE]
 //            [--json] [--json-out=FILE] [--exclude=SUBSTR]... [--list-rules]
-//            [paths...]
+//            [--rules=PREFIX[,PREFIX...]] [--strict-baseline] [paths...]
+//
+// --rules restricts the run to rule IDs matching any given prefix (e.g.
+// --rules=CXL-U runs only the unit/dimension pass); baseline entries and
+// stale-entry accounting are filtered the same way, so a focused pass never
+// complains about the other families' grandfathers. --strict-baseline
+// promotes stale baseline entries (no finding matched) from a warning to a
+// gate failure — CI runs with it so fixed hazards cannot leave exemptions
+// behind.
 //
 // With no explicit paths, scans src/, bench/, tests/, tools/, examples/
 // under --root (default: the current directory). tests/lint/fixtures/ is
@@ -36,6 +44,7 @@ void PrintUsage(std::ostream& os) {
   os << "usage: cxl_lint [--root=DIR] [--baseline=FILE] "
         "[--write-baseline=FILE]\n"
         "                [--json] [--json-out=FILE] [--exclude=SUBSTR]...\n"
+        "                [--rules=PREFIX[,PREFIX...]] [--strict-baseline]\n"
         "                [--list-rules] [paths...]\n"
         "\n"
         "Token-level determinism & sim-correctness linter. Default scan set: "
@@ -57,6 +66,19 @@ std::string ToRelative(const fs::path& file, const fs::path& root) {
   return out;
 }
 
+bool MatchesRuleFilter(const std::vector<std::string>& prefixes,
+                       const std::string& rule_id) {
+  if (prefixes.empty()) {
+    return true;
+  }
+  for (const std::string& p : prefixes) {
+    if (rule_id.rfind(p, 0) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -66,6 +88,8 @@ int main(int argc, char** argv) {
   std::string json_out_path;
   bool json = false;
   bool list_rules = false;
+  bool strict_baseline = false;
+  std::vector<std::string> rule_prefixes;
   std::vector<std::string> excludes = {kAlwaysExcluded};
   std::vector<std::string> paths;
 
@@ -84,6 +108,27 @@ int main(int argc, char** argv) {
       json_out_path = value_of("--json-out=");
     } else if (arg == "--json") {
       json = true;
+    } else if (arg == "--strict-baseline") {
+      strict_baseline = true;
+    } else if (arg.rfind("--rules=", 0) == 0) {
+      std::string list = value_of("--rules=");
+      size_t pos = 0;
+      while (pos <= list.size()) {
+        size_t comma = list.find(',', pos);
+        std::string prefix = list.substr(
+            pos, comma == std::string::npos ? std::string::npos : comma - pos);
+        if (!prefix.empty()) {
+          rule_prefixes.push_back(prefix);
+        }
+        if (comma == std::string::npos) {
+          break;
+        }
+        pos = comma + 1;
+      }
+      if (rule_prefixes.empty()) {
+        std::cerr << "error: --rules= needs at least one rule-ID prefix\n";
+        return 2;
+      }
     } else if (arg == "--list-rules") {
       list_rules = true;
     } else if (arg.rfind("--exclude=", 0) == 0) {
@@ -190,6 +235,9 @@ int main(int argc, char** argv) {
     ++summary.files_scanned;
     summary.suppressed += report.suppressed;
     for (cxl::lint::Finding& f : report.findings) {
+      if (!MatchesRuleFilter(rule_prefixes, f.rule_id)) {
+        continue;
+      }
       all_findings.push_back(f);
       if (baseline.Matches(f)) {
         ++summary.baselined;
@@ -226,11 +274,22 @@ int main(int argc, char** argv) {
     cxl::lint::WritePretty(std::cout, actionable, summary);
   }
 
-  // Stale baseline entries are worth a warning (the hazard was fixed but the
-  // exemption lingers); they do not fail the gate.
+  // Stale baseline entries mean the hazard was fixed but the exemption
+  // lingers. Default: warn. --strict-baseline: fail the gate, so exemptions
+  // cannot outlive the code they excused. Entries outside the --rules filter
+  // never count as stale — that pass did not look for them.
+  bool stale = false;
   for (const cxl::lint::BaselineEntry& e : baseline.UnmatchedEntries()) {
-    std::cerr << "cxl_lint: warning: stale baseline entry " << e.rule_id << " "
-              << e.path << " (no finding matches; remove it)\n";
+    if (!MatchesRuleFilter(rule_prefixes, e.rule_id)) {
+      continue;
+    }
+    stale = true;
+    std::cerr << "cxl_lint: " << (strict_baseline ? "error" : "warning")
+              << ": stale baseline entry " << e.rule_id << " " << e.path
+              << " (no finding matches; remove it)\n";
+  }
+  if (strict_baseline && stale) {
+    return 1;
   }
 
   return actionable.empty() ? 0 : 1;

@@ -1,0 +1,174 @@
+#include "tools/lint/source_model.h"
+
+namespace cxl::lint {
+
+std::string Trim(std::string_view s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string_view::npos) {
+    return "";
+  }
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return std::string(s.substr(b, e - b + 1));
+}
+
+std::vector<SourceLine> SplitAndStrip(std::string_view text) {
+  std::vector<std::string> raw_lines;
+  {
+    size_t start = 0;
+    while (start <= text.size()) {
+      size_t nl = text.find('\n', start);
+      if (nl == std::string_view::npos) {
+        raw_lines.emplace_back(text.substr(start));
+        break;
+      }
+      raw_lines.emplace_back(text.substr(start, nl - start));
+      start = nl + 1;
+    }
+  }
+
+  enum class State { kCode, kBlockComment, kString, kChar, kRawString };
+  State state = State::kCode;
+  std::string raw_delim;  // raw-string delimiter, e.g. )foo"
+
+  std::vector<SourceLine> out;
+  out.reserve(raw_lines.size());
+  for (const std::string& raw : raw_lines) {
+    SourceLine line;
+    line.raw = raw;
+    line.code.assign(raw.size(), ' ');
+    size_t i = 0;
+    while (i < raw.size()) {
+      char c = raw[i];
+      switch (state) {
+        case State::kCode: {
+          if (c == '/' && i + 1 < raw.size() && raw[i + 1] == '/') {
+            line.comment += raw.substr(i + 2);
+            i = raw.size();
+            break;
+          }
+          if (c == '/' && i + 1 < raw.size() && raw[i + 1] == '*') {
+            state = State::kBlockComment;
+            i += 2;
+            break;
+          }
+          if (c == '"') {
+            // R"delim( ... )delim" raw strings; the R must directly precede.
+            bool is_raw = i > 0 && raw[i - 1] == 'R' &&
+                          (i < 2 || !IsIdentChar(raw[i - 2]));
+            if (is_raw) {
+              size_t open = raw.find('(', i + 1);
+              std::string delim =
+                  open == std::string::npos ? "" : raw.substr(i + 1, open - i - 1);
+              raw_delim = ")" + delim + "\"";
+              line.code[i] = '"';
+              state = State::kRawString;
+              i = open == std::string::npos ? raw.size() : open + 1;
+            } else {
+              line.code[i] = '"';
+              state = State::kString;
+              ++i;
+            }
+            break;
+          }
+          if (c == '\'' && !(i > 0 && IsIdentChar(raw[i - 1]))) {
+            // Character literal (the ident-char guard skips digit
+            // separators like 1'000'000).
+            line.code[i] = '\'';
+            state = State::kChar;
+            ++i;
+            break;
+          }
+          line.code[i] = c;
+          ++i;
+          break;
+        }
+        case State::kBlockComment: {
+          if (c == '*' && i + 1 < raw.size() && raw[i + 1] == '/') {
+            state = State::kCode;
+            line.comment += ' ';
+            i += 2;
+          } else {
+            line.comment += c;
+            ++i;
+          }
+          break;
+        }
+        case State::kString: {
+          if (c == '\\') {
+            i += 2;
+          } else if (c == '"') {
+            line.code[i] = '"';
+            state = State::kCode;
+            ++i;
+          } else {
+            ++i;
+          }
+          break;
+        }
+        case State::kChar: {
+          if (c == '\\') {
+            i += 2;
+          } else if (c == '\'') {
+            line.code[i] = '\'';
+            state = State::kCode;
+            ++i;
+          } else {
+            ++i;
+          }
+          break;
+        }
+        case State::kRawString: {
+          size_t close = raw.find(raw_delim, i);
+          if (close == std::string::npos) {
+            i = raw.size();
+          } else {
+            line.code[close + raw_delim.size() - 1] = '"';
+            state = State::kCode;
+            i = close + raw_delim.size();
+          }
+          break;
+        }
+      }
+    }
+    // Unterminated ordinary string/char literals do not span lines.
+    if (state == State::kString || state == State::kChar) {
+      state = State::kCode;
+    }
+    out.push_back(std::move(line));
+  }
+  return out;
+}
+
+bool CodeBlank(const SourceLine& line) {
+  return line.code.find_first_not_of(" \t\r") == std::string::npos;
+}
+
+size_t FindToken(const std::string& code, std::string_view ident, size_t from) {
+  size_t at = from;
+  while ((at = code.find(ident, at)) != std::string::npos) {
+    bool left_ok = at == 0 || !IsIdentChar(code[at - 1]);
+    size_t end = at + ident.size();
+    bool right_ok = end >= code.size() || !IsIdentChar(code[end]);
+    if (left_ok && right_ok) {
+      return at;
+    }
+    at = end;
+  }
+  return std::string::npos;
+}
+
+size_t MatchBracket(const std::string& text, size_t open, char o, char c) {
+  int depth = 0;
+  for (size_t i = open; i < text.size(); ++i) {
+    if (text[i] == o) {
+      ++depth;
+    } else if (text[i] == c) {
+      if (--depth == 0) {
+        return i + 1;
+      }
+    }
+  }
+  return std::string::npos;
+}
+
+}  // namespace cxl::lint

@@ -1,0 +1,62 @@
+// Shared source model for cxl_lint rule families.
+//
+// The analyzer is token/line level (no libclang): every rule family works
+// over the same stripped view of a translation unit — per line, the code
+// with comment text removed and string/char literal bodies blanked out
+// (column-preserving), plus the concatenated comment text (which carries
+// cxl-lint directives). The D-rules (lint.cc) and the U-rules (units.cc)
+// both build on this model, so it lives in its own header instead of the
+// anonymous namespace it started in.
+#ifndef CXL_EXPLORER_TOOLS_LINT_SOURCE_MODEL_H_
+#define CXL_EXPLORER_TOOLS_LINT_SOURCE_MODEL_H_
+
+#include <cctype>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cxl::lint {
+
+struct SourceLine {
+  std::string raw;
+  std::string code;     // literals blanked, comments removed; same length
+  std::string comment;  // concatenated comment text on this line
+};
+
+// Splits `text` into lines and strips comments / string bodies / char
+// bodies, tracking multi-line block comments and raw strings.
+std::vector<SourceLine> SplitAndStrip(std::string_view text);
+
+inline bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+inline bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string Trim(std::string_view s);
+
+// True when the code part of the line is blank (comment/whitespace only).
+bool CodeBlank(const SourceLine& line);
+
+// Finds `ident` as a whole token in `code` starting at/after `from`;
+// returns npos when absent.
+size_t FindToken(const std::string& code, std::string_view ident,
+                 size_t from = 0);
+
+inline bool HasToken(const std::string& code, std::string_view ident) {
+  return FindToken(code, ident) != std::string::npos;
+}
+
+// Returns the index just past the matching close of the bracket pair whose
+// open bracket sits at `open` in `text`, or npos when unbalanced.
+size_t MatchBracket(const std::string& text, size_t open, char o, char c);
+
+inline bool PathStartsWith(std::string_view path, std::string_view prefix) {
+  return path.rfind(prefix, 0) == 0;
+}
+
+}  // namespace cxl::lint
+
+#endif  // CXL_EXPLORER_TOOLS_LINT_SOURCE_MODEL_H_

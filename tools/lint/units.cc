@@ -1,0 +1,1739 @@
+// CXL-U001..U005 — unit/dimension inference over the token stream.
+//
+// The engine is a small recursive-descent analyzer over a token view of the
+// blanked code (see source_model.h). Statements are split at depth-0
+// `;`/`{`/`}`; within a statement, assignment and `return` are handled
+// specially, then expressions are segmented at comma/logical/bitwise/shift
+// operators, comparisons are split and their operands compared (U001/U004),
+// and multiplicative chains are folded left-to-right with semantics for
+//   - conversion constants  k<A>Per<B>: value-in-B * k -> A, value-in-A / k -> B
+//   - capacity factors      kKiB..kTB:  count * factor -> bytes,
+//                                       bytes / factor -> count
+//   - unit atoms            same-unit division -> dimensionless; same-family
+//                           scale mismatch -> U001; cross-family -> a derived
+//                           dimension we do not track (kNone, never flagged)
+//   - the TransferNs triad  bytes / GB/s -> ns, bytes / ns -> GB/s,
+//                           GB/s * ns -> bytes (decimal GB == 1e9 bytes/ns)
+//   - counts * bytes        pages * page_bytes -> bytes
+// Magic conversion constants (1e3/1e6/1e9-family decimals, N << 10/20/30/40
+// shifts) are collected per statement and fired (U003) only when the
+// statement actually carries a unit somewhere; a lone decimal constant on
+// the right of `=` is a value, not a conversion, and stays quiet.
+//
+// Everything here is heuristic and fail-quiet: when inference is unsure the
+// unit is kNone and no rule fires. The fixture suite in tests/lint/ pins
+// both the firing and the quiet side of each rule.
+#include "tools/lint/units.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <vector>
+
+namespace cxl::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Unit vocabulary tables.
+
+struct SuffixWord {
+  const char* word;
+  Unit unit;
+};
+
+// Lower-cased whole-identifier / last-underscore-segment vocabulary. A bare
+// "s" is deliberately absent from the whole-word set (a `std::string s` is
+// not a second) but present as an underscore segment ("start_s").
+constexpr SuffixWord kSegmentWords[] = {
+    {"ns", Unit::kNs},           {"nanos", Unit::kNs},
+    {"nanoseconds", Unit::kNs},  {"us", Unit::kUs},
+    {"micros", Unit::kUs},       {"microseconds", Unit::kUs},
+    {"ms", Unit::kMs},           {"millis", Unit::kMs},
+    {"milliseconds", Unit::kMs}, {"s", Unit::kSec},
+    {"sec", Unit::kSec},         {"secs", Unit::kSec},
+    {"second", Unit::kSec},      {"seconds", Unit::kSec},
+    {"gbps", Unit::kGbps},       {"mbps", Unit::kMbps},
+    {"byte", Unit::kBytes},      {"bytes", Unit::kBytes},
+    {"kb", Unit::kKB},           {"mb", Unit::kMB},
+    {"gb", Unit::kGB},           {"tb", Unit::kTB},
+    {"kib", Unit::kKiB},         {"mib", Unit::kMiB},
+    {"gib", Unit::kGiB},         {"tib", Unit::kTiB},
+    {"pages", Unit::kPages},     {"epochs", Unit::kEpochs},
+    {"epoch", Unit::kEpochs},
+};
+
+struct CamelSuffix {
+  const char* suffix;
+  Unit unit;
+};
+
+// Camel-case endings, longest first so "Seconds" beats "s"-free "Sec" etc.
+// The char before the suffix must be a lowercase letter or digit so that
+// "RMs" or "NS" do not match.
+constexpr CamelSuffix kCamelSuffixes[] = {
+    {"Seconds", Unit::kSec}, {"Pages", Unit::kPages}, {"Epochs", Unit::kEpochs},
+    {"Bytes", Unit::kBytes}, {"Gbps", Unit::kGbps},   {"Mbps", Unit::kMbps},
+    {"KiB", Unit::kKiB},     {"MiB", Unit::kMiB},     {"GiB", Unit::kGiB},
+    {"TiB", Unit::kTiB},     {"Sec", Unit::kSec},     {"Ns", Unit::kNs},
+    {"Us", Unit::kUs},       {"Ms", Unit::kMs},       {"KB", Unit::kKB},
+    {"MB", Unit::kMB},       {"GB", Unit::kGB},       {"TB", Unit::kTB},
+};
+
+struct ConvInfo {
+  Unit num;  // k<A>Per<B>: multiplying a B-value yields A
+  Unit den;
+};
+
+const std::map<std::string, ConvInfo, std::less<>>& ConvTable() {
+  static const std::map<std::string, ConvInfo, std::less<>> t = {
+      {"kNsPerUs", {Unit::kNs, Unit::kUs}},
+      {"kNsPerMs", {Unit::kNs, Unit::kMs}},
+      {"kNsPerSec", {Unit::kNs, Unit::kSec}},
+      {"kUsPerMs", {Unit::kUs, Unit::kMs}},
+      {"kUsPerSec", {Unit::kUs, Unit::kSec}},
+      {"kMsPerSec", {Unit::kMs, Unit::kSec}},
+  };
+  return t;
+}
+
+// Capacity factors: the byte count of one <unit>. count * factor -> bytes,
+// bytes / factor -> count.
+const std::map<std::string, Unit, std::less<>>& FactorTable() {
+  static const std::map<std::string, Unit, std::less<>> t = {
+      {"kKiB", Unit::kKiB}, {"kMiB", Unit::kMiB}, {"kGiB", Unit::kGiB},
+      {"kTiB", Unit::kTiB}, {"kKB", Unit::kKB},   {"kMB", Unit::kMB},
+      {"kGB", Unit::kGB},   {"kTB", Unit::kTB},
+  };
+  return t;
+}
+
+// Exact return units for the util/units.h helper vocabulary (current and the
+// ones this PR adds). Checked before the generic <A>To<B> / suffix rules so
+// that "GbpsFromBytesNs" does not read as nanoseconds.
+const std::map<std::string, Unit, std::less<>>& HelperReturnTable() {
+  static const std::map<std::string, Unit, std::less<>> t = {
+      {"TransferNs", Unit::kNs},      {"NsToSec", Unit::kSec},
+      {"SecToNs", Unit::kNs},         {"NsToMs", Unit::kMs},
+      {"NsToUs", Unit::kUs},          {"UsToNs", Unit::kNs},
+      {"MsToNs", Unit::kNs},          {"MsToUs", Unit::kUs},
+      {"MsToSec", Unit::kSec},        {"SecToMs", Unit::kMs},
+      {"BytesToGB", Unit::kGB},       {"BytesToMB", Unit::kMB},
+      {"BytesToGiB", Unit::kGiB},     {"BytesToTiB", Unit::kTiB},
+      {"GBToBytes", Unit::kBytes},    {"MBToBytes", Unit::kBytes},
+      {"GiBToBytes", Unit::kBytes},   {"GbpsFromBytesNs", Unit::kGbps},
+      {"BytesToGBd", Unit::kGB},      {"BytesToGiBd", Unit::kGiB},
+      {"BytesToMBd", Unit::kMB},
+      {"GbpsFromBytesPerSec", Unit::kGbps},
+  };
+  return t;
+}
+
+Unit LookupSegmentWord(std::string_view low, bool whole_word) {
+  if (whole_word && low == "s") {
+    return Unit::kNone;  // `std::string s` is not a second
+  }
+  for (const SuffixWord& w : kSegmentWords) {
+    if (low == w.word) {
+      return w.unit;
+    }
+  }
+  return Unit::kNone;
+}
+
+std::string Lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+// True when the identifier spells a rate ("gb_per_sec", "BytesPerSec",
+// "ops_per_epoch"): rates are their own dimension and promise no unit.
+bool IsRateName(std::string_view ident) {
+  std::string low = Lower(ident);
+  if (low.find("_per_") != std::string::npos) {
+    return true;
+  }
+  for (size_t i = 0; i + 3 < ident.size(); ++i) {
+    if (ident[i] == 'P' && ident[i + 1] == 'e' && ident[i + 2] == 'r' &&
+        std::isupper(static_cast<unsigned char>(ident[i + 3])) != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Tokens.
+
+enum class TK { kIdent, kNumber, kPunct };
+
+struct Tok {
+  TK kind;
+  std::string text;
+  int line = 0;  // 1-based
+  int col = 0;   // 1-based
+  bool shift_magic = false;  // collapsed `N << 10/20/30/40` capacity constant
+};
+
+bool IsPunct(const Tok& t, std::string_view p) {
+  return t.kind == TK::kPunct && t.text == p;
+}
+
+std::vector<Tok> Tokenize(const std::vector<SourceLine>& lines) {
+  std::vector<Tok> out;
+  bool pp_cont = false;
+  for (size_t li = 0; li < lines.size(); ++li) {
+    const std::string& code = lines[li].code;
+    size_t first = code.find_first_not_of(" \t\r");
+    bool skip = pp_cont;
+    if (!skip && first != std::string::npos && code[first] == '#') {
+      skip = true;
+    }
+    const std::string& raw = lines[li].raw;
+    pp_cont = skip && !raw.empty() && raw.back() == '\\';
+    if (skip) {
+      continue;
+    }
+    size_t i = 0;
+    const size_t n = code.size();
+    while (i < n) {
+      char c = code[i];
+      if (c == ' ' || c == '\t' || c == '\r' || c == '"' || c == '\'' ||
+          c == '\\' || c == '@' || c == '$' || c == '`') {
+        ++i;
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+          (c == '.' && i + 1 < n &&
+           std::isdigit(static_cast<unsigned char>(code[i + 1])) != 0)) {
+        size_t s = i;
+        ++i;
+        while (i < n) {
+          char d = code[i];
+          if (IsIdentChar(d) || d == '.' || d == '\'') {
+            ++i;
+            continue;
+          }
+          char prev = code[i - 1];
+          if ((d == '+' || d == '-') &&
+              (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P')) {
+            ++i;
+            continue;
+          }
+          break;
+        }
+        Tok t;
+        t.kind = TK::kNumber;
+        t.text = code.substr(s, i - s);
+        t.line = static_cast<int>(li) + 1;
+        t.col = static_cast<int>(s) + 1;
+        out.push_back(std::move(t));
+        continue;
+      }
+      if (IsIdentStart(c)) {
+        size_t s = i;
+        while (i < n && IsIdentChar(code[i])) {
+          ++i;
+        }
+        Tok t;
+        t.kind = TK::kIdent;
+        t.text = code.substr(s, i - s);
+        t.line = static_cast<int>(li) + 1;
+        t.col = static_cast<int>(s) + 1;
+        out.push_back(std::move(t));
+        continue;
+      }
+      static const char* kThree[] = {"<<=", ">>=", "...", "->*"};
+      static const char* kTwo[] = {"<<", ">>", "->", "::", "==", "!=", "<=",
+                                   ">=", "+=", "-=", "*=", "/=", "%=", "&&",
+                                   "||", "++", "--", "&=", "|=", "^="};
+      size_t len = 1;
+      for (const char* p : kThree) {
+        if (code.compare(i, 3, p) == 0) {
+          len = 3;
+          break;
+        }
+      }
+      if (len == 1) {
+        for (const char* p : kTwo) {
+          if (code.compare(i, 2, p) == 0) {
+            len = 2;
+            break;
+          }
+        }
+      }
+      Tok t;
+      t.kind = TK::kPunct;
+      t.text = code.substr(i, len);
+      t.line = static_cast<int>(li) + 1;
+      t.col = static_cast<int>(i) + 1;
+      out.push_back(std::move(t));
+      i += len;
+    }
+  }
+  return out;
+}
+
+// Removes `xxx_cast<...>` / `duration_cast<...>` so the following `(expr)`
+// group keeps its inner unit.
+void CollapseCasts(std::vector<Tok>* toks) {
+  static const std::set<std::string, std::less<>> kCasts = {
+      "static_cast", "const_cast", "reinterpret_cast", "dynamic_cast",
+      "duration_cast"};
+  std::vector<Tok> out;
+  out.reserve(toks->size());
+  size_t i = 0;
+  while (i < toks->size()) {
+    const Tok& t = (*toks)[i];
+    if (t.kind == TK::kIdent && kCasts.count(t.text) != 0 &&
+        i + 1 < toks->size() && IsPunct((*toks)[i + 1], "<")) {
+      int depth = 0;
+      size_t j = i + 1;
+      bool closed = false;
+      for (; j < toks->size(); ++j) {
+        const Tok& p = (*toks)[j];
+        if (p.kind != TK::kPunct) {
+          continue;
+        }
+        if (p.text == "<") {
+          ++depth;
+        } else if (p.text == ">") {
+          if (--depth == 0) {
+            closed = true;
+            ++j;
+            break;
+          }
+        } else if (p.text == ">>") {
+          depth -= 2;
+          if (depth <= 0) {
+            closed = true;
+            ++j;
+            break;
+          }
+        } else if (p.text == ";" || p.text == "{" || p.text == "}") {
+          break;
+        }
+      }
+      if (closed) {
+        // Also drop a leading `std :: chrono ::`-style qualifier already
+        // emitted before the cast name.
+        while (!out.empty() && (IsPunct(out.back(), "::") ||
+                                (out.size() >= 2 &&
+                                 IsPunct(out[out.size() - 2], "::") &&
+                                 out.back().kind == TK::kIdent))) {
+          out.pop_back();
+        }
+        i = j;
+        continue;
+      }
+    }
+    out.push_back(t);
+    ++i;
+  }
+  *toks = std::move(out);
+}
+
+// Merges `N << 10/20/30/40` into one synthetic shift-magic number token.
+void CollapseShiftMagic(std::vector<Tok>* toks) {
+  std::vector<Tok> out;
+  out.reserve(toks->size());
+  size_t i = 0;
+  while (i < toks->size()) {
+    if (i + 2 < toks->size() && (*toks)[i].kind == TK::kNumber &&
+        IsPunct((*toks)[i + 1], "<<") && (*toks)[i + 2].kind == TK::kNumber) {
+      const std::string& sh = (*toks)[i + 2].text;
+      if (sh == "10" || sh == "20" || sh == "30" || sh == "40") {
+        Tok t = (*toks)[i];
+        t.text += " << " + sh;
+        t.shift_magic = true;
+        out.push_back(std::move(t));
+        i += 3;
+        continue;
+      }
+    }
+    out.push_back((*toks)[i]);
+    ++i;
+  }
+  *toks = std::move(out);
+}
+
+// The decimal conversion-constant set: exact scale factors that only ever
+// mean "I am converting between units by hand".
+bool IsDecimalMagic(const std::string& text) {
+  std::string t;
+  t.reserve(text.size());
+  for (char c : text) {
+    if (c == '\'') {
+      continue;
+    }
+    t += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  while (!t.empty() && (t.back() == 'u' || t.back() == 'l' || t.back() == 'f')) {
+    t.pop_back();
+  }
+  static const std::set<std::string, std::less<>> k = {
+      "1e3",  "1.0e3",  "1e6",  "1.0e6",  "1e9",     "1.0e9",
+      "1e12", "1.0e12", "1000", "1000.0", "1000000", "1000000.0",
+      "1000000000",     "1000000000.0",   "1000000000000",
+      "1024", "1024.0", "1048576",        "1048576.0",
+      "1073741824",     "1073741824.0",   "1099511627776",
+  };
+  return k.count(t) != 0;
+}
+
+// Named replacement to suggest in the U003 message.
+std::string MagicSuggestion(const Tok& t) {
+  if (t.shift_magic) {
+    return "units::literals (_KiB/_MiB/_GiB/_TiB) or kKiB..kTiB";
+  }
+  std::string low = Lower(t.text);
+  if (low.find("1024") == 0 || low.find("1048576") == 0 ||
+      low.find("1073741824") == 0 || low.find("1099511627776") == 0) {
+    return "kKiB/kMiB/kGiB/kTiB";
+  }
+  if (low.find("1e3") != std::string::npos || low == "1000" ||
+      low == "1000.0") {
+    return "kNsPerUs / kUsPerMs / kMsPerSec (or kKB)";
+  }
+  if (low.find("1e6") != std::string::npos || low.find("1000000") == 0) {
+    return "kNsPerMs / kUsPerSec (or kMB)";
+  }
+  return "kNsPerSec (or kGB / kTB)";
+}
+
+// `64_GiB`-style user literal -> absolute bytes.
+bool IsByteLiteral(const std::string& text) {
+  size_t us = text.find('_');
+  if (us == std::string::npos) {
+    return false;
+  }
+  std::string_view suffix(text.data() + us + 1, text.size() - us - 1);
+  static const std::set<std::string, std::less<>> kSuffixes = {
+      "KiB", "MiB", "GiB", "TiB", "KB", "MB", "GB", "TB"};
+  return kSuffixes.count(std::string(suffix)) != 0;
+}
+
+bool IsKeyword(std::string_view s) {
+  static const std::set<std::string, std::less<>> k = {
+      "if",      "for",     "while",    "switch",  "return", "else",
+      "do",      "case",    "new",      "delete",  "throw",  "sizeof",
+      "struct",  "class",   "union",    "enum",    "using",  "typedef",
+      "template","typename","namespace","operator","catch",  "try",
+      "goto",    "default", "break",    "continue"};
+  return k.count(std::string(s)) != 0;
+}
+
+// Parameter names that legitimately take any unit (generic math/util
+// helpers) or that spell a rate: U005 stays quiet for them.
+bool IsGenericParamName(std::string_view name) {
+  static const std::set<std::string, std::less<>> k = {
+      "value", "val", "v", "x", "y", "a", "b", "lhs", "rhs", "other",
+      "arg",   "args", "item", "it", "elem", "t", "u", "lo", "hi"};
+  return k.count(std::string(name)) != 0 || IsRateName(name);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public vocabulary functions.
+
+UnitFamily FamilyOf(Unit u) {
+  switch (u) {
+    case Unit::kNs:
+    case Unit::kUs:
+    case Unit::kMs:
+    case Unit::kSec:
+      return UnitFamily::kTime;
+    case Unit::kGbps:
+    case Unit::kMbps:
+      return UnitFamily::kBandwidth;
+    case Unit::kBytes:
+      return UnitFamily::kBytes;
+    case Unit::kKB:
+    case Unit::kMB:
+    case Unit::kGB:
+    case Unit::kTB:
+      return UnitFamily::kCapacityDecimal;
+    case Unit::kKiB:
+    case Unit::kMiB:
+    case Unit::kGiB:
+    case Unit::kTiB:
+      return UnitFamily::kCapacityBinary;
+    case Unit::kPages:
+    case Unit::kEpochs:
+      return UnitFamily::kCount;
+    case Unit::kNone:
+      return UnitFamily::kNone;
+  }
+  return UnitFamily::kNone;
+}
+
+const char* UnitName(Unit u) {
+  switch (u) {
+    case Unit::kNone:
+      return "none";
+    case Unit::kNs:
+      return "ns";
+    case Unit::kUs:
+      return "us";
+    case Unit::kMs:
+      return "ms";
+    case Unit::kSec:
+      return "s";
+    case Unit::kGbps:
+      return "GB/s";
+    case Unit::kMbps:
+      return "MB/s";
+    case Unit::kBytes:
+      return "bytes";
+    case Unit::kKB:
+      return "KB";
+    case Unit::kMB:
+      return "MB";
+    case Unit::kGB:
+      return "GB";
+    case Unit::kTB:
+      return "TB";
+    case Unit::kKiB:
+      return "KiB";
+    case Unit::kMiB:
+      return "MiB";
+    case Unit::kGiB:
+      return "GiB";
+    case Unit::kTiB:
+      return "TiB";
+    case Unit::kPages:
+      return "pages";
+    case Unit::kEpochs:
+      return "epochs";
+  }
+  return "none";
+}
+
+Unit UnitFromIdentifier(std::string_view ident) {
+  while (!ident.empty() && ident.back() == '_') {
+    ident.remove_suffix(1);  // member variables: sim_seconds_
+  }
+  if (ident.empty() || IsRateName(ident)) {
+    return Unit::kNone;
+  }
+  std::string low = Lower(ident);
+  if (Unit u = LookupSegmentWord(low, /*whole_word=*/true); u != Unit::kNone) {
+    return u;
+  }
+  if (size_t us = ident.rfind('_'); us != std::string_view::npos) {
+    if (Unit u = LookupSegmentWord(low.substr(us + 1), /*whole_word=*/false);
+        u != Unit::kNone) {
+      return u;
+    }
+  }
+  for (const CamelSuffix& cs : kCamelSuffixes) {
+    std::string_view sfx(cs.suffix);
+    if (ident.size() <= sfx.size() ||
+        ident.substr(ident.size() - sfx.size()) != sfx) {
+      continue;
+    }
+    char before = ident[ident.size() - sfx.size() - 1];
+    if (std::islower(static_cast<unsigned char>(before)) != 0 ||
+        std::isdigit(static_cast<unsigned char>(before)) != 0) {
+      return cs.unit;
+    }
+  }
+  return Unit::kNone;
+}
+
+Unit UnitFromCallName(std::string_view name) {
+  const auto& helpers = HelperReturnTable();
+  if (auto it = helpers.find(name); it != helpers.end()) {
+    return it->second;
+  }
+  // Generic <A>To<B>: the unit is whatever B spells.
+  for (size_t i = name.size(); i >= 3; --i) {
+    size_t at = name.rfind("To", i - 1);
+    if (at == std::string_view::npos) {
+      break;
+    }
+    std::string_view tail = name.substr(at + 2);
+    if (!tail.empty() &&
+        std::isupper(static_cast<unsigned char>(tail[0])) != 0) {
+      for (const CamelSuffix& cs : kCamelSuffixes) {
+        if (tail == cs.suffix) {
+          return cs.unit;
+        }
+      }
+      Unit u = LookupSegmentWord(Lower(tail), /*whole_word=*/false);
+      if (u != Unit::kNone) {
+        return u;
+      }
+    }
+    if (at == 0) {
+      break;
+    }
+    i = at;
+  }
+  return UnitFromIdentifier(name);
+}
+
+// ---------------------------------------------------------------------------
+// The analyzer.
+
+namespace {
+
+struct Decl {
+  std::vector<Unit> param_units;
+  std::vector<std::string> param_names;
+  Unit ret = Unit::kNone;
+  bool ambiguous = false;
+};
+
+class UnitAnalyzer {
+ public:
+  UnitAnalyzer(std::string path, const std::vector<SourceLine>& lines,
+               std::vector<Finding>* sink)
+      : path_(std::move(path)), lines_(lines), sink_(sink) {
+    toks_ = Tokenize(lines_);
+    CollapseCasts(&toks_);
+    CollapseShiftMagic(&toks_);
+  }
+
+  void Run() {
+    CollectDecls();
+    fn_stack_.assign(1, Unit::kNone);
+    size_t begin = 0;
+    for (size_t i = 0; i < toks_.size(); ++i) {
+      const Tok& t = toks_[i];
+      if (t.kind != TK::kPunct || t.col == 0) {
+        continue;
+      }
+      if (t.text == "(") {
+        i = SkipGroupIdx(i, "(", ")");
+        continue;
+      }
+      if (t.text == "[") {
+        i = SkipGroupIdx(i, "[", "]");
+        continue;
+      }
+      if (t.text == ";" || t.text == "{" || t.text == "}") {
+        AnalyzeStatement(begin, i);
+        if (t.text == "{") {
+          PushBrace(begin, i);
+        } else if (t.text == "}") {
+          if (fn_stack_.size() > 1) {
+            fn_stack_.pop_back();
+          }
+        }
+        begin = i + 1;
+      }
+    }
+    AnalyzeStatement(begin, toks_.size());
+  }
+
+  // Inference entry point for InferExpressionUnit: analyze the whole token
+  // stream as one expression, discard findings.
+  Unit InferAll() {
+    mute_ = true;
+    CollectDecls();
+    Unit u = AnalyzeSegments(0, toks_.size());
+    ResolveMagics(Unit::kNone, nullptr);
+    mute_ = false;
+    return u;
+  }
+
+ private:
+  // --- plumbing ------------------------------------------------------------
+
+  void Emit(const char* rule, const Tok& at, std::string message) {
+    if (mute_) {
+      return;
+    }
+    auto key = std::make_tuple(std::string(rule), at.line, at.col);
+    if (!emitted_.insert(key).second) {
+      return;
+    }
+    Finding f;
+    f.rule_id = rule;
+    f.path = path_;
+    f.line = at.line;
+    f.column = at.col;
+    f.message = std::move(message);
+    if (at.line >= 1 && static_cast<size_t>(at.line) <= lines_.size()) {
+      f.snippet = Trim(lines_[at.line - 1].raw);
+    }
+    sink_->push_back(std::move(f));
+  }
+
+  // Index just past the matching close bracket for the open at `i`.
+  size_t SkipGroupIdx(size_t i, std::string_view open, std::string_view close) {
+    int depth = 0;
+    for (size_t j = i; j < toks_.size(); ++j) {
+      if (toks_[j].kind != TK::kPunct) {
+        continue;
+      }
+      if (toks_[j].text == open) {
+        ++depth;
+      } else if (toks_[j].text == close) {
+        if (--depth == 0) {
+          return j;
+        }
+      }
+    }
+    return toks_.size() - 1;
+  }
+
+  // Matching close for any of (), [] starting at toks_[i] == open.
+  size_t MatchClose(size_t i, size_t end) {
+    const std::string& open = toks_[i].text;
+    std::string_view close = open == "(" ? ")" : (open == "[" ? "]" : "}");
+    int depth = 0;
+    for (size_t j = i; j < end; ++j) {
+      if (toks_[j].kind != TK::kPunct) {
+        continue;
+      }
+      if (toks_[j].text == open) {
+        ++depth;
+      } else if (toks_[j].text == close) {
+        if (--depth == 0) {
+          return j;
+        }
+      }
+    }
+    return end;
+  }
+
+  // --- declaration table (pass 1) -----------------------------------------
+
+  // Matches `ret-type Name ( params ) [const|noexcept|override|final] {|;`.
+  // Returns the name index or npos.
+  size_t MatchFnHeader(size_t b, size_t e) const {
+    if (e <= b + 3) {
+      return std::string::npos;
+    }
+    // Trim trailing qualifiers.
+    size_t close = e;
+    while (close > b) {
+      const Tok& t = toks_[close - 1];
+      if (t.kind == TK::kIdent &&
+          (t.text == "const" || t.text == "noexcept" || t.text == "override" ||
+           t.text == "final")) {
+        --close;
+        continue;
+      }
+      break;
+    }
+    if (close <= b + 2 || !IsPunct(toks_[close - 1], ")")) {
+      return std::string::npos;
+    }
+    // Find the matching open paren.
+    int depth = 0;
+    size_t open = std::string::npos;
+    for (size_t j = close; j-- > b;) {
+      if (toks_[j].kind != TK::kPunct) {
+        continue;
+      }
+      if (toks_[j].text == ")") {
+        ++depth;
+      } else if (toks_[j].text == "(") {
+        if (--depth == 0) {
+          open = j;
+          break;
+        }
+      }
+    }
+    if (open == std::string::npos || open == b) {
+      return std::string::npos;
+    }
+    size_t name = open - 1;
+    if (toks_[name].kind != TK::kIdent || IsKeyword(toks_[name].text)) {
+      return std::string::npos;
+    }
+    if (name == b) {
+      return std::string::npos;  // plain call: no return type before the name
+    }
+    // No depth-0 `=` before the name (that would be `x = Foo(...)`).
+    int d = 0;
+    for (size_t j = b; j < name; ++j) {
+      if (toks_[j].kind != TK::kPunct) {
+        if (IsKeyword(toks_[j].text) && toks_[j].text != "operator") {
+          if (toks_[j].text == "return" || toks_[j].text == "throw" ||
+              toks_[j].text == "new" || toks_[j].text == "delete" ||
+              toks_[j].text == "case" || toks_[j].text == "using") {
+            return std::string::npos;
+          }
+        }
+        if (toks_[j].text == "operator") {
+          return std::string::npos;
+        }
+        continue;
+      }
+      const std::string& p = toks_[j].text;
+      if (p == "(" || p == "[") {
+        ++d;
+      } else if (p == ")" || p == "]") {
+        --d;
+      } else if (d == 0 && (p == "=" || p == "+" || p == "-" || p == "." ||
+                            p == "->" || p == "?" || p == "==")) {
+        return std::string::npos;
+      }
+    }
+    return name;
+  }
+
+  void CollectDecls() {
+    size_t begin = 0;
+    for (size_t i = 0; i < toks_.size(); ++i) {
+      const Tok& t = toks_[i];
+      if (t.kind != TK::kPunct) {
+        continue;
+      }
+      if (t.text == "(") {
+        i = SkipGroupIdx(i, "(", ")");
+        continue;
+      }
+      if (t.text == "[") {
+        i = SkipGroupIdx(i, "[", "]");
+        continue;
+      }
+      if (t.text == ";" || t.text == "{" || t.text == "}") {
+        bool is_def = t.text == "{";
+        RecordDecl(begin, i, is_def);
+        begin = i + 1;
+      }
+    }
+  }
+
+  void RecordDecl(size_t b, size_t e, bool is_def) {
+    size_t name = MatchFnHeader(b, e);
+    if (name == std::string::npos) {
+      return;
+    }
+    // Prototype declarations ending in `;` must be unqualified; `{`-bodied
+    // definitions may be `Class::Method`.
+    bool qualified = name >= 1 && IsPunct(toks_[name - 1], "::");
+    if (!is_def && qualified) {
+      return;
+    }
+    Decl d;
+    d.ret = UnitFromCallName(toks_[name].text);
+    size_t open = name + 1;
+    size_t close = MatchClose(open, e);
+    // Split params at depth-0 commas.
+    size_t pstart = open + 1;
+    int depth = 0;
+    for (size_t j = open + 1; j <= close && j < toks_.size(); ++j) {
+      const Tok& pt = toks_[j];
+      bool boundary = j == close;
+      if (!boundary && pt.kind == TK::kPunct) {
+        if (pt.text == "(" || pt.text == "[" || pt.text == "{" ||
+            pt.text == "<") {
+          ++depth;
+        } else if (pt.text == ")" || pt.text == "]" || pt.text == "}" ||
+                   pt.text == ">") {
+          --depth;
+        } else if (pt.text == "," && depth == 0) {
+          boundary = true;
+        }
+      }
+      if (!boundary) {
+        continue;
+      }
+      if (j > pstart) {
+        // Cut default argument.
+        size_t pend = j;
+        int dd = 0;
+        for (size_t k = pstart; k < j; ++k) {
+          if (toks_[k].kind != TK::kPunct) {
+            continue;
+          }
+          const std::string& p = toks_[k].text;
+          if (p == "(" || p == "[" || p == "{" || p == "<") {
+            ++dd;
+          } else if (p == ")" || p == "]" || p == "}" || p == ">") {
+            --dd;
+          } else if (p == "=" && dd == 0) {
+            pend = k;
+            break;
+          }
+        }
+        // A bare number in the declaration part (before any `=` default) can
+        // only come from a constructor-style variable definition, e.g.
+        // `os::PageAllocator a(platform, 16 * kKiB)` — not a function header.
+        int nd = 0;
+        for (size_t k = pstart; k < pend; ++k) {
+          if (toks_[k].kind == TK::kPunct) {
+            const std::string& p = toks_[k].text;
+            if (p == "(" || p == "[" || p == "{" || p == "<") {
+              ++nd;
+            } else if (p == ")" || p == "]" || p == "}" || p == ">") {
+              --nd;
+            }
+          } else if (toks_[k].kind == TK::kNumber && nd == 0) {
+            return;
+          }
+        }
+        std::string pname;
+        Unit punit = Unit::kNone;
+        if (pend > pstart && toks_[pend - 1].kind == TK::kIdent &&
+            pend - pstart >= 2 && !IsKeyword(toks_[pend - 1].text)) {
+          pname = toks_[pend - 1].text;
+          punit = UnitFromIdentifier(pname);
+        }
+        d.param_names.push_back(pname);
+        d.param_units.push_back(punit);
+      }
+      pstart = j + 1;
+    }
+    const std::string& fname = toks_[name].text;
+    auto it = decls_.find(fname);
+    if (it == decls_.end()) {
+      decls_.emplace(fname, std::move(d));
+      return;
+    }
+    if (it->second.param_units != d.param_units ||
+        it->second.param_names != d.param_names) {
+      it->second.ambiguous = true;
+    }
+  }
+
+  // --- brace / function-return tracking -----------------------------------
+
+  void PushBrace(size_t stmt_b, size_t brace) {
+    // Lambda body? The tokens right before `{` end in `]`, or `)` whose
+    // matching `(` is preceded by `]`.
+    size_t j = brace;
+    while (j > stmt_b) {
+      const Tok& t = toks_[j - 1];
+      if (t.kind == TK::kIdent &&
+          (t.text == "mutable" || t.text == "noexcept" || t.text == "const")) {
+        --j;
+        continue;
+      }
+      break;
+    }
+    if (j > stmt_b && IsPunct(toks_[j - 1], "]")) {
+      fn_stack_.push_back(Unit::kNone);
+      return;
+    }
+    if (j > stmt_b && IsPunct(toks_[j - 1], ")")) {
+      int depth = 0;
+      size_t open = std::string::npos;
+      for (size_t k = j; k-- > stmt_b;) {
+        if (toks_[k].kind != TK::kPunct) {
+          continue;
+        }
+        if (toks_[k].text == ")") {
+          ++depth;
+        } else if (toks_[k].text == "(") {
+          if (--depth == 0) {
+            open = k;
+            break;
+          }
+        }
+      }
+      if (open != std::string::npos && open > stmt_b &&
+          IsPunct(toks_[open - 1], "]")) {
+        fn_stack_.push_back(Unit::kNone);  // lambda with parameter list
+        return;
+      }
+    }
+    size_t name = MatchFnHeader(stmt_b, brace);
+    if (name != std::string::npos) {
+      fn_stack_.push_back(UnitFromCallName(toks_[name].text));
+      return;
+    }
+    fn_stack_.push_back(fn_stack_.back());  // control/aggregate block: inherit
+  }
+
+  // --- statement analysis (pass 2) ----------------------------------------
+
+  struct MagicRef {
+    const Tok* tok;
+  };
+
+  void AnalyzeStatement(size_t b, size_t e) {
+    if (e <= b) {
+      return;
+    }
+    magics_.clear();
+    carrier_ = false;
+    // Statements touching `operator` do deliberately unit-odd things
+    // (user-defined literals); skip them entirely.
+    for (size_t j = b; j < e; ++j) {
+      if (toks_[j].kind == TK::kIdent && toks_[j].text == "operator") {
+        return;
+      }
+    }
+    // `return expr` — check against the enclosing function's suffix unit.
+    if (toks_[b].kind == TK::kIdent && toks_[b].text == "return") {
+      Unit u = AnalyzeSegments(b + 1, e);
+      Unit want = fn_stack_.back();
+      if (u != Unit::kNone && want != Unit::kNone && u != want) {
+        Emit("CXL-U002", toks_[b],
+             std::string("return value infers as ") + UnitName(u) +
+                 " but the function's suffix promises " + UnitName(want) +
+                 " — convert via util/units.h or rename the function");
+      }
+      ResolveMagics(want, nullptr);
+      return;
+    }
+    // First depth-0 assignment operator.
+    size_t assign = std::string::npos;
+    int depth = 0;
+    for (size_t j = b; j < e; ++j) {
+      const Tok& t = toks_[j];
+      if (t.kind != TK::kPunct) {
+        continue;
+      }
+      const std::string& p = t.text;
+      if (p == "(" || p == "[") {
+        ++depth;
+      } else if (p == ")" || p == "]") {
+        --depth;
+      } else if (depth == 0 && (p == "=" || p == "+=" || p == "-=" ||
+                                p == "*=" || p == "/=" || p == "%=")) {
+        assign = j;
+        break;
+      }
+    }
+    if (assign == std::string::npos) {
+      AnalyzeSegments(b, e);
+      ResolveMagics(Unit::kNone, nullptr);
+      return;
+    }
+    Unit lhs = WalkBackUnit(b, assign);
+    Unit rhs = AnalyzeSegments(assign + 1, e);
+    const std::string& op = toks_[assign].text;
+    if ((op == "=" || op == "+=" || op == "-=") && lhs != Unit::kNone &&
+        rhs != Unit::kNone && lhs != rhs) {
+      UnitFamily fl = FamilyOf(lhs);
+      UnitFamily fr = FamilyOf(rhs);
+      bool cap_mix =
+          (fl == UnitFamily::kCapacityDecimal &&
+           fr == UnitFamily::kCapacityBinary) ||
+          (fl == UnitFamily::kCapacityBinary &&
+           fr == UnitFamily::kCapacityDecimal);
+      Emit(cap_mix ? "CXL-U004" : "CXL-U002", toks_[assign],
+           std::string(op == "=" ? "assignment gives a " : "accumulates a ") +
+               UnitName(rhs) + " value into a " + UnitName(lhs) +
+               "-suffixed left side — convert via util/units.h first");
+    }
+    if (lhs != Unit::kNone) {
+      carrier_ = true;
+    }
+    // A lone constant on the right of `=` is a value, not a conversion.
+    const Tok* sole = nullptr;
+    {
+      size_t rb = assign + 1;
+      size_t re = e;
+      while (re - rb >= 3 && IsPunct(toks_[rb], "(") &&
+             MatchClose(rb, re) == re - 1) {
+        ++rb;
+        --re;
+      }
+      if (re - rb == 1 && toks_[rb].kind == TK::kNumber) {
+        sole = &toks_[rb];
+      }
+    }
+    ResolveMagics(lhs, sole);
+  }
+
+  void ResolveMagics(Unit lhs, const Tok* sole_rhs) {
+    for (const MagicRef& m : magics_) {
+      bool sole = sole_rhs != nullptr && m.tok == sole_rhs;
+      bool fire;
+      if (sole) {
+        // `x = 1024.0` is a value; `bytes = 1ull << 30` is a conversion.
+        fire = m.tok->shift_magic && lhs != Unit::kNone;
+      } else {
+        fire = carrier_ || lhs != Unit::kNone;
+      }
+      if (fire) {
+        Emit("CXL-U003", *m.tok,
+             "bare conversion constant '" + m.tok->text +
+                 "' in a unit-carrying expression — name it: " +
+                 MagicSuggestion(*m.tok));
+      }
+    }
+    magics_.clear();
+  }
+
+  // Unit promised by the left side of an assignment: the last identifier,
+  // looking through trailing subscripts.
+  Unit WalkBackUnit(size_t b, size_t e) {
+    size_t j = e;
+    while (j > b) {
+      const Tok& t = toks_[j - 1];
+      if (IsPunct(t, "]")) {
+        int depth = 0;
+        size_t k = j;
+        while (k-- > b) {
+          if (toks_[k].kind != TK::kPunct) {
+            continue;
+          }
+          if (toks_[k].text == "]") {
+            ++depth;
+          } else if (toks_[k].text == "[") {
+            if (--depth == 0) {
+              break;
+            }
+          }
+        }
+        j = k;
+        continue;
+      }
+      if (t.kind == TK::kIdent) {
+        return IsKeyword(t.text) ? Unit::kNone : UnitFromIdentifier(t.text);
+      }
+      return Unit::kNone;
+    }
+    return Unit::kNone;
+  }
+
+  // Splits [b, e) at depth-0 separators (comma, ternary, logical, bitwise,
+  // shifts, stray assignments, modulo) and analyzes each piece. Returns the
+  // piece's unit when there is exactly one piece, else kNone.
+  Unit AnalyzeSegments(size_t b, size_t e) {
+    static const std::set<std::string, std::less<>> kSeps = {
+        ",",  "?",  ":", "&&", "||", "|",  "^",  "&",  "<<",
+        ">>", "%",  "=", "+=", "-=", "*=", "/=", "%=", ";"};
+    std::vector<std::pair<size_t, size_t>> pieces;
+    size_t start = b;
+    int depth = 0;
+    for (size_t j = b; j < e; ++j) {
+      const Tok& t = toks_[j];
+      if (t.kind != TK::kPunct) {
+        continue;
+      }
+      const std::string& p = t.text;
+      if (p == "(" || p == "[" || p == "{") {
+        ++depth;
+      } else if (p == ")" || p == "]" || p == "}") {
+        --depth;
+      } else if (depth == 0 && kSeps.count(p) != 0) {
+        // `&` and `*`-likes as unary: an `&` right before an identifier at
+        // piece start is address-of, not a separator — but since an empty
+        // piece is harmless, split anyway.
+        pieces.emplace_back(start, j);
+        start = j + 1;
+      }
+    }
+    pieces.emplace_back(start, e);
+    Unit only = Unit::kNone;
+    for (const auto& [pb, pe] : pieces) {
+      Unit u = AnalyzeComparison(pb, pe);
+      if (pieces.size() == 1) {
+        only = u;
+      }
+    }
+    return only;
+  }
+
+  // Splits at depth-0 comparison operators and cross-checks operand units.
+  Unit AnalyzeComparison(size_t b, size_t e) {
+    static const std::set<std::string, std::less<>> kCmps = {"==", "!=", "<",
+                                                             ">",  "<=", ">="};
+    std::vector<std::pair<size_t, size_t>> operands;
+    std::vector<size_t> ops;
+    size_t start = b;
+    int depth = 0;
+    for (size_t j = b; j < e; ++j) {
+      const Tok& t = toks_[j];
+      if (t.kind != TK::kPunct) {
+        continue;
+      }
+      const std::string& p = t.text;
+      if (p == "(" || p == "[" || p == "{") {
+        ++depth;
+      } else if (p == ")" || p == "]" || p == "}") {
+        --depth;
+      } else if (depth == 0 && kCmps.count(p) != 0) {
+        operands.emplace_back(start, j);
+        ops.push_back(j);
+        start = j + 1;
+      }
+    }
+    operands.emplace_back(start, e);
+    std::vector<Unit> units;
+    units.reserve(operands.size());
+    for (const auto& [ob, oe] : operands) {
+      units.push_back(AnalyzeAdditive(ob, oe));
+    }
+    for (size_t k = 0; k + 1 < units.size(); ++k) {
+      Unit a = units[k];
+      Unit c = units[k + 1];
+      if (a != Unit::kNone && c != Unit::kNone && a != c) {
+        EmitMix(toks_[ops[k]], a, c, "compared");
+      }
+    }
+    return units.size() == 1 ? units[0] : Unit::kNone;
+  }
+
+  void EmitMix(const Tok& at, Unit a, Unit b, const char* verb) {
+    UnitFamily fa = FamilyOf(a);
+    UnitFamily fb = FamilyOf(b);
+    bool cap_mix = (fa == UnitFamily::kCapacityDecimal &&
+                    fb == UnitFamily::kCapacityBinary) ||
+                   (fa == UnitFamily::kCapacityBinary &&
+                    fb == UnitFamily::kCapacityDecimal);
+    if (cap_mix) {
+      Emit("CXL-U004", at,
+           std::string("decimal (") + UnitName(FamilyOf(a) ==
+                                               UnitFamily::kCapacityDecimal
+                                                   ? a
+                                                   : b) +
+               ") and binary (" +
+               UnitName(FamilyOf(a) == UnitFamily::kCapacityBinary ? a : b) +
+               ") capacity units " + verb +
+               " in one expression — a 7.4% silent skew at GB scale");
+    } else {
+      Emit("CXL-U001", at,
+           std::string("operands carrying ") + UnitName(a) + " and " +
+               UnitName(b) + " are " + verb +
+               " without conversion — go through util/units.h");
+    }
+  }
+
+  // Splits at depth-0 binary +/- and folds operand units.
+  Unit AnalyzeAdditive(size_t b, size_t e) {
+    std::vector<std::pair<size_t, size_t>> operands;
+    std::vector<size_t> ops;
+    size_t start = b;
+    int depth = 0;
+    for (size_t j = b; j < e; ++j) {
+      const Tok& t = toks_[j];
+      if (t.kind != TK::kPunct) {
+        continue;
+      }
+      const std::string& p = t.text;
+      if (p == "(" || p == "[" || p == "{") {
+        ++depth;
+      } else if (p == ")" || p == "]" || p == "}") {
+        --depth;
+      } else if (depth == 0 && (p == "+" || p == "-") && j > start) {
+        const Tok& prev = toks_[j - 1];
+        bool binary = prev.kind != TK::kPunct || prev.text == ")" ||
+                      prev.text == "]" || prev.text == "++" ||
+                      prev.text == "--";
+        if (binary) {
+          operands.emplace_back(start, j);
+          ops.push_back(j);
+          start = j + 1;
+        }
+      }
+    }
+    operands.emplace_back(start, e);
+    Unit result = Unit::kNone;
+    for (size_t k = 0; k < operands.size(); ++k) {
+      Unit u = AnalyzeChain(operands[k].first, operands[k].second);
+      if (u == Unit::kNone) {
+        continue;
+      }
+      if (result == Unit::kNone) {
+        result = u;
+      } else if (result != u) {
+        EmitMix(toks_[ops[std::min(k - 1, ops.size() - 1)]], result, u,
+                "combined");
+      }
+    }
+    return result;
+  }
+
+  enum class AtomKind { kPlain, kConv, kRateConv, kFactor, kMagic };
+
+  struct Atom {
+    AtomKind kind = AtomKind::kPlain;
+    Unit unit = Unit::kNone;
+    ConvInfo conv{Unit::kNone, Unit::kNone};
+    const Tok* tok = nullptr;
+  };
+
+  // `bytes_per_sec`, `kMigrationStallSecondsPerPage`: a rate identifier acts
+  // as a soft converter — multiplying a <den> value yields <num> — but never
+  // flags, because rates are ordinary variables, not canonical constants.
+  static bool ParseRateConv(std::string_view ident, ConvInfo* out) {
+    while (!ident.empty() && ident.back() == '_') {
+      ident.remove_suffix(1);
+    }
+    std::string low = Lower(ident);
+    std::string_view num_part;
+    std::string_view den_part;
+    if (size_t pos = low.find("_per_"); pos != std::string::npos) {
+      num_part = ident.substr(0, pos);
+      den_part = ident.substr(pos + 5);
+    } else {
+      for (size_t i = 0; i + 3 < ident.size(); ++i) {
+        if (ident[i] == 'P' && ident[i + 1] == 'e' && ident[i + 2] == 'r' &&
+            std::isupper(static_cast<unsigned char>(ident[i + 3])) != 0) {
+          num_part = ident.substr(0, i);
+          den_part = ident.substr(i + 3);
+          break;
+        }
+      }
+      if (num_part.empty() && den_part.empty()) {
+        return false;
+      }
+    }
+    out->num = UnitFromIdentifier(num_part);
+    out->den = UnitFromIdentifier(den_part);
+    if (out->den == Unit::kNone) {
+      // Singular denominators: SecondsPerPage, BytesPerEpoch.
+      out->den = LookupSegmentWord(Lower(den_part) + "s", /*whole_word=*/false);
+    }
+    return true;
+  }
+
+  // Parses one postfix atom starting at `i` (which the caller positions on
+  // a non-operator token); advances `i` past it.
+  Atom ParseAtom(size_t& i, size_t e) {
+    Atom atom;
+    const Tok& t0 = toks_[i];
+    atom.tok = &t0;
+    if (t0.kind == TK::kNumber) {
+      ++i;
+      if (IsByteLiteral(t0.text)) {
+        atom.unit = Unit::kBytes;
+      } else if (t0.shift_magic || IsDecimalMagic(t0.text)) {
+        atom.kind = AtomKind::kMagic;
+        magics_.push_back(MagicRef{&t0});
+      }
+      return atom;
+    }
+    if (IsPunct(t0, "(")) {
+      size_t close = MatchClose(i, e);
+      atom.unit = AnalyzeSegments(i + 1, close);
+      i = close < e ? close + 1 : e;
+      // Postfix on the group: (expr).count(), (expr)[k].
+      ParsePostfix(i, e, &atom);
+      return atom;
+    }
+    if (IsPunct(t0, "{")) {
+      size_t close = MatchClose(i, e);
+      AnalyzeSegments(i + 1, close);
+      i = close < e ? close + 1 : e;
+      return atom;
+    }
+    if (t0.kind != TK::kIdent) {
+      ++i;
+      return atom;
+    }
+    // Qualified name: a (:: a)* — unit comes from the last component.
+    const size_t first = i;
+    std::string last = t0.text;
+    ++i;
+    while (i + 1 < e && IsPunct(toks_[i], "::") &&
+           toks_[i + 1].kind == TK::kIdent) {
+      last = toks_[i + 1].text;
+      i += 2;
+    }
+    bool qualified = last != t0.text;
+    // `Type name(args)` — an identifier directly before the callee makes this
+    // a constructor-style declaration, not a call; U005 does not apply.
+    if (first > 0 && toks_[first - 1].kind == TK::kIdent &&
+        !IsKeyword(toks_[first - 1].text)) {
+      qualified = true;
+    }
+    if (i < e && IsPunct(toks_[i], "(")) {
+      size_t close = MatchClose(i, e);
+      AnalyzeCallArgs(last, qualified, i, close);
+      i = close < e ? close + 1 : e;
+      if (IsKeyword(last)) {
+        atom.unit = Unit::kNone;
+      } else if (auto it = decls_.find(last);
+                 it != decls_.end() && !it->second.ambiguous) {
+        atom.unit = it->second.ret;
+      } else {
+        atom.unit = UnitFromCallName(last);
+      }
+      // A call returning a rate (GbpsToBytesPerSec, BytesPerOp) converts
+      // like a rate-named variable would.
+      if (atom.unit == Unit::kNone && IsRateName(last) &&
+          ParseRateConv(last, &atom.conv)) {
+        atom.kind = AtomKind::kRateConv;
+      }
+      ParsePostfix(i, e, &atom);
+      return atom;
+    }
+    if (auto cit = ConvTable().find(last); cit != ConvTable().end()) {
+      atom.kind = AtomKind::kConv;
+      atom.conv = cit->second;
+      return atom;
+    }
+    if (IsRateName(last) && ParseRateConv(last, &atom.conv)) {
+      atom.kind = AtomKind::kRateConv;
+      return atom;
+    }
+    if (auto fit = FactorTable().find(last); fit != FactorTable().end()) {
+      atom.kind = AtomKind::kFactor;
+      atom.unit = fit->second;  // the count-unit this factor scales
+      return atom;
+    }
+    atom.unit = IsKeyword(last) ? Unit::kNone : UnitFromIdentifier(last);
+    ParsePostfix(i, e, &atom);
+    return atom;
+  }
+
+  // Member chains and subscripts after an atom: a.b_ms, x().count(), v[i].
+  void ParsePostfix(size_t& i, size_t e, Atom* atom) {
+    while (i < e) {
+      const Tok& t = toks_[i];
+      if (IsPunct(t, "[")) {
+        size_t close = MatchClose(i, e);
+        AnalyzeSegments(i + 1, close);
+        i = close < e ? close + 1 : e;
+        continue;  // element type keeps the array identifier's unit
+      }
+      if ((IsPunct(t, ".") || IsPunct(t, "->")) && i + 1 < e &&
+          toks_[i + 1].kind == TK::kIdent) {
+        std::string member = toks_[i + 1].text;
+        i += 2;
+        if (i < e && IsPunct(toks_[i], "(")) {
+          size_t close = MatchClose(i, e);
+          AnalyzeCallArgs(member, /*qualified=*/true, i, close);
+          i = close < e ? close + 1 : e;
+          atom->unit = UnitFromCallName(member);
+        } else {
+          atom->unit = UnitFromIdentifier(member);
+        }
+        atom->kind = AtomKind::kPlain;
+        continue;
+      }
+      break;
+    }
+  }
+
+  // Analyzes each call argument and applies U005 against the same-file
+  // declaration table (plain unqualified calls only).
+  void AnalyzeCallArgs(const std::string& fname, bool qualified, size_t open,
+                       size_t close) {
+    std::vector<Unit> arg_units;
+    std::vector<size_t> arg_starts;
+    size_t start = open + 1;
+    int depth = 0;
+    for (size_t j = open + 1; j <= close && j < toks_.size(); ++j) {
+      bool boundary = j == close;
+      const Tok& t = toks_[j];
+      if (!boundary && t.kind == TK::kPunct) {
+        if (t.text == "(" || t.text == "[" || t.text == "{") {
+          ++depth;
+        } else if (t.text == ")" || t.text == "]" || t.text == "}") {
+          --depth;
+        } else if (t.text == "," && depth == 0) {
+          boundary = true;
+        }
+      }
+      if (!boundary) {
+        continue;
+      }
+      if (j > start) {
+        arg_units.push_back(AnalyzeComparison(start, j));
+        arg_starts.push_back(start);
+      }
+      start = j + 1;
+    }
+    if (qualified || mute_) {
+      return;
+    }
+    auto it = decls_.find(fname);
+    if (it == decls_.end() || it->second.ambiguous ||
+        it->second.param_units.size() != arg_units.size()) {
+      return;
+    }
+    for (size_t k = 0; k < arg_units.size(); ++k) {
+      Unit a = arg_units[k];
+      if (a == Unit::kNone) {
+        continue;
+      }
+      const std::string& pname = it->second.param_names[k];
+      if (pname.empty() || IsGenericParamName(pname)) {
+        continue;
+      }
+      Unit p = it->second.param_units[k];
+      if (p == a) {
+        continue;
+      }
+      const Tok& at = toks_[arg_starts[k]];
+      if (p == Unit::kNone) {
+        Emit("CXL-U005", at,
+             "argument carries " + std::string(UnitName(a)) +
+                 " but parameter '" + pname + "' of '" + fname +
+                 "' promises no unit — the signature erases the caller's "
+                 "unit; suffix the parameter or convert");
+      } else {
+        Emit("CXL-U005", at,
+             "argument carries " + std::string(UnitName(a)) +
+                 " but parameter '" + pname + "' of '" + fname +
+                 "' promises " + UnitName(p) + " — convert at the call site");
+      }
+    }
+  }
+
+  // Folds a multiplicative chain left to right.
+  Unit AnalyzeChain(size_t b, size_t e) {
+    Unit cur = Unit::kNone;
+    bool have_atom = false;
+    Atom lead;             // a converter waiting for its value
+    bool have_lead = false;
+    char pending_op = 0;  // 0, '*', '/'
+    size_t i = b;
+    while (i < e) {
+      const Tok& t = toks_[i];
+      if (t.kind == TK::kPunct) {
+        if (t.text == "*" || t.text == "/") {
+          if (have_atom) {
+            pending_op = t.text[0];
+          }
+          // else: unary deref — ignore.
+          ++i;
+          continue;
+        }
+        if (t.text == "+" || t.text == "-" || t.text == "!" ||
+            t.text == "~" || t.text == "&" || t.text == "++" ||
+            t.text == "--" || t.text == "::" || t.text == "." ||
+            t.text == "->" || t.text == "<" || t.text == ">") {
+          // Unary signs, stray template angles, leftover member tokens.
+          ++i;
+          continue;
+        }
+        if (t.text == "(" || t.text == "{") {
+          // fall through to atom parsing
+        } else {
+          ++i;
+          continue;
+        }
+      }
+      Atom atom = ParseAtom(i, e);
+      if (atom.kind != AtomKind::kMagic &&
+          (atom.unit != Unit::kNone || atom.kind == AtomKind::kConv)) {
+        carrier_ = true;
+      }
+      // A converter seen before its value (`kNsPerSec * seconds`,
+      // `bytes_per_sec * dt_seconds`) is held and applied to the next atom.
+      if (have_lead && have_atom && pending_op == '*' &&
+          (atom.kind == AtomKind::kPlain || atom.kind == AtomKind::kFactor)) {
+        Unit u = atom.kind == AtomKind::kFactor ? Unit::kBytes : atom.unit;
+        if (u == lead.conv.den || lead.conv.den == Unit::kNone) {
+          cur = lead.conv.num;
+        } else if (u != Unit::kNone && lead.kind == AtomKind::kConv) {
+          Emit("CXL-U001", *atom.tok,
+               std::string("multiplying a ") + UnitName(u) + " value by a " +
+                   UnitName(lead.conv.num) + "-per-" + UnitName(lead.conv.den) +
+                   " constant — that converts " + UnitName(lead.conv.den) +
+                   ", not " + UnitName(u));
+          cur = Unit::kNone;
+        } else {
+          cur = Unit::kNone;
+        }
+        have_lead = false;
+        pending_op = 0;
+        continue;
+      }
+      if (!have_atom || pending_op == 0) {
+        // First atom, or juxtaposition (`double lat_ns`): latest wins.
+        if (atom.kind == AtomKind::kConv || atom.kind == AtomKind::kRateConv) {
+          cur = Unit::kNone;
+          lead = atom;
+          have_lead = true;
+        } else if (atom.kind == AtomKind::kMagic) {
+          cur = Unit::kNone;
+        } else if (atom.kind == AtomKind::kFactor) {
+          cur = Unit::kBytes;  // a bare kGiB is itself a byte count
+        } else if (have_atom && pending_op == 0 && atom.unit == Unit::kNone) {
+          // `lat_ns foo` — keep the informative unit (type tokens after).
+        } else {
+          cur = atom.unit;
+          have_lead = false;
+        }
+        have_atom = true;
+        continue;
+      }
+      char op = pending_op;
+      pending_op = 0;
+      have_lead = false;
+      cur = Combine(cur, op, atom);
+    }
+    return cur;
+  }
+
+  Unit Combine(Unit cur, char op, const Atom& atom) {
+    if (atom.kind == AtomKind::kConv) {
+      const ConvInfo& c = atom.conv;
+      if (op == '*') {
+        if (cur == Unit::kNone || cur == c.den) {
+          return c.num;
+        }
+        Emit("CXL-U001", *atom.tok,
+             std::string("multiplying a ") + UnitName(cur) + " value by " +
+                 "a " + UnitName(c.num) + "-per-" + UnitName(c.den) +
+                 " constant — that converts " + UnitName(c.den) + ", not " +
+                 UnitName(cur));
+        return Unit::kNone;
+      }
+      if (cur == Unit::kNone || cur == c.num) {
+        return c.den;
+      }
+      Emit("CXL-U001", *atom.tok,
+           std::string("dividing a ") + UnitName(cur) + " value by a " +
+               UnitName(c.num) + "-per-" + UnitName(c.den) +
+               " constant — that converts " + UnitName(c.num) + ", not " +
+               UnitName(cur));
+      return Unit::kNone;
+    }
+    if (atom.kind == AtomKind::kFactor) {
+      Unit count_unit = atom.unit;
+      UnitFamily ff = FamilyOf(count_unit);
+      UnitFamily fc = FamilyOf(cur);
+      bool cap_cross = (fc == UnitFamily::kCapacityDecimal &&
+                        ff == UnitFamily::kCapacityBinary) ||
+                       (fc == UnitFamily::kCapacityBinary &&
+                        ff == UnitFamily::kCapacityDecimal);
+      if (op == '*') {
+        if (cap_cross) {
+          EmitMix(*atom.tok, cur, count_unit, "scaled");
+          return Unit::kBytes;
+        }
+        if (cur == Unit::kNone || cur == count_unit ||
+            fc == UnitFamily::kCount) {
+          return Unit::kBytes;
+        }
+        if (fc == UnitFamily::kCapacityDecimal ||
+            fc == UnitFamily::kCapacityBinary) {
+          // `x_mb * kGB` — wrong scale within the same system.
+          EmitMix(*atom.tok, cur, count_unit, "scaled");
+          return Unit::kBytes;
+        }
+        Emit("CXL-U001", *atom.tok,
+             std::string("scaling a ") + UnitName(cur) +
+                 " value by the capacity factor k" + UnitName(count_unit) +
+                 " — only counts-of-" + UnitName(count_unit) +
+                 " belong here");
+        return Unit::kNone;
+      }
+      // Division by a capacity factor: bytes -> count.
+      if (cur == Unit::kBytes || cur == Unit::kNone) {
+        return count_unit;
+      }
+      if (cap_cross || fc == UnitFamily::kCapacityDecimal ||
+          fc == UnitFamily::kCapacityBinary) {
+        EmitMix(*atom.tok, cur, count_unit, "scaled");
+        return count_unit;
+      }
+      Emit("CXL-U001", *atom.tok,
+           std::string("dividing a ") + UnitName(cur) +
+               " value by the capacity factor k" + UnitName(count_unit) +
+               " — only byte counts belong here");
+      return Unit::kNone;
+    }
+    if (atom.kind == AtomKind::kRateConv) {
+      // Soft converter: value-in-den * rate -> num; value-in-num / rate ->
+      // den. Rates are ordinary variables, so nothing ever flags here.
+      const ConvInfo& c = atom.conv;
+      if (op == '*') {
+        if (cur == c.den || c.den == Unit::kNone || cur == Unit::kNone) {
+          return c.num;
+        }
+        return Unit::kNone;
+      }
+      if (cur == c.num && c.num != Unit::kNone) {
+        return c.den;
+      }
+      return Unit::kNone;
+    }
+    if (atom.kind == AtomKind::kMagic) {
+      return Unit::kNone;  // flagged via ResolveMagics; scale now unknown
+    }
+    Unit u = atom.unit;
+    if (u == Unit::kNone) {
+      // Multiplying by a dimensionless value keeps the unit (2 * lat_ns);
+      // dividing by an unknown may derive a new dimension (bytes / rate),
+      // so inference gives up rather than guess.
+      return op == '*' ? cur : Unit::kNone;
+    }
+    if (cur == Unit::kNone) {
+      if (op == '*') {
+        return u;
+      }
+      return Unit::kNone;  // x / ns — a rate we do not track
+    }
+    UnitFamily fc = FamilyOf(cur);
+    UnitFamily fu = FamilyOf(u);
+    if (op == '*') {
+      // The TransferNs triad: GB/s * ns == bytes (decimal GB).
+      if ((cur == Unit::kGbps && u == Unit::kNs) ||
+          (cur == Unit::kNs && u == Unit::kGbps)) {
+        return Unit::kBytes;
+      }
+      // counts * bytes-per-item.
+      if ((fc == UnitFamily::kCount && u == Unit::kBytes) ||
+          (cur == Unit::kBytes && fu == UnitFamily::kCount)) {
+        return Unit::kBytes;
+      }
+      if (fc == fu) {
+        if (cur != u) {
+          EmitMix(*atom.tok, cur, u, "multiplied");
+        }
+        return Unit::kNone;  // ns*ns etc.: a square we do not track
+      }
+      return Unit::kNone;  // legit derived dimension
+    }
+    // Division.
+    if (cur == u) {
+      return Unit::kNone;  // dimensionless ratio
+    }
+    if (cur == Unit::kBytes && u == Unit::kGbps) {
+      return Unit::kNs;  // the TransferNs identity
+    }
+    if (cur == Unit::kBytes && u == Unit::kNs) {
+      return Unit::kGbps;
+    }
+    if (cur == Unit::kBytes && fu == UnitFamily::kCount) {
+      return Unit::kBytes;  // bytes per page — still bytes
+    }
+    if (fc == fu) {
+      EmitMix(*atom.tok, cur, u, "divided");
+      return Unit::kNone;
+    }
+    return Unit::kNone;  // derived dimension (bytes/s, ...)
+  }
+
+  std::string path_;
+  const std::vector<SourceLine>& lines_;
+  std::vector<Finding>* sink_;
+  std::vector<Tok> toks_;
+  std::map<std::string, Decl, std::less<>> decls_;
+  std::vector<Unit> fn_stack_;
+  std::vector<MagicRef> magics_;
+  bool carrier_ = false;
+  bool mute_ = false;
+  std::set<std::tuple<std::string, int, int>> emitted_;
+};
+
+}  // namespace
+
+Unit InferExpressionUnit(std::string_view expr) {
+  std::vector<SourceLine> lines = SplitAndStrip(expr);
+  std::vector<Finding> scratch;
+  UnitAnalyzer a("src/infer_expr.cc", lines, &scratch);
+  return a.InferAll();
+}
+
+void CheckUnits(const std::string& path, const std::vector<SourceLine>& lines,
+                std::vector<Finding>* sink) {
+  bool in_scope = PathStartsWith(path, "src/") ||
+                  PathStartsWith(path, "bench/") ||
+                  PathStartsWith(path, "tools/report/");
+  if (!in_scope || path == "src/util/units.h") {
+    // util/units.h is the vocabulary definition site — its bodies *are* the
+    // named constants the rules canonicalize to.
+    return;
+  }
+  UnitAnalyzer analyzer(path, lines, sink);
+  analyzer.Run();
+}
+
+}  // namespace cxl::lint

@@ -1,0 +1,106 @@
+// CXL-U unit/dimension analysis — the rule family that keeps the paper's
+// numbers dimensionally honest.
+//
+// Every quantity this reproduction checks against the paper is physical:
+// §3.2 idle latencies in ns, Fig. 3 bandwidth peaks in decimal GB/s,
+// Table 3 capacities in $/GB. The codebase carries them all as bare
+// double/uint64_t guarded only by naming conventions, so a ns-vs-us or
+// GB-vs-GiB slip compiles silently and shifts a calibration band. This
+// pass infers a unit for each expression from identifier suffixes
+// (lat_ns, window_ms, spilled_gb), util/units.h constants / helpers /
+// literals (kNsPerSec, SecToMs, 64_GiB), and same-file function
+// signatures, then flags:
+//
+//   CXL-U001 no-mixed-unit-arithmetic     lat_ns + window_ms,
+//                                         bytes < gib_capacity
+//   CXL-U002 no-cross-unit-assignment     x_ms = y_ns; return-vs-declared
+//                                         function suffix mismatches
+//   CXL-U003 no-magic-conversion-constant bare 1e3/1e6/1e9/1<<30 in a
+//                                         unit-carrying expression — use
+//                                         the util/units.h vocabulary
+//   CXL-U004 no-decimal-binary-capacity-mixing
+//                                         kGB-counts vs kGiB-counts in one
+//                                         expression (a 7.4% silent skew)
+//   CXL-U005 no-unit-erasing-call         suffixed argument passed to a
+//                                         suffix-less or differently
+//                                         suffixed same-file parameter
+//
+// Like the D-rules, this is a token-level heuristic: multiplicative
+// chains that derive new dimensions (bytes / seconds) infer to "unknown"
+// and never flag; only same-family scale mismatches and explicit magic
+// constants do. False negatives are accepted; the calibration gate stays
+// the backstop. Scope: src/, bench/, tools/report/ — tests do
+// deliberately unit-odd things and are exempt.
+#ifndef CXL_EXPLORER_TOOLS_LINT_UNITS_H_
+#define CXL_EXPLORER_TOOLS_LINT_UNITS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tools/lint/lint.h"
+#include "tools/lint/source_model.h"
+
+namespace cxl::lint {
+
+// The unit vocabulary the pass canonicalizes to. Capacity *counts* (a
+// value in GiB units) are distinct from kBytes (an absolute byte count):
+// kGiB-the-unit tags `BytesToGiB(x)`, while `64_GiB` is plain bytes.
+enum class Unit {
+  kNone = 0,  // no unit promise (or a derived dimension we do not track)
+  kNs,
+  kUs,
+  kMs,
+  kSec,
+  kGbps,
+  kMbps,
+  kBytes,
+  kKB,  // decimal capacity counts
+  kMB,
+  kGB,
+  kTB,
+  kKiB,  // binary capacity counts
+  kMiB,
+  kGiB,
+  kTiB,
+  kPages,
+  kEpochs,
+};
+
+enum class UnitFamily {
+  kNone = 0,
+  kTime,
+  kBandwidth,
+  kBytes,
+  kCapacityDecimal,
+  kCapacityBinary,
+  kCount,
+};
+
+UnitFamily FamilyOf(Unit u);
+const char* UnitName(Unit u);
+
+// Unit an identifier promises via its suffix ("lat_ns", trailing
+// underscores stripped, camel endings like kDefaultPageBytes included) or
+// its whole name ("bytes"). Identifiers spelling a rate ("gb_per_sec",
+// "BytesPerSec") promise nothing — the rate is its own dimension.
+Unit UnitFromIdentifier(std::string_view ident);
+
+// Unit a *call* of `name` returns: exact util/units.h helper names first
+// (TransferNs, BytesToGiB, GbpsFromBytesNs), then a generic <A>To<B>
+// pattern, then the identifier rules.
+Unit UnitFromCallName(std::string_view name);
+
+// Unit of a standalone expression (conversion-constant application,
+// helper-return propagation, literal suffixes). Exposed for the
+// inference unit tests; findings raised during inference are discarded.
+Unit InferExpressionUnit(std::string_view expr);
+
+// Runs CXL-U001..U005 over one file. Path-scoped internally: only src/,
+// bench/, and tools/report/ files are analyzed.
+void CheckUnits(const std::string& path, const std::vector<SourceLine>& lines,
+                std::vector<Finding>* sink);
+
+}  // namespace cxl::lint
+
+#endif  // CXL_EXPLORER_TOOLS_LINT_UNITS_H_
